@@ -1,0 +1,46 @@
+/// A1 (ablation) — Timestamp allocation as a shared component. Short
+/// transactions make the allocator a measurable fraction of the work;
+/// comparing the single shared atomic counter against per-thread batched
+/// allocation isolates that component's cost, one of the keynote's
+/// "everything becomes a bottleneck on enough cores" points.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("A1", "timestamp allocator ablation (short txns, T/O scheme)",
+              "allocator,threads,ops_per_txn,throughput_txn_s");
+  for (TimestampAllocatorKind kind :
+       {TimestampAllocatorKind::kAtomic, TimestampAllocatorKind::kBatched}) {
+    for (int ops : {1, 16}) {
+      EngineOptions eng;
+      // TIMESTAMP allocates on every Begin; the shortest transactions give
+      // the allocator the largest relative weight.
+      eng.cc_scheme = CcScheme::kTimestamp;
+      eng.ts_allocator = kind;
+      eng.max_threads = ThreadSweep().back();
+      Engine engine(eng);
+      YcsbOptions ycsb;
+      ycsb.num_records = DefaultYcsbRecords();
+      ycsb.ops_per_txn = ops;
+      ycsb.write_fraction = 0.1;
+      YcsbWorkload workload(ycsb);
+      workload.Load(&engine);
+      for (int threads : ThreadSweep()) {
+        DriverOptions driver;
+        driver.num_threads = threads;
+        driver.warmup_seconds = WarmupSeconds();
+        driver.measure_seconds = MeasureSeconds();
+        const RunStats stats = Driver::Run(&engine, &workload, driver);
+        std::printf("%s,%d,%d,%.0f\n",
+                    kind == TimestampAllocatorKind::kAtomic ? "atomic"
+                                                            : "batched",
+                    threads, ops, stats.Throughput());
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+/// A2 (ablation) — Index structure as an engine component at the *whole
+/// transaction* level (F11 measures raw index ops): the same point-access
+/// YCSB through a hash table vs a B+-tree, on a lock-based and an
+/// optimistic engine. Quantifies how much of a transaction's budget the
+/// index probe actually is once CC and copying are included.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("A2", "index choice at transaction level (point-access YCSB)",
+              "scheme,index,throughput_txn_s");
+  const int threads = QuickMode() ? 2 : 4;
+  for (CcScheme scheme : {CcScheme::kNoWait, CcScheme::kOcc}) {
+    for (IndexKind kind : {IndexKind::kHash, IndexKind::kBTree}) {
+      YcsbOptions ycsb;
+      ycsb.num_records = DefaultYcsbRecords();
+      ycsb.ops_per_txn = 16;
+      ycsb.write_fraction = 0.05;
+      ycsb.index_kind = kind;
+      YcsbSetup setup = MakeYcsb(scheme, ycsb, threads);
+      const RunStats stats =
+          RunYcsb(setup.engine.get(), setup.workload.get(), threads);
+      std::printf("%s,%s,%.0f\n", CcSchemeName(scheme), IndexKindName(kind),
+                  stats.Throughput());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+#ifndef NEXT700_BENCH_BENCH_COMMON_H_
+#define NEXT700_BENCH_BENCH_COMMON_H_
+
+/// \file
+/// Shared scaffolding for the experiment binaries (bench_f1 ... bench_t3).
+/// Each binary regenerates one table/figure from DESIGN.md's experiment
+/// index and prints a self-describing header plus one CSV row per series
+/// point, so EXPERIMENTS.md can be assembled from raw runs.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/driver.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace next700 {
+namespace bench {
+
+/// Environment knob: NEXT700_QUICK=1 shrinks loads and windows (CI smoke).
+inline bool QuickMode() {
+  const char* env = std::getenv("NEXT700_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline double MeasureSeconds() { return QuickMode() ? 0.2 : 1.0; }
+inline double WarmupSeconds() { return QuickMode() ? 0.05 : 0.25; }
+
+/// Thread counts swept by the scaling experiments.
+inline std::vector<int> ThreadSweep() {
+  return QuickMode() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+}
+
+inline void PrintHeader(const char* experiment_id, const char* question,
+                        const char* columns) {
+  std::printf("# experiment: %s\n# question: %s\n%s\n", experiment_id,
+              question, columns);
+}
+
+/// One timed YCSB run of `scheme` with `threads`, on a freshly warmed
+/// engine that the caller keeps across thread counts.
+inline RunStats RunYcsb(Engine* engine, YcsbWorkload* workload, int threads) {
+  DriverOptions driver;
+  driver.num_threads = threads;
+  driver.warmup_seconds = WarmupSeconds();
+  driver.measure_seconds = MeasureSeconds();
+  return Driver::Run(engine, workload, driver);
+}
+
+/// Builds an engine + loaded YCSB workload for one scheme.
+struct YcsbSetup {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<YcsbWorkload> workload;
+};
+
+inline YcsbSetup MakeYcsb(CcScheme scheme, YcsbOptions ycsb, int max_threads,
+                          uint32_t partitions = 1) {
+  EngineOptions eng;
+  eng.cc_scheme = scheme;
+  eng.max_threads = max_threads;
+  eng.num_partitions = partitions;
+  YcsbSetup setup;
+  setup.engine = std::make_unique<Engine>(eng);
+  setup.workload = std::make_unique<YcsbWorkload>(ycsb);
+  setup.workload->Load(setup.engine.get());
+  return setup;
+}
+
+inline uint64_t DefaultYcsbRecords() {
+  return QuickMode() ? (uint64_t{1} << 14) : (uint64_t{1} << 18);
+}
+
+/// TPC-C scale used by benchmarks: full district/customer shape, reduced
+/// initial orders to keep load times sane on one core.
+inline TpccOptions BenchTpcc(uint32_t warehouses) {
+  TpccOptions options;
+  options.num_warehouses = warehouses;
+  if (QuickMode()) {
+    options.districts_per_warehouse = 4;
+    options.customers_per_district = 200;
+    options.num_items = 1000;
+    options.initial_orders_per_district = 200;
+  } else {
+    options.districts_per_warehouse = 10;
+    options.customers_per_district = 1000;
+    options.num_items = 10000;
+    options.initial_orders_per_district = 500;
+  }
+  return options;
+}
+
+}  // namespace bench
+}  // namespace next700
+
+#endif  // NEXT700_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,126 @@
+/// F11 — Index microbenchmarks (google-benchmark): point lookups, inserts,
+/// and ordered scans for the chained hash index vs the B+-tree, under
+/// uniform and zipfian key draws. Expected shape: hash wins point ops by a
+/// small integer factor; only the B+-tree scans; both degrade gracefully
+/// under skew (hot buckets / hot leaves stay cached).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "storage/table.h"
+
+namespace next700 {
+namespace {
+
+constexpr uint64_t kKeys = 1 << 18;
+
+struct Fixture {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Index> index;
+
+  explicit Fixture(IndexKind kind) {
+    Schema s;
+    s.AddUint64("v");
+    table = std::make_unique<Table>(0, "t", std::move(s), 1);
+    if (kind == IndexKind::kHash) {
+      index = std::make_unique<HashIndex>(table.get(), kKeys);
+    } else {
+      index = std::make_unique<BTreeIndex>(table.get());
+    }
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      Row* row = table->AllocateRow(0);
+      row->primary_key = key;
+      NEXT700_CHECK(index->Insert(key, row).ok());
+    }
+  }
+};
+
+Fixture* SharedFixture(IndexKind kind) {
+  static Fixture* hash = new Fixture(IndexKind::kHash);
+  static Fixture* btree = new Fixture(IndexKind::kBTree);
+  return kind == IndexKind::kHash ? hash : btree;
+}
+
+void BM_PointLookup(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  const double theta = static_cast<double>(state.range(1)) / 100.0;
+  Fixture* fixture = SharedFixture(kind);
+  Rng rng(42);
+  ZipfGenerator zipf(kKeys, theta);
+  for (auto _ : state) {
+    Row* row = fixture->index->Lookup(zipf.Next(&rng));
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(IndexKindName(kind)) +
+                 (theta > 0 ? "/zipf" : "/uniform"));
+}
+BENCHMARK(BM_PointLookup)
+    ->Args({static_cast<int>(IndexKind::kHash), 0})
+    ->Args({static_cast<int>(IndexKind::kBTree), 0})
+    ->Args({static_cast<int>(IndexKind::kHash), 90})
+    ->Args({static_cast<int>(IndexKind::kBTree), 90});
+
+void BM_Insert(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  // Private fixture: inserts mutate the structure.
+  Fixture fixture(kind);
+  uint64_t next = kKeys;
+  for (auto _ : state) {
+    Row* row = fixture.table->AllocateRow(0);
+    row->primary_key = next;
+    benchmark::DoNotOptimize(fixture.index->Insert(next, row).ok());
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(IndexKindName(kind));
+}
+BENCHMARK(BM_Insert)
+    ->Args({static_cast<int>(IndexKind::kHash)})
+    ->Args({static_cast<int>(IndexKind::kBTree)});
+
+void BM_ScanBTree(benchmark::State& state) {
+  const size_t span = static_cast<size_t>(state.range(0));
+  Fixture* fixture = SharedFixture(IndexKind::kBTree);
+  Rng rng(7);
+  std::vector<Row*> out;
+  for (auto _ : state) {
+    out.clear();
+    const uint64_t lo = rng.NextUint64(kKeys - span);
+    benchmark::DoNotOptimize(
+        fixture->index->Scan(lo, lo + span - 1, 0, &out).ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(span));
+  state.SetLabel("btree/span=" + std::to_string(span));
+}
+BENCHMARK(BM_ScanBTree)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RemoveInsertChurn(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  Fixture fixture(kind);
+  Rng rng(11);
+  for (auto _ : state) {
+    const uint64_t key = rng.NextUint64(kKeys);
+    Row* row = fixture.index->Lookup(key);
+    if (row != nullptr) {
+      benchmark::DoNotOptimize(fixture.index->Remove(key, row));
+      benchmark::DoNotOptimize(fixture.index->Insert(key, row).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(IndexKindName(kind));
+}
+BENCHMARK(BM_RemoveInsertChurn)
+    ->Args({static_cast<int>(IndexKind::kHash)})
+    ->Args({static_cast<int>(IndexKind::kBTree)});
+
+}  // namespace
+}  // namespace next700
+
+BENCHMARK_MAIN();

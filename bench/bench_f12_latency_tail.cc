@@ -1,0 +1,38 @@
+/// F12 — Tail-latency predictability. Moderately contended YCSB at a fixed
+/// worker count; per-scheme committed-transaction latency percentiles.
+/// Expected shape (the keynote's predictability theme; cf. VATS): waiting
+/// schemes fatten the tail (p99/p50 ratio grows), NO_WAIT buys a flat tail
+/// with aborted-and-retried work, and optimistic schemes sit in between.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F12",
+              "committed-txn latency percentiles (YCSB theta=0.8, 50r/50w)",
+              "scheme,p50_us,p95_us,p99_us,p999_us,max_us,p99_over_p50");
+  const int threads = QuickMode() ? 2 : 4;
+  for (CcScheme scheme : AllCcSchemes()) {
+    YcsbOptions ycsb;
+    ycsb.num_records = DefaultYcsbRecords();
+    ycsb.ops_per_txn = 16;
+    ycsb.write_fraction = 0.5;
+    ycsb.read_modify_write = true;
+    ycsb.theta = 0.8;
+    YcsbSetup setup = MakeYcsb(scheme, ycsb, threads);
+    const RunStats stats =
+        RunYcsb(setup.engine.get(), setup.workload.get(), threads);
+    const Histogram& h = stats.commit_latency_ns;
+    const double p50 = static_cast<double>(h.Percentile(0.50)) / 1000.0;
+    const double p99 = static_cast<double>(h.Percentile(0.99)) / 1000.0;
+    std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f\n", CcSchemeName(scheme),
+                p50, static_cast<double>(h.Percentile(0.95)) / 1000.0, p99,
+                static_cast<double>(h.Percentile(0.999)) / 1000.0,
+                static_cast<double>(h.max()) / 1000.0,
+                p50 > 0 ? p99 / p50 : 0.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

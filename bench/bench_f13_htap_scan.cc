@@ -1,0 +1,125 @@
+/// F13 — HTAP interference: long analytical scans concurrent with OLTP
+/// updates. Worker 0 repeatedly runs a full-range scan transaction (read
+/// every row it returns); the remaining workers run hot RMW updates.
+/// Expected shape (the keynote's OLTP+OLAP isolation/freshness theme):
+/// single-version schemes either block writers behind the scan's locks
+/// (2PL) or abort the scanner/writers at validation (OCC/TicToc); MVTO
+/// serves the scan from a snapshot and leaves writers untouched.
+
+#include <memory>
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+namespace {
+
+class HtapWorkload : public Workload {
+ public:
+  HtapWorkload(uint64_t num_records) : num_records_(num_records) {}
+
+  void Load(Engine* engine) override {
+    Schema schema;
+    schema.AddUint64("val");
+    schema.AddUint64("pad");
+    table_ = engine->CreateTable("facts", std::move(schema));
+    index_ = engine->CreateIndex("facts_pk", table_, IndexKind::kBTree,
+                                 num_records_);
+    std::vector<uint8_t> buf(table_->schema().row_size());
+    for (uint64_t key = 0; key < num_records_; ++key) {
+      table_->schema().SetUint64(buf.data(), 0, 1);
+      table_->schema().SetUint64(buf.data(), 1, key);
+      Row* row = engine->LoadRow(table_, 0, key, buf.data());
+      NEXT700_CHECK(index_->Insert(key, row).ok());
+    }
+  }
+
+  Status RunNextTxn(Engine* engine, int thread_id, Rng* rng) override {
+    return thread_id == 0 ? RunScan(engine, rng)
+                          : RunUpdate(engine, thread_id, rng);
+  }
+
+  const char* name() const override { return "htap"; }
+
+ private:
+  Status RunScan(Engine* engine, Rng* rng) {
+    return RunWithRetry(rng, [&] {
+      TxnContext* txn = engine->Begin(0);
+      std::vector<Row*> rows;
+      Status s = engine->Scan(txn, index_, 0, num_records_ - 1, 0, &rows);
+      uint64_t sum = 0;
+      std::vector<uint8_t> buf(table_->schema().row_size());
+      for (Row* row : rows) {
+        if (!s.ok()) break;
+        s = engine->ReadRow(txn, row, buf.data());
+        if (s.ok()) sum += table_->schema().GetUint64(buf.data(), 0);
+      }
+      if (s.ok()) s = engine->Commit(txn);
+      if (!s.ok()) engine->Abort(txn);
+      return s;
+    });
+  }
+
+  Status RunUpdate(Engine* engine, int thread_id, Rng* rng) {
+    const uint64_t key = rng->NextUint64(num_records_ / 8);  // Hot eighth.
+    return RunWithRetry(rng, [&] {
+      TxnContext* txn = engine->Begin(thread_id);
+      std::vector<uint8_t> buf(table_->schema().row_size());
+      Status s = engine->Read(txn, index_, key, buf.data());
+      if (s.ok()) {
+        table_->schema().SetUint64(buf.data(), 0,
+                                   table_->schema().GetUint64(buf.data(), 0) +
+                                       1);
+        s = engine->Update(txn, index_, key, buf.data());
+      }
+      if (s.ok()) s = engine->Commit(txn);
+      if (!s.ok()) engine->Abort(txn);
+      return s;
+    });
+  }
+
+  uint64_t num_records_;
+  Table* table_ = nullptr;
+  Index* index_ = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("F13",
+              "OLTP updates vs concurrent full scans (1 scanner + N-1 "
+              "updaters)",
+              "scheme,scans_completed,scan_p50_ms,oltp_txn_s,"
+              "oltp_abort_ratio");
+  const int threads = QuickMode() ? 2 : 4;
+  const uint64_t records = QuickMode() ? 4096 : 32768;
+  for (CcScheme scheme : {CcScheme::kNoWait, CcScheme::kDlDetect,
+                          CcScheme::kOcc, CcScheme::kTicToc,
+                          CcScheme::kMvto}) {
+    EngineOptions eng;
+    eng.cc_scheme = scheme;
+    eng.max_threads = threads;
+    Engine engine(eng);
+    HtapWorkload workload(records);
+    workload.Load(&engine);
+    DriverOptions driver;
+    driver.num_threads = threads;
+    driver.warmup_seconds = WarmupSeconds();
+    driver.measure_seconds = MeasureSeconds();
+    const RunStats total = Driver::Run(&engine, &workload, driver);
+    // Thread 0 is the scanner; the rest are OLTP.
+    const ThreadStats* scanner = engine.stats(0);
+    RunStats oltp;
+    for (int t = 1; t < threads; ++t) oltp.Add(*engine.stats(t));
+    oltp.elapsed_seconds = total.elapsed_seconds;
+    std::printf("%s,%llu,%.2f,%.0f,%.4f\n", CcSchemeName(scheme),
+                static_cast<unsigned long long>(scanner->commits),
+                static_cast<double>(
+                    scanner->commit_latency_ns.Percentile(0.5)) /
+                    1e6,
+                oltp.Throughput(), oltp.AbortRatio());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// F14 — Deterministic vs nondeterministic execution ("new designs").
+/// The same stream of read-modify-write transactions over a hot set of
+/// rows runs through (a) the Calvin-style deterministic engine and (b) the
+/// SILO and NO_WAIT compositions, sweeping the hot-set size (contention).
+/// Expected shape [Calvin]: the deterministic engine never aborts and its
+/// throughput is nearly flat across contention levels, while the
+/// nondeterministic engines abort-and-retry increasingly as the hot set
+/// shrinks; at low contention the sequencer overhead makes determinism the
+/// slower choice — the classic trade.
+
+#include "bench_common.h"
+#include "det/deterministic.h"
+#include "index/hash_index.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+namespace {
+
+constexpr int kThreads = 2;
+
+double RunDeterministic(uint64_t hot_rows, uint64_t txns) {
+  Schema s;
+  s.AddInt64("v");
+  Table table(0, "t", std::move(s), 1);
+  HashIndex index(&table, hot_rows * 2);
+  for (uint64_t key = 0; key < hot_rows; ++key) {
+    Row* row = table.AllocateRow(0);
+    row->primary_key = key;
+    table.schema().SetInt64(row->data(), 0, 0);
+    NEXT700_CHECK(index.Insert(key, row).ok());
+  }
+  const Schema& schema = table.schema();
+  Rng rng(17);
+  const uint64_t start = NowNanos();
+  DeterministicEngine det(&table, &index, {.num_workers = kThreads});
+  for (uint64_t i = 0; i < txns; ++i) {
+    const uint64_t key = rng.NextUint64(hot_rows);
+    det.Submit({}, {key}, [&schema, key](DetAccessor* db) {
+      uint8_t buf[8];
+      NEXT700_CHECK(db->Read(key, buf).ok());
+      schema.SetInt64(buf, 0, schema.GetInt64(buf, 0) + 1);
+      NEXT700_CHECK(db->Write(key, buf).ok());
+    });
+  }
+  det.WaitAll();
+  const double seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  return static_cast<double>(txns) / seconds;
+}
+
+struct NonDetResult {
+  double throughput;
+  double abort_ratio;
+};
+
+NonDetResult RunNonDeterministic(CcScheme scheme, uint64_t hot_rows,
+                                 uint64_t txns) {
+  EngineOptions eng;
+  eng.cc_scheme = scheme;
+  eng.max_threads = kThreads;
+  Engine engine(eng);
+  YcsbOptions ycsb;
+  ycsb.num_records = hot_rows;
+  ycsb.ops_per_txn = 1;
+  ycsb.write_fraction = 1.0;
+  ycsb.read_modify_write = true;
+  YcsbWorkload workload(ycsb);
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = kThreads;
+  driver.txns_per_thread = txns / kThreads;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  return NonDetResult{stats.Throughput(), stats.AbortRatio()};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("F14",
+              "deterministic (Calvin-style) vs SILO/NO_WAIT across "
+              "contention (1-op RMW txns)",
+              "engine,hot_rows,throughput_txn_s,abort_ratio");
+  const uint64_t txns = QuickMode() ? 20000 : 200000;
+  for (const uint64_t hot_rows : {uint64_t{4}, uint64_t{64}, uint64_t{4096}}) {
+    const double det = RunDeterministic(hot_rows, txns);
+    std::printf("DETERMINISTIC,%llu,%.0f,0.0000\n",
+                static_cast<unsigned long long>(hot_rows), det);
+    std::fflush(stdout);
+    for (CcScheme scheme : {CcScheme::kOcc, CcScheme::kNoWait}) {
+      const NonDetResult r = RunNonDeterministic(scheme, hot_rows, txns);
+      std::printf("%s,%llu,%.0f,%.4f\n", CcSchemeName(scheme),
+                  static_cast<unsigned long long>(hot_rows), r.throughput,
+                  r.abort_ratio);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

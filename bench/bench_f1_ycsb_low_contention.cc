@@ -1,0 +1,32 @@
+/// F1 — Concurrency-control scaling under *low* contention.
+/// YCSB, uniform keys (theta = 0), 95/5 read/write, 16 ops/txn; sweep the
+/// worker count for every CC scheme. Expected shape [Abyss]: schemes are
+/// close together; lock-manager overhead costs the 2PL family a constant
+/// factor; OCC/TicToc sit near the top.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F1", "CC scaling under low contention (YCSB theta=0, 95r/5w)",
+              "scheme,threads,throughput_txn_s,abort_ratio");
+  YcsbOptions ycsb;
+  ycsb.num_records = DefaultYcsbRecords();
+  ycsb.ops_per_txn = 16;
+  ycsb.write_fraction = 0.05;
+  ycsb.theta = 0.0;
+  const auto threads = ThreadSweep();
+  const int max_threads = threads.back();
+  for (CcScheme scheme : AllCcSchemes()) {
+    YcsbSetup setup = MakeYcsb(scheme, ycsb, max_threads);
+    for (int t : threads) {
+      const RunStats stats = RunYcsb(setup.engine.get(), setup.workload.get(), t);
+      std::printf("%s,%d,%.0f,%.4f\n", CcSchemeName(scheme), t,
+                  stats.Throughput(), stats.AbortRatio());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

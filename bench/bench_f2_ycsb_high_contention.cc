@@ -1,0 +1,33 @@
+/// F2 — Concurrency-control scaling under *high* contention.
+/// YCSB with zipf theta = 0.9 and a 50/50 read/write mix. Expected shape
+/// [Abyss]: throughput flattens or declines as workers are added; waiting
+/// schemes thrash; NO_WAIT and TicToc degrade most gracefully.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F2",
+              "CC scaling under high contention (YCSB theta=0.9, 50r/50w)",
+              "scheme,threads,throughput_txn_s,abort_ratio,lock_waits");
+  YcsbOptions ycsb;
+  ycsb.num_records = DefaultYcsbRecords();
+  ycsb.ops_per_txn = 16;
+  ycsb.write_fraction = 0.5;
+  ycsb.theta = 0.9;
+  ycsb.read_modify_write = true;
+  const auto threads = ThreadSweep();
+  for (CcScheme scheme : AllCcSchemes()) {
+    YcsbSetup setup = MakeYcsb(scheme, ycsb, threads.back());
+    for (int t : threads) {
+      const RunStats stats = RunYcsb(setup.engine.get(), setup.workload.get(), t);
+      std::printf("%s,%d,%.0f,%.4f,%llu\n", CcSchemeName(scheme), t,
+                  stats.Throughput(), stats.AbortRatio(),
+                  static_cast<unsigned long long>(stats.lock_waits));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

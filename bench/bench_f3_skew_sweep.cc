@@ -1,0 +1,33 @@
+/// F3 — Skew sensitivity. YCSB at a fixed worker count, sweeping zipf theta
+/// from uniform to extreme. Expected shape [Abyss]: monotone degradation
+/// for every scheme, with pessimistic lock waits and optimistic aborts
+/// taking over at high skew; MVTO holds up on the read side.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F3", "skew sweep (YCSB, 50r/50w rmw, fixed threads)",
+              "scheme,theta,throughput_txn_s,abort_ratio");
+  const int threads = QuickMode() ? 2 : 4;
+  const std::vector<double> thetas = {0.0, 0.3, 0.6, 0.8, 0.9, 0.99};
+  for (CcScheme scheme : AllCcSchemes()) {
+    for (double theta : thetas) {
+      YcsbOptions ycsb;
+      ycsb.num_records = DefaultYcsbRecords();
+      ycsb.ops_per_txn = 16;
+      ycsb.write_fraction = 0.5;
+      ycsb.read_modify_write = true;
+      ycsb.theta = theta;
+      YcsbSetup setup = MakeYcsb(scheme, ycsb, threads);
+      const RunStats stats =
+          RunYcsb(setup.engine.get(), setup.workload.get(), threads);
+      std::printf("%s,%.2f,%.0f,%.4f\n", CcSchemeName(scheme), theta,
+                  stats.Throughput(), stats.AbortRatio());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

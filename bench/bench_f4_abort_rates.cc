@@ -1,0 +1,41 @@
+/// F4 — Abort behaviour across the contention spectrum: the same sweep as
+/// F3, reported as abort ratios plus validation-failure and lock-wait
+/// breakdowns. Expected shape [Abyss]: optimistic validation failures
+/// explode under skew; WAIT_DIE kills more transactions than DL_DETECT;
+/// MVTO aborts on late writes only.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F4", "abort breakdown vs skew (YCSB 50r/50w rmw)",
+              "scheme,theta,abort_ratio,validation_fails,lock_waits,"
+              "aborts_per_commit");
+  const int threads = QuickMode() ? 2 : 4;
+  for (CcScheme scheme : AllCcSchemes()) {
+    for (double theta : {0.0, 0.6, 0.9, 0.99}) {
+      YcsbOptions ycsb;
+      ycsb.num_records = DefaultYcsbRecords();
+      ycsb.ops_per_txn = 16;
+      ycsb.write_fraction = 0.5;
+      ycsb.read_modify_write = true;
+      ycsb.theta = theta;
+      YcsbSetup setup = MakeYcsb(scheme, ycsb, threads);
+      const RunStats stats =
+          RunYcsb(setup.engine.get(), setup.workload.get(), threads);
+      const double aborts_per_commit =
+          stats.commits == 0 ? 0.0
+                             : static_cast<double>(stats.aborts) /
+                                   static_cast<double>(stats.commits);
+      std::printf("%s,%.2f,%.4f,%llu,%llu,%.3f\n", CcSchemeName(scheme),
+                  theta, stats.AbortRatio(),
+                  static_cast<unsigned long long>(stats.validation_fails),
+                  static_cast<unsigned long long>(stats.lock_waits),
+                  aborts_per_commit);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

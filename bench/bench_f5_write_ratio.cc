@@ -1,0 +1,32 @@
+/// F5 — Read/write mix sensitivity. YCSB at moderate skew (theta = 0.8),
+/// sweeping the per-op write fraction from read-only to write-only.
+/// Expected shape [Abyss]: MVTO shines read-heavy (readers never block),
+/// the gap closes as writes dominate and version churn costs appear.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F5", "write-fraction sweep (YCSB theta=0.8)",
+              "scheme,write_fraction,throughput_txn_s,abort_ratio");
+  const int threads = QuickMode() ? 2 : 4;
+  for (CcScheme scheme : AllCcSchemes()) {
+    for (double wf : {0.0, 0.05, 0.2, 0.5, 0.8, 1.0}) {
+      YcsbOptions ycsb;
+      ycsb.num_records = DefaultYcsbRecords();
+      ycsb.ops_per_txn = 16;
+      ycsb.write_fraction = wf;
+      ycsb.read_modify_write = true;
+      ycsb.theta = 0.8;
+      YcsbSetup setup = MakeYcsb(scheme, ycsb, threads);
+      const RunStats stats =
+          RunYcsb(setup.engine.get(), setup.workload.get(), threads);
+      std::printf("%s,%.2f,%.0f,%.4f\n", CcSchemeName(scheme), wf,
+                  stats.Throughput(), stats.AbortRatio());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

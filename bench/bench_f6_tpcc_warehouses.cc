@@ -1,0 +1,39 @@
+/// F6 — TPC-C scaling with warehouse count. Standard 5-transaction mix,
+/// workers = warehouses (each worker homed on one warehouse). Expected
+/// shape [Abyss]: throughput grows with warehouses; W=1 serializes every
+/// worker on the warehouse and district rows.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F6", "TPC-C full mix vs warehouse count (threads = W)",
+              "scheme,warehouses,throughput_txn_s,abort_ratio,user_aborts");
+  const std::vector<uint32_t> sweep =
+      QuickMode() ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4};
+  for (CcScheme scheme : AllCcSchemes()) {
+    for (uint32_t w : sweep) {
+      EngineOptions eng;
+      eng.cc_scheme = scheme;
+      eng.max_threads = static_cast<int>(w);
+      eng.num_partitions = w;
+      Engine engine(eng);
+      TpccWorkload workload(BenchTpcc(w));
+      workload.Load(&engine);
+      DriverOptions driver;
+      driver.num_threads = static_cast<int>(w);
+      driver.warmup_seconds = WarmupSeconds();
+      driver.measure_seconds = MeasureSeconds();
+      const RunStats stats = Driver::Run(&engine, &workload, driver);
+      std::printf("%s,%u,%.0f,%.4f,%llu\n", CcSchemeName(scheme), w,
+                  stats.Throughput(), stats.AbortRatio(),
+                  static_cast<unsigned long long>(stats.user_aborts));
+      std::fflush(stdout);
+      NEXT700_CHECK_MSG(workload.CheckConsistency(&engine).ok(),
+                        "TPC-C consistency audit failed after run");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// F7 — The partitioned-engine crossover. Partitioned YCSB sweeping the
+/// fraction of multi-partition transactions; HSTORE against a
+/// representative lock-based (NO_WAIT) and optimistic (SILO) engine.
+/// Expected shape [HStore; Abyss]: HSTORE dominates at 0-5% multi-partition
+/// work (no per-row CC at all) and collapses past ~10-20% as partition
+/// locks serialize everything — the classic crossover.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F7",
+              "H-Store crossover vs multi-partition txn fraction "
+              "(partitioned YCSB)",
+              "scheme,mp_fraction_pct,throughput_txn_s,abort_ratio");
+  const int threads = QuickMode() ? 2 : 4;
+  const uint32_t partitions = static_cast<uint32_t>(threads);
+  const std::vector<double> fractions = {0.0,  0.01, 0.05, 0.1,
+                                         0.2,  0.5,  1.0};
+  for (CcScheme scheme :
+       {CcScheme::kHstore, CcScheme::kNoWait, CcScheme::kOcc}) {
+    for (double fraction : fractions) {
+      YcsbOptions ycsb;
+      ycsb.num_records = DefaultYcsbRecords();
+      ycsb.ops_per_txn = 16;
+      ycsb.write_fraction = 0.5;
+      ycsb.theta = 0.0;
+      ycsb.partitioned = true;
+      ycsb.multi_partition_fraction = fraction;
+      ycsb.partitions_per_mp_txn = 2;
+      YcsbSetup setup = MakeYcsb(scheme, ycsb, threads, partitions);
+      const RunStats stats =
+          RunYcsb(setup.engine.get(), setup.workload.get(), threads);
+      std::printf("%s,%.0f,%.0f,%.4f\n", CcSchemeName(scheme),
+                  fraction * 100, stats.Throughput(), stats.AbortRatio());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

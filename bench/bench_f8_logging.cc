@@ -1,0 +1,63 @@
+/// F8 (table) — Logging overhead across the composition space: no logging
+/// vs value logging vs command logging, each at three modelled log-device
+/// latencies (DRAM-like NVM 0us, NVMe ~20us, SATA-SSD ~100us), on TPC-C
+/// with synchronous group commit. Expected shape [Aether; H-Store]:
+/// command logs are a fraction of value-log bytes; group commit keeps
+/// throughput usable even at high device latency; the latency knob widens
+/// the none-vs-sync gap.
+
+#include "bench_common.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("F8",
+              "logging overhead: kind x device latency (TPC-C, sync commit)",
+              "logging,device_latency_us,throughput_txn_s,log_mb,"
+              "mb_per_ktxn,flushes");
+  const uint32_t warehouses = QuickMode() ? 1 : 2;
+  for (LoggingKind kind :
+       {LoggingKind::kNone, LoggingKind::kValue, LoggingKind::kCommand}) {
+    for (uint64_t latency_us : {uint64_t{0}, uint64_t{20}, uint64_t{100}}) {
+      if (kind == LoggingKind::kNone && latency_us != 0) continue;
+      EngineOptions eng;
+      eng.cc_scheme = CcScheme::kNoWait;
+      eng.max_threads = static_cast<int>(warehouses);
+      eng.num_partitions = warehouses;
+      eng.logging = kind;
+      eng.log_device_latency_us = latency_us;
+      eng.log_flush_interval_us = 50;
+      eng.sync_commit = true;
+      char path[128];
+      std::snprintf(path, sizeof(path), "/tmp/next700_f8_%s_%llu.log",
+                    LoggingKindName(kind),
+                    static_cast<unsigned long long>(latency_us));
+      eng.log_path = path;
+      Engine engine(eng);
+      TpccWorkload workload(BenchTpcc(warehouses));
+      workload.Load(&engine);
+      DriverOptions driver;
+      driver.num_threads = static_cast<int>(warehouses);
+      driver.warmup_seconds = WarmupSeconds();
+      driver.measure_seconds = MeasureSeconds();
+      const RunStats stats = Driver::Run(&engine, &workload, driver);
+      const double log_mb =
+          static_cast<double>(stats.log_bytes) / (1024.0 * 1024.0);
+      const double mb_per_ktxn =
+          stats.commits == 0
+              ? 0.0
+              : log_mb / (static_cast<double>(stats.commits) / 1000.0);
+      const uint64_t flushes =
+          engine.log_manager() != nullptr ? engine.log_manager()->flush_count()
+                                          : 0;
+      std::printf("%s,%llu,%.0f,%.2f,%.3f,%llu\n", LoggingKindName(kind),
+                  static_cast<unsigned long long>(latency_us),
+                  stats.Throughput(), log_mb, mb_per_ktxn,
+                  static_cast<unsigned long long>(flushes));
+      std::fflush(stdout);
+      std::remove(path);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// F9 (table) — Recovery cost of the two durability designs. The same
+/// TPC-C run is logged once with value logging and once with command
+/// logging; each log is then replayed into a freshly loaded engine.
+/// Expected shape: command logs are smaller but replay slower per
+/// transaction (they re-execute logic); value logs replay faster per byte.
+
+#include "bench_common.h"
+#include "log/recovery.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+namespace {
+
+struct Produced {
+  std::string path;
+  uint64_t commits;
+};
+
+Produced ProduceLog(LoggingKind kind, const TpccOptions& tpcc) {
+  char path[128];
+  std::snprintf(path, sizeof(path), "/tmp/next700_f9_%s.log",
+                LoggingKindName(kind));
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kNoWait;
+  eng.max_threads = 2;
+  eng.logging = kind;
+  eng.log_path = path;
+  eng.sync_commit = true;
+  Engine engine(eng);
+  TpccWorkload workload(tpcc);
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = 2;
+  driver.txns_per_thread = QuickMode() ? 200 : 2000;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  return Produced{path, stats.commits};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("F9", "recovery replay: value vs command logging (TPC-C)",
+              "logging,log_mb,txns_logged,txns_replayed,replay_seconds,"
+              "ktxn_per_s_replay");
+  const TpccOptions tpcc = BenchTpcc(1);
+  for (LoggingKind kind : {LoggingKind::kValue, LoggingKind::kCommand}) {
+    const Produced produced = ProduceLog(kind, tpcc);
+
+    // Fresh engine at the initial (deterministically re-loadable) state.
+    EngineOptions clean;
+    clean.cc_scheme = CcScheme::kNoWait;
+    clean.max_threads = 2;
+    Engine engine(clean);
+    TpccWorkload workload(tpcc);
+    workload.Load(&engine);
+    RecoveryManager recovery(&engine);
+    RecoveryStats stats;
+    const Status s = recovery.Replay(produced.path, &stats);
+    NEXT700_CHECK_MSG(s.ok(), s.ToString().c_str());
+    const double ktxn_per_s =
+        stats.elapsed_seconds > 0
+            ? static_cast<double>(stats.txns_replayed) / 1000.0 /
+                  stats.elapsed_seconds
+            : 0.0;
+    std::printf("%s,%.2f,%llu,%llu,%.3f,%.1f\n", LoggingKindName(kind),
+                static_cast<double>(stats.bytes_read) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(produced.commits),
+                static_cast<unsigned long long>(stats.txns_replayed),
+                stats.elapsed_seconds, ktxn_per_s);
+    std::fflush(stdout);
+    std::remove(produced.path.c_str());
+  }
+  return 0;
+}

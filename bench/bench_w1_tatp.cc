@@ -1,0 +1,44 @@
+/// W1 (supplementary workload) — TATP across the scheme family. TATP's
+/// tiny, 80%-read transactions stress Begin/Commit overheads rather than
+/// data contention. Expected shape: per-txn fixed costs dominate — schemes
+/// with cheap begins (SILO/TICTOC, no allocator) lead; lock-manager
+/// round-trips price the 2PL family; abort ratios stay near zero.
+
+#include "bench_common.h"
+#include "workload/tatp.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+int main() {
+  PrintHeader("W1", "TATP standard mix across CC schemes",
+              "scheme,threads,throughput_txn_s,abort_ratio,user_abort_pct");
+  TatpOptions tatp;
+  tatp.num_subscribers = QuickMode() ? 10000 : 100000;
+  const auto threads = ThreadSweep();
+  for (CcScheme scheme : AllCcSchemes()) {
+    EngineOptions eng;
+    eng.cc_scheme = scheme;
+    eng.max_threads = threads.back();
+    eng.num_partitions = static_cast<uint32_t>(threads.back());
+    Engine engine(eng);
+    TatpWorkload workload(tatp);
+    workload.Load(&engine);
+    for (int t : threads) {
+      DriverOptions driver;
+      driver.num_threads = t;
+      driver.warmup_seconds = WarmupSeconds();
+      driver.measure_seconds = MeasureSeconds();
+      const RunStats stats = Driver::Run(&engine, &workload, driver);
+      const double user_pct =
+          stats.commits + stats.user_aborts == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(stats.user_aborts) /
+                    static_cast<double>(stats.commits + stats.user_aborts);
+      std::printf("%s,%d,%.0f,%.4f,%.1f\n", CcSchemeName(scheme), t,
+                  stats.Throughput(), stats.AbortRatio(), user_pct);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

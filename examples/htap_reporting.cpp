@@ -1,0 +1,117 @@
+/// HTAP reporting: live analytical queries over an OLTP store. Two updater
+/// threads hammer an inventory table while a reporting thread repeatedly
+/// computes a full-table aggregate inside a transaction. On the
+/// multi-version engine the report reads a consistent snapshot and never
+/// blocks the writers — the "fresh analytics without interference" scenario
+/// from the keynote.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "txn/engine.h"
+#include "workload/workload.h"
+
+using namespace next700;
+
+namespace {
+constexpr uint64_t kItems = 20000;
+constexpr int kQty = 0;
+constexpr int kSold = 1;
+}  // namespace
+
+int main() {
+  EngineOptions options;
+  options.cc_scheme = CcScheme::kMvto;  // Snapshot reads for free.
+  options.max_threads = 3;
+  Engine engine(options);
+
+  Schema schema;
+  schema.AddInt64("quantity");
+  schema.AddInt64("sold");
+  Table* table = engine.CreateTable("inventory", std::move(schema));
+  Index* pk = engine.CreateIndex("inventory_pk", table, IndexKind::kBTree,
+                                 kItems);
+  const Schema& s = table->schema();
+  {
+    std::vector<uint8_t> row(s.row_size());
+    for (uint64_t id = 0; id < kItems; ++id) {
+      s.SetInt64(row.data(), kQty, 50);
+      s.SetInt64(row.data(), kSold, 0);
+      NEXT700_CHECK(pk->Insert(id, engine.LoadRow(table, 0, id, row.data()))
+                        .ok());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sales{0};
+
+  // OLTP: each sale decrements quantity and increments sold — the row-level
+  // invariant quantity + sold == 50 must hold in every snapshot.
+  auto seller = [&](int thread_id) {
+    Rng rng(static_cast<uint64_t>(thread_id));
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t id = rng.NextUint64(kItems / 20);  // Hot products.
+      (void)RunWithRetry(&rng, [&]() -> Status {
+        TxnContext* txn = engine.Begin(thread_id);
+        std::vector<uint8_t> row(s.row_size());
+        Status st = engine.Read(txn, pk, id, row.data());
+        if (st.ok() && s.GetInt64(row.data(), kQty) > 0) {
+          s.SetInt64(row.data(), kQty, s.GetInt64(row.data(), kQty) - 1);
+          s.SetInt64(row.data(), kSold, s.GetInt64(row.data(), kSold) + 1);
+          st = engine.Update(txn, pk, id, row.data());
+        }
+        if (st.ok()) st = engine.Commit(txn);
+        if (!st.ok()) {
+          engine.Abort(txn);
+          return st;
+        }
+        ++sales;
+        return Status::OK();
+      });
+    }
+  };
+  std::thread t1(seller, 1);
+  std::thread t2(seller, 2);
+
+  // OLAP: five consecutive full-table reports, each one transaction.
+  for (int report = 1; report <= 5; ++report) {
+    Rng rng(99);
+    int64_t total_qty = 0, total_sold = 0;
+    const Status st = RunWithRetry(&rng, [&]() -> Status {
+      total_qty = total_sold = 0;
+      TxnContext* txn = engine.Begin(0);
+      std::vector<Row*> rows;
+      Status st2 = engine.Scan(txn, pk, 0, kItems - 1, 0, &rows);
+      std::vector<uint8_t> buf(s.row_size());
+      for (Row* row : rows) {
+        if (!st2.ok()) break;
+        st2 = engine.ReadRow(txn, row, buf.data());
+        if (st2.ok()) {
+          total_qty += s.GetInt64(buf.data(), kQty);
+          total_sold += s.GetInt64(buf.data(), kSold);
+        }
+      }
+      if (st2.ok()) st2 = engine.Commit(txn);
+      if (!st2.ok()) engine.Abort(txn);
+      return st2;
+    });
+    NEXT700_CHECK(st.ok());
+    // Snapshot consistency: the report's totals balance exactly even while
+    // writers keep committing underneath it.
+    NEXT700_CHECK(total_qty + total_sold ==
+                  static_cast<int64_t>(kItems) * 50);
+    std::printf("report %d: stock=%lld sold=%lld (consistent snapshot, "
+                "%llu sales committed so far)\n",
+                report, static_cast<long long>(total_qty),
+                static_cast<long long>(total_sold),
+                static_cast<unsigned long long>(sales.load()));
+  }
+
+  stop.store(true, std::memory_order_release);
+  t1.join();
+  t2.join();
+  std::printf("done: %llu sales alongside 5 consistent full-table reports\n",
+              static_cast<unsigned long long>(sales.load()));
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "cc/cc.h"
+
+#include <algorithm>
+
+namespace next700 {
+
+const char* CcSchemeName(CcScheme scheme) {
+  switch (scheme) {
+    case CcScheme::kNoWait:
+      return "NO_WAIT";
+    case CcScheme::kWaitDie:
+      return "WAIT_DIE";
+    case CcScheme::kWoundWait:
+      return "WOUND_WAIT";
+    case CcScheme::kDlDetect:
+      return "DL_DETECT";
+    case CcScheme::kTimestamp:
+      return "TIMESTAMP";
+    case CcScheme::kOcc:
+      return "SILO";
+    case CcScheme::kTicToc:
+      return "TICTOC";
+    case CcScheme::kMvto:
+      return "MVTO";
+    case CcScheme::kSi:
+      return "SI";
+    case CcScheme::kHstore:
+      return "HSTORE";
+  }
+  return "UNKNOWN";
+}
+
+const std::vector<CcScheme>& AllCcSchemes() {
+  static const std::vector<CcScheme>* kAll = new std::vector<CcScheme>{
+      CcScheme::kNoWait, CcScheme::kWaitDie, CcScheme::kWoundWait,
+      CcScheme::kDlDetect, CcScheme::kTimestamp, CcScheme::kOcc,
+      CcScheme::kTicToc, CcScheme::kMvto, CcScheme::kSi, CcScheme::kHstore,
+  };
+  return *kAll;
+}
+
+CcScheme CcSchemeFromName(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "OCC") upper = "SILO";
+  for (CcScheme scheme : AllCcSchemes()) {
+    if (upper == CcSchemeName(scheme)) return scheme;
+  }
+  NEXT700_CHECK_MSG(false, ("unknown CC scheme: " + name).c_str());
+  return CcScheme::kNoWait;
+}
+
+}  // namespace next700

@@ -1,0 +1,104 @@
+#ifndef NEXT700_CC_CC_H_
+#define NEXT700_CC_CC_H_
+
+/// \file
+/// The concurrency-control plugin interface — the centerpiece of the
+/// composable design. An engine is assembled from one scheme implementing
+/// this interface plus the shared storage/index/log substrates; the
+/// registry at the bottom enumerates every scheme so benchmarks can sweep
+/// the whole family.
+///
+/// Commit protocol (driven by Engine::Commit):
+///   1. Validate(txn)  — scheme-specific conflict resolution; on OK the
+///                       transaction is logically committed but its writes
+///                       may not be visible yet (locks/latches may be held).
+///   2. (Engine appends the commit log record and waits for durability.)
+///   3. Finalize(txn)  — writes become visible, locks are released.
+/// On any failure the engine calls Abort(txn), which must roll back
+/// whatever the scheme has done so far and release all resources.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "storage/row.h"
+#include "txn/txn.h"
+
+namespace next700 {
+
+class Engine;
+
+enum class CcScheme {
+  kNoWait,     // 2PL, abort on conflict.
+  kWaitDie,    // 2PL, older waits / younger dies.
+  kWoundWait,  // 2PL, older wounds younger holders / younger waits.
+  kDlDetect,   // 2PL, waits-for-graph deadlock detection.
+  kTimestamp,  // Basic T/O with Thomas write rule, deferred writes.
+  kOcc,        // Silo-style optimistic CC.
+  kTicToc,     // Data-driven timestamp management.
+  kMvto,       // Multi-version timestamp ordering.
+  kSi,         // Snapshot isolation (weaker: admits write skew).
+  kHstore,     // Partition-level locking, no per-row CC.
+};
+
+const char* CcSchemeName(CcScheme scheme);
+
+/// All schemes, in the order the design-space benchmarks sweep them.
+const std::vector<CcScheme>& AllCcSchemes();
+
+/// Parses "NO_WAIT", "no_wait", "SILO", etc. Aborts on unknown names.
+CcScheme CcSchemeFromName(const std::string& name);
+
+class ConcurrencyControl {
+ public:
+  virtual ~ConcurrencyControl() = default;
+
+  virtual CcScheme scheme() const = 0;
+
+  /// True when the scheme reads/writes multi-version chains instead of the
+  /// inline row payload (storage must initialize chains on insert).
+  virtual bool is_multiversion() const { return false; }
+
+  /// Starts a transaction. `txn` arrives Reset() with txn_id assigned and
+  /// (for the H-Store scheme) partitions() populated.
+  virtual Status Begin(TxnContext* txn) = 0;
+
+  /// Reads the row payload into `out` (Schema::row_size() bytes). Returns
+  /// kAborted on a concurrency conflict and kNotFound for rows deleted
+  /// under this transaction's visibility.
+  virtual Status Read(TxnContext* txn, Row* row, uint8_t* out) = 0;
+
+  /// Read with declared write intent (SELECT ... FOR UPDATE). Lock-based
+  /// schemes take the exclusive lock up front, avoiding the upgrade
+  /// deadlocks that read-modify-write otherwise causes; other schemes
+  /// default to a plain read.
+  virtual Status ReadForUpdate(TxnContext* txn, Row* row, uint8_t* out) {
+    return Read(txn, row, out);
+  }
+
+  /// Stages a full-row after-image. `data` must hold row_size bytes; it is
+  /// copied into the transaction arena by the engine before this call.
+  virtual Status Write(TxnContext* txn, Row* row, uint8_t* data) = 0;
+
+  /// Registers a freshly allocated, unpublished row whose payload is in
+  /// `data` (already arena-resident).
+  virtual Status Insert(TxnContext* txn, Row* row, uint8_t* data) = 0;
+
+  /// Stages a deletion of `row`.
+  virtual Status Delete(TxnContext* txn, Row* row) = 0;
+
+  /// Pre-commit validation/installation step (see file comment).
+  virtual Status Validate(TxnContext* txn) = 0;
+
+  /// Post-durability visibility + resource release. Must not fail.
+  virtual void Finalize(TxnContext* txn) = 0;
+
+  /// Rolls back and releases everything. Valid in any active state.
+  virtual void Abort(TxnContext* txn) = 0;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_CC_H_

@@ -1,0 +1,136 @@
+#include "cc/hstore.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/table.h"
+
+namespace next700 {
+
+Hstore::Hstore(uint32_t num_partitions)
+    : num_partitions_(num_partitions),
+      partition_locks_(new SpinLatch[num_partitions]) {
+  NEXT700_CHECK(num_partitions > 0);
+}
+
+Status Hstore::Begin(TxnContext* txn) {
+  auto& parts = txn->partitions();
+  if (parts.empty()) {
+    // Undeclared access pattern: fall back to locking every partition.
+    parts.reserve(num_partitions_);
+    for (uint32_t p = 0; p < num_partitions_; ++p) parts.push_back(p);
+  } else {
+    std::sort(parts.begin(), parts.end());
+    parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+    NEXT700_CHECK_MSG(parts.back() < num_partitions_,
+                      "partition id out of range");
+  }
+  for (uint32_t p : parts) partition_locks_[p].Lock();
+  txn->set_state(TxnState::kActive);
+  return Status::OK();
+}
+
+void Hstore::CheckAccess(const TxnContext* txn, const Row* row) const {
+#ifndef NDEBUG
+  if (row->table->read_only()) return;  // Replicated reference data.
+  const auto& parts = const_cast<TxnContext*>(txn)->partitions();
+  NEXT700_DCHECK(std::binary_search(parts.begin(), parts.end(),
+                                    row->partition));
+#else
+  (void)txn;
+  (void)row;
+#endif
+}
+
+Status Hstore::Read(TxnContext* txn, Row* row, uint8_t* out) {
+  CheckAccess(txn, row);
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+  }
+  if (row->deleted()) return Status::NotFound("row deleted");
+  std::memcpy(out, row->data(), row->table->schema().row_size());
+  return Status::OK();
+}
+
+Status Hstore::Write(TxnContext* txn, Row* row, uint8_t* data) {
+  CheckAccess(txn, row);
+  const uint32_t size = row->table->schema().row_size();
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    std::memcpy(row->data(), data, size);
+    return Status::OK();
+  }
+  if (row->deleted()) return Status::NotFound("row deleted");
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.undo_data =
+      static_cast<uint8_t*>(txn->arena()->AllocateCopy(row->data(), size));
+  std::memcpy(row->data(), data, size);
+  entry.applied = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status Hstore::Insert(TxnContext* txn, Row* row, uint8_t* data) {
+  CheckAccess(txn, row);
+  std::memcpy(row->data(), data, row->table->schema().row_size());
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.is_insert = true;
+  entry.applied = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status Hstore::Delete(TxnContext* txn, Row* row) {
+  CheckAccess(txn, row);
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("already deleted");
+    own->is_delete = true;
+    return Status::OK();
+  }
+  if (row->deleted()) return Status::NotFound("row deleted");
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.is_delete = true;
+  const uint32_t size = row->table->schema().row_size();
+  entry.new_data =
+      static_cast<uint8_t*>(txn->arena()->AllocateCopy(row->data(), size));
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status Hstore::Validate(TxnContext* txn) {
+  txn->set_state(TxnState::kValidated);
+  return Status::OK();
+}
+
+void Hstore::ReleasePartitions(TxnContext* txn) {
+  for (uint32_t p : txn->partitions()) partition_locks_[p].Unlock();
+}
+
+void Hstore::Finalize(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    if (entry.is_delete) entry.row->set_deleted(true);
+  }
+  ReleasePartitions(txn);
+  txn->set_state(TxnState::kCommitted);
+}
+
+void Hstore::Abort(TxnContext* txn) {
+  const auto& writes = txn->write_set();
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+    if (it->is_insert) {
+      it->row->table->FreeRow(it->row);
+    } else if (it->applied && it->undo_data != nullptr) {
+      std::memcpy(it->row->data(), it->undo_data,
+                  it->row->table->schema().row_size());
+    }
+  }
+  ReleasePartitions(txn);
+  txn->set_state(TxnState::kAborted);
+}
+
+}  // namespace next700

@@ -1,0 +1,53 @@
+#ifndef NEXT700_CC_HSTORE_H_
+#define NEXT700_CC_HSTORE_H_
+
+/// \file
+/// H-Store-style partition-level concurrency control (Stonebraker et al.,
+/// VLDB 2007). The database is split into partitions; a transaction locks
+/// its entire partition set up front (in sorted order, so multi-partition
+/// transactions cannot deadlock) and then runs with no per-row concurrency
+/// control at all — the "serial execution per partition" design whose
+/// single-partition speed and multi-partition collapse the crossover
+/// experiment (F7) reproduces.
+///
+/// Transactions that do not declare partitions lock everything, mirroring
+/// H-Store's fallback for unpartitionable work.
+
+#include <memory>
+#include <vector>
+
+#include "cc/cc.h"
+#include "common/latch.h"
+
+namespace next700 {
+
+class Hstore : public ConcurrencyControl {
+ public:
+  explicit Hstore(uint32_t num_partitions);
+
+  CcScheme scheme() const override { return CcScheme::kHstore; }
+
+  Status Begin(TxnContext* txn) override;
+  Status Read(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status Write(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Insert(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Delete(TxnContext* txn, Row* row) override;
+  Status Validate(TxnContext* txn) override;
+  void Finalize(TxnContext* txn) override;
+  void Abort(TxnContext* txn) override;
+
+  uint32_t num_partitions() const { return num_partitions_; }
+
+ private:
+  void ReleasePartitions(TxnContext* txn);
+
+  /// DCHECK helper: the row must belong to a locked partition.
+  void CheckAccess(const TxnContext* txn, const Row* row) const;
+
+  uint32_t num_partitions_;
+  std::unique_ptr<SpinLatch[]> partition_locks_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_HSTORE_H_

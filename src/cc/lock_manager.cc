@@ -1,0 +1,335 @@
+#include "cc/lock_manager.h"
+
+#include <thread>
+
+#include "common/stats.h"
+
+namespace next700 {
+
+namespace {
+// Liveness safety valve: a waiter that spins longer than this aborts
+// itself. With correct deadlock handling this should never fire; it bounds
+// the damage of pathological schedules on oversubscribed hosts.
+constexpr uint64_t kWaitTimeoutNs = 2'000'000'000ull;
+}  // namespace
+
+LockManager::LockManager(DeadlockPolicy policy)
+    : policy_(policy), shards_(new Shard[kNumShards]) {}
+
+LockManager::Owner* LockManager::LockState::FindOwner(uint64_t txn_id) {
+  for (auto& owner : owners) {
+    if (owner.txn_id == txn_id) return &owner;
+  }
+  return nullptr;
+}
+
+bool LockManager::LockState::HasConflict(uint64_t txn_id,
+                                         LockMode mode) const {
+  for (const auto& owner : owners) {
+    if (owner.txn_id == txn_id) continue;
+    if (mode == LockMode::kExclusive || owner.mode == LockMode::kExclusive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LockManager::LockState::Enqueue(Waiter* waiter) {
+  waiter->next = nullptr;
+  if (waiter->is_upgrade) {
+    // Upgrades go to the head: they hold a shared lock already, so nothing
+    // behind them can be granted until they finish anyway.
+    waiter->next = wait_head;
+    wait_head = waiter;
+    if (wait_tail == nullptr) wait_tail = waiter;
+    return;
+  }
+  if (wait_tail == nullptr) {
+    wait_head = wait_tail = waiter;
+  } else {
+    wait_tail->next = waiter;
+    wait_tail = waiter;
+  }
+}
+
+void LockManager::LockState::Dequeue(Waiter* waiter) {
+  Waiter** link = &wait_head;
+  Waiter* prev = nullptr;
+  while (*link != nullptr) {
+    if (*link == waiter) {
+      *link = waiter->next;
+      if (wait_tail == waiter) wait_tail = prev;
+      waiter->next = nullptr;
+      return;
+    }
+    prev = *link;
+    link = &prev->next;
+  }
+}
+
+void LockManager::LockState::GrantWaiters() {
+  while (wait_head != nullptr) {
+    Waiter* waiter = wait_head;
+    if (waiter->is_upgrade) {
+      if (owners.size() == 1 && owners[0].txn_id == waiter->txn_id) {
+        owners[0].mode = LockMode::kExclusive;
+        Dequeue(waiter);
+        waiter->state.store(Waiter::kGranted, std::memory_order_release);
+        continue;
+      }
+      return;  // Upgrade at head blocks everything behind it.
+    }
+    if (waiter->mode == LockMode::kShared) {
+      if (HasConflict(waiter->txn_id, LockMode::kShared)) return;
+    } else {
+      if (!owners.empty()) return;
+    }
+    owners.push_back(Owner{waiter->txn_id, waiter->ts, waiter->mode, waiter->txn});
+    Dequeue(waiter);
+    waiter->state.store(Waiter::kGranted, std::memory_order_release);
+  }
+}
+
+LockManager::LockState* LockManager::GetState(Row* row) {
+  Shard& shard =
+      shards_[(reinterpret_cast<uintptr_t>(row) >> 6) % kNumShards];
+  SpinLatchGuard guard(&shard.latch);
+  auto it = shard.states.find(row);
+  if (it == shard.states.end()) {
+    it = shard.states.emplace(row, std::make_unique<LockState>()).first;
+  }
+  return it->second.get();
+}
+
+void LockManager::CollectBlockers(const LockState& state, const Waiter& self,
+                                  uint64_t txn_id,
+                                  std::vector<uint64_t>* out) {
+  out->clear();
+  for (const auto& owner : state.owners) {
+    if (owner.txn_id != txn_id) out->push_back(owner.txn_id);
+  }
+  for (const Waiter* w = state.wait_head; w != nullptr && w != &self;
+       w = w->next) {
+    out->push_back(w->txn_id);
+  }
+}
+
+bool LockManager::WaitsForGraph::UpdateAndCheckCycle(
+    uint64_t waiter, const std::vector<uint64_t>& holders) {
+  SpinLatchGuard guard(&latch_);
+  edges_[waiter] = holders;
+  std::unordered_set<uint64_t> visited;
+  for (uint64_t holder : holders) {
+    if (HasPathTo(holder, waiter, &visited)) {
+      // This request closed the cycle: it is the victim. Drop its edges
+      // under the same latch so concurrent detectors cannot also see the
+      // (now broken) cycle and kill a second transaction needlessly.
+      edges_.erase(waiter);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LockManager::WaitsForGraph::HasPathTo(
+    uint64_t from, uint64_t target,
+    std::unordered_set<uint64_t>* visited) const {
+  if (from == target) return true;
+  if (!visited->insert(from).second) return false;
+  auto it = edges_.find(from);
+  if (it == edges_.end()) return false;
+  for (uint64_t next : it->second) {
+    if (HasPathTo(next, target, visited)) return true;
+  }
+  return false;
+}
+
+void LockManager::WaitsForGraph::Remove(uint64_t waiter) {
+  SpinLatchGuard guard(&latch_);
+  edges_.erase(waiter);
+}
+
+Status LockManager::Wait(TxnContext* txn, LockState* state, Waiter* waiter,
+                         Row* row) {
+  if (txn->stats() != nullptr) ++txn->stats()->lock_waits;
+  const uint64_t deadline = NowNanos() + kWaitTimeoutNs;
+  std::vector<uint64_t> blockers;
+  uint64_t spins = 0;
+  for (;;) {
+    if (waiter->state.load(std::memory_order_acquire) == Waiter::kGranted) {
+      if (!waiter->is_upgrade) txn->held_locks().push_back(row);
+      if (policy_ == DeadlockPolicy::kDlDetect) graph_.Remove(txn->txn_id());
+      return Status::OK();
+    }
+    ++spins;
+    if ((spins & 63) == 0) {
+      std::this_thread::yield();
+    } else {
+      CpuRelax();
+    }
+
+    const bool check_deadlock =
+        policy_ == DeadlockPolicy::kDlDetect && (spins & 511) == 0;
+    const bool timed_out = (spins & 1023) == 0 && NowNanos() > deadline;
+    const bool wounded =
+        policy_ == DeadlockPolicy::kWoundWait && txn->wounded();
+    if (!check_deadlock && !timed_out && !wounded) continue;
+
+    bool victim = timed_out || wounded;
+    if (check_deadlock && !victim) {
+      state->Lock();
+      if (waiter->state.load(std::memory_order_relaxed) == Waiter::kGranted) {
+        state->Unlock();
+        continue;
+      }
+      CollectBlockers(*state, *waiter, txn->txn_id(), &blockers);
+      state->Unlock();
+      victim = graph_.UpdateAndCheckCycle(txn->txn_id(), blockers);
+    }
+    if (!victim) continue;
+
+    // Abort this request: dequeue unless a grant raced us.
+    state->Lock();
+    if (waiter->state.load(std::memory_order_relaxed) == Waiter::kGranted) {
+      state->Unlock();
+      continue;  // Grant won the race; take the lock after all.
+    }
+    state->Dequeue(waiter);
+    // An upgrade waiter keeps its original shared lock; nothing to undo.
+    GrantAfterDequeue(state);
+    state->Unlock();
+    if (policy_ == DeadlockPolicy::kDlDetect) graph_.Remove(txn->txn_id());
+    if (wounded) return Status::Aborted("wounded by older transaction");
+    return Status::Aborted(timed_out ? "lock wait timeout" : "deadlock");
+  }
+}
+
+void LockManager::WoundYoungerConflicts(LockState* state, TxnContext* txn,
+                                        LockMode mode) {
+  // Wound-wait: the older requester marks every younger conflicting holder
+  // (and younger queued waiter) for death, then waits. Victims notice at
+  // their next lock operation or inside their wait loop. A victim that has
+  // already entered commit finishes and releases normally — it never waits
+  // again, so deadlock freedom is preserved either way.
+  for (const auto& owner : state->owners) {
+    if (owner.txn_id == txn->txn_id()) continue;
+    const bool conflicts =
+        mode == LockMode::kExclusive || owner.mode == LockMode::kExclusive;
+    if (conflicts && owner.ts > txn->ts()) owner.txn->set_wounded();
+  }
+  for (Waiter* w = state->wait_head; w != nullptr; w = w->next) {
+    if (w->ts > txn->ts()) w->txn->set_wounded();
+  }
+}
+
+Status LockManager::Acquire(TxnContext* txn, Row* row, LockMode mode) {
+  LockState* state = GetState(row);
+  state->Lock();
+
+  Owner* own = state->FindOwner(txn->txn_id());
+  if (own != nullptr) {
+    if (own->mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      state->Unlock();
+      return Status::OK();  // Already held at sufficient strength.
+    }
+    // Upgrade S -> X.
+    if (state->owners.size() == 1) {
+      own->mode = LockMode::kExclusive;
+      state->Unlock();
+      return Status::OK();
+    }
+    if (policy_ == DeadlockPolicy::kNoWait) {
+      state->Unlock();
+      return Status::Aborted("upgrade conflict (no-wait)");
+    }
+    if (policy_ == DeadlockPolicy::kWaitDie) {
+      for (const auto& owner : state->owners) {
+        if (owner.txn_id != txn->txn_id() && txn->ts() >= owner.ts) {
+          state->Unlock();
+          return Status::Aborted("upgrade conflict (wait-die: die)");
+        }
+      }
+    }
+    if (policy_ == DeadlockPolicy::kWoundWait) {
+      WoundYoungerConflicts(state, txn, LockMode::kExclusive);
+    }
+    Waiter waiter;
+    waiter.txn_id = txn->txn_id();
+    waiter.ts = txn->ts();
+    waiter.mode = LockMode::kExclusive;
+    waiter.is_upgrade = true;
+    waiter.txn = txn;
+    state->Enqueue(&waiter);
+    state->Unlock();
+    return Wait(txn, state, &waiter, row);
+  }
+
+  const bool queue_empty = state->wait_head == nullptr;
+  if (queue_empty && !state->HasConflict(txn->txn_id(), mode)) {
+    state->owners.push_back(Owner{txn->txn_id(), txn->ts(), mode, txn});
+    state->Unlock();
+    txn->held_locks().push_back(row);
+    return Status::OK();
+  }
+
+  if (policy_ == DeadlockPolicy::kNoWait) {
+    state->Unlock();
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  if (policy_ == DeadlockPolicy::kWaitDie) {
+    // The requester may wait only if it is older than every conflicting
+    // owner and every queued waiter (waiting on a younger txn only).
+    for (const auto& owner : state->owners) {
+      const bool conflicts = mode == LockMode::kExclusive ||
+                             owner.mode == LockMode::kExclusive;
+      if (conflicts && txn->ts() >= owner.ts) {
+        state->Unlock();
+        return Status::Aborted("lock conflict (wait-die: die)");
+      }
+    }
+    for (const Waiter* w = state->wait_head; w != nullptr; w = w->next) {
+      if (txn->ts() >= w->ts) {
+        state->Unlock();
+        return Status::Aborted("lock conflict (wait-die: die)");
+      }
+    }
+  }
+
+  if (policy_ == DeadlockPolicy::kWoundWait) {
+    WoundYoungerConflicts(state, txn, mode);
+  }
+
+  Waiter waiter;
+  waiter.txn_id = txn->txn_id();
+  waiter.ts = txn->ts();
+  waiter.mode = mode;
+  waiter.is_upgrade = false;
+  waiter.txn = txn;
+  state->Enqueue(&waiter);
+  state->Unlock();
+  return Wait(txn, state, &waiter, row);
+}
+
+void LockManager::GrantAfterDequeue(LockState* state) {
+  // Removing a waiter from the middle of the queue can unblock those behind
+  // it (e.g. an aborted X waiter that separated two groups of S waiters).
+  state->GrantWaiters();
+}
+
+void LockManager::ReleaseAll(TxnContext* txn) {
+  for (Row* row : txn->held_locks()) {
+    LockState* state = GetState(row);
+    state->Lock();
+    for (size_t i = 0; i < state->owners.size(); ++i) {
+      if (state->owners[i].txn_id == txn->txn_id()) {
+        state->owners.erase(state->owners.begin() + i);
+        break;
+      }
+    }
+    state->GrantWaiters();
+    state->Unlock();
+  }
+  txn->held_locks().clear();
+}
+
+}  // namespace next700

@@ -1,0 +1,149 @@
+#ifndef NEXT700_CC_LOCK_MANAGER_H_
+#define NEXT700_CC_LOCK_MANAGER_H_
+
+/// \file
+/// Row lock manager backing the 2PL family (NO_WAIT / WAIT_DIE /
+/// DL_DETECT). Lock state lives in a sharded hash map keyed by row pointer;
+/// waiters block by spinning on a stack-resident request block, which keeps
+/// the wake-up path allocation-free.
+///
+/// Deadlock handling is the pluggable part:
+///   * kNoWait  — any conflict aborts the requester immediately.
+///   * kWaitDie — the requester may wait only if it is older (smaller
+///                begin timestamp) than every conflicting owner; younger
+///                requesters die. Waits-on-older never happens, so the
+///                wait graph is acyclic by construction.
+///   * kWoundWait — older requesters *wound* (asynchronously kill) younger
+///                conflicting holders and wait for them to clean up;
+///                younger requesters wait. Waits go younger-on-older only,
+///                so the graph is again acyclic, and — unlike wait-die —
+///                old transactions never abort.
+///   * kDlDetect — requesters wait and publish waits-for edges into a
+///                global graph; a DFS from the requester detects cycles and
+///                aborts the requester that closed the cycle.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "storage/row.h"
+#include "txn/txn.h"
+
+namespace next700 {
+
+enum class LockMode { kShared, kExclusive };
+
+enum class DeadlockPolicy { kNoWait, kWaitDie, kWoundWait, kDlDetect };
+
+class LockManager {
+ public:
+  explicit LockManager(DeadlockPolicy policy);
+  ~LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or upgrades to) `mode` on `row` for `txn`, blocking per the
+  /// deadlock policy. Returns kAborted when the policy kills the request.
+  /// Records the row in txn->held_locks() on first acquisition.
+  Status Acquire(TxnContext* txn, Row* row, LockMode mode);
+
+  /// Releases every lock held by `txn` and wakes eligible waiters.
+  void ReleaseAll(TxnContext* txn);
+
+  DeadlockPolicy policy() const { return policy_; }
+
+ private:
+  static constexpr int kNumShards = 1024;
+
+  struct Owner {
+    uint64_t txn_id;
+    Timestamp ts;
+    LockMode mode;
+    TxnContext* txn;  // For wounding; valid while the entry exists.
+  };
+
+  /// Stack-resident wait block. state transitions: kWaiting -> kGranted
+  /// (by a releaser) — or the waiter dequeues itself on deadlock/timeout.
+  struct Waiter {
+    enum State : int { kWaiting = 0, kGranted = 1 };
+    uint64_t txn_id;
+    Timestamp ts;
+    LockMode mode;
+    bool is_upgrade;
+    TxnContext* txn;  // For wounding waiters ahead in the queue.
+    std::atomic<int> state{kWaiting};
+    Waiter* next = nullptr;
+  };
+
+  struct LockState {
+    std::atomic<uint8_t> latch{0};
+    std::vector<Owner> owners;
+    Waiter* wait_head = nullptr;
+    Waiter* wait_tail = nullptr;
+
+    void Lock() {
+      while (latch.exchange(1, std::memory_order_acquire) != 0) CpuRelax();
+    }
+    void Unlock() { latch.store(0, std::memory_order_release); }
+
+    Owner* FindOwner(uint64_t txn_id);
+    bool HasConflict(uint64_t txn_id, LockMode mode) const;
+    void Enqueue(Waiter* waiter);
+    void Dequeue(Waiter* waiter);
+    /// Grants queued waiters that have become compatible (FIFO, with
+    /// upgrades at the head).
+    void GrantWaiters();
+  };
+
+  struct Shard {
+    SpinLatch latch;
+    std::unordered_map<Row*, std::unique_ptr<LockState>> states;
+  };
+
+  /// Global waits-for graph for kDlDetect.
+  class WaitsForGraph {
+   public:
+    /// Replaces `waiter`'s out-edges and reports whether a cycle through
+    /// `waiter` now exists.
+    bool UpdateAndCheckCycle(uint64_t waiter,
+                             const std::vector<uint64_t>& holders);
+    void Remove(uint64_t waiter);
+
+   private:
+    bool HasPathTo(uint64_t from, uint64_t target,
+                   std::unordered_set<uint64_t>* visited) const;
+
+    SpinLatch latch_;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> edges_;
+  };
+
+  LockState* GetState(Row* row);
+
+  /// Collects txn-ids this request would wait on (owners + queued waiters
+  /// ahead). Caller holds the state latch.
+  static void CollectBlockers(const LockState& state, const Waiter& self,
+                              uint64_t txn_id, std::vector<uint64_t>* out);
+
+  Status Wait(TxnContext* txn, LockState* state, Waiter* waiter, Row* row);
+
+  /// Re-runs waiter granting after a queue element was removed.
+  static void GrantAfterDequeue(LockState* state);
+
+  /// Wound-wait: marks younger conflicting holders/waiters for death.
+  /// Caller holds the state latch.
+  static void WoundYoungerConflicts(LockState* state, TxnContext* txn,
+                                    LockMode mode);
+
+  DeadlockPolicy policy_;
+  std::unique_ptr<Shard[]> shards_;
+  WaitsForGraph graph_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_LOCK_MANAGER_H_

@@ -1,0 +1,193 @@
+#include "cc/mvto.h"
+
+#include <cstring>
+
+#include "storage/table.h"
+
+namespace next700 {
+
+Mvto::Mvto(TimestampAllocator* ts_allocator, ActiveTxnTracker* tracker,
+           bool gc_enabled)
+    : ts_allocator_(ts_allocator),
+      tracker_(tracker),
+      gc_enabled_(gc_enabled) {}
+
+Status Mvto::Begin(TxnContext* txn) {
+  txn->set_ts(ts_allocator_->Allocate(txn->thread_id()));
+  tracker_->SetActive(txn->thread_id(), txn->ts());
+  txn->set_state(TxnState::kActive);
+  return Status::OK();
+}
+
+Status Mvto::Read(TxnContext* txn, Row* row, uint8_t* out) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    std::memcpy(out, own->version->data(), row->table->schema().row_size());
+    return Status::OK();
+  }
+  RowLatchGuard guard(row);
+  for (Version* v = row->chain.load(std::memory_order_relaxed); v != nullptr;
+       v = v->next) {
+    if (v->wts > txn->ts()) continue;
+    if (!v->committed.load(std::memory_order_acquire) &&
+        v->writer_id != txn->txn_id()) {
+      // An uncommitted version below our timestamp: reading around it
+      // would miss its write if it commits. Abort (no-wait flavour).
+      return Status::Aborted("MVTO read blocked by uncommitted version");
+    }
+    if (v->is_delete) return Status::NotFound("row deleted at this ts");
+    if (v->rts.load(std::memory_order_relaxed) < txn->ts()) {
+      v->rts.store(txn->ts(), std::memory_order_relaxed);
+    }
+    std::memcpy(out, v->data(), row->table->schema().row_size());
+    txn->read_set().push_back(ReadSetEntry{row, 0, v->wts, 0, v});
+    return Status::OK();
+  }
+  return Status::NotFound("no visible version");
+}
+
+Status Mvto::InstallVersion(TxnContext* txn, Row* row, uint8_t* data,
+                            bool is_delete) {
+  const uint32_t size = row->table->schema().row_size();
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    if (data != nullptr) std::memcpy(own->version->data(), data, size);
+    own->version->is_delete = is_delete;
+    own->is_delete = is_delete;
+    return Status::OK();
+  }
+  RowLatchGuard guard(row);
+  Version* newest = row->chain.load(std::memory_order_relaxed);
+  NEXT700_CHECK_MSG(newest != nullptr, "published MV row without versions");
+  if (!newest->committed.load(std::memory_order_acquire)) {
+    return Status::Aborted("MVTO write-write conflict (uncommitted head)");
+  }
+  if (txn->ts() < newest->rts.load(std::memory_order_relaxed)) {
+    return Status::Aborted("MVTO write too late (read by newer txn)");
+  }
+  if (txn->ts() < newest->wts) {
+    return Status::Aborted("MVTO write-write conflict (newer version)");
+  }
+  Version* v = Version::Allocate(size);
+  v->wts = txn->ts();
+  v->rts.store(txn->ts(), std::memory_order_relaxed);
+  v->writer_id = txn->txn_id();
+  v->is_delete = is_delete;
+  v->next = newest;
+  if (data != nullptr) {
+    std::memcpy(v->data(), data, size);
+  } else {
+    std::memcpy(v->data(), newest->data(), size);  // Tombstone keeps image.
+  }
+  row->chain.store(v, std::memory_order_release);
+  if (gc_enabled_) CollectGarbage(row);
+
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.version = v;
+  entry.is_delete = is_delete;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status Mvto::Write(TxnContext* txn, Row* row, uint8_t* data) {
+  return InstallVersion(txn, row, data, /*is_delete=*/false);
+}
+
+Status Mvto::Delete(TxnContext* txn, Row* row) {
+  return InstallVersion(txn, row, nullptr, /*is_delete=*/true);
+}
+
+Status Mvto::Insert(TxnContext* txn, Row* row, uint8_t* data) {
+  const uint32_t size = row->table->schema().row_size();
+  Version* v = Version::Allocate(size);
+  v->wts = txn->ts();
+  v->rts.store(txn->ts(), std::memory_order_relaxed);
+  v->writer_id = txn->txn_id();
+  std::memcpy(v->data(), data, size);
+  row->chain.store(v, std::memory_order_release);
+
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.version = v;
+  entry.is_insert = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+void Mvto::CollectGarbage(Row* row) {
+  const Timestamp watermark = tracker_->Watermark(ts_allocator_->Horizon());
+  // Keep every version a transaction at or above the watermark could read:
+  // everything newer than the first committed version with wts <= watermark.
+  Version* keep = row->chain.load(std::memory_order_relaxed);
+  while (keep != nullptr) {
+    if (keep->wts <= watermark &&
+        keep->committed.load(std::memory_order_acquire)) {
+      break;
+    }
+    keep = keep->next;
+  }
+  if (keep == nullptr) return;
+  Version* dead = keep->next;
+  keep->next = nullptr;
+  while (dead != nullptr) {
+    Version* next = dead->next;
+    Version::Free(dead);
+    dead = next;
+  }
+}
+
+Status Mvto::Validate(TxnContext* txn) {
+  // Conflicts were detected at execution time; nothing left to check.
+  txn->set_state(TxnState::kValidated);
+  return Status::OK();
+}
+
+void Mvto::Finalize(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    entry.version->committed.store(true, std::memory_order_release);
+  }
+  tracker_->ClearActive(txn->thread_id());
+  txn->set_state(TxnState::kCommitted);
+}
+
+void Mvto::Abort(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    Row* row = entry.row;
+    if (entry.is_insert) {
+      // Never published: tear down the private chain and slot.
+      Version* v = row->chain.exchange(nullptr, std::memory_order_relaxed);
+      while (v != nullptr) {
+        Version* next = v->next;
+        Version::Free(v);
+        v = next;
+      }
+      row->table->FreeRow(row);
+      continue;
+    }
+    row->Latch();
+    // Our uncommitted version blocks later writers, so it is still the
+    // chain head.
+    NEXT700_DCHECK(row->chain.load(std::memory_order_relaxed) ==
+                   entry.version);
+    row->chain.store(entry.version->next, std::memory_order_release);
+    row->Unlatch();
+    Version::Free(entry.version);
+  }
+  tracker_->ClearActive(txn->thread_id());
+  txn->set_state(TxnState::kAborted);
+}
+
+size_t Mvto::ChainLength(Row* row) {
+  RowLatchGuard guard(row);
+  size_t n = 0;
+  for (Version* v = row->chain.load(std::memory_order_relaxed); v != nullptr;
+       v = v->next) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace next700

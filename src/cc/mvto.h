@@ -1,0 +1,92 @@
+#ifndef NEXT700_CC_MVTO_H_
+#define NEXT700_CC_MVTO_H_
+
+/// \file
+/// Multi-version timestamp ordering. Each row carries a newest-first
+/// version chain; writers install uncommitted head versions at execution
+/// time and flip them committed after the log hardens, readers pick the
+/// newest version at or below their begin timestamp and advance its rts.
+/// Old versions are garbage-collected incrementally at write time against a
+/// watermark of the oldest active transaction (disable with gc_enabled =
+/// false to reproduce the chain-growth experiment, F10).
+
+#include <atomic>
+#include <memory>
+
+#include "cc/cc.h"
+#include "common/macros.h"
+#include "common/timestamp.h"
+
+namespace next700 {
+
+/// Tracks the begin timestamp of each worker's in-flight transaction so the
+/// garbage collector can compute a safe watermark.
+class ActiveTxnTracker {
+ public:
+  static constexpr Timestamp kIdle = ~Timestamp{0};
+
+  explicit ActiveTxnTracker(int max_threads)
+      : slots_(new Slot[max_threads]), max_threads_(max_threads) {}
+
+  void SetActive(int thread_id, Timestamp ts) {
+    slots_[thread_id].ts.store(ts, std::memory_order_seq_cst);
+  }
+  void ClearActive(int thread_id) {
+    slots_[thread_id].ts.store(kIdle, std::memory_order_release);
+  }
+
+  /// Smallest active begin timestamp, or `fallback` when idle. Versions
+  /// older than the newest version at-or-below the watermark are dead.
+  Timestamp Watermark(Timestamp fallback) const {
+    Timestamp min_ts = kIdle;
+    for (int i = 0; i < max_threads_; ++i) {
+      const Timestamp ts = slots_[i].ts.load(std::memory_order_acquire);
+      if (ts < min_ts) min_ts = ts;
+    }
+    return min_ts == kIdle ? fallback : min_ts;
+  }
+
+ private:
+  struct NEXT700_CACHE_ALIGNED Slot {
+    std::atomic<Timestamp> ts{kIdle};
+  };
+  std::unique_ptr<Slot[]> slots_;
+  int max_threads_;
+};
+
+class Mvto : public ConcurrencyControl {
+ public:
+  Mvto(TimestampAllocator* ts_allocator, ActiveTxnTracker* tracker,
+       bool gc_enabled);
+
+  CcScheme scheme() const override { return CcScheme::kMvto; }
+  bool is_multiversion() const override { return true; }
+
+  Status Begin(TxnContext* txn) override;
+  Status Read(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status Write(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Insert(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Delete(TxnContext* txn, Row* row) override;
+  Status Validate(TxnContext* txn) override;
+  void Finalize(TxnContext* txn) override;
+  void Abort(TxnContext* txn) override;
+
+  /// Chain length of `row` (tests and the GC experiment).
+  static size_t ChainLength(Row* row);
+
+ private:
+  Status InstallVersion(TxnContext* txn, Row* row, uint8_t* data,
+                        bool is_delete);
+
+  /// Frees versions unreachable below the watermark. Caller holds the row
+  /// mini-latch.
+  void CollectGarbage(Row* row);
+
+  TimestampAllocator* ts_allocator_;
+  ActiveTxnTracker* tracker_;
+  bool gc_enabled_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_MVTO_H_

@@ -1,0 +1,196 @@
+#include "cc/occ_silo.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/latch.h"
+#include "storage/table.h"
+
+namespace next700 {
+
+namespace tidword {
+
+uint64_t StableLoad(const Row* row) {
+  for (;;) {
+    const uint64_t word = row->tid_word.load(std::memory_order_acquire);
+    if (!IsLocked(word)) return word;
+    CpuRelax();
+  }
+}
+
+void Lock(Row* row) {
+  for (;;) {
+    uint64_t word = row->tid_word.load(std::memory_order_relaxed);
+    if (!IsLocked(word) &&
+        row->tid_word.compare_exchange_weak(word, word | kLockBit,
+                                            std::memory_order_acquire)) {
+      return;
+    }
+    CpuRelax();
+  }
+}
+
+bool TryLock(Row* row) {
+  uint64_t word = row->tid_word.load(std::memory_order_relaxed);
+  if (IsLocked(word)) return false;
+  return row->tid_word.compare_exchange_strong(word, word | kLockBit,
+                                               std::memory_order_acquire);
+}
+
+void Unlock(Row* row) {
+  const uint64_t word = row->tid_word.load(std::memory_order_relaxed);
+  NEXT700_DCHECK(IsLocked(word));
+  row->tid_word.store(word & ~kLockBit, std::memory_order_release);
+}
+
+void UnlockWithTid(Row* row, uint64_t tid) {
+  NEXT700_DCHECK(!IsLocked(tid));
+  row->tid_word.store(tid, std::memory_order_release);
+}
+
+}  // namespace tidword
+
+Status OccSilo::Begin(TxnContext* txn) {
+  txn->set_state(TxnState::kActive);
+  return Status::OK();
+}
+
+Status OccSilo::Read(TxnContext* txn, Row* row, uint8_t* out) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    std::memcpy(out, own->new_data, row->table->schema().row_size());
+    return Status::OK();
+  }
+  const uint32_t size = row->table->schema().row_size();
+  uint64_t observed;
+  for (;;) {
+    observed = tidword::StableLoad(row);
+    std::memcpy(out, row->data(), size);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (row->tid_word.load(std::memory_order_acquire) == observed) break;
+    CpuRelax();
+  }
+  // Even a deleted row is recorded: the anti-dependency must be validated.
+  txn->read_set().push_back(ReadSetEntry{row, observed, 0, 0, nullptr});
+  if (row->deleted()) return Status::NotFound("row deleted");
+  return Status::OK();
+}
+
+Status OccSilo::Write(TxnContext* txn, Row* row, uint8_t* data) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    own->new_data = data;
+    return Status::OK();
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status OccSilo::Insert(TxnContext* txn, Row* row, uint8_t* data) {
+  std::memcpy(row->data(), data, row->table->schema().row_size());
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.is_insert = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status OccSilo::Delete(TxnContext* txn, Row* row) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("already deleted");
+    own->is_delete = true;
+    return Status::OK();
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.is_delete = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+void OccSilo::UnlockWriteSet(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    if (entry.latched) {
+      tidword::Unlock(entry.row);
+      entry.latched = false;
+    }
+  }
+}
+
+Status OccSilo::Validate(TxnContext* txn) {
+  auto& writes = txn->write_set();
+  // Phase 1: lock the write set in a global order (row address).
+  std::sort(writes.begin(), writes.end(),
+            [](const WriteSetEntry& a, const WriteSetEntry& b) {
+              return a.row < b.row;
+            });
+  for (auto& entry : writes) {
+    if (entry.is_insert) continue;  // Private until published.
+    tidword::Lock(entry.row);
+    entry.latched = true;
+    if (entry.row->deleted()) {
+      UnlockWriteSet(txn);
+      if (txn->stats() != nullptr) ++txn->stats()->validation_fails;
+      return Status::Aborted("write target deleted");
+    }
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  // Phase 2: validate the read set.
+  uint64_t max_tid = 0;
+  for (const auto& entry : txn->read_set()) {
+    const uint64_t current =
+        entry.row->tid_word.load(std::memory_order_acquire);
+    const bool own_write = txn->FindWrite(entry.row) != nullptr;
+    if (tidword::TidOf(current) != tidword::TidOf(entry.observed_tid) ||
+        (tidword::IsLocked(current) && !own_write)) {
+      UnlockWriteSet(txn);
+      if (txn->stats() != nullptr) ++txn->stats()->validation_fails;
+      return Status::Aborted("read validation failed");
+    }
+    max_tid = std::max(max_tid, tidword::TidOf(current));
+  }
+  for (const auto& entry : writes) {
+    if (entry.is_insert) continue;
+    max_tid = std::max(
+        max_tid,
+        tidword::TidOf(entry.row->tid_word.load(std::memory_order_relaxed)));
+  }
+  txn->set_commit_ts(max_tid + 1);
+  txn->set_state(TxnState::kValidated);
+  return Status::OK();
+}
+
+void OccSilo::Finalize(TxnContext* txn) {
+  const uint64_t commit_tid = txn->commit_ts();
+  for (auto& entry : txn->write_set()) {
+    Row* row = entry.row;
+    if (entry.is_insert) {
+      tidword::UnlockWithTid(row, commit_tid);
+      continue;
+    }
+    if (entry.is_delete) {
+      row->set_deleted(true);
+    } else {
+      std::memcpy(row->data(), entry.new_data,
+                  row->table->schema().row_size());
+    }
+    tidword::UnlockWithTid(row, commit_tid);
+    entry.latched = false;
+  }
+  txn->set_state(TxnState::kCommitted);
+}
+
+void OccSilo::Abort(TxnContext* txn) {
+  UnlockWriteSet(txn);
+  for (auto& entry : txn->write_set()) {
+    if (entry.is_insert) entry.row->table->FreeRow(entry.row);
+  }
+  txn->set_state(TxnState::kAborted);
+}
+
+}  // namespace next700

@@ -1,0 +1,61 @@
+#ifndef NEXT700_CC_OCC_SILO_H_
+#define NEXT700_CC_OCC_SILO_H_
+
+/// \file
+/// Silo-style optimistic concurrency control (Tu et al., SOSP 2013).
+/// Reads record the row's packed TID word; writes are buffered. Commit
+/// locks the write set in pointer order, validates that every read TID is
+/// unchanged and unlocked, then installs the writes under a fresh TID.
+/// No timestamp is allocated at begin — the commit TID is derived from the
+/// observed words, which is what makes Silo allocator-contention-free.
+
+#include <atomic>
+
+#include "cc/cc.h"
+
+namespace next700 {
+
+/// Packed TID word helpers (bit 63 = lock, bits 0..62 = TID).
+namespace tidword {
+inline constexpr uint64_t kLockBit = uint64_t{1} << 63;
+
+inline bool IsLocked(uint64_t word) { return (word & kLockBit) != 0; }
+inline uint64_t TidOf(uint64_t word) { return word & ~kLockBit; }
+
+/// Spins until the row's word is unlocked and returns it.
+uint64_t StableLoad(const Row* row);
+
+/// Acquires the word lock (test-and-set on bit 63).
+void Lock(Row* row);
+bool TryLock(Row* row);
+
+/// Releases the lock, leaving the TID unchanged.
+void Unlock(Row* row);
+
+/// Releases the lock and installs `tid` in one store.
+void UnlockWithTid(Row* row, uint64_t tid);
+}  // namespace tidword
+
+class OccSilo : public ConcurrencyControl {
+ public:
+  OccSilo() = default;
+
+  CcScheme scheme() const override { return CcScheme::kOcc; }
+
+  Status Begin(TxnContext* txn) override;
+  Status Read(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status Write(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Insert(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Delete(TxnContext* txn, Row* row) override;
+  Status Validate(TxnContext* txn) override;
+  void Finalize(TxnContext* txn) override;
+  void Abort(TxnContext* txn) override;
+
+ private:
+  /// Releases word locks taken during a failed validation.
+  static void UnlockWriteSet(TxnContext* txn);
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_OCC_SILO_H_

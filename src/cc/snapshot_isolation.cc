@@ -1,0 +1,182 @@
+#include "cc/snapshot_isolation.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/table.h"
+
+namespace next700 {
+
+SnapshotIsolation::SnapshotIsolation(TimestampAllocator* ts_allocator,
+                                     ActiveTxnTracker* tracker,
+                                     bool gc_enabled)
+    : ts_allocator_(ts_allocator),
+      tracker_(tracker),
+      gc_enabled_(gc_enabled) {}
+
+Status SnapshotIsolation::Begin(TxnContext* txn) {
+  txn->set_ts(ts_allocator_->Allocate(txn->thread_id()));  // Snapshot ts.
+  tracker_->SetActive(txn->thread_id(), txn->ts());
+  txn->set_state(TxnState::kActive);
+  return Status::OK();
+}
+
+Status SnapshotIsolation::Read(TxnContext* txn, Row* row, uint8_t* out) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    std::memcpy(out, own->new_data, row->table->schema().row_size());
+    return Status::OK();
+  }
+  RowLatchGuard guard(row);
+  // SI chains only ever hold committed versions (writes install at commit),
+  // so the visible version is simply the newest with wts <= snapshot.
+  for (Version* v = row->chain.load(std::memory_order_relaxed); v != nullptr;
+       v = v->next) {
+    if (v->wts > txn->ts()) continue;
+    if (v->is_delete) return Status::NotFound("row deleted at snapshot");
+    std::memcpy(out, v->data(), row->table->schema().row_size());
+    // No rts update: SI readers are invisible to writers — the source of
+    // both its speed and its write-skew anomaly.
+    txn->read_set().push_back(ReadSetEntry{row, 0, v->wts, 0, v});
+    return Status::OK();
+  }
+  return Status::NotFound("no visible version");
+}
+
+Status SnapshotIsolation::Write(TxnContext* txn, Row* row, uint8_t* data) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    own->new_data = data;
+    return Status::OK();
+  }
+  // Eager first-committer-wins check to fail fast; re-validated at commit.
+  {
+    RowLatchGuard guard(row);
+    Version* newest = row->chain.load(std::memory_order_relaxed);
+    if (newest != nullptr && newest->wts > txn->ts()) {
+      return Status::Aborted("SI write-write conflict (eager)");
+    }
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status SnapshotIsolation::Insert(TxnContext* txn, Row* row, uint8_t* data) {
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.is_insert = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status SnapshotIsolation::Delete(TxnContext* txn, Row* row) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("already deleted");
+    own->is_delete = true;
+    return Status::OK();
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.is_delete = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+void SnapshotIsolation::UnlatchWriteSet(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    if (entry.latched) {
+      entry.row->Unlatch();
+      entry.latched = false;
+    }
+  }
+}
+
+Status SnapshotIsolation::Validate(TxnContext* txn) {
+  auto& writes = txn->write_set();
+  std::sort(writes.begin(), writes.end(),
+            [](const WriteSetEntry& a, const WriteSetEntry& b) {
+              return a.row < b.row;
+            });
+  // Latch the write set, then enforce first-committer-wins: any version
+  // committed after our snapshot kills us.
+  for (auto& entry : writes) {
+    if (entry.is_insert) continue;
+    entry.row->Latch();
+    entry.latched = true;
+    Version* newest = entry.row->chain.load(std::memory_order_relaxed);
+    if (newest != nullptr && newest->wts > txn->ts()) {
+      UnlatchWriteSet(txn);
+      if (txn->stats() != nullptr) ++txn->stats()->validation_fails;
+      return Status::Aborted("SI write-write conflict");
+    }
+  }
+  txn->set_commit_ts(ts_allocator_->Allocate(txn->thread_id()));
+  txn->set_state(TxnState::kValidated);
+  return Status::OK();
+}
+
+void SnapshotIsolation::CollectGarbage(Row* row) {
+  const Timestamp watermark = tracker_->Watermark(ts_allocator_->Horizon());
+  Version* keep = row->chain.load(std::memory_order_relaxed);
+  while (keep != nullptr) {
+    if (keep->wts <= watermark) break;  // SI versions are always committed.
+    keep = keep->next;
+  }
+  if (keep == nullptr) return;
+  Version* dead = keep->next;
+  keep->next = nullptr;
+  while (dead != nullptr) {
+    Version* next = dead->next;
+    Version::Free(dead);
+    dead = next;
+  }
+}
+
+void SnapshotIsolation::Finalize(TxnContext* txn) {
+  const Timestamp commit_ts = txn->commit_ts();
+  for (auto& entry : txn->write_set()) {
+    Row* row = entry.row;
+    const uint32_t row_size = row->table->schema().row_size();
+    Version* v = Version::Allocate(row_size);
+    v->wts = commit_ts;
+    v->rts.store(commit_ts, std::memory_order_relaxed);
+    v->committed.store(true, std::memory_order_relaxed);
+    v->is_delete = entry.is_delete;
+    if (entry.is_delete) {
+      // Tombstones keep the prior image for debuggability.
+      Version* prior = row->chain.load(std::memory_order_relaxed);
+      std::memcpy(v->data(), prior != nullptr ? prior->data() : v->data(),
+                  prior != nullptr ? row_size : 0);
+    } else {
+      std::memcpy(v->data(), entry.new_data, row_size);
+    }
+    if (entry.is_insert) {
+      v->next = nullptr;
+      row->chain.store(v, std::memory_order_release);
+      continue;
+    }
+    // entry.latched: installs happen under the latch taken in Validate.
+    v->next = row->chain.load(std::memory_order_relaxed);
+    row->chain.store(v, std::memory_order_release);
+    if (gc_enabled_) CollectGarbage(row);
+    row->Unlatch();
+    entry.latched = false;
+  }
+  tracker_->ClearActive(txn->thread_id());
+  txn->set_state(TxnState::kCommitted);
+}
+
+void SnapshotIsolation::Abort(TxnContext* txn) {
+  UnlatchWriteSet(txn);
+  for (auto& entry : txn->write_set()) {
+    if (entry.is_insert) entry.row->table->FreeRow(entry.row);
+  }
+  tracker_->ClearActive(txn->thread_id());
+  txn->set_state(TxnState::kAborted);
+}
+
+}  // namespace next700

@@ -1,0 +1,51 @@
+#ifndef NEXT700_CC_SNAPSHOT_ISOLATION_H_
+#define NEXT700_CC_SNAPSHOT_ISOLATION_H_
+
+/// \file
+/// Snapshot isolation (SI), the Hekaton/Oracle-style weaker sibling of
+/// MVTO. Transactions read the committed snapshot as of their begin
+/// timestamp and never touch read timestamps; writes are buffered and
+/// validated at commit with first-committer-wins (any committed version
+/// newer than the snapshot aborts the writer), then installed under a
+/// fresh commit timestamp.
+///
+/// SI is deliberately NOT serializable: it admits write skew, which the
+/// test suite demonstrates (tests/si_anomaly_test.cc) — exactly the kind of
+/// isolation/performance trade-off the keynote's design space exposes as a
+/// pluggable choice.
+
+#include "cc/cc.h"
+#include "cc/mvto.h"
+#include "common/timestamp.h"
+
+namespace next700 {
+
+class SnapshotIsolation : public ConcurrencyControl {
+ public:
+  SnapshotIsolation(TimestampAllocator* ts_allocator,
+                    ActiveTxnTracker* tracker, bool gc_enabled);
+
+  CcScheme scheme() const override { return CcScheme::kSi; }
+  bool is_multiversion() const override { return true; }
+
+  Status Begin(TxnContext* txn) override;
+  Status Read(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status Write(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Insert(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Delete(TxnContext* txn, Row* row) override;
+  Status Validate(TxnContext* txn) override;
+  void Finalize(TxnContext* txn) override;
+  void Abort(TxnContext* txn) override;
+
+ private:
+  void UnlatchWriteSet(TxnContext* txn);
+  void CollectGarbage(Row* row);
+
+  TimestampAllocator* ts_allocator_;
+  ActiveTxnTracker* tracker_;
+  bool gc_enabled_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_SNAPSHOT_ISOLATION_H_

@@ -1,0 +1,204 @@
+#include "cc/tictoc.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/latch.h"
+#include "storage/table.h"
+
+namespace next700 {
+
+Status TicToc::Begin(TxnContext* txn) {
+  txn->set_state(TxnState::kActive);
+  return Status::OK();
+}
+
+void TicToc::LockRow(Row* row) {
+  for (;;) {
+    uint64_t word = row->tid_word.load(std::memory_order_relaxed);
+    if (!ttword::IsLocked(word) &&
+        row->tid_word.compare_exchange_weak(word, word | ttword::kLockBit,
+                                            std::memory_order_acquire)) {
+      return;
+    }
+    CpuRelax();
+  }
+}
+
+void TicToc::UnlockWriteSet(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    if (entry.latched) {
+      const uint64_t word =
+          entry.row->tid_word.load(std::memory_order_relaxed);
+      entry.row->tid_word.store(word & ~ttword::kLockBit,
+                                std::memory_order_release);
+      entry.latched = false;
+    }
+  }
+}
+
+Status TicToc::Read(TxnContext* txn, Row* row, uint8_t* out) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    std::memcpy(out, own->new_data, row->table->schema().row_size());
+    return Status::OK();
+  }
+  const uint32_t size = row->table->schema().row_size();
+  uint64_t observed;
+  for (;;) {
+    observed = row->tid_word.load(std::memory_order_acquire);
+    if (ttword::IsLocked(observed)) {
+      CpuRelax();
+      continue;
+    }
+    std::memcpy(out, row->data(), size);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (row->tid_word.load(std::memory_order_acquire) == observed) break;
+    CpuRelax();
+  }
+  ReadSetEntry entry;
+  entry.row = row;
+  entry.observed_tid = observed;
+  entry.wts = ttword::WtsOf(observed);
+  entry.rts = ttword::RtsOf(observed);
+  txn->read_set().push_back(entry);
+  if (row->deleted()) return Status::NotFound("row deleted");
+  return Status::OK();
+}
+
+Status TicToc::Write(TxnContext* txn, Row* row, uint8_t* data) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    own->new_data = data;
+    return Status::OK();
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status TicToc::Insert(TxnContext* txn, Row* row, uint8_t* data) {
+  std::memcpy(row->data(), data, row->table->schema().row_size());
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.is_insert = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status TicToc::Delete(TxnContext* txn, Row* row) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("already deleted");
+    own->is_delete = true;
+    return Status::OK();
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.is_delete = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status TicToc::Validate(TxnContext* txn) {
+  auto& writes = txn->write_set();
+  std::sort(writes.begin(), writes.end(),
+            [](const WriteSetEntry& a, const WriteSetEntry& b) {
+              return a.row < b.row;
+            });
+  // Lock the write set; commit_ts must exceed the rts of every written row.
+  uint64_t commit_ts = 0;
+  for (auto& entry : writes) {
+    if (entry.is_insert) continue;
+    LockRow(entry.row);
+    entry.latched = true;
+    if (entry.row->deleted()) {
+      UnlockWriteSet(txn);
+      if (txn->stats() != nullptr) ++txn->stats()->validation_fails;
+      return Status::Aborted("write target deleted");
+    }
+    const uint64_t word = entry.row->tid_word.load(std::memory_order_relaxed);
+    commit_ts = std::max(commit_ts, ttword::RtsOf(word) + 1);
+  }
+  // commit_ts must be at least the wts of every read version.
+  for (const auto& entry : txn->read_set()) {
+    commit_ts = std::max(commit_ts, entry.wts);
+  }
+
+  // Validate reads whose recorded validity window ends before commit_ts by
+  // extending the row's rts.
+  for (const auto& entry : txn->read_set()) {
+    if (entry.rts >= commit_ts) continue;
+    Row* row = entry.row;
+    const bool own_write = txn->FindWrite(row) != nullptr;
+    for (;;) {
+      uint64_t word = row->tid_word.load(std::memory_order_acquire);
+      if (ttword::WtsOf(word) != entry.wts) {
+        UnlockWriteSet(txn);
+        if (txn->stats() != nullptr) ++txn->stats()->validation_fails;
+        return Status::Aborted("read version overwritten");
+      }
+      if (ttword::RtsOf(word) >= commit_ts && !ttword::IsLocked(word)) break;
+      if (ttword::IsLocked(word)) {
+        if (own_write) break;  // Locked by us; rts handled at install.
+        UnlockWriteSet(txn);
+        if (txn->stats() != nullptr) ++txn->stats()->validation_fails;
+        return Status::Aborted("read row locked by writer");
+      }
+      // Extend rts to commit_ts. If the 15-bit delta would overflow, shift
+      // wts forward as the TicToc paper does (shrinks the interval from
+      // below; concurrent validators of the old wts abort spuriously but
+      // safely).
+      uint64_t new_wts = entry.wts;
+      uint64_t delta = commit_ts - new_wts;
+      if (delta > ttword::kMaxDelta) {
+        new_wts = commit_ts - ttword::kMaxDelta;
+        delta = ttword::kMaxDelta;
+      }
+      const uint64_t desired =
+          ttword::Make(new_wts, new_wts + delta, /*locked=*/false);
+      if (row->tid_word.compare_exchange_weak(word, desired,
+                                              std::memory_order_acq_rel)) {
+        break;
+      }
+      CpuRelax();
+    }
+  }
+  txn->set_commit_ts(commit_ts);
+  txn->set_state(TxnState::kValidated);
+  return Status::OK();
+}
+
+void TicToc::Finalize(TxnContext* txn) {
+  const uint64_t commit_ts = txn->commit_ts();
+  for (auto& entry : txn->write_set()) {
+    Row* row = entry.row;
+    if (entry.is_insert) {
+      row->tid_word.store(ttword::Make(commit_ts, commit_ts, false),
+                          std::memory_order_release);
+      continue;
+    }
+    if (entry.is_delete) {
+      row->set_deleted(true);
+    } else {
+      std::memcpy(row->data(), entry.new_data,
+                  row->table->schema().row_size());
+    }
+    row->tid_word.store(ttword::Make(commit_ts, commit_ts, false),
+                        std::memory_order_release);
+    entry.latched = false;
+  }
+  txn->set_state(TxnState::kCommitted);
+}
+
+void TicToc::Abort(TxnContext* txn) {
+  UnlockWriteSet(txn);
+  for (auto& entry : txn->write_set()) {
+    if (entry.is_insert) entry.row->table->FreeRow(entry.row);
+  }
+  txn->set_state(TxnState::kAborted);
+}
+
+}  // namespace next700

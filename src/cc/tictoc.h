@@ -1,0 +1,59 @@
+#ifndef NEXT700_CC_TICTOC_H_
+#define NEXT700_CC_TICTOC_H_
+
+/// \file
+/// TicToc: data-driven timestamp management (Yu et al., SIGMOD 2016).
+/// Rows carry a packed (wts, rts) pair; transactions compute a commit
+/// timestamp from the data they touched instead of from a centralized
+/// allocator, and readers lazily extend a row's rts to keep read-only
+/// accesses valid. Word layout: [lock:1][delta:15][wts:48] with
+/// rts = wts + delta.
+
+#include <atomic>
+
+#include "cc/cc.h"
+
+namespace next700 {
+
+namespace ttword {
+inline constexpr uint64_t kLockBit = uint64_t{1} << 63;
+inline constexpr int kWtsBits = 48;
+inline constexpr uint64_t kWtsMask = (uint64_t{1} << kWtsBits) - 1;
+inline constexpr uint64_t kMaxDelta = (uint64_t{1} << 15) - 1;
+
+inline bool IsLocked(uint64_t word) { return (word & kLockBit) != 0; }
+inline uint64_t WtsOf(uint64_t word) { return word & kWtsMask; }
+inline uint64_t DeltaOf(uint64_t word) {
+  return (word >> kWtsBits) & kMaxDelta;
+}
+inline uint64_t RtsOf(uint64_t word) { return WtsOf(word) + DeltaOf(word); }
+
+inline uint64_t Make(uint64_t wts, uint64_t rts, bool locked) {
+  const uint64_t delta = rts - wts;
+  return (locked ? kLockBit : 0) | (delta << kWtsBits) | (wts & kWtsMask);
+}
+}  // namespace ttword
+
+class TicToc : public ConcurrencyControl {
+ public:
+  TicToc() = default;
+
+  CcScheme scheme() const override { return CcScheme::kTicToc; }
+
+  Status Begin(TxnContext* txn) override;
+  Status Read(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status Write(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Insert(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Delete(TxnContext* txn, Row* row) override;
+  Status Validate(TxnContext* txn) override;
+  void Finalize(TxnContext* txn) override;
+  void Abort(TxnContext* txn) override;
+
+ private:
+  static void LockRow(Row* row);
+  static void UnlockWriteSet(TxnContext* txn);
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_TICTOC_H_

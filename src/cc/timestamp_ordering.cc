@@ -1,0 +1,146 @@
+#include "cc/timestamp_ordering.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/table.h"
+
+namespace next700 {
+
+Status TimestampOrdering::Begin(TxnContext* txn) {
+  txn->set_ts(ts_allocator_->Allocate(txn->thread_id()));
+  txn->set_state(TxnState::kActive);
+  return Status::OK();
+}
+
+Status TimestampOrdering::Read(TxnContext* txn, Row* row, uint8_t* out) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    std::memcpy(out, own->new_data, row->table->schema().row_size());
+    return Status::OK();
+  }
+  RowLatchGuard guard(row);
+  if (txn->ts() < row->wts.load(std::memory_order_relaxed)) {
+    // A younger transaction already wrote this row; reading it would place
+    // us after that writer, contradicting our timestamp.
+    return Status::Aborted("T/O read too late");
+  }
+  if (row->deleted()) return Status::NotFound("row deleted");
+  std::memcpy(out, row->data(), row->table->schema().row_size());
+  if (row->rts.load(std::memory_order_relaxed) < txn->ts()) {
+    row->rts.store(txn->ts(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status TimestampOrdering::Write(TxnContext* txn, Row* row, uint8_t* data) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("deleted by this txn");
+    own->new_data = data;
+    return Status::OK();
+  }
+  // Early sanity check to fail fast; authoritative checks re-run under the
+  // latch at commit time.
+  if (txn->ts() < row->rts.load(std::memory_order_acquire)) {
+    return Status::Aborted("T/O write too late (eager check)");
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status TimestampOrdering::Insert(TxnContext* txn, Row* row, uint8_t* data) {
+  std::memcpy(row->data(), data, row->table->schema().row_size());
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.new_data = data;
+  entry.is_insert = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+Status TimestampOrdering::Delete(TxnContext* txn, Row* row) {
+  if (WriteSetEntry* own = txn->FindWrite(row)) {
+    if (own->is_delete) return Status::NotFound("already deleted");
+    own->is_delete = true;
+    return Status::OK();
+  }
+  WriteSetEntry entry;
+  entry.row = row;
+  entry.is_delete = true;
+  txn->write_set().push_back(entry);
+  return Status::OK();
+}
+
+void TimestampOrdering::UnlatchWriteSet(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    if (entry.latched) {
+      entry.row->Unlatch();
+      entry.latched = false;
+    }
+  }
+}
+
+Status TimestampOrdering::Validate(TxnContext* txn) {
+  auto& writes = txn->write_set();
+  std::sort(writes.begin(), writes.end(),
+            [](const WriteSetEntry& a, const WriteSetEntry& b) {
+              return a.row < b.row;
+            });
+  for (auto& entry : writes) {
+    if (entry.is_insert) continue;
+    Row* row = entry.row;
+    row->Latch();
+    entry.latched = true;
+    if (row->deleted()) {
+      UnlatchWriteSet(txn);
+      return Status::Aborted("write target deleted");
+    }
+    if (txn->ts() < row->rts.load(std::memory_order_relaxed)) {
+      UnlatchWriteSet(txn);
+      if (txn->stats() != nullptr) ++txn->stats()->validation_fails;
+      return Status::Aborted("T/O write too late");
+    }
+    if (txn->ts() < row->wts.load(std::memory_order_relaxed)) {
+      // Thomas write rule: a newer value is already installed; this write
+      // can be skipped without violating timestamp order.
+      entry.skip_write = true;
+    }
+  }
+  txn->set_state(TxnState::kValidated);
+  return Status::OK();
+}
+
+void TimestampOrdering::Finalize(TxnContext* txn) {
+  for (auto& entry : txn->write_set()) {
+    Row* row = entry.row;
+    if (entry.is_insert) {
+      row->wts.store(txn->ts(), std::memory_order_release);
+      continue;
+    }
+    if (!entry.skip_write) {
+      if (entry.is_delete) {
+        row->set_deleted(true);
+      } else {
+        std::memcpy(row->data(), entry.new_data,
+                    row->table->schema().row_size());
+      }
+      row->wts.store(txn->ts(), std::memory_order_release);
+    }
+    row->Unlatch();
+    entry.latched = false;
+  }
+  txn->set_state(TxnState::kCommitted);
+}
+
+void TimestampOrdering::Abort(TxnContext* txn) {
+  UnlatchWriteSet(txn);
+  for (auto& entry : txn->write_set()) {
+    if (entry.is_insert) entry.row->table->FreeRow(entry.row);
+  }
+  txn->set_state(TxnState::kAborted);
+}
+
+}  // namespace next700

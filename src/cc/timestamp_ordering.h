@@ -1,0 +1,41 @@
+#ifndef NEXT700_CC_TIMESTAMP_ORDERING_H_
+#define NEXT700_CC_TIMESTAMP_ORDERING_H_
+
+/// \file
+/// Basic timestamp ordering (Bernstein & Goodman). Every transaction gets a
+/// begin timestamp that fixes its position in the serial order; reads and
+/// writes that arrive "too late" relative to a row's read/write timestamps
+/// abort. Writes are deferred to commit (keeping the schedule recoverable
+/// without a pre-write table) and the Thomas write rule silently drops
+/// writes that are older than the installed version.
+
+#include "cc/cc.h"
+#include "common/timestamp.h"
+
+namespace next700 {
+
+class TimestampOrdering : public ConcurrencyControl {
+ public:
+  explicit TimestampOrdering(TimestampAllocator* ts_allocator)
+      : ts_allocator_(ts_allocator) {}
+
+  CcScheme scheme() const override { return CcScheme::kTimestamp; }
+
+  Status Begin(TxnContext* txn) override;
+  Status Read(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status Write(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Insert(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Delete(TxnContext* txn, Row* row) override;
+  Status Validate(TxnContext* txn) override;
+  void Finalize(TxnContext* txn) override;
+  void Abort(TxnContext* txn) override;
+
+ private:
+  static void UnlatchWriteSet(TxnContext* txn);
+
+  TimestampAllocator* ts_allocator_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_TIMESTAMP_ORDERING_H_

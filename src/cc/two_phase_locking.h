@@ -1,0 +1,49 @@
+#ifndef NEXT700_CC_TWO_PHASE_LOCKING_H_
+#define NEXT700_CC_TWO_PHASE_LOCKING_H_
+
+/// \file
+/// Strict two-phase locking over the shared lock manager. One class covers
+/// the NO_WAIT / WAIT_DIE / DL_DETECT family — the deadlock policy is the
+/// only moving part, which is exactly the kind of single-axis variation the
+/// composable-engine argument is about.
+///
+/// Writes are applied in place at execution time (after the X lock is
+/// granted) with before-images kept in the transaction arena for rollback.
+/// Strictness (locks released only after commit/abort completes) gives
+/// recoverable, cascadeless schedules.
+
+#include "cc/cc.h"
+#include "cc/lock_manager.h"
+#include "common/timestamp.h"
+
+namespace next700 {
+
+class TwoPhaseLocking : public ConcurrencyControl {
+ public:
+  TwoPhaseLocking(CcScheme scheme, TimestampAllocator* ts_allocator);
+
+  CcScheme scheme() const override { return scheme_; }
+
+  Status Begin(TxnContext* txn) override;
+  Status Read(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status ReadForUpdate(TxnContext* txn, Row* row, uint8_t* out) override;
+  Status Write(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Insert(TxnContext* txn, Row* row, uint8_t* data) override;
+  Status Delete(TxnContext* txn, Row* row) override;
+  Status Validate(TxnContext* txn) override;
+  void Finalize(TxnContext* txn) override;
+  void Abort(TxnContext* txn) override;
+
+  LockManager* lock_manager() { return &lock_manager_; }
+
+ private:
+  static DeadlockPolicy PolicyFor(CcScheme scheme);
+
+  CcScheme scheme_;
+  LockManager lock_manager_;
+  TimestampAllocator* ts_allocator_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_CC_TWO_PHASE_LOCKING_H_

@@ -1,0 +1,55 @@
+#include "common/arena.h"
+
+#include <cstring>
+
+namespace next700 {
+
+Arena::Arena(size_t block_size) : block_size_(block_size) {
+  AddBlock(block_size_);
+}
+
+void Arena::AddBlock(size_t min_size) {
+  const size_t size = min_size > block_size_ ? min_size : block_size_;
+  Block block;
+  block.data.reset(new uint8_t[size]);
+  block.size = size;
+  bytes_reserved_ += size;
+  blocks_.push_back(std::move(block));
+}
+
+void* Arena::Allocate(size_t size) {
+  size = (size + 7) & ~size_t{7};
+  if (NEXT700_UNLIKELY(offset_ + size > blocks_[current_block_].size)) {
+    // Move to the next block that fits, appending one if needed.
+    ++current_block_;
+    if (current_block_ == blocks_.size() ||
+        blocks_[current_block_].size < size) {
+      if (current_block_ < blocks_.size()) {
+        // Existing recycled block too small: insert a bigger one before it.
+        AddBlock(size);
+        std::swap(blocks_[current_block_], blocks_.back());
+      } else {
+        AddBlock(size);
+      }
+    }
+    offset_ = 0;
+  }
+  void* out = blocks_[current_block_].data.get() + offset_;
+  offset_ += size;
+  bytes_used_ += size;
+  return out;
+}
+
+void* Arena::AllocateCopy(const void* src, size_t size) {
+  void* dst = Allocate(size);
+  std::memcpy(dst, src, size);
+  return dst;
+}
+
+void Arena::Reset() {
+  current_block_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace next700

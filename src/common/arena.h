@@ -1,0 +1,60 @@
+#ifndef NEXT700_COMMON_ARENA_H_
+#define NEXT700_COMMON_ARENA_H_
+
+/// \file
+/// Bump-pointer arena for transaction-local allocations (read/write set
+/// payloads, undo images). One arena per worker thread; Reset() recycles all
+/// blocks between transactions so the steady state allocates nothing.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(size_t block_size = kDefaultBlockSize);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `size` bytes aligned to 8. Never fails (aborts on OOM).
+  void* Allocate(size_t size);
+
+  /// Allocates and copies `size` bytes from `src`.
+  void* AllocateCopy(const void* src, size_t size);
+
+  /// Makes all previously allocated memory reusable without freeing the
+  /// underlying blocks.
+  void Reset();
+
+  /// Total bytes handed out since the last Reset().
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total bytes of backing blocks currently owned.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size;
+  };
+
+  void AddBlock(size_t min_size);
+
+  size_t block_size_;
+  std::vector<Block> blocks_;
+  size_t current_block_ = 0;  // Index of the block being bumped.
+  size_t offset_ = 0;         // Bump offset within the current block.
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_ARENA_H_

@@ -1,0 +1,79 @@
+#include "common/epoch.h"
+
+namespace next700 {
+
+EpochManager::EpochManager(int max_threads)
+    : threads_(new ThreadState[max_threads]), max_threads_(max_threads) {}
+
+EpochManager::~EpochManager() { ReclaimAll(); }
+
+void EpochManager::Enter(int thread_id) {
+  NEXT700_DCHECK(thread_id >= 0 && thread_id < max_threads_);
+  ThreadState& state = threads_[thread_id];
+  NEXT700_DCHECK(state.pinned_epoch.load(std::memory_order_relaxed) == kIdle);
+  // seq_cst so the pin is visible before any subsequent shared reads.
+  state.pinned_epoch.store(global_epoch_.load(std::memory_order_relaxed),
+                           std::memory_order_seq_cst);
+}
+
+void EpochManager::Exit(int thread_id) {
+  threads_[thread_id].pinned_epoch.store(kIdle, std::memory_order_release);
+}
+
+void EpochManager::Retire(int thread_id, void* ptr, void (*deleter)(void*)) {
+  ThreadState& state = threads_[thread_id];
+  state.retired.push_back(
+      Retired{ptr, deleter, global_epoch_.load(std::memory_order_relaxed)});
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min_epoch = kIdle;
+  for (int i = 0; i < max_threads_; ++i) {
+    const uint64_t e = threads_[i].pinned_epoch.load(std::memory_order_acquire);
+    if (e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+void EpochManager::ReclaimUpTo(ThreadState* state, uint64_t safe_epoch) {
+  auto& retired = state->retired;
+  size_t keep = 0;
+  for (size_t i = 0; i < retired.size(); ++i) {
+    if (retired[i].epoch < safe_epoch) {
+      retired[i].deleter(retired[i].ptr);
+    } else {
+      retired[keep++] = retired[i];
+    }
+  }
+  retired.resize(keep);
+}
+
+void EpochManager::Maintain(int thread_id) {
+  ThreadState& state = threads_[thread_id];
+  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  if (state.retired.empty()) return;
+  const uint64_t min_pinned = MinPinnedEpoch();
+  // Anything retired strictly before the minimum pinned epoch is invisible
+  // to all current and future pins. If nobody is pinned, everything up to
+  // the current epoch is safe.
+  const uint64_t safe =
+      min_pinned == kIdle ? global_epoch_.load(std::memory_order_relaxed)
+                          : min_pinned;
+  ReclaimUpTo(&state, safe);
+}
+
+void EpochManager::ReclaimAll() {
+  for (int i = 0; i < max_threads_; ++i) {
+    ThreadState& state = threads_[i];
+    for (auto& retired : state.retired) retired.deleter(retired.ptr);
+    state.retired.clear();
+  }
+}
+
+size_t EpochManager::RetiredCount() const {
+  size_t total = 0;
+  for (int i = 0; i < max_threads_; ++i) total += threads_[i].retired.size();
+  return total;
+}
+
+}  // namespace next700

@@ -1,0 +1,103 @@
+#ifndef NEXT700_COMMON_EPOCH_H_
+#define NEXT700_COMMON_EPOCH_H_
+
+/// \file
+/// Epoch-based memory reclamation. Multi-version storage and the B+-tree
+/// unlink nodes that concurrent readers may still be traversing; those nodes
+/// are retired into the current epoch and physically freed only once every
+/// registered thread has moved past that epoch.
+///
+/// Usage per worker thread:
+///   EpochGuard guard(&epoch_manager, thread_id);   // pins current epoch
+///   ... access shared structures ...
+///   epoch_manager.Retire(thread_id, ptr, deleter); // logical delete
+/// The guard's destructor unpins; Maintain() advances the global epoch and
+/// frees whatever became unreachable.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+class EpochManager {
+ public:
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  explicit EpochManager(int max_threads);
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  int max_threads() const { return max_threads_; }
+
+  /// Pins the calling thread to the current global epoch.
+  void Enter(int thread_id);
+
+  /// Unpins the calling thread.
+  void Exit(int thread_id);
+
+  /// Schedules `ptr` for deletion once all pinned threads move past the
+  /// current epoch. Must be called while pinned.
+  void Retire(int thread_id, void* ptr, void (*deleter)(void*));
+
+  /// Advances the global epoch and frees retired objects that no thread can
+  /// still reach. Cheap; call every few transactions.
+  void Maintain(int thread_id);
+
+  /// Frees everything still retired. Only safe when no thread is pinned.
+  void ReclaimAll();
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Number of objects waiting to be freed (approximate; for tests/stats).
+  size_t RetiredCount() const;
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  struct NEXT700_CACHE_ALIGNED ThreadState {
+    std::atomic<uint64_t> pinned_epoch{kIdle};
+    std::vector<Retired> retired;
+    uint64_t ops_since_maintain = 0;
+  };
+
+  /// Smallest epoch any thread is pinned at (kIdle if none).
+  uint64_t MinPinnedEpoch() const;
+
+  void ReclaimUpTo(ThreadState* state, uint64_t safe_epoch);
+
+  std::atomic<uint64_t> global_epoch_{1};
+  std::unique_ptr<ThreadState[]> threads_;
+  int max_threads_;
+};
+
+/// RAII pin on the current epoch.
+class EpochGuard {
+ public:
+  EpochGuard(EpochManager* manager, int thread_id)
+      : manager_(manager), thread_id_(thread_id) {
+    manager_->Enter(thread_id_);
+  }
+  ~EpochGuard() { manager_->Exit(thread_id_); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* manager_;
+  int thread_id_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_EPOCH_H_

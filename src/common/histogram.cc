@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cstring>
+
+namespace next700 {
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~uint64_t{0};
+  max_ = 0;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketBits;
+  const int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  // Power ranges start at msb = kSubBucketBits; range 0 is the linear part.
+  const int range = msb - kSubBucketBits + 1;
+  return range * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  const int range = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  if (range == 0) return static_cast<uint64_t>(sub);
+  const int msb = range + kSubBucketBits - 1;
+  const int shift = msb - kSubBucketBits;
+  const uint64_t base = uint64_t{1} << msb;
+  return base + (static_cast<uint64_t>(sub) + 1) * (uint64_t{1} << shift) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      uint64_t bound = BucketUpperBound(i);
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.0f p50=%llu p95=%llu p99=%llu p999=%llu "
+                "max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.95)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(Percentile(0.999)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace next700

@@ -1,0 +1,58 @@
+#ifndef NEXT700_COMMON_HISTOGRAM_H_
+#define NEXT700_COMMON_HISTOGRAM_H_
+
+/// \file
+/// Log-bucketed latency histogram (HdrHistogram-lite). Values are recorded
+/// in nanoseconds into buckets with bounded relative error, so percentile
+/// queries stay O(buckets) and recording stays branch-light — suitable for
+/// per-operation measurement inside the benchmark driver.
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+class Histogram {
+ public:
+  // 64 power-of-two ranges x 16 linear sub-buckets: ~6% relative error.
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketCount = 64 * kSubBuckets;
+
+  Histogram();
+
+  void Record(uint64_t value);
+
+  /// Adds all samples of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1]; returns an upper bound of the bucket
+  /// containing the quantile. Returns 0 when empty.
+  uint64_t Percentile(double q) const;
+
+  /// Multi-line rendering of common percentiles, for reports.
+  std::string Summary() const;
+
+ private:
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  uint64_t buckets_[kBucketCount];
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_HISTOGRAM_H_

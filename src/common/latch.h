@@ -1,0 +1,116 @@
+#ifndef NEXT700_COMMON_LATCH_H_
+#define NEXT700_COMMON_LATCH_H_
+
+/// \file
+/// Low-level latches. A "latch" here is a short-duration physical lock that
+/// protects in-memory structures; logical transaction locks live in the
+/// concurrency-control plugins (src/cc).
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+/// Pauses the CPU briefly inside spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Test-and-test-and-set spinlock with exponential backoff.
+class NEXT700_CACHE_ALIGNED SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() {
+    int spins = 1;
+    for (;;) {
+      if (!locked_.load(std::memory_order_relaxed) &&
+          !locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      for (int i = 0; i < spins; ++i) CpuRelax();
+      if (spins < 1024) spins <<= 1;
+    }
+  }
+
+  bool TryLock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch* latch) : latch_(latch) { latch_->Lock(); }
+  ~SpinLatchGuard() { latch_->Unlock(); }
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch* latch_;
+};
+
+/// Reader-writer spin latch. Writers set the high bit; readers count in the
+/// low bits. Writer-preferring to keep B+-tree splits from starving.
+class RwSpinLatch {
+ public:
+  RwSpinLatch() = default;
+  RwSpinLatch(const RwSpinLatch&) = delete;
+  RwSpinLatch& operator=(const RwSpinLatch&) = delete;
+
+  void LockShared() {
+    for (;;) {
+      uint32_t cur = word_.load(std::memory_order_relaxed);
+      if ((cur & kWriterBit) == 0 &&
+          word_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+      CpuRelax();
+    }
+  }
+
+  void UnlockShared() { word_.fetch_sub(1, std::memory_order_release); }
+
+  void LockExclusive() {
+    // Claim the writer bit, then drain readers.
+    for (;;) {
+      uint32_t cur = word_.load(std::memory_order_relaxed);
+      if ((cur & kWriterBit) == 0 &&
+          word_.compare_exchange_weak(cur, cur | kWriterBit,
+                                      std::memory_order_acquire)) {
+        break;
+      }
+      CpuRelax();
+    }
+    while ((word_.load(std::memory_order_acquire) & ~kWriterBit) != 0) {
+      CpuRelax();
+    }
+  }
+
+  void UnlockExclusive() {
+    word_.fetch_and(~kWriterBit, std::memory_order_release);
+  }
+
+ private:
+  static constexpr uint32_t kWriterBit = 1u << 31;
+  std::atomic<uint32_t> word_{0};
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_LATCH_H_

@@ -1,0 +1,48 @@
+#ifndef NEXT700_COMMON_MACROS_H_
+#define NEXT700_COMMON_MACROS_H_
+
+/// \file
+/// Project-wide helper macros: invariant checks (the project follows the
+/// Google style guide and does not use exceptions), branch hints, and
+/// cache-line alignment.
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NEXT700_LIKELY(x) __builtin_expect(!!(x), 1)
+#define NEXT700_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/// Size used to pad hot shared structures so they do not false-share.
+inline constexpr int kCacheLineSize = 64;
+
+#define NEXT700_CACHE_ALIGNED alignas(kCacheLineSize)
+
+/// Aborts the process when `cond` is false. Used for programming errors and
+/// violated invariants; recoverable failures use Status instead.
+#define NEXT700_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (NEXT700_UNLIKELY(!(cond))) {                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define NEXT700_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (NEXT700_UNLIKELY(!(cond))) {                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define NEXT700_DCHECK(cond) NEXT700_CHECK(cond)
+#else
+#define NEXT700_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // NEXT700_COMMON_MACROS_H_

@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace next700 {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Expand the seed through SplitMix64 per the xoshiro authors' advice so a
+  // zero seed still yields a valid state.
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  NEXT700_DCHECK(bound > 0);
+  // Lemire's multiply-shift bounded generation; the slight modulo bias of a
+  // plain % is unacceptable for skew-sensitive experiments.
+  __uint128_t product = static_cast<__uint128_t>(Next()) * bound;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+uint64_t Rng::NextRange(uint64_t lo, uint64_t hi) {
+  NEXT700_DCHECK(lo <= hi);
+  return lo + NextUint64(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, bool scramble)
+    : n_(n), theta_(theta), scramble_(scramble) {
+  NEXT700_CHECK(n > 0);
+  NEXT700_CHECK(theta >= 0.0 && theta < 1.0);
+  if (theta_ == 0.0) return;  // Uniform fast path.
+  zetan_ = ZetaStatic(n_, theta_);
+  zeta2_ = ZetaStatic(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+double ZipfGenerator::ZetaStatic(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) {
+  uint64_t rank;
+  if (theta_ == 0.0) {
+    rank = rng->NextUint64(n_);
+  } else {
+    const double u = rng->NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+      rank = 1;
+    } else {
+      rank = static_cast<uint64_t>(
+          static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      if (rank >= n_) rank = n_ - 1;
+    }
+  }
+  if (!scramble_) return rank;
+  return FnvHash64(rank) % n_;
+}
+
+uint64_t NuRand(Rng* rng, uint64_t a, uint64_t x, uint64_t y, uint64_t c) {
+  const uint64_t r1 = rng->NextRange(0, a);
+  const uint64_t r2 = rng->NextRange(x, y);
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+}  // namespace next700

@@ -1,0 +1,86 @@
+#ifndef NEXT700_COMMON_RNG_H_
+#define NEXT700_COMMON_RNG_H_
+
+/// \file
+/// Fast per-thread pseudo-random number generation plus the skewed
+/// distributions used by the workload generators: Zipfian (YCSB-style, with
+/// the Gray et al. rejection-free method) and TPC-C NURand.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+/// xoshiro256** — fast, high-quality, and trivially seedable. One instance
+/// per worker thread; not thread-safe.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (p in [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta, following the
+/// classic Gray et al. "Quickly Generating Billion-Record Synthetic
+/// Databases" construction used by YCSB. theta == 0 degenerates to uniform.
+///
+/// The generator optionally scrambles its output (FNV hash modulo n) so that
+/// hot keys are spread across the key space, as YCSB does.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, bool scramble = true);
+
+  /// Draws the next key in [0, n).
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double ZetaStatic(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  bool scramble_;
+  double alpha_ = 0;
+  double zetan_ = 0;
+  double eta_ = 0;
+  double zeta2_ = 0;
+};
+
+/// TPC-C NURand(A, x, y) non-uniform generator (clause 2.1.6).
+/// C is the per-field constant chosen at load time.
+uint64_t NuRand(Rng* rng, uint64_t a, uint64_t x, uint64_t y, uint64_t c);
+
+/// FNV-1a 64-bit hash; used for key scrambling and hash indexes.
+inline uint64_t FnvHash64(uint64_t value) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xFF;
+    hash *= 0x100000001B3ull;
+    value >>= 8;
+  }
+  return hash;
+}
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_RNG_H_

@@ -1,0 +1,117 @@
+#ifndef NEXT700_COMMON_STATUS_H_
+#define NEXT700_COMMON_STATUS_H_
+
+/// \file
+/// RocksDB-style Status error model. The framework does not use exceptions;
+/// every recoverable failure is reported through Status (or Result<T>).
+/// Transaction aborts are *not* errors: they are reported through
+/// TxnOutcome so callers can distinguish "retry me" from "you misused the
+/// API".
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kAborted = 4,       // Transaction aborted by concurrency control.
+  kIOError = 5,       // Log device failures.
+  kNotSupported = 6,  // Operation unsupported by the chosen composition.
+  kCorruption = 7,    // Recovery found a malformed log.
+  kResourceExhausted = 8,
+};
+
+/// Lightweight status object; cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "NotFound: no such key".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status union, in the spirit of absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    NEXT700_CHECK_MSG(!status_.ok(), "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    NEXT700_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    NEXT700_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    NEXT700_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define NEXT700_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::next700::Status _st = (expr);              \
+    if (NEXT700_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_STATUS_H_

@@ -1,0 +1,17 @@
+#include "common/timestamp.h"
+
+namespace next700 {
+
+std::unique_ptr<TimestampAllocator> TimestampAllocator::Create(
+    TimestampAllocatorKind kind, int max_threads) {
+  switch (kind) {
+    case TimestampAllocatorKind::kAtomic:
+      return std::make_unique<AtomicTimestampAllocator>();
+    case TimestampAllocatorKind::kBatched:
+      return std::make_unique<BatchedTimestampAllocator>(max_threads);
+  }
+  NEXT700_CHECK_MSG(false, "unknown timestamp allocator kind");
+  return nullptr;
+}
+
+}  // namespace next700

@@ -1,0 +1,100 @@
+#ifndef NEXT700_COMMON_TIMESTAMP_H_
+#define NEXT700_COMMON_TIMESTAMP_H_
+
+/// \file
+/// Pluggable transaction timestamp allocation. The keynote's thesis is that
+/// every engine component — even something as small as the timestamp
+/// counter — becomes a bottleneck on enough cores, so the allocator is a
+/// component like any other:
+///   * kAtomic:  one shared fetch-add counter (the textbook design).
+///   * kBatched: each thread grabs a block of timestamps at a time,
+///               amortizing the shared atomic (trades monotonic interleaving
+///               for throughput; still globally unique and per-thread
+///               monotonic).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+using Timestamp = uint64_t;
+
+/// Reserved value meaning "no timestamp".
+inline constexpr Timestamp kInvalidTimestamp = 0;
+
+enum class TimestampAllocatorKind {
+  kAtomic,
+  kBatched,
+};
+
+/// Thread-safe source of unique, roughly-monotonic transaction timestamps.
+class TimestampAllocator {
+ public:
+  virtual ~TimestampAllocator() = default;
+
+  /// Returns a unique timestamp > kInvalidTimestamp.
+  /// `thread_id` identifies the calling worker (for batched allocation).
+  virtual Timestamp Allocate(int thread_id) = 0;
+
+  /// A timestamp strictly greater than every timestamp handed out so far.
+  virtual Timestamp Horizon() const = 0;
+
+  static std::unique_ptr<TimestampAllocator> Create(
+      TimestampAllocatorKind kind, int max_threads);
+};
+
+/// Shared atomic counter.
+class AtomicTimestampAllocator : public TimestampAllocator {
+ public:
+  Timestamp Allocate(int thread_id) override {
+    (void)thread_id;
+    return counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Timestamp Horizon() const override {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Timestamp> counter_{1};
+};
+
+/// Per-thread blocks carved from a shared counter.
+class BatchedTimestampAllocator : public TimestampAllocator {
+ public:
+  static constexpr Timestamp kBatchSize = 64;
+
+  explicit BatchedTimestampAllocator(int max_threads)
+      : slots_(new Slot[max_threads]), max_threads_(max_threads) {}
+
+  Timestamp Allocate(int thread_id) override {
+    NEXT700_DCHECK(thread_id >= 0 && thread_id < max_threads_);
+    Slot& slot = slots_[thread_id];
+    if (slot.next == slot.end) {
+      slot.next = counter_.fetch_add(kBatchSize, std::memory_order_relaxed);
+      slot.end = slot.next + kBatchSize;
+    }
+    return slot.next++;
+  }
+
+  Timestamp Horizon() const override {
+    return counter_.load(std::memory_order_relaxed) + kBatchSize;
+  }
+
+ private:
+  struct NEXT700_CACHE_ALIGNED Slot {
+    Timestamp next = 0;
+    Timestamp end = 0;
+  };
+
+  std::atomic<Timestamp> counter_{1};
+  std::unique_ptr<Slot[]> slots_;
+  int max_threads_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_TIMESTAMP_H_

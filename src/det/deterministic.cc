@@ -1,0 +1,201 @@
+#include "det/deterministic.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace next700 {
+
+Status DetAccessor::Read(uint64_t key, uint8_t* out) {
+  return engine_->AccessorRead(txn_, key, out);
+}
+
+Status DetAccessor::Write(uint64_t key, const void* data) {
+  return engine_->AccessorWrite(txn_, key, data);
+}
+
+DeterministicEngine::DeterministicEngine(Table* table, Index* index,
+                                         Options options)
+    : table_(table), index_(index), options_(options) {
+  NEXT700_CHECK(options_.num_workers >= 1);
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DeterministicEngine::~DeterministicEngine() {
+  WaitAll();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+namespace {
+void Normalize(std::vector<uint64_t>* keys) {
+  std::sort(keys->begin(), keys->end());
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+}
+}  // namespace
+
+uint64_t DeterministicEngine::Submit(std::vector<uint64_t> read_keys,
+                                     std::vector<uint64_t> write_keys,
+                                     DetLogic logic) {
+  Normalize(&read_keys);
+  Normalize(&write_keys);
+  // A key both read and written is a write.
+  read_keys.erase(
+      std::remove_if(read_keys.begin(), read_keys.end(),
+                     [&](uint64_t k) {
+                       return std::binary_search(write_keys.begin(),
+                                                 write_keys.end(), k);
+                     }),
+      read_keys.end());
+
+  auto owned = std::make_unique<DetTxn>();
+  DetTxn* txn = owned.get();
+  txn->read_keys = std::move(read_keys);
+  txn->write_keys = std::move(write_keys);
+  txn->logic = std::move(logic);
+
+  bool is_ready;
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = txn->seq = next_seq_++;
+    txn->pending_locks = static_cast<int>(txn->read_keys.size() +
+                                          txn->write_keys.size());
+    const bool lock_free = txn->pending_locks == 0;
+    txns_.push_back(std::move(owned));
+
+    // Enqueue lock requests in sequence order (we hold the mutex, so the
+    // enqueue order across rows is consistent with the sequence). GrantFront
+    // adds the txn to newly_ready when its last lock is granted, so only
+    // txns with no locks at all need the explicit push.
+    std::vector<DetTxn*> newly_ready;
+    const auto enqueue = [&](uint64_t key, bool is_write) {
+      RowQueue& queue = lock_table_[key];
+      queue.entries.push_back(QueueEntry{txn, is_write, false});
+      GrantFront(&queue, &newly_ready);
+    };
+    for (uint64_t key : txn->read_keys) enqueue(key, false);
+    for (uint64_t key : txn->write_keys) enqueue(key, true);
+    if (lock_free) newly_ready.push_back(txn);
+    for (DetTxn* ready : newly_ready) ready_.push_back(ready);
+    is_ready = !ready_.empty();
+  }
+  if (is_ready) ready_cv_.notify_all();
+  return ticket;
+}
+
+void DeterministicEngine::GrantFront(RowQueue* queue,
+                                     std::vector<DetTxn*>* newly_ready) {
+  // Grant prefix: an exclusive head runs alone; otherwise every leading
+  // read is granted together.
+  for (auto& entry : queue->entries) {
+    if (entry.is_write) {
+      if (&entry != &queue->entries.front()) break;  // Write must be head.
+      if (!entry.granted) {
+        entry.granted = true;
+        if (--entry.txn->pending_locks == 0) newly_ready->push_back(entry.txn);
+      }
+      break;
+    }
+    if (!entry.granted) {
+      entry.granted = true;
+      if (--entry.txn->pending_locks == 0) newly_ready->push_back(entry.txn);
+    }
+  }
+}
+
+void DeterministicEngine::WorkerLoop() {
+  for (;;) {
+    DetTxn* txn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stop_ and drained.
+      txn = ready_.front();
+      ready_.pop_front();
+    }
+
+    DetAccessor accessor(this, txn);
+    txn->logic(&accessor);
+
+    // Release: remove this txn's entries (each is inside its queue's grant
+    // prefix) and advance the queues.
+    std::vector<DetTxn*> newly_ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto release = [&](uint64_t key) {
+        auto it = lock_table_.find(key);
+        NEXT700_DCHECK(it != lock_table_.end());
+        auto& entries = it->second.entries;
+        for (auto entry = entries.begin(); entry != entries.end(); ++entry) {
+          if (entry->txn == txn) {
+            entries.erase(entry);
+            break;
+          }
+        }
+        if (entries.empty()) {
+          lock_table_.erase(it);
+        } else {
+          GrantFront(&it->second, &newly_ready);
+        }
+      };
+      for (uint64_t key : txn->read_keys) release(key);
+      for (uint64_t key : txn->write_keys) release(key);
+      txn->done = true;
+      ++executed_;
+      for (DetTxn* ready : newly_ready) ready_.push_back(ready);
+    }
+    done_cv_.notify_all();
+    if (!newly_ready.empty()) ready_cv_.notify_all();
+  }
+}
+
+void DeterministicEngine::Wait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    NEXT700_DCHECK(ticket >= 1 && ticket <= txns_.size());
+    return txns_[ticket - 1]->done;
+  });
+}
+
+void DeterministicEngine::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return executed_ == txns_.size(); });
+}
+
+uint64_t DeterministicEngine::executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+Status DeterministicEngine::AccessorRead(const DetTxn* txn, uint64_t key,
+                                         uint8_t* out) {
+  (void)txn;
+  NEXT700_DCHECK(
+      std::binary_search(txn->read_keys.begin(), txn->read_keys.end(), key) ||
+      std::binary_search(txn->write_keys.begin(), txn->write_keys.end(),
+                         key));
+  Row* row = index_->Lookup(key);
+  if (row == nullptr || row->deleted()) return Status::NotFound("no row");
+  std::memcpy(out, row->data(), table_->schema().row_size());
+  return Status::OK();
+}
+
+Status DeterministicEngine::AccessorWrite(const DetTxn* txn, uint64_t key,
+                                          const void* data) {
+  (void)txn;
+  NEXT700_DCHECK(std::binary_search(txn->write_keys.begin(),
+                                    txn->write_keys.end(), key));
+  Row* row = index_->Lookup(key);
+  if (row == nullptr || row->deleted()) return Status::NotFound("no row");
+  std::memcpy(row->data(), data, table_->schema().row_size());
+  return Status::OK();
+}
+
+}  // namespace next700

@@ -1,0 +1,434 @@
+#include "index/btree_index.h"
+
+#include <algorithm>
+
+namespace next700 {
+
+BTreeIndex::BTreeIndex(Table* table) : Index(table) { root_ = new Leaf(); }
+
+BTreeIndex::~BTreeIndex() { FreeSubtree(root_); }
+
+void BTreeIndex::FreeSubtree(Node* node) {
+  if (!node->is_leaf) {
+    Inner* inner = static_cast<Inner*>(node);
+    for (int i = 0; i <= inner->count; ++i) FreeSubtree(inner->children[i]);
+    delete inner;
+  } else {
+    delete static_cast<Leaf*>(node);
+  }
+}
+
+int BTreeIndex::ChildIndex(const Inner* inner, const BKey& key) {
+  // First separator strictly greater than key; children[i] covers
+  // [keys[i-1], keys[i]).
+  int i = 0;
+  while (i < inner->count && !(key < inner->keys[i])) ++i;
+  return i;
+}
+
+int BTreeIndex::LeafLowerBound(const Leaf* leaf, const BKey& key) {
+  int i = 0;
+  while (i < leaf->count && leaf->keys[i] < key) ++i;
+  return i;
+}
+
+const BTreeIndex::Leaf* BTreeIndex::DescendShared(const BKey& key) const {
+  root_latch_.LockShared();
+  const Node* node = root_;
+  node->latch.LockShared();
+  root_latch_.UnlockShared();
+  while (!node->is_leaf) {
+    const Inner* inner = static_cast<const Inner*>(node);
+    const Node* child = inner->children[ChildIndex(inner, key)];
+    child->latch.LockShared();
+    node->latch.UnlockShared();
+    node = child;
+  }
+  return static_cast<const Leaf*>(node);
+}
+
+void BTreeIndex::ReleaseHeld(std::vector<Inner*>* held, bool* root_held) {
+  for (Inner* ancestor : *held) ancestor->latch.UnlockExclusive();
+  held->clear();
+  if (*root_held) {
+    root_latch_.UnlockExclusive();
+    *root_held = false;
+  }
+}
+
+BTreeIndex::Leaf* BTreeIndex::DescendExclusive(const BKey& key,
+                                               std::vector<Inner*>* held,
+                                               bool* root_held) {
+  root_latch_.LockExclusive();
+  *root_held = true;
+  Node* node = root_;
+  node->latch.LockExclusive();
+  const int root_cap = node->is_leaf ? kLeafCapacity : kInnerKeys;
+  if (node->count < root_cap) {
+    root_latch_.UnlockExclusive();
+    *root_held = false;
+  }
+  while (!node->is_leaf) {
+    Inner* inner = static_cast<Inner*>(node);
+    Node* child = inner->children[ChildIndex(inner, key)];
+    child->latch.LockExclusive();
+    const int child_cap = child->is_leaf ? kLeafCapacity : kInnerKeys;
+    if (child->count < child_cap) {
+      // Child cannot split, so no ancestor will be modified: release them.
+      for (Inner* ancestor : *held) ancestor->latch.UnlockExclusive();
+      held->clear();
+      inner->latch.UnlockExclusive();
+      if (*root_held) {
+        root_latch_.UnlockExclusive();
+        *root_held = false;
+      }
+    } else {
+      held->push_back(inner);
+    }
+    node = child;
+  }
+  return static_cast<Leaf*>(node);
+}
+
+void BTreeIndex::InsertIntoParents(std::vector<Inner*>* held, bool* root_held,
+                                   Node* left, BKey sep, Node* right) {
+  Node* lchild = left;
+  Node* rchild = right;
+  while (!held->empty()) {
+    Inner* parent = held->back();
+    held->pop_back();
+    // Locate lchild among the children (fanout is small; scan).
+    int pos = 0;
+    while (pos <= parent->count && parent->children[pos] != lchild) ++pos;
+    NEXT700_CHECK_MSG(pos <= parent->count, "btree parent lost its child");
+
+    if (parent->count < kInnerKeys) {
+      for (int i = parent->count; i > pos; --i) {
+        parent->keys[i] = parent->keys[i - 1];
+        parent->children[i + 1] = parent->children[i];
+      }
+      parent->keys[pos] = sep;
+      parent->children[pos + 1] = rchild;
+      ++parent->count;
+      parent->latch.UnlockExclusive();
+      ReleaseHeld(held, root_held);
+      return;
+    }
+
+    // Parent is full: split it. Build the post-insert key/child sequence.
+    BKey all_keys[kInnerKeys + 1];
+    Node* all_children[kInnerKeys + 2];
+    for (int i = 0; i < pos; ++i) all_keys[i] = parent->keys[i];
+    all_keys[pos] = sep;
+    for (int i = pos; i < kInnerKeys; ++i) all_keys[i + 1] = parent->keys[i];
+    for (int i = 0; i <= pos; ++i) all_children[i] = parent->children[i];
+    all_children[pos + 1] = rchild;
+    for (int i = pos + 1; i <= kInnerKeys; ++i) {
+      all_children[i + 1] = parent->children[i];
+    }
+
+    const int total_keys = kInnerKeys + 1;
+    const int mid = total_keys / 2;
+    const BKey promoted = all_keys[mid];
+
+    Inner* right_inner = new Inner();
+    parent->count = static_cast<uint16_t>(mid);
+    for (int i = 0; i < mid; ++i) parent->keys[i] = all_keys[i];
+    for (int i = 0; i <= mid; ++i) parent->children[i] = all_children[i];
+    right_inner->count = static_cast<uint16_t>(total_keys - mid - 1);
+    for (int i = 0; i < right_inner->count; ++i) {
+      right_inner->keys[i] = all_keys[mid + 1 + i];
+    }
+    for (int i = 0; i <= right_inner->count; ++i) {
+      right_inner->children[i] = all_children[mid + 1 + i];
+    }
+    parent->latch.UnlockExclusive();
+    lchild = parent;
+    rchild = right_inner;
+    sep = promoted;
+  }
+
+  // The whole path was full: grow the tree. The root pointer latch must
+  // still be held in that case.
+  NEXT700_CHECK_MSG(*root_held, "btree root split without root latch");
+  Inner* new_root = new Inner();
+  new_root->count = 1;
+  new_root->keys[0] = sep;
+  new_root->children[0] = lchild;
+  new_root->children[1] = rchild;
+  root_ = new_root;
+  root_latch_.UnlockExclusive();
+  *root_held = false;
+}
+
+Status BTreeIndex::Insert(uint64_t key, Row* row) {
+  const BKey entry{key, reinterpret_cast<uint64_t>(row)};
+  std::vector<Inner*> held;
+  bool root_held = false;
+  Leaf* leaf = DescendExclusive(entry, &held, &root_held);
+
+  const int pos = LeafLowerBound(leaf, entry);
+  if (pos < leaf->count && leaf->keys[pos] == entry) {
+    leaf->latch.UnlockExclusive();
+    ReleaseHeld(&held, &root_held);
+    return Status::AlreadyExists("btree (key,row) pair exists");
+  }
+
+  if (leaf->count < kLeafCapacity) {
+    for (int i = leaf->count; i > pos; --i) leaf->keys[i] = leaf->keys[i - 1];
+    leaf->keys[pos] = entry;
+    ++leaf->count;
+    leaf->latch.UnlockExclusive();
+    ReleaseHeld(&held, &root_held);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  // Leaf split. Distribute the kLeafCapacity existing entries plus the new
+  // one across leaf and a fresh right sibling.
+  BKey all[kLeafCapacity + 1];
+  for (int i = 0; i < pos; ++i) all[i] = leaf->keys[i];
+  all[pos] = entry;
+  for (int i = pos; i < kLeafCapacity; ++i) all[i + 1] = leaf->keys[i];
+
+  const int total = kLeafCapacity + 1;
+  const int mid = total / 2;
+  Leaf* right = new Leaf();
+  leaf->count = static_cast<uint16_t>(mid);
+  for (int i = 0; i < mid; ++i) leaf->keys[i] = all[i];
+  right->count = static_cast<uint16_t>(total - mid);
+  for (int i = 0; i < right->count; ++i) right->keys[i] = all[mid + i];
+  right->next = leaf->next;
+  leaf->next = right;
+
+  InsertIntoParents(&held, &root_held, leaf, right->keys[0], right);
+  leaf->latch.UnlockExclusive();
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status BTreeIndex::InsertUnique(uint64_t key, Row* row) {
+  // Uniqueness must be checked under the same latches that perform the
+  // insert, so this re-implements Insert with a key-only existence check.
+  const BKey entry{key, reinterpret_cast<uint64_t>(row)};
+  std::vector<Inner*> held;
+  bool root_held = false;
+  Leaf* leaf = DescendExclusive(entry, &held, &root_held);
+
+  // Any entry with the same user key sorts adjacent to (key, row). It is in
+  // this leaf unless our insertion point is the leaf end, in which case it
+  // could start the next leaf.
+  const int pos = LeafLowerBound(leaf, BKey{key, 0});
+  bool exists = pos < leaf->count && leaf->keys[pos].k == key;
+  if (!exists && pos == leaf->count) {
+    // Peek at following leaves (skipping empty ones) without dropping our
+    // exclusive latch; forward coupling keeps the latch order global.
+    Leaf* peek = leaf->next;
+    while (peek != nullptr) {
+      peek->latch.LockShared();
+      if (peek->count > 0) {
+        exists = peek->keys[0].k == key;
+        peek->latch.UnlockShared();
+        break;
+      }
+      Leaf* after = peek->next;
+      peek->latch.UnlockShared();
+      peek = after;
+    }
+  }
+  if (exists) {
+    leaf->latch.UnlockExclusive();
+    ReleaseHeld(&held, &root_held);
+    return Status::AlreadyExists("btree key exists");
+  }
+
+  const int ins = LeafLowerBound(leaf, entry);
+  if (leaf->count < kLeafCapacity) {
+    for (int i = leaf->count; i > ins; --i) leaf->keys[i] = leaf->keys[i - 1];
+    leaf->keys[ins] = entry;
+    ++leaf->count;
+    leaf->latch.UnlockExclusive();
+    ReleaseHeld(&held, &root_held);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  BKey all[kLeafCapacity + 1];
+  for (int i = 0; i < ins; ++i) all[i] = leaf->keys[i];
+  all[ins] = entry;
+  for (int i = ins; i < kLeafCapacity; ++i) all[i + 1] = leaf->keys[i];
+  const int total = kLeafCapacity + 1;
+  const int mid = total / 2;
+  Leaf* right = new Leaf();
+  leaf->count = static_cast<uint16_t>(mid);
+  for (int i = 0; i < mid; ++i) leaf->keys[i] = all[i];
+  right->count = static_cast<uint16_t>(total - mid);
+  for (int i = 0; i < right->count; ++i) right->keys[i] = all[mid + i];
+  right->next = leaf->next;
+  leaf->next = right;
+  InsertIntoParents(&held, &root_held, leaf, right->keys[0], right);
+  leaf->latch.UnlockExclusive();
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Row* BTreeIndex::Lookup(uint64_t key) const {
+  const Leaf* leaf = DescendShared(BKey{key, 0});
+  int idx = LeafLowerBound(leaf, BKey{key, 0});
+  for (;;) {
+    if (idx < leaf->count) {
+      Row* row =
+          leaf->keys[idx].k == key ? RowOf(leaf->keys[idx]) : nullptr;
+      leaf->latch.UnlockShared();
+      return row;
+    }
+    const Leaf* next = leaf->next;
+    if (next == nullptr) {
+      leaf->latch.UnlockShared();
+      return nullptr;
+    }
+    next->latch.LockShared();
+    leaf->latch.UnlockShared();
+    leaf = next;
+    idx = 0;
+  }
+}
+
+void BTreeIndex::LookupAll(uint64_t key, std::vector<Row*>* out) const {
+  const Leaf* leaf = DescendShared(BKey{key, 0});
+  int idx = LeafLowerBound(leaf, BKey{key, 0});
+  for (;;) {
+    while (idx < leaf->count && leaf->keys[idx].k == key) {
+      out->push_back(RowOf(leaf->keys[idx]));
+      ++idx;
+    }
+    if (idx < leaf->count || leaf->next == nullptr) {
+      leaf->latch.UnlockShared();
+      return;
+    }
+    const Leaf* next = leaf->next;
+    next->latch.LockShared();
+    leaf->latch.UnlockShared();
+    leaf = next;
+    idx = 0;
+  }
+}
+
+Status BTreeIndex::Scan(uint64_t lo, uint64_t hi, size_t limit,
+                        std::vector<Row*>* out) const {
+  if (lo > hi) return Status::InvalidArgument("scan bounds reversed");
+  const Leaf* leaf = DescendShared(BKey{lo, 0});
+  int idx = LeafLowerBound(leaf, BKey{lo, 0});
+  size_t taken = 0;
+  for (;;) {
+    while (idx < leaf->count) {
+      const BKey& entry = leaf->keys[idx];
+      if (entry.k > hi) {
+        leaf->latch.UnlockShared();
+        return Status::OK();
+      }
+      out->push_back(RowOf(entry));
+      ++idx;
+      if (limit != 0 && ++taken >= limit) {
+        leaf->latch.UnlockShared();
+        return Status::OK();
+      }
+    }
+    const Leaf* next = leaf->next;
+    if (next == nullptr) {
+      leaf->latch.UnlockShared();
+      return Status::OK();
+    }
+    next->latch.LockShared();
+    leaf->latch.UnlockShared();
+    leaf = next;
+    idx = 0;
+  }
+}
+
+Status BTreeIndex::ScanReverse(uint64_t hi, uint64_t lo, size_t limit,
+                               std::vector<Row*>* out) const {
+  if (lo > hi) return Status::InvalidArgument("scan bounds reversed");
+  // Collect ascending, then emit the tail in reverse. Walking the leaf
+  // chain backwards would invert the latch order and risk deadlock against
+  // forward scans, so the reverse scan pays an extra pass instead.
+  std::vector<Row*> ascending;
+  NEXT700_RETURN_IF_ERROR(Scan(lo, hi, 0, &ascending));
+  const size_t take =
+      limit == 0 ? ascending.size() : std::min(limit, ascending.size());
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(ascending[ascending.size() - 1 - i]);
+  }
+  return Status::OK();
+}
+
+bool BTreeIndex::Remove(uint64_t key, Row* row) {
+  const BKey target{key, reinterpret_cast<uint64_t>(row)};
+  // Descend with shared latches, taking leaves exclusively. Removal never
+  // merges nodes, so ancestors are read-only here.
+  root_latch_.LockShared();
+  Node* node = root_;
+  if (node->is_leaf) {
+    node->latch.LockExclusive();
+  } else {
+    node->latch.LockShared();
+  }
+  root_latch_.UnlockShared();
+  while (!node->is_leaf) {
+    Inner* inner = static_cast<Inner*>(node);
+    Node* child = inner->children[ChildIndex(inner, target)];
+    if (child->is_leaf) {
+      child->latch.LockExclusive();
+    } else {
+      child->latch.LockShared();
+    }
+    node->latch.UnlockShared();
+    node = child;
+  }
+  Leaf* leaf = static_cast<Leaf*>(node);
+  int idx = LeafLowerBound(leaf, target);
+  for (;;) {
+    if (idx < leaf->count) {
+      if (!(leaf->keys[idx] == target)) {
+        leaf->latch.UnlockExclusive();
+        return false;
+      }
+      for (int i = idx; i < leaf->count - 1; ++i) {
+        leaf->keys[i] = leaf->keys[i + 1];
+      }
+      --leaf->count;
+      leaf->latch.UnlockExclusive();
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    Leaf* next = leaf->next;
+    if (next == nullptr) {
+      leaf->latch.UnlockExclusive();
+      return false;
+    }
+    next->latch.LockExclusive();
+    leaf->latch.UnlockExclusive();
+    leaf = next;
+    idx = LeafLowerBound(leaf, target);
+  }
+}
+
+int BTreeIndex::Height() const {
+  root_latch_.LockShared();
+  const Node* node = root_;
+  node->latch.LockShared();
+  root_latch_.UnlockShared();
+  int height = 1;
+  while (!node->is_leaf) {
+    const Inner* inner = static_cast<const Inner*>(node);
+    const Node* child = inner->children[0];
+    child->latch.LockShared();
+    node->latch.UnlockShared();
+    node = child;
+    ++height;
+  }
+  node->latch.UnlockShared();
+  return height;
+}
+
+}  // namespace next700

@@ -1,0 +1,118 @@
+#ifndef NEXT700_INDEX_BTREE_INDEX_H_
+#define NEXT700_INDEX_BTREE_INDEX_H_
+
+/// \file
+/// Concurrent B+-tree with latch crabbing (lock coupling). Internally every
+/// entry is the composite key (user_key, row pointer), which is unique even
+/// when user keys repeat; multimap operations become range operations over
+/// (key, 0)..(key, ~0). Inner nodes use shared latches on the read path and
+/// exclusive crabbing on inserts, releasing ancestors as soon as the child
+/// cannot split. Deletes never merge nodes (underfull leaves simply stay),
+/// which keeps node lifetime simple: nodes are only freed when the tree is
+/// destroyed.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/latch.h"
+#include "index/index.h"
+
+namespace next700 {
+
+class BTreeIndex : public Index {
+ public:
+  explicit BTreeIndex(Table* table);
+  ~BTreeIndex() override;
+
+  IndexKind kind() const override { return IndexKind::kBTree; }
+
+  Status Insert(uint64_t key, Row* row) override;
+  Status InsertUnique(uint64_t key, Row* row) override;
+  Row* Lookup(uint64_t key) const override;
+  void LookupAll(uint64_t key, std::vector<Row*>* out) const override;
+  bool Remove(uint64_t key, Row* row) override;
+  Status Scan(uint64_t lo, uint64_t hi, size_t limit,
+              std::vector<Row*>* out) const override;
+  Status ScanReverse(uint64_t hi, uint64_t lo, size_t limit,
+                     std::vector<Row*>* out) const override;
+  uint64_t size() const override {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Height of the tree (1 = root is a leaf). For tests.
+  int Height() const;
+
+ private:
+  struct BKey {
+    uint64_t k;  // User key.
+    uint64_t t;  // Tie-break: the row pointer value.
+
+    friend bool operator<(const BKey& a, const BKey& b) {
+      return a.k < b.k || (a.k == b.k && a.t < b.t);
+    }
+    friend bool operator==(const BKey& a, const BKey& b) {
+      return a.k == b.k && a.t == b.t;
+    }
+  };
+
+  static constexpr int kLeafCapacity = 32;
+  static constexpr int kInnerKeys = 32;  // Fanout = kInnerKeys + 1.
+
+  struct Node {
+    mutable RwSpinLatch latch;
+    bool is_leaf;
+    uint16_t count = 0;
+
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+
+  struct Leaf : Node {
+    Leaf() : Node(true) {}
+    BKey keys[kLeafCapacity];
+    Leaf* next = nullptr;
+  };
+
+  struct Inner : Node {
+    Inner() : Node(false) {}
+    BKey keys[kInnerKeys];
+    Node* children[kInnerKeys + 1];
+  };
+
+  static Row* RowOf(const BKey& key) {
+    return reinterpret_cast<Row*>(key.t);
+  }
+
+  /// First child index whose subtree may contain `key`.
+  static int ChildIndex(const Inner* inner, const BKey& key);
+  /// First position in `leaf` with entry >= key.
+  static int LeafLowerBound(const Leaf* leaf, const BKey& key);
+
+  /// Shared-latch descent; returns the leaf (latched shared) whose range
+  /// contains `key`.
+  const Leaf* DescendShared(const BKey& key) const;
+
+  /// Exclusive descent for structure-modifying ops. On return the leaf is
+  /// latched exclusively; `held` contains the still-latched ancestor chain
+  /// (bottom-up insertion targets) and `root_held` reports whether the
+  /// root pointer latch is still held. Ancestors outside `held` were
+  /// already released because a safe child was found.
+  Leaf* DescendExclusive(const BKey& key, std::vector<Inner*>* held,
+                         bool* root_held);
+
+  void ReleaseHeld(std::vector<Inner*>* held, bool* root_held);
+
+  /// Inserts (sep, right) into the ancestor chain after a child split.
+  void InsertIntoParents(std::vector<Inner*>* held, bool* root_held,
+                         Node* left, BKey sep, Node* right);
+
+  void FreeSubtree(Node* node);
+
+  mutable RwSpinLatch root_latch_;  // Guards the root pointer itself.
+  Node* root_;
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_INDEX_BTREE_INDEX_H_

@@ -1,0 +1,119 @@
+#include "index/hash_index.h"
+
+#include <bit>
+
+namespace next700 {
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return "hash";
+    case IndexKind::kBTree:
+      return "btree";
+  }
+  return "unknown";
+}
+
+HashIndex::HashIndex(Table* table, uint64_t capacity_hint) : Index(table) {
+  uint64_t buckets = std::bit_ceil(capacity_hint < 16 ? 16 : capacity_hint);
+  buckets_ = std::vector<Bucket>(buckets);
+  bucket_mask_ = buckets - 1;
+}
+
+HashIndex::~HashIndex() {
+  for (auto& bucket : buckets_) {
+    Entry* e = bucket.head;
+    while (e != nullptr) {
+      Entry* next = e->next;
+      delete e;
+      e = next;
+    }
+  }
+}
+
+Status HashIndex::InsertImpl(uint64_t key, Row* row, bool unique) {
+  Bucket& bucket = BucketFor(key);
+  bucket.Lock();
+  for (Entry* e = bucket.head; e != nullptr; e = e->next) {
+    if (e->key == key) {
+      if (unique || e->row == row) {
+        bucket.Unlock();
+        return Status::AlreadyExists("hash index key exists");
+      }
+    }
+  }
+  bucket.head = new Entry{key, row, bucket.head};
+  bucket.Unlock();
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status HashIndex::Insert(uint64_t key, Row* row) {
+  return InsertImpl(key, row, /*unique=*/false);
+}
+
+Status HashIndex::InsertUnique(uint64_t key, Row* row) {
+  return InsertImpl(key, row, /*unique=*/true);
+}
+
+Row* HashIndex::Lookup(uint64_t key) const {
+  Bucket& bucket = BucketFor(key);
+  bucket.Lock();
+  for (Entry* e = bucket.head; e != nullptr; e = e->next) {
+    if (e->key == key) {
+      Row* row = e->row;
+      bucket.Unlock();
+      return row;
+    }
+  }
+  bucket.Unlock();
+  return nullptr;
+}
+
+void HashIndex::LookupAll(uint64_t key, std::vector<Row*>* out) const {
+  Bucket& bucket = BucketFor(key);
+  bucket.Lock();
+  for (Entry* e = bucket.head; e != nullptr; e = e->next) {
+    if (e->key == key) out->push_back(e->row);
+  }
+  bucket.Unlock();
+}
+
+bool HashIndex::Remove(uint64_t key, Row* row) {
+  Bucket& bucket = BucketFor(key);
+  bucket.Lock();
+  Entry** link = &bucket.head;
+  while (*link != nullptr) {
+    Entry* e = *link;
+    if (e->key == key && e->row == row) {
+      *link = e->next;
+      bucket.Unlock();
+      delete e;
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    link = &e->next;
+  }
+  bucket.Unlock();
+  return false;
+}
+
+Status HashIndex::Scan(uint64_t lo, uint64_t hi, size_t limit,
+                       std::vector<Row*>* out) const {
+  (void)lo;
+  (void)hi;
+  (void)limit;
+  (void)out;
+  return Status::NotSupported("hash index cannot scan in key order");
+}
+
+Status HashIndex::ScanReverse(uint64_t hi, uint64_t lo, size_t limit,
+                              std::vector<Row*>* out) const {
+  (void)hi;
+  (void)lo;
+  (void)limit;
+  (void)out;
+  return Status::NotSupported("hash index cannot scan in key order");
+}
+
+}  // namespace next700

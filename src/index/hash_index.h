@@ -1,0 +1,73 @@
+#ifndef NEXT700_INDEX_HASH_INDEX_H_
+#define NEXT700_INDEX_HASH_INDEX_H_
+
+/// \file
+/// Chained hash index with per-bucket byte latches. The bucket count is
+/// fixed at creation (sized from a capacity hint); chains absorb overflow,
+/// so the structure never rehashes and pointers handed out stay valid.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/index.h"
+
+namespace next700 {
+
+class HashIndex : public Index {
+ public:
+  /// `capacity_hint` is the expected number of entries; the bucket array is
+  /// sized to keep expected chain length around 1.
+  HashIndex(Table* table, uint64_t capacity_hint);
+  ~HashIndex() override;
+
+  IndexKind kind() const override { return IndexKind::kHash; }
+
+  Status Insert(uint64_t key, Row* row) override;
+  Status InsertUnique(uint64_t key, Row* row) override;
+  Row* Lookup(uint64_t key) const override;
+  void LookupAll(uint64_t key, std::vector<Row*>* out) const override;
+  bool Remove(uint64_t key, Row* row) override;
+  Status Scan(uint64_t lo, uint64_t hi, size_t limit,
+              std::vector<Row*>* out) const override;
+  Status ScanReverse(uint64_t hi, uint64_t lo, size_t limit,
+                     std::vector<Row*>* out) const override;
+  uint64_t size() const override {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    Row* row;
+    Entry* next;
+  };
+
+  struct Bucket {
+    std::atomic<uint8_t> latch{0};
+    Entry* head = nullptr;
+
+    void Lock() {
+      while (latch.exchange(1, std::memory_order_acquire) != 0) CpuRelax();
+    }
+    void Unlock() { latch.store(0, std::memory_order_release); }
+  };
+
+  Bucket& BucketFor(uint64_t key) const {
+    return buckets_[FnvHash64(key) & bucket_mask_];
+  }
+
+  Status InsertImpl(uint64_t key, Row* row, bool unique);
+
+  mutable std::vector<Bucket> buckets_;
+  uint64_t bucket_mask_;
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_INDEX_HASH_INDEX_H_

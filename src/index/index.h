@@ -1,0 +1,81 @@
+#ifndef NEXT700_INDEX_INDEX_H_
+#define NEXT700_INDEX_INDEX_H_
+
+/// \file
+/// Index abstraction shared by all engine compositions. Keys are 64-bit;
+/// composite keys (e.g. TPC-C warehouse/district/id) are encoded into the
+/// 64 bits by the workload layer. Indexes have multimap semantics — the
+/// same key may map to several rows (used by TPC-C's customer-by-last-name
+/// and order-by-customer indexes); uniqueness, where required, is enforced
+/// with InsertUnique.
+///
+/// Thread-safety: all operations are safe to call concurrently. Index
+/// structures use short-duration latches internally; *logical* concurrency
+/// control of row contents is the CC plugin's job. Phantom protection is
+/// intentionally out of scope (documented in DESIGN.md), matching the
+/// DBx1000 family of research frameworks.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/row.h"
+
+namespace next700 {
+
+class Table;
+
+enum class IndexKind {
+  kHash,
+  kBTree,
+};
+
+const char* IndexKindName(IndexKind kind);
+
+class Index {
+ public:
+  explicit Index(Table* table) : table_(table) {}
+  virtual ~Index() = default;
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  virtual IndexKind kind() const = 0;
+  Table* table() const { return table_; }
+
+  /// Adds (key, row). Duplicate keys are allowed; the exact (key, row) pair
+  /// must not already be present.
+  virtual Status Insert(uint64_t key, Row* row) = 0;
+
+  /// Adds (key, row) iff no entry with `key` exists; otherwise
+  /// kAlreadyExists. The check-and-insert is atomic.
+  virtual Status InsertUnique(uint64_t key, Row* row) = 0;
+
+  /// First row stored under `key`, or nullptr.
+  virtual Row* Lookup(uint64_t key) const = 0;
+
+  /// Appends every row stored under `key` to `out`.
+  virtual void LookupAll(uint64_t key, std::vector<Row*>* out) const = 0;
+
+  /// Removes the exact (key, row) pair. Returns true if found.
+  virtual bool Remove(uint64_t key, Row* row) = 0;
+
+  /// Appends rows with keys in [lo, hi] in ascending key order, stopping
+  /// after `limit` rows (0 = unlimited). Ordered indexes only; the hash
+  /// index returns kNotSupported.
+  virtual Status Scan(uint64_t lo, uint64_t hi, size_t limit,
+                      std::vector<Row*>* out) const = 0;
+
+  /// Like Scan but descending from `hi` down to `lo`.
+  virtual Status ScanReverse(uint64_t hi, uint64_t lo, size_t limit,
+                             std::vector<Row*>* out) const = 0;
+
+  /// Number of entries (approximate under concurrency).
+  virtual uint64_t size() const = 0;
+
+ private:
+  Table* table_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_INDEX_INDEX_H_

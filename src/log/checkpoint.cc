@@ -1,0 +1,134 @@
+#include "log/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "log/log_record.h"
+
+namespace next700 {
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x4E37303043484B50ull;  // "N700CHKP".
+
+Status WriteAll(std::FILE* f, const void* data, size_t len) {
+  if (std::fwrite(data, 1, len, f) != len) {
+    return Status::IOError("checkpoint write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckpointManager::Write(const std::string& path,
+                                CheckpointStats* stats) {
+  const uint64_t start = NowNanos();
+  // Serialize into memory first so the checksum covers one buffer; table
+  // dumps are bounded by what fits in RAM anyway (this is an in-memory
+  // engine).
+  std::vector<uint8_t> out;
+  LogWriter writer(&out);
+  writer.PutU64(kCheckpointMagic);
+  const int num_tables = engine_->catalog()->num_tables();
+  writer.PutU32(static_cast<uint32_t>(num_tables));
+  for (int i = 0; i < num_tables; ++i) {
+    Table* table = engine_->catalog()->table_at(i);
+    writer.PutU32(table->id());
+    // Count first (ForEachRow is stable while quiescent).
+    uint64_t rows = 0;
+    table->ForEachRow([&](Row*) { ++rows; });
+    writer.PutU64(rows);
+    const uint32_t row_size = table->schema().row_size();
+    table->ForEachRow([&](Row* row) {
+      writer.PutU32(row->partition);
+      writer.PutU64(row->primary_key);
+      writer.PutU8(row->deleted() ? 1 : 0);
+      writer.PutBytes(engine_->RawImage(row), row_size);
+      ++stats->rows;
+    });
+    ++stats->tables;
+  }
+  const uint64_t checksum = FnvHashBytes(out.data(), out.size());
+  writer.PutU64(checksum);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  const Status s = WriteAll(f, out.data(), out.size());
+  std::fclose(f);
+  NEXT700_RETURN_IF_ERROR(s);
+  stats->bytes = out.size();
+  stats->elapsed_seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  return Status::OK();
+}
+
+Status CheckpointManager::Load(const std::string& path,
+                               CheckpointStats* stats) {
+  const uint64_t start = NowNanos();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> in(static_cast<size_t>(size));
+  if (!in.empty() && std::fread(in.data(), 1, in.size(), f) != in.size()) {
+    std::fclose(f);
+    return Status::IOError("short read on " + path);
+  }
+  std::fclose(f);
+  stats->bytes = in.size();
+
+  if (in.size() < 20) return Status::Corruption("checkpoint too small");
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, in.data() + in.size() - 8, 8);
+  if (stored_checksum != FnvHashBytes(in.data(), in.size() - 8)) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+
+  LogReader reader(in.data(), in.size() - 8);
+  uint64_t magic;
+  uint32_t num_tables;
+  if (!reader.GetU64(&magic) || magic != kCheckpointMagic ||
+      !reader.GetU32(&num_tables)) {
+    return Status::Corruption("bad checkpoint header");
+  }
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    uint32_t table_id;
+    uint64_t rows;
+    if (!reader.GetU32(&table_id) || !reader.GetU64(&rows)) {
+      return Status::Corruption("truncated table header");
+    }
+    Table* table = engine_->catalog()->GetTable(table_id);
+    if (table == nullptr) return Status::Corruption("unknown table id");
+    Index* primary = engine_->catalog()->PrimaryIndex(table);
+    const uint32_t row_size = table->schema().row_size();
+    for (uint64_t r = 0; r < rows; ++r) {
+      uint32_t partition;
+      uint64_t primary_key;
+      uint8_t deleted;
+      if (!reader.GetU32(&partition) || !reader.GetU64(&primary_key) ||
+          !reader.GetU8(&deleted)) {
+        return Status::Corruption("truncated row header");
+      }
+      const uint8_t* payload = reader.Peek();
+      if (!reader.Skip(row_size)) {
+        return Status::Corruption("truncated row payload");
+      }
+      Row* row = engine_->LoadRow(table, partition, primary_key, payload);
+      if (deleted != 0) {
+        row->set_deleted(true);
+        continue;  // Tombstones are not indexed.
+      }
+      if (primary != nullptr) {
+        NEXT700_RETURN_IF_ERROR(primary->Insert(primary_key, row));
+      }
+      if (rebuilder_) rebuilder_(engine_, row);
+      ++stats->rows;
+    }
+    ++stats->tables;
+  }
+  stats->elapsed_seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  return Status::OK();
+}
+
+}  // namespace next700

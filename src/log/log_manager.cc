@@ -1,0 +1,124 @@
+#include "log/log_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+const char* LoggingKindName(LoggingKind kind) {
+  switch (kind) {
+    case LoggingKind::kNone:
+      return "none";
+    case LoggingKind::kValue:
+      return "value";
+    case LoggingKind::kCommand:
+      return "command";
+  }
+  return "unknown";
+}
+
+LogManager::LogManager(LogManagerOptions options)
+    : options_(std::move(options)) {}
+
+LogManager::~LogManager() { Close(); }
+
+Status LogManager::Open() {
+  NEXT700_CHECK(!running_);
+  fd_ = ::open(options_.path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot open log file: " + options_.path);
+  }
+  stop_ = false;
+  running_ = true;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+  return Status::OK();
+}
+
+void LogManager::Close() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  flusher_.join();
+  running_ = false;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Lsn LogManager::Append(LogRecordType type, const std::vector<uint8_t>& body) {
+  const uint64_t checksum = FnvHashBytes(body.data(), body.size());
+  const uint32_t body_len = static_cast<uint32_t>(body.size());
+  Lsn end;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogWriter writer(&buffer_);
+    writer.PutU32(body_len);
+    writer.PutU8(static_cast<uint8_t>(type));
+    writer.PutBytes(body.data(), body.size());
+    writer.PutU64(checksum);
+    appended_lsn_ += sizeof(body_len) + 1 + body.size() + sizeof(checksum);
+    end = appended_lsn_;
+  }
+  return end;
+}
+
+void LogManager::WaitDurable(Lsn lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  flusher_cv_.notify_all();  // Give the flusher a nudge for low latency.
+  flushed_cv_.wait(lock, [&] { return durable_lsn_ >= lsn || stop_; });
+}
+
+Lsn LogManager::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+Lsn LogManager::appended_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_lsn_;
+}
+
+void LogManager::FlusherLoop() {
+  std::vector<uint8_t> local;
+  for (;;) {
+    Lsn target;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      flusher_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.flush_interval_us),
+          [&] { return stop_ || !buffer_.empty(); });
+      if (buffer_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      local.swap(buffer_);
+      target = appended_lsn_;
+    }
+    size_t off = 0;
+    while (off < local.size()) {
+      const ssize_t n = ::write(fd_, local.data() + off, local.size() - off);
+      NEXT700_CHECK_MSG(n >= 0, "log write failed");
+      off += static_cast<size_t>(n);
+    }
+    if (options_.device_latency_us > 0) {
+      // Model the commit latency of the log device (fsync on NVM/SSD).
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.device_latency_us));
+    }
+    ++flush_count_;
+    local.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      durable_lsn_ = target;
+    }
+    flushed_cv_.notify_all();
+  }
+}
+
+}  // namespace next700

@@ -1,0 +1,95 @@
+#ifndef NEXT700_LOG_LOG_MANAGER_H_
+#define NEXT700_LOG_LOG_MANAGER_H_
+
+/// \file
+/// Write-ahead logging with group commit. Workers serialize their commit
+/// record into a shared buffer (one short critical section — the serial log
+/// is itself a measured contention point, cf. Aether); a dedicated flusher
+/// thread writes the buffer to the log device every `flush_interval_us` and
+/// advances the durable LSN, waking transactions blocked in WaitDurable().
+///
+/// The "log device" is a file plus an injectable per-flush latency, which
+/// models DRAM-like NVM (0 µs), NVMe (~20 µs), or SATA-SSD-ish (~100 µs)
+/// commit hardware without needing the hardware.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "log/log_record.h"
+
+namespace next700 {
+
+enum class LoggingKind {
+  kNone,
+  kValue,    // Full after-images (ARIES-style redo).
+  kCommand,  // Procedure id + parameters (H-Store/VoltDB-style).
+};
+
+const char* LoggingKindName(LoggingKind kind);
+
+using Lsn = uint64_t;
+
+struct LogManagerOptions {
+  std::string path;
+  uint64_t flush_interval_us = 50;
+  uint64_t device_latency_us = 0;  // Injected on every physical flush.
+};
+
+class LogManager {
+ public:
+  explicit LogManager(LogManagerOptions options);
+  ~LogManager();
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Opens the log file (truncating) and starts the flusher.
+  Status Open();
+
+  /// Flushes outstanding records and stops the flusher.
+  void Close();
+
+  /// Appends one framed record; returns the LSN *after* the record (the
+  /// point that must become durable for it to be stable).
+  Lsn Append(LogRecordType type, const std::vector<uint8_t>& body);
+
+  /// Blocks until everything up to `lsn` reached the device.
+  void WaitDurable(Lsn lsn);
+
+  Lsn durable_lsn() const;
+  Lsn appended_lsn() const;
+
+  /// Physical flush count (group-commit effectiveness metric).
+  uint64_t flush_count() const {
+    return flush_count_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& path() const { return options_.path; }
+
+ private:
+  void FlusherLoop();
+
+  LogManagerOptions options_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable flushed_cv_;
+  std::condition_variable flusher_cv_;
+  std::vector<uint8_t> buffer_;  // Records appended but not yet written.
+  Lsn appended_lsn_ = 0;
+  Lsn durable_lsn_ = 0;
+  bool stop_ = false;
+  bool running_ = false;
+  std::atomic<uint64_t> flush_count_{0};
+
+  std::thread flusher_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_LOG_LOG_MANAGER_H_

@@ -1,0 +1,92 @@
+#ifndef NEXT700_LOG_LOG_RECORD_H_
+#define NEXT700_LOG_LOG_RECORD_H_
+
+/// \file
+/// On-disk log record framing. Every record is:
+///
+///   [u32 body_len][u8 type][body ... body_len bytes][u64 checksum]
+///
+/// The checksum is FNV-1a over the body; recovery stops at the first frame
+/// that fails to parse or checksum (torn tail after a crash).
+///
+/// Body formats:
+///   kTxnValue:   u64 commit_ts, u32 num_writes, then per write:
+///                u32 table_id, u32 partition, u64 primary_key, u8 kind
+///                (0=update, 1=insert, 2=delete), u32 payload_len, payload.
+///   kTxnCommand: u64 commit_ts, u32 proc_id, u32 arg_len, args.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace next700 {
+
+enum class LogRecordType : uint8_t {
+  kTxnValue = 1,
+  kTxnCommand = 2,
+};
+
+enum class LogWriteKind : uint8_t {
+  kUpdate = 0,
+  kInsert = 1,
+  kDelete = 2,
+};
+
+/// FNV-1a over an arbitrary buffer (log checksums).
+inline uint64_t FnvHashBytes(const uint8_t* data, size_t len) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+/// Append-only little-endian serializer for log bodies.
+class LogWriter {
+ public:
+  explicit LogWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU32(uint32_t v) { PutBytes(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutBytes(&v, sizeof(v)); }
+  void PutBytes(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + len);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian reader for log bodies.
+class LogReader {
+ public:
+  LogReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool GetU8(uint8_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetBytes(void* out, size_t len) {
+    if (pos_ + len > len_) return false;
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  const uint8_t* Peek() const { return data_ + pos_; }
+  bool Skip(size_t len) {
+    if (pos_ + len > len_) return false;
+    pos_ += len;
+    return true;
+  }
+  size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_LOG_LOG_RECORD_H_

@@ -1,0 +1,63 @@
+#include "storage/catalog.h"
+
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+
+namespace next700 {
+
+Table* Catalog::CreateTable(std::string name, Schema schema,
+                            uint32_t partitions) {
+  NEXT700_CHECK_MSG(GetTable(name) == nullptr, "duplicate table name");
+  const uint32_t id = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(
+      std::make_unique<Table>(id, std::move(name), std::move(schema),
+                              partitions));
+  primary_index_by_table_.push_back(nullptr);
+  return tables_.back().get();
+}
+
+Index* Catalog::CreateIndex(std::string name, Table* table, IndexKind kind,
+                            uint64_t capacity_hint) {
+  NEXT700_CHECK_MSG(GetIndex(name) == nullptr, "duplicate index name");
+  std::unique_ptr<Index> index;
+  switch (kind) {
+    case IndexKind::kHash:
+      index = std::make_unique<HashIndex>(table, capacity_hint);
+      break;
+    case IndexKind::kBTree:
+      index = std::make_unique<BTreeIndex>(table);
+      break;
+  }
+  indexes_.push_back(std::move(index));
+  index_names_.push_back(std::move(name));
+  Index* out = indexes_.back().get();
+  if (primary_index_by_table_[table->id()] == nullptr) {
+    primary_index_by_table_[table->id()] = out;
+  }
+  return out;
+}
+
+Table* Catalog::GetTable(std::string_view name) const {
+  for (const auto& table : tables_) {
+    if (table->name() == name) return table.get();
+  }
+  return nullptr;
+}
+
+Table* Catalog::GetTable(uint32_t id) const {
+  if (id >= tables_.size()) return nullptr;
+  return tables_[id].get();
+}
+
+Index* Catalog::GetIndex(std::string_view name) const {
+  for (size_t i = 0; i < index_names_.size(); ++i) {
+    if (index_names_[i] == name) return indexes_[i].get();
+  }
+  return nullptr;
+}
+
+Index* Catalog::PrimaryIndex(const Table* table) const {
+  return primary_index_by_table_[table->id()];
+}
+
+}  // namespace next700

@@ -1,0 +1,55 @@
+#ifndef NEXT700_STORAGE_CATALOG_H_
+#define NEXT700_STORAGE_CATALOG_H_
+
+/// \file
+/// Name/id registry for tables and indexes. DDL (table and index creation)
+/// is single-threaded setup work; lookups afterwards are read-only and
+/// lock-free.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "index/index.h"
+#include "storage/table.h"
+
+namespace next700 {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; aborts on duplicate names.
+  Table* CreateTable(std::string name, Schema schema, uint32_t partitions);
+
+  /// Registers an index over `table`. The first index created for a table
+  /// becomes its primary index (used by recovery).
+  Index* CreateIndex(std::string name, Table* table, IndexKind kind,
+                     uint64_t capacity_hint);
+
+  Table* GetTable(std::string_view name) const;
+  Table* GetTable(uint32_t id) const;
+  Index* GetIndex(std::string_view name) const;
+
+  /// Primary index of `table` (nullptr if the table has none).
+  Index* PrimaryIndex(const Table* table) const;
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int num_indexes() const { return static_cast<int>(indexes_.size()); }
+  Table* table_at(int i) const { return tables_[i].get(); }
+  Index* index_at(int i) const { return indexes_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+  std::vector<std::string> index_names_;
+  std::vector<Index*> primary_index_by_table_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_STORAGE_CATALOG_H_

@@ -1,0 +1,19 @@
+#include "storage/row.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace next700 {
+
+Version* Version::Allocate(uint32_t payload_size) {
+  void* mem = ::operator new(sizeof(Version) + payload_size);
+  return new (mem) Version();
+}
+
+void Version::Free(void* v) {
+  static_cast<Version*>(v)->~Version();
+  ::operator delete(v);
+}
+
+}  // namespace next700

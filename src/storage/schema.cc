@@ -1,0 +1,47 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+namespace next700 {
+
+int Schema::AddColumn(std::string name, ColumnType type, uint32_t size) {
+  NEXT700_CHECK_MSG(ColumnIndex(name) < 0, "duplicate column name");
+  const uint32_t aligned = (size + 7) & ~uint32_t{7};
+  offsets_.push_back(row_size_);
+  columns_.push_back(Column{std::move(name), type, size});
+  row_size_ += aligned;
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+int Schema::AddInt64(std::string name) {
+  return AddColumn(std::move(name), ColumnType::kInt64, 8);
+}
+
+int Schema::AddUint64(std::string name) {
+  return AddColumn(std::move(name), ColumnType::kUint64, 8);
+}
+
+int Schema::AddDouble(std::string name) {
+  return AddColumn(std::move(name), ColumnType::kDouble, 8);
+}
+
+int Schema::AddChar(std::string name, uint32_t capacity) {
+  return AddColumn(std::move(name), ColumnType::kChar, capacity);
+}
+
+int Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Schema::SetChar(uint8_t* row, int col, std::string_view v) const {
+  NEXT700_DCHECK(columns_[col].type == ColumnType::kChar);
+  const uint32_t cap = columns_[col].size;
+  const size_t n = std::min<size_t>(v.size(), cap);
+  std::memcpy(row + offsets_[col], v.data(), n);
+  std::memset(row + offsets_[col] + n, 0, cap - n);
+}
+
+}  // namespace next700

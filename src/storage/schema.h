@@ -1,0 +1,103 @@
+#ifndef NEXT700_STORAGE_SCHEMA_H_
+#define NEXT700_STORAGE_SCHEMA_H_
+
+/// \file
+/// Typed, fixed-size row schemas. All engine components treat payloads as
+/// opaque byte arrays of Schema::row_size() bytes; the accessors here are a
+/// convenience layer for workloads and examples.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+enum class ColumnType {
+  kInt64,
+  kUint64,
+  kDouble,
+  kChar,  // Fixed-capacity, NUL-padded string.
+};
+
+struct Column {
+  std::string name;
+  ColumnType type;
+  /// Payload bytes. 8 for the numeric types; the capacity for kChar.
+  uint32_t size;
+};
+
+/// Immutable column layout. Column offsets are assigned in declaration
+/// order, 8-byte aligned.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builder-style column registration; returns the column index.
+  int AddInt64(std::string name);
+  int AddUint64(std::string name);
+  int AddDouble(std::string name);
+  int AddChar(std::string name, uint32_t capacity);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  uint32_t offset(int i) const { return offsets_[i]; }
+  uint32_t row_size() const { return row_size_; }
+
+  /// Index of the column called `name`; -1 when absent.
+  int ColumnIndex(std::string_view name) const;
+
+  // --- Typed accessors over a raw payload -------------------------------
+
+  int64_t GetInt64(const uint8_t* row, int col) const {
+    NEXT700_DCHECK(columns_[col].type == ColumnType::kInt64);
+    int64_t v;
+    std::memcpy(&v, row + offsets_[col], sizeof(v));
+    return v;
+  }
+  uint64_t GetUint64(const uint8_t* row, int col) const {
+    NEXT700_DCHECK(columns_[col].type == ColumnType::kUint64);
+    uint64_t v;
+    std::memcpy(&v, row + offsets_[col], sizeof(v));
+    return v;
+  }
+  double GetDouble(const uint8_t* row, int col) const {
+    NEXT700_DCHECK(columns_[col].type == ColumnType::kDouble);
+    double v;
+    std::memcpy(&v, row + offsets_[col], sizeof(v));
+    return v;
+  }
+  std::string_view GetChar(const uint8_t* row, int col) const {
+    NEXT700_DCHECK(columns_[col].type == ColumnType::kChar);
+    const char* base = reinterpret_cast<const char*>(row + offsets_[col]);
+    return std::string_view(base, strnlen(base, columns_[col].size));
+  }
+
+  void SetInt64(uint8_t* row, int col, int64_t v) const {
+    NEXT700_DCHECK(columns_[col].type == ColumnType::kInt64);
+    std::memcpy(row + offsets_[col], &v, sizeof(v));
+  }
+  void SetUint64(uint8_t* row, int col, uint64_t v) const {
+    NEXT700_DCHECK(columns_[col].type == ColumnType::kUint64);
+    std::memcpy(row + offsets_[col], &v, sizeof(v));
+  }
+  void SetDouble(uint8_t* row, int col, double v) const {
+    NEXT700_DCHECK(columns_[col].type == ColumnType::kDouble);
+    std::memcpy(row + offsets_[col], &v, sizeof(v));
+  }
+  void SetChar(uint8_t* row, int col, std::string_view v) const;
+
+ private:
+  int AddColumn(std::string name, ColumnType type, uint32_t size);
+
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_size_ = 0;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_STORAGE_SCHEMA_H_

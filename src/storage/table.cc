@@ -1,0 +1,81 @@
+#include "storage/table.h"
+
+#include <new>
+
+namespace next700 {
+
+Table::Table(uint32_t table_id, std::string name, Schema schema,
+             uint32_t num_partitions)
+    : id_(table_id), name_(std::move(name)), schema_(std::move(schema)) {
+  NEXT700_CHECK(num_partitions > 0);
+  partitions_.reserve(num_partitions);
+  for (uint32_t i = 0; i < num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>());
+  }
+}
+
+Table::~Table() {
+  // Run Row destructors (atomics are trivially destructible, but version
+  // chains are owned by the MVCC layer which retires them through the epoch
+  // manager; any remaining chain nodes are freed here).
+  ForEachRow([](Row* row) {
+    Version* v = row->chain.load(std::memory_order_relaxed);
+    while (v != nullptr) {
+      Version* next = v->next;
+      Version::Free(v);
+      v = next;
+    }
+  });
+}
+
+Row* Table::AllocateRow(uint32_t partition) {
+  NEXT700_DCHECK(partition < partitions_.size());
+  Partition& part = *partitions_[partition];
+  Row* row = nullptr;
+  {
+    SpinLatchGuard guard(&part.latch);
+    if (!part.free_rows.empty()) {
+      row = part.free_rows.back();
+      part.free_rows.pop_back();
+    } else {
+      if (part.next_in_slab == kRowsPerSlab) {
+        part.slabs.emplace_back(new uint8_t[slot_size() * kRowsPerSlab]);
+        part.next_in_slab = 0;
+      }
+      row = RowAt(part.slabs.back().get(), part.next_in_slab++);
+    }
+  }
+  new (row) Row();
+  row->table = this;
+  row->partition = partition;
+  part.live_rows.fetch_add(1, std::memory_order_relaxed);
+  return row;
+}
+
+void Table::FreeRow(Row* row) {
+  NEXT700_DCHECK(row->table == this);
+  Partition& part = *partitions_[row->partition];
+  // The row was never published (aborted insert) or has been fully retired
+  // by its owner, so any leftover version chain is private: free it here so
+  // recycled slots do not leak versions.
+  Version* v = row->chain.exchange(nullptr, std::memory_order_relaxed);
+  while (v != nullptr) {
+    Version* next = v->next;
+    Version::Free(v);
+    v = next;
+  }
+  row->flags.store(kRowFree, std::memory_order_release);
+  part.live_rows.fetch_sub(1, std::memory_order_relaxed);
+  SpinLatchGuard guard(&part.latch);
+  part.free_rows.push_back(row);
+}
+
+uint64_t Table::ApproxRowCount() const {
+  uint64_t total = 0;
+  for (const auto& part : partitions_) {
+    total += part->live_rows.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace next700

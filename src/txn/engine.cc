@@ -1,0 +1,351 @@
+#include "txn/engine.h"
+
+#include <cstring>
+
+#include "cc/hstore.h"
+#include "cc/occ_silo.h"
+#include "cc/snapshot_isolation.h"
+#include "cc/tictoc.h"
+#include "cc/timestamp_ordering.h"
+#include "cc/two_phase_locking.h"
+
+namespace next700 {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  NEXT700_CHECK(options_.max_threads > 0);
+  NEXT700_CHECK(options_.num_partitions > 0);
+  if (options_.cc_scheme == CcScheme::kMvto ||
+      options_.cc_scheme == CcScheme::kSi) {
+    // The GC watermark argument relies on timestamps being monotone with
+    // allocation order, which batching breaks.
+    NEXT700_CHECK_MSG(
+        options_.ts_allocator == TimestampAllocatorKind::kAtomic,
+        "MVTO requires the atomic timestamp allocator");
+  }
+  ts_allocator_ =
+      TimestampAllocator::Create(options_.ts_allocator, options_.max_threads);
+  tracker_ = std::make_unique<ActiveTxnTracker>(options_.max_threads);
+
+  switch (options_.cc_scheme) {
+    case CcScheme::kNoWait:
+    case CcScheme::kWaitDie:
+    case CcScheme::kWoundWait:
+    case CcScheme::kDlDetect:
+      cc_ = std::make_unique<TwoPhaseLocking>(options_.cc_scheme,
+                                              ts_allocator_.get());
+      break;
+    case CcScheme::kTimestamp:
+      cc_ = std::make_unique<TimestampOrdering>(ts_allocator_.get());
+      break;
+    case CcScheme::kOcc:
+      cc_ = std::make_unique<OccSilo>();
+      break;
+    case CcScheme::kTicToc:
+      cc_ = std::make_unique<TicToc>();
+      break;
+    case CcScheme::kMvto:
+      cc_ = std::make_unique<Mvto>(ts_allocator_.get(), tracker_.get(),
+                                   options_.mvcc_gc);
+      break;
+    case CcScheme::kSi:
+      cc_ = std::make_unique<SnapshotIsolation>(
+          ts_allocator_.get(), tracker_.get(), options_.mvcc_gc);
+      break;
+    case CcScheme::kHstore:
+      cc_ = std::make_unique<Hstore>(options_.num_partitions);
+      break;
+  }
+
+  contexts_.reserve(options_.max_threads);
+  for (int i = 0; i < options_.max_threads; ++i) {
+    contexts_.push_back(std::make_unique<TxnContext>(i));
+  }
+  stats_.reset(new ThreadStats[options_.max_threads]);
+
+  if (options_.logging != LoggingKind::kNone) {
+    NEXT700_CHECK_MSG(!options_.log_path.empty(),
+                      "logging enabled without log_path");
+    LogManagerOptions log_options;
+    log_options.path = options_.log_path;
+    log_options.flush_interval_us = options_.log_flush_interval_us;
+    log_options.device_latency_us = options_.log_device_latency_us;
+    log_ = std::make_unique<LogManager>(log_options);
+    NEXT700_CHECK_MSG(log_->Open().ok(), "cannot open log");
+  }
+}
+
+Engine::~Engine() {
+  if (log_ != nullptr) log_->Close();
+}
+
+Table* Engine::CreateTable(std::string name, Schema schema) {
+  return catalog_.CreateTable(std::move(name), std::move(schema),
+                              options_.num_partitions);
+}
+
+Index* Engine::CreateIndex(std::string name, Table* table, IndexKind kind,
+                           uint64_t capacity_hint) {
+  return catalog_.CreateIndex(std::move(name), table, kind, capacity_hint);
+}
+
+void Engine::RegisterProcedure(uint32_t proc_id, Procedure procedure) {
+  NEXT700_CHECK_MSG(GetProcedure(proc_id) == nullptr,
+                    "duplicate procedure id");
+  procedures_.emplace_back(proc_id, std::move(procedure));
+}
+
+const Procedure* Engine::GetProcedure(uint32_t proc_id) const {
+  for (const auto& [id, proc] : procedures_) {
+    if (id == proc_id) return &proc;
+  }
+  return nullptr;
+}
+
+TxnContext* Engine::Begin(int thread_id,
+                          const std::vector<uint32_t>& partitions) {
+  NEXT700_DCHECK(thread_id >= 0 && thread_id < options_.max_threads);
+  TxnContext* txn = contexts_[thread_id].get();
+  NEXT700_DCHECK(txn->state() != TxnState::kActive &&
+                 txn->state() != TxnState::kValidated);
+  txn->Reset();
+  txn->set_txn_id(next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  txn->set_stats(&stats_[thread_id]);
+  txn->partitions() = partitions;
+  const Status s = cc_->Begin(txn);
+  NEXT700_CHECK_MSG(s.ok(), "Begin must not fail");
+  return txn;
+}
+
+Status Engine::Read(TxnContext* txn, Index* index, uint64_t key,
+                    uint8_t* out) {
+  Row* row = index->Lookup(key);
+  if (row == nullptr) return Status::NotFound("key not in index");
+  return ReadRow(txn, row, out);
+}
+
+Status Engine::ReadRow(TxnContext* txn, Row* row, uint8_t* out) {
+  ++txn->stats()->reads;
+  return cc_->Read(txn, row, out);
+}
+
+Status Engine::ReadForUpdate(TxnContext* txn, Index* index, uint64_t key,
+                             uint8_t* out) {
+  Row* row = index->Lookup(key);
+  if (row == nullptr) return Status::NotFound("key not in index");
+  return ReadRowForUpdate(txn, row, out);
+}
+
+Status Engine::ReadRowForUpdate(TxnContext* txn, Row* row, uint8_t* out) {
+  ++txn->stats()->reads;
+  return cc_->ReadForUpdate(txn, row, out);
+}
+
+Status Engine::Update(TxnContext* txn, Index* index, uint64_t key,
+                      const void* data) {
+  Row* row = index->Lookup(key);
+  if (row == nullptr) return Status::NotFound("key not in index");
+  return UpdateRow(txn, row, data);
+}
+
+Status Engine::UpdateRow(TxnContext* txn, Row* row, const void* data) {
+  ++txn->stats()->writes;
+  uint8_t* copy = static_cast<uint8_t*>(
+      txn->arena()->AllocateCopy(data, row->table->schema().row_size()));
+  return cc_->Write(txn, row, copy);
+}
+
+Result<Row*> Engine::Insert(TxnContext* txn, Table* table, uint32_t partition,
+                            uint64_t primary_key, const void* data) {
+  ++txn->stats()->inserts;
+  Row* row = table->AllocateRow(partition);
+  row->primary_key = primary_key;
+  uint8_t* copy = static_cast<uint8_t*>(
+      txn->arena()->AllocateCopy(data, table->schema().row_size()));
+  const Status s = cc_->Insert(txn, row, copy);
+  if (!s.ok()) {
+    table->FreeRow(row);
+    return s;
+  }
+  return row;
+}
+
+Status Engine::Delete(TxnContext* txn, Row* row) {
+  ++txn->stats()->writes;
+  return cc_->Delete(txn, row);
+}
+
+void Engine::AddIndexInsert(TxnContext* txn, Index* index, uint64_t key,
+                            Row* row) {
+  txn->index_ops().push_back(IndexOp{index, key, row, /*is_insert=*/true});
+}
+
+void Engine::AddIndexRemove(TxnContext* txn, Index* index, uint64_t key,
+                            Row* row) {
+  txn->index_ops().push_back(IndexOp{index, key, row, /*is_insert=*/false});
+}
+
+Status Engine::Scan(TxnContext* txn, Index* index, uint64_t lo, uint64_t hi,
+                    size_t limit, std::vector<Row*>* out) {
+  ++txn->stats()->scans;
+  return index->Scan(lo, hi, limit, out);
+}
+
+Status Engine::ScanReverse(TxnContext* txn, Index* index, uint64_t hi,
+                           uint64_t lo, size_t limit,
+                           std::vector<Row*>* out) {
+  ++txn->stats()->scans;
+  return index->ScanReverse(hi, lo, limit, out);
+}
+
+Status Engine::AppendCommitRecord(TxnContext* txn) {
+  if (txn->write_set().empty()) return Status::OK();  // Read-only.
+
+  std::vector<uint8_t> body;
+  LogRecordType type;
+  // Replay-ordering timestamp. Lock-based schemes serialize in commit
+  // (= append) order, which a begin timestamp does not reflect; they log 0,
+  // telling replay "apply in log order". Timestamp-based schemes log their
+  // serialization timestamp so replay can apply the Thomas write rule.
+  Timestamp commit_ts = 0;
+  switch (options_.cc_scheme) {
+    case CcScheme::kNoWait:
+    case CcScheme::kWaitDie:
+    case CcScheme::kWoundWait:
+    case CcScheme::kDlDetect:
+    case CcScheme::kHstore:
+      commit_ts = 0;
+      break;
+    default:
+      commit_ts = txn->commit_ts() != kInvalidTimestamp ? txn->commit_ts()
+                                                        : txn->ts();
+      break;
+  }
+  if (options_.logging == LoggingKind::kCommand && txn->has_procedure()) {
+    type = LogRecordType::kTxnCommand;
+    LogWriter writer(&body);
+    writer.PutU64(commit_ts);
+    writer.PutU32(txn->proc_id());
+    writer.PutU32(static_cast<uint32_t>(txn->proc_args().size()));
+    writer.PutBytes(txn->proc_args().data(), txn->proc_args().size());
+  } else {
+    // Value logging (also the fallback for ad-hoc command-logged txns).
+    type = LogRecordType::kTxnValue;
+    LogWriter writer(&body);
+    writer.PutU64(commit_ts);
+    writer.PutU32(static_cast<uint32_t>(txn->write_set().size()));
+    for (const auto& entry : txn->write_set()) {
+      const Table* table = entry.row->table;
+      writer.PutU32(table->id());
+      writer.PutU32(entry.row->partition);
+      writer.PutU64(entry.row->primary_key);
+      LogWriteKind kind = LogWriteKind::kUpdate;
+      if (entry.is_insert) kind = LogWriteKind::kInsert;
+      if (entry.is_delete) kind = LogWriteKind::kDelete;
+      writer.PutU8(static_cast<uint8_t>(kind));
+      if (entry.is_delete) {
+        writer.PutU32(0);
+      } else {
+        const uint8_t* image = entry.version != nullptr
+                                   ? entry.version->data()
+                                   : entry.new_data;
+        writer.PutU32(table->schema().row_size());
+        writer.PutBytes(image, table->schema().row_size());
+      }
+    }
+  }
+  const Lsn lsn = log_->Append(type, body);
+  txn->stats()->log_bytes += body.size() + 13;  // Frame overhead.
+  if (options_.sync_commit) log_->WaitDurable(lsn);
+  return Status::OK();
+}
+
+void Engine::ApplyIndexOps(TxnContext* txn) {
+  for (const auto& op : txn->index_ops()) {
+    if (op.is_insert) {
+      const Status s = op.index->Insert(op.key, op.row);
+      NEXT700_CHECK_MSG(s.ok(), "post-commit index insert failed");
+    } else {
+      op.index->Remove(op.key, op.row);
+    }
+  }
+}
+
+Status Engine::Commit(TxnContext* txn) {
+  Status s = cc_->Validate(txn);
+  if (!s.ok()) return s;
+  if (log_ != nullptr) {
+    s = AppendCommitRecord(txn);
+    NEXT700_CHECK_MSG(s.ok(), "log append failed");
+  }
+  cc_->Finalize(txn);
+  ApplyIndexOps(txn);
+  ++txn->stats()->commits;
+  return Status::OK();
+}
+
+void Engine::Abort(TxnContext* txn) {
+  cc_->Abort(txn);
+  ++txn->stats()->aborts;
+}
+
+void Engine::AbortUser(TxnContext* txn) {
+  cc_->Abort(txn);
+  ++txn->stats()->user_aborts;
+}
+
+Status Engine::RunProcedure(uint32_t proc_id, int thread_id, const void* args,
+                            size_t arg_len,
+                            const std::vector<uint32_t>& partitions) {
+  const Procedure* proc = GetProcedure(proc_id);
+  NEXT700_CHECK_MSG(proc != nullptr, "unknown procedure");
+  TxnContext* txn = Begin(thread_id, partitions);
+  txn->SetProcedure(proc_id, args, arg_len);
+  Status s = (*proc)(this, txn, static_cast<const uint8_t*>(args), arg_len);
+  if (s.ok()) s = Commit(txn);
+  if (!s.ok()) {
+    cc_->Abort(txn);
+    if (s.IsAborted()) {
+      ++txn->stats()->aborts;
+    } else {
+      ++txn->stats()->user_aborts;
+    }
+  }
+  return s;
+}
+
+RunStats Engine::AggregateStats() const {
+  RunStats run;
+  for (int i = 0; i < options_.max_threads; ++i) run.Add(stats_[i]);
+  return run;
+}
+
+void Engine::ResetStats() {
+  for (int i = 0; i < options_.max_threads; ++i) stats_[i].Reset();
+}
+
+Row* Engine::LoadRow(Table* table, uint32_t partition, uint64_t primary_key,
+                     const void* data) {
+  Row* row = table->AllocateRow(partition);
+  row->primary_key = primary_key;
+  if (cc_->is_multiversion()) {
+    Version* v = Version::Allocate(table->schema().row_size());
+    v->wts = kInvalidTimestamp;  // Older than every transaction.
+    v->committed.store(true, std::memory_order_relaxed);
+    std::memcpy(v->data(), data, table->schema().row_size());
+    row->chain.store(v, std::memory_order_release);
+  } else {
+    std::memcpy(row->data(), data, table->schema().row_size());
+  }
+  return row;
+}
+
+const uint8_t* Engine::RawImage(const Row* row) const {
+  if (cc_->is_multiversion()) {
+    const Version* v = row->chain.load(std::memory_order_acquire);
+    NEXT700_CHECK(v != nullptr);
+    return v->data();
+  }
+  return row->data();
+}
+
+}  // namespace next700

@@ -1,0 +1,180 @@
+#ifndef NEXT700_TXN_ENGINE_H_
+#define NEXT700_TXN_ENGINE_H_
+
+/// \file
+/// The composable transaction processing engine. An Engine is assembled
+/// from orthogonal components chosen in EngineOptions — concurrency
+/// control, timestamp allocation, logging, partitioning — over the shared
+/// storage and index substrates. Sweeping those axes enumerates the
+/// keynote's "next 700 engines"; the design-space benchmark (T3) does
+/// exactly that.
+///
+/// Threading model: the caller assigns each worker a thread id in
+/// [0, max_threads); Begin() hands out that worker's reusable TxnContext.
+/// All data operations take the TxnContext and return Status; kAborted
+/// means the transaction lost a conflict and the caller must Abort() and
+/// (typically) retry.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/cc.h"
+#include "cc/mvto.h"
+#include "common/status.h"
+#include "common/stats.h"
+#include "common/timestamp.h"
+#include "index/index.h"
+#include "log/log_manager.h"
+#include "storage/catalog.h"
+#include "txn/txn.h"
+
+namespace next700 {
+
+struct EngineOptions {
+  CcScheme cc_scheme = CcScheme::kOcc;
+  int max_threads = 8;
+  /// Default partition count for new tables and the H-Store lock domain.
+  uint32_t num_partitions = 1;
+  TimestampAllocatorKind ts_allocator = TimestampAllocatorKind::kAtomic;
+  /// MVTO: incremental version-chain garbage collection.
+  bool mvcc_gc = true;
+
+  LoggingKind logging = LoggingKind::kNone;
+  std::string log_path;
+  /// Wait for the commit record to reach the device before returning.
+  bool sync_commit = true;
+  uint64_t log_flush_interval_us = 50;
+  uint64_t log_device_latency_us = 0;
+};
+
+/// A stored procedure: re-executable transaction logic for command logging
+/// and recovery. Must be deterministic given its arguments.
+using Procedure =
+    std::function<Status(class Engine*, TxnContext*, const uint8_t* args,
+                         size_t arg_len)>;
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  Catalog* catalog() { return &catalog_; }
+  ConcurrencyControl* cc() { return cc_.get(); }
+  LogManager* log_manager() { return log_.get(); }
+  TimestampAllocator* ts_allocator() { return ts_allocator_.get(); }
+
+  // --- DDL (single-threaded setup) --------------------------------------
+
+  /// Creates a table partitioned options().num_partitions ways.
+  Table* CreateTable(std::string name, Schema schema);
+  Index* CreateIndex(std::string name, Table* table, IndexKind kind,
+                     uint64_t capacity_hint);
+
+  /// Registers deterministic transaction logic under `proc_id` (command
+  /// logging + recovery).
+  void RegisterProcedure(uint32_t proc_id, Procedure procedure);
+  const Procedure* GetProcedure(uint32_t proc_id) const;
+
+  // --- Transactions ------------------------------------------------------
+
+  /// Starts a transaction on the calling worker. For the H-Store scheme,
+  /// `partitions` must list every partition the transaction will touch
+  /// (empty = all partitions).
+  TxnContext* Begin(int thread_id,
+                    const std::vector<uint32_t>& partitions = {});
+
+  /// Point read through `index`. kNotFound if no visible row has `key`.
+  Status Read(TxnContext* txn, Index* index, uint64_t key, uint8_t* out);
+
+  /// Read via a row handle obtained from an index scan.
+  Status ReadRow(TxnContext* txn, Row* row, uint8_t* out);
+
+  /// Read with declared write intent (SELECT ... FOR UPDATE): use when an
+  /// Update of the same row follows in this transaction.
+  Status ReadForUpdate(TxnContext* txn, Index* index, uint64_t key,
+                       uint8_t* out);
+  Status ReadRowForUpdate(TxnContext* txn, Row* row, uint8_t* out);
+
+  /// Full-row update through `index`.
+  Status Update(TxnContext* txn, Index* index, uint64_t key,
+                const void* data);
+  Status UpdateRow(TxnContext* txn, Row* row, const void* data);
+
+  /// Allocates and stages a new row; visible (and indexed) after commit.
+  /// The caller must AddIndexInsert() at least the table's primary index.
+  Result<Row*> Insert(TxnContext* txn, Table* table, uint32_t partition,
+                      uint64_t primary_key, const void* data);
+
+  /// Stages a deletion; index entries must be removed via AddIndexRemove.
+  Status Delete(TxnContext* txn, Row* row);
+
+  /// Defers an index mutation to commit time.
+  void AddIndexInsert(TxnContext* txn, Index* index, uint64_t key, Row* row);
+  void AddIndexRemove(TxnContext* txn, Index* index, uint64_t key, Row* row);
+
+  /// Range scan over an ordered index; returns row handles (read each with
+  /// ReadRow for transactional visibility).
+  Status Scan(TxnContext* txn, Index* index, uint64_t lo, uint64_t hi,
+              size_t limit, std::vector<Row*>* out);
+  Status ScanReverse(TxnContext* txn, Index* index, uint64_t hi, uint64_t lo,
+                     size_t limit, std::vector<Row*>* out);
+
+  /// Validates, hardens, and publishes the transaction. On kAborted the
+  /// caller must still call Abort().
+  Status Commit(TxnContext* txn);
+
+  /// Rolls back a concurrency-control abort; always succeeds.
+  void Abort(TxnContext* txn);
+
+  /// Rolls back an application-initiated abort (counted separately: these
+  /// are deterministic outcomes, not conflicts to retry).
+  void AbortUser(TxnContext* txn);
+
+  /// Runs a registered procedure as one transaction, retrying internal
+  /// aborts is the caller's job. Records (proc_id, args) for command
+  /// logging before execution.
+  Status RunProcedure(uint32_t proc_id, int thread_id, const void* args,
+                      size_t arg_len,
+                      const std::vector<uint32_t>& partitions = {});
+
+  // --- Introspection -----------------------------------------------------
+
+  ThreadStats* stats(int thread_id) { return &stats_[thread_id]; }
+  RunStats AggregateStats() const;
+  void ResetStats();
+
+  /// Loader convenience: single-threaded, CC-free row installation used to
+  /// populate tables before a run (also used by recovery replay).
+  Row* LoadRow(Table* table, uint32_t partition, uint64_t primary_key,
+               const void* data);
+
+  /// Latest committed image of `row`, bypassing concurrency control. Only
+  /// safe when no transactions are in flight (loaders, audits, recovery).
+  const uint8_t* RawImage(const Row* row) const;
+
+ private:
+  friend class RecoveryManager;
+
+  Status AppendCommitRecord(TxnContext* txn);
+  void ApplyIndexOps(TxnContext* txn);
+
+  EngineOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<TimestampAllocator> ts_allocator_;
+  std::unique_ptr<ActiveTxnTracker> tracker_;
+  std::unique_ptr<ConcurrencyControl> cc_;
+  std::unique_ptr<LogManager> log_;
+  std::vector<std::unique_ptr<TxnContext>> contexts_;
+  std::unique_ptr<ThreadStats[]> stats_;
+  std::vector<std::pair<uint32_t, Procedure>> procedures_;
+  std::atomic<uint64_t> next_txn_id_{1};
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_TXN_ENGINE_H_

@@ -1,0 +1,160 @@
+#ifndef NEXT700_TXN_TXN_H_
+#define NEXT700_TXN_TXN_H_
+
+/// \file
+/// Per-transaction execution state. One TxnContext per worker thread is
+/// reused across transactions (Reset() between them); the read/write/undo
+/// payloads live in a per-context arena so the steady state allocates
+/// nothing.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/stats.h"
+#include "common/timestamp.h"
+#include "storage/row.h"
+
+namespace next700 {
+
+class Index;
+
+enum class TxnState {
+  kIdle,
+  kActive,
+  kValidated,  // Passed pre-commit validation; awaiting log + finalize.
+  kCommitted,
+  kAborted,
+};
+
+/// One record read by the transaction, with whatever the scheme needs to
+/// re-validate it at commit.
+struct ReadSetEntry {
+  Row* row = nullptr;
+  uint64_t observed_tid = 0;   // Silo/TicToc: packed word at read time.
+  Timestamp wts = 0;           // TicToc: version timestamp read.
+  Timestamp rts = 0;           // TicToc: read validity end at read time.
+  Version* version = nullptr;  // MVTO: the version actually read.
+};
+
+/// One record written (or inserted / deleted) by the transaction.
+struct WriteSetEntry {
+  Row* row = nullptr;
+  uint8_t* new_data = nullptr;   // Arena copy of the full after-image.
+  uint8_t* undo_data = nullptr;  // Before-image for in-place schemes.
+  Version* version = nullptr;    // MVTO: version installed at execution.
+  bool is_insert = false;
+  bool is_delete = false;
+  bool applied = false;  // In-place schemes: row already overwritten.
+  bool latched = false;  // Row mini-latch/lock held between validate/finalize.
+  bool skip_write = false;  // T/O Thomas write rule: commit without writing.
+};
+
+/// Deferred index maintenance, applied after commit.
+struct IndexOp {
+  Index* index = nullptr;
+  uint64_t key = 0;
+  Row* row = nullptr;
+  bool is_insert = false;  // false => remove.
+};
+
+class TxnContext {
+ public:
+  explicit TxnContext(int thread_id) : thread_id_(thread_id) {}
+  TxnContext(const TxnContext&) = delete;
+  TxnContext& operator=(const TxnContext&) = delete;
+
+  int thread_id() const { return thread_id_; }
+
+  /// Globally unique id of the running transaction (lock-manager identity).
+  uint64_t txn_id() const { return txn_id_; }
+  void set_txn_id(uint64_t id) { txn_id_ = id; }
+
+  Timestamp ts() const { return ts_; }
+  void set_ts(Timestamp ts) { ts_ = ts; }
+
+  Timestamp commit_ts() const { return commit_ts_; }
+  void set_commit_ts(Timestamp ts) { commit_ts_ = ts; }
+
+  TxnState state() const { return state_; }
+  void set_state(TxnState state) { state_ = state; }
+
+  Arena* arena() { return &arena_; }
+
+  std::vector<ReadSetEntry>& read_set() { return read_set_; }
+  std::vector<WriteSetEntry>& write_set() { return write_set_; }
+  std::vector<IndexOp>& index_ops() { return index_ops_; }
+
+  /// Home partitions declared at Begin (H-Store engine; sorted, unique).
+  std::vector<uint32_t>& partitions() { return partitions_; }
+
+  /// Rows on which the lock manager holds locks for this transaction.
+  std::vector<Row*>& held_locks() { return held_locks_; }
+
+  /// WOUND_WAIT: an older transaction marked this one for death. The victim
+  /// notices at its next lock operation (or inside its wait loop) and
+  /// aborts. Set by other threads; cleared by Reset().
+  bool wounded() const { return wounded_.load(std::memory_order_acquire); }
+  void set_wounded() { wounded_.store(true, std::memory_order_release); }
+
+  /// Per-worker stats sink (owned by the engine).
+  ThreadStats* stats() const { return stats_; }
+  void set_stats(ThreadStats* stats) { stats_ = stats; }
+
+  /// Write-set entry for `row`, or nullptr (read-own-writes lookup).
+  WriteSetEntry* FindWrite(Row* row) {
+    for (auto& entry : write_set_) {
+      if (entry.row == row) return &entry;
+    }
+    return nullptr;
+  }
+
+  /// Registered stored-procedure invocation for command logging.
+  uint32_t proc_id() const { return proc_id_; }
+  const std::vector<uint8_t>& proc_args() const { return proc_args_; }
+  void SetProcedure(uint32_t proc_id, const void* args, size_t len) {
+    proc_id_ = proc_id;
+    proc_args_.assign(static_cast<const uint8_t*>(args),
+                      static_cast<const uint8_t*>(args) + len);
+  }
+  bool has_procedure() const { return proc_id_ != kNoProcedure; }
+
+  static constexpr uint32_t kNoProcedure = ~0u;
+
+  void Reset() {
+    read_set_.clear();
+    write_set_.clear();
+    index_ops_.clear();
+    partitions_.clear();
+    held_locks_.clear();
+    arena_.Reset();
+    ts_ = kInvalidTimestamp;
+    commit_ts_ = kInvalidTimestamp;
+    proc_id_ = kNoProcedure;
+    proc_args_.clear();
+    wounded_.store(false, std::memory_order_relaxed);
+    state_ = TxnState::kIdle;
+  }
+
+ private:
+  int thread_id_;
+  uint64_t txn_id_ = 0;
+  Timestamp ts_ = kInvalidTimestamp;
+  Timestamp commit_ts_ = kInvalidTimestamp;
+  TxnState state_ = TxnState::kIdle;
+  uint32_t proc_id_ = kNoProcedure;
+  std::vector<uint8_t> proc_args_;
+  Arena arena_;
+  std::vector<ReadSetEntry> read_set_;
+  std::vector<WriteSetEntry> write_set_;
+  std::vector<IndexOp> index_ops_;
+  std::vector<uint32_t> partitions_;
+  std::vector<Row*> held_locks_;
+  std::atomic<bool> wounded_{false};
+  ThreadStats* stats_ = nullptr;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_TXN_TXN_H_

@@ -1,0 +1,98 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace next700 {
+
+namespace {
+
+/// Timed mode: warmup until `go`, measure until `stop`.
+void TimedWorker(Engine* engine, Workload* workload, int thread_id,
+                 uint64_t seed, std::barrier<>* barrier,
+                 const std::atomic<bool>* warmup_done,
+                 const std::atomic<bool>* stop) {
+  Rng rng(seed);
+  while (!warmup_done->load(std::memory_order_acquire)) {
+    (void)workload->RunNextTxn(engine, thread_id, &rng);
+  }
+  barrier->arrive_and_wait();  // Coordinator resets stats here.
+  barrier->arrive_and_wait();
+  ThreadStats* stats = engine->stats(thread_id);
+  while (!stop->load(std::memory_order_acquire)) {
+    const uint64_t begin = NowNanos();
+    const Status s = workload->RunNextTxn(engine, thread_id, &rng);
+    if (s.ok()) stats->commit_latency_ns.Record(NowNanos() - begin);
+  }
+  barrier->arrive_and_wait();  // Coordinator aggregates after this.
+}
+
+/// Fixed-work mode: run exactly `count` logical transactions.
+void FixedWorker(Engine* engine, Workload* workload, int thread_id,
+                 uint64_t seed, uint64_t count) {
+  Rng rng(seed);
+  ThreadStats* stats = engine->stats(thread_id);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t begin = NowNanos();
+    const Status s = workload->RunNextTxn(engine, thread_id, &rng);
+    if (s.ok()) stats->commit_latency_ns.Record(NowNanos() - begin);
+  }
+}
+
+}  // namespace
+
+RunStats Driver::Run(Engine* engine, Workload* workload,
+                     const DriverOptions& options) {
+  NEXT700_CHECK(options.num_threads >= 1);
+  NEXT700_CHECK(options.num_threads <= engine->options().max_threads);
+
+  if (options.txns_per_thread > 0) {
+    engine->ResetStats();
+    const uint64_t t0 = NowNanos();
+    std::vector<std::thread> threads;
+    for (int i = 0; i < options.num_threads; ++i) {
+      threads.emplace_back(FixedWorker, engine, workload, i,
+                           options.seed + i, options.txns_per_thread);
+    }
+    for (auto& t : threads) t.join();
+    RunStats run = engine->AggregateStats();
+    run.elapsed_seconds = static_cast<double>(NowNanos() - t0) / 1e9;
+    return run;
+  }
+
+  std::atomic<bool> warmup_done{false};
+  std::atomic<bool> stop{false};
+  std::barrier<> barrier(options.num_threads + 1);
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < options.num_threads; ++i) {
+    threads.emplace_back(TimedWorker, engine, workload, i, options.seed + i,
+                         &barrier, &warmup_done, &stop);
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(options.warmup_seconds));
+  warmup_done.store(true, std::memory_order_release);
+  barrier.arrive_and_wait();  // Workers quiesced between transactions.
+  engine->ResetStats();
+  const uint64_t t0 = NowNanos();
+  barrier.arrive_and_wait();  // Measurement starts.
+
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(options.measure_seconds));
+  stop.store(true, std::memory_order_release);
+  barrier.arrive_and_wait();  // Workers done writing stats.
+  const uint64_t t1 = NowNanos();
+
+  for (auto& t : threads) t.join();
+  RunStats run = engine->AggregateStats();
+  run.elapsed_seconds = static_cast<double>(t1 - t0) / 1e9;
+  return run;
+}
+
+}  // namespace next700

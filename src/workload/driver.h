@@ -1,0 +1,37 @@
+#ifndef NEXT700_WORKLOAD_DRIVER_H_
+#define NEXT700_WORKLOAD_DRIVER_H_
+
+/// \file
+/// Multi-threaded benchmark driver: warmup phase, barrier, timed
+/// measurement window, barrier, aggregation. Worker stats are only read by
+/// the coordinator between barriers, so the hot path needs no atomics.
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "workload/workload.h"
+
+namespace next700 {
+
+struct DriverOptions {
+  int num_threads = 1;
+  double warmup_seconds = 0.25;
+  double measure_seconds = 2.0;
+  /// Non-zero switches to fixed-work mode: no warmup, each worker runs
+  /// exactly this many logical transactions, elapsed time measured overall.
+  uint64_t txns_per_thread = 0;
+  /// Base RNG seed; worker i uses seed + i.
+  uint64_t seed = 42;
+};
+
+class Driver {
+ public:
+  /// Runs `workload` against `engine` (already Load()-ed) and returns the
+  /// aggregated measurement-window stats.
+  static RunStats Run(Engine* engine, Workload* workload,
+                      const DriverOptions& options);
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_WORKLOAD_DRIVER_H_

@@ -1,0 +1,190 @@
+#include "workload/smallbank.h"
+
+namespace next700 {
+
+namespace {
+enum Col : int { kCustId, kBalance };
+}  // namespace
+
+SmallBankWorkload::SmallBankWorkload(SmallBankOptions options)
+    : options_(std::move(options)) {
+  NEXT700_CHECK(options_.num_accounts > 0);
+  NEXT700_CHECK(options_.pct_balance + options_.pct_deposit_checking +
+                    options_.pct_transact_savings + options_.pct_amalgamate +
+                    options_.pct_write_check + options_.pct_send_payment ==
+                100);
+  zipf_ = std::make_unique<ZipfGenerator>(options_.num_accounts,
+                                          options_.theta);
+}
+
+void SmallBankWorkload::Load(Engine* engine) {
+  const uint32_t partitions = engine->options().num_partitions;
+  Schema savings_schema;
+  savings_schema.AddUint64("CUST_ID");
+  savings_schema.AddInt64("BALANCE");
+  Schema checking_schema = savings_schema;
+  savings_ = engine->CreateTable("SAVINGS", std::move(savings_schema));
+  checking_ = engine->CreateTable("CHECKING", std::move(checking_schema));
+  savings_pk_ = engine->CreateIndex("SAVINGS_PK", savings_, IndexKind::kHash,
+                                    options_.num_accounts);
+  checking_pk_ = engine->CreateIndex("CHECKING_PK", checking_,
+                                     IndexKind::kHash,
+                                     options_.num_accounts);
+  std::vector<uint8_t> buf(savings_->schema().row_size());
+  for (uint64_t acct = 0; acct < options_.num_accounts; ++acct) {
+    const uint32_t part = static_cast<uint32_t>(acct % partitions);
+    savings_->schema().SetUint64(buf.data(), kCustId, acct);
+    savings_->schema().SetInt64(buf.data(), kBalance,
+                                options_.initial_balance);
+    Row* srow = engine->LoadRow(savings_, part, acct, buf.data());
+    NEXT700_CHECK(savings_pk_->Insert(acct, srow).ok());
+    Row* crow = engine->LoadRow(checking_, part, acct, buf.data());
+    NEXT700_CHECK(checking_pk_->Insert(acct, crow).ok());
+  }
+}
+
+SmallBankWorkload::TxnType SmallBankWorkload::PickType(Rng* rng) const {
+  int pick = static_cast<int>(rng->NextUint64(100));
+  if ((pick -= options_.pct_balance) < 0) return kBalance;
+  if ((pick -= options_.pct_deposit_checking) < 0) return kDepositChecking;
+  if ((pick -= options_.pct_transact_savings) < 0) return kTransactSavings;
+  if ((pick -= options_.pct_amalgamate) < 0) return kAmalgamate;
+  if ((pick -= options_.pct_write_check) < 0) return kWriteCheck;
+  return kSendPayment;
+}
+
+Status SmallBankWorkload::ExecuteOnce(Engine* engine, int thread_id,
+                                      TxnType type, uint64_t acct_a,
+                                      uint64_t acct_b, int64_t amount) {
+  const Schema& s = savings_->schema();
+  const uint32_t partitions = engine->options().num_partitions;
+  std::vector<uint32_t> parts{static_cast<uint32_t>(acct_a % partitions)};
+  if (type == kAmalgamate || type == kSendPayment) {
+    parts.push_back(static_cast<uint32_t>(acct_b % partitions));
+  }
+  TxnContext* txn = engine->Begin(thread_id, parts);
+  uint8_t sav[16], chk[16], other[16];
+  auto abort_with = [&](const Status& status) {
+    if (status.IsAborted()) {
+      engine->Abort(txn);
+    } else {
+      engine->AbortUser(txn);  // Deterministic business-rule rollback.
+    }
+    return status;
+  };
+
+  switch (type) {
+    case kBalance: {
+      Status st = engine->Read(txn, savings_pk_, acct_a, sav);
+      if (!st.ok()) return abort_with(st);
+      st = engine->Read(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      break;
+    }
+    case kDepositChecking: {
+      Status st = engine->Read(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      s.SetInt64(chk, kBalance, s.GetInt64(chk, kBalance) + amount);
+      st = engine->Update(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      break;
+    }
+    case kTransactSavings: {
+      Status st = engine->Read(txn, savings_pk_, acct_a, sav);
+      if (!st.ok()) return abort_with(st);
+      const int64_t balance = s.GetInt64(sav, kBalance) + amount;
+      if (balance < 0) {
+        return abort_with(Status::InvalidArgument("insufficient savings"));
+      }
+      s.SetInt64(sav, kBalance, balance);
+      st = engine->Update(txn, savings_pk_, acct_a, sav);
+      if (!st.ok()) return abort_with(st);
+      break;
+    }
+    case kAmalgamate: {
+      Status st = engine->Read(txn, savings_pk_, acct_a, sav);
+      if (!st.ok()) return abort_with(st);
+      st = engine->Read(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      st = engine->Read(txn, checking_pk_, acct_b, other);
+      if (!st.ok()) return abort_with(st);
+      const int64_t moved =
+          s.GetInt64(sav, kBalance) + s.GetInt64(chk, kBalance);
+      s.SetInt64(other, kBalance, s.GetInt64(other, kBalance) + moved);
+      s.SetInt64(sav, kBalance, 0);
+      s.SetInt64(chk, kBalance, 0);
+      st = engine->Update(txn, savings_pk_, acct_a, sav);
+      if (!st.ok()) return abort_with(st);
+      st = engine->Update(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      st = engine->Update(txn, checking_pk_, acct_b, other);
+      if (!st.ok()) return abort_with(st);
+      break;
+    }
+    case kWriteCheck: {
+      Status st = engine->Read(txn, savings_pk_, acct_a, sav);
+      if (!st.ok()) return abort_with(st);
+      st = engine->Read(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      const int64_t total =
+          s.GetInt64(sav, kBalance) + s.GetInt64(chk, kBalance);
+      const int64_t penalty = total < amount ? 100 : 0;  // Overdraft fee.
+      s.SetInt64(chk, kBalance,
+                 s.GetInt64(chk, kBalance) - amount - penalty);
+      st = engine->Update(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      break;
+    }
+    case kSendPayment: {
+      Status st = engine->Read(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      if (s.GetInt64(chk, kBalance) < amount) {
+        return abort_with(Status::InvalidArgument("insufficient checking"));
+      }
+      st = engine->Read(txn, checking_pk_, acct_b, other);
+      if (!st.ok()) return abort_with(st);
+      s.SetInt64(chk, kBalance, s.GetInt64(chk, kBalance) - amount);
+      s.SetInt64(other, kBalance, s.GetInt64(other, kBalance) + amount);
+      st = engine->Update(txn, checking_pk_, acct_a, chk);
+      if (!st.ok()) return abort_with(st);
+      st = engine->Update(txn, checking_pk_, acct_b, other);
+      if (!st.ok()) return abort_with(st);
+      break;
+    }
+  }
+  const Status st = engine->Commit(txn);
+  if (!st.ok()) return abort_with(st);
+  return Status::OK();
+}
+
+Status SmallBankWorkload::RunNextTxn(Engine* engine, int thread_id,
+                                     Rng* rng) {
+  const TxnType type = PickType(rng);
+  const uint64_t acct_a = PickAccount(rng);
+  uint64_t acct_b = acct_a;
+  if (type == kAmalgamate || type == kSendPayment) {
+    while (acct_b == acct_a && options_.num_accounts > 1) {
+      acct_b = PickAccount(rng);
+    }
+  }
+  const int64_t amount = static_cast<int64_t>(rng->NextRange(1, 100));
+  return RunWithRetry(rng, [&] {
+    return ExecuteOnce(engine, thread_id, type, acct_a, acct_b, amount);
+  });
+}
+
+int64_t SmallBankWorkload::TotalMoney(Engine* engine) const {
+  int64_t total = 0;
+  const Schema& s = savings_->schema();
+  const auto sum_table = [&](Table* table) {
+    table->ForEachRow([&](Row* row) {
+      if (row->deleted()) return;
+      total += s.GetInt64(engine->RawImage(row), kBalance);
+    });
+  };
+  sum_table(savings_);
+  sum_table(checking_);
+  return total;
+}
+
+}  // namespace next700

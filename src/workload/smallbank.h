@@ -1,0 +1,74 @@
+#ifndef NEXT700_WORKLOAD_SMALLBANK_H_
+#define NEXT700_WORKLOAD_SMALLBANK_H_
+
+/// \file
+/// SmallBank (Alomari et al.): a tiny banking workload whose transactions
+/// create write-write and read-write conflicts on a handful of rows. It is
+/// the serializability canary of the test suite: under any correct scheme,
+/// a run of balance-moving transactions conserves total money exactly.
+
+#include "workload/workload.h"
+
+namespace next700 {
+
+struct SmallBankOptions {
+  uint64_t num_accounts = 100000;
+  /// Zipf skew over accounts (0 = uniform); models the "hotspot" clients.
+  double theta = 0.0;
+  /// Transaction mix in percent; must sum to 100. The conservation tests
+  /// use a mix of only SendPayment/Amalgamate/Balance.
+  int pct_balance = 15;
+  int pct_deposit_checking = 15;
+  int pct_transact_savings = 15;
+  int pct_amalgamate = 15;
+  int pct_write_check = 15;
+  int pct_send_payment = 25;
+  int64_t initial_balance = 10000;  // Per account, both tables (cents).
+};
+
+class SmallBankWorkload : public Workload {
+ public:
+  explicit SmallBankWorkload(SmallBankOptions options);
+
+  void Load(Engine* engine) override;
+  Status RunNextTxn(Engine* engine, int thread_id, Rng* rng) override;
+  const char* name() const override { return "smallbank"; }
+
+  /// Sum of every savings and checking balance (run quiescent).
+  int64_t TotalMoney(Engine* engine) const;
+
+  /// Expected total immediately after Load().
+  int64_t InitialTotal() const {
+    return 2 * options_.initial_balance *
+           static_cast<int64_t>(options_.num_accounts);
+  }
+
+  const SmallBankOptions& options() const { return options_; }
+
+ private:
+  enum TxnType {
+    kBalance,
+    kDepositChecking,
+    kTransactSavings,
+    kAmalgamate,
+    kWriteCheck,
+    kSendPayment,
+  };
+
+  TxnType PickType(Rng* rng) const;
+  uint64_t PickAccount(Rng* rng) { return zipf_->Next(rng); }
+
+  Status ExecuteOnce(Engine* engine, int thread_id, TxnType type,
+                     uint64_t acct_a, uint64_t acct_b, int64_t amount);
+
+  SmallBankOptions options_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  Table* savings_ = nullptr;
+  Table* checking_ = nullptr;
+  Index* savings_pk_ = nullptr;
+  Index* checking_pk_ = nullptr;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_WORKLOAD_SMALLBANK_H_

@@ -1,0 +1,334 @@
+#include "workload/tatp.h"
+
+namespace next700 {
+
+TatpWorkload::TatpWorkload(TatpOptions options)
+    : options_(std::move(options)) {
+  NEXT700_CHECK(options_.num_subscribers > 0);
+  NEXT700_CHECK(options_.pct_get_subscriber_data +
+                    options_.pct_get_new_destination +
+                    options_.pct_get_access_data +
+                    options_.pct_update_subscriber_data +
+                    options_.pct_update_location +
+                    options_.pct_insert_call_forwarding +
+                    options_.pct_delete_call_forwarding ==
+                100);
+}
+
+void TatpWorkload::Load(Engine* engine) {
+  num_partitions_ = engine->options().num_partitions;
+  {
+    Schema s;
+    s.AddUint64("S_ID");
+    s.AddChar("SUB_NBR", 15);
+    s.AddUint64("BIT_1");
+    s.AddUint64("MSC_LOCATION");
+    s.AddUint64("VLR_LOCATION");
+    subscriber_ = engine->CreateTable("SUBSCRIBER", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("S_ID");
+    s.AddUint64("AI_TYPE");
+    s.AddUint64("DATA1");
+    s.AddUint64("DATA2");
+    s.AddChar("DATA3", 5);
+    access_info_ = engine->CreateTable("ACCESS_INFO", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("S_ID");
+    s.AddUint64("SF_TYPE");
+    s.AddUint64("IS_ACTIVE");
+    s.AddUint64("ERROR_CNTRL");
+    s.AddUint64("DATA_A");
+    s.AddChar("DATA_B", 5);
+    special_facility_ = engine->CreateTable("SPECIAL_FACILITY", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("S_ID");
+    s.AddUint64("SF_TYPE");
+    s.AddUint64("START_TIME");
+    s.AddUint64("END_TIME");
+    s.AddChar("NUMBERX", 15);
+    call_forwarding_ = engine->CreateTable("CALL_FORWARDING", std::move(s));
+  }
+  const uint64_t n = options_.num_subscribers;
+  subscriber_pk_ =
+      engine->CreateIndex("SUBSCRIBER_PK", subscriber_, IndexKind::kHash, n);
+  access_info_pk_ = engine->CreateIndex("ACCESS_INFO_PK", access_info_,
+                                        IndexKind::kHash, n * 3);
+  special_facility_pk_ = engine->CreateIndex(
+      "SPECIAL_FACILITY_PK", special_facility_, IndexKind::kHash, n * 3);
+  // CF needs range scans per (s_id, sf_type): ordered index.
+  call_forwarding_pk_ = engine->CreateIndex(
+      "CALL_FORWARDING_PK", call_forwarding_, IndexKind::kBTree, n * 2);
+
+  Rng rng(0x7A7B);
+  std::vector<uint8_t> buf(64);
+  for (uint64_t s_id = 1; s_id <= n; ++s_id) {
+    const uint32_t part = PartitionOf(s_id);
+    {
+      const Schema& s = subscriber_->schema();
+      char nbr[16];
+      std::snprintf(nbr, sizeof(nbr), "%015llu",
+                    static_cast<unsigned long long>(s_id));
+      s.SetUint64(buf.data(), SUB_ID, s_id);
+      s.SetChar(buf.data(), SUB_NBR, nbr);
+      s.SetUint64(buf.data(), SUB_BIT_1, rng.NextUint64(2));
+      s.SetUint64(buf.data(), SUB_MSC_LOCATION, rng.Next());
+      s.SetUint64(buf.data(), SUB_VLR_LOCATION, rng.Next());
+      Row* row = engine->LoadRow(subscriber_, part, s_id, buf.data());
+      NEXT700_CHECK(subscriber_pk_->Insert(s_id, row).ok());
+    }
+    // 1..4 access-info rows with distinct types.
+    {
+      const Schema& s = access_info_->schema();
+      const uint32_t count = static_cast<uint32_t>(rng.NextRange(1, 4));
+      for (uint32_t t = 1; t <= count; ++t) {
+        s.SetUint64(buf.data(), AI_S_ID, s_id);
+        s.SetUint64(buf.data(), AI_TYPE, t);
+        s.SetUint64(buf.data(), AI_DATA1, rng.NextUint64(256));
+        s.SetUint64(buf.data(), AI_DATA2, rng.NextUint64(256));
+        s.SetChar(buf.data(), AI_DATA3, "ZAB");
+        const uint64_t key = TatpAccessInfoKey(s_id, t);
+        Row* row = engine->LoadRow(access_info_, part, key, buf.data());
+        NEXT700_CHECK(access_info_pk_->Insert(key, row).ok());
+      }
+    }
+    // 1..4 special facilities; each with 0..3 call-forwarding rows.
+    {
+      const Schema& sf = special_facility_->schema();
+      const Schema& cf = call_forwarding_->schema();
+      const uint32_t count = static_cast<uint32_t>(rng.NextRange(1, 4));
+      for (uint32_t t = 1; t <= count; ++t) {
+        sf.SetUint64(buf.data(), SF_S_ID, s_id);
+        sf.SetUint64(buf.data(), SF_TYPE, t);
+        sf.SetUint64(buf.data(), SF_IS_ACTIVE, rng.NextBool(0.85) ? 1 : 0);
+        sf.SetUint64(buf.data(), SF_ERROR_CNTRL, rng.NextUint64(256));
+        sf.SetUint64(buf.data(), SF_DATA_A, rng.NextUint64(256));
+        sf.SetChar(buf.data(), SF_DATA_B, "FGHIJ");
+        const uint64_t sf_key = TatpSpecialFacilityKey(s_id, t);
+        Row* row = engine->LoadRow(special_facility_, part, sf_key,
+                                   buf.data());
+        NEXT700_CHECK(special_facility_pk_->Insert(sf_key, row).ok());
+
+        const uint32_t cf_count = static_cast<uint32_t>(rng.NextUint64(4));
+        for (uint32_t c = 0; c < cf_count; ++c) {
+          const uint32_t start = c * 8;  // 0, 8, 16.
+          if (start > 16) break;
+          cf.SetUint64(buf.data(), CF_S_ID, s_id);
+          cf.SetUint64(buf.data(), CF_SF_TYPE, t);
+          cf.SetUint64(buf.data(), CF_START_TIME, start);
+          cf.SetUint64(buf.data(), CF_END_TIME, start + rng.NextRange(1, 8));
+          cf.SetChar(buf.data(), CF_NUMBERX, "005551234567890");
+          const uint64_t key = TatpCallForwardingKey(s_id, t, start);
+          Row* cf_row = engine->LoadRow(call_forwarding_, part, key,
+                                        buf.data());
+          NEXT700_CHECK(call_forwarding_pk_->Insert(key, cf_row).ok());
+        }
+      }
+    }
+  }
+}
+
+Status TatpWorkload::GetSubscriberData(Engine* engine, TxnContext* txn,
+                                       uint64_t s_id) {
+  uint8_t buf[64];
+  return engine->Read(txn, subscriber_pk_, s_id, buf);
+}
+
+Status TatpWorkload::GetNewDestination(Engine* engine, TxnContext* txn,
+                                       uint64_t s_id, uint32_t sf_type,
+                                       uint32_t start_time,
+                                       uint32_t end_time) {
+  uint8_t buf[64];
+  const Schema& sf = special_facility_->schema();
+  const Schema& cf = call_forwarding_->schema();
+  Status s = engine->Read(txn, special_facility_pk_,
+                          TatpSpecialFacilityKey(s_id, sf_type), buf);
+  if (s.IsNotFound()) return Status::InvalidArgument("no such facility");
+  NEXT700_RETURN_IF_ERROR(s);
+  if (sf.GetUint64(buf, SF_IS_ACTIVE) == 0) {
+    return Status::InvalidArgument("facility inactive");
+  }
+  std::vector<Row*> rows;
+  NEXT700_RETURN_IF_ERROR(engine->Scan(
+      txn, call_forwarding_pk_, TatpCallForwardingKey(s_id, sf_type, 0),
+      TatpCallForwardingKey(s_id, sf_type, 16), 0, &rows));
+  int matches = 0;
+  for (Row* row : rows) {
+    s = engine->ReadRow(txn, row, buf);
+    if (s.IsNotFound()) continue;
+    NEXT700_RETURN_IF_ERROR(s);
+    if (cf.GetUint64(buf, CF_START_TIME) <= start_time &&
+        end_time < cf.GetUint64(buf, CF_END_TIME)) {
+      ++matches;
+    }
+  }
+  if (matches == 0) return Status::InvalidArgument("no destination");
+  return Status::OK();
+}
+
+Status TatpWorkload::GetAccessData(Engine* engine, TxnContext* txn,
+                                   uint64_t s_id, uint32_t ai_type) {
+  uint8_t buf[64];
+  const Status s =
+      engine->Read(txn, access_info_pk_, TatpAccessInfoKey(s_id, ai_type),
+                   buf);
+  if (s.IsNotFound()) return Status::InvalidArgument("no access info");
+  return s;
+}
+
+Status TatpWorkload::UpdateSubscriberData(Engine* engine, TxnContext* txn,
+                                          uint64_t s_id, uint32_t sf_type,
+                                          uint64_t bit, uint64_t data_a) {
+  uint8_t buf[64];
+  const Schema& sub = subscriber_->schema();
+  NEXT700_RETURN_IF_ERROR(
+      engine->ReadForUpdate(txn, subscriber_pk_, s_id, buf));
+  sub.SetUint64(buf, SUB_BIT_1, bit);
+  NEXT700_RETURN_IF_ERROR(engine->Update(txn, subscriber_pk_, s_id, buf));
+
+  const Schema& sf = special_facility_->schema();
+  const uint64_t sf_key = TatpSpecialFacilityKey(s_id, sf_type);
+  const Status s = engine->ReadForUpdate(txn, special_facility_pk_, sf_key,
+                                         buf);
+  if (s.IsNotFound()) return Status::InvalidArgument("no such facility");
+  NEXT700_RETURN_IF_ERROR(s);
+  sf.SetUint64(buf, SF_DATA_A, data_a);
+  return engine->Update(txn, special_facility_pk_, sf_key, buf);
+}
+
+Status TatpWorkload::UpdateLocation(Engine* engine, TxnContext* txn,
+                                    uint64_t s_id, uint64_t location) {
+  uint8_t buf[64];
+  const Schema& sub = subscriber_->schema();
+  NEXT700_RETURN_IF_ERROR(
+      engine->ReadForUpdate(txn, subscriber_pk_, s_id, buf));
+  sub.SetUint64(buf, SUB_VLR_LOCATION, location);
+  return engine->Update(txn, subscriber_pk_, s_id, buf);
+}
+
+Status TatpWorkload::InsertCallForwarding(Engine* engine, TxnContext* txn,
+                                          uint64_t s_id, uint32_t sf_type,
+                                          uint32_t start_time,
+                                          uint32_t end_time,
+                                          uint64_t numberx) {
+  uint8_t buf[64];
+  // The facility must exist.
+  Status s = engine->Read(txn, special_facility_pk_,
+                          TatpSpecialFacilityKey(s_id, sf_type), buf);
+  if (s.IsNotFound()) return Status::InvalidArgument("no such facility");
+  NEXT700_RETURN_IF_ERROR(s);
+  const uint64_t key = TatpCallForwardingKey(s_id, sf_type, start_time);
+  if (call_forwarding_pk_->Lookup(key) != nullptr) {
+    // Spec: ~30% of inserts hit an existing row and roll back.
+    return Status::InvalidArgument("call forwarding exists");
+  }
+  const Schema& cf = call_forwarding_->schema();
+  cf.SetUint64(buf, CF_S_ID, s_id);
+  cf.SetUint64(buf, CF_SF_TYPE, sf_type);
+  cf.SetUint64(buf, CF_START_TIME, start_time);
+  cf.SetUint64(buf, CF_END_TIME, end_time);
+  char nbr[16];
+  std::snprintf(nbr, sizeof(nbr), "%015llu",
+                static_cast<unsigned long long>(numberx));
+  cf.SetChar(buf, CF_NUMBERX, nbr);
+  Result<Row*> row =
+      engine->Insert(txn, call_forwarding_, PartitionOf(s_id), key, buf);
+  NEXT700_RETURN_IF_ERROR(row.status());
+  engine->AddIndexInsert(txn, call_forwarding_pk_, key, row.value());
+  return Status::OK();
+}
+
+Status TatpWorkload::DeleteCallForwarding(Engine* engine, TxnContext* txn,
+                                          uint64_t s_id, uint32_t sf_type,
+                                          uint32_t start_time) {
+  const uint64_t key = TatpCallForwardingKey(s_id, sf_type, start_time);
+  Row* row = call_forwarding_pk_->Lookup(key);
+  if (row == nullptr) {
+    return Status::InvalidArgument("no call forwarding to delete");
+  }
+  const Status s = engine->Delete(txn, row);
+  if (s.IsNotFound()) {
+    return Status::InvalidArgument("call forwarding already gone");
+  }
+  NEXT700_RETURN_IF_ERROR(s);
+  engine->AddIndexRemove(txn, call_forwarding_pk_, key, row);
+  return Status::OK();
+}
+
+Status TatpWorkload::RunNextTxn(Engine* engine, int thread_id, Rng* rng) {
+  const uint64_t s_id = 1 + rng->NextUint64(options_.num_subscribers);
+  const std::vector<uint32_t> parts{PartitionOf(s_id)};
+  const int pick = static_cast<int>(rng->NextUint64(100));
+  int boundary = 0;
+
+  const auto run = [&](auto&& body) {
+    return RunWithRetry(rng, [&] {
+      TxnContext* txn = engine->Begin(thread_id, parts);
+      Status s = body(txn);
+      if (s.ok()) s = engine->Commit(txn);
+      if (!s.ok()) {
+        if (s.IsAborted()) {
+          engine->Abort(txn);
+        } else {
+          engine->AbortUser(txn);
+        }
+      }
+      return s;
+    });
+  };
+
+  if (pick < (boundary += options_.pct_get_subscriber_data)) {
+    return run([&](TxnContext* txn) {
+      return GetSubscriberData(engine, txn, s_id);
+    });
+  }
+  if (pick < (boundary += options_.pct_get_new_destination)) {
+    const uint32_t sf_type = static_cast<uint32_t>(rng->NextRange(1, 4));
+    const uint32_t start = static_cast<uint32_t>(rng->NextUint64(3)) * 8;
+    const uint32_t end = start + static_cast<uint32_t>(rng->NextRange(1, 8));
+    return run([&](TxnContext* txn) {
+      return GetNewDestination(engine, txn, s_id, sf_type, start, end);
+    });
+  }
+  if (pick < (boundary += options_.pct_get_access_data)) {
+    const uint32_t ai_type = static_cast<uint32_t>(rng->NextRange(1, 4));
+    return run([&](TxnContext* txn) {
+      return GetAccessData(engine, txn, s_id, ai_type);
+    });
+  }
+  if (pick < (boundary += options_.pct_update_subscriber_data)) {
+    const uint32_t sf_type = static_cast<uint32_t>(rng->NextRange(1, 4));
+    const uint64_t bit = rng->NextUint64(2);
+    const uint64_t data_a = rng->NextUint64(256);
+    return run([&](TxnContext* txn) {
+      return UpdateSubscriberData(engine, txn, s_id, sf_type, bit, data_a);
+    });
+  }
+  if (pick < (boundary += options_.pct_update_location)) {
+    const uint64_t location = rng->Next();
+    return run([&](TxnContext* txn) {
+      return UpdateLocation(engine, txn, s_id, location);
+    });
+  }
+  if (pick < (boundary += options_.pct_insert_call_forwarding)) {
+    const uint32_t sf_type = static_cast<uint32_t>(rng->NextRange(1, 4));
+    const uint32_t start = static_cast<uint32_t>(rng->NextUint64(3)) * 8;
+    const uint32_t end = start + static_cast<uint32_t>(rng->NextRange(1, 8));
+    return run([&](TxnContext* txn) {
+      return InsertCallForwarding(engine, txn, s_id, sf_type, start, end,
+                                  rng->Next() % 1000000000ull);
+    });
+  }
+  const uint32_t sf_type = static_cast<uint32_t>(rng->NextRange(1, 4));
+  const uint32_t start = static_cast<uint32_t>(rng->NextUint64(3)) * 8;
+  return run([&](TxnContext* txn) {
+    return DeleteCallForwarding(engine, txn, s_id, sf_type, start);
+  });
+}
+
+}  // namespace next700

@@ -1,0 +1,98 @@
+#ifndef NEXT700_WORKLOAD_TATP_H_
+#define NEXT700_WORKLOAD_TATP_H_
+
+/// \file
+/// TATP (Telecom Application Transaction Processing): four tables keyed by
+/// subscriber, seven short transaction profiles, 80% reads — the classic
+/// "many tiny transactions" counterpoint to TPC-C. Insert/Delete
+/// Call-Forwarding rows fail deterministically when the target (does not)
+/// exist, which exercises the engines' insert/delete paths under
+/// contention.
+
+#include "workload/workload.h"
+
+namespace next700 {
+
+struct TatpOptions {
+  uint64_t num_subscribers = 100000;
+  /// Transaction mix in percent (standard TATP mix); must sum to 100.
+  int pct_get_subscriber_data = 35;
+  int pct_get_new_destination = 10;
+  int pct_get_access_data = 35;
+  int pct_update_subscriber_data = 2;
+  int pct_update_location = 14;
+  int pct_insert_call_forwarding = 2;
+  int pct_delete_call_forwarding = 2;
+};
+
+// Column layouts (indices match the Add* order in Load).
+enum SubscriberCol : int {
+  SUB_ID, SUB_NBR, SUB_BIT_1, SUB_MSC_LOCATION, SUB_VLR_LOCATION,
+};
+enum AccessInfoCol : int { AI_S_ID, AI_TYPE, AI_DATA1, AI_DATA2, AI_DATA3 };
+enum SpecialFacilityCol : int {
+  SF_S_ID, SF_TYPE, SF_IS_ACTIVE, SF_ERROR_CNTRL, SF_DATA_A, SF_DATA_B,
+};
+enum CallForwardingCol : int {
+  CF_S_ID, CF_SF_TYPE, CF_START_TIME, CF_END_TIME, CF_NUMBERX,
+};
+
+inline uint64_t TatpAccessInfoKey(uint64_t s_id, uint32_t ai_type) {
+  return s_id * 4 + (ai_type - 1);
+}
+inline uint64_t TatpSpecialFacilityKey(uint64_t s_id, uint32_t sf_type) {
+  return s_id * 4 + (sf_type - 1);
+}
+inline uint64_t TatpCallForwardingKey(uint64_t s_id, uint32_t sf_type,
+                                      uint32_t start_time) {
+  return TatpSpecialFacilityKey(s_id, sf_type) * 3 + start_time / 8;
+}
+
+class TatpWorkload : public Workload {
+ public:
+  explicit TatpWorkload(TatpOptions options);
+
+  void Load(Engine* engine) override;
+  Status RunNextTxn(Engine* engine, int thread_id, Rng* rng) override;
+  const char* name() const override { return "tatp"; }
+
+  const TatpOptions& options() const { return options_; }
+
+  Table* subscriber_ = nullptr;
+  Table* access_info_ = nullptr;
+  Table* special_facility_ = nullptr;
+  Table* call_forwarding_ = nullptr;
+  Index* subscriber_pk_ = nullptr;
+  Index* access_info_pk_ = nullptr;
+  Index* special_facility_pk_ = nullptr;
+  Index* call_forwarding_pk_ = nullptr;
+
+ private:
+  uint32_t PartitionOf(uint64_t s_id) const {
+    return static_cast<uint32_t>(s_id % num_partitions_);
+  }
+
+  Status GetSubscriberData(Engine* engine, TxnContext* txn, uint64_t s_id);
+  Status GetNewDestination(Engine* engine, TxnContext* txn, uint64_t s_id,
+                           uint32_t sf_type, uint32_t start_time,
+                           uint32_t end_time);
+  Status GetAccessData(Engine* engine, TxnContext* txn, uint64_t s_id,
+                       uint32_t ai_type);
+  Status UpdateSubscriberData(Engine* engine, TxnContext* txn, uint64_t s_id,
+                              uint32_t sf_type, uint64_t bit,
+                              uint64_t data_a);
+  Status UpdateLocation(Engine* engine, TxnContext* txn, uint64_t s_id,
+                        uint64_t location);
+  Status InsertCallForwarding(Engine* engine, TxnContext* txn, uint64_t s_id,
+                              uint32_t sf_type, uint32_t start_time,
+                              uint32_t end_time, uint64_t numberx);
+  Status DeleteCallForwarding(Engine* engine, TxnContext* txn, uint64_t s_id,
+                              uint32_t sf_type, uint32_t start_time);
+
+  TatpOptions options_;
+  uint32_t num_partitions_ = 1;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_WORKLOAD_TATP_H_

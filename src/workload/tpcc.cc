@@ -1,0 +1,486 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace next700 {
+
+namespace {
+
+constexpr const char* kSyllables[10] = {
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI",  "CALLY", "ATION", "EING",
+};
+
+std::string MakeAlphaString(Rng* rng, uint32_t min_len, uint32_t max_len) {
+  const uint32_t len =
+      static_cast<uint32_t>(rng->NextRange(min_len, max_len));
+  std::string out(len, 'a');
+  for (auto& ch : out) {
+    ch = static_cast<char>('a' + rng->NextUint64(26));
+  }
+  return out;
+}
+
+std::string MakeZip(Rng* rng) {
+  std::string out(9, '1');
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<size_t>(i)] =
+        static_cast<char>('0' + rng->NextUint64(10));
+  }
+  return out;
+}
+
+double MakeTax(Rng* rng) {
+  return static_cast<double>(rng->NextUint64(2001)) / 10000.0;  // [0, 0.2]
+}
+
+}  // namespace
+
+TpccWorkload::TpccWorkload(TpccOptions options)
+    : options_(std::move(options)) {
+  NEXT700_CHECK(options_.num_warehouses >= 1);
+  NEXT700_CHECK(options_.districts_per_warehouse >= 1 &&
+                options_.districts_per_warehouse <= 10);
+  NEXT700_CHECK(options_.pct_new_order + options_.pct_payment +
+                    options_.pct_order_status + options_.pct_delivery +
+                    options_.pct_stock_level ==
+                100);
+}
+
+std::string TpccWorkload::LastName(uint32_t num) {
+  NEXT700_DCHECK(num <= 999);
+  std::string out = kSyllables[num / 100];
+  out += kSyllables[(num / 10) % 10];
+  out += kSyllables[num % 10];
+  return out;
+}
+
+void TpccWorkload::CreateSchemas(Engine* engine) {
+  {
+    Schema s;
+    s.AddUint64("W_ID");
+    s.AddChar("W_NAME", 10);
+    s.AddChar("W_STREET_1", 20);
+    s.AddChar("W_STREET_2", 20);
+    s.AddChar("W_CITY", 20);
+    s.AddChar("W_STATE", 2);
+    s.AddChar("W_ZIP", 9);
+    s.AddDouble("W_TAX");
+    s.AddDouble("W_YTD");
+    warehouse_ = engine->CreateTable("WAREHOUSE", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("D_ID");
+    s.AddUint64("D_W_ID");
+    s.AddChar("D_NAME", 10);
+    s.AddChar("D_STREET_1", 20);
+    s.AddChar("D_STREET_2", 20);
+    s.AddChar("D_CITY", 20);
+    s.AddChar("D_STATE", 2);
+    s.AddChar("D_ZIP", 9);
+    s.AddDouble("D_TAX");
+    s.AddDouble("D_YTD");
+    s.AddUint64("D_NEXT_O_ID");
+    district_ = engine->CreateTable("DISTRICT", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("C_ID");
+    s.AddUint64("C_D_ID");
+    s.AddUint64("C_W_ID");
+    s.AddChar("C_FIRST", 16);
+    s.AddChar("C_MIDDLE", 2);
+    s.AddChar("C_LAST", 16);
+    s.AddChar("C_STREET_1", 20);
+    s.AddChar("C_STREET_2", 20);
+    s.AddChar("C_CITY", 20);
+    s.AddChar("C_STATE", 2);
+    s.AddChar("C_ZIP", 9);
+    s.AddChar("C_PHONE", 16);
+    s.AddUint64("C_SINCE");
+    s.AddChar("C_CREDIT", 2);
+    s.AddDouble("C_CREDIT_LIM");
+    s.AddDouble("C_DISCOUNT");
+    s.AddDouble("C_BALANCE");
+    s.AddDouble("C_YTD_PAYMENT");
+    s.AddUint64("C_PAYMENT_CNT");
+    s.AddUint64("C_DELIVERY_CNT");
+    // Spec size is 500; 250 keeps the in-memory footprint reasonable while
+    // preserving the "customer rows are big" property (see DESIGN.md).
+    s.AddChar("C_DATA", 250);
+    customer_ = engine->CreateTable("CUSTOMER", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("H_C_ID");
+    s.AddUint64("H_C_D_ID");
+    s.AddUint64("H_C_W_ID");
+    s.AddUint64("H_D_ID");
+    s.AddUint64("H_W_ID");
+    s.AddUint64("H_DATE");
+    s.AddDouble("H_AMOUNT");
+    s.AddChar("H_DATA", 24);
+    history_ = engine->CreateTable("HISTORY", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("NO_O_ID");
+    s.AddUint64("NO_D_ID");
+    s.AddUint64("NO_W_ID");
+    new_order_ = engine->CreateTable("NEW_ORDER", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("O_ID");
+    s.AddUint64("O_D_ID");
+    s.AddUint64("O_W_ID");
+    s.AddUint64("O_C_ID");
+    s.AddUint64("O_ENTRY_D");
+    s.AddUint64("O_CARRIER_ID");
+    s.AddUint64("O_OL_CNT");
+    s.AddUint64("O_ALL_LOCAL");
+    order_ = engine->CreateTable("ORDER", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("OL_O_ID");
+    s.AddUint64("OL_D_ID");
+    s.AddUint64("OL_W_ID");
+    s.AddUint64("OL_NUMBER");
+    s.AddUint64("OL_I_ID");
+    s.AddUint64("OL_SUPPLY_W_ID");
+    s.AddUint64("OL_DELIVERY_D");
+    s.AddUint64("OL_QUANTITY");
+    s.AddDouble("OL_AMOUNT");
+    s.AddChar("OL_DIST_INFO", 24);
+    order_line_ = engine->CreateTable("ORDER_LINE", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("I_ID");
+    s.AddUint64("I_IM_ID");
+    s.AddChar("I_NAME", 24);
+    s.AddDouble("I_PRICE");
+    s.AddChar("I_DATA", 50);
+    item_ = engine->CreateTable("ITEM", std::move(s));
+  }
+  {
+    Schema s;
+    s.AddUint64("S_I_ID");
+    s.AddUint64("S_W_ID");
+    s.AddUint64("S_QUANTITY");
+    for (int d = 1; d <= 10; ++d) {
+      char name[16];
+      std::snprintf(name, sizeof(name), "S_DIST_%02d", d);
+      s.AddChar(name, 24);
+    }
+    s.AddUint64("S_YTD");
+    s.AddUint64("S_ORDER_CNT");
+    s.AddUint64("S_REMOTE_CNT");
+    s.AddChar("S_DATA", 50);
+    stock_ = engine->CreateTable("STOCK", std::move(s));
+  }
+
+  const uint64_t w = options_.num_warehouses;
+  const uint64_t d = w * options_.districts_per_warehouse;
+  const uint64_t c = d * options_.customers_per_district;
+  const uint64_t o = d * options_.initial_orders_per_district;
+  warehouse_pk_ =
+      engine->CreateIndex("WAREHOUSE_PK", warehouse_, IndexKind::kHash, w);
+  district_pk_ =
+      engine->CreateIndex("DISTRICT_PK", district_, IndexKind::kHash, d);
+  customer_pk_ =
+      engine->CreateIndex("CUSTOMER_PK", customer_, IndexKind::kHash, c);
+  customer_by_name_ = engine->CreateIndex("CUSTOMER_BY_NAME", customer_,
+                                          IndexKind::kHash, c);
+  history_pk_ =
+      engine->CreateIndex("HISTORY_PK", history_, IndexKind::kHash, c * 2);
+  new_order_pk_ = engine->CreateIndex("NEW_ORDER_PK", new_order_,
+                                      IndexKind::kBTree, o);
+  order_pk_ = engine->CreateIndex("ORDER_PK", order_, IndexKind::kHash, o);
+  order_by_customer_ = engine->CreateIndex("ORDER_BY_CUSTOMER", order_,
+                                           IndexKind::kBTree, o);
+  order_line_pk_ = engine->CreateIndex("ORDER_LINE_PK", order_line_,
+                                       IndexKind::kBTree, o * 10);
+  item_pk_ = engine->CreateIndex("ITEM_PK", item_, IndexKind::kHash,
+                                 options_.num_items);
+  stock_pk_ = engine->CreateIndex("STOCK_PK", stock_, IndexKind::kHash,
+                                  w * options_.num_items);
+}
+
+void TpccWorkload::LoadItems(Engine* engine, Rng* rng) {
+  const Schema& s = item_->schema();
+  std::vector<uint8_t> buf(s.row_size());
+  for (uint32_t i = 1; i <= options_.num_items; ++i) {
+    s.SetUint64(buf.data(), I_ID, i);
+    s.SetUint64(buf.data(), I_IM_ID, rng->NextRange(1, 10000));
+    s.SetChar(buf.data(), I_NAME, MakeAlphaString(rng, 14, 24));
+    s.SetDouble(buf.data(), I_PRICE,
+                static_cast<double>(rng->NextRange(100, 10000)) / 100.0);
+    // 10% of items carry "ORIGINAL" (spec 4.3.3.1).
+    std::string data = MakeAlphaString(rng, 26, 50);
+    if (rng->NextBool(0.1)) data.replace(data.size() / 2, 8, "ORIGINAL");
+    s.SetChar(buf.data(), I_DATA, data);
+    Row* row = engine->LoadRow(item_, 0, i, buf.data());
+    NEXT700_CHECK(item_pk_->Insert(i, row).ok());
+  }
+  item_->set_read_only(true);
+}
+
+void TpccWorkload::LoadWarehouse(Engine* engine, uint32_t w, Rng* rng) {
+  const uint32_t part = PartitionOf(w);
+
+  {
+    const Schema& s = warehouse_->schema();
+    std::vector<uint8_t> buf(s.row_size());
+    s.SetUint64(buf.data(), W_ID, w);
+    s.SetChar(buf.data(), W_NAME, MakeAlphaString(rng, 6, 10));
+    s.SetChar(buf.data(), W_STREET_1, MakeAlphaString(rng, 10, 20));
+    s.SetChar(buf.data(), W_STREET_2, MakeAlphaString(rng, 10, 20));
+    s.SetChar(buf.data(), W_CITY, MakeAlphaString(rng, 10, 20));
+    s.SetChar(buf.data(), W_STATE, MakeAlphaString(rng, 2, 2));
+    s.SetChar(buf.data(), W_ZIP, MakeZip(rng));
+    s.SetDouble(buf.data(), W_TAX, MakeTax(rng));
+    // Consistency condition 1 requires W_YTD == sum(D_YTD) at load.
+    s.SetDouble(buf.data(), W_YTD,
+                30000.0 * options_.districts_per_warehouse);
+    Row* row = engine->LoadRow(warehouse_, part, w, buf.data());
+    NEXT700_CHECK(warehouse_pk_->Insert(w, row).ok());
+  }
+
+  {
+    const Schema& s = stock_->schema();
+    std::vector<uint8_t> buf(s.row_size());
+    for (uint32_t i = 1; i <= options_.num_items; ++i) {
+      s.SetUint64(buf.data(), S_I_ID, i);
+      s.SetUint64(buf.data(), S_W_ID, w);
+      s.SetUint64(buf.data(), S_QUANTITY, rng->NextRange(10, 100));
+      for (int col = S_DIST_01; col <= S_DIST_10; ++col) {
+        s.SetChar(buf.data(), col, MakeAlphaString(rng, 24, 24));
+      }
+      s.SetUint64(buf.data(), S_YTD, 0);
+      s.SetUint64(buf.data(), S_ORDER_CNT, 0);
+      s.SetUint64(buf.data(), S_REMOTE_CNT, 0);
+      std::string data = MakeAlphaString(rng, 26, 50);
+      if (rng->NextBool(0.1)) data.replace(data.size() / 2, 8, "ORIGINAL");
+      s.SetChar(buf.data(), S_DATA, data);
+      const uint64_t key = StockKey(w, i);
+      Row* row = engine->LoadRow(stock_, part, key, buf.data());
+      NEXT700_CHECK(stock_pk_->Insert(key, row).ok());
+    }
+  }
+
+  for (uint32_t d = 1; d <= options_.districts_per_warehouse; ++d) {
+    {
+      const Schema& s = district_->schema();
+      std::vector<uint8_t> buf(s.row_size());
+      s.SetUint64(buf.data(), D_ID, d);
+      s.SetUint64(buf.data(), D_W_ID, w);
+      s.SetChar(buf.data(), D_NAME, MakeAlphaString(rng, 6, 10));
+      s.SetChar(buf.data(), D_STREET_1, MakeAlphaString(rng, 10, 20));
+      s.SetChar(buf.data(), D_STREET_2, MakeAlphaString(rng, 10, 20));
+      s.SetChar(buf.data(), D_CITY, MakeAlphaString(rng, 10, 20));
+      s.SetChar(buf.data(), D_STATE, MakeAlphaString(rng, 2, 2));
+      s.SetChar(buf.data(), D_ZIP, MakeZip(rng));
+      s.SetDouble(buf.data(), D_TAX, MakeTax(rng));
+      s.SetDouble(buf.data(), D_YTD, 30000.0);
+      s.SetUint64(buf.data(), D_NEXT_O_ID,
+                  options_.initial_orders_per_district + 1);
+      const uint64_t key = DistrictKey(w, d);
+      Row* row = engine->LoadRow(district_, part, key, buf.data());
+      NEXT700_CHECK(district_pk_->Insert(key, row).ok());
+    }
+
+    // Customers + their initial history rows.
+    {
+      const Schema& s = customer_->schema();
+      const Schema& hs = history_->schema();
+      std::vector<uint8_t> buf(s.row_size());
+      std::vector<uint8_t> hbuf(hs.row_size());
+      for (uint32_t c = 1; c <= options_.customers_per_district; ++c) {
+        const uint32_t name_num =
+            c <= 1000 ? c - 1
+                      : static_cast<uint32_t>(
+                            NuRand(rng, 255, 0, 999, options_.c_for_c_last));
+        const std::string last = LastName(name_num);
+        s.SetUint64(buf.data(), C_ID, c);
+        s.SetUint64(buf.data(), C_D_ID, d);
+        s.SetUint64(buf.data(), C_W_ID, w);
+        s.SetChar(buf.data(), C_FIRST, MakeAlphaString(rng, 8, 16));
+        s.SetChar(buf.data(), C_MIDDLE, "OE");
+        s.SetChar(buf.data(), C_LAST, last);
+        s.SetChar(buf.data(), C_STREET_1, MakeAlphaString(rng, 10, 20));
+        s.SetChar(buf.data(), C_STREET_2, MakeAlphaString(rng, 10, 20));
+        s.SetChar(buf.data(), C_CITY, MakeAlphaString(rng, 10, 20));
+        s.SetChar(buf.data(), C_STATE, MakeAlphaString(rng, 2, 2));
+        s.SetChar(buf.data(), C_ZIP, MakeZip(rng));
+        s.SetChar(buf.data(), C_PHONE, MakeAlphaString(rng, 16, 16));
+        s.SetUint64(buf.data(), C_SINCE, 0);
+        s.SetChar(buf.data(), C_CREDIT, rng->NextBool(0.1) ? "BC" : "GC");
+        s.SetDouble(buf.data(), C_CREDIT_LIM, 50000.0);
+        s.SetDouble(buf.data(), C_DISCOUNT,
+                    static_cast<double>(rng->NextUint64(5001)) / 10000.0);
+        s.SetDouble(buf.data(), C_BALANCE, -10.0);
+        s.SetDouble(buf.data(), C_YTD_PAYMENT, 10.0);
+        s.SetUint64(buf.data(), C_PAYMENT_CNT, 1);
+        s.SetUint64(buf.data(), C_DELIVERY_CNT, 0);
+        s.SetChar(buf.data(), C_DATA, MakeAlphaString(rng, 100, 250));
+        const uint64_t key = CustomerKey(w, d, c);
+        Row* row = engine->LoadRow(customer_, part, key, buf.data());
+        NEXT700_CHECK(customer_pk_->Insert(key, row).ok());
+        NEXT700_CHECK(
+            customer_by_name_->Insert(CustomerNameKey(w, d, last), row).ok());
+
+        hs.SetUint64(hbuf.data(), H_C_ID, c);
+        hs.SetUint64(hbuf.data(), H_C_D_ID, d);
+        hs.SetUint64(hbuf.data(), H_C_W_ID, w);
+        hs.SetUint64(hbuf.data(), H_D_ID, d);
+        hs.SetUint64(hbuf.data(), H_W_ID, w);
+        hs.SetUint64(hbuf.data(), H_DATE, 0);
+        hs.SetDouble(hbuf.data(), H_AMOUNT, 10.0);
+        hs.SetChar(hbuf.data(), H_DATA, MakeAlphaString(rng, 12, 24));
+        const uint64_t hkey = key * 100;  // Load-time history namespace.
+        Row* hrow = engine->LoadRow(history_, part, hkey, hbuf.data());
+        NEXT700_CHECK(history_pk_->Insert(hkey, hrow).ok());
+      }
+    }
+
+    // Orders over a random permutation of customers; the most recent ~30%
+    // are undelivered (NEW_ORDER rows, no carrier).
+    {
+      const uint32_t num_orders =
+          std::min(options_.initial_orders_per_district,
+                   options_.customers_per_district);
+      std::vector<uint32_t> perm(options_.customers_per_district);
+      std::iota(perm.begin(), perm.end(), 1);
+      for (size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng->NextUint64(i)]);
+      }
+      const Schema& os = order_->schema();
+      const Schema& ols = order_line_->schema();
+      const Schema& nos = new_order_->schema();
+      std::vector<uint8_t> obuf(os.row_size());
+      std::vector<uint8_t> olbuf(ols.row_size());
+      std::vector<uint8_t> nobuf(nos.row_size());
+      const uint32_t first_undelivered = num_orders * 7 / 10 + 1;
+      for (uint32_t o = 1; o <= num_orders; ++o) {
+        const uint32_t c = perm[o - 1];
+        const uint32_t ol_cnt = static_cast<uint32_t>(rng->NextRange(5, 15));
+        const bool delivered = o < first_undelivered;
+        os.SetUint64(obuf.data(), O_ID, o);
+        os.SetUint64(obuf.data(), O_D_ID, d);
+        os.SetUint64(obuf.data(), O_W_ID, w);
+        os.SetUint64(obuf.data(), O_C_ID, c);
+        os.SetUint64(obuf.data(), O_ENTRY_D, o);
+        os.SetUint64(obuf.data(), O_CARRIER_ID,
+                     delivered ? rng->NextRange(1, 10) : 0);
+        os.SetUint64(obuf.data(), O_OL_CNT, ol_cnt);
+        os.SetUint64(obuf.data(), O_ALL_LOCAL, 1);
+        const uint64_t okey = OrderKey(w, d, o);
+        Row* orow = engine->LoadRow(order_, part, okey, obuf.data());
+        NEXT700_CHECK(order_pk_->Insert(okey, orow).ok());
+        NEXT700_CHECK(
+            order_by_customer_->Insert(OrderByCustomerKey(w, d, c, o), orow)
+                .ok());
+
+        for (uint32_t line = 1; line <= ol_cnt; ++line) {
+          ols.SetUint64(olbuf.data(), OL_O_ID, o);
+          ols.SetUint64(olbuf.data(), OL_D_ID, d);
+          ols.SetUint64(olbuf.data(), OL_W_ID, w);
+          ols.SetUint64(olbuf.data(), OL_NUMBER, line);
+          ols.SetUint64(olbuf.data(), OL_I_ID,
+                        rng->NextRange(1, options_.num_items));
+          ols.SetUint64(olbuf.data(), OL_SUPPLY_W_ID, w);
+          ols.SetUint64(olbuf.data(), OL_DELIVERY_D, delivered ? o : 0);
+          ols.SetUint64(olbuf.data(), OL_QUANTITY, 5);
+          ols.SetDouble(
+              olbuf.data(), OL_AMOUNT,
+              delivered
+                  ? 0.0
+                  : static_cast<double>(rng->NextRange(1, 999999)) / 100.0);
+          ols.SetChar(olbuf.data(), OL_DIST_INFO,
+                      MakeAlphaString(rng, 24, 24));
+          const uint64_t olkey = OrderLineKey(w, d, o, line);
+          Row* olrow = engine->LoadRow(order_line_, part, olkey,
+                                       olbuf.data());
+          NEXT700_CHECK(order_line_pk_->Insert(olkey, olrow).ok());
+        }
+
+        if (!delivered) {
+          nos.SetUint64(nobuf.data(), NO_O_ID, o);
+          nos.SetUint64(nobuf.data(), NO_D_ID, d);
+          nos.SetUint64(nobuf.data(), NO_W_ID, w);
+          Row* norow = engine->LoadRow(new_order_, part, okey, nobuf.data());
+          NEXT700_CHECK(new_order_pk_->Insert(okey, norow).ok());
+        }
+      }
+    }
+  }
+}
+
+void TpccWorkload::Load(Engine* engine) {
+  num_partitions_ = engine->options().num_partitions;
+  max_threads_ = engine->options().max_threads;
+  history_seq_.reset(new HistorySeq[max_threads_]);
+  CreateSchemas(engine);
+  RegisterProcedures(engine);
+  Rng rng(0xC0FFEE);
+  LoadItems(engine, &rng);
+  for (uint32_t w = 1; w <= options_.num_warehouses; ++w) {
+    LoadWarehouse(engine, w, &rng);
+  }
+}
+
+Status TpccWorkload::CheckConsistency(Engine* engine) {
+  // Consistency condition 1: W_YTD == sum of its districts' D_YTD.
+  for (uint32_t w = 1; w <= options_.num_warehouses; ++w) {
+    Row* wrow = warehouse_pk_->Lookup(w);
+    if (wrow == nullptr) return Status::Corruption("missing warehouse");
+    const double w_ytd =
+        warehouse_->schema().GetDouble(engine->RawImage(wrow), W_YTD);
+    double d_sum = 0;
+    for (uint32_t d = 1; d <= options_.districts_per_warehouse; ++d) {
+      Row* drow = district_pk_->Lookup(DistrictKey(w, d));
+      if (drow == nullptr) return Status::Corruption("missing district");
+      d_sum += district_->schema().GetDouble(engine->RawImage(drow), D_YTD);
+    }
+    if (std::abs(w_ytd - d_sum) > 0.01) {
+      return Status::Corruption("W_YTD != sum(D_YTD) for warehouse " +
+                                std::to_string(w));
+    }
+  }
+  // Consistency condition 2/3-lite: D_NEXT_O_ID-1 is the max existing order
+  // id, and that order's O_OL_CNT matches its order-line count.
+  for (uint32_t w = 1; w <= options_.num_warehouses; ++w) {
+    for (uint32_t d = 1; d <= options_.districts_per_warehouse; ++d) {
+      Row* drow = district_pk_->Lookup(DistrictKey(w, d));
+      const uint64_t next_o_id = district_->schema().GetUint64(
+          engine->RawImage(drow), D_NEXT_O_ID);
+      const uint64_t max_o = next_o_id - 1;
+      if (max_o == 0) continue;
+      Row* orow = order_pk_->Lookup(OrderKey(w, d, max_o));
+      if (orow == nullptr) {
+        return Status::Corruption("max order missing for district");
+      }
+      if (order_pk_->Lookup(OrderKey(w, d, next_o_id)) != nullptr) {
+        return Status::Corruption("order beyond D_NEXT_O_ID exists");
+      }
+      const uint64_t ol_cnt =
+          order_->schema().GetUint64(engine->RawImage(orow), O_OL_CNT);
+      std::vector<Row*> lines;
+      NEXT700_RETURN_IF_ERROR(order_line_pk_->Scan(
+          OrderLineKey(w, d, max_o, 0), OrderLineKey(w, d, max_o, 99), 0,
+          &lines));
+      if (lines.size() != ol_cnt) {
+        return Status::Corruption("O_OL_CNT mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace next700

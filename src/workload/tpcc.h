@@ -1,0 +1,269 @@
+#ifndef NEXT700_WORKLOAD_TPCC_H_
+#define NEXT700_WORKLOAD_TPCC_H_
+
+/// \file
+/// Full-schema in-memory TPC-C: all nine tables and all five transaction
+/// profiles (New-Order, Payment, Order-Status, Delivery, Stock-Level) with
+/// NURand key distributions, by-last-name customer selection, remote
+/// warehouse touches, and the 1% New-Order rollback. Deviations from the
+/// spec (documented in DESIGN.md): delivery runs inline rather than
+/// deferred, and think times are omitted — standard practice in the
+/// multicore CC literature this reproduces.
+///
+/// Every transaction is a registered stored procedure whose argument
+/// struct carries all randomness, so command logging can replay it
+/// deterministically.
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "workload/workload.h"
+
+namespace next700 {
+
+struct TpccOptions {
+  uint32_t num_warehouses = 1;
+  /// Scale-down knobs (tests and fast benchmarks); spec values are the
+  /// defaults except initial orders, which dominate load time.
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 3000;
+  uint32_t num_items = 100000;
+  uint32_t initial_orders_per_district = 3000;
+
+  /// Transaction mix in percent; must sum to 100.
+  int pct_new_order = 45;
+  int pct_payment = 43;
+  int pct_order_status = 4;
+  int pct_delivery = 4;
+  int pct_stock_level = 4;
+
+  /// Cross-warehouse payments (15%) and order lines (1%), spec 2.5.1.2 /
+  /// 2.4.1.5. Only meaningful with num_warehouses > 1.
+  bool remote_txns = true;
+
+  /// NURand constants (fixed per run, spec 2.1.6.1).
+  uint64_t c_for_c_last = 157;
+  uint64_t c_for_c_id = 91;
+  uint64_t c_for_ol_i_id = 42;
+};
+
+// --- Column layouts (indices match the Add* order in CreateSchemas) -------
+
+enum WarehouseCol : int {
+  W_ID, W_NAME, W_STREET_1, W_STREET_2, W_CITY, W_STATE, W_ZIP, W_TAX, W_YTD,
+};
+enum DistrictCol : int {
+  D_ID, D_W_ID, D_NAME, D_STREET_1, D_STREET_2, D_CITY, D_STATE, D_ZIP,
+  D_TAX, D_YTD, D_NEXT_O_ID,
+};
+enum CustomerCol : int {
+  C_ID, C_D_ID, C_W_ID, C_FIRST, C_MIDDLE, C_LAST, C_STREET_1, C_STREET_2,
+  C_CITY, C_STATE, C_ZIP, C_PHONE, C_SINCE, C_CREDIT, C_CREDIT_LIM,
+  C_DISCOUNT, C_BALANCE, C_YTD_PAYMENT, C_PAYMENT_CNT, C_DELIVERY_CNT,
+  C_DATA,
+};
+enum HistoryCol : int {
+  H_C_ID, H_C_D_ID, H_C_W_ID, H_D_ID, H_W_ID, H_DATE, H_AMOUNT, H_DATA,
+};
+enum NewOrderCol : int { NO_O_ID, NO_D_ID, NO_W_ID };
+enum OrderCol : int {
+  O_ID, O_D_ID, O_W_ID, O_C_ID, O_ENTRY_D, O_CARRIER_ID, O_OL_CNT,
+  O_ALL_LOCAL,
+};
+enum OrderLineCol : int {
+  OL_O_ID, OL_D_ID, OL_W_ID, OL_NUMBER, OL_I_ID, OL_SUPPLY_W_ID,
+  OL_DELIVERY_D, OL_QUANTITY, OL_AMOUNT, OL_DIST_INFO,
+};
+enum ItemCol : int { I_ID, I_IM_ID, I_NAME, I_PRICE, I_DATA };
+enum StockCol : int {
+  S_I_ID, S_W_ID, S_QUANTITY, S_DIST_01, S_DIST_02, S_DIST_03, S_DIST_04,
+  S_DIST_05, S_DIST_06, S_DIST_07, S_DIST_08, S_DIST_09, S_DIST_10, S_YTD,
+  S_ORDER_CNT, S_REMOTE_CNT, S_DATA,
+};
+
+// --- Key encodings ---------------------------------------------------------
+
+inline uint64_t DistrictKey(uint32_t w, uint32_t d) {
+  return static_cast<uint64_t>(w) * 100 + d;
+}
+inline uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  return DistrictKey(w, d) * 100000 + c;
+}
+inline uint64_t StockKey(uint32_t w, uint32_t i) {
+  return static_cast<uint64_t>(w) * 1000000 + i;
+}
+inline uint64_t OrderKey(uint32_t w, uint32_t d, uint64_t o) {
+  return DistrictKey(w, d) * 10000000ull + o;
+}
+inline uint64_t OrderLineKey(uint32_t w, uint32_t d, uint64_t o,
+                             uint32_t line) {
+  return OrderKey(w, d, o) * 100 + line;
+}
+inline uint64_t OrderByCustomerKey(uint32_t w, uint32_t d, uint32_t c,
+                                   uint64_t o) {
+  return CustomerKey(w, d, c) * 10000000ull + o;
+}
+/// Secondary-index key for by-last-name lookups. The 24-bit name hash can
+/// collide across names within a district; lookups filter on the stored
+/// C_LAST, so collisions only cost an extra read.
+inline uint64_t CustomerNameKey(uint32_t w, uint32_t d,
+                                const std::string& last_name) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (const char ch : last_name) {
+    h ^= static_cast<uint8_t>(ch);
+    h *= 0x100000001B3ull;
+  }
+  return (DistrictKey(w, d) << 24) | (h & 0xFFFFFF);
+}
+
+// --- Stored-procedure argument structs (POD; all randomness inside) -------
+
+inline constexpr int kMaxOrderLines = 15;
+
+struct NewOrderArgs {
+  uint32_t w_id, d_id, c_id;
+  uint32_t ol_cnt;
+  uint64_t o_entry_d;
+  uint32_t item_ids[kMaxOrderLines];
+  uint32_t supply_w_ids[kMaxOrderLines];
+  uint32_t quantities[kMaxOrderLines];
+  uint8_t rollback;  // Spec 2.4.1.4: 1% of New-Orders abort on a bad item.
+};
+
+struct PaymentArgs {
+  uint32_t w_id, d_id;
+  uint32_t c_w_id, c_d_id;
+  uint8_t by_last_name;
+  uint32_t c_id;
+  char c_last[17];
+  double amount;
+  uint64_t h_date;
+  uint64_t h_pk;  // Caller-generated unique history key (replay-stable).
+};
+
+struct OrderStatusArgs {
+  uint32_t w_id, d_id;
+  uint8_t by_last_name;
+  uint32_t c_id;
+  char c_last[17];
+};
+
+struct DeliveryArgs {
+  uint32_t w_id;
+  uint32_t carrier_id;
+  uint64_t ol_delivery_d;
+};
+
+struct StockLevelArgs {
+  uint32_t w_id, d_id;
+  uint32_t threshold;
+};
+
+class TpccWorkload : public Workload {
+ public:
+  enum ProcId : uint32_t {
+    kNewOrder = 1,
+    kPayment = 2,
+    kOrderStatus = 3,
+    kDelivery = 4,
+    kStockLevel = 5,
+  };
+
+  explicit TpccWorkload(TpccOptions options);
+
+  void Load(Engine* engine) override;
+  Status RunNextTxn(Engine* engine, int thread_id, Rng* rng) override;
+  const char* name() const override { return "tpcc"; }
+
+  const TpccOptions& options() const { return options_; }
+
+  /// Spec 4.3.2.3 syllable last names for number in [0, 999].
+  static std::string LastName(uint32_t num);
+
+  /// Audits the TPC-C consistency conditions that survive our scale-down:
+  /// W_YTD = sum(D_YTD); D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID);
+  /// order-line counts match O_OL_CNT. Single-threaded, outside txns.
+  Status CheckConsistency(Engine* engine);
+
+  // Table / index handles (exposed for tests and recovery rebuilders).
+  Table* warehouse_ = nullptr;
+  Table* district_ = nullptr;
+  Table* customer_ = nullptr;
+  Table* history_ = nullptr;
+  Table* new_order_ = nullptr;
+  Table* order_ = nullptr;
+  Table* order_line_ = nullptr;
+  Table* item_ = nullptr;
+  Table* stock_ = nullptr;
+
+  Index* warehouse_pk_ = nullptr;
+  Index* district_pk_ = nullptr;
+  Index* customer_pk_ = nullptr;
+  Index* customer_by_name_ = nullptr;
+  Index* history_pk_ = nullptr;
+  Index* new_order_pk_ = nullptr;  // BTree: oldest-new-order scans.
+  Index* order_pk_ = nullptr;
+  Index* order_by_customer_ = nullptr;  // BTree: latest order per customer.
+  Index* order_line_pk_ = nullptr;      // BTree: per-order range scans.
+  Index* item_pk_ = nullptr;
+  Index* stock_pk_ = nullptr;
+
+ private:
+  friend struct TpccProcedures;
+
+  void CreateSchemas(Engine* engine);
+  void RegisterProcedures(Engine* engine);
+  void LoadItems(Engine* engine, Rng* rng);
+  void LoadWarehouse(Engine* engine, uint32_t w, Rng* rng);
+
+  uint32_t PartitionOf(uint32_t w_id) const {
+    return (w_id - 1) % num_partitions_;
+  }
+
+  /// Customer selection helpers shared by Payment/Order-Status.
+  Status FindCustomerByName(Engine* engine, TxnContext* txn, uint32_t w,
+                            uint32_t d, const char* c_last, Row** out_row,
+                            std::vector<uint8_t>* out_image);
+
+  // Procedure bodies (invoked via the engine's procedure registry).
+  Status NewOrderTxn(Engine* engine, TxnContext* txn,
+                     const NewOrderArgs& args);
+  Status PaymentTxn(Engine* engine, TxnContext* txn, const PaymentArgs& args);
+  Status OrderStatusTxn(Engine* engine, TxnContext* txn,
+                        const OrderStatusArgs& args);
+  Status DeliveryTxn(Engine* engine, TxnContext* txn,
+                     const DeliveryArgs& args);
+  Status StockLevelTxn(Engine* engine, TxnContext* txn,
+                       const StockLevelArgs& args);
+
+  // Input generators (spec clause 2.x.1).
+  void MakeNewOrder(int thread_id, Rng* rng, NewOrderArgs* args,
+                    std::vector<uint32_t>* partitions);
+  void MakePayment(int thread_id, Rng* rng, PaymentArgs* args,
+                   std::vector<uint32_t>* partitions);
+  void MakeOrderStatus(int thread_id, Rng* rng, OrderStatusArgs* args,
+                       std::vector<uint32_t>* partitions);
+  void MakeDelivery(int thread_id, Rng* rng, DeliveryArgs* args,
+                    std::vector<uint32_t>* partitions);
+  void MakeStockLevel(int thread_id, Rng* rng, StockLevelArgs* args,
+                      std::vector<uint32_t>* partitions);
+
+  uint32_t HomeWarehouse(int thread_id) const {
+    return 1 + static_cast<uint32_t>(thread_id) % options_.num_warehouses;
+  }
+
+  TpccOptions options_;
+  uint32_t num_partitions_ = 1;
+
+  struct NEXT700_CACHE_ALIGNED HistorySeq {
+    uint64_t next = 0;
+  };
+  std::unique_ptr<HistorySeq[]> history_seq_;
+  int max_threads_ = 0;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_WORKLOAD_TPCC_H_

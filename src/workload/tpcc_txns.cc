@@ -1,0 +1,627 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "workload/tpcc.h"
+
+namespace next700 {
+
+namespace {
+
+/// Copies a POD args struct out of the raw procedure argument buffer.
+template <typename T>
+T UnpackArgs(const uint8_t* args, size_t len) {
+  NEXT700_CHECK(len == sizeof(T));
+  T out;
+  std::memcpy(&out, args, sizeof(T));
+  return out;
+}
+
+constexpr uint64_t kMaxOrderId = 9999999;
+
+}  // namespace
+
+/// Largest last-name number that is guaranteed to exist: the loader assigns
+/// sequential numbers to the first min(customers, 1000) customers.
+static uint32_t MaxNameNum(const TpccOptions& options) {
+  return options.customers_per_district <= 1000
+             ? options.customers_per_district - 1
+             : 999;
+}
+
+void TpccWorkload::RegisterProcedures(Engine* engine) {
+  engine->RegisterProcedure(
+      kNewOrder, [this](Engine* e, TxnContext* txn, const uint8_t* a,
+                        size_t len) {
+        return NewOrderTxn(e, txn, UnpackArgs<NewOrderArgs>(a, len));
+      });
+  engine->RegisterProcedure(
+      kPayment, [this](Engine* e, TxnContext* txn, const uint8_t* a,
+                       size_t len) {
+        return PaymentTxn(e, txn, UnpackArgs<PaymentArgs>(a, len));
+      });
+  engine->RegisterProcedure(
+      kOrderStatus, [this](Engine* e, TxnContext* txn, const uint8_t* a,
+                           size_t len) {
+        return OrderStatusTxn(e, txn, UnpackArgs<OrderStatusArgs>(a, len));
+      });
+  engine->RegisterProcedure(
+      kDelivery, [this](Engine* e, TxnContext* txn, const uint8_t* a,
+                        size_t len) {
+        return DeliveryTxn(e, txn, UnpackArgs<DeliveryArgs>(a, len));
+      });
+  engine->RegisterProcedure(
+      kStockLevel, [this](Engine* e, TxnContext* txn, const uint8_t* a,
+                          size_t len) {
+        return StockLevelTxn(e, txn, UnpackArgs<StockLevelArgs>(a, len));
+      });
+}
+
+Status TpccWorkload::FindCustomerByName(Engine* engine, TxnContext* txn,
+                                        uint32_t w, uint32_t d,
+                                        const char* c_last, Row** out_row,
+                                        std::vector<uint8_t>* out_image) {
+  const Schema& cs = customer_->schema();
+  std::vector<Row*> candidates;
+  customer_by_name_->LookupAll(CustomerNameKey(w, d, c_last), &candidates);
+
+  struct Match {
+    std::string first;
+    Row* row;
+    std::vector<uint8_t> image;
+  };
+  std::vector<Match> matches;
+  std::vector<uint8_t> buf(cs.row_size());
+  for (Row* row : candidates) {
+    const Status s = engine->ReadRow(txn, row, buf.data());
+    if (s.IsNotFound()) continue;
+    NEXT700_RETURN_IF_ERROR(s);
+    if (cs.GetChar(buf.data(), C_LAST) != c_last) continue;  // Hash alias.
+    matches.push_back(
+        Match{std::string(cs.GetChar(buf.data(), C_FIRST)), row, buf});
+  }
+  if (matches.empty()) return Status::NotFound("no customer with last name");
+  // Spec 2.5.2.2: order by C_FIRST, take ceil(n/2) (1-based) = index
+  // (n+1)/2 - 1.
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) { return a.first < b.first; });
+  Match& chosen = matches[(matches.size() + 1) / 2 - 1];
+  *out_row = chosen.row;
+  *out_image = std::move(chosen.image);
+  return Status::OK();
+}
+
+Status TpccWorkload::NewOrderTxn(Engine* engine, TxnContext* txn,
+                                 const NewOrderArgs& args) {
+  const uint32_t w = args.w_id;
+  const uint32_t d = args.d_id;
+  const uint32_t part = PartitionOf(w);
+  const Schema& ws = warehouse_->schema();
+  const Schema& ds = district_->schema();
+  const Schema& cs = customer_->schema();
+  const Schema& is = item_->schema();
+  const Schema& ss = stock_->schema();
+  const Schema& os = order_->schema();
+  const Schema& ols = order_line_->schema();
+
+  std::vector<uint8_t> buf(512);
+  NEXT700_RETURN_IF_ERROR(engine->Read(txn, warehouse_pk_, w, buf.data()));
+  const double w_tax = ws.GetDouble(buf.data(), W_TAX);
+
+  NEXT700_RETURN_IF_ERROR(engine->ReadForUpdate(txn, district_pk_,
+                                                DistrictKey(w, d),
+                                                buf.data()));
+  const double d_tax = ds.GetDouble(buf.data(), D_TAX);
+  const uint64_t o_id = ds.GetUint64(buf.data(), D_NEXT_O_ID);
+  ds.SetUint64(buf.data(), D_NEXT_O_ID, o_id + 1);
+  NEXT700_RETURN_IF_ERROR(
+      engine->Update(txn, district_pk_, DistrictKey(w, d), buf.data()));
+
+  std::vector<uint8_t> cbuf(cs.row_size());
+  NEXT700_RETURN_IF_ERROR(engine->Read(
+      txn, customer_pk_, CustomerKey(w, d, args.c_id), cbuf.data()));
+  const double c_discount = cs.GetDouble(cbuf.data(), C_DISCOUNT);
+
+  bool all_local = true;
+  for (uint32_t i = 0; i < args.ol_cnt; ++i) {
+    if (args.supply_w_ids[i] != w) all_local = false;
+  }
+
+  // ORDER + NEW_ORDER inserts (visible after commit).
+  const uint64_t okey = OrderKey(w, d, o_id);
+  std::vector<uint8_t> obuf(os.row_size());
+  os.SetUint64(obuf.data(), O_ID, o_id);
+  os.SetUint64(obuf.data(), O_D_ID, d);
+  os.SetUint64(obuf.data(), O_W_ID, w);
+  os.SetUint64(obuf.data(), O_C_ID, args.c_id);
+  os.SetUint64(obuf.data(), O_ENTRY_D, args.o_entry_d);
+  os.SetUint64(obuf.data(), O_CARRIER_ID, 0);
+  os.SetUint64(obuf.data(), O_OL_CNT, args.ol_cnt);
+  os.SetUint64(obuf.data(), O_ALL_LOCAL, all_local ? 1 : 0);
+  Result<Row*> orow = engine->Insert(txn, order_, part, okey, obuf.data());
+  NEXT700_RETURN_IF_ERROR(orow.status());
+  engine->AddIndexInsert(txn, order_pk_, okey, orow.value());
+  engine->AddIndexInsert(txn, order_by_customer_,
+                         OrderByCustomerKey(w, d, args.c_id, o_id),
+                         orow.value());
+
+  const Schema& nos = new_order_->schema();
+  std::vector<uint8_t> nobuf(nos.row_size());
+  nos.SetUint64(nobuf.data(), NO_O_ID, o_id);
+  nos.SetUint64(nobuf.data(), NO_D_ID, d);
+  nos.SetUint64(nobuf.data(), NO_W_ID, w);
+  Result<Row*> norow =
+      engine->Insert(txn, new_order_, part, okey, nobuf.data());
+  NEXT700_RETURN_IF_ERROR(norow.status());
+  engine->AddIndexInsert(txn, new_order_pk_, okey, norow.value());
+
+  double total = 0;
+  std::vector<uint8_t> ibuf(is.row_size());
+  std::vector<uint8_t> sbuf(ss.row_size());
+  std::vector<uint8_t> olbuf(ols.row_size());
+  for (uint32_t i = 0; i < args.ol_cnt; ++i) {
+    const uint32_t item_id = args.item_ids[i];
+    const uint32_t supply_w = args.supply_w_ids[i];
+    const uint32_t qty = args.quantities[i];
+
+    const Status item_status =
+        engine->Read(txn, item_pk_, item_id, ibuf.data());
+    if (item_status.IsNotFound()) {
+      // Spec 2.4.2.3: unused item id — user-initiated rollback.
+      return Status::InvalidArgument("NEW-ORDER rollback (bad item)");
+    }
+    NEXT700_RETURN_IF_ERROR(item_status);
+    const double price = is.GetDouble(ibuf.data(), I_PRICE);
+
+    const uint64_t skey = StockKey(supply_w, item_id);
+    NEXT700_RETURN_IF_ERROR(
+        engine->ReadForUpdate(txn, stock_pk_, skey, sbuf.data()));
+    uint64_t s_qty = ss.GetUint64(sbuf.data(), S_QUANTITY);
+    s_qty = s_qty >= qty + 10 ? s_qty - qty : s_qty - qty + 91;
+    ss.SetUint64(sbuf.data(), S_QUANTITY, s_qty);
+    ss.SetUint64(sbuf.data(), S_YTD, ss.GetUint64(sbuf.data(), S_YTD) + qty);
+    ss.SetUint64(sbuf.data(), S_ORDER_CNT,
+                 ss.GetUint64(sbuf.data(), S_ORDER_CNT) + 1);
+    if (supply_w != w) {
+      ss.SetUint64(sbuf.data(), S_REMOTE_CNT,
+                   ss.GetUint64(sbuf.data(), S_REMOTE_CNT) + 1);
+    }
+    NEXT700_RETURN_IF_ERROR(
+        engine->Update(txn, stock_pk_, skey, sbuf.data()));
+
+    const double amount = qty * price;
+    total += amount;
+    ols.SetUint64(olbuf.data(), OL_O_ID, o_id);
+    ols.SetUint64(olbuf.data(), OL_D_ID, d);
+    ols.SetUint64(olbuf.data(), OL_W_ID, w);
+    ols.SetUint64(olbuf.data(), OL_NUMBER, i + 1);
+    ols.SetUint64(olbuf.data(), OL_I_ID, item_id);
+    ols.SetUint64(olbuf.data(), OL_SUPPLY_W_ID, supply_w);
+    ols.SetUint64(olbuf.data(), OL_DELIVERY_D, 0);
+    ols.SetUint64(olbuf.data(), OL_QUANTITY, qty);
+    ols.SetDouble(olbuf.data(), OL_AMOUNT, amount);
+    // S_DIST_xx of the supplying stock row for this district.
+    ols.SetChar(olbuf.data(), OL_DIST_INFO,
+                ss.GetChar(sbuf.data(), S_DIST_01 + (d - 1)));
+    const uint64_t olkey = OrderLineKey(w, d, o_id, i + 1);
+    Result<Row*> olrow =
+        engine->Insert(txn, order_line_, part, olkey, olbuf.data());
+    NEXT700_RETURN_IF_ERROR(olrow.status());
+    engine->AddIndexInsert(txn, order_line_pk_, olkey, olrow.value());
+  }
+  // Total is computed per spec (display output); keep the compiler honest.
+  total *= (1 - c_discount) * (1 + w_tax + d_tax);
+  (void)total;
+  return Status::OK();
+}
+
+Status TpccWorkload::PaymentTxn(Engine* engine, TxnContext* txn,
+                                const PaymentArgs& args) {
+  const Schema& ws = warehouse_->schema();
+  const Schema& ds = district_->schema();
+  const Schema& cs = customer_->schema();
+  const Schema& hs = history_->schema();
+
+  std::vector<uint8_t> wbuf(ws.row_size());
+  NEXT700_RETURN_IF_ERROR(
+      engine->ReadForUpdate(txn, warehouse_pk_, args.w_id, wbuf.data()));
+  ws.SetDouble(wbuf.data(), W_YTD,
+               ws.GetDouble(wbuf.data(), W_YTD) + args.amount);
+  NEXT700_RETURN_IF_ERROR(
+      engine->Update(txn, warehouse_pk_, args.w_id, wbuf.data()));
+
+  const uint64_t dkey = DistrictKey(args.w_id, args.d_id);
+  std::vector<uint8_t> dbuf(ds.row_size());
+  NEXT700_RETURN_IF_ERROR(
+      engine->ReadForUpdate(txn, district_pk_, dkey, dbuf.data()));
+  ds.SetDouble(dbuf.data(), D_YTD,
+               ds.GetDouble(dbuf.data(), D_YTD) + args.amount);
+  NEXT700_RETURN_IF_ERROR(
+      engine->Update(txn, district_pk_, dkey, dbuf.data()));
+
+  Row* crow = nullptr;
+  std::vector<uint8_t> cbuf;
+  uint32_t c_id = args.c_id;
+  if (args.by_last_name) {
+    const Status s = FindCustomerByName(engine, txn, args.c_w_id, args.c_d_id,
+                                        args.c_last, &crow, &cbuf);
+    if (s.IsNotFound()) {
+      return Status::InvalidArgument("payment: unknown last name");
+    }
+    NEXT700_RETURN_IF_ERROR(s);
+    c_id = static_cast<uint32_t>(cs.GetUint64(cbuf.data(), C_ID));
+  } else {
+    cbuf.resize(cs.row_size());
+    crow = customer_pk_->Lookup(
+        CustomerKey(args.c_w_id, args.c_d_id, args.c_id));
+    if (crow == nullptr) return Status::InvalidArgument("unknown customer");
+    NEXT700_RETURN_IF_ERROR(engine->ReadRowForUpdate(txn, crow, cbuf.data()));
+  }
+
+  cs.SetDouble(cbuf.data(), C_BALANCE,
+               cs.GetDouble(cbuf.data(), C_BALANCE) - args.amount);
+  cs.SetDouble(cbuf.data(), C_YTD_PAYMENT,
+               cs.GetDouble(cbuf.data(), C_YTD_PAYMENT) + args.amount);
+  cs.SetUint64(cbuf.data(), C_PAYMENT_CNT,
+               cs.GetUint64(cbuf.data(), C_PAYMENT_CNT) + 1);
+  if (cs.GetChar(cbuf.data(), C_CREDIT) == "BC") {
+    // Spec 2.5.2.2: bad-credit customers get payment info prepended to
+    // C_DATA (truncated to the column capacity).
+    char info[64];
+    std::snprintf(info, sizeof(info), "%u %u %u %u %u %.2f|", c_id,
+                  args.c_d_id, args.c_w_id, args.d_id, args.w_id,
+                  args.amount);
+    std::string data(info);
+    data += cs.GetChar(cbuf.data(), C_DATA);
+    if (data.size() > 250) data.resize(250);
+    cs.SetChar(cbuf.data(), C_DATA, data);
+  }
+  NEXT700_RETURN_IF_ERROR(engine->UpdateRow(txn, crow, cbuf.data()));
+
+  std::vector<uint8_t> hbuf(hs.row_size());
+  hs.SetUint64(hbuf.data(), H_C_ID, c_id);
+  hs.SetUint64(hbuf.data(), H_C_D_ID, args.c_d_id);
+  hs.SetUint64(hbuf.data(), H_C_W_ID, args.c_w_id);
+  hs.SetUint64(hbuf.data(), H_D_ID, args.d_id);
+  hs.SetUint64(hbuf.data(), H_W_ID, args.w_id);
+  hs.SetUint64(hbuf.data(), H_DATE, args.h_date);
+  hs.SetDouble(hbuf.data(), H_AMOUNT, args.amount);
+  hs.SetChar(hbuf.data(), H_DATA, "payment");
+  Result<Row*> hrow = engine->Insert(txn, history_, PartitionOf(args.w_id),
+                                     args.h_pk, hbuf.data());
+  NEXT700_RETURN_IF_ERROR(hrow.status());
+  engine->AddIndexInsert(txn, history_pk_, args.h_pk, hrow.value());
+  return Status::OK();
+}
+
+Status TpccWorkload::OrderStatusTxn(Engine* engine, TxnContext* txn,
+                                    const OrderStatusArgs& args) {
+  const Schema& cs = customer_->schema();
+  const Schema& os = order_->schema();
+  const Schema& ols = order_line_->schema();
+
+  Row* crow = nullptr;
+  std::vector<uint8_t> cbuf;
+  uint32_t c_id = args.c_id;
+  if (args.by_last_name) {
+    const Status s = FindCustomerByName(engine, txn, args.w_id, args.d_id,
+                                        args.c_last, &crow, &cbuf);
+    if (s.IsNotFound()) {
+      return Status::InvalidArgument("order-status: unknown last name");
+    }
+    NEXT700_RETURN_IF_ERROR(s);
+    c_id = static_cast<uint32_t>(cs.GetUint64(cbuf.data(), C_ID));
+  } else {
+    cbuf.resize(cs.row_size());
+    NEXT700_RETURN_IF_ERROR(engine->Read(
+        txn, customer_pk_, CustomerKey(args.w_id, args.d_id, args.c_id),
+        cbuf.data()));
+  }
+
+  // Most recent order for this customer.
+  std::vector<Row*> orders;
+  NEXT700_RETURN_IF_ERROR(engine->ScanReverse(
+      txn, order_by_customer_,
+      OrderByCustomerKey(args.w_id, args.d_id, c_id, kMaxOrderId),
+      OrderByCustomerKey(args.w_id, args.d_id, c_id, 0), 1, &orders));
+  if (orders.empty()) return Status::OK();  // Customer without orders.
+
+  std::vector<uint8_t> obuf(os.row_size());
+  Status s = engine->ReadRow(txn, orders[0], obuf.data());
+  if (s.IsNotFound()) return Status::OK();
+  NEXT700_RETURN_IF_ERROR(s);
+  const uint64_t o_id = os.GetUint64(obuf.data(), O_ID);
+
+  std::vector<Row*> lines;
+  NEXT700_RETURN_IF_ERROR(engine->Scan(
+      txn, order_line_pk_, OrderLineKey(args.w_id, args.d_id, o_id, 0),
+      OrderLineKey(args.w_id, args.d_id, o_id, 99), 0, &lines));
+  std::vector<uint8_t> olbuf(ols.row_size());
+  for (Row* line : lines) {
+    s = engine->ReadRow(txn, line, olbuf.data());
+    if (s.IsNotFound()) continue;
+    NEXT700_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Status TpccWorkload::DeliveryTxn(Engine* engine, TxnContext* txn,
+                                 const DeliveryArgs& args) {
+  const uint32_t w = args.w_id;
+  const Schema& nos = new_order_->schema();
+  const Schema& os = order_->schema();
+  const Schema& ols = order_line_->schema();
+  const Schema& cs = customer_->schema();
+
+  for (uint32_t d = 1; d <= options_.districts_per_warehouse; ++d) {
+    // Oldest undelivered order in this district.
+    std::vector<Row*> oldest;
+    NEXT700_RETURN_IF_ERROR(engine->Scan(txn, new_order_pk_,
+                                         OrderKey(w, d, 1),
+                                         OrderKey(w, d, kMaxOrderId), 1,
+                                         &oldest));
+    if (oldest.empty()) continue;  // Spec 2.7.4.2: skip empty districts.
+    Row* norow = oldest[0];
+    std::vector<uint8_t> nobuf(nos.row_size());
+    Status s = engine->ReadRowForUpdate(txn, norow, nobuf.data());
+    if (s.IsNotFound()) {
+      // Raced with another delivery; retry the transaction to rescan.
+      return Status::Aborted("delivery raced on NEW_ORDER");
+    }
+    NEXT700_RETURN_IF_ERROR(s);
+    const uint64_t o_id = nos.GetUint64(nobuf.data(), NO_O_ID);
+    const uint64_t okey = OrderKey(w, d, o_id);
+
+    s = engine->Delete(txn, norow);
+    if (s.IsNotFound()) return Status::Aborted("delivery raced on delete");
+    NEXT700_RETURN_IF_ERROR(s);
+    engine->AddIndexRemove(txn, new_order_pk_, okey, norow);
+
+    std::vector<uint8_t> obuf(os.row_size());
+    NEXT700_RETURN_IF_ERROR(
+        engine->ReadForUpdate(txn, order_pk_, okey, obuf.data()));
+    const uint64_t c_id = os.GetUint64(obuf.data(), O_C_ID);
+    os.SetUint64(obuf.data(), O_CARRIER_ID, args.carrier_id);
+    NEXT700_RETURN_IF_ERROR(
+        engine->Update(txn, order_pk_, okey, obuf.data()));
+
+    std::vector<Row*> lines;
+    NEXT700_RETURN_IF_ERROR(
+        engine->Scan(txn, order_line_pk_, OrderLineKey(w, d, o_id, 0),
+                     OrderLineKey(w, d, o_id, 99), 0, &lines));
+    double total = 0;
+    std::vector<uint8_t> olbuf(ols.row_size());
+    for (Row* line : lines) {
+      s = engine->ReadRowForUpdate(txn, line, olbuf.data());
+      if (s.IsNotFound()) continue;
+      NEXT700_RETURN_IF_ERROR(s);
+      total += ols.GetDouble(olbuf.data(), OL_AMOUNT);
+      ols.SetUint64(olbuf.data(), OL_DELIVERY_D, args.ol_delivery_d);
+      NEXT700_RETURN_IF_ERROR(engine->UpdateRow(txn, line, olbuf.data()));
+    }
+
+    std::vector<uint8_t> cbuf(cs.row_size());
+    const uint64_t ckey = CustomerKey(w, d, static_cast<uint32_t>(c_id));
+    NEXT700_RETURN_IF_ERROR(
+        engine->ReadForUpdate(txn, customer_pk_, ckey, cbuf.data()));
+    cs.SetDouble(cbuf.data(), C_BALANCE,
+                 cs.GetDouble(cbuf.data(), C_BALANCE) + total);
+    cs.SetUint64(cbuf.data(), C_DELIVERY_CNT,
+                 cs.GetUint64(cbuf.data(), C_DELIVERY_CNT) + 1);
+    NEXT700_RETURN_IF_ERROR(
+        engine->Update(txn, customer_pk_, ckey, cbuf.data()));
+  }
+  return Status::OK();
+}
+
+Status TpccWorkload::StockLevelTxn(Engine* engine, TxnContext* txn,
+                                   const StockLevelArgs& args) {
+  const Schema& ds = district_->schema();
+  const Schema& ols = order_line_->schema();
+  const Schema& ss = stock_->schema();
+  const uint32_t w = args.w_id;
+  const uint32_t d = args.d_id;
+
+  std::vector<uint8_t> dbuf(ds.row_size());
+  NEXT700_RETURN_IF_ERROR(
+      engine->Read(txn, district_pk_, DistrictKey(w, d), dbuf.data()));
+  const uint64_t next_o_id = ds.GetUint64(dbuf.data(), D_NEXT_O_ID);
+  const uint64_t lo_order = next_o_id > 20 ? next_o_id - 20 : 1;
+
+  std::vector<Row*> lines;
+  NEXT700_RETURN_IF_ERROR(engine->Scan(
+      txn, order_line_pk_, OrderLineKey(w, d, lo_order, 0),
+      OrderLineKey(w, d, next_o_id - 1, 99), 0, &lines));
+
+  std::vector<uint64_t> item_ids;
+  std::vector<uint8_t> olbuf(ols.row_size());
+  for (Row* line : lines) {
+    const Status s = engine->ReadRow(txn, line, olbuf.data());
+    if (s.IsNotFound()) continue;
+    NEXT700_RETURN_IF_ERROR(s);
+    item_ids.push_back(ols.GetUint64(olbuf.data(), OL_I_ID));
+  }
+  std::sort(item_ids.begin(), item_ids.end());
+  item_ids.erase(std::unique(item_ids.begin(), item_ids.end()),
+                 item_ids.end());
+
+  uint64_t low_stock = 0;
+  std::vector<uint8_t> sbuf(ss.row_size());
+  for (uint64_t item : item_ids) {
+    NEXT700_RETURN_IF_ERROR(engine->Read(
+        txn, stock_pk_, StockKey(w, static_cast<uint32_t>(item)),
+        sbuf.data()));
+    if (ss.GetUint64(sbuf.data(), S_QUANTITY) < args.threshold) ++low_stock;
+  }
+  (void)low_stock;  // Display output in the spec.
+  return Status::OK();
+}
+
+// --- Input generation (spec clause 2.x.1) ---------------------------------
+
+void TpccWorkload::MakeNewOrder(int thread_id, Rng* rng, NewOrderArgs* args,
+                                std::vector<uint32_t>* partitions) {
+  std::memset(args, 0, sizeof(*args));
+  args->w_id = HomeWarehouse(thread_id);
+  args->d_id = static_cast<uint32_t>(
+      rng->NextRange(1, options_.districts_per_warehouse));
+  args->c_id = static_cast<uint32_t>(
+      NuRand(rng, 1023, 1, options_.customers_per_district,
+             options_.c_for_c_id));
+  args->ol_cnt = static_cast<uint32_t>(rng->NextRange(5, kMaxOrderLines));
+  args->o_entry_d = NowNanos();
+  partitions->clear();
+  partitions->push_back(PartitionOf(args->w_id));
+  for (uint32_t i = 0; i < args->ol_cnt; ++i) {
+    args->item_ids[i] = static_cast<uint32_t>(
+        NuRand(rng, 8191, 1, options_.num_items, options_.c_for_ol_i_id));
+    args->supply_w_ids[i] = args->w_id;
+    if (options_.remote_txns && options_.num_warehouses > 1 &&
+        rng->NextBool(0.01)) {
+      uint32_t remote;
+      do {
+        remote = static_cast<uint32_t>(
+            rng->NextRange(1, options_.num_warehouses));
+      } while (remote == args->w_id);
+      args->supply_w_ids[i] = remote;
+      partitions->push_back(PartitionOf(remote));
+    }
+    args->quantities[i] = static_cast<uint32_t>(rng->NextRange(1, 10));
+  }
+  if (rng->NextBool(0.01)) {
+    args->rollback = 1;
+    args->item_ids[args->ol_cnt - 1] = 0;  // Unused item id.
+  }
+}
+
+void TpccWorkload::MakePayment(int thread_id, Rng* rng, PaymentArgs* args,
+                               std::vector<uint32_t>* partitions) {
+  std::memset(args, 0, sizeof(*args));
+  args->w_id = HomeWarehouse(thread_id);
+  args->d_id = static_cast<uint32_t>(
+      rng->NextRange(1, options_.districts_per_warehouse));
+  if (options_.remote_txns && options_.num_warehouses > 1 &&
+      rng->NextBool(0.15)) {
+    do {
+      args->c_w_id = static_cast<uint32_t>(
+          rng->NextRange(1, options_.num_warehouses));
+    } while (args->c_w_id == args->w_id);
+    args->c_d_id = static_cast<uint32_t>(
+        rng->NextRange(1, options_.districts_per_warehouse));
+  } else {
+    args->c_w_id = args->w_id;
+    args->c_d_id = args->d_id;
+  }
+  args->by_last_name = rng->NextBool(0.6) ? 1 : 0;
+  if (args->by_last_name) {
+    const std::string last = LastName(static_cast<uint32_t>(
+        NuRand(rng, 255, 0, MaxNameNum(options_), options_.c_for_c_last)));
+    std::strncpy(args->c_last, last.c_str(), sizeof(args->c_last) - 1);
+  } else {
+    args->c_id = static_cast<uint32_t>(
+        NuRand(rng, 1023, 1, options_.customers_per_district,
+               options_.c_for_c_id));
+  }
+  args->amount = static_cast<double>(rng->NextRange(100, 500000)) / 100.0;
+  args->h_date = NowNanos();
+  args->h_pk = (uint64_t{1} << 63) |
+               (static_cast<uint64_t>(thread_id) << 40) |
+               history_seq_[thread_id].next++;
+  partitions->clear();
+  partitions->push_back(PartitionOf(args->w_id));
+  if (PartitionOf(args->c_w_id) != PartitionOf(args->w_id)) {
+    partitions->push_back(PartitionOf(args->c_w_id));
+  }
+}
+
+void TpccWorkload::MakeOrderStatus(int thread_id, Rng* rng,
+                                   OrderStatusArgs* args,
+                                   std::vector<uint32_t>* partitions) {
+  std::memset(args, 0, sizeof(*args));
+  args->w_id = HomeWarehouse(thread_id);
+  args->d_id = static_cast<uint32_t>(
+      rng->NextRange(1, options_.districts_per_warehouse));
+  args->by_last_name = rng->NextBool(0.6) ? 1 : 0;
+  if (args->by_last_name) {
+    const std::string last = LastName(static_cast<uint32_t>(
+        NuRand(rng, 255, 0, MaxNameNum(options_), options_.c_for_c_last)));
+    std::strncpy(args->c_last, last.c_str(), sizeof(args->c_last) - 1);
+  } else {
+    args->c_id = static_cast<uint32_t>(
+        NuRand(rng, 1023, 1, options_.customers_per_district,
+               options_.c_for_c_id));
+  }
+  partitions->clear();
+  partitions->push_back(PartitionOf(args->w_id));
+}
+
+void TpccWorkload::MakeDelivery(int thread_id, Rng* rng, DeliveryArgs* args,
+                                std::vector<uint32_t>* partitions) {
+  std::memset(args, 0, sizeof(*args));
+  args->w_id = HomeWarehouse(thread_id);
+  args->carrier_id = static_cast<uint32_t>(rng->NextRange(1, 10));
+  args->ol_delivery_d = NowNanos();
+  partitions->clear();
+  partitions->push_back(PartitionOf(args->w_id));
+}
+
+void TpccWorkload::MakeStockLevel(int thread_id, Rng* rng,
+                                  StockLevelArgs* args,
+                                  std::vector<uint32_t>* partitions) {
+  std::memset(args, 0, sizeof(*args));
+  args->w_id = HomeWarehouse(thread_id);
+  args->d_id = static_cast<uint32_t>(
+      rng->NextRange(1, options_.districts_per_warehouse));
+  args->threshold = static_cast<uint32_t>(rng->NextRange(10, 20));
+  partitions->clear();
+  partitions->push_back(PartitionOf(args->w_id));
+}
+
+Status TpccWorkload::RunNextTxn(Engine* engine, int thread_id, Rng* rng) {
+  const int pick = static_cast<int>(rng->NextUint64(100));
+  std::vector<uint32_t> partitions;
+  int boundary = options_.pct_new_order;
+  if (pick < boundary) {
+    NewOrderArgs args;
+    MakeNewOrder(thread_id, rng, &args, &partitions);
+    return RunWithRetry(rng, [&] {
+      return engine->RunProcedure(kNewOrder, thread_id, &args, sizeof(args),
+                                  partitions);
+    });
+  }
+  boundary += options_.pct_payment;
+  if (pick < boundary) {
+    PaymentArgs args;
+    MakePayment(thread_id, rng, &args, &partitions);
+    return RunWithRetry(rng, [&] {
+      return engine->RunProcedure(kPayment, thread_id, &args, sizeof(args),
+                                  partitions);
+    });
+  }
+  boundary += options_.pct_order_status;
+  if (pick < boundary) {
+    OrderStatusArgs args;
+    MakeOrderStatus(thread_id, rng, &args, &partitions);
+    return RunWithRetry(rng, [&] {
+      return engine->RunProcedure(kOrderStatus, thread_id, &args,
+                                  sizeof(args), partitions);
+    });
+  }
+  boundary += options_.pct_delivery;
+  if (pick < boundary) {
+    DeliveryArgs args;
+    MakeDelivery(thread_id, rng, &args, &partitions);
+    return RunWithRetry(rng, [&] {
+      return engine->RunProcedure(kDelivery, thread_id, &args, sizeof(args),
+                                  partitions);
+    });
+  }
+  StockLevelArgs args;
+  MakeStockLevel(thread_id, rng, &args, &partitions);
+  return RunWithRetry(rng, [&] {
+    return engine->RunProcedure(kStockLevel, thread_id, &args, sizeof(args),
+                                partitions);
+  });
+}
+
+}  // namespace next700

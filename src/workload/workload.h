@@ -1,0 +1,51 @@
+#ifndef NEXT700_WORKLOAD_WORKLOAD_H_
+#define NEXT700_WORKLOAD_WORKLOAD_H_
+
+/// \file
+/// Workload abstraction used by the benchmark driver. A workload knows how
+/// to populate an engine (Load) and how to run one logical transaction to
+/// completion (RunNextTxn) — including retrying concurrency aborts with
+/// backoff, so the driver's view is "one logical unit of work done".
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "txn/engine.h"
+
+namespace next700 {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Populates tables and indexes. Called once, before any transactions.
+  virtual void Load(Engine* engine) = 0;
+
+  /// Generates and executes one logical transaction on `thread_id`,
+  /// retrying CC-induced aborts internally. Returns OK on commit and
+  /// kAborted only for *user* aborts (e.g. TPC-C's 1% rollbacks).
+  virtual Status RunNextTxn(Engine* engine, int thread_id, Rng* rng) = 0;
+
+  /// Human-readable name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// Shared retry helper: runs `attempt` until it commits or fails with a
+/// non-retryable status, applying bounded randomized backoff between tries.
+template <typename Fn>
+Status RunWithRetry(Rng* rng, Fn&& attempt) {
+  int tries = 0;
+  for (;;) {
+    const Status s = attempt();
+    if (s.ok() || !s.IsAborted()) return s;
+    // Randomized exponential backoff, capped; spinning immediately back
+    // into a hot conflict zone just burns the other side's time.
+    const int cap = tries < 10 ? (1 << tries) : 1024;
+    const uint64_t spins = rng->NextUint64(static_cast<uint64_t>(cap) * 8 + 1);
+    for (uint64_t i = 0; i < spins; ++i) CpuRelax();
+    ++tries;
+  }
+}
+
+}  // namespace next700
+
+#endif  // NEXT700_WORKLOAD_WORKLOAD_H_

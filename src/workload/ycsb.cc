@@ -1,0 +1,130 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace next700 {
+
+namespace {
+constexpr uint32_t kMaxRowSize = 1024;
+}  // namespace
+
+YcsbWorkload::YcsbWorkload(YcsbOptions options)
+    : options_(std::move(options)) {
+  NEXT700_CHECK(options_.num_records > 0);
+  NEXT700_CHECK(options_.num_fields >= 1);
+  zipf_ = std::make_unique<ZipfGenerator>(options_.num_records,
+                                          options_.theta);
+}
+
+void YcsbWorkload::Load(Engine* engine) {
+  num_partitions_ = engine->options().num_partitions;
+  Schema schema;
+  for (int f = 0; f < options_.num_fields; ++f) {
+    schema.AddUint64("f" + std::to_string(f));
+  }
+  row_size_ = schema.row_size();
+  NEXT700_CHECK(row_size_ <= kMaxRowSize);
+  table_ = engine->CreateTable("usertable", std::move(schema));
+  index_ = engine->CreateIndex("usertable_pk", table_, options_.index_kind,
+                               options_.num_records);
+
+  std::vector<uint8_t> buf(row_size_);
+  const Schema& s = table_->schema();
+  for (uint64_t key = 0; key < options_.num_records; ++key) {
+    for (int f = 0; f < options_.num_fields; ++f) {
+      s.SetUint64(buf.data(), f, key * 131 + static_cast<uint64_t>(f));
+    }
+    Row* row = engine->LoadRow(table_, PartitionOf(key), key, buf.data());
+    NEXT700_CHECK(index_->Insert(key, row).ok());
+  }
+}
+
+void YcsbWorkload::GenerateTxn(Rng* rng, std::vector<Op>* ops,
+                               std::vector<uint32_t>* partitions) {
+  ops->clear();
+  partitions->clear();
+  if (!options_.partitioned || num_partitions_ == 1) {
+    for (int i = 0; i < options_.ops_per_txn; ++i) {
+      ops->push_back(Op{zipf_->Next(rng),
+                        rng->NextBool(options_.write_fraction)});
+    }
+    return;
+  }
+  // Partitioned mode: pick the partition set first, then constrain keys.
+  int span = 1;
+  if (rng->NextBool(options_.multi_partition_fraction)) {
+    span = std::min<int>(options_.partitions_per_mp_txn,
+                         static_cast<int>(num_partitions_));
+  }
+  while (static_cast<int>(partitions->size()) < span) {
+    const uint32_t p =
+        static_cast<uint32_t>(rng->NextUint64(num_partitions_));
+    if (std::find(partitions->begin(), partitions->end(), p) ==
+        partitions->end()) {
+      partitions->push_back(p);
+    }
+  }
+  for (int i = 0; i < options_.ops_per_txn; ++i) {
+    const uint32_t target =
+        (*partitions)[static_cast<size_t>(i) % partitions->size()];
+    // Re-home a Zipf draw into the target partition, preserving skew.
+    uint64_t key = zipf_->Next(rng);
+    key = key - (key % num_partitions_) + target;
+    if (key >= options_.num_records) {
+      key = target;  // Smallest key in the partition.
+    }
+    ops->push_back(Op{key, rng->NextBool(options_.write_fraction)});
+  }
+}
+
+Status YcsbWorkload::ExecuteOnce(Engine* engine, int thread_id,
+                                 const std::vector<Op>& ops,
+                                 const std::vector<uint32_t>& partitions,
+                                 Rng* rng, uint8_t* buf) {
+  TxnContext* txn = engine->Begin(thread_id, partitions);
+  const Schema& schema = table_->schema();
+  for (const Op& op : ops) {
+    if (op.is_write && !options_.read_modify_write) {
+      // Blind write: fresh full-row image.
+      for (int f = 0; f < options_.num_fields; ++f) {
+        schema.SetUint64(buf, f, rng->Next());
+      }
+      const Status s = engine->Update(txn, index_, op.key, buf);
+      if (!s.ok()) {
+        engine->Abort(txn);
+        return s;
+      }
+      continue;
+    }
+    Status s = op.is_write ? engine->ReadForUpdate(txn, index_, op.key, buf)
+                           : engine->Read(txn, index_, op.key, buf);
+    if (!s.ok()) {
+      engine->Abort(txn);
+      return s;
+    }
+    if (op.is_write) {  // Read-modify-write.
+      schema.SetUint64(buf, 0, schema.GetUint64(buf, 0) + 1);
+      s = engine->Update(txn, index_, op.key, buf);
+      if (!s.ok()) {
+        engine->Abort(txn);
+        return s;
+      }
+    }
+  }
+  const Status s = engine->Commit(txn);
+  if (!s.ok()) engine->Abort(txn);
+  return s;
+}
+
+Status YcsbWorkload::RunNextTxn(Engine* engine, int thread_id, Rng* rng) {
+  std::vector<Op> ops;
+  std::vector<uint32_t> partitions;
+  GenerateTxn(rng, &ops, &partitions);
+  uint8_t buf[kMaxRowSize];
+  return RunWithRetry(rng, [&] {
+    return ExecuteOnce(engine, thread_id, ops, partitions, rng, buf);
+  });
+}
+
+}  // namespace next700

@@ -1,0 +1,79 @@
+#ifndef NEXT700_WORKLOAD_YCSB_H_
+#define NEXT700_WORKLOAD_YCSB_H_
+
+/// \file
+/// YCSB-style key/value workload (the microbenchmark of the multicore CC
+/// studies). One table of N records with F 8-byte fields; each transaction
+/// performs `ops_per_txn` point operations on Zipf-distributed keys, each
+/// op a read or a write. Partitioned mode groups a transaction's keys into
+/// its home partition and injects a configurable fraction of
+/// multi-partition transactions (the H-Store crossover experiment).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace next700 {
+
+struct YcsbOptions {
+  uint64_t num_records = 1 << 20;
+  int num_fields = 10;  // 8 bytes each.
+  int ops_per_txn = 16;
+  double write_fraction = 0.05;  // Per-op probability of a write.
+  double theta = 0.0;            // Zipf skew; 0 = uniform.
+  /// Writes read the row first (read-modify-write) instead of blind-write.
+  bool read_modify_write = false;
+  /// Partitioned key choice: all keys of a transaction fall in one home
+  /// partition, except a `multi_partition_fraction` of transactions whose
+  /// keys spread over `partitions_per_mp_txn` partitions.
+  bool partitioned = false;
+  double multi_partition_fraction = 0.0;
+  int partitions_per_mp_txn = 2;
+  IndexKind index_kind = IndexKind::kHash;
+};
+
+class YcsbWorkload : public Workload {
+ public:
+  explicit YcsbWorkload(YcsbOptions options);
+
+  void Load(Engine* engine) override;
+  Status RunNextTxn(Engine* engine, int thread_id, Rng* rng) override;
+  const char* name() const override { return "ycsb"; }
+
+  const YcsbOptions& options() const { return options_; }
+  Table* table() const { return table_; }
+  Index* index() const { return index_; }
+
+  /// Partition owning `key` under the engine's partition count.
+  uint32_t PartitionOf(uint64_t key) const {
+    return static_cast<uint32_t>(key % num_partitions_);
+  }
+
+ private:
+  struct Op {
+    uint64_t key;
+    bool is_write;
+  };
+
+  /// Draws the next transaction's operations (and partition set).
+  void GenerateTxn(Rng* rng, std::vector<Op>* ops,
+                   std::vector<uint32_t>* partitions);
+
+  Status ExecuteOnce(Engine* engine, int thread_id,
+                     const std::vector<Op>& ops,
+                     const std::vector<uint32_t>& partitions, Rng* rng,
+                     uint8_t* buf);
+
+  YcsbOptions options_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  Table* table_ = nullptr;
+  Index* index_ = nullptr;
+  uint32_t num_partitions_ = 1;
+  uint32_t row_size_ = 0;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_WORKLOAD_YCSB_H_

@@ -1,0 +1,67 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace next700 {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(1024);
+  std::set<uintptr_t> starts;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(starts.insert(reinterpret_cast<uintptr_t>(p)).second);
+    std::memset(p, i, 24);  // ASAN-visible if regions overlap.
+  }
+}
+
+TEST(ArenaTest, AllocateCopyPreservesBytes) {
+  Arena arena;
+  const char src[] = "the quick brown fox";
+  void* p = arena.AllocateCopy(src, sizeof(src));
+  EXPECT_EQ(std::memcmp(p, src, sizeof(src)), 0);
+}
+
+TEST(ArenaTest, ResetRecyclesMemoryWithoutGrowth) {
+  Arena arena(1024);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) arena.Allocate(64);
+    arena.Reset();
+  }
+  // 10 * 64 fits one block; repeated rounds must not reserve more.
+  EXPECT_LE(arena.bytes_reserved(), 2048u);
+}
+
+TEST(ArenaTest, OversizeAllocationsGetDedicatedBlocks) {
+  Arena arena(256);
+  void* big = arena.Allocate(10000);
+  std::memset(big, 0xAB, 10000);
+  void* small = arena.Allocate(16);
+  EXPECT_NE(big, small);
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+}
+
+TEST(ArenaTest, UsageAccounting) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  arena.Allocate(10);  // Rounded to 16.
+  EXPECT_EQ(arena.bytes_used(), 16u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(ArenaTest, ManyBlocksThenReset) {
+  Arena arena(128);
+  for (int i = 0; i < 100; ++i) arena.Allocate(100);
+  const size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  for (int i = 0; i < 100; ++i) arena.Allocate(100);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // Fully recycled.
+}
+
+}  // namespace
+}  // namespace next700

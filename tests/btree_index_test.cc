@@ -1,0 +1,211 @@
+#include "index/btree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace next700 {
+namespace {
+
+class BTreeIndexTest : public ::testing::Test {
+ protected:
+  BTreeIndexTest() {
+    Schema s;
+    s.AddUint64("v");
+    table_ = std::make_unique<Table>(0, "t", std::move(s), 1);
+    index_ = std::make_unique<BTreeIndex>(table_.get());
+  }
+
+  Row* NewRow(uint64_t key) {
+    Row* row = table_->AllocateRow(0);
+    row->primary_key = key;
+    return row;
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<BTreeIndex> index_;
+};
+
+TEST_F(BTreeIndexTest, EmptyTreeBehaves) {
+  EXPECT_EQ(index_->Lookup(1), nullptr);
+  std::vector<Row*> rows;
+  EXPECT_TRUE(index_->Scan(0, 100, 0, &rows).ok());
+  EXPECT_TRUE(rows.empty());
+  EXPECT_FALSE(index_->Remove(1, nullptr));
+  EXPECT_EQ(index_->Height(), 1);
+}
+
+TEST_F(BTreeIndexTest, InsertLookupAcrossSplits) {
+  constexpr uint64_t kKeys = 10000;
+  std::vector<Row*> rows(kKeys);
+  // Insert in a scrambled order to exercise non-append splits.
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    const uint64_t key = (i * 2654435761u) % kKeys;
+    if (rows[key] != nullptr) continue;
+    rows[key] = NewRow(key);
+    ASSERT_TRUE(index_->Insert(key, rows[key]).ok());
+  }
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    if (rows[key] == nullptr) {
+      rows[key] = NewRow(key);
+      ASSERT_TRUE(index_->Insert(key, rows[key]).ok());
+    }
+  }
+  EXPECT_EQ(index_->size(), kKeys);
+  EXPECT_GT(index_->Height(), 2);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_EQ(index_->Lookup(key), rows[key]) << key;
+  }
+}
+
+TEST_F(BTreeIndexTest, ScanReturnsSortedRange) {
+  for (uint64_t key = 0; key < 1000; ++key) {
+    ASSERT_TRUE(index_->Insert(key * 2, NewRow(key * 2)).ok());  // Evens.
+  }
+  std::vector<Row*> rows;
+  ASSERT_TRUE(index_->Scan(100, 200, 0, &rows).ok());
+  ASSERT_EQ(rows.size(), 51u);  // 100, 102, ..., 200.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i]->primary_key, 100 + 2 * i);
+  }
+}
+
+TEST_F(BTreeIndexTest, ScanHonorsLimit) {
+  for (uint64_t key = 0; key < 100; ++key) {
+    ASSERT_TRUE(index_->Insert(key, NewRow(key)).ok());
+  }
+  std::vector<Row*> rows;
+  ASSERT_TRUE(index_->Scan(10, 90, 5, &rows).ok());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows.front()->primary_key, 10u);
+  EXPECT_EQ(rows.back()->primary_key, 14u);
+}
+
+TEST_F(BTreeIndexTest, ScanReverseReturnsDescendingTail) {
+  for (uint64_t key = 0; key < 100; ++key) {
+    ASSERT_TRUE(index_->Insert(key, NewRow(key)).ok());
+  }
+  std::vector<Row*> rows;
+  ASSERT_TRUE(index_->ScanReverse(50, 10, 3, &rows).ok());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0]->primary_key, 50u);
+  EXPECT_EQ(rows[1]->primary_key, 49u);
+  EXPECT_EQ(rows[2]->primary_key, 48u);
+}
+
+TEST_F(BTreeIndexTest, DuplicateKeysAllSurface) {
+  std::vector<Row*> dups;
+  for (int i = 0; i < 100; ++i) {
+    dups.push_back(NewRow(7));
+    ASSERT_TRUE(index_->Insert(7, dups.back()).ok());
+  }
+  ASSERT_TRUE(index_->Insert(6, NewRow(6)).ok());
+  ASSERT_TRUE(index_->Insert(8, NewRow(8)).ok());
+  std::vector<Row*> rows;
+  index_->LookupAll(7, &rows);
+  EXPECT_EQ(rows.size(), 100u);
+  std::sort(rows.begin(), rows.end());
+  std::sort(dups.begin(), dups.end());
+  EXPECT_EQ(rows, dups);
+}
+
+TEST_F(BTreeIndexTest, InsertUniqueDetectsDuplicatesAcrossLeaves) {
+  // Fill so that equal keys land near leaf boundaries.
+  for (uint64_t key = 0; key < 5000; ++key) {
+    ASSERT_TRUE(index_->InsertUnique(key, NewRow(key)).ok());
+  }
+  for (uint64_t key = 0; key < 5000; key += 97) {
+    EXPECT_TRUE(index_->InsertUnique(key, NewRow(key)).IsAlreadyExists());
+  }
+  EXPECT_EQ(index_->size(), 5000u);
+}
+
+TEST_F(BTreeIndexTest, RemoveMaintainsOrder) {
+  std::vector<Row*> rows;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    rows.push_back(NewRow(key));
+    ASSERT_TRUE(index_->Insert(key, rows.back()).ok());
+  }
+  for (uint64_t key = 0; key < 2000; key += 2) {
+    EXPECT_TRUE(index_->Remove(key, rows[key]));
+  }
+  EXPECT_EQ(index_->size(), 1000u);
+  std::vector<Row*> remaining;
+  ASSERT_TRUE(index_->Scan(0, 1999, 0, &remaining).ok());
+  ASSERT_EQ(remaining.size(), 1000u);
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    EXPECT_EQ(remaining[i]->primary_key, 2 * i + 1);
+  }
+}
+
+TEST_F(BTreeIndexTest, RemoveWrongRowFails) {
+  Row* a = NewRow(5);
+  ASSERT_TRUE(index_->Insert(5, a).ok());
+  EXPECT_FALSE(index_->Remove(5, NewRow(5)));
+  EXPECT_TRUE(index_->Remove(5, a));
+}
+
+TEST_F(BTreeIndexTest, ConcurrentInsertersDisjointRanges) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        ASSERT_TRUE(index_->Insert(key, NewRow(key)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(index_->size(), kThreads * kPerThread);
+  std::vector<Row*> all;
+  ASSERT_TRUE(index_->Scan(0, kThreads * kPerThread, 0, &all).ok());
+  ASSERT_EQ(all.size(), kThreads * kPerThread);
+  for (size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i]->primary_key, i);
+  }
+}
+
+TEST_F(BTreeIndexTest, ConcurrentMixedReadersAndWriters) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> next_key{0};
+  std::thread writer([&] {
+    for (uint64_t key = 0; key < 30000; ++key) {
+      ASSERT_TRUE(index_->Insert(key, NewRow(key)).ok());
+      // Publish only after the insert completed so readers can rely on
+      // every key below the horizon being present.
+      next_key.store(key + 1, std::memory_order_release);
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      Rng rng(static_cast<uint64_t>(r) + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t horizon = next_key.load(std::memory_order_acquire);
+        if (horizon == 0) continue;
+        const uint64_t key = rng.NextUint64(horizon);
+        Row* row = index_->Lookup(key);
+        // Keys below the horizon were fully inserted before the horizon
+        // advanced past them.
+        ASSERT_NE(row, nullptr);
+        ASSERT_EQ(row->primary_key, key);
+        std::vector<Row*> rows;
+        ASSERT_TRUE(index_->Scan(key, key + 64, 0, &rows).ok());
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+}
+
+}  // namespace
+}  // namespace next700

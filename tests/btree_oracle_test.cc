@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/btree_index.h"
+#include "storage/table.h"
+
+namespace next700 {
+namespace {
+
+/// Randomized differential test: the B+-tree against std::multimap as an
+/// oracle, over a mixed insert / remove / lookup / scan operation stream.
+/// Parameterized on the seed so several independent streams run.
+class BTreeOracleTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  BTreeOracleTest() {
+    Schema s;
+    s.AddUint64("v");
+    table_ = std::make_unique<Table>(0, "t", std::move(s), 1);
+    index_ = std::make_unique<BTreeIndex>(table_.get());
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<BTreeIndex> index_;
+};
+
+TEST_P(BTreeOracleTest, MatchesMultimapUnderRandomOps) {
+  Rng rng(GetParam());
+  std::multimap<uint64_t, Row*> oracle;
+  constexpr uint64_t kKeySpace = 512;  // Small: plenty of duplicates.
+  constexpr int kOps = 20000;
+
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t key = rng.NextUint64(kKeySpace);
+    switch (rng.NextUint64(5)) {
+      case 0:
+      case 1: {  // Insert (40%).
+        Row* row = table_->AllocateRow(0);
+        row->primary_key = key;
+        ASSERT_TRUE(index_->Insert(key, row).ok());
+        oracle.emplace(key, row);
+        break;
+      }
+      case 2: {  // Remove one instance if present (20%).
+        auto it = oracle.find(key);
+        if (it == oracle.end()) {
+          ASSERT_FALSE(index_->Remove(key, nullptr));
+        } else {
+          ASSERT_TRUE(index_->Remove(key, it->second));
+          oracle.erase(it);
+        }
+        break;
+      }
+      case 3: {  // LookupAll (20%).
+        std::vector<Row*> got;
+        index_->LookupAll(key, &got);
+        auto [lo, hi] = oracle.equal_range(key);
+        std::vector<Row*> expected;
+        for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+        std::sort(got.begin(), got.end());
+        std::sort(expected.begin(), expected.end());
+        ASSERT_EQ(got, expected) << "key " << key;
+        break;
+      }
+      default: {  // Range scan (20%).
+        const uint64_t lo = key;
+        const uint64_t hi = std::min(kKeySpace, lo + rng.NextUint64(64));
+        std::vector<Row*> got;
+        ASSERT_TRUE(index_->Scan(lo, hi, 0, &got).ok());
+        // Oracle scan: keys ascending; within a key, order-insensitive.
+        auto it = oracle.lower_bound(lo);
+        std::vector<Row*> expected;
+        while (it != oracle.end() && it->first <= hi) {
+          expected.push_back(it->second);
+          ++it;
+        }
+        ASSERT_EQ(got.size(), expected.size());
+        // Verify ascending key order of the scan result.
+        for (size_t j = 1; j < got.size(); ++j) {
+          ASSERT_LE(got[j - 1]->primary_key, got[j]->primary_key);
+        }
+        std::sort(got.begin(), got.end());
+        std::sort(expected.begin(), expected.end());
+        ASSERT_EQ(got, expected);
+        break;
+      }
+    }
+    if (i % 4096 == 0) {
+      ASSERT_EQ(index_->size(), oracle.size());
+    }
+  }
+  ASSERT_EQ(index_->size(), oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeOracleTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace next700

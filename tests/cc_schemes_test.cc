@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "txn/engine.h"
+#include "workload/workload.h"
+
+namespace next700 {
+namespace {
+
+/// Shared harness: a two-column KV table over a 2-partition engine, so the
+/// same tests drive the H-Store scheme (which needs partition declarations)
+/// and everything else.
+class CcSchemeTest : public ::testing::TestWithParam<CcScheme> {
+ protected:
+  static constexpr uint64_t kRows = 64;
+  static constexpr int kThreads = 4;
+
+  void SetUp() override {
+    EngineOptions options;
+    options.cc_scheme = GetParam();
+    options.max_threads = kThreads;
+    options.num_partitions = 2;
+    engine_ = std::make_unique<Engine>(options);
+    Schema schema;
+    schema.AddUint64("val");
+    schema.AddUint64("pad");
+    table_ = engine_->CreateTable("kv", std::move(schema));
+    index_ = engine_->CreateIndex("kv_pk", table_, IndexKind::kHash,
+                                  kRows * 4);
+    std::vector<uint8_t> buf(table_->schema().row_size());
+    for (uint64_t key = 0; key < kRows; ++key) {
+      table_->schema().SetUint64(buf.data(), 0, 0);
+      table_->schema().SetUint64(buf.data(), 1, key);
+      Row* row = engine_->LoadRow(table_, PartitionOf(key), key, buf.data());
+      ASSERT_TRUE(index_->Insert(key, row).ok());
+    }
+  }
+
+  static uint32_t PartitionOf(uint64_t key) {
+    return static_cast<uint32_t>(key % 2);
+  }
+
+  static std::vector<uint32_t> Parts(std::initializer_list<uint64_t> keys) {
+    std::vector<uint32_t> parts;
+    for (uint64_t key : keys) parts.push_back(PartitionOf(key));
+    return parts;
+  }
+
+  Status ReadVal(TxnContext* txn, uint64_t key, uint64_t* out) {
+    std::vector<uint8_t> buf(table_->schema().row_size());
+    const Status s = engine_->Read(txn, index_, key, buf.data());
+    if (s.ok()) *out = table_->schema().GetUint64(buf.data(), 0);
+    return s;
+  }
+
+  Status WriteVal(TxnContext* txn, uint64_t key, uint64_t value) {
+    std::vector<uint8_t> buf(table_->schema().row_size());
+    const Status s = engine_->Read(txn, index_, key, buf.data());
+    if (!s.ok()) return s;
+    table_->schema().SetUint64(buf.data(), 0, value);
+    return engine_->Update(txn, index_, key, buf.data());
+  }
+
+  /// Runs `body` as a transaction on `thread_id`, retrying aborts.
+  template <typename Fn>
+  Status RunTxn(int thread_id, std::vector<uint32_t> parts, Fn&& body) {
+    Rng rng(static_cast<uint64_t>(thread_id) + 1234);
+    return RunWithRetry(&rng, [&] {
+      TxnContext* txn = engine_->Begin(thread_id, parts);
+      Status s = body(txn);
+      if (s.ok()) s = engine_->Commit(txn);
+      if (!s.ok()) engine_->Abort(txn);
+      return s;
+    });
+  }
+
+  std::unique_ptr<Engine> engine_;
+  Table* table_ = nullptr;
+  Index* index_ = nullptr;
+};
+
+TEST_P(CcSchemeTest, CommittedWriteIsVisible) {
+  ASSERT_TRUE(RunTxn(0, Parts({3}), [&](TxnContext* txn) {
+                return WriteVal(txn, 3, 99);
+              }).ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(RunTxn(0, Parts({3}), [&](TxnContext* txn) {
+                return ReadVal(txn, 3, &value);
+              }).ok());
+  EXPECT_EQ(value, 99u);
+}
+
+TEST_P(CcSchemeTest, AbortRollsBackWrites) {
+  TxnContext* txn = engine_->Begin(0, Parts({5}));
+  ASSERT_TRUE(WriteVal(txn, 5, 1234).ok());
+  engine_->Abort(txn);
+  uint64_t value = 77;
+  ASSERT_TRUE(RunTxn(0, Parts({5}), [&](TxnContext* txn2) {
+                return ReadVal(txn2, 5, &value);
+              }).ok());
+  EXPECT_EQ(value, 0u);
+}
+
+TEST_P(CcSchemeTest, ReadYourOwnWrites) {
+  ASSERT_TRUE(RunTxn(0, Parts({7}), [&](TxnContext* txn) {
+                NEXT700_RETURN_IF_ERROR(WriteVal(txn, 7, 55));
+                uint64_t value = 0;
+                NEXT700_RETURN_IF_ERROR(ReadVal(txn, 7, &value));
+                EXPECT_EQ(value, 55u);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_P(CcSchemeTest, RepeatedWritesLastOneWins) {
+  ASSERT_TRUE(RunTxn(0, Parts({9}), [&](TxnContext* txn) {
+                NEXT700_RETURN_IF_ERROR(WriteVal(txn, 9, 1));
+                NEXT700_RETURN_IF_ERROR(WriteVal(txn, 9, 2));
+                return WriteVal(txn, 9, 3);
+              }).ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(RunTxn(0, Parts({9}), [&](TxnContext* txn) {
+                return ReadVal(txn, 9, &value);
+              }).ok());
+  EXPECT_EQ(value, 3u);
+}
+
+TEST_P(CcSchemeTest, InsertVisibleOnlyAfterCommit) {
+  const uint64_t key = kRows + 1;
+  std::vector<uint8_t> buf(table_->schema().row_size());
+  table_->schema().SetUint64(buf.data(), 0, 42);
+
+  TxnContext* txn = engine_->Begin(0, Parts({key}));
+  Result<Row*> row =
+      engine_->Insert(txn, table_, PartitionOf(key), key, buf.data());
+  ASSERT_TRUE(row.ok());
+  engine_->AddIndexInsert(txn, index_, key, row.value());
+  EXPECT_EQ(index_->Lookup(key), nullptr);  // Not published yet.
+  ASSERT_TRUE(engine_->Commit(txn).ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(RunTxn(0, Parts({key}), [&](TxnContext* txn2) {
+                return ReadVal(txn2, key, &value);
+              }).ok());
+  EXPECT_EQ(value, 42u);
+}
+
+TEST_P(CcSchemeTest, AbortedInsertLeavesNoTrace) {
+  const uint64_t key = kRows + 2;
+  std::vector<uint8_t> buf(table_->schema().row_size());
+  table_->schema().SetUint64(buf.data(), 0, 42);
+  TxnContext* txn = engine_->Begin(0, Parts({key}));
+  Result<Row*> row =
+      engine_->Insert(txn, table_, PartitionOf(key), key, buf.data());
+  ASSERT_TRUE(row.ok());
+  engine_->AddIndexInsert(txn, index_, key, row.value());
+  engine_->Abort(txn);
+  EXPECT_EQ(index_->Lookup(key), nullptr);
+  uint64_t value = 0;
+  EXPECT_TRUE(RunTxn(0, Parts({key}), [&](TxnContext* txn2) {
+                return ReadVal(txn2, key, &value);
+              }).IsNotFound());
+}
+
+TEST_P(CcSchemeTest, DeleteHidesRow) {
+  Row* row = index_->Lookup(11);
+  ASSERT_NE(row, nullptr);
+  ASSERT_TRUE(RunTxn(0, Parts({11}), [&](TxnContext* txn) {
+                NEXT700_RETURN_IF_ERROR(engine_->Delete(txn, row));
+                engine_->AddIndexRemove(txn, index_, 11, row);
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(index_->Lookup(11), nullptr);
+  uint64_t value = 0;
+  EXPECT_TRUE(RunTxn(0, Parts({11}), [&](TxnContext* txn) {
+                return ReadVal(txn, 11, &value);
+              }).IsNotFound());
+}
+
+TEST_P(CcSchemeTest, ConcurrentIncrementsLoseNoUpdates) {
+  constexpr int kPerThread = 400;
+  constexpr uint64_t kHotRows = 4;  // High contention.
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 7);
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t key = rng.NextUint64(kHotRows);
+        const Status s = RunTxn(t, Parts({key}), [&](TxnContext* txn) {
+          uint64_t value = 0;
+          NEXT700_RETURN_IF_ERROR(ReadVal(txn, key, &value));
+          return WriteVal(txn, key, value + 1);
+        });
+        if (s.ok()) ++committed;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(committed.load(), kThreads * kPerThread);
+  uint64_t total = 0;
+  for (uint64_t key = 0; key < kHotRows; ++key) {
+    uint64_t value = 0;
+    ASSERT_TRUE(RunTxn(0, Parts({key}), [&](TxnContext* txn) {
+                  return ReadVal(txn, key, &value);
+                }).ok());
+    total += value;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_P(CcSchemeTest, ConcurrentTransfersConserveTotal) {
+  // Seed balances.
+  constexpr uint64_t kAccounts = 8;
+  constexpr uint64_t kSeedBalance = 1000;
+  for (uint64_t key = 0; key < kAccounts; ++key) {
+    ASSERT_TRUE(RunTxn(0, Parts({key}), [&](TxnContext* txn) {
+                  return WriteVal(txn, key, kSeedBalance);
+                }).ok());
+  }
+  constexpr int kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t from = rng.NextUint64(kAccounts);
+        uint64_t to = rng.NextUint64(kAccounts);
+        if (to == from) to = (to + 1) % kAccounts;
+        const uint64_t amount = rng.NextRange(1, 10);
+        (void)RunTxn(t, Parts({from, to}), [&](TxnContext* txn) {
+          uint64_t from_balance = 0, to_balance = 0;
+          NEXT700_RETURN_IF_ERROR(ReadVal(txn, from, &from_balance));
+          if (from_balance < amount) {
+            return Status::InvalidArgument("insufficient");
+          }
+          NEXT700_RETURN_IF_ERROR(ReadVal(txn, to, &to_balance));
+          NEXT700_RETURN_IF_ERROR(
+              WriteVal(txn, from, from_balance - amount));
+          return WriteVal(txn, to, to_balance + amount);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (uint64_t key = 0; key < kAccounts; ++key) {
+    uint64_t value = 0;
+    ASSERT_TRUE(RunTxn(0, Parts({key}), [&](TxnContext* txn) {
+                  return ReadVal(txn, key, &value);
+                }).ok());
+    total += value;
+  }
+  EXPECT_EQ(total, kAccounts * kSeedBalance);
+}
+
+TEST_P(CcSchemeTest, ReadersNeverObserveTornInvariants) {
+  // A writer keeps rows 20 and 21 equal; committed readers must never see
+  // them differ (isolation + atomicity).
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread writer([&] {
+    for (uint64_t i = 1; i <= 500; ++i) {
+      (void)RunTxn(0, Parts({20, 21}), [&](TxnContext* txn) {
+        NEXT700_RETURN_IF_ERROR(WriteVal(txn, 20, i));
+        return WriteVal(txn, 21, i);
+      });
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int r = 1; r <= 2; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t a = 0, b = 0;
+        const Status s = RunTxn(r, Parts({20, 21}), [&](TxnContext* txn) {
+          NEXT700_RETURN_IF_ERROR(ReadVal(txn, 20, &a));
+          return ReadVal(txn, 21, &b);
+        });
+        if (s.ok() && a != b) ++violations;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_P(CcSchemeTest, StatsCountCommitsAndAborts) {
+  engine_->ResetStats();
+  ASSERT_TRUE(RunTxn(0, Parts({1}), [&](TxnContext* txn) {
+                return WriteVal(txn, 1, 5);
+              }).ok());
+  TxnContext* txn = engine_->Begin(0, Parts({1}));
+  ASSERT_TRUE(WriteVal(txn, 1, 6).ok());
+  engine_->Abort(txn);
+  const RunStats stats = engine_->AggregateStats();
+  EXPECT_EQ(stats.commits, 1u);
+  EXPECT_EQ(stats.aborts, 1u);
+  EXPECT_GE(stats.writes, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, CcSchemeTest, ::testing::ValuesIn(AllCcSchemes()),
+    [](const ::testing::TestParamInfo<CcScheme>& info) {
+      return CcSchemeName(info.param);
+    });
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+
+namespace next700 {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  const Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+// --- Timestamp allocators ----------------------------------------------------
+
+TEST(TimestampTest, AtomicAllocatorIsMonotonic) {
+  AtomicTimestampAllocator alloc;
+  Timestamp prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp ts = alloc.Allocate(0);
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+  EXPECT_GT(alloc.Horizon(), prev);
+}
+
+TEST(TimestampTest, BatchedAllocatorUniquePerThreadMonotonic) {
+  BatchedTimestampAllocator alloc(4);
+  std::vector<std::vector<Timestamp>> out(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&alloc, &out, t] {
+      Timestamp prev = 0;
+      for (int i = 0; i < 10000; ++i) {
+        const Timestamp ts = alloc.Allocate(t);
+        EXPECT_GT(ts, prev);  // Per-thread monotonic.
+        prev = ts;
+        out[t].push_back(ts);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<Timestamp> all;
+  for (const auto& v : out) {
+    for (Timestamp ts : v) EXPECT_TRUE(all.insert(ts).second);  // Unique.
+  }
+  EXPECT_EQ(all.size(), 40000u);
+}
+
+TEST(TimestampTest, FactoryCreatesRequestedKind) {
+  auto atomic =
+      TimestampAllocator::Create(TimestampAllocatorKind::kAtomic, 2);
+  auto batched =
+      TimestampAllocator::Create(TimestampAllocatorKind::kBatched, 2);
+  EXPECT_NE(atomic->Allocate(0), kInvalidTimestamp);
+  EXPECT_NE(batched->Allocate(1), kInvalidTimestamp);
+}
+
+// --- Latches ----------------------------------------------------------------
+
+TEST(LatchTest, SpinLatchMutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        SpinLatchGuard guard(&latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(LatchTest, TryLockFailsWhenHeld) {
+  SpinLatch latch;
+  EXPECT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(LatchTest, RwLatchAllowsConcurrentReaders) {
+  RwSpinLatch latch;
+  latch.LockShared();
+  latch.LockShared();  // Second reader does not block.
+  latch.UnlockShared();
+  latch.UnlockShared();
+}
+
+TEST(LatchTest, RwLatchWriterExcludesEverything) {
+  RwSpinLatch latch;
+  std::atomic<int> active_writers{0};
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        latch.LockExclusive();
+        EXPECT_EQ(active_writers.fetch_add(1), 0);
+        sum.fetch_add(1, std::memory_order_relaxed);
+        active_writers.fetch_sub(1);
+        latch.UnlockExclusive();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(), 20000);
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "log/log_record.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace next700 {
+namespace {
+
+/// Differential testing across the engine family: a single-threaded run of
+/// the same seeded workload must produce byte-identical final state on
+/// every scheme (with one worker there is no concurrency, so *any* correct
+/// scheme degenerates to the same serial execution). A divergent scheme
+/// has a bug in its execute/commit plumbing, independent of concurrency.
+class DifferentialTest : public ::testing::Test {
+ protected:
+  /// Runs the canonical workload and returns a fingerprint of the table:
+  /// pk -> hash of payload.
+  static std::map<uint64_t, uint64_t> RunAndFingerprint(CcScheme scheme) {
+    EngineOptions eng;
+    eng.cc_scheme = scheme;
+    eng.max_threads = 1;
+    Engine engine(eng);
+    YcsbOptions ycsb;
+    ycsb.num_records = 2048;
+    ycsb.ops_per_txn = 8;
+    ycsb.write_fraction = 0.5;
+    ycsb.theta = 0.8;
+    ycsb.read_modify_write = true;  // Deterministic data (counter bumps).
+    YcsbWorkload workload(ycsb);
+    workload.Load(&engine);
+    DriverOptions driver;
+    driver.num_threads = 1;
+    driver.txns_per_thread = 500;
+    driver.seed = 777;
+    const RunStats stats = Driver::Run(&engine, &workload, driver);
+    NEXT700_CHECK(stats.commits == 500);
+    NEXT700_CHECK(stats.aborts == 0);  // Single-threaded: no conflicts.
+
+    std::map<uint64_t, uint64_t> fingerprint;
+    const uint32_t row_size = workload.table()->schema().row_size();
+    workload.table()->ForEachRow([&](Row* row) {
+      fingerprint[row->primary_key] =
+          FnvHashBytes(engine.RawImage(row), row_size);
+    });
+    return fingerprint;
+  }
+};
+
+TEST_F(DifferentialTest, AllSchemesAgreeOnSerialExecution) {
+  const auto reference = RunAndFingerprint(CcScheme::kNoWait);
+  ASSERT_EQ(reference.size(), 2048u);
+  for (CcScheme scheme : AllCcSchemes()) {
+    if (scheme == CcScheme::kNoWait) continue;
+    const auto fingerprint = RunAndFingerprint(scheme);
+    EXPECT_EQ(fingerprint, reference)
+        << "scheme " << CcSchemeName(scheme)
+        << " diverged from NO_WAIT on an identical serial history";
+  }
+}
+
+TEST_F(DifferentialTest, RunsAreReproducibleAcrossProcessRestarts) {
+  // Same scheme, same seed, twice: identical state. Guards the workload
+  /// generators against hidden nondeterminism (clocks, addresses).
+  const auto a = RunAndFingerprint(CcScheme::kOcc);
+  const auto b = RunAndFingerprint(CcScheme::kOcc);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,82 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/ycsb.h"
+
+namespace next700 {
+namespace {
+
+struct DriverFixture {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<YcsbWorkload> workload;
+
+  DriverFixture() {
+    EngineOptions eng;
+    eng.cc_scheme = CcScheme::kOcc;
+    eng.max_threads = 4;
+    engine = std::make_unique<Engine>(eng);
+    YcsbOptions ycsb;
+    ycsb.num_records = 1024;
+    ycsb.ops_per_txn = 4;
+    workload = std::make_unique<YcsbWorkload>(ycsb);
+    workload->Load(engine.get());
+  }
+};
+
+TEST(DriverTest, TimedModeMeasuresOnlyTheWindow) {
+  DriverFixture f;
+  DriverOptions options;
+  options.num_threads = 2;
+  options.warmup_seconds = 0.05;
+  options.measure_seconds = 0.2;
+  const RunStats stats = Driver::Run(f.engine.get(), f.workload.get(), options);
+  EXPECT_GT(stats.commits, 0u);
+  // Elapsed time tracks the requested window, not warmup + measure.
+  EXPECT_GE(stats.elapsed_seconds, 0.18);
+  EXPECT_LT(stats.elapsed_seconds, 1.0);
+  // Latency samples were collected only for measured commits.
+  EXPECT_LE(stats.commit_latency_ns.count(), stats.commits);
+  EXPECT_GT(stats.commit_latency_ns.count(), 0u);
+}
+
+TEST(DriverTest, FixedModeRunsExactCounts) {
+  DriverFixture f;
+  DriverOptions options;
+  options.num_threads = 3;
+  options.txns_per_thread = 123;
+  const RunStats stats = Driver::Run(f.engine.get(), f.workload.get(), options);
+  EXPECT_EQ(stats.commits, 3u * 123u);
+  EXPECT_EQ(stats.commit_latency_ns.count(), 3u * 123u);
+}
+
+TEST(DriverTest, BackToBackRunsReuseTheEngine) {
+  DriverFixture f;
+  DriverOptions options;
+  options.num_threads = 2;
+  options.txns_per_thread = 50;
+  const RunStats first = Driver::Run(f.engine.get(), f.workload.get(), options);
+  const RunStats second =
+      Driver::Run(f.engine.get(), f.workload.get(), options);
+  // Stats reset between runs: each reports its own work only.
+  EXPECT_EQ(first.commits, 100u);
+  EXPECT_EQ(second.commits, 100u);
+}
+
+TEST(DriverTest, SeedChangesChangeTheWorkStream) {
+  DriverFixture f;
+  DriverOptions options;
+  options.num_threads = 1;
+  options.txns_per_thread = 100;
+  options.seed = 1;
+  (void)Driver::Run(f.engine.get(), f.workload.get(), options);
+  const RunStats a = f.engine->AggregateStats();
+  options.seed = 2;
+  (void)Driver::Run(f.engine.get(), f.workload.get(), options);
+  const RunStats b = f.engine->AggregateStats();
+  // Different key streams -> (almost surely) different read/write splits.
+  EXPECT_TRUE(a.reads != b.reads || a.writes != b.writes);
+}
+
+}  // namespace
+}  // namespace next700

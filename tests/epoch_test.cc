@@ -1,0 +1,88 @@
+#include "common/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace next700 {
+namespace {
+
+std::atomic<int> g_freed{0};
+
+void CountingDeleter(void* p) {
+  ++g_freed;
+  delete static_cast<int*>(p);
+}
+
+class EpochTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_freed = 0; }
+};
+
+TEST_F(EpochTest, RetiredObjectSurvivesWhilePinned) {
+  EpochManager em(2);
+  em.Enter(1);  // Thread 1 pins the current epoch.
+  em.Enter(0);
+  em.Retire(0, new int(1), CountingDeleter);
+  em.Exit(0);
+  em.Maintain(0);
+  // Thread 1 is pinned at an epoch <= the retire epoch: nothing freed.
+  EXPECT_EQ(g_freed.load(), 0);
+  em.Exit(1);
+  em.Maintain(0);
+  EXPECT_EQ(g_freed.load(), 1);
+}
+
+TEST_F(EpochTest, ReclaimAllFreesEverything) {
+  {
+    EpochManager em(1);
+    em.Enter(0);
+    for (int i = 0; i < 10; ++i) em.Retire(0, new int(i), CountingDeleter);
+    em.Exit(0);
+  }  // Destructor reclaims.
+  EXPECT_EQ(g_freed.load(), 10);
+}
+
+TEST_F(EpochTest, MaintainWithNoPinsFrees) {
+  EpochManager em(4);
+  em.Enter(0);
+  em.Retire(0, new int(7), CountingDeleter);
+  em.Exit(0);
+  em.Maintain(0);
+  EXPECT_EQ(g_freed.load(), 1);
+}
+
+TEST_F(EpochTest, RetiredCountTracksBacklog) {
+  EpochManager em(2);
+  em.Enter(0);
+  em.Retire(0, new int(0), CountingDeleter);
+  em.Retire(0, new int(1), CountingDeleter);
+  EXPECT_EQ(em.RetiredCount(), 2u);
+  em.Exit(0);
+  em.Maintain(0);
+  EXPECT_EQ(em.RetiredCount(), 0u);
+}
+
+TEST_F(EpochTest, ConcurrentEnterExitSmoke) {
+  constexpr int kThreads = 4;
+  EpochManager em(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&em, t] {
+      for (int i = 0; i < 2000; ++i) {
+        EpochGuard guard(&em, t);
+        em.Retire(t, new int(i), CountingDeleter);
+        if (i % 64 == 0) em.Maintain(t);
+      }
+      em.Maintain(t);
+    });
+  }
+  for (auto& t : threads) t.join();
+  em.ReclaimAll();
+  EXPECT_EQ(g_freed.load(), kThreads * 2000);
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,141 @@
+#include "index/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace next700 {
+namespace {
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  HashIndexTest() {
+    Schema s;
+    s.AddUint64("v");
+    table_ = std::make_unique<Table>(0, "t", std::move(s), 1);
+  }
+
+  Row* NewRow() { return table_->AllocateRow(0); }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(HashIndexTest, InsertAndLookup) {
+  HashIndex index(table_.get(), 16);
+  Row* row = NewRow();
+  ASSERT_TRUE(index.Insert(42, row).ok());
+  EXPECT_EQ(index.Lookup(42), row);
+  EXPECT_EQ(index.Lookup(43), nullptr);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST_F(HashIndexTest, DuplicateKeysAllowed) {
+  HashIndex index(table_.get(), 16);
+  Row* a = NewRow();
+  Row* b = NewRow();
+  ASSERT_TRUE(index.Insert(7, a).ok());
+  ASSERT_TRUE(index.Insert(7, b).ok());
+  std::vector<Row*> rows;
+  index.LookupAll(7, &rows);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_TRUE((rows[0] == a && rows[1] == b) ||
+              (rows[0] == b && rows[1] == a));
+}
+
+TEST_F(HashIndexTest, ExactPairRejectedOnReinsert) {
+  HashIndex index(table_.get(), 16);
+  Row* row = NewRow();
+  ASSERT_TRUE(index.Insert(7, row).ok());
+  EXPECT_TRUE(index.Insert(7, row).IsAlreadyExists());
+}
+
+TEST_F(HashIndexTest, InsertUniqueRejectsSecondRow) {
+  HashIndex index(table_.get(), 16);
+  ASSERT_TRUE(index.InsertUnique(7, NewRow()).ok());
+  EXPECT_TRUE(index.InsertUnique(7, NewRow()).IsAlreadyExists());
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST_F(HashIndexTest, RemoveExactPair) {
+  HashIndex index(table_.get(), 16);
+  Row* a = NewRow();
+  Row* b = NewRow();
+  ASSERT_TRUE(index.Insert(7, a).ok());
+  ASSERT_TRUE(index.Insert(7, b).ok());
+  EXPECT_TRUE(index.Remove(7, a));
+  EXPECT_FALSE(index.Remove(7, a));  // Already gone.
+  EXPECT_EQ(index.Lookup(7), b);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST_F(HashIndexTest, ScanIsNotSupported) {
+  HashIndex index(table_.get(), 16);
+  std::vector<Row*> rows;
+  EXPECT_EQ(index.Scan(0, 10, 0, &rows).code(), StatusCode::kNotSupported);
+  EXPECT_EQ(index.ScanReverse(10, 0, 0, &rows).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(HashIndexTest, ManyKeysWithCollisions) {
+  HashIndex index(table_.get(), 16);  // Tiny bucket array: long chains.
+  constexpr uint64_t kKeys = 5000;
+  std::vector<Row*> rows;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    rows.push_back(NewRow());
+    ASSERT_TRUE(index.Insert(k, rows.back()).ok());
+  }
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(index.Lookup(k), rows[k]) << "key " << k;
+  }
+  EXPECT_EQ(index.size(), kKeys);
+}
+
+TEST_F(HashIndexTest, ConcurrentInsertsAndLookups) {
+  HashIndex index(table_.get(), 1 << 12);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        Row* row = table_->AllocateRow(0);
+        row->primary_key = key;
+        ASSERT_TRUE(index.Insert(key, row).ok());
+        Row* found = index.Lookup(key);
+        ASSERT_NE(found, nullptr);
+        ASSERT_EQ(found->primary_key, key);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(index.size(), kThreads * kPerThread);
+}
+
+TEST_F(HashIndexTest, ConcurrentInsertUniqueAdmitsExactlyOne) {
+  HashIndex index(table_.get(), 64);
+  constexpr int kThreads = 4;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (index.InsertUnique(static_cast<uint64_t>(i),
+                               table_->AllocateRow(0))
+                .ok()) {
+          ++successes;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 1000);
+  EXPECT_EQ(index.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace next700

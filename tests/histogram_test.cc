@@ -1,0 +1,85 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace next700 {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  // Percentile answers a bucket upper bound near the value.
+  EXPECT_GE(h.Percentile(0.5), 1000u);
+  EXPECT_LE(h.Percentile(0.5), 1100u);
+}
+
+TEST(HistogramTest, PercentilesOrderedAndBounded) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  const uint64_t p50 = h.Percentile(0.50);
+  const uint64_t p95 = h.Percentile(0.95);
+  const uint64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  // Bounded relative error (~6% plus one bucket).
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.10);
+  EXPECT_NEAR(static_cast<double>(p95), 9500.0, 9500.0 * 0.10);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(HistogramTest, MergeCombinesPopulations) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_LE(a.Percentile(0.25), 16u);
+  EXPECT_GE(a.Percentile(0.75), 900000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(~uint64_t{0} >> 1);
+  h.Record(uint64_t{1} << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.Percentile(1.0), uint64_t{1} << 62);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  for (int i = 0; i < 42; ++i) h.Record(100);
+  EXPECT_NE(h.Summary().find("count=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,183 @@
+#include "cc/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/table.h"
+
+namespace next700 {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() {
+    Schema s;
+    s.AddUint64("v");
+    table_ = std::make_unique<Table>(0, "t", std::move(s), 1);
+    row_a_ = table_->AllocateRow(0);
+    row_b_ = table_->AllocateRow(0);
+  }
+
+  std::unique_ptr<TxnContext> MakeTxn(int thread_id, uint64_t id,
+                                      Timestamp ts) {
+    auto txn = std::make_unique<TxnContext>(thread_id);
+    txn->set_txn_id(id);
+    txn->set_ts(ts);
+    return txn;
+  }
+
+  std::unique_ptr<Table> table_;
+  Row* row_a_;
+  Row* row_b_;
+};
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm(DeadlockPolicy::kNoWait);
+  auto t1 = MakeTxn(0, 1, 1);
+  auto t2 = MakeTxn(1, 2, 2);
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(t2.get(), row_a_, LockMode::kShared).ok());
+  lm.ReleaseAll(t1.get());
+  lm.ReleaseAll(t2.get());
+}
+
+TEST_F(LockManagerTest, ExclusiveConflictAbortsUnderNoWait) {
+  LockManager lm(DeadlockPolicy::kNoWait);
+  auto t1 = MakeTxn(0, 1, 1);
+  auto t2 = MakeTxn(1, 2, 2);
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(t2.get(), row_a_, LockMode::kShared).IsAborted());
+  EXPECT_TRUE(lm.Acquire(t2.get(), row_a_, LockMode::kExclusive).IsAborted());
+  lm.ReleaseAll(t1.get());
+  EXPECT_TRUE(lm.Acquire(t2.get(), row_a_, LockMode::kExclusive).ok());
+  lm.ReleaseAll(t2.get());
+}
+
+TEST_F(LockManagerTest, ReacquireIsIdempotent) {
+  LockManager lm(DeadlockPolicy::kNoWait);
+  auto t1 = MakeTxn(0, 1, 1);
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kExclusive).ok());  // Upgrade.
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kShared).ok());
+  EXPECT_EQ(t1->held_locks().size(), 1u);
+  lm.ReleaseAll(t1.get());
+}
+
+TEST_F(LockManagerTest, UpgradeConflictAbortsUnderNoWait) {
+  LockManager lm(DeadlockPolicy::kNoWait);
+  auto t1 = MakeTxn(0, 1, 1);
+  auto t2 = MakeTxn(1, 2, 2);
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(t2.get(), row_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kExclusive).IsAborted());
+  lm.ReleaseAll(t1.get());
+  lm.ReleaseAll(t2.get());
+}
+
+TEST_F(LockManagerTest, WaitDieYoungerRequesterDies) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  auto older = MakeTxn(0, 1, /*ts=*/10);
+  auto younger = MakeTxn(1, 2, /*ts=*/20);
+  EXPECT_TRUE(lm.Acquire(older.get(), row_a_, LockMode::kExclusive).ok());
+  // Younger requester conflicts with an older holder: dies immediately.
+  EXPECT_TRUE(lm.Acquire(younger.get(), row_a_, LockMode::kExclusive).IsAborted());
+  lm.ReleaseAll(older.get());
+}
+
+TEST_F(LockManagerTest, WaitDieOlderRequesterWaits) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  auto older = MakeTxn(0, 1, /*ts=*/10);
+  auto younger = MakeTxn(1, 2, /*ts=*/20);
+  EXPECT_TRUE(lm.Acquire(younger.get(), row_a_, LockMode::kExclusive).ok());
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Acquire(older.get(), row_a_, LockMode::kExclusive).ok());
+    acquired.store(true);
+  });
+  // Give the waiter time to block; it must not finish while younger holds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(younger.get());
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  lm.ReleaseAll(older.get());
+}
+
+TEST_F(LockManagerTest, DlDetectResolvesTwoTxnDeadlock) {
+  LockManager lm(DeadlockPolicy::kDlDetect);
+  auto t1 = MakeTxn(0, 1, 1);
+  auto t2 = MakeTxn(1, 2, 2);
+  ASSERT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(t2.get(), row_b_, LockMode::kExclusive).ok());
+
+  std::atomic<int> aborted{0};
+  std::atomic<int> succeeded{0};
+  auto cross = [&](TxnContext* txn, Row* row) {
+    const Status s = lm.Acquire(txn, row, LockMode::kExclusive);
+    if (s.IsAborted()) {
+      ++aborted;
+      lm.ReleaseAll(txn);  // Break the cycle.
+    } else {
+      ++succeeded;
+    }
+  };
+  std::thread a(cross, t1.get(), row_b_);
+  std::thread b(cross, t2.get(), row_a_);
+  a.join();
+  b.join();
+  // Exactly one side of the cycle must have been killed.
+  EXPECT_EQ(aborted.load(), 1);
+  EXPECT_EQ(succeeded.load(), 1);
+  lm.ReleaseAll(t1.get());
+  lm.ReleaseAll(t2.get());
+}
+
+TEST_F(LockManagerTest, ReleaseWakesSharedGroup) {
+  LockManager lm(DeadlockPolicy::kDlDetect);
+  auto writer = MakeTxn(0, 1, 1);
+  ASSERT_TRUE(lm.Acquire(writer.get(), row_a_, LockMode::kExclusive).ok());
+
+  constexpr int kReaders = 3;
+  std::atomic<int> read_ok{0};
+  std::vector<std::thread> readers;
+  std::vector<std::unique_ptr<TxnContext>> txns;
+  for (int i = 0; i < kReaders; ++i) {
+    txns.push_back(std::make_unique<TxnContext>(i + 1));
+    txns.back()->set_txn_id(static_cast<uint64_t>(i) + 10);
+    txns.back()->set_ts(static_cast<Timestamp>(i) + 10);
+  }
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      if (lm.Acquire(txns[i].get(), row_a_, LockMode::kShared).ok()) {
+        ++read_ok;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  lm.ReleaseAll(writer.get());
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(read_ok.load(), kReaders);
+  for (auto& txn : txns) lm.ReleaseAll(txn.get());
+}
+
+TEST_F(LockManagerTest, HeldLocksListMatchesAcquisitions) {
+  LockManager lm(DeadlockPolicy::kNoWait);
+  auto t1 = MakeTxn(0, 1, 1);
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(t1.get(), row_b_, LockMode::kExclusive).ok());
+  EXPECT_EQ(t1->held_locks().size(), 2u);
+  lm.ReleaseAll(t1.get());
+  EXPECT_TRUE(t1->held_locks().empty());
+  // Everything is free again.
+  auto t2 = MakeTxn(1, 2, 2);
+  EXPECT_TRUE(lm.Acquire(t2.get(), row_a_, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(t2.get(), row_b_, LockMode::kExclusive).ok());
+  lm.ReleaseAll(t2.get());
+}
+
+}  // namespace
+}  // namespace next700

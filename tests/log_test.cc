@@ -1,0 +1,267 @@
+#include "log/log_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "log/recovery.h"
+#include "txn/engine.h"
+
+namespace next700 {
+namespace {
+
+std::string TempLogPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/next700_" + tag + ".log";
+}
+
+TEST(LogManagerTest, AppendAdvancesLsnAndBecomesDurable) {
+  LogManagerOptions options;
+  options.path = TempLogPath("append");
+  options.flush_interval_us = 100;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  const std::vector<uint8_t> body{1, 2, 3, 4};
+  const Lsn lsn1 = log.Append(LogRecordType::kTxnValue, body);
+  const Lsn lsn2 = log.Append(LogRecordType::kTxnValue, body);
+  EXPECT_GT(lsn2, lsn1);
+  log.WaitDurable(lsn2);
+  EXPECT_GE(log.durable_lsn(), lsn2);
+  log.Close();
+  // File size matches appended bytes.
+  std::ifstream f(options.path, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(static_cast<Lsn>(f.tellg()), lsn2);
+}
+
+TEST(LogManagerTest, GroupCommitBatchesFlushes) {
+  LogManagerOptions options;
+  options.path = TempLogPath("group");
+  options.flush_interval_us = 2000;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  const std::vector<uint8_t> body(64, 7);
+  Lsn last = 0;
+  for (int i = 0; i < 100; ++i) {
+    last = log.Append(LogRecordType::kTxnValue, body);
+  }
+  log.WaitDurable(last);
+  // 100 records must not require 100 physical flushes.
+  EXPECT_LT(log.flush_count(), 50u);
+  log.Close();
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  static EngineOptions BaseOptions(LoggingKind logging,
+                                   const std::string& path) {
+    EngineOptions options;
+    options.cc_scheme = CcScheme::kNoWait;
+    options.max_threads = 2;
+    options.logging = logging;
+    options.log_path = path;
+    options.log_flush_interval_us = 50;
+    return options;
+  }
+
+  /// Builds a fresh engine with the KV schema (and procedure) registered.
+  static std::unique_ptr<Engine> MakeEngine(const EngineOptions& options,
+                                            Table** table, Index** index) {
+    auto engine = std::make_unique<Engine>(options);
+    Schema schema;
+    schema.AddUint64("val");
+    *table = engine->CreateTable("kv", std::move(schema));
+    *index = engine->CreateIndex("kv_pk", *table, IndexKind::kHash, 256);
+    // Procedure 1: add args[1] to row args[0] (creating it if missing).
+    engine->RegisterProcedure(
+        1, [table, index](Engine* e, TxnContext* txn, const uint8_t* args,
+                          size_t len) -> Status {
+          NEXT700_CHECK(len == 16);
+          uint64_t key, delta;
+          std::memcpy(&key, args, 8);
+          std::memcpy(&delta, args + 8, 8);
+          uint8_t buf[8];
+          Status s = e->Read(txn, *index, key, buf);
+          if (s.IsNotFound()) {
+            (*table)->schema().SetUint64(buf, 0, delta);
+            Result<Row*> row = e->Insert(txn, *table, 0, key, buf);
+            NEXT700_RETURN_IF_ERROR(row.status());
+            e->AddIndexInsert(txn, *index, key, row.value());
+            return Status::OK();
+          }
+          NEXT700_RETURN_IF_ERROR(s);
+          (*table)->schema().SetUint64(
+              buf, 0, (*table)->schema().GetUint64(buf, 0) + delta);
+          return e->Update(txn, *index, key, buf);
+        });
+    return engine;
+  }
+
+  static uint64_t Value(Engine* engine, Index* index, Table* table,
+                        uint64_t key) {
+    Row* row = index->Lookup(key);
+    NEXT700_CHECK(row != nullptr);
+    return table->schema().GetUint64(engine->RawImage(row), 0);
+  }
+};
+
+TEST_F(RecoveryTest, ValueLogReplayRestoresState) {
+  const std::string path = TempLogPath("value_replay");
+  {
+    Table* table;
+    Index* index;
+    auto engine =
+        MakeEngine(BaseOptions(LoggingKind::kValue, path), &table, &index);
+    for (uint64_t key = 0; key < 20; ++key) {
+      uint64_t args[2] = {key, key * 10};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+    // Update a few again so replay must take the latest image.
+    for (uint64_t key = 0; key < 5; ++key) {
+      uint64_t args[2] = {key, 1};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+  }  // Engine destruction closes (flushes) the log.
+
+  Table* table;
+  Index* index;
+  EngineOptions clean = BaseOptions(LoggingKind::kNone, "");
+  auto recovered = MakeEngine(clean, &table, &index);
+  RecoveryManager recovery(recovered.get());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovery.Replay(path, &stats).ok());
+  EXPECT_EQ(stats.txns_replayed, 25u);
+  for (uint64_t key = 0; key < 20; ++key) {
+    const uint64_t expected = key * 10 + (key < 5 ? 1 : 0);
+    EXPECT_EQ(Value(recovered.get(), index, table, key), expected) << key;
+  }
+}
+
+TEST_F(RecoveryTest, CommandLogReplayReexecutesProcedures) {
+  const std::string path = TempLogPath("command_replay");
+  {
+    Table* table;
+    Index* index;
+    auto engine =
+        MakeEngine(BaseOptions(LoggingKind::kCommand, path), &table, &index);
+    for (int i = 0; i < 30; ++i) {
+      uint64_t args[2] = {static_cast<uint64_t>(i % 3), 5};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+  }
+  Table* table;
+  Index* index;
+  auto recovered =
+      MakeEngine(BaseOptions(LoggingKind::kNone, ""), &table, &index);
+  RecoveryManager recovery(recovered.get());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovery.Replay(path, &stats).ok());
+  EXPECT_EQ(stats.txns_replayed, 30u);
+  for (uint64_t key = 0; key < 3; ++key) {
+    EXPECT_EQ(Value(recovered.get(), index, table, key), 50u);
+  }
+}
+
+TEST_F(RecoveryTest, CommandLogIsSmallerThanValueLog) {
+  const std::string vpath = TempLogPath("size_value");
+  const std::string cpath = TempLogPath("size_command");
+  for (const auto& [kind, path] :
+       {std::pair{LoggingKind::kValue, vpath},
+        std::pair{LoggingKind::kCommand, cpath}}) {
+    Table* table;
+    Index* index;
+    auto engine = MakeEngine(BaseOptions(kind, path), &table, &index);
+    for (int i = 0; i < 50; ++i) {
+      uint64_t args[2] = {static_cast<uint64_t>(i), 1};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+  }
+  std::ifstream vf(vpath, std::ios::binary | std::ios::ate);
+  std::ifstream cf(cpath, std::ios::binary | std::ios::ate);
+  // Insert-heavy value logs carry full images; command logs only args. For
+  // this tiny schema they are close, so just assert the ordering.
+  EXPECT_GT(static_cast<size_t>(vf.tellg()), 0u);
+  EXPECT_LE(static_cast<size_t>(cf.tellg()), static_cast<size_t>(vf.tellg()));
+}
+
+TEST_F(RecoveryTest, TornTailStopsReplayCleanly) {
+  const std::string path = TempLogPath("torn");
+  {
+    Table* table;
+    Index* index;
+    auto engine =
+        MakeEngine(BaseOptions(LoggingKind::kValue, path), &table, &index);
+    for (uint64_t key = 0; key < 10; ++key) {
+      uint64_t args[2] = {key, 7};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+  }
+  // Truncate mid-record to simulate a crash during the final write.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.close();
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size - 7)), 0);
+
+  Table* table;
+  Index* index;
+  auto recovered =
+      MakeEngine(BaseOptions(LoggingKind::kNone, ""), &table, &index);
+  RecoveryManager recovery(recovered.get());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovery.Replay(path, &stats).ok());
+  EXPECT_EQ(stats.txns_replayed, 9u);  // Final record lost, rest intact.
+}
+
+TEST_F(RecoveryTest, MidFileCorruptionIsReported) {
+  const std::string path = TempLogPath("corrupt");
+  {
+    Table* table;
+    Index* index;
+    auto engine =
+        MakeEngine(BaseOptions(LoggingKind::kValue, path), &table, &index);
+    for (uint64_t key = 0; key < 10; ++key) {
+      uint64_t args[2] = {key, 7};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+  }
+  // Flip a byte in the middle of the file.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(40);
+  char byte;
+  f.read(&byte, 1);
+  f.seekp(40);
+  byte = static_cast<char>(byte ^ 0xFF);
+  f.write(&byte, 1);
+  f.close();
+
+  Table* table;
+  Index* index;
+  auto recovered =
+      MakeEngine(BaseOptions(LoggingKind::kNone, ""), &table, &index);
+  RecoveryManager recovery(recovered.get());
+  RecoveryStats stats;
+  EXPECT_EQ(recovery.Replay(path, &stats).code(), StatusCode::kCorruption);
+}
+
+TEST_F(RecoveryTest, AsyncCommitTradesDurabilityWindow) {
+  const std::string path = TempLogPath("async");
+  Table* table;
+  Index* index;
+  EngineOptions options = BaseOptions(LoggingKind::kValue, path);
+  options.sync_commit = false;
+  auto engine = MakeEngine(options, &table, &index);
+  for (uint64_t key = 0; key < 10; ++key) {
+    uint64_t args[2] = {key, 3};
+    ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+  }
+  // Commits returned before durability; the log manager still flushes on
+  // close, after which everything must be on disk.
+  engine->log_manager()->WaitDurable(engine->log_manager()->appended_lsn());
+  EXPECT_GE(engine->log_manager()->durable_lsn(),
+            engine->log_manager()->appended_lsn());
+}
+
+}  // namespace
+}  // namespace next700

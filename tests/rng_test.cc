@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace next700 {
+namespace {
+
+TEST(RngTest, BoundedValuesStayInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(7), 7u);
+    const uint64_t v = rng.NextRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SameSeedReproduces) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(3);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextUint64(kBuckets)];
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    EXPECT_NEAR(counts[bucket], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(4);
+  ZipfGenerator zipf(1000, 0.0, /*scramble=*/false);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next(&rng)];
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  // Uniform expectation is 200; a hot key would be far above that.
+  EXPECT_LT(max_count, 400);
+}
+
+TEST(ZipfTest, HighThetaConcentratesMass) {
+  Rng rng(5);
+  ZipfGenerator zipf(100000, 0.9, /*scramble=*/false);
+  constexpr int kDraws = 100000;
+  int top_ten = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(&rng) < 10) ++top_ten;
+  }
+  // With theta=0.9 the 10 hottest of 100k keys draw a large share; uniform
+  // would give 0.01%.
+  EXPECT_GT(top_ten, kDraws / 10);
+}
+
+TEST(ZipfTest, ValuesStayInRange) {
+  Rng rng(6);
+  for (const double theta : {0.0, 0.5, 0.99}) {
+    ZipfGenerator zipf(333, theta);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&rng), 333u);
+  }
+}
+
+TEST(ZipfTest, ScramblingSpreadsHotKeys) {
+  Rng rng(7);
+  ZipfGenerator scrambled(100000, 0.9, /*scramble=*/true);
+  // The hottest scrambled key should not be key 0 with high probability;
+  // more importantly draws must remain in range and skewed.
+  std::vector<int> counts(100000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[scrambled.Next(&rng)];
+  int max_count = 0;
+  size_t argmax = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > max_count) {
+      max_count = counts[i];
+      argmax = i;
+    }
+  }
+  EXPECT_GT(max_count, 1000);  // Still heavily skewed.
+  EXPECT_NE(argmax, 0u);       // But not concentrated at rank 0.
+}
+
+TEST(NuRandTest, StaysInRangeAndCoversIt) {
+  Rng rng(8);
+  bool saw_low = false, saw_high = false;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = NuRand(&rng, 255, 1, 3000, 123);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 3000u);
+    if (v < 100) saw_low = true;
+    if (v > 2900) saw_high = true;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(FnvTest, HashIsDeterministicAndSpreads) {
+  EXPECT_EQ(FnvHash64(42), FnvHash64(42));
+  EXPECT_NE(FnvHash64(1), FnvHash64(2));
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,74 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace next700 {
+namespace {
+
+TEST(SchemaTest, OffsetsAreAlignedAndPacked) {
+  Schema s;
+  EXPECT_EQ(s.AddUint64("id"), 0);
+  EXPECT_EQ(s.AddChar("name", 10), 1);  // Padded to 16.
+  EXPECT_EQ(s.AddDouble("price"), 2);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 24u);
+  EXPECT_EQ(s.row_size(), 32u);
+}
+
+TEST(SchemaTest, TypedRoundTrip) {
+  Schema s;
+  s.AddInt64("i");
+  s.AddUint64("u");
+  s.AddDouble("d");
+  s.AddChar("c", 8);
+  std::vector<uint8_t> row(s.row_size());
+  s.SetInt64(row.data(), 0, -42);
+  s.SetUint64(row.data(), 1, 42);
+  s.SetDouble(row.data(), 2, 3.5);
+  s.SetChar(row.data(), 3, "hi");
+  EXPECT_EQ(s.GetInt64(row.data(), 0), -42);
+  EXPECT_EQ(s.GetUint64(row.data(), 1), 42u);
+  EXPECT_DOUBLE_EQ(s.GetDouble(row.data(), 2), 3.5);
+  EXPECT_EQ(s.GetChar(row.data(), 3), "hi");
+}
+
+TEST(SchemaTest, CharTruncatesAtCapacity) {
+  Schema s;
+  s.AddChar("c", 4);
+  std::vector<uint8_t> row(s.row_size());
+  s.SetChar(row.data(), 0, "abcdefgh");
+  EXPECT_EQ(s.GetChar(row.data(), 0), "abcd");
+}
+
+TEST(SchemaTest, CharShorterValueIsNulPadded) {
+  Schema s;
+  s.AddChar("c", 8);
+  std::vector<uint8_t> row(s.row_size(), 0xFF);
+  s.SetChar(row.data(), 0, "ab");
+  EXPECT_EQ(s.GetChar(row.data(), 0), "ab");
+  s.SetChar(row.data(), 0, "");
+  EXPECT_EQ(s.GetChar(row.data(), 0), "");
+}
+
+TEST(SchemaTest, ColumnIndexByName) {
+  Schema s;
+  s.AddUint64("alpha");
+  s.AddUint64("beta");
+  EXPECT_EQ(s.ColumnIndex("alpha"), 0);
+  EXPECT_EQ(s.ColumnIndex("beta"), 1);
+  EXPECT_EQ(s.ColumnIndex("gamma"), -1);
+}
+
+TEST(SchemaTest, FullWidthCharColumn) {
+  Schema s;
+  s.AddChar("c", 8);
+  std::vector<uint8_t> row(s.row_size());
+  s.SetChar(row.data(), 0, "12345678");  // Exactly the capacity: no NUL.
+  EXPECT_EQ(s.GetChar(row.data(), 0), "12345678");
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,90 @@
+#include "workload/smallbank.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+
+namespace next700 {
+namespace {
+
+class SmallBankSchemeTest : public ::testing::TestWithParam<CcScheme> {};
+
+TEST_P(SmallBankSchemeTest, MoneyIsConservedUnderContention) {
+  EngineOptions eng;
+  eng.cc_scheme = GetParam();
+  eng.max_threads = 4;
+  eng.num_partitions = 2;
+  Engine engine(eng);
+
+  SmallBankOptions bank;
+  bank.num_accounts = 100;  // Tiny: heavy conflicts.
+  bank.theta = 0.6;
+  // Only money-moving and reading transactions: the total is invariant.
+  bank.pct_balance = 20;
+  bank.pct_deposit_checking = 0;
+  bank.pct_transact_savings = 0;
+  bank.pct_write_check = 0;
+  bank.pct_amalgamate = 30;
+  bank.pct_send_payment = 50;
+  SmallBankWorkload workload(bank);
+  workload.Load(&engine);
+  ASSERT_EQ(workload.TotalMoney(&engine), workload.InitialTotal());
+
+  DriverOptions driver;
+  driver.num_threads = 4;
+  driver.txns_per_thread = 500;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  EXPECT_GT(stats.commits, 0u);
+  EXPECT_EQ(workload.TotalMoney(&engine), workload.InitialTotal());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SmallBankSchemeTest, ::testing::ValuesIn(AllCcSchemes()),
+    [](const ::testing::TestParamInfo<CcScheme>& info) {
+      return CcSchemeName(info.param);
+    });
+
+TEST(SmallBankTest, FullMixRuns) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kTicToc;
+  eng.max_threads = 2;
+  Engine engine(eng);
+  SmallBankWorkload workload(SmallBankOptions{.num_accounts = 1000});
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = 2;
+  driver.txns_per_thread = 500;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  // Every logical transaction either commits or is a legitimate user abort
+  // (insufficient funds).
+  EXPECT_EQ(stats.commits + stats.user_aborts, 1000u);
+}
+
+TEST(SmallBankTest, DepositsChangeTheTotalPredictably) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kNoWait;
+  eng.max_threads = 1;
+  Engine engine(eng);
+  SmallBankOptions bank;
+  bank.num_accounts = 10;
+  bank.pct_balance = 0;
+  bank.pct_deposit_checking = 100;
+  bank.pct_transact_savings = 0;
+  bank.pct_amalgamate = 0;
+  bank.pct_write_check = 0;
+  bank.pct_send_payment = 0;
+  SmallBankWorkload workload(bank);
+  workload.Load(&engine);
+  const int64_t before = workload.TotalMoney(&engine);
+  DriverOptions driver;
+  driver.num_threads = 1;
+  driver.txns_per_thread = 50;
+  (void)Driver::Run(&engine, &workload, driver);
+  // Deposits are 1..100 cents each: total must have increased by [50,5000].
+  const int64_t delta = workload.TotalMoney(&engine) - before;
+  EXPECT_GE(delta, 50);
+  EXPECT_LE(delta, 5000);
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,102 @@
+#include "workload/tatp.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+
+namespace next700 {
+namespace {
+
+TEST(TatpStaticTest, KeyEncodingsAreDisjoint) {
+  EXPECT_NE(TatpAccessInfoKey(1, 1), TatpAccessInfoKey(1, 2));
+  EXPECT_NE(TatpAccessInfoKey(1, 4), TatpAccessInfoKey(2, 1));
+  EXPECT_NE(TatpSpecialFacilityKey(5, 2), TatpSpecialFacilityKey(5, 3));
+  EXPECT_NE(TatpCallForwardingKey(1, 1, 0), TatpCallForwardingKey(1, 1, 8));
+  EXPECT_NE(TatpCallForwardingKey(1, 1, 16), TatpCallForwardingKey(1, 2, 0));
+}
+
+TEST(TatpLoadTest, CardinalitiesAreInSpecRanges) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kOcc;
+  eng.max_threads = 1;
+  Engine engine(eng);
+  TatpOptions options;
+  options.num_subscribers = 2000;
+  TatpWorkload workload(options);
+  workload.Load(&engine);
+  EXPECT_EQ(workload.subscriber_->ApproxRowCount(), 2000u);
+  // 1..4 access-info and special-facility rows per subscriber.
+  const uint64_t ai = workload.access_info_->ApproxRowCount();
+  EXPECT_GE(ai, 2000u);
+  EXPECT_LE(ai, 8000u);
+  const uint64_t sf = workload.special_facility_->ApproxRowCount();
+  EXPECT_GE(sf, 2000u);
+  EXPECT_LE(sf, 8000u);
+  // 0..3 call-forwarding rows per facility.
+  EXPECT_LE(workload.call_forwarding_->ApproxRowCount(), sf * 3);
+  // Every subscriber row resolves through the index.
+  EXPECT_NE(workload.subscriber_pk_->Lookup(1), nullptr);
+  EXPECT_NE(workload.subscriber_pk_->Lookup(2000), nullptr);
+  EXPECT_EQ(workload.subscriber_pk_->Lookup(2001), nullptr);
+}
+
+class TatpSchemeTest : public ::testing::TestWithParam<CcScheme> {};
+
+TEST_P(TatpSchemeTest, MixRunsToCompletion) {
+  EngineOptions eng;
+  eng.cc_scheme = GetParam();
+  eng.max_threads = 4;
+  eng.num_partitions = 4;
+  Engine engine(eng);
+  TatpOptions options;
+  options.num_subscribers = 2000;
+  TatpWorkload workload(options);
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = 4;
+  driver.txns_per_thread = 250;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  // Every logical txn commits or ends in a deterministic business abort
+  // (missing facility / existing CF row / no destination).
+  EXPECT_EQ(stats.commits + stats.user_aborts, 1000u);
+  EXPECT_GT(stats.commits, stats.user_aborts);  // Most should commit.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, TatpSchemeTest, ::testing::ValuesIn(AllCcSchemes()),
+    [](const ::testing::TestParamInfo<CcScheme>& info) {
+      return CcSchemeName(info.param);
+    });
+
+TEST(TatpTest, InsertDeleteCallForwardingRoundTrip) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kNoWait;
+  eng.max_threads = 1;
+  Engine engine(eng);
+  TatpOptions options;
+  options.num_subscribers = 50;
+  // Force the churn profiles only.
+  options.pct_get_subscriber_data = 0;
+  options.pct_get_new_destination = 0;
+  options.pct_get_access_data = 0;
+  options.pct_update_subscriber_data = 0;
+  options.pct_update_location = 0;
+  options.pct_insert_call_forwarding = 50;
+  options.pct_delete_call_forwarding = 50;
+  TatpWorkload workload(options);
+  workload.Load(&engine);
+  const uint64_t before = workload.call_forwarding_->ApproxRowCount();
+  DriverOptions driver;
+  driver.num_threads = 1;
+  driver.txns_per_thread = 400;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  EXPECT_EQ(stats.commits + stats.user_aborts, 400u);
+  EXPECT_GT(stats.inserts, 0u);
+  // Index size tracks the live rows (inserts minus deletes applied).
+  const uint64_t live = workload.call_forwarding_pk_->size();
+  EXPECT_GT(live, 0u);
+  (void)before;
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "cc/occ_silo.h"
+#include "cc/tictoc.h"
+#include "storage/table.h"
+
+namespace next700 {
+namespace {
+
+// --- Silo TID word -----------------------------------------------------------
+
+TEST(TidWordTest, LockBitPacksAndUnpacks) {
+  EXPECT_FALSE(tidword::IsLocked(0));
+  EXPECT_TRUE(tidword::IsLocked(tidword::kLockBit));
+  EXPECT_EQ(tidword::TidOf(tidword::kLockBit | 42), 42u);
+  EXPECT_EQ(tidword::TidOf(42), 42u);
+}
+
+TEST(TidWordTest, RowLockRoundTrip) {
+  Schema s;
+  s.AddUint64("v");
+  Table table(0, "t", std::move(s), 1);
+  Row* row = table.AllocateRow(0);
+  row->tid_word.store(7);
+  EXPECT_TRUE(tidword::TryLock(row));
+  EXPECT_FALSE(tidword::TryLock(row));  // Already locked.
+  EXPECT_TRUE(tidword::IsLocked(row->tid_word.load()));
+  EXPECT_EQ(tidword::TidOf(row->tid_word.load()), 7u);  // TID preserved.
+  tidword::Unlock(row);
+  EXPECT_EQ(row->tid_word.load(), 7u);
+  tidword::Lock(row);
+  tidword::UnlockWithTid(row, 9);
+  EXPECT_EQ(row->tid_word.load(), 9u);
+}
+
+TEST(TidWordTest, StableLoadSpinsPastLock) {
+  Schema s;
+  s.AddUint64("v");
+  Table table(0, "t", std::move(s), 1);
+  Row* row = table.AllocateRow(0);
+  row->tid_word.store(5);
+  EXPECT_EQ(tidword::StableLoad(row), 5u);  // Unlocked: immediate.
+}
+
+// --- TicToc word -------------------------------------------------------------
+
+TEST(TtWordTest, WtsRtsDeltaEncoding) {
+  const uint64_t word = ttword::Make(/*wts=*/1000, /*rts=*/1007, false);
+  EXPECT_EQ(ttword::WtsOf(word), 1000u);
+  EXPECT_EQ(ttword::DeltaOf(word), 7u);
+  EXPECT_EQ(ttword::RtsOf(word), 1007u);
+  EXPECT_FALSE(ttword::IsLocked(word));
+  const uint64_t locked = ttword::Make(1000, 1007, true);
+  EXPECT_TRUE(ttword::IsLocked(locked));
+  EXPECT_EQ(ttword::WtsOf(locked), 1000u);
+  EXPECT_EQ(ttword::RtsOf(locked), 1007u);
+}
+
+TEST(TtWordTest, MaxDeltaIsRepresentable) {
+  const uint64_t word = ttword::Make(50, 50 + ttword::kMaxDelta, false);
+  EXPECT_EQ(ttword::DeltaOf(word), ttword::kMaxDelta);
+  EXPECT_EQ(ttword::RtsOf(word), 50 + ttword::kMaxDelta);
+}
+
+TEST(TtWordTest, LargeWtsFitsIn48Bits) {
+  const uint64_t big = (uint64_t{1} << 47) + 12345;
+  const uint64_t word = ttword::Make(big, big + 3, false);
+  EXPECT_EQ(ttword::WtsOf(word), big);
+  EXPECT_EQ(ttword::RtsOf(word), big + 3);
+}
+
+}  // namespace
+}  // namespace next700

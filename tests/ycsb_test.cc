@@ -1,0 +1,117 @@
+#include "workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+
+namespace next700 {
+namespace {
+
+class YcsbSchemeTest : public ::testing::TestWithParam<CcScheme> {};
+
+TEST_P(YcsbSchemeTest, FixedWorkRunCommitsEverything) {
+  EngineOptions eng;
+  eng.cc_scheme = GetParam();
+  eng.max_threads = 4;
+  eng.num_partitions = 4;
+  Engine engine(eng);
+
+  YcsbOptions ycsb;
+  ycsb.num_records = 4096;
+  ycsb.ops_per_txn = 8;
+  ycsb.write_fraction = 0.5;
+  ycsb.theta = 0.6;
+  ycsb.partitioned = GetParam() == CcScheme::kHstore;
+  YcsbWorkload workload(ycsb);
+  workload.Load(&engine);
+  EXPECT_EQ(workload.index()->size(), ycsb.num_records);
+
+  DriverOptions driver;
+  driver.num_threads = 4;
+  driver.txns_per_thread = 200;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  EXPECT_EQ(stats.commits, 800u);
+  EXPECT_GT(stats.reads + stats.writes, 0u);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+  EXPECT_GT(stats.Throughput(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, YcsbSchemeTest, ::testing::ValuesIn(AllCcSchemes()),
+    [](const ::testing::TestParamInfo<CcScheme>& info) {
+      return CcSchemeName(info.param);
+    });
+
+TEST(YcsbTest, ReadModifyWriteCountsAreExact) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kOcc;
+  eng.max_threads = 4;
+  Engine engine(eng);
+  YcsbOptions ycsb;
+  ycsb.num_records = 1024;
+  ycsb.ops_per_txn = 4;
+  ycsb.write_fraction = 1.0;  // Every op increments field 0 of some row.
+  ycsb.read_modify_write = true;
+  ycsb.theta = 0.9;           // Hot keys: real conflicts.
+  YcsbWorkload workload(ycsb);
+  workload.Load(&engine);
+
+  DriverOptions driver;
+  driver.num_threads = 4;
+  driver.txns_per_thread = 250;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  ASSERT_EQ(stats.commits, 1000u);
+
+  // Lost-update check: total increments across the table must equal the
+  // committed op count exactly (keys started at key*131).
+  const Schema& schema = workload.table()->schema();
+  uint64_t total_increments = 0;
+  workload.table()->ForEachRow([&](Row* row) {
+    const uint64_t base = row->primary_key * 131;
+    total_increments +=
+        schema.GetUint64(engine.RawImage(row), 0) - base;
+  });
+  EXPECT_EQ(total_increments, 1000u * 4u);
+}
+
+TEST(YcsbTest, PartitionedModeRespectsHomePartitions) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kHstore;
+  eng.max_threads = 2;
+  eng.num_partitions = 8;
+  Engine engine(eng);
+  YcsbOptions ycsb;
+  ycsb.num_records = 1024;
+  ycsb.ops_per_txn = 8;
+  ycsb.partitioned = true;
+  ycsb.multi_partition_fraction = 0.3;
+  ycsb.partitions_per_mp_txn = 3;
+  YcsbWorkload workload(ycsb);
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = 2;
+  driver.txns_per_thread = 300;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  EXPECT_EQ(stats.commits, 600u);
+  EXPECT_EQ(stats.aborts, 0u);  // Partition locks never conflict-abort.
+}
+
+TEST(YcsbTest, BTreeIndexVariantWorks) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kOcc;
+  eng.max_threads = 2;
+  Engine engine(eng);
+  YcsbOptions ycsb;
+  ycsb.num_records = 2048;
+  ycsb.index_kind = IndexKind::kBTree;
+  YcsbWorkload workload(ycsb);
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = 2;
+  driver.txns_per_thread = 100;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  EXPECT_EQ(stats.commits, 200u);
+}
+
+}  // namespace
+}  // namespace next700

@@ -1,0 +1,184 @@
+/// next700_run — command-line experiment runner. Composes an engine from
+/// flags, loads a workload, runs a timed measurement, and prints throughput
+/// plus latency percentiles. This is the "I just want to try a
+/// configuration" entry point; the bench_* binaries regenerate the paper's
+/// fixed experiment suite.
+///
+/// Examples:
+///   next700_run --workload=ycsb --cc=SILO --threads=4 --theta=0.9
+///   next700_run --workload=tpcc --cc=WAIT_DIE --warehouses=4 \\
+///       --logging=command --log-path=/tmp/tpcc.log
+///   next700_run --workload=tatp --cc=MVTO --seconds=5
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+
+#include "workload/driver.h"
+#include "workload/smallbank.h"
+#include "workload/tatp.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace next700 {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) Die("expected --flag[=value]: " + arg);
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) {
+    used_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    const std::string v = GetString(key, "");
+    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string v = GetString(key, "");
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  }
+
+  void RejectUnknown() const {
+    for (const auto& [key, value] : values_) {
+      (void)value;
+      if (used_.find(key) == used_.end()) Die("unknown flag: --" + key);
+    }
+  }
+
+  [[noreturn]] static void Die(const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    std::fprintf(stderr,
+                 "usage: next700_run --workload=ycsb|tpcc|tatp|smallbank "
+                 "[--cc=SCHEME] [--threads=N]\n"
+                 "  [--seconds=S] [--warmup=S] [--partitions=N] "
+                 "[--index=hash|btree]\n"
+                 "  [--logging=none|value|command] [--log-path=PATH] "
+                 "[--log-latency-us=N] [--async-commit]\n"
+                 "  YCSB: [--records=N] [--theta=T] [--writes=F] "
+                 "[--ops=N] [--rmw]\n"
+                 "  TPC-C: [--warehouses=N]   TATP/SmallBank: "
+                 "[--records=N]\n");
+    std::exit(1);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+}  // namespace
+}  // namespace next700
+
+int main(int argc, char** argv) {
+  using namespace next700;
+  Flags flags(argc, argv);
+
+  const std::string workload_name = flags.GetString("workload", "ycsb");
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+
+  EngineOptions eng;
+  eng.cc_scheme = CcSchemeFromName(flags.GetString("cc", "SILO"));
+  eng.max_threads = threads;
+  eng.num_partitions =
+      static_cast<uint32_t>(flags.GetInt("partitions", threads));
+  const std::string logging = flags.GetString("logging", "none");
+  if (logging == "value") {
+    eng.logging = LoggingKind::kValue;
+  } else if (logging == "command") {
+    eng.logging = LoggingKind::kCommand;
+  } else if (logging != "none") {
+    Flags::Die("bad --logging: " + logging);
+  }
+  eng.log_path = flags.GetString("log-path", "/tmp/next700_run.log");
+  eng.log_device_latency_us =
+      static_cast<uint64_t>(flags.GetInt("log-latency-us", 0));
+  eng.sync_commit = flags.GetString("async-commit", "false") != "true";
+
+  std::unique_ptr<Workload> workload;
+  if (workload_name == "ycsb") {
+    YcsbOptions ycsb;
+    ycsb.num_records =
+        static_cast<uint64_t>(flags.GetInt("records", 1 << 20));
+    ycsb.theta = flags.GetDouble("theta", 0.0);
+    ycsb.write_fraction = flags.GetDouble("writes", 0.05);
+    ycsb.ops_per_txn = static_cast<int>(flags.GetInt("ops", 16));
+    ycsb.read_modify_write = flags.GetString("rmw", "false") == "true";
+    ycsb.index_kind = flags.GetString("index", "hash") == "btree"
+                          ? IndexKind::kBTree
+                          : IndexKind::kHash;
+    ycsb.partitioned = eng.cc_scheme == CcScheme::kHstore;
+    workload = std::make_unique<YcsbWorkload>(ycsb);
+  } else if (workload_name == "tpcc") {
+    TpccOptions tpcc;
+    tpcc.num_warehouses =
+        static_cast<uint32_t>(flags.GetInt("warehouses", threads));
+    eng.num_partitions = tpcc.num_warehouses;
+    workload = std::make_unique<TpccWorkload>(tpcc);
+  } else if (workload_name == "tatp") {
+    TatpOptions tatp;
+    tatp.num_subscribers =
+        static_cast<uint64_t>(flags.GetInt("records", 100000));
+    workload = std::make_unique<TatpWorkload>(tatp);
+  } else if (workload_name == "smallbank") {
+    SmallBankOptions bank;
+    bank.num_accounts =
+        static_cast<uint64_t>(flags.GetInt("records", 100000));
+    bank.theta = flags.GetDouble("theta", 0.0);
+    workload = std::make_unique<SmallBankWorkload>(bank);
+  } else {
+    Flags::Die("bad --workload: " + workload_name);
+  }
+
+  DriverOptions driver;
+  driver.num_threads = threads;
+  driver.measure_seconds = flags.GetDouble("seconds", 2.0);
+  driver.warmup_seconds = flags.GetDouble("warmup", 0.25);
+  flags.RejectUnknown();
+
+  std::printf("composition: cc=%s threads=%d partitions=%u logging=%s%s\n",
+              CcSchemeName(eng.cc_scheme), threads, eng.num_partitions,
+              logging.c_str(), eng.sync_commit ? "" : " (async)");
+  Engine engine(eng);
+  std::printf("loading %s ...\n", workload->name());
+  const uint64_t load_start = NowNanos();
+  workload->Load(&engine);
+  std::printf("loaded in %.2fs; measuring %.1fs on %d workers ...\n",
+              static_cast<double>(NowNanos() - load_start) / 1e9,
+              driver.measure_seconds, threads);
+
+  const RunStats stats = Driver::Run(&engine, workload.get(), driver);
+  std::printf("\nthroughput: %.0f txn/s\n", stats.Throughput());
+  std::printf("commits:    %llu\n",
+              static_cast<unsigned long long>(stats.commits));
+  std::printf("cc aborts:  %llu (ratio %.4f)\n",
+              static_cast<unsigned long long>(stats.aborts),
+              stats.AbortRatio());
+  std::printf("user aborts:%llu\n",
+              static_cast<unsigned long long>(stats.user_aborts));
+  std::printf("latency:    %s\n", stats.commit_latency_ns.Summary().c_str());
+  if (stats.log_bytes > 0) {
+    std::printf("log bytes:  %.2f MB\n",
+                static_cast<double>(stats.log_bytes) / (1024.0 * 1024.0));
+  }
+  return 0;
+}
