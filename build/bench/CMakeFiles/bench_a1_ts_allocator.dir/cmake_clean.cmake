@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_ts_allocator.dir/bench_a1_ts_allocator.cc.o"
+  "CMakeFiles/bench_a1_ts_allocator.dir/bench_a1_ts_allocator.cc.o.d"
+  "bench_a1_ts_allocator"
+  "bench_a1_ts_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_ts_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_index.dir/bench_f11_index.cc.o"
+  "CMakeFiles/bench_f11_index.dir/bench_f11_index.cc.o.d"
+  "bench_f11_index"
+  "bench_f11_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_latency_tail.dir/bench_f12_latency_tail.cc.o"
+  "CMakeFiles/bench_f12_latency_tail.dir/bench_f12_latency_tail.cc.o.d"
+  "bench_f12_latency_tail"
+  "bench_f12_latency_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_latency_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_htap_scan.dir/bench_f13_htap_scan.cc.o"
+  "CMakeFiles/bench_f13_htap_scan.dir/bench_f13_htap_scan.cc.o.d"
+  "bench_f13_htap_scan"
+  "bench_f13_htap_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_htap_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f14_deterministic.dir/bench_f14_deterministic.cc.o"
+  "CMakeFiles/bench_f14_deterministic.dir/bench_f14_deterministic.cc.o.d"
+  "bench_f14_deterministic"
+  "bench_f14_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f14_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

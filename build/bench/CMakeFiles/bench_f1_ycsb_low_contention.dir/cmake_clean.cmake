@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_ycsb_low_contention.dir/bench_f1_ycsb_low_contention.cc.o"
+  "CMakeFiles/bench_f1_ycsb_low_contention.dir/bench_f1_ycsb_low_contention.cc.o.d"
+  "bench_f1_ycsb_low_contention"
+  "bench_f1_ycsb_low_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_ycsb_low_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_abort_rates.dir/bench_f4_abort_rates.cc.o"
+  "CMakeFiles/bench_f4_abort_rates.dir/bench_f4_abort_rates.cc.o.d"
+  "bench_f4_abort_rates"
+  "bench_f4_abort_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_abort_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

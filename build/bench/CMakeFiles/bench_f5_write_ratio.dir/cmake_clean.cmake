@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_write_ratio.dir/bench_f5_write_ratio.cc.o"
+  "CMakeFiles/bench_f5_write_ratio.dir/bench_f5_write_ratio.cc.o.d"
+  "bench_f5_write_ratio"
+  "bench_f5_write_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_write_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

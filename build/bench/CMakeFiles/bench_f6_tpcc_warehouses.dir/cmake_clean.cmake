@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_tpcc_warehouses.dir/bench_f6_tpcc_warehouses.cc.o"
+  "CMakeFiles/bench_f6_tpcc_warehouses.dir/bench_f6_tpcc_warehouses.cc.o.d"
+  "bench_f6_tpcc_warehouses"
+  "bench_f6_tpcc_warehouses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_tpcc_warehouses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_hstore_crossover.dir/bench_f7_hstore_crossover.cc.o"
+  "CMakeFiles/bench_f7_hstore_crossover.dir/bench_f7_hstore_crossover.cc.o.d"
+  "bench_f7_hstore_crossover"
+  "bench_f7_hstore_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_hstore_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

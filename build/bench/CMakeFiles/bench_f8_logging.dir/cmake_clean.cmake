@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_logging.dir/bench_f8_logging.cc.o"
+  "CMakeFiles/bench_f8_logging.dir/bench_f8_logging.cc.o.d"
+  "bench_f8_logging"
+  "bench_f8_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_recovery.dir/bench_f9_recovery.cc.o"
+  "CMakeFiles/bench_f9_recovery.dir/bench_f9_recovery.cc.o.d"
+  "bench_f9_recovery"
+  "bench_f9_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

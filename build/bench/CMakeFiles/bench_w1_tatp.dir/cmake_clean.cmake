@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_w1_tatp.dir/bench_w1_tatp.cc.o"
+  "CMakeFiles/bench_w1_tatp.dir/bench_w1_tatp.cc.o.d"
+  "bench_w1_tatp"
+  "bench_w1_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_w1_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_htap_reporting.dir/htap_reporting.cpp.o"
+  "CMakeFiles/example_htap_reporting.dir/htap_reporting.cpp.o.d"
+  "example_htap_reporting"
+  "example_htap_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_htap_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

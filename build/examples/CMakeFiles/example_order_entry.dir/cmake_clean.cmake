@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_order_entry.dir/order_entry.cpp.o"
+  "CMakeFiles/example_order_entry.dir/order_entry.cpp.o.d"
+  "example_order_entry"
+  "example_order_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_order_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

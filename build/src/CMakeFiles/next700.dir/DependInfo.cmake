@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/cc.cc" "src/CMakeFiles/next700.dir/cc/cc.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/cc.cc.o.d"
+  "/root/repo/src/cc/hstore.cc" "src/CMakeFiles/next700.dir/cc/hstore.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/hstore.cc.o.d"
+  "/root/repo/src/cc/lock_manager.cc" "src/CMakeFiles/next700.dir/cc/lock_manager.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/lock_manager.cc.o.d"
+  "/root/repo/src/cc/mvto.cc" "src/CMakeFiles/next700.dir/cc/mvto.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/mvto.cc.o.d"
+  "/root/repo/src/cc/occ_silo.cc" "src/CMakeFiles/next700.dir/cc/occ_silo.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/occ_silo.cc.o.d"
+  "/root/repo/src/cc/snapshot_isolation.cc" "src/CMakeFiles/next700.dir/cc/snapshot_isolation.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/snapshot_isolation.cc.o.d"
+  "/root/repo/src/cc/tictoc.cc" "src/CMakeFiles/next700.dir/cc/tictoc.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/tictoc.cc.o.d"
+  "/root/repo/src/cc/timestamp_ordering.cc" "src/CMakeFiles/next700.dir/cc/timestamp_ordering.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/timestamp_ordering.cc.o.d"
+  "/root/repo/src/cc/two_phase_locking.cc" "src/CMakeFiles/next700.dir/cc/two_phase_locking.cc.o" "gcc" "src/CMakeFiles/next700.dir/cc/two_phase_locking.cc.o.d"
+  "/root/repo/src/common/arena.cc" "src/CMakeFiles/next700.dir/common/arena.cc.o" "gcc" "src/CMakeFiles/next700.dir/common/arena.cc.o.d"
+  "/root/repo/src/common/epoch.cc" "src/CMakeFiles/next700.dir/common/epoch.cc.o" "gcc" "src/CMakeFiles/next700.dir/common/epoch.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/next700.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/next700.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/next700.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/next700.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/next700.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/next700.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/next700.dir/common/status.cc.o" "gcc" "src/CMakeFiles/next700.dir/common/status.cc.o.d"
+  "/root/repo/src/common/timestamp.cc" "src/CMakeFiles/next700.dir/common/timestamp.cc.o" "gcc" "src/CMakeFiles/next700.dir/common/timestamp.cc.o.d"
+  "/root/repo/src/det/deterministic.cc" "src/CMakeFiles/next700.dir/det/deterministic.cc.o" "gcc" "src/CMakeFiles/next700.dir/det/deterministic.cc.o.d"
+  "/root/repo/src/index/btree_index.cc" "src/CMakeFiles/next700.dir/index/btree_index.cc.o" "gcc" "src/CMakeFiles/next700.dir/index/btree_index.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/CMakeFiles/next700.dir/index/hash_index.cc.o" "gcc" "src/CMakeFiles/next700.dir/index/hash_index.cc.o.d"
+  "/root/repo/src/log/checkpoint.cc" "src/CMakeFiles/next700.dir/log/checkpoint.cc.o" "gcc" "src/CMakeFiles/next700.dir/log/checkpoint.cc.o.d"
+  "/root/repo/src/log/log_manager.cc" "src/CMakeFiles/next700.dir/log/log_manager.cc.o" "gcc" "src/CMakeFiles/next700.dir/log/log_manager.cc.o.d"
+  "/root/repo/src/log/recovery.cc" "src/CMakeFiles/next700.dir/log/recovery.cc.o" "gcc" "src/CMakeFiles/next700.dir/log/recovery.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/next700.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/next700.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/row.cc" "src/CMakeFiles/next700.dir/storage/row.cc.o" "gcc" "src/CMakeFiles/next700.dir/storage/row.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/next700.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/next700.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/next700.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/next700.dir/storage/table.cc.o.d"
+  "/root/repo/src/txn/engine.cc" "src/CMakeFiles/next700.dir/txn/engine.cc.o" "gcc" "src/CMakeFiles/next700.dir/txn/engine.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/next700.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/next700.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/smallbank.cc" "src/CMakeFiles/next700.dir/workload/smallbank.cc.o" "gcc" "src/CMakeFiles/next700.dir/workload/smallbank.cc.o.d"
+  "/root/repo/src/workload/tatp.cc" "src/CMakeFiles/next700.dir/workload/tatp.cc.o" "gcc" "src/CMakeFiles/next700.dir/workload/tatp.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/next700.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/next700.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/tpcc_txns.cc" "src/CMakeFiles/next700.dir/workload/tpcc_txns.cc.o" "gcc" "src/CMakeFiles/next700.dir/workload/tpcc_txns.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/next700.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/next700.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for next700.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arena_test.cc" "tests/CMakeFiles/next700_tests.dir/arena_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/arena_test.cc.o.d"
+  "/root/repo/tests/btree_index_test.cc" "tests/CMakeFiles/next700_tests.dir/btree_index_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/btree_index_test.cc.o.d"
+  "/root/repo/tests/btree_oracle_test.cc" "tests/CMakeFiles/next700_tests.dir/btree_oracle_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/btree_oracle_test.cc.o.d"
+  "/root/repo/tests/cc_schemes_test.cc" "tests/CMakeFiles/next700_tests.dir/cc_schemes_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/cc_schemes_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/next700_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/next700_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/deterministic_test.cc" "tests/CMakeFiles/next700_tests.dir/deterministic_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/deterministic_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/next700_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/driver_test.cc" "tests/CMakeFiles/next700_tests.dir/driver_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/driver_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/next700_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/epoch_test.cc" "tests/CMakeFiles/next700_tests.dir/epoch_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/epoch_test.cc.o.d"
+  "/root/repo/tests/hash_index_test.cc" "tests/CMakeFiles/next700_tests.dir/hash_index_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/hash_index_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/next700_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/hstore_test.cc" "tests/CMakeFiles/next700_tests.dir/hstore_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/hstore_test.cc.o.d"
+  "/root/repo/tests/lock_manager_test.cc" "tests/CMakeFiles/next700_tests.dir/lock_manager_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/lock_manager_test.cc.o.d"
+  "/root/repo/tests/log_test.cc" "tests/CMakeFiles/next700_tests.dir/log_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/log_test.cc.o.d"
+  "/root/repo/tests/mvto_test.cc" "tests/CMakeFiles/next700_tests.dir/mvto_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/mvto_test.cc.o.d"
+  "/root/repo/tests/recovery_rebuilder_test.cc" "tests/CMakeFiles/next700_tests.dir/recovery_rebuilder_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/recovery_rebuilder_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/next700_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/next700_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/si_anomaly_test.cc" "tests/CMakeFiles/next700_tests.dir/si_anomaly_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/si_anomaly_test.cc.o.d"
+  "/root/repo/tests/smallbank_test.cc" "tests/CMakeFiles/next700_tests.dir/smallbank_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/smallbank_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/next700_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/table_test.cc.o.d"
+  "/root/repo/tests/tatp_test.cc" "tests/CMakeFiles/next700_tests.dir/tatp_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/tatp_test.cc.o.d"
+  "/root/repo/tests/tidword_test.cc" "tests/CMakeFiles/next700_tests.dir/tidword_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/tidword_test.cc.o.d"
+  "/root/repo/tests/timestamp_ordering_test.cc" "tests/CMakeFiles/next700_tests.dir/timestamp_ordering_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/timestamp_ordering_test.cc.o.d"
+  "/root/repo/tests/tpcc_test.cc" "tests/CMakeFiles/next700_tests.dir/tpcc_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/tpcc_test.cc.o.d"
+  "/root/repo/tests/workload_gen_test.cc" "tests/CMakeFiles/next700_tests.dir/workload_gen_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/workload_gen_test.cc.o.d"
+  "/root/repo/tests/wound_wait_test.cc" "tests/CMakeFiles/next700_tests.dir/wound_wait_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/wound_wait_test.cc.o.d"
+  "/root/repo/tests/ycsb_test.cc" "tests/CMakeFiles/next700_tests.dir/ycsb_test.cc.o" "gcc" "tests/CMakeFiles/next700_tests.dir/ycsb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/next700.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/next700_run.dir/next700_run.cc.o"
+  "CMakeFiles/next700_run.dir/next700_run.cc.o.d"
+  "next700_run"
+  "next700_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/next700_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
