@@ -87,9 +87,15 @@ class LockManager {
     Waiter* wait_tail = nullptr;
 
     void Lock() {
+      latch_rank::OnAcquire(this, LatchRank::kLockState);
       while (latch.exchange(1, std::memory_order_acquire) != 0) CpuRelax();
+      NEXT700_TSAN_ACQUIRE(this);
     }
-    void Unlock() { latch.store(0, std::memory_order_release); }
+    void Unlock() {
+      latch_rank::OnRelease(this);
+      NEXT700_TSAN_RELEASE(this);
+      latch.store(0, std::memory_order_release);
+    }
 
     Owner* FindOwner(uint64_t txn_id);
     bool HasConflict(uint64_t txn_id, LockMode mode) const;
@@ -101,7 +107,7 @@ class LockManager {
   };
 
   struct Shard {
-    SpinLatch latch;
+    SpinLatch latch{LatchRank::kLockShard};
     std::unordered_map<Row*, std::unique_ptr<LockState>> states;
   };
 
@@ -118,7 +124,7 @@ class LockManager {
     bool HasPathTo(uint64_t from, uint64_t target,
                    std::unordered_set<uint64_t>* visited) const;
 
-    SpinLatch latch_;
+    SpinLatch latch_{LatchRank::kWaitsForGraph};
     std::unordered_map<uint64_t, std::vector<uint64_t>> edges_;
   };
 

@@ -14,11 +14,13 @@ Status TicToc::Begin(TxnContext* txn) {
 }
 
 void TicToc::LockRow(Row* row) {
+  latch_rank::OnAcquire(&row->tid_word, LatchRank::kRow);
   for (;;) {
     uint64_t word = row->tid_word.load(std::memory_order_relaxed);
     if (!ttword::IsLocked(word) &&
         row->tid_word.compare_exchange_weak(word, word | ttword::kLockBit,
                                             std::memory_order_acquire)) {
+      NEXT700_TSAN_ACQUIRE(&row->tid_word);
       return;
     }
     CpuRelax();
@@ -30,6 +32,8 @@ void TicToc::UnlockWriteSet(TxnContext* txn) {
     if (entry.latched) {
       const uint64_t word =
           entry.row->tid_word.load(std::memory_order_relaxed);
+      latch_rank::OnRelease(&entry.row->tid_word);
+      NEXT700_TSAN_RELEASE(&entry.row->tid_word);
       entry.row->tid_word.store(word & ~ttword::kLockBit,
                                 std::memory_order_release);
       entry.latched = false;
@@ -51,9 +55,16 @@ Status TicToc::Read(TxnContext* txn, Row* row, uint8_t* out) {
       CpuRelax();
       continue;
     }
+    // Same sanctioned race as OccSilo::Read: the copy is validated by
+    // re-reading the word, which TSan cannot see through the plain fence.
+    NEXT700_TSAN_IGNORE_READS_BEGIN();
     std::memcpy(out, row->data(), size);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (row->tid_word.load(std::memory_order_acquire) == observed) break;
+    NEXT700_TSAN_IGNORE_READS_END();
+    NEXT700_ATOMIC_THREAD_FENCE(std::memory_order_acquire);
+    if (row->tid_word.load(std::memory_order_acquire) == observed) {
+      NEXT700_TSAN_ACQUIRE(&row->tid_word);
+      break;
+    }
     CpuRelax();
   }
   ReadSetEntry entry;
@@ -186,6 +197,8 @@ void TicToc::Finalize(TxnContext* txn) {
       std::memcpy(row->data(), entry.new_data,
                   row->table->schema().row_size());
     }
+    latch_rank::OnRelease(&row->tid_word);
+    NEXT700_TSAN_RELEASE(&row->tid_word);
     row->tid_word.store(ttword::Make(commit_ts, commit_ts, false),
                         std::memory_order_release);
     entry.latched = false;

@@ -1,6 +1,19 @@
 #include "common/epoch.h"
 
+#include <cstdio>
+#include <cstring>
+
 namespace next700 {
+
+namespace {
+
+[[noreturn]] void EpochViolation(const char* what, void* ptr) {
+  std::fprintf(stderr, "epoch-reclamation violation: %s (block %p)\n", what,
+               ptr);
+  std::abort();
+}
+
+}  // namespace
 
 EpochManager::EpochManager(int max_threads)
     : threads_(new ThreadState[max_threads]), max_threads_(max_threads) {}
@@ -17,13 +30,30 @@ void EpochManager::Enter(int thread_id) {
 }
 
 void EpochManager::Exit(int thread_id) {
-  threads_[thread_id].pinned_epoch.store(kIdle, std::memory_order_release);
+  ThreadState& state = threads_[thread_id];
+  if (validation_ != EpochValidation::kOff &&
+      state.pinned_epoch.load(std::memory_order_relaxed) == kIdle) {
+    EpochViolation("Exit() by a thread that is not pinned", nullptr);
+  }
+  state.pinned_epoch.store(kIdle, std::memory_order_release);
 }
 
-void EpochManager::Retire(int thread_id, void* ptr, void (*deleter)(void*)) {
+void EpochManager::Retire(int thread_id, void* ptr, void (*deleter)(void*),
+                          size_t size) {
   ThreadState& state = threads_[thread_id];
-  state.retired.push_back(
-      Retired{ptr, deleter, global_epoch_.load(std::memory_order_relaxed)});
+  if (validation_ != EpochValidation::kOff) {
+    // Retiring while unpinned races the reclaimer: the object could be
+    // freed before the caller is done unlinking it.
+    if (state.pinned_epoch.load(std::memory_order_relaxed) == kIdle) {
+      EpochViolation("Retire() by a thread that is not pinned", ptr);
+    }
+    SpinLatchGuard guard(&validate_latch_);
+    if (!live_retired_.insert(ptr).second) {
+      EpochViolation("double retire of the same block", ptr);
+    }
+  }
+  state.retired.push_back(Retired{
+      ptr, deleter, size, global_epoch_.load(std::memory_order_relaxed)});
 }
 
 uint64_t EpochManager::MinPinnedEpoch() const {
@@ -40,12 +70,66 @@ void EpochManager::ReclaimUpTo(ThreadState* state, uint64_t safe_epoch) {
   size_t keep = 0;
   for (size_t i = 0; i < retired.size(); ++i) {
     if (retired[i].epoch < safe_epoch) {
-      retired[i].deleter(retired[i].ptr);
+      Release(retired[i]);
     } else {
       retired[keep++] = retired[i];
     }
   }
   retired.resize(keep);
+}
+
+void EpochManager::Release(const Retired& retired) {
+  if (validation_ == EpochValidation::kFull) {
+    QuarantineBlock(Quarantined{retired.ptr, retired.deleter, retired.size},
+                    /*drain_all=*/false);
+    return;
+  }
+  ForgetLive(retired.ptr);
+  retired.deleter(retired.ptr);
+}
+
+void EpochManager::QuarantineBlock(const Quarantined& q, bool drain_all) {
+  // The grace period has expired: no correct thread can still reach the
+  // block, so poisoning it here (unlike at Retire time, when same-epoch
+  // readers may legitimately still dereference it) has no false positives.
+  if (q.size > 0) {
+    std::memset(q.ptr, kPoisonByte, q.size);
+    NEXT700_ASAN_POISON(q.ptr, q.size);
+  }
+  std::vector<Quarantined> overflow;
+  {
+    SpinLatchGuard guard(&validate_latch_);
+    quarantine_.push_back(q);
+    const size_t limit = drain_all ? 0 : kQuarantineDepth;
+    while (quarantine_.size() > limit) {
+      overflow.push_back(quarantine_.front());
+      quarantine_.pop_front();
+    }
+  }
+  // Verify and free outside the latch; deleters may do arbitrary work.
+  for (const Quarantined& old : overflow) VerifyAndFree(old);
+}
+
+void EpochManager::VerifyAndFree(const Quarantined& q) {
+  NEXT700_ASAN_UNPOISON(q.ptr, q.size);
+  const uint8_t* bytes = static_cast<const uint8_t*>(q.ptr);
+  for (size_t i = 0; i < q.size; ++i) {
+    if (bytes[i] != kPoisonByte) {
+      std::fprintf(stderr,
+                   "epoch-reclamation violation: use-after-retire — byte %zu "
+                   "of block %p (size %zu) modified after its grace period\n",
+                   i, q.ptr, q.size);
+      std::abort();
+    }
+  }
+  ForgetLive(q.ptr);
+  q.deleter(q.ptr);
+}
+
+void EpochManager::ForgetLive(void* ptr) {
+  if (validation_ == EpochValidation::kOff) return;
+  SpinLatchGuard guard(&validate_latch_);
+  live_retired_.erase(ptr);
 }
 
 void EpochManager::Maintain(int thread_id) {
@@ -65,15 +149,31 @@ void EpochManager::Maintain(int thread_id) {
 void EpochManager::ReclaimAll() {
   for (int i = 0; i < max_threads_; ++i) {
     ThreadState& state = threads_[i];
-    for (auto& retired : state.retired) retired.deleter(retired.ptr);
+    for (auto& retired : state.retired) {
+      ForgetLive(retired.ptr);
+      retired.deleter(retired.ptr);
+    }
     state.retired.clear();
   }
+  // Drain the validation quarantine, canary-checking each block.
+  std::vector<Quarantined> drained;
+  {
+    SpinLatchGuard guard(&validate_latch_);
+    drained.assign(quarantine_.begin(), quarantine_.end());
+    quarantine_.clear();
+  }
+  for (const Quarantined& q : drained) VerifyAndFree(q);
 }
 
 size_t EpochManager::RetiredCount() const {
   size_t total = 0;
   for (int i = 0; i < max_threads_; ++i) total += threads_[i].retired.size();
   return total;
+}
+
+size_t EpochManager::QuarantineCount() const {
+  SpinLatchGuard guard(&validate_latch_);
+  return quarantine_.size();
 }
 
 }  // namespace next700

@@ -13,20 +13,56 @@
 ///   epoch_manager.Retire(thread_id, ptr, deleter); // logical delete
 /// The guard's destructor unpins; Maintain() advances the global epoch and
 /// frees whatever became unreachable.
+///
+/// Reclamation validator
+/// ---------------------
+/// Epoch bugs (retiring a node that is still linked, touching a node after
+/// its grace period, retiring outside a pinned region) corrupt memory long
+/// after the buggy call, and ThreadSanitizer cannot see them because the
+/// freeing itself is properly synchronized. The manager therefore has a
+/// validation mode (EpochValidation):
+///   * kChecks — Retire aborts unless the calling thread is pinned, and
+///     double-retires of the same pointer abort. Default in debug builds
+///     (!NDEBUG); free timing is unchanged.
+///   * kFull — additionally, objects whose grace period has expired are
+///     poisoned (0xEF payload fill, plus ASan region poisoning when built
+///     with NEXT700_SANITIZE=address) and parked in a bounded quarantine
+///     instead of being freed at once. Before the real free the poison
+///     pattern is verified: any byte changed means some thread wrote to the
+///     block after its grace period — a use-after-retire — and the process
+///     aborts with the offending block. Because the poison fill clobbers the
+///     payload before the deleter runs, kFull requires retired objects whose
+///     deleter does not read the payload (raw nodes, trivially destructible
+///     types); that holds for every retire site in this codebase.
+/// Violations print "epoch-reclamation violation: ..." and abort. Switch
+/// modes only while no thread is pinned.
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/macros.h"
 
 namespace next700 {
 
+enum class EpochValidation {
+  kOff,
+  kChecks,  // Retire-while-unpinned and double-retire detection.
+  kFull,    // kChecks + poison-and-quarantine use-after-retire detection.
+};
+
 class EpochManager {
  public:
   static constexpr uint64_t kIdle = ~uint64_t{0};
+  /// Fill pattern for quarantined payloads in kFull validation.
+  static constexpr uint8_t kPoisonByte = 0xEF;
+  /// Blocks parked in quarantine before the oldest is verified and freed.
+  static constexpr size_t kQuarantineDepth = 64;
 
   explicit EpochManager(int max_threads);
   ~EpochManager();
@@ -42,14 +78,18 @@ class EpochManager {
   void Exit(int thread_id);
 
   /// Schedules `ptr` for deletion once all pinned threads move past the
-  /// current epoch. Must be called while pinned.
-  void Retire(int thread_id, void* ptr, void (*deleter)(void*));
+  /// current epoch. Must be called while pinned. Passing `size` lets kFull
+  /// validation poison and canary-check the payload; size 0 skips poisoning
+  /// for that block.
+  void Retire(int thread_id, void* ptr, void (*deleter)(void*),
+              size_t size = 0);
 
   /// Advances the global epoch and frees retired objects that no thread can
   /// still reach. Cheap; call every few transactions.
   void Maintain(int thread_id);
 
-  /// Frees everything still retired. Only safe when no thread is pinned.
+  /// Frees everything still retired or quarantined. Only safe when no
+  /// thread is pinned.
   void ReclaimAll();
 
   uint64_t global_epoch() const {
@@ -57,13 +97,29 @@ class EpochManager {
   }
 
   /// Number of objects waiting to be freed (approximate; for tests/stats).
+  /// Excludes the validation quarantine.
   size_t RetiredCount() const;
+
+  /// Blocks currently parked in the kFull-validation quarantine.
+  size_t QuarantineCount() const;
+
+  EpochValidation validation() const { return validation_; }
+  /// Switches validation mode. Call only while no thread is pinned and no
+  /// retired objects are outstanding (e.g. test setup).
+  void set_validation(EpochValidation mode) { validation_ = mode; }
 
  private:
   struct Retired {
     void* ptr;
     void (*deleter)(void*);
+    size_t size;
     uint64_t epoch;
+  };
+
+  struct Quarantined {
+    void* ptr;
+    void (*deleter)(void*);
+    size_t size;
   };
 
   struct NEXT700_CACHE_ALIGNED ThreadState {
@@ -77,9 +133,34 @@ class EpochManager {
 
   void ReclaimUpTo(ThreadState* state, uint64_t safe_epoch);
 
+  /// Routes a grace-period-expired block to the deleter or, in kFull
+  /// validation, to the poison quarantine.
+  void Release(const Retired& retired);
+
+  /// Poisons `q`'s payload and parks it; drains overflow past
+  /// kQuarantineDepth (and everything when `drain_all`).
+  void QuarantineBlock(const Quarantined& q, bool drain_all);
+
+  /// Verifies the poison canary, then really frees.
+  void VerifyAndFree(const Quarantined& q);
+
+  void ForgetLive(void* ptr);
+
   std::atomic<uint64_t> global_epoch_{1};
   std::unique_ptr<ThreadState[]> threads_;
   int max_threads_;
+
+#ifndef NDEBUG
+  EpochValidation validation_ = EpochValidation::kChecks;
+#else
+  EpochValidation validation_ = EpochValidation::kOff;
+#endif
+
+  /// Guards live_retired_ and quarantine_ (validation modes only).
+  mutable SpinLatch validate_latch_;
+  /// Pointers retired but not yet freed, for double-retire detection.
+  std::unordered_set<void*> live_retired_;
+  std::deque<Quarantined> quarantine_;
 };
 
 /// RAII pin on the current epoch.

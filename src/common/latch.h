@@ -5,10 +5,16 @@
 /// Low-level latches. A "latch" here is a short-duration physical lock that
 /// protects in-memory structures; logical transaction locks live in the
 /// concurrency-control plugins (src/cc).
+///
+/// Latches may opt into the debug latch-rank checker (latch_rank.h) by being
+/// constructed with — or assigned via set_rank() — a LatchRank level; ranked
+/// latches have their acquisition order validated per thread when
+/// NEXT700_DEBUG_LATCH_RANK is defined.
 
 #include <atomic>
 #include <cstdint>
 
+#include "common/latch_rank.h"
 #include "common/macros.h"
 
 namespace next700 {
@@ -17,6 +23,11 @@ namespace next700 {
 inline void CpuRelax() {
 #if defined(__x86_64__)
   __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  // YIELD is the AArch64 SMT-politeness hint; unlike the old seq_cst signal
+  // fence fallback it does not force the compiler to spill and reload
+  // everything around the spin loop.
+  asm volatile("yield" ::: "memory");
 #else
   std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
@@ -26,14 +37,22 @@ inline void CpuRelax() {
 class NEXT700_CACHE_ALIGNED SpinLatch {
  public:
   SpinLatch() = default;
+  explicit SpinLatch(LatchRank rank) : rank_(rank) {}
   SpinLatch(const SpinLatch&) = delete;
   SpinLatch& operator=(const SpinLatch&) = delete;
 
+  /// Assigns the hierarchy level post-construction (for array members).
+  void set_rank(LatchRank rank) { rank_ = rank; }
+
   void Lock() {
+    // Checking before the spin means an ordering violation aborts with a
+    // clean report instead of deadlocking first.
+    latch_rank::OnAcquire(this, rank_);
     int spins = 1;
     for (;;) {
       if (!locked_.load(std::memory_order_relaxed) &&
           !locked_.exchange(true, std::memory_order_acquire)) {
+        NEXT700_TSAN_ACQUIRE(this);
         return;
       }
       for (int i = 0; i < spins; ++i) CpuRelax();
@@ -42,14 +61,24 @@ class NEXT700_CACHE_ALIGNED SpinLatch {
   }
 
   bool TryLock() {
-    return !locked_.load(std::memory_order_relaxed) &&
-           !locked_.exchange(true, std::memory_order_acquire);
+    if (!locked_.load(std::memory_order_relaxed) &&
+        !locked_.exchange(true, std::memory_order_acquire)) {
+      latch_rank::OnAcquire(this, rank_);
+      NEXT700_TSAN_ACQUIRE(this);
+      return true;
+    }
+    return false;
   }
 
-  void Unlock() { locked_.store(false, std::memory_order_release); }
+  void Unlock() {
+    latch_rank::OnRelease(this);
+    NEXT700_TSAN_RELEASE(this);
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
+  LatchRank rank_ = LatchRank::kNone;
 };
 
 /// RAII guard for SpinLatch.
@@ -69,24 +98,34 @@ class SpinLatchGuard {
 class RwSpinLatch {
  public:
   RwSpinLatch() = default;
+  explicit RwSpinLatch(LatchRank rank) : rank_(rank) {}
   RwSpinLatch(const RwSpinLatch&) = delete;
   RwSpinLatch& operator=(const RwSpinLatch&) = delete;
 
+  void set_rank(LatchRank rank) { rank_ = rank; }
+
   void LockShared() {
+    latch_rank::OnAcquire(this, rank_);
     for (;;) {
       uint32_t cur = word_.load(std::memory_order_relaxed);
       if ((cur & kWriterBit) == 0 &&
           word_.compare_exchange_weak(cur, cur + 1,
                                       std::memory_order_acquire)) {
+        NEXT700_TSAN_ACQUIRE(this);
         return;
       }
       CpuRelax();
     }
   }
 
-  void UnlockShared() { word_.fetch_sub(1, std::memory_order_release); }
+  void UnlockShared() {
+    latch_rank::OnRelease(this);
+    NEXT700_TSAN_RELEASE(this);
+    word_.fetch_sub(1, std::memory_order_release);
+  }
 
   void LockExclusive() {
+    latch_rank::OnAcquire(this, rank_);
     // Claim the writer bit, then drain readers.
     for (;;) {
       uint32_t cur = word_.load(std::memory_order_relaxed);
@@ -100,15 +139,19 @@ class RwSpinLatch {
     while ((word_.load(std::memory_order_acquire) & ~kWriterBit) != 0) {
       CpuRelax();
     }
+    NEXT700_TSAN_ACQUIRE(this);
   }
 
   void UnlockExclusive() {
+    latch_rank::OnRelease(this);
+    NEXT700_TSAN_RELEASE(this);
     word_.fetch_and(~kWriterBit, std::memory_order_release);
   }
 
  private:
   static constexpr uint32_t kWriterBit = 1u << 31;
   std::atomic<uint32_t> word_{0};
+  LatchRank rank_ = LatchRank::kNone;
 };
 
 }  // namespace next700

@@ -6,6 +6,8 @@
 /// Google style guide and does not use exceptions), branch hints, and
 /// cache-line alignment.
 
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
@@ -43,6 +45,82 @@ inline constexpr int kCacheLineSize = 64;
 #define NEXT700_DCHECK(cond) \
   do {                       \
   } while (0)
+#endif
+
+// ---------------------------------------------------------------------------
+// Sanitizer annotations.
+//
+// The hand-rolled synchronization primitives (SpinLatch, the tidword commit
+// protocol, epoch reclamation) implement happens-before edges that
+// ThreadSanitizer cannot always infer — most notably the optimistic
+// read-then-revalidate protocol of Silo/TicToc, whose data copy is an
+// *intentional* race sanctioned by the tidword re-check, and standalone
+// std::atomic_thread_fence, which TSan does not model. These macros expand to
+// the TSan/ASan runtime hooks under the matching sanitizer and to nothing
+// otherwise, so annotated code carries zero cost in normal builds and no
+// suppression files are needed.
+// ---------------------------------------------------------------------------
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NEXT700_TSAN_ENABLED 1
+#endif
+#if __has_feature(address_sanitizer)
+#define NEXT700_ASAN_ENABLED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define NEXT700_TSAN_ENABLED 1
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define NEXT700_ASAN_ENABLED 1
+#endif
+
+#ifdef NEXT700_TSAN_ENABLED
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+void AnnotateIgnoreReadsBegin(const char* file, int line);
+void AnnotateIgnoreReadsEnd(const char* file, int line);
+}
+/// Declares a happens-before edge: every memory effect published with
+/// NEXT700_TSAN_RELEASE(addr) happens-before this point.
+#define NEXT700_TSAN_ACQUIRE(addr) \
+  __tsan_acquire(const_cast<void*>(static_cast<const volatile void*>(addr)))
+#define NEXT700_TSAN_RELEASE(addr) \
+  __tsan_release(const_cast<void*>(static_cast<const volatile void*>(addr)))
+/// Brackets a deliberately racy optimistic read (e.g. the Silo data copy
+/// that is validated afterwards by re-reading the tidword). Reads inside the
+/// bracket are not reported; writes still are.
+#define NEXT700_TSAN_IGNORE_READS_BEGIN() \
+  AnnotateIgnoreReadsBegin(__FILE__, __LINE__)
+#define NEXT700_TSAN_IGNORE_READS_END() \
+  AnnotateIgnoreReadsEnd(__FILE__, __LINE__)
+/// TSan does not model standalone fences (GCC warns via -Wtsan and the
+/// runtime ignores them), so under TSan this degrades to a compiler-only
+/// barrier; the happens-before edge must be (and is) carried by a paired
+/// NEXT700_TSAN_ACQUIRE/RELEASE or an atomic access at the call site.
+#define NEXT700_ATOMIC_THREAD_FENCE(order) std::atomic_signal_fence(order)
+#else
+#define NEXT700_TSAN_ACQUIRE(addr) ((void)0)
+#define NEXT700_TSAN_RELEASE(addr) ((void)0)
+#define NEXT700_TSAN_IGNORE_READS_BEGIN() ((void)0)
+#define NEXT700_TSAN_IGNORE_READS_END() ((void)0)
+#define NEXT700_ATOMIC_THREAD_FENCE(order) std::atomic_thread_fence(order)
+#endif
+
+#ifdef NEXT700_ASAN_ENABLED
+extern "C" {
+void __asan_poison_memory_region(void const volatile* addr, size_t size);
+void __asan_unpoison_memory_region(void const volatile* addr, size_t size);
+}
+/// Marks quarantined-but-not-yet-freed memory so any touch traps precisely.
+#define NEXT700_ASAN_POISON(addr, size) __asan_poison_memory_region(addr, size)
+#define NEXT700_ASAN_UNPOISON(addr, size) \
+  __asan_unpoison_memory_region(addr, size)
+#else
+#define NEXT700_ASAN_POISON(addr, size) ((void)0)
+#define NEXT700_ASAN_UNPOISON(addr, size) ((void)0)
 #endif
 
 #endif  // NEXT700_COMMON_MACROS_H_

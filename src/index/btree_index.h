@@ -60,7 +60,7 @@ class BTreeIndex : public Index {
   static constexpr int kInnerKeys = 32;  // Fanout = kInnerKeys + 1.
 
   struct Node {
-    mutable RwSpinLatch latch;
+    mutable RwSpinLatch latch{LatchRank::kIndexNode};
     bool is_leaf;
     uint16_t count = 0;
 
@@ -108,7 +108,9 @@ class BTreeIndex : public Index {
 
   void FreeSubtree(Node* node);
 
-  mutable RwSpinLatch root_latch_;  // Guards the root pointer itself.
+  // Guards the root pointer itself; ranked above interior nodes because
+  // every descent acquires it before any node latch.
+  mutable RwSpinLatch root_latch_{LatchRank::kIndexRoot};
   Node* root_;
   std::atomic<uint64_t> entries_{0};
 };

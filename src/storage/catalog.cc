@@ -7,6 +7,7 @@ namespace next700 {
 
 Table* Catalog::CreateTable(std::string name, Schema schema,
                             uint32_t partitions) {
+  SpinLatchGuard ddl(&ddl_latch_);
   NEXT700_CHECK_MSG(GetTable(name) == nullptr, "duplicate table name");
   const uint32_t id = static_cast<uint32_t>(tables_.size());
   tables_.push_back(
@@ -18,6 +19,7 @@ Table* Catalog::CreateTable(std::string name, Schema schema,
 
 Index* Catalog::CreateIndex(std::string name, Table* table, IndexKind kind,
                             uint64_t capacity_hint) {
+  SpinLatchGuard ddl(&ddl_latch_);
   NEXT700_CHECK_MSG(GetIndex(name) == nullptr, "duplicate index name");
   std::unique_ptr<Index> index;
   switch (kind) {

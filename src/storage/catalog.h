@@ -3,7 +3,8 @@
 
 /// \file
 /// Name/id registry for tables and indexes. DDL (table and index creation)
-/// is single-threaded setup work; lookups afterwards are read-only and
+/// is serialized by the catalog latch — the top of the latch hierarchy —
+/// so concurrent setup is safe; lookups afterwards are read-only and
 /// lock-free.
 
 #include <memory>
@@ -11,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/macros.h"
 #include "index/index.h"
 #include "storage/table.h"
@@ -44,6 +46,9 @@ class Catalog {
   Index* index_at(int i) const { return indexes_[i].get(); }
 
  private:
+  /// Serializes DDL. Top of the latch hierarchy: DDL may fan out into
+  /// table-partition and index latches while building initial structures.
+  SpinLatch ddl_latch_{LatchRank::kCatalog};
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<std::unique_ptr<Index>> indexes_;
   std::vector<std::string> index_names_;

@@ -69,14 +69,25 @@ struct Row {
   }
 
   void Latch() {
+    latch_rank::OnAcquire(&mini_latch, LatchRank::kRow);
     while (mini_latch.exchange(1, std::memory_order_acquire) != 0) {
       CpuRelax();
     }
+    NEXT700_TSAN_ACQUIRE(&mini_latch);
   }
   bool TryLatch() {
-    return mini_latch.exchange(1, std::memory_order_acquire) == 0;
+    if (mini_latch.exchange(1, std::memory_order_acquire) == 0) {
+      latch_rank::OnAcquire(&mini_latch, LatchRank::kRow);
+      NEXT700_TSAN_ACQUIRE(&mini_latch);
+      return true;
+    }
+    return false;
   }
-  void Unlatch() { mini_latch.store(0, std::memory_order_release); }
+  void Unlatch() {
+    latch_rank::OnRelease(&mini_latch);
+    NEXT700_TSAN_RELEASE(&mini_latch);
+    mini_latch.store(0, std::memory_order_release);
+  }
 
   bool deleted() const {
     return (flags.load(std::memory_order_acquire) & kRowDeleted) != 0;

@@ -80,7 +80,7 @@ class Table {
 
  private:
   struct Partition {
-    SpinLatch latch;
+    SpinLatch latch{LatchRank::kTablePartition};
     std::vector<std::unique_ptr<uint8_t[]>> slabs;
     size_t next_in_slab = kRowsPerSlab;  // Forces slab creation on first use.
     std::vector<Row*> free_rows;

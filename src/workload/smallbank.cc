@@ -3,7 +3,7 @@
 namespace next700 {
 
 namespace {
-enum Col : int { kCustId, kBalance };
+enum Col : int { kColCustId, kColBalance };
 }  // namespace
 
 SmallBankWorkload::SmallBankWorkload(SmallBankOptions options)
@@ -33,8 +33,8 @@ void SmallBankWorkload::Load(Engine* engine) {
   std::vector<uint8_t> buf(savings_->schema().row_size());
   for (uint64_t acct = 0; acct < options_.num_accounts; ++acct) {
     const uint32_t part = static_cast<uint32_t>(acct % partitions);
-    savings_->schema().SetUint64(buf.data(), kCustId, acct);
-    savings_->schema().SetInt64(buf.data(), kBalance,
+    savings_->schema().SetUint64(buf.data(), kColCustId, acct);
+    savings_->schema().SetInt64(buf.data(), kColBalance,
                                 options_.initial_balance);
     Row* srow = engine->LoadRow(savings_, part, acct, buf.data());
     NEXT700_CHECK(savings_pk_->Insert(acct, srow).ok());
@@ -84,7 +84,7 @@ Status SmallBankWorkload::ExecuteOnce(Engine* engine, int thread_id,
     case kDepositChecking: {
       Status st = engine->Read(txn, checking_pk_, acct_a, chk);
       if (!st.ok()) return abort_with(st);
-      s.SetInt64(chk, kBalance, s.GetInt64(chk, kBalance) + amount);
+      s.SetInt64(chk, kColBalance, s.GetInt64(chk, kColBalance) + amount);
       st = engine->Update(txn, checking_pk_, acct_a, chk);
       if (!st.ok()) return abort_with(st);
       break;
@@ -92,11 +92,11 @@ Status SmallBankWorkload::ExecuteOnce(Engine* engine, int thread_id,
     case kTransactSavings: {
       Status st = engine->Read(txn, savings_pk_, acct_a, sav);
       if (!st.ok()) return abort_with(st);
-      const int64_t balance = s.GetInt64(sav, kBalance) + amount;
+      const int64_t balance = s.GetInt64(sav, kColBalance) + amount;
       if (balance < 0) {
         return abort_with(Status::InvalidArgument("insufficient savings"));
       }
-      s.SetInt64(sav, kBalance, balance);
+      s.SetInt64(sav, kColBalance, balance);
       st = engine->Update(txn, savings_pk_, acct_a, sav);
       if (!st.ok()) return abort_with(st);
       break;
@@ -109,10 +109,10 @@ Status SmallBankWorkload::ExecuteOnce(Engine* engine, int thread_id,
       st = engine->Read(txn, checking_pk_, acct_b, other);
       if (!st.ok()) return abort_with(st);
       const int64_t moved =
-          s.GetInt64(sav, kBalance) + s.GetInt64(chk, kBalance);
-      s.SetInt64(other, kBalance, s.GetInt64(other, kBalance) + moved);
-      s.SetInt64(sav, kBalance, 0);
-      s.SetInt64(chk, kBalance, 0);
+          s.GetInt64(sav, kColBalance) + s.GetInt64(chk, kColBalance);
+      s.SetInt64(other, kColBalance, s.GetInt64(other, kColBalance) + moved);
+      s.SetInt64(sav, kColBalance, 0);
+      s.SetInt64(chk, kColBalance, 0);
       st = engine->Update(txn, savings_pk_, acct_a, sav);
       if (!st.ok()) return abort_with(st);
       st = engine->Update(txn, checking_pk_, acct_a, chk);
@@ -127,10 +127,10 @@ Status SmallBankWorkload::ExecuteOnce(Engine* engine, int thread_id,
       st = engine->Read(txn, checking_pk_, acct_a, chk);
       if (!st.ok()) return abort_with(st);
       const int64_t total =
-          s.GetInt64(sav, kBalance) + s.GetInt64(chk, kBalance);
+          s.GetInt64(sav, kColBalance) + s.GetInt64(chk, kColBalance);
       const int64_t penalty = total < amount ? 100 : 0;  // Overdraft fee.
-      s.SetInt64(chk, kBalance,
-                 s.GetInt64(chk, kBalance) - amount - penalty);
+      s.SetInt64(chk, kColBalance,
+                 s.GetInt64(chk, kColBalance) - amount - penalty);
       st = engine->Update(txn, checking_pk_, acct_a, chk);
       if (!st.ok()) return abort_with(st);
       break;
@@ -138,13 +138,13 @@ Status SmallBankWorkload::ExecuteOnce(Engine* engine, int thread_id,
     case kSendPayment: {
       Status st = engine->Read(txn, checking_pk_, acct_a, chk);
       if (!st.ok()) return abort_with(st);
-      if (s.GetInt64(chk, kBalance) < amount) {
+      if (s.GetInt64(chk, kColBalance) < amount) {
         return abort_with(Status::InvalidArgument("insufficient checking"));
       }
       st = engine->Read(txn, checking_pk_, acct_b, other);
       if (!st.ok()) return abort_with(st);
-      s.SetInt64(chk, kBalance, s.GetInt64(chk, kBalance) - amount);
-      s.SetInt64(other, kBalance, s.GetInt64(other, kBalance) + amount);
+      s.SetInt64(chk, kColBalance, s.GetInt64(chk, kColBalance) - amount);
+      s.SetInt64(other, kColBalance, s.GetInt64(other, kColBalance) + amount);
       st = engine->Update(txn, checking_pk_, acct_a, chk);
       if (!st.ok()) return abort_with(st);
       st = engine->Update(txn, checking_pk_, acct_b, other);
@@ -179,7 +179,7 @@ int64_t SmallBankWorkload::TotalMoney(Engine* engine) const {
   const auto sum_table = [&](Table* table) {
     table->ForEachRow([&](Row* row) {
       if (row->deleted()) return;
-      total += s.GetInt64(engine->RawImage(row), kBalance);
+      total += s.GetInt64(engine->RawImage(row), kColBalance);
     });
   };
   sum_table(savings_);

@@ -187,7 +187,7 @@ TEST_F(BTreeIndexTest, ConcurrentMixedReadersAndWriters) {
   });
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, r] {
       Rng rng(static_cast<uint64_t>(r) + 1);
       while (!stop.load(std::memory_order_acquire)) {
         const uint64_t horizon = next_key.load(std::memory_order_acquire);

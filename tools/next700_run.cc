@@ -6,7 +6,7 @@
 ///
 /// Examples:
 ///   next700_run --workload=ycsb --cc=SILO --threads=4 --theta=0.9
-///   next700_run --workload=tpcc --cc=WAIT_DIE --warehouses=4 \\
+///   next700_run --workload=tpcc --cc=WAIT_DIE --warehouses=4
 ///       --logging=command --log-path=/tmp/tpcc.log
 ///   next700_run --workload=tatp --cc=MVTO --seconds=5
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources using the compile database of an existing build tree.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#   build-dir defaults to build/. The build tree must have been configured
+#   with CMAKE_EXPORT_COMPILE_COMMANDS=ON (this script reconfigures it with
+#   the flag if compile_commands.json is missing).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH." >&2
+  echo "Install it (e.g. apt-get install clang-tidy) or set CLANG_TIDY." >&2
+  exit 2
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: exporting compile database in $build_dir" >&2
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+cd "$repo_root"
+# First-party translation units only; generated/third-party code is excluded
+# by HeaderFilterRegex in .clang-tidy.
+mapfile -t sources < <(git ls-files 'src/**/*.cc' 'tools/*.cc' \
+                       'examples/*.cpp')
+
+echo "run_clang_tidy.sh: ${#sources[@]} files with $tidy_bin" >&2
+"$tidy_bin" -p "$build_dir" --quiet "$@" "${sources[@]}"
