@@ -8,8 +8,10 @@
 /// point, so EXPERIMENTS.md can be assembled from raw runs.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/driver.h"
@@ -19,6 +21,105 @@
 
 namespace next700 {
 namespace bench {
+
+/// Machine-readable run output. Every bench binary that takes
+/// `--json <path>` (or `--json=<path>`) writes its series points there as
+///
+///   {"experiment": "F1",
+///    "question": "...",
+///    "points": [{"scheme": "SILO", "threads": 4, "throughput_txn_s": ...},
+///               ...]}
+///
+/// in addition to the human-readable CSV on stdout, so plots and regression
+/// tracking consume runs without scraping stdout.
+class JsonOutput {
+ public:
+  struct Value {
+    bool is_string;
+    double num;
+    std::string str;
+  };
+  using Field = std::pair<std::string, Value>;
+
+  static Value Num(double v) { return Value{false, v, {}}; }
+  static Value Str(std::string v) { return Value{true, 0, std::move(v)}; }
+
+  /// Parses argv; dies on any argument other than --json forms so bench
+  /// binaries reject typos instead of ignoring them.
+  JsonOutput(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      } else if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+        std::exit(1);
+      }
+    }
+  }
+
+  void SetExperiment(const std::string& id, const std::string& question) {
+    experiment_ = id;
+    question_ = question;
+  }
+
+  void AddPoint(std::vector<Field> fields) {
+    points_.push_back(std::move(fields));
+  }
+
+  /// Writes the file (if --json was given). Called from the destructor;
+  /// call explicitly to observe failure.
+  bool Write() {
+    if (path_.empty() || written_) return true;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"experiment\": %s,\n \"question\": %s,\n \"points\": [",
+                 Quoted(experiment_).c_str(), Quoted(question_).c_str());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s\n  {", i == 0 ? "" : ",");
+      for (size_t j = 0; j < points_[i].size(); ++j) {
+        const Field& field = points_[i][j];
+        std::fprintf(f, "%s%s: ", j == 0 ? "" : ", ",
+                     Quoted(field.first).c_str());
+        if (field.second.is_string) {
+          std::fprintf(f, "%s", Quoted(field.second.str).c_str());
+        } else {
+          std::fprintf(f, "%.6g", field.second.num);
+        }
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("# json: %s (%zu points)\n", path_.c_str(), points_.size());
+    return true;
+  }
+
+  ~JsonOutput() { Write(); }
+
+ private:
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string path_;
+  std::string experiment_;
+  std::string question_;
+  std::vector<std::vector<Field>> points_;
+  bool written_ = false;
+};
 
 /// Environment knob: NEXT700_QUICK=1 shrinks loads and windows (CI smoke).
 inline bool QuickMode() {

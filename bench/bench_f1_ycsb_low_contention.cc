@@ -9,7 +9,10 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F1",
+                     "CC scaling under low contention (YCSB theta=0, 95r/5w)");
   PrintHeader("F1", "CC scaling under low contention (YCSB theta=0, 95r/5w)",
               "scheme,threads,throughput_txn_s,abort_ratio");
   YcsbOptions ycsb;
@@ -26,6 +29,10 @@ int main() {
       std::printf("%s,%d,%.0f,%.4f\n", CcSchemeName(scheme), t,
                   stats.Throughput(), stats.AbortRatio());
       std::fflush(stdout);
+      json.AddPoint({{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+                     {"threads", JsonOutput::Num(t)},
+                     {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+                     {"abort_ratio", JsonOutput::Num(stats.AbortRatio())}});
     }
   }
   return 0;

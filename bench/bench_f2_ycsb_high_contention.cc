@@ -8,7 +8,10 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment(
+      "F2", "CC scaling under high contention (YCSB theta=0.9, 50r/50w)");
   PrintHeader("F2",
               "CC scaling under high contention (YCSB theta=0.9, 50r/50w)",
               "scheme,threads,throughput_txn_s,abort_ratio,lock_waits");
@@ -27,6 +30,12 @@ int main() {
                   stats.Throughput(), stats.AbortRatio(),
                   static_cast<unsigned long long>(stats.lock_waits));
       std::fflush(stdout);
+      json.AddPoint({{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+                     {"threads", JsonOutput::Num(t)},
+                     {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+                     {"abort_ratio", JsonOutput::Num(stats.AbortRatio())},
+                     {"lock_waits", JsonOutput::Num(
+                                        static_cast<double>(stats.lock_waits))}});
     }
   }
   return 0;

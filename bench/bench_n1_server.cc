@@ -1,0 +1,129 @@
+/// N1 — Networked service throughput and latency over loopback.
+/// Starts the transaction service in-process (epoll front-end, KV
+/// stored-procedure suite, value logging so group commit gates replies)
+/// and drives it with the pipelined load generator. Sweeps pipeline depth
+/// x worker count for two compositions: H-STORE (per-partition queue
+/// affinity in the dispatch layer) and SILO (shared run queue). Expected
+/// shape: depth 1 is dominated by round-trip latency; deeper pipelines
+/// amortize the wire and group-commit waits until workers saturate, at
+/// which point p99 grows with queueing delay.
+
+#include "bench_common.h"
+#include "server/loadgen.h"
+#include "server/procs.h"
+#include "server/server.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+namespace {
+
+struct Composition {
+  CcScheme scheme;
+  bool declare_partitions;
+};
+
+std::vector<int> WorkerSweep() {
+  return QuickMode() ? std::vector<int>{2} : std::vector<int>{1, 2, 4};
+}
+
+std::vector<int> PipelineSweep() { return {1, 8, 64}; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment(
+      "N1", "networked service: loopback throughput/latency vs pipeline "
+            "depth x workers x composition");
+  PrintHeader("N1",
+              "networked service: loopback throughput/latency vs pipeline "
+              "depth x workers x composition",
+              "scheme,workers,pipeline,throughput_txn_s,ok,aborted,rejected,"
+              "p50_us,p95_us,p99_us");
+
+  const uint64_t records = QuickMode() ? 20000 : 100000;
+  const double seconds = QuickMode() ? 0.3 : 2.0;
+  const double warmup = QuickMode() ? 0.1 : 0.5;
+  const std::string log_path = "/tmp/next700_bench_n1.log";
+
+  for (const Composition& comp :
+       {Composition{CcScheme::kHstore, true},
+        Composition{CcScheme::kOcc, false}}) {
+    for (int workers : WorkerSweep()) {
+      EngineOptions eng;
+      eng.cc_scheme = comp.scheme;
+      eng.max_threads = workers;
+      eng.num_partitions = static_cast<uint32_t>(workers);
+      eng.logging = LoggingKind::kValue;
+      eng.log_path = log_path;
+      Engine engine(eng);
+
+      server::KvServiceOptions kv;
+      kv.num_records = records;
+      server::RegisterKvService(&engine, kv);
+
+      server::ServerOptions srv;
+      srv.num_workers = workers;
+      server::Server server(&engine, srv);
+      const Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+
+      for (int pipeline : PipelineSweep()) {
+        server::LoadGenOptions load;
+        load.port = server.port();
+        load.connections = 4;
+        load.pipeline_depth = pipeline;
+        load.warmup_seconds = warmup;
+        load.seconds = seconds;
+        load.num_records = records;
+        load.num_partitions = eng.num_partitions;
+        load.declare_partitions = comp.declare_partitions;
+        load.get_fraction = 0.5;
+        load.put_fraction = 0.25;
+        load.rmw_keys = 2;
+        const server::LoadGenStats stats = server::RunLoadGen(load);
+        const double p50_us =
+            static_cast<double>(stats.latency_ns.Percentile(0.50)) / 1e3;
+        const double p95_us =
+            static_cast<double>(stats.latency_ns.Percentile(0.95)) / 1e3;
+        const double p99_us =
+            static_cast<double>(stats.latency_ns.Percentile(0.99)) / 1e3;
+        std::printf("%s,%d,%d,%.0f,%llu,%llu,%llu,%.0f,%.0f,%.0f\n",
+                    CcSchemeName(comp.scheme), workers, pipeline,
+                    stats.Throughput(),
+                    static_cast<unsigned long long>(stats.ok),
+                    static_cast<unsigned long long>(stats.aborted),
+                    static_cast<unsigned long long>(stats.resource_exhausted),
+                    p50_us, p95_us, p99_us);
+        std::fflush(stdout);
+        json.AddPoint(
+            {{"scheme", JsonOutput::Str(CcSchemeName(comp.scheme))},
+             {"workers", JsonOutput::Num(workers)},
+             {"pipeline", JsonOutput::Num(pipeline)},
+             {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+             {"ok", JsonOutput::Num(static_cast<double>(stats.ok))},
+             {"aborted", JsonOutput::Num(static_cast<double>(stats.aborted))},
+             {"rejected", JsonOutput::Num(
+                              static_cast<double>(stats.resource_exhausted))},
+             {"transport_errors",
+              JsonOutput::Num(static_cast<double>(stats.transport_errors))},
+             {"p50_us", JsonOutput::Num(p50_us)},
+             {"p95_us", JsonOutput::Num(p95_us)},
+             {"p99_us", JsonOutput::Num(p99_us)}});
+        if (stats.transport_errors != 0) {
+          std::fprintf(stderr, "transport errors: %llu\n",
+                       static_cast<unsigned long long>(
+                           stats.transport_errors));
+          return 1;
+        }
+      }
+      server.Stop();
+    }
+  }
+  return 0;
+}

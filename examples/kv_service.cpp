@@ -1,0 +1,83 @@
+/// KV service: run the networked transaction service and a client in one
+/// process.
+///
+/// The server is just another composition axis: the same `Engine` the
+/// embedded examples drive directly here sits behind an epoll front-end
+/// with a binary wire protocol, pipelined dispatch, and group-commit-gated
+/// replies. This example starts the service on an ephemeral loopback port,
+/// issues pipelined requests through the client library, and shows the
+/// durability contract (a reply's commit LSN is never ahead of the log's
+/// durable LSN).
+
+#include <cstdio>
+
+#include "server/client.h"
+#include "server/procs.h"
+#include "server/server.h"
+
+using namespace next700;
+using namespace next700::server;
+
+int main() {
+  // 1. Compose an engine with value logging so commits are durable.
+  EngineOptions options;
+  options.cc_scheme = CcScheme::kOcc;
+  options.max_threads = 2;
+  options.logging = LoggingKind::kValue;
+  options.log_path = "/tmp/next700_kv_service.log";
+  Engine engine(options);
+
+  // 2. Load the KV stored-procedure suite and start the server.
+  KvServiceOptions kv;
+  kv.num_records = 1000;
+  RegisterKvService(&engine, kv);
+  ServerOptions srv;
+  srv.num_workers = 2;
+  Server server(&engine, srv);
+  NEXT700_CHECK(server.Start().ok());
+  std::printf("serving on 127.0.0.1:%u\n", server.port());
+
+  // 3. Connect and pipeline a burst of read-modify-writes: Send() never
+  //    waits, Recv() returns replies in request order.
+  Client client;
+  NEXT700_CHECK(client.Connect("127.0.0.1", server.port()).ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    Request request;
+    request.request_id = i;
+    request.proc_id = kKvRmw;
+    WireWriter args(&request.args);
+    args.PutU16(1);
+    args.PutU64(i % kv.num_records);
+    NEXT700_CHECK(client.Send(request).ok());
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    Response response;
+    NEXT700_CHECK(client.Recv(&response).ok());
+    NEXT700_CHECK(response.request_id == i);
+    NEXT700_CHECK(response.status == StatusCode::kOk);
+    // The group-commit contract: the reply was held until this LSN flushed.
+    NEXT700_CHECK(response.commit_lsn <=
+                  engine.log_manager()->durable_lsn());
+    std::printf("rmw #%llu committed at lsn %llu (durable)\n",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(response.commit_lsn));
+  }
+
+  // 4. A read through the wire returns the row bytes as the payload.
+  Request get;
+  get.request_id = 100;
+  get.proc_id = kKvGet;
+  WireWriter args(&get.args);
+  args.PutU64(3);
+  Response response;
+  NEXT700_CHECK(client.Call(get, &response).ok());
+  std::printf("get key 3: %zu-byte row, counter=%llu\n",
+              response.payload.size(),
+              static_cast<unsigned long long>(
+                  *reinterpret_cast<const uint64_t*>(
+                      response.payload.data())));
+
+  server.Stop();
+  std::printf("done\n");
+  return 0;
+}

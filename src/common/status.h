@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kNotSupported = 6,  // Operation unsupported by the chosen composition.
   kCorruption = 7,    // Recovery found a malformed log.
   kResourceExhausted = 8,
+  kUnavailable = 9,        // Server shutting down / connection dropped.
+  kDeadlineExceeded = 10,  // Client-side RPC timeout.
 };
 
 /// Lightweight status object; cheap to copy in the OK case.
@@ -57,11 +59,27 @@ class Status {
   static Status ResourceExhausted(std::string msg = "") {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -68,6 +68,11 @@ Lsn LogManager::Append(LogRecordType type, const std::vector<uint8_t>& body) {
   return end;
 }
 
+void LogManager::SetDurableCallback(std::function<void(Lsn)> callback) {
+  std::lock_guard<std::mutex> lock(callback_mu_);
+  durable_callback_ = std::move(callback);
+}
+
 void LogManager::WaitDurable(Lsn lsn) {
   std::unique_lock<std::mutex> lock(mu_);
   flusher_cv_.notify_all();  // Give the flusher a nudge for low latency.
@@ -118,6 +123,10 @@ void LogManager::FlusherLoop() {
       durable_lsn_ = target;
     }
     flushed_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> cb_lock(callback_mu_);
+      if (durable_callback_) durable_callback_(target);
+    }
   }
 }
 

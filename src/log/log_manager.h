@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -61,6 +62,15 @@ class LogManager {
   /// Blocks until everything up to `lsn` reached the device.
   void WaitDurable(Lsn lsn);
 
+  /// Registers a callback the flusher invokes (from its own thread, outside
+  /// the log mutex) after every physical flush, with the new durable LSN.
+  /// Used for group-commit-aware reply release: the network server defers
+  /// client responses until the commit LSN is durable instead of blocking a
+  /// worker in WaitDurable. May be called while the flusher is running;
+  /// SetDurableCallback(nullptr) returns only after any in-flight
+  /// invocation has finished, making teardown race-free.
+  void SetDurableCallback(std::function<void(Lsn)> callback);
+
   Lsn durable_lsn() const;
   Lsn appended_lsn() const;
 
@@ -76,6 +86,10 @@ class LogManager {
 
   LogManagerOptions options_;
   int fd_ = -1;
+
+  // Serializes callback (re)registration against flusher invocation.
+  std::mutex callback_mu_;
+  std::function<void(Lsn)> durable_callback_;
 
   mutable std::mutex mu_;
   std::condition_variable flushed_cv_;

@@ -1,0 +1,129 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/stats.h"
+
+namespace next700 {
+namespace server {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  NEXT700_CHECK(fd_ < 0);
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    return Status::Unavailable("connect() failed: " +
+                               std::string(strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendRaw(const void* data, size_t len) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, p + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Unavailable("send() failed: " +
+                                 std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::Send(const Request& request) {
+  send_buf_.clear();
+  EncodeRequest(request, &send_buf_);
+  return SendRaw(send_buf_.data(), send_buf_.size());
+}
+
+Status Client::Recv(Response* response, int64_t deadline_ms) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  const uint64_t start_ns = NowNanos();
+  for (;;) {
+    Frame frame;
+    bool have = false;
+    NEXT700_RETURN_IF_ERROR(decoder_.Next(&frame, &have));
+    if (have) {
+      if (frame.type != FrameType::kResponse) {
+        Close();
+        return Status::InvalidArgument("server sent a non-response frame");
+      }
+      return DecodeResponse(frame.body, frame.body_len, response);
+    }
+    int timeout_ms = -1;
+    if (deadline_ms >= 0) {
+      const int64_t elapsed_ms =
+          static_cast<int64_t>((NowNanos() - start_ns) / 1000000);
+      if (elapsed_ms >= deadline_ms) {
+        return Status::DeadlineExceeded("no response within deadline");
+      }
+      timeout_ms = static_cast<int>(deadline_ms - elapsed_ms);
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::IOError("poll() failed");
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("no response within deadline");
+    }
+    uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    Close();
+    return Status::Unavailable("server closed the connection");
+  }
+}
+
+Status Client::Call(const Request& request, Response* response,
+                    int64_t deadline_ms) {
+  NEXT700_RETURN_IF_ERROR(Send(request));
+  NEXT700_RETURN_IF_ERROR(Recv(response, deadline_ms));
+  if (response->request_id != request.request_id) {
+    Close();
+    return Status::InvalidArgument("response for a different request id");
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace next700

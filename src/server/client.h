@@ -1,0 +1,58 @@
+#ifndef NEXT700_SERVER_CLIENT_H_
+#define NEXT700_SERVER_CLIENT_H_
+
+/// \file
+/// Blocking client for the networked transaction service, with explicit
+/// pipelining: Send() queues any number of requests without waiting, and
+/// Recv() returns responses in request order (the server guarantees
+/// per-connection ordering). Every receive takes a deadline and returns
+/// kDeadlineExceeded on expiry, kUnavailable when the server hangs up.
+/// One Client per thread; instances are not thread-safe.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace next700 {
+namespace server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Queues and writes one request frame. Blocks only if the socket buffer
+  /// is full (the server applies backpressure by not reading).
+  Status Send(const Request& request);
+
+  /// Receives the next response (request order). `deadline_ms` < 0 waits
+  /// forever.
+  Status Recv(Response* response, int64_t deadline_ms = 5000);
+
+  /// Unary convenience: Send + Recv and verify the echoed request id.
+  Status Call(const Request& request, Response* response,
+              int64_t deadline_ms = 5000);
+
+  /// Sends raw bytes as-is — protocol tests use this to inject malformed
+  /// frames; not for normal use.
+  Status SendRaw(const void* data, size_t len);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::vector<uint8_t> send_buf_;
+};
+
+}  // namespace server
+}  // namespace next700
+
+#endif  // NEXT700_SERVER_CLIENT_H_

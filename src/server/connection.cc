@@ -1,0 +1,44 @@
+#include "server/connection.h"
+
+namespace next700 {
+namespace server {
+
+uint64_t Connection::AdmitRequest() {
+  const uint64_t seq = next_seq_++;
+  order_.push_back(seq);
+  return seq;
+}
+
+void Connection::Complete(uint64_t seq,
+                          std::vector<uint8_t> encoded_response) {
+  completed_.emplace(seq, std::move(encoded_response));
+}
+
+bool Connection::FlushOrdered() {
+  bool any = false;
+  while (!order_.empty()) {
+    auto it = completed_.find(order_.front());
+    if (it == completed_.end()) break;
+    out_.insert(out_.end(), it->second.begin(), it->second.end());
+    completed_.erase(it);
+    order_.pop_front();
+    any = true;
+  }
+  return any;
+}
+
+void Connection::ConsumeWritten(size_t n) {
+  write_off_ += n;
+  if (write_off_ == out_.size()) {
+    out_.clear();
+    write_off_ = 0;
+  } else if (write_off_ >= out_.size() / 2) {
+    // Compact once the written prefix dominates so long-lived pipelined
+    // connections do not grow the buffer without bound.
+    out_.erase(out_.begin(), out_.begin() + static_cast<ptrdiff_t>(write_off_));
+    write_off_ = 0;
+  }
+}
+
+}  // namespace server
+}  // namespace next700

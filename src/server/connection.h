@@ -1,0 +1,91 @@
+#ifndef NEXT700_SERVER_CONNECTION_H_
+#define NEXT700_SERVER_CONNECTION_H_
+
+/// \file
+/// Per-connection state of the networked transaction service. A Connection
+/// is owned and touched exclusively by the server's event-loop thread, so
+/// it needs no internal locking; worker threads hand results back through
+/// the server's completion queue, never through the connection directly.
+///
+/// Pipelining contract: a client may have many requests in flight, and the
+/// server executes them on concurrent workers, so completions arrive out of
+/// order — but responses are released to the socket strictly in request
+/// arrival order (like Redis/PostgreSQL pipelining). Each admitted request
+/// gets a connection-local sequence number; completed responses park in
+/// `completed_` until everything ahead of them has been written. Sequence
+/// numbers (not client request ids) key the ordering so a client that
+/// reuses request ids cannot confuse the server.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace next700 {
+namespace server {
+
+class Connection {
+ public:
+  Connection(int fd, uint64_t id) : fd_(fd), id_(id) {}
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  FrameDecoder* decoder() { return &decoder_; }
+
+  /// Registers the next request in arrival order; returns its sequence
+  /// number, which the eventual Complete() must echo.
+  uint64_t AdmitRequest();
+
+  /// Parks the encoded response for `seq`; call FlushOrdered() afterwards.
+  void Complete(uint64_t seq, std::vector<uint8_t> encoded_response);
+
+  /// Moves every response that is next in arrival order into the socket
+  /// write buffer. Returns true if anything became writable.
+  bool FlushOrdered();
+
+  /// Requests admitted but whose response is not yet written.
+  size_t pending_responses() const { return order_.size(); }
+
+  // --- Socket write buffer (event loop only) ----------------------------
+
+  bool has_pending_writes() const { return write_off_ < out_.size(); }
+  const uint8_t* write_data() const { return out_.data() + write_off_; }
+  size_t write_len() const { return out_.size() - write_off_; }
+  void ConsumeWritten(size_t n);
+
+  /// EPOLLOUT currently armed for this connection.
+  bool want_write() const { return want_write_; }
+  void set_want_write(bool v) { want_write_ = v; }
+
+  /// EPOLLIN dropped because the server-wide in-flight budget is full.
+  bool read_paused() const { return read_paused_; }
+  void set_read_paused(bool v) { read_paused_ = v; }
+
+  /// The peer half-closed or a fatal error occurred; close once the write
+  /// buffer drains.
+  bool draining() const { return draining_; }
+  void set_draining() { draining_ = true; }
+
+ private:
+  int fd_;
+  uint64_t id_;
+  FrameDecoder decoder_;
+  uint64_t next_seq_ = 1;
+  std::deque<uint64_t> order_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> completed_;
+  std::vector<uint8_t> out_;
+  size_t write_off_ = 0;
+  bool want_write_ = false;
+  bool read_paused_ = false;
+  bool draining_ = false;
+};
+
+}  // namespace server
+}  // namespace next700
+
+#endif  // NEXT700_SERVER_CONNECTION_H_

@@ -1,0 +1,184 @@
+#include "server/loadgen.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "server/client.h"
+#include "server/procs.h"
+
+namespace next700 {
+namespace server {
+
+namespace {
+
+struct PendingRequest {
+  uint64_t request_id;
+  uint64_t sent_ns;
+};
+
+Request MakeRequest(const LoadGenOptions& options, uint64_t request_id,
+                    Rng* rng, ZipfGenerator* zipf) {
+  Request request;
+  request.request_id = request_id;
+  WireWriter args(&request.args);
+  const double op = rng->NextDouble();
+  if (op < options.get_fraction) {
+    request.proc_id = kKvGet;
+    const uint64_t key = zipf->Next(rng);
+    args.PutU64(key);
+    if (options.declare_partitions) {
+      request.partitions.push_back(
+          KvPartitionOf(key, options.num_partitions));
+    }
+  } else if (op < options.get_fraction + options.put_fraction) {
+    request.proc_id = kKvPut;
+    const uint64_t key = zipf->Next(rng);
+    args.PutU64(key);
+    for (uint32_t i = 0; i < options.value_size; ++i) {
+      args.PutU8(static_cast<uint8_t>(rng->Next()));
+    }
+    if (options.declare_partitions) {
+      request.partitions.push_back(
+          KvPartitionOf(key, options.num_partitions));
+    }
+  } else {
+    request.proc_id = kKvRmw;
+    args.PutU16(options.rmw_keys);
+    for (uint16_t i = 0; i < options.rmw_keys; ++i) {
+      const uint64_t key = zipf->Next(rng);
+      args.PutU64(key);
+      if (options.declare_partitions) {
+        request.partitions.push_back(
+            KvPartitionOf(key, options.num_partitions));
+      }
+    }
+  }
+  if (!request.partitions.empty()) {
+    std::sort(request.partitions.begin(), request.partitions.end());
+    request.partitions.erase(
+        std::unique(request.partitions.begin(), request.partitions.end()),
+        request.partitions.end());
+  }
+  return request;
+}
+
+void CountResponse(const Response& response, LoadGenStats* stats) {
+  switch (response.status) {
+    case StatusCode::kOk:
+      ++stats->ok;
+      break;
+    case StatusCode::kAborted:
+      ++stats->aborted;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++stats->resource_exhausted;
+      break;
+    default:
+      ++stats->other_errors;
+      break;
+  }
+}
+
+void ClientThread(const LoadGenOptions& options, int thread_index,
+                  LoadGenStats* local) {
+  Rng rng(options.seed + static_cast<uint64_t>(thread_index) * 7919);
+  ZipfGenerator zipf(options.num_records, options.theta);
+  Client client;
+  if (!client.Connect(options.host, options.port).ok()) {
+    ++local->transport_errors;
+    return;
+  }
+  const uint64_t start_ns = NowNanos();
+  const uint64_t measure_start_ns =
+      start_ns + static_cast<uint64_t>(options.warmup_seconds * 1e9);
+  const uint64_t end_ns =
+      measure_start_ns + static_cast<uint64_t>(options.seconds * 1e9);
+  bool measuring = options.warmup_seconds <= 0;
+
+  std::deque<PendingRequest> outstanding;
+  uint64_t next_request_id = 1;
+  bool broken = false;
+  const size_t depth = static_cast<size_t>(
+      options.pipeline_depth > 0 ? options.pipeline_depth : 1);
+
+  auto receive_one = [&]() -> bool {
+    Response response;
+    const Status s = client.Recv(&response, options.deadline_ms);
+    if (!s.ok()) {
+      ++local->transport_errors;
+      return false;
+    }
+    // The server promises per-connection responses in request order; a
+    // mismatch is a protocol violation, not a latency artifact.
+    if (outstanding.empty() ||
+        response.request_id != outstanding.front().request_id) {
+      ++local->transport_errors;
+      return false;
+    }
+    if (measuring) {
+      local->latency_ns.Record(NowNanos() - outstanding.front().sent_ns);
+      CountResponse(response, local);
+    }
+    outstanding.pop_front();
+    return true;
+  };
+
+  while (NowNanos() < end_ns && !broken) {
+    if (!measuring && NowNanos() >= measure_start_ns) {
+      // Warmup boundary: drop everything counted so far.
+      *local = LoadGenStats{};
+      measuring = true;
+    }
+    while (outstanding.size() < depth) {
+      const Request request =
+          MakeRequest(options, next_request_id++, &rng, &zipf);
+      const uint64_t sent_ns = NowNanos();
+      if (!client.Send(request).ok()) {
+        ++local->transport_errors;
+        broken = true;
+        break;
+      }
+      if (measuring) ++local->requests_sent;
+      outstanding.push_back(PendingRequest{request.request_id, sent_ns});
+    }
+    if (broken) break;
+    if (!receive_one()) break;
+  }
+  while (!outstanding.empty()) {
+    if (!receive_one()) break;
+  }
+  local->elapsed_seconds = options.seconds;
+}
+
+}  // namespace
+
+LoadGenStats RunLoadGen(const LoadGenOptions& options) {
+  const int n = options.connections > 0 ? options.connections : 1;
+  std::vector<LoadGenStats> locals(static_cast<size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back(ClientThread, std::cref(options), i, &locals[i]);
+  }
+  for (auto& t : threads) t.join();
+  LoadGenStats total;
+  for (const LoadGenStats& local : locals) {
+    total.requests_sent += local.requests_sent;
+    total.ok += local.ok;
+    total.aborted += local.aborted;
+    total.resource_exhausted += local.resource_exhausted;
+    total.other_errors += local.other_errors;
+    total.transport_errors += local.transport_errors;
+    total.latency_ns.Merge(local.latency_ns);
+  }
+  total.elapsed_seconds = options.seconds;
+  return total;
+}
+
+}  // namespace server
+}  // namespace next700

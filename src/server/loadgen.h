@@ -1,0 +1,68 @@
+#ifndef NEXT700_SERVER_LOADGEN_H_
+#define NEXT700_SERVER_LOADGEN_H_
+
+/// \file
+/// Multi-threaded load generator for the transaction service: N client
+/// threads, one pipelined connection each, driving the KV procedure suite
+/// (server/procs.h) with a configurable get/put/rmw mix over Zipf-skewed
+/// keys. Per-request latency is measured from Send() to the matching
+/// response and aggregated into a shared histogram after the run — the
+/// measurement core of the N1 experiment and of `next700_loadgen`.
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace next700 {
+namespace server {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 4;     // One thread per connection.
+  int pipeline_depth = 8;  // Requests kept in flight per connection.
+  double warmup_seconds = 0.0;
+  double seconds = 5.0;
+  /// Key space / partition map; must match the server's KvServiceOptions
+  /// and engine partition count.
+  uint64_t num_records = 100000;
+  uint32_t num_partitions = 1;
+  uint32_t value_size = 64;
+  /// Declare per-request partition sets (required for correctness-checked
+  /// H-Store compositions; harmless elsewhere).
+  bool declare_partitions = false;
+  /// Op mix: get + put + (remainder) rmw.
+  double get_fraction = 0.5;
+  double put_fraction = 0.0;
+  uint16_t rmw_keys = 4;
+  double theta = 0.0;  // Zipf skew over the key space.
+  uint64_t seed = 42;
+  int64_t deadline_ms = 10000;
+};
+
+struct LoadGenStats {
+  uint64_t requests_sent = 0;
+  uint64_t ok = 0;
+  uint64_t aborted = 0;            // kAborted responses (CC conflicts).
+  uint64_t resource_exhausted = 0;  // Admission-control rejections.
+  uint64_t other_errors = 0;       // Any other non-OK response status.
+  uint64_t transport_errors = 0;   // Timeouts, decode failures, conn drops.
+  double elapsed_seconds = 0;
+  Histogram latency_ns;
+
+  double Throughput() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(ok) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+/// Runs the load and blocks until the measurement window ends and every
+/// outstanding request is drained.
+LoadGenStats RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace server
+}  // namespace next700
+
+#endif  // NEXT700_SERVER_LOADGEN_H_

@@ -1,0 +1,53 @@
+#ifndef NEXT700_SERVER_PROCS_H_
+#define NEXT700_SERVER_PROCS_H_
+
+/// \file
+/// The stored-procedure suite the transaction service ships with: a
+/// partitioned key/value table ("kv") with get / put / read-modify-write
+/// procedures. This is the service analogue of the YCSB microbenchmark —
+/// small enough that the wire/dispatch layer dominates, which is exactly
+/// what the N1 experiment measures — and it exercises every composition
+/// axis (any CC scheme, partitioned or not, any logging kind; the RMW
+/// procedure is deterministic, so command logging replays it correctly).
+///
+/// Argument encodings (WireWriter little-endian):
+///   kKvGet: u64 key                      -> reply: value_size bytes
+///   kKvPut: u64 key, value_size bytes    -> reply: empty
+///   kKvRmw: u16 nkeys, nkeys x u64 keys  -> reply: empty
+///           (reads each row FOR UPDATE, increments its first u64, writes)
+
+#include <cstdint>
+
+#include "txn/engine.h"
+
+namespace next700 {
+namespace server {
+
+inline constexpr uint32_t kKvGet = 1;
+inline constexpr uint32_t kKvPut = 2;
+inline constexpr uint32_t kKvRmw = 3;
+
+/// Ceiling on kKvRmw fan-out (bounds per-request work and arena growth).
+inline constexpr uint16_t kMaxRmwKeys = 64;
+
+struct KvServiceOptions {
+  uint64_t num_records = 100000;
+  uint32_t value_size = 64;  // Bytes per row; first 8 are the RMW counter.
+  IndexKind index_kind = IndexKind::kHash;
+};
+
+/// Keys are range-partitioned modulo the engine's partition count; clients
+/// must declare the same mapping in their request partition sets.
+inline uint32_t KvPartitionOf(uint64_t key, uint32_t num_partitions) {
+  return static_cast<uint32_t>(key % num_partitions);
+}
+
+/// Creates and loads the "kv" table + primary index and registers the three
+/// procedures. Single-threaded setup; call before Server::Start(). Returns
+/// the number of rows loaded.
+uint64_t RegisterKvService(Engine* engine, const KvServiceOptions& options);
+
+}  // namespace server
+}  // namespace next700
+
+#endif  // NEXT700_SERVER_PROCS_H_

@@ -1,0 +1,128 @@
+#include "server/protocol.h"
+
+namespace next700 {
+namespace server {
+
+namespace {
+
+void PutFrameHeader(FrameType type, uint32_t body_len,
+                    std::vector<uint8_t>* out) {
+  WireWriter writer(out);
+  writer.PutU32(body_len);
+  writer.PutU8(static_cast<uint8_t>(type));
+}
+
+}  // namespace
+
+bool IsValidWireStatus(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+}
+
+void EncodeRequest(const Request& request, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(request.request_id);
+  writer.PutU32(request.proc_id);
+  writer.PutU16(static_cast<uint16_t>(request.partitions.size()));
+  writer.PutU32(static_cast<uint32_t>(request.args.size()));
+  for (uint32_t p : request.partitions) writer.PutU32(p);
+  writer.PutRaw(request.args.data(), request.args.size());
+  PutFrameHeader(FrameType::kRequest, static_cast<uint32_t>(body.size()), out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+void EncodeResponse(const Response& response, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(response.request_id);
+  writer.PutU8(static_cast<uint8_t>(response.status));
+  writer.PutU64(response.commit_lsn);
+  writer.PutU32(static_cast<uint32_t>(response.payload.size()));
+  writer.PutRaw(response.payload.data(), response.payload.size());
+  PutFrameHeader(FrameType::kResponse, static_cast<uint32_t>(body.size()),
+                 out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Status DecodeRequest(const uint8_t* body, size_t len, Request* out) {
+  WireReader reader(body, len);
+  uint16_t num_partitions;
+  uint32_t arg_len;
+  if (!reader.GetU64(&out->request_id) || !reader.GetU32(&out->proc_id) ||
+      !reader.GetU16(&num_partitions) || !reader.GetU32(&arg_len)) {
+    return Status::InvalidArgument("truncated request header");
+  }
+  if (num_partitions > kMaxPartitionsPerRequest) {
+    return Status::InvalidArgument("partition set too large");
+  }
+  out->partitions.resize(num_partitions);
+  for (uint16_t i = 0; i < num_partitions; ++i) {
+    if (!reader.GetU32(&out->partitions[i])) {
+      return Status::InvalidArgument("truncated partition list");
+    }
+  }
+  if (arg_len != reader.remaining()) {
+    return Status::InvalidArgument("argument length mismatch");
+  }
+  out->args.resize(arg_len);
+  if (arg_len > 0 && !reader.GetRaw(out->args.data(), arg_len)) {
+    return Status::InvalidArgument("truncated arguments");
+  }
+  return Status::OK();
+}
+
+Status DecodeResponse(const uint8_t* body, size_t len, Response* out) {
+  WireReader reader(body, len);
+  uint8_t status_code;
+  uint32_t payload_len;
+  if (!reader.GetU64(&out->request_id) || !reader.GetU8(&status_code) ||
+      !reader.GetU64(&out->commit_lsn) || !reader.GetU32(&payload_len)) {
+    return Status::InvalidArgument("truncated response header");
+  }
+  if (!IsValidWireStatus(status_code)) {
+    return Status::InvalidArgument("unknown status code");
+  }
+  out->status = static_cast<StatusCode>(status_code);
+  if (payload_len != reader.remaining()) {
+    return Status::InvalidArgument("payload length mismatch");
+  }
+  out->payload.resize(payload_len);
+  if (payload_len > 0 && !reader.GetRaw(out->payload.data(), payload_len)) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  return Status::OK();
+}
+
+Status FrameDecoder::Next(Frame* frame, bool* have_frame) {
+  *have_frame = false;
+  // Compact once the consumed prefix dominates, so long-lived pipelined
+  // connections do not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Status::OK();
+  const uint8_t* base = buffer_.data() + consumed_;
+  uint32_t body_len;
+  std::memcpy(&body_len, base, sizeof(body_len));
+  const uint8_t type = base[4];
+  if (body_len > kMaxFrameBody) {
+    return Status::InvalidArgument("oversized frame");
+  }
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Status::InvalidArgument("unknown frame type");
+  }
+  if (available < kFrameHeaderBytes + body_len) return Status::OK();
+  frame->type = static_cast<FrameType>(type);
+  frame->body = base + kFrameHeaderBytes;
+  frame->body_len = body_len;
+  consumed_ += kFrameHeaderBytes + body_len;
+  *have_frame = true;
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace next700

@@ -1,0 +1,184 @@
+#ifndef NEXT700_SERVER_PROTOCOL_H_
+#define NEXT700_SERVER_PROTOCOL_H_
+
+/// \file
+/// Binary wire protocol of the networked transaction service. Every frame
+/// is length-prefixed:
+///
+///   [u32 body_len][u8 frame_type][body ... body_len bytes]
+///
+/// Request body (client -> server):
+///   u64 request_id       echoed verbatim in the response
+///   u32 proc_id          registered stored procedure to run
+///   u16 num_partitions   declared partition set (H-Store compositions)
+///   u32 arg_len
+///   num_partitions x u32 partition ids
+///   arg_len bytes of procedure arguments (typed via WireWriter/WireReader)
+///
+/// Response body (server -> client):
+///   u64 request_id
+///   u8  status_code      StatusCode of the procedure execution
+///   u64 commit_lsn       log position the commit waited on (0 if none)
+///   u32 payload_len
+///   payload_len bytes    procedure reply payload (TxnContext::reply_payload)
+///
+/// Robustness contract: decoders never trust the peer. Oversized or
+/// garbage headers are unrecoverable (the stream cannot be resynchronized)
+/// and yield kInvalidArgument — the connection must be closed. A well-framed
+/// body that fails to decode is recoverable: the server answers with an
+/// error response and keeps the connection. Truncated frames simply wait
+/// for more bytes; a peer that hangs up mid-frame just closes.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace next700 {
+namespace server {
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// Hard ceiling on frame bodies; anything larger is a protocol violation
+/// (or an attack) and closes the connection.
+inline constexpr uint32_t kMaxFrameBody = 1u << 20;
+/// Ceiling on a request's declared partition set.
+inline constexpr uint16_t kMaxPartitionsPerRequest = 4096;
+/// Bytes of frame header preceding every body.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Append-only little-endian serializer for frame bodies and procedure
+/// arguments (the "typed argument encoding" of the service).
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  /// Length-prefixed byte string.
+  void PutBytes(const void* data, size_t len) {
+    PutU32(static_cast<uint32_t>(len));
+    PutRaw(data, len);
+  }
+  void PutString(const std::string& s) { PutBytes(s.data(), s.size()); }
+  /// Raw bytes with no length prefix (caller frames them).
+  void PutRaw(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + len);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian reader; every getter returns false instead
+/// of reading past the end, so malformed input can never fault.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU16(uint16_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+  /// Reads a length-prefixed byte string appended by PutBytes/PutString.
+  bool GetBytes(std::vector<uint8_t>* out) {
+    uint32_t n;
+    if (!GetU32(&n) || n > remaining()) return false;
+    out->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+  bool GetString(std::string* out) {
+    uint32_t n;
+    if (!GetU32(&n) || n > remaining()) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool GetRaw(void* out, size_t len) {
+    if (len > remaining()) return false;
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+struct Request {
+  uint64_t request_id = 0;
+  uint32_t proc_id = 0;
+  std::vector<uint32_t> partitions;
+  std::vector<uint8_t> args;
+};
+
+struct Response {
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  uint64_t commit_lsn = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends a complete frame (header + body) to `out`.
+void EncodeRequest(const Request& request, std::vector<uint8_t>* out);
+void EncodeResponse(const Response& response, std::vector<uint8_t>* out);
+
+/// Decodes a frame body. kInvalidArgument on any structural defect
+/// (truncated fields, inconsistent lengths, trailing garbage, out-of-range
+/// enum values). The frame boundary itself is intact in this case, so the
+/// connection can survive.
+Status DecodeRequest(const uint8_t* body, size_t len, Request* out);
+Status DecodeResponse(const uint8_t* body, size_t len, Response* out);
+
+/// One frame extracted from the byte stream; `body` points into the
+/// decoder's buffer and is valid until the next Next()/Feed() call.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  const uint8_t* body = nullptr;
+  uint32_t body_len = 0;
+};
+
+/// Incremental frame extractor over a TCP byte stream. Feed() raw bytes,
+/// then drain complete frames with Next(). A non-OK status from Next()
+/// means the stream is unrecoverable and the connection must be closed.
+class FrameDecoder {
+ public:
+  void Feed(const uint8_t* data, size_t len) {
+    buffer_.insert(buffer_.end(), data, data + len);
+  }
+
+  /// Extracts the next complete frame. Returns OK with *have_frame=true
+  /// when a frame was produced, OK with *have_frame=false when more bytes
+  /// are needed, kInvalidArgument when the stream is corrupt (oversized
+  /// length or unknown frame type).
+  Status Next(Frame* frame, bool* have_frame);
+
+  /// Bytes buffered but not yet consumed (tests; idle-connection audits).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+};
+
+/// True if `code` is a StatusCode a conforming peer may send on the wire.
+bool IsValidWireStatus(uint8_t code);
+
+}  // namespace server
+}  // namespace next700
+
+#endif  // NEXT700_SERVER_PROTOCOL_H_

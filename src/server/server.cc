@@ -1,0 +1,529 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace next700 {
+namespace server {
+
+namespace {
+
+/// Resume reads once the in-flight count drops below this fraction of the
+/// budget (hysteresis so the loop does not flap at the boundary).
+uint32_t ResumeWatermark(uint32_t budget) { return budget - budget / 4; }
+
+}  // namespace
+
+Server::Server(Engine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  NEXT700_CHECK(engine_ != nullptr);
+  NEXT700_CHECK(options_.num_workers > 0);
+  NEXT700_CHECK(options_.max_inflight > 0);
+  NEXT700_CHECK_MSG(options_.num_workers <= engine_->options().max_threads,
+                    "server needs one engine thread id per worker");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  NEXT700_CHECK(!running_.load());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind() failed: " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    return Status::IOError("listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::IOError("epoll/eventfd setup failed");
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  // Queue-oriented dispatch for the partitioned composition: partition p is
+  // served by worker (p mod workers), so single-partition transactions on
+  // distinct partitions never contend on a queue or a partition lock. Other
+  // schemes share one run queue.
+  partitioned_dispatch_ = engine_->cc()->scheme() == CcScheme::kHstore;
+  const int num_queues = partitioned_dispatch_ ? options_.num_workers : 1;
+  for (int i = 0; i < num_queues; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+
+  if (engine_->log_manager() != nullptr && engine_->options().sync_commit) {
+    engine_->log_manager()->SetDurableCallback(
+        [this](Lsn durable) { ReleaseDurable(durable); });
+  }
+
+  stop_requested_.store(false);
+  running_.store(true);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.load()) return;
+  if (engine_->log_manager() != nullptr) {
+    // Returns only after any in-flight durable callback finished, so the
+    // flusher can no longer call into this object.
+    engine_->log_manager()->SetDurableCallback(nullptr);
+  }
+  stop_requested_.store(true);
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  loop_thread_.join();
+
+  for (auto& queue : queues_) {
+    {
+      std::lock_guard<std::mutex> lock(queue->mu);
+      queue->stopped = true;
+    }
+    queue->cv.notify_all();
+  }
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  queues_.clear();
+
+  for (auto& [id, conn] : connections_) {
+    (void)id;
+    ::close(conn->fd());
+  }
+  connections_.clear();
+  conn_id_by_fd_.clear();
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  running_.store(false);
+}
+
+void Server::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool accept_pending = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+      } else if (fd == listen_fd_) {
+        // Defer accepts to the end of the batch so a connection closed in
+        // this batch cannot have its fd reused and matched against a stale
+        // event entry.
+        accept_pending = true;
+      } else {
+        auto fd_it = conn_id_by_fd_.find(fd);
+        if (fd_it == conn_id_by_fd_.end()) continue;
+        const uint64_t conn_id = fd_it->second;
+        if (mask & (EPOLLERR | EPOLLHUP)) {
+          CloseConnection(connections_.at(conn_id).get());
+          continue;
+        }
+        if (mask & EPOLLIN) {
+          HandleReadable(connections_.at(conn_id).get());
+        }
+        // The read handler may have closed the connection; re-check.
+        auto it = connections_.find(conn_id);
+        if (it != connections_.end() && (mask & EPOLLOUT)) {
+          HandleWritable(it->second.get());
+        }
+      }
+    }
+    if (accept_pending) HandleAccept();
+  }
+}
+
+void Server::HandleAccept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(fd, id);
+    conn->set_read_paused(reads_paused_);
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = reads_paused_ ? 0u : static_cast<uint32_t>(EPOLLIN);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conn_id_by_fd_[fd] = id;
+    connections_[id] = std::move(conn);
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd(), buf, sizeof(buf));
+    if (n > 0) {
+      conn->decoder()->Feed(buf, static_cast<size_t>(n));
+      // Backpressure: once the admission budget fills, stop pulling bytes
+      // off the socket; the kernel buffer (and then the peer) absorbs it.
+      if (inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer half-closed: finish buffered work, flush replies, then close.
+      conn->set_draining();
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn);
+    return;
+  }
+  DrainFrames(conn);
+}
+
+void Server::DrainFrames(Connection* conn) {
+  const uint64_t conn_id = conn->id();
+  for (;;) {
+    if (inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+      PauseReads();
+      break;
+    }
+    Frame frame;
+    bool have = false;
+    const Status stream_ok = conn->decoder()->Next(&frame, &have);
+    if (!stream_ok.ok()) {
+      // Oversized or garbage header: the stream cannot be resynchronized.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      return;
+    }
+    if (!have) break;
+    if (frame.type != FrameType::kRequest) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      return;
+    }
+    Request request;
+    const Status decoded = DecodeRequest(frame.body, frame.body_len, &request);
+    if (!decoded.ok()) {
+      // Framing is intact, so the connection survives; answer with an error.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t seq = conn->AdmitRequest();
+      Response response;
+      response.request_id = request.request_id;
+      response.status = StatusCode::kInvalidArgument;
+      CompleteInline(conn, seq, response);
+      if (connections_.find(conn_id) == connections_.end()) return;
+      continue;
+    }
+    DispatchRequest(conn, std::move(request));
+    if (connections_.find(conn_id) == connections_.end()) return;
+  }
+  if (conn->draining() && conn->pending_responses() == 0 &&
+      !conn->has_pending_writes()) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::DispatchRequest(Connection* conn, Request request) {
+  const uint64_t seq = conn->AdmitRequest();
+  Response error;
+  error.request_id = request.request_id;
+  if (engine_->GetProcedure(request.proc_id) == nullptr) {
+    error.status = StatusCode::kNotFound;
+    CompleteInline(conn, seq, error);
+    return;
+  }
+  const uint32_t num_partitions = engine_->options().num_partitions;
+  for (uint32_t p : request.partitions) {
+    if (p >= num_partitions) {
+      error.status = StatusCode::kInvalidArgument;
+      CompleteInline(conn, seq, error);
+      return;
+    }
+  }
+  WorkQueue* queue = queues_[static_cast<size_t>(WorkerFor(request))].get();
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(queue->mu);
+    if (queue->stopped) {
+      rejected = true;
+      error.status = StatusCode::kUnavailable;
+    } else if (queue->items.size() >= options_.queue_capacity) {
+      // Admission control: the queue is the last bounded stage; shedding
+      // load here keeps overload from turning into unbounded memory growth.
+      rejected = true;
+      error.status = StatusCode::kResourceExhausted;
+    } else {
+      queue->items.push_back(WorkItem{conn->id(), seq, std::move(request)});
+    }
+  }
+  if (rejected) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    if (error.status == StatusCode::kResourceExhausted) {
+      stats_.admission_rejects.fetch_add(1, std::memory_order_relaxed);
+    }
+    CompleteInline(conn, seq, error);
+    return;
+  }
+  stats_.requests_dispatched.fetch_add(1, std::memory_order_relaxed);
+  queue->cv.notify_one();
+}
+
+int Server::WorkerFor(const Request& request) {
+  if (!partitioned_dispatch_) return 0;  // Single shared run queue.
+  if (request.partitions.empty()) {
+    // Undeclared access locks every partition; spread those across workers.
+    return static_cast<int>(round_robin_++ %
+                            static_cast<uint64_t>(options_.num_workers));
+  }
+  const uint32_t min_partition =
+      *std::min_element(request.partitions.begin(), request.partitions.end());
+  return static_cast<int>(min_partition %
+                          static_cast<uint32_t>(options_.num_workers));
+}
+
+void Server::CompleteInline(Connection* conn, uint64_t seq,
+                            const Response& response) {
+  std::vector<uint8_t> encoded;
+  EncodeResponse(response, &encoded);
+  conn->Complete(seq, std::move(encoded));
+  FlushConnection(conn);
+}
+
+void Server::FlushConnection(Connection* conn) {
+  const size_t before = conn->pending_responses();
+  conn->FlushOrdered();
+  stats_.responses_sent.fetch_add(before - conn->pending_responses(),
+                                  std::memory_order_relaxed);
+  while (conn->has_pending_writes()) {
+    const ssize_t n = ::send(conn->fd(), conn->write_data(),
+                             conn->write_len(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->ConsumeWritten(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write()) {
+        conn->set_want_write(true);
+        UpdateEpoll(conn);
+      }
+      return;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  if (conn->want_write()) {
+    conn->set_want_write(false);
+    UpdateEpoll(conn);
+  }
+  if (conn->draining() && conn->pending_responses() == 0 &&
+      conn->decoder()->buffered_bytes() == 0) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::HandleWritable(Connection* conn) { FlushConnection(conn); }
+
+void Server::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+  ::close(conn->fd());
+  conn_id_by_fd_.erase(conn->fd());
+  connections_.erase(conn->id());  // Frees `conn`.
+}
+
+void Server::PushCompletion(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::ReleaseDurable(Lsn durable) {
+  bool released = false;
+  {
+    std::lock_guard<std::mutex> held_lock(held_mu_);
+    std::lock_guard<std::mutex> comp_lock(completions_mu_);
+    while (!held_replies_.empty() && held_replies_.top().lsn <= durable) {
+      completions_.push_back(
+          std::move(const_cast<HeldReply&>(held_replies_.top()).completion));
+      held_replies_.pop();
+      released = true;
+    }
+  }
+  if (released) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void Server::DrainCompletions() {
+  for (;;) {
+    std::deque<Completion> local;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      local.swap(completions_);
+    }
+    if (local.empty()) break;
+    for (auto& completion : local) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      auto it = connections_.find(completion.conn_id);
+      if (it == connections_.end()) continue;  // Client already gone.
+      Connection* conn = it->second.get();
+      conn->Complete(completion.seq, std::move(completion.encoded));
+      FlushConnection(conn);  // May close `conn`.
+    }
+  }
+  if (reads_paused_ && inflight_.load(std::memory_order_relaxed) <
+                           ResumeWatermark(options_.max_inflight)) {
+    ResumeReads();
+  }
+}
+
+void Server::PauseReads() {
+  if (reads_paused_) return;
+  reads_paused_ = true;
+  for (auto& [id, conn] : connections_) {
+    (void)id;
+    if (!conn->read_paused()) {
+      conn->set_read_paused(true);
+      UpdateEpoll(conn.get());
+    }
+  }
+}
+
+void Server::ResumeReads() {
+  reads_paused_ = false;
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (auto& [id, conn] : connections_) {
+    (void)conn;
+    ids.push_back(id);
+  }
+  for (uint64_t id : ids) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    Connection* conn = it->second.get();
+    conn->set_read_paused(false);
+    UpdateEpoll(conn);
+    // Frames decoded before the pause may still be buffered; re-admit them
+    // now (this may re-pause, in which case stop).
+    DrainFrames(conn);
+    if (reads_paused_) break;
+  }
+}
+
+void Server::UpdateEpoll(Connection* conn) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = (conn->read_paused() ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn->want_write() ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+}
+
+void Server::WorkerLoop(int worker_id) {
+  WorkQueue* queue =
+      queues_[partitioned_dispatch_ ? static_cast<size_t>(worker_id) : 0]
+          .get();
+  LogManager* log = engine_->log_manager();
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue->mu);
+      queue->cv.wait(lock,
+                     [&] { return queue->stopped || !queue->items.empty(); });
+      if (queue->stopped) return;  // Remaining replies are dropped at Stop.
+      item = std::move(queue->items.front());
+      queue->items.pop_front();
+    }
+    Engine::DeferredResult result = engine_->RunProcedureDeferred(
+        item.request.proc_id, worker_id, item.request.args.data(),
+        item.request.args.size(), item.request.partitions);
+    Response response;
+    response.request_id = item.request.request_id;
+    response.status = result.status.code();
+    response.commit_lsn = result.commit_lsn;
+    response.payload = std::move(result.reply);
+    Completion completion;
+    completion.conn_id = item.conn_id;
+    completion.seq = item.seq;
+    EncodeResponse(response, &completion.encoded);
+
+    if (result.commit_lsn > 0 && log != nullptr) {
+      // Group-commit-aware reply release: hold the response until the
+      // flusher acknowledges the commit LSN, so the client never observes
+      // a commit the log could still lose. The re-check after insertion
+      // closes the race with a flush that completed in between.
+      bool held = false;
+      {
+        std::lock_guard<std::mutex> lock(held_mu_);
+        if (log->durable_lsn() < result.commit_lsn) {
+          held_replies_.push(HeldReply{result.commit_lsn,
+                                       std::move(completion)});
+          held = true;
+        }
+      }
+      if (held) {
+        stats_.replies_held_durable.fetch_add(1, std::memory_order_relaxed);
+        ReleaseDurable(log->durable_lsn());
+      } else {
+        PushCompletion(std::move(completion));
+      }
+    } else {
+      PushCompletion(std::move(completion));
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace next700

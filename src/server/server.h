@@ -1,0 +1,187 @@
+#ifndef NEXT700_SERVER_SERVER_H_
+#define NEXT700_SERVER_SERVER_H_
+
+/// \file
+/// The networked transaction service: an epoll-based TCP front-end that
+/// exposes a composed Engine as a stored-procedure server.
+///
+/// Architecture (one process):
+///
+///   event-loop thread    accept / nonblocking read / frame decode /
+///                        dispatch / ordered response write
+///   worker pool          executes stored procedures via
+///                        Engine::RunProcedureDeferred; per-partition
+///                        queue affinity for H-Store compositions
+///                        (queue-oriented dispatch), shared run queue
+///                        otherwise
+///   log flusher          (owned by the engine's LogManager) releases
+///                        held responses when their commit LSN becomes
+///                        durable — a client never observes a commit the
+///                        log could still lose
+///
+/// Admission control: a bounded server-wide in-flight budget. When the
+/// budget fills the event loop stops reading from sockets (backpressure
+/// through TCP); requests already decoded that overflow a worker queue are
+/// answered with kResourceExhausted instead of growing the queue.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "server/connection.h"
+#include "server/protocol.h"
+#include "txn/engine.h"
+
+namespace next700 {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; the bound port is available via port().
+  uint16_t port = 0;
+  /// Worker pool size; the engine must be built with max_threads >= this,
+  /// and no other thread may use engine thread ids [0, num_workers).
+  int num_workers = 4;
+  /// Server-wide budget of decoded-but-unanswered requests. Reads pause
+  /// when it fills.
+  uint32_t max_inflight = 256;
+  /// Per-worker-queue bound; enqueue beyond it answers kResourceExhausted.
+  size_t queue_capacity = 1024;
+  int listen_backlog = 128;
+};
+
+/// Monotonic counters, updated with relaxed atomics (read for reports).
+struct ServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_dispatched{0};
+  std::atomic<uint64_t> responses_sent{0};
+  std::atomic<uint64_t> protocol_errors{0};     // Malformed frames/bodies.
+  std::atomic<uint64_t> connections_dropped{0};  // Unrecoverable streams.
+  std::atomic<uint64_t> admission_rejects{0};   // kResourceExhausted sent.
+  std::atomic<uint64_t> replies_held_durable{0};  // Waited on the flusher.
+};
+
+class Server {
+ public:
+  /// `engine` must outlive the server. Procedures must be registered (and
+  /// data loaded) before Start(); registration is not thread-safe.
+  Server(Engine* engine, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event loop + workers.
+  Status Start();
+
+  /// Stops accepting, tears down connections and threads. Idempotent.
+  /// In-flight transactions finish executing; their replies are dropped.
+  void Stop();
+
+  /// Port actually bound (after Start(); useful with port = 0).
+  uint16_t port() const { return bound_port_; }
+
+  const ServerStats& stats() const { return stats_; }
+  Engine* engine() { return engine_; }
+
+ private:
+  struct WorkItem {
+    uint64_t conn_id;
+    uint64_t seq;
+    Request request;
+  };
+
+  struct WorkQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<WorkItem> items;
+    bool stopped = false;
+  };
+
+  struct Completion {
+    uint64_t conn_id;
+    uint64_t seq;
+    std::vector<uint8_t> encoded;
+  };
+
+  struct HeldReply {
+    Lsn lsn;
+    Completion completion;
+    bool operator>(const HeldReply& other) const { return lsn > other.lsn; }
+  };
+
+  void EventLoop();
+  void WorkerLoop(int worker_id);
+
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Decodes and dispatches buffered frames until the stream is drained,
+  /// the budget fills, or the stream turns out to be corrupt.
+  void DrainFrames(Connection* conn);
+  void DispatchRequest(Connection* conn, Request request);
+  /// Answers `seq` on `conn` directly from the event loop (protocol errors,
+  /// admission rejects) without a round trip through the worker pool.
+  void CompleteInline(Connection* conn, uint64_t seq,
+                      const Response& response);
+  void FlushConnection(Connection* conn);
+  void CloseConnection(Connection* conn);
+
+  /// Worker -> event loop handoff (thread-safe; wakes the loop via eventfd).
+  void PushCompletion(Completion completion);
+  /// Moves every held reply with lsn <= durable into the completion queue.
+  void ReleaseDurable(Lsn durable);
+  void DrainCompletions();
+
+  void PauseReads();
+  void ResumeReads();
+  void UpdateEpoll(Connection* conn);
+
+  int WorkerFor(const Request& request);
+
+  Engine* engine_;
+  ServerOptions options_;
+  ServerStats stats_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions pending or stop requested.
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  bool partitioned_dispatch_ = false;
+  uint64_t round_robin_ = 0;
+
+  // Event-loop-owned connection table.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<int, uint64_t> conn_id_by_fd_;
+  uint64_t next_conn_id_ = 1;
+  bool reads_paused_ = false;
+
+  std::atomic<uint32_t> inflight_{0};
+
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
+
+  std::mutex held_mu_;
+  std::priority_queue<HeldReply, std::vector<HeldReply>,
+                      std::greater<HeldReply>>
+      held_replies_;
+};
+
+}  // namespace server
+}  // namespace next700
+
+#endif  // NEXT700_SERVER_SERVER_H_

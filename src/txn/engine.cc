@@ -254,8 +254,9 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
     }
   }
   const Lsn lsn = log_->Append(type, body);
+  txn->set_commit_lsn(lsn);
   txn->stats()->log_bytes += body.size() + 13;  // Frame overhead.
-  if (options_.sync_commit) log_->WaitDurable(lsn);
+  if (options_.sync_commit && !txn->defer_durable()) log_->WaitDurable(lsn);
   return Status::OK();
 }
 
@@ -311,6 +312,34 @@ Status Engine::RunProcedure(uint32_t proc_id, int thread_id, const void* args,
     }
   }
   return s;
+}
+
+Engine::DeferredResult Engine::RunProcedureDeferred(
+    uint32_t proc_id, int thread_id, const void* args, size_t arg_len,
+    const std::vector<uint32_t>& partitions) {
+  const Procedure* proc = GetProcedure(proc_id);
+  NEXT700_CHECK_MSG(proc != nullptr, "unknown procedure");
+  TxnContext* txn = Begin(thread_id, partitions);
+  txn->set_defer_durable(true);
+  txn->SetProcedure(proc_id, args, arg_len);
+  Status s = (*proc)(this, txn, static_cast<const uint8_t*>(args), arg_len);
+  if (s.ok()) s = Commit(txn);
+  DeferredResult result;
+  result.status = s;
+  if (s.ok()) {
+    // Durability matters only for sync-commit compositions; async commit
+    // already promises nothing, so replies need not wait for the flusher.
+    if (options_.sync_commit) result.commit_lsn = txn->commit_lsn();
+    result.reply = std::move(txn->reply_payload());
+  } else {
+    cc_->Abort(txn);
+    if (s.IsAborted()) {
+      ++txn->stats()->aborts;
+    } else {
+      ++txn->stats()->user_aborts;
+    }
+  }
+  return result;
 }
 
 RunStats Engine::AggregateStats() const {

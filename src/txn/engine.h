@@ -142,6 +142,26 @@ class Engine {
                       size_t arg_len,
                       const std::vector<uint32_t>& partitions = {});
 
+  /// Result of RunProcedureDeferred. When `status` is OK and `commit_lsn`
+  /// is nonzero the commit record has been appended but may not be durable
+  /// yet: the caller must not expose the commit (e.g. reply to a client)
+  /// until the log's durable LSN passes `commit_lsn`. commit_lsn == 0 means
+  /// nothing awaits durability (read-only, logging off, or failure).
+  /// `reply` is whatever the procedure wrote to TxnContext::reply_payload().
+  struct DeferredResult {
+    Status status;
+    Lsn commit_lsn = 0;
+    std::vector<uint8_t> reply;
+  };
+
+  /// RunProcedure variant for the network server's group-commit-aware reply
+  /// path: never blocks in WaitDurable even under sync_commit; instead the
+  /// commit LSN is returned so the caller can release the result when the
+  /// flusher acknowledges it (LogManager::SetDurableCallback).
+  DeferredResult RunProcedureDeferred(
+      uint32_t proc_id, int thread_id, const void* args, size_t arg_len,
+      const std::vector<uint32_t>& partitions = {});
+
   // --- Introspection -----------------------------------------------------
 
   ThreadStats* stats(int thread_id) { return &stats_[thread_id]; }

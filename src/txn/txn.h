@@ -110,6 +110,24 @@ class TxnContext {
     return nullptr;
   }
 
+  /// Log position the commit record must reach to be durable. 0 for
+  /// read-only transactions or engines without logging. Set by the engine
+  /// during Commit(); consumed by callers that defer durability (the
+  /// network server holds the client reply until the flusher passes it).
+  uint64_t commit_lsn() const { return commit_lsn_; }
+  void set_commit_lsn(uint64_t lsn) { commit_lsn_ = lsn; }
+
+  /// When set, Commit() appends the commit record but does not block on
+  /// WaitDurable even under sync_commit; the caller takes responsibility
+  /// for not exposing the commit until commit_lsn() is durable.
+  bool defer_durable() const { return defer_durable_; }
+  void set_defer_durable(bool defer) { defer_durable_ = defer; }
+
+  /// Out-of-band result channel for stored procedures executed through the
+  /// network server: whatever the procedure appends here is returned to the
+  /// client in the response payload. Ignored by recovery replay.
+  std::vector<uint8_t>& reply_payload() { return reply_payload_; }
+
   /// Registered stored-procedure invocation for command logging.
   uint32_t proc_id() const { return proc_id_; }
   const std::vector<uint8_t>& proc_args() const { return proc_args_; }
@@ -133,6 +151,9 @@ class TxnContext {
     commit_ts_ = kInvalidTimestamp;
     proc_id_ = kNoProcedure;
     proc_args_.clear();
+    reply_payload_.clear();
+    commit_lsn_ = 0;
+    defer_durable_ = false;
     wounded_.store(false, std::memory_order_relaxed);
     state_ = TxnState::kIdle;
   }
@@ -144,7 +165,10 @@ class TxnContext {
   Timestamp commit_ts_ = kInvalidTimestamp;
   TxnState state_ = TxnState::kIdle;
   uint32_t proc_id_ = kNoProcedure;
+  uint64_t commit_lsn_ = 0;
+  bool defer_durable_ = false;
   std::vector<uint8_t> proc_args_;
+  std::vector<uint8_t> reply_payload_;
   Arena arena_;
   std::vector<ReadSetEntry> read_set_;
   std::vector<WriteSetEntry> write_set_;

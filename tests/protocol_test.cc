@@ -1,0 +1,298 @@
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace next700 {
+namespace server {
+namespace {
+
+Request SampleRequest() {
+  Request request;
+  request.request_id = 0x0123456789abcdefull;
+  request.proc_id = 42;
+  request.partitions = {0, 3, 7};
+  WireWriter args(&request.args);
+  args.PutU64(999);
+  args.PutString("hello");
+  return request;
+}
+
+/// Feeds `bytes` through a FrameDecoder and hands the one expected frame to
+/// `use` while the decoder (which owns frame.body) is still alive.
+template <typename Fn>
+void WithDecodedFrame(const std::vector<uint8_t>& bytes, Fn use) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  bool have = false;
+  ASSERT_TRUE(decoder.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  use(frame);
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const Request request = SampleRequest();
+  std::vector<uint8_t> wire;
+  EncodeRequest(request, &wire);
+
+  Request decoded;
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kRequest);
+    ASSERT_TRUE(DecodeRequest(frame.body, frame.body_len, &decoded).ok());
+  });
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.proc_id, request.proc_id);
+  EXPECT_EQ(decoded.partitions, request.partitions);
+  EXPECT_EQ(decoded.args, request.args);
+}
+
+TEST(ProtocolTest, ResponseRoundTripAllStatusCodes) {
+  for (uint8_t code = 0; IsValidWireStatus(code); ++code) {
+    Response response;
+    response.request_id = 7;
+    response.status = static_cast<StatusCode>(code);
+    response.commit_lsn = 123456789;
+    response.payload = {9, 8, 7};
+    std::vector<uint8_t> wire;
+    EncodeResponse(response, &wire);
+
+    Response decoded;
+    WithDecodedFrame(wire, [&](const Frame& frame) {
+      EXPECT_EQ(frame.type, FrameType::kResponse);
+      ASSERT_TRUE(
+          DecodeResponse(frame.body, frame.body_len, &decoded).ok());
+    });
+    EXPECT_EQ(decoded.request_id, response.request_id);
+    EXPECT_EQ(decoded.status, response.status);
+    EXPECT_EQ(decoded.commit_lsn, response.commit_lsn);
+    EXPECT_EQ(decoded.payload, response.payload);
+  }
+  // The new codes must be representable on the wire.
+  EXPECT_TRUE(
+      IsValidWireStatus(static_cast<uint8_t>(StatusCode::kUnavailable)));
+  EXPECT_TRUE(IsValidWireStatus(
+      static_cast<uint8_t>(StatusCode::kDeadlineExceeded)));
+  EXPECT_FALSE(IsValidWireStatus(255));
+}
+
+TEST(ProtocolTest, DecoderHandlesByteAtATimeDelivery) {
+  const Request request = SampleRequest();
+  std::vector<uint8_t> wire;
+  EncodeRequest(request, &wire);
+  EncodeRequest(request, &wire);  // Two pipelined frames.
+
+  FrameDecoder decoder;
+  int frames = 0;
+  for (uint8_t byte : wire) {
+    decoder.Feed(&byte, 1);
+    Frame frame;
+    bool have = true;
+    while (true) {
+      ASSERT_TRUE(decoder.Next(&frame, &have).ok());
+      if (!have) break;
+      Request decoded;
+      ASSERT_TRUE(DecodeRequest(frame.body, frame.body_len, &decoded).ok());
+      EXPECT_EQ(decoded.request_id, request.request_id);
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(ProtocolTest, TruncatedFrameWaitsForMoreBytes) {
+  const Request request = SampleRequest();
+  std::vector<uint8_t> wire;
+  EncodeRequest(request, &wire);
+
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), cut);
+    Frame frame;
+    bool have = true;
+    ASSERT_TRUE(decoder.Next(&frame, &have).ok()) << "cut=" << cut;
+    EXPECT_FALSE(have) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolTest, OversizedFrameIsUnrecoverable) {
+  std::vector<uint8_t> wire;
+  WireWriter writer(&wire);
+  writer.PutU32(kMaxFrameBody + 1);
+  writer.PutU8(static_cast<uint8_t>(FrameType::kRequest));
+
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  bool have = false;
+  const Status s = decoder.Next(&frame, &have);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_FALSE(have);
+}
+
+TEST(ProtocolTest, UnknownFrameTypeIsUnrecoverable) {
+  std::vector<uint8_t> wire;
+  WireWriter writer(&wire);
+  writer.PutU32(0);
+  writer.PutU8(0xEE);
+
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  bool have = false;
+  EXPECT_TRUE(decoder.Next(&frame, &have).IsInvalidArgument());
+}
+
+TEST(ProtocolTest, RequestBodyDefectsAreRecoverable) {
+  const Request request = SampleRequest();
+  std::vector<uint8_t> wire;
+  EncodeRequest(request, &wire);
+  const uint8_t* body = wire.data() + kFrameHeaderBytes;
+  const size_t body_len = wire.size() - kFrameHeaderBytes;
+
+  Request decoded;
+  // Every truncation of a well-formed body must fail cleanly.
+  for (size_t len = 0; len < body_len; ++len) {
+    EXPECT_TRUE(DecodeRequest(body, len, &decoded).IsInvalidArgument())
+        << "len=" << len;
+  }
+  // Trailing garbage beyond the declared argument length is rejected too
+  // (args must consume the remainder exactly).
+  std::vector<uint8_t> padded(body, body + body_len);
+  padded.push_back(0);
+  EXPECT_TRUE(
+      DecodeRequest(padded.data(), padded.size(), &decoded)
+          .IsInvalidArgument());
+}
+
+TEST(ProtocolTest, PartitionCountCeilingIsEnforced) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(1);                                  // request_id
+  writer.PutU32(1);                                  // proc_id
+  writer.PutU16(kMaxPartitionsPerRequest + 1);       // too many partitions
+  writer.PutU32(0);                                  // arg_len
+  Request decoded;
+  EXPECT_TRUE(
+      DecodeRequest(body.data(), body.size(), &decoded).IsInvalidArgument());
+}
+
+TEST(ProtocolTest, ResponseRejectsOutOfRangeStatus) {
+  Response response;
+  response.request_id = 1;
+  std::vector<uint8_t> wire;
+  EncodeResponse(response, &wire);
+  // Overwrite the status byte (offset: header + u64 request_id).
+  wire[kFrameHeaderBytes + 8] = 200;
+  Response decoded;
+  EXPECT_TRUE(DecodeResponse(wire.data() + kFrameHeaderBytes,
+                             wire.size() - kFrameHeaderBytes, &decoded)
+                  .IsInvalidArgument());
+}
+
+/// Fuzz: single bit flips over a valid frame must never crash; the decoder
+/// either still produces a frame (the flip hit the body or a benign header
+/// bit) or reports a clean error.
+TEST(ProtocolTest, BitFlipFuzz) {
+  const Request request = SampleRequest();
+  std::vector<uint8_t> pristine;
+  EncodeRequest(request, &pristine);
+
+  for (size_t bit = 0; bit < pristine.size() * 8; ++bit) {
+    std::vector<uint8_t> wire = pristine;
+    wire[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), wire.size());
+    Frame frame;
+    bool have = false;
+    const Status s = decoder.Next(&frame, &have);
+    if (!s.ok() || !have) continue;  // Clean reject or now-truncated frame.
+    Request decoded;
+    (void)DecodeRequest(frame.body, frame.body_len, &decoded);  // No crash.
+  }
+}
+
+/// Fuzz: random garbage in random-sized chunks must never crash the decoder
+/// and must never produce a frame claiming more bytes than were fed.
+TEST(ProtocolTest, GarbageStreamFuzz) {
+  Rng rng(20260806);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    size_t fed = 0;
+    bool dead = false;
+    while (fed < 4096 && !dead) {
+      uint8_t chunk[64];
+      const size_t n = 1 + rng.NextUint64(sizeof(chunk));
+      for (size_t i = 0; i < n; ++i) {
+        chunk[i] = static_cast<uint8_t>(rng.Next());
+      }
+      decoder.Feed(chunk, n);
+      fed += n;
+      Frame frame;
+      bool have = true;
+      while (have) {
+        if (!decoder.Next(&frame, &have).ok()) {
+          dead = true;  // Corrupt stream: connection would close here.
+          break;
+        }
+        if (have) {
+          EXPECT_LE(frame.body_len, kMaxFrameBody);
+          Request decoded_request;
+          Response decoded_response;
+          (void)DecodeRequest(frame.body, frame.body_len, &decoded_request);
+          (void)DecodeResponse(frame.body, frame.body_len,
+                               &decoded_response);
+        }
+      }
+    }
+  }
+}
+
+/// Fuzz: mutate valid frames with random byte edits — closer to a confused
+/// client than pure noise — and interleave them with intact frames.
+TEST(ProtocolTest, MutatedFrameFuzz) {
+  Rng rng(777);
+  const Request request = SampleRequest();
+  std::vector<uint8_t> pristine;
+  EncodeRequest(request, &pristine);
+
+  for (int round = 0; round < 500; ++round) {
+    std::vector<uint8_t> wire = pristine;
+    const int edits = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int e = 0; e < edits; ++e) {
+      wire[rng.NextUint64(wire.size())] = static_cast<uint8_t>(rng.Next());
+    }
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), wire.size());
+    Frame frame;
+    bool have = true;
+    while (have) {
+      if (!decoder.Next(&frame, &have).ok()) break;
+      if (have) {
+        Request decoded;
+        (void)DecodeRequest(frame.body, frame.body_len, &decoded);
+      }
+    }
+  }
+}
+
+TEST(ProtocolTest, WireReaderNeverReadsPastEnd) {
+  const uint8_t bytes[] = {1, 2, 3};
+  WireReader reader(bytes, sizeof(bytes));
+  uint64_t v64;
+  EXPECT_FALSE(reader.GetU64(&v64));
+  uint16_t v16;
+  EXPECT_TRUE(reader.GetU16(&v16));
+  std::vector<uint8_t> blob;
+  EXPECT_FALSE(reader.GetBytes(&blob));  // Prefix alone is longer than rest.
+  EXPECT_EQ(reader.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace next700

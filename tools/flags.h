@@ -1,0 +1,111 @@
+#ifndef NEXT700_TOOLS_FLAGS_H_
+#define NEXT700_TOOLS_FLAGS_H_
+
+/// \file
+/// Strict command-line parsing shared by the CLI tools. Flags are
+/// `--name[=value]`; an optional single positional subcommand may precede
+/// them. Parsing is strict so typos fail loudly instead of silently running
+/// the wrong configuration: unknown flags, non-numeric values for numeric
+/// flags, and bad booleans all exit with a usage message.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+namespace next700 {
+namespace tools {
+
+class Flags {
+ public:
+  using UsageFn = void (*)();
+
+  /// `usage` is printed (after the error) whenever parsing or validation
+  /// fails. If `allow_subcommand` is set, one leading non-flag argument is
+  /// captured as subcommand().
+  Flags(int argc, char** argv, UsageFn usage, bool allow_subcommand = false)
+      : usage_(usage) {
+    int i = 1;
+    if (allow_subcommand && i < argc && std::strncmp(argv[i], "--", 2) != 0) {
+      subcommand_ = argv[i++];
+    }
+    for (; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) Die("expected --flag[=value]: " + arg);
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  const std::string& subcommand() const { return subcommand_; }
+
+  std::string GetString(const std::string& key, const std::string& fallback) {
+    used_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    const std::string v = GetString(key, "");
+    if (v.empty()) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+    if (errno != 0 || end == v.c_str() || *end != '\0') {
+      Die("bad integer for --" + key + ": " + v);
+    }
+    return parsed;
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string v = GetString(key, "");
+    if (v.empty()) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (errno != 0 || end == v.c_str() || *end != '\0') {
+      Die("bad number for --" + key + ": " + v);
+    }
+    return parsed;
+  }
+
+  bool GetBool(const std::string& key, bool fallback) {
+    const std::string v = GetString(key, "");
+    if (v.empty()) return fallback;
+    if (v == "true" || v == "1") return true;
+    if (v == "false" || v == "0") return false;
+    Die("bad boolean for --" + key + ": " + v + " (use true/false)");
+  }
+
+  /// Call after every flag has been consumed; dies on leftovers (typos).
+  void RejectUnknown() const {
+    for (const auto& [key, value] : values_) {
+      (void)value;
+      if (used_.find(key) == used_.end()) Die("unknown flag: --" + key);
+    }
+  }
+
+  [[noreturn]] void Die(const std::string& message) const {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    usage_();
+    std::exit(1);
+  }
+
+ private:
+  UsageFn usage_;
+  std::string subcommand_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+}  // namespace tools
+}  // namespace next700
+
+#endif  // NEXT700_TOOLS_FLAGS_H_

@@ -1,23 +1,34 @@
-/// next700_run — command-line experiment runner. Composes an engine from
-/// flags, loads a workload, runs a timed measurement, and prints throughput
-/// plus latency percentiles. This is the "I just want to try a
-/// configuration" entry point; the bench_* binaries regenerate the paper's
-/// fixed experiment suite.
+/// next700_run — command-line entry point. Two subcommands:
+///
+///   run (default)  Composes an engine from flags, loads a workload, runs a
+///                  timed measurement in-process, and prints throughput plus
+///                  latency percentiles — the "I just want to try a
+///                  configuration" path; the bench_* binaries regenerate the
+///                  paper's fixed experiment suite.
+///   serve          Composes an engine, loads the KV stored-procedure
+///                  service, and exposes it over TCP until SIGINT (or
+///                  --seconds elapses). Drive it with next700_loadgen.
 ///
 /// Examples:
 ///   next700_run --workload=ycsb --cc=SILO --threads=4 --theta=0.9
-///   next700_run --workload=tpcc --cc=WAIT_DIE --warehouses=4
+///   next700_run run --workload=tpcc --cc=WAIT_DIE --warehouses=4
 ///       --logging=command --log-path=/tmp/tpcc.log
-///   next700_run --workload=tatp --cc=MVTO --seconds=5
+///   next700_run serve --cc=HSTORE --workers=4 --partitions=4 --port=7700
+///   next700_run serve --cc=SILO --logging=value --log-path=/tmp/kv.log
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
-#include <set>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "server/procs.h"
+#include "server/server.h"
+#include "flags.h"
 #include "workload/driver.h"
 #include "workload/smallbank.h"
 #include "workload/tatp.h"
@@ -27,137 +38,202 @@
 namespace next700 {
 namespace {
 
-class Flags {
- public:
-  Flags(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) Die("expected --flag[=value]: " + arg);
-      arg = arg.substr(2);
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg] = "true";
-      } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      }
-    }
+using tools::Flags;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: next700_run [run] --workload=ycsb|tpcc|tatp|smallbank "
+      "[--cc=SCHEME] [--threads=N]\n"
+      "  [--seconds=S] [--warmup=S] [--partitions=N] [--index=hash|btree]\n"
+      "  [--logging=none|value|command] [--log-path=PATH] "
+      "[--log-latency-us=N] [--async-commit]\n"
+      "  YCSB: [--records=N] [--theta=T] [--writes=F] [--ops=N] [--rmw]\n"
+      "  TPC-C: [--warehouses=N]   TATP/SmallBank: [--records=N]\n"
+      "\n"
+      "usage: next700_run serve [--cc=SCHEME] [--workers=N] "
+      "[--partitions=N]\n"
+      "  [--host=ADDR] [--port=P] [--records=N] [--value-size=B] "
+      "[--index=hash|btree]\n"
+      "  [--logging=none|value|command] [--log-path=PATH] "
+      "[--log-latency-us=N] [--async-commit]\n"
+      "  [--max-inflight=N] [--queue-capacity=N] [--seconds=S]  "
+      "(seconds=0: serve until SIGINT)\n");
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+/// CcSchemeFromName() CHECK-aborts on unknown names; here a typo should
+/// print usage instead of a stack trace.
+CcScheme ParseCcScheme(Flags* flags) {
+  const std::string name = flags->GetString("cc", "SILO");
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "OCC") upper = "SILO";
+  for (CcScheme scheme : AllCcSchemes()) {
+    if (upper == CcSchemeName(scheme)) return scheme;
   }
+  flags->Die("bad --cc: " + name);
+}
 
-  std::string GetString(const std::string& key,
-                        const std::string& fallback) {
-    used_.insert(key);
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) {
-    const std::string v = GetString(key, "");
-    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
-  }
-  double GetDouble(const std::string& key, double fallback) {
-    const std::string v = GetString(key, "");
-    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
-  }
-
-  void RejectUnknown() const {
-    for (const auto& [key, value] : values_) {
-      (void)value;
-      if (used_.find(key) == used_.end()) Die("unknown flag: --" + key);
-    }
-  }
-
-  [[noreturn]] static void Die(const std::string& message) {
-    std::fprintf(stderr, "error: %s\n", message.c_str());
-    std::fprintf(stderr,
-                 "usage: next700_run --workload=ycsb|tpcc|tatp|smallbank "
-                 "[--cc=SCHEME] [--threads=N]\n"
-                 "  [--seconds=S] [--warmup=S] [--partitions=N] "
-                 "[--index=hash|btree]\n"
-                 "  [--logging=none|value|command] [--log-path=PATH] "
-                 "[--log-latency-us=N] [--async-commit]\n"
-                 "  YCSB: [--records=N] [--theta=T] [--writes=F] "
-                 "[--ops=N] [--rmw]\n"
-                 "  TPC-C: [--warehouses=N]   TATP/SmallBank: "
-                 "[--records=N]\n");
-    std::exit(1);
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::set<std::string> used_;
-};
-
-}  // namespace
-}  // namespace next700
-
-int main(int argc, char** argv) {
-  using namespace next700;
-  Flags flags(argc, argv);
-
-  const std::string workload_name = flags.GetString("workload", "ycsb");
-  const int threads = static_cast<int>(flags.GetInt("threads", 4));
-
+/// Engine-composition flags shared by both subcommands.
+EngineOptions ParseEngineOptions(Flags* flags, int threads,
+                                 uint32_t default_partitions) {
   EngineOptions eng;
-  eng.cc_scheme = CcSchemeFromName(flags.GetString("cc", "SILO"));
+  eng.cc_scheme = ParseCcScheme(flags);
   eng.max_threads = threads;
-  eng.num_partitions =
-      static_cast<uint32_t>(flags.GetInt("partitions", threads));
-  const std::string logging = flags.GetString("logging", "none");
+  eng.num_partitions = static_cast<uint32_t>(
+      flags->GetInt("partitions", default_partitions));
+  if (eng.num_partitions == 0) flags->Die("--partitions must be >= 1");
+  const std::string logging = flags->GetString("logging", "none");
   if (logging == "value") {
     eng.logging = LoggingKind::kValue;
   } else if (logging == "command") {
     eng.logging = LoggingKind::kCommand;
   } else if (logging != "none") {
-    Flags::Die("bad --logging: " + logging);
+    flags->Die("bad --logging: " + logging);
   }
-  eng.log_path = flags.GetString("log-path", "/tmp/next700_run.log");
+  eng.log_path = flags->GetString("log-path", "/tmp/next700_run.log");
   eng.log_device_latency_us =
-      static_cast<uint64_t>(flags.GetInt("log-latency-us", 0));
-  eng.sync_commit = flags.GetString("async-commit", "false") != "true";
+      static_cast<uint64_t>(flags->GetInt("log-latency-us", 0));
+  eng.sync_commit = !flags->GetBool("async-commit", false);
+  return eng;
+}
+
+IndexKind ParseIndexKind(Flags* flags) {
+  const std::string index = flags->GetString("index", "hash");
+  if (index == "hash") return IndexKind::kHash;
+  if (index == "btree") return IndexKind::kBTree;
+  flags->Die("bad --index: " + index);
+}
+
+int RunServe(Flags* flags) {
+  const int workers = static_cast<int>(flags->GetInt("workers", 4));
+  if (workers < 1) flags->Die("--workers must be >= 1");
+  EngineOptions eng = ParseEngineOptions(
+      flags, workers,
+      /*default_partitions=*/static_cast<uint32_t>(workers));
+
+  server::KvServiceOptions kv;
+  kv.num_records = static_cast<uint64_t>(flags->GetInt("records", 100000));
+  kv.value_size = static_cast<uint32_t>(flags->GetInt("value-size", 64));
+  if (kv.value_size < 8) flags->Die("--value-size must be >= 8");
+  kv.index_kind = ParseIndexKind(flags);
+
+  server::ServerOptions srv;
+  srv.host = flags->GetString("host", "127.0.0.1");
+  srv.port = static_cast<uint16_t>(flags->GetInt("port", 0));
+  srv.num_workers = workers;
+  srv.max_inflight =
+      static_cast<uint32_t>(flags->GetInt("max-inflight", 256));
+  srv.queue_capacity =
+      static_cast<size_t>(flags->GetInt("queue-capacity", 1024));
+  const double seconds = flags->GetDouble("seconds", 0.0);
+  flags->RejectUnknown();
+
+  std::printf("composition: cc=%s workers=%d partitions=%u logging=%s%s\n",
+              CcSchemeName(eng.cc_scheme), workers, eng.num_partitions,
+              flags->GetString("logging", "none").c_str(),
+              eng.sync_commit ? "" : " (async)");
+  Engine engine(eng);
+  const uint64_t load_start = NowNanos();
+  const uint64_t loaded = server::RegisterKvService(&engine, kv);
+  std::printf("loaded %llu kv rows in %.2fs\n",
+              static_cast<unsigned long long>(loaded),
+              static_cast<double>(NowNanos() - load_start) / 1e9);
+
+  server::Server srv_instance(&engine, srv);
+  const Status started = srv_instance.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", srv.host.c_str(),
+              srv_instance.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const uint64_t deadline_ns =
+      seconds > 0 ? NowNanos() + static_cast<uint64_t>(seconds * 1e9) : 0;
+  while (!g_stop && (deadline_ns == 0 || NowNanos() < deadline_ns)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  srv_instance.Stop();
+
+  const server::ServerStats& stats = srv_instance.stats();
+  std::printf("\nconnections accepted: %llu\n",
+              static_cast<unsigned long long>(
+                  stats.connections_accepted.load()));
+  std::printf("requests dispatched:  %llu\n",
+              static_cast<unsigned long long>(
+                  stats.requests_dispatched.load()));
+  std::printf("responses sent:       %llu\n",
+              static_cast<unsigned long long>(stats.responses_sent.load()));
+  std::printf("protocol errors:      %llu\n",
+              static_cast<unsigned long long>(stats.protocol_errors.load()));
+  std::printf("admission rejects:    %llu\n",
+              static_cast<unsigned long long>(
+                  stats.admission_rejects.load()));
+  std::printf("replies held durable: %llu\n",
+              static_cast<unsigned long long>(
+                  stats.replies_held_durable.load()));
+  return 0;
+}
+
+int RunBench(Flags* flags) {
+  const std::string workload_name = flags->GetString("workload", "ycsb");
+  const int threads = static_cast<int>(flags->GetInt("threads", 4));
+  if (threads < 1) flags->Die("--threads must be >= 1");
+
+  EngineOptions eng = ParseEngineOptions(
+      flags, threads, /*default_partitions=*/static_cast<uint32_t>(threads));
 
   std::unique_ptr<Workload> workload;
   if (workload_name == "ycsb") {
     YcsbOptions ycsb;
     ycsb.num_records =
-        static_cast<uint64_t>(flags.GetInt("records", 1 << 20));
-    ycsb.theta = flags.GetDouble("theta", 0.0);
-    ycsb.write_fraction = flags.GetDouble("writes", 0.05);
-    ycsb.ops_per_txn = static_cast<int>(flags.GetInt("ops", 16));
-    ycsb.read_modify_write = flags.GetString("rmw", "false") == "true";
-    ycsb.index_kind = flags.GetString("index", "hash") == "btree"
-                          ? IndexKind::kBTree
-                          : IndexKind::kHash;
+        static_cast<uint64_t>(flags->GetInt("records", 1 << 20));
+    ycsb.theta = flags->GetDouble("theta", 0.0);
+    ycsb.write_fraction = flags->GetDouble("writes", 0.05);
+    ycsb.ops_per_txn = static_cast<int>(flags->GetInt("ops", 16));
+    ycsb.read_modify_write = flags->GetBool("rmw", false);
+    ycsb.index_kind = ParseIndexKind(flags);
     ycsb.partitioned = eng.cc_scheme == CcScheme::kHstore;
     workload = std::make_unique<YcsbWorkload>(ycsb);
   } else if (workload_name == "tpcc") {
     TpccOptions tpcc;
     tpcc.num_warehouses =
-        static_cast<uint32_t>(flags.GetInt("warehouses", threads));
+        static_cast<uint32_t>(flags->GetInt("warehouses", threads));
     eng.num_partitions = tpcc.num_warehouses;
     workload = std::make_unique<TpccWorkload>(tpcc);
   } else if (workload_name == "tatp") {
     TatpOptions tatp;
     tatp.num_subscribers =
-        static_cast<uint64_t>(flags.GetInt("records", 100000));
+        static_cast<uint64_t>(flags->GetInt("records", 100000));
     workload = std::make_unique<TatpWorkload>(tatp);
   } else if (workload_name == "smallbank") {
     SmallBankOptions bank;
     bank.num_accounts =
-        static_cast<uint64_t>(flags.GetInt("records", 100000));
-    bank.theta = flags.GetDouble("theta", 0.0);
+        static_cast<uint64_t>(flags->GetInt("records", 100000));
+    bank.theta = flags->GetDouble("theta", 0.0);
     workload = std::make_unique<SmallBankWorkload>(bank);
   } else {
-    Flags::Die("bad --workload: " + workload_name);
+    flags->Die("bad --workload: " + workload_name);
   }
 
   DriverOptions driver;
   driver.num_threads = threads;
-  driver.measure_seconds = flags.GetDouble("seconds", 2.0);
-  driver.warmup_seconds = flags.GetDouble("warmup", 0.25);
-  flags.RejectUnknown();
+  driver.measure_seconds = flags->GetDouble("seconds", 2.0);
+  driver.warmup_seconds = flags->GetDouble("warmup", 0.25);
+  flags->RejectUnknown();
 
   std::printf("composition: cc=%s threads=%d partitions=%u logging=%s%s\n",
               CcSchemeName(eng.cc_scheme), threads, eng.num_partitions,
-              logging.c_str(), eng.sync_commit ? "" : " (async)");
+              flags->GetString("logging", "none").c_str(),
+              eng.sync_commit ? "" : " (async)");
   Engine engine(eng);
   std::printf("loading %s ...\n", workload->name());
   const uint64_t load_start = NowNanos();
@@ -181,4 +257,16 @@ int main(int argc, char** argv) {
                 static_cast<double>(stats.log_bytes) / (1024.0 * 1024.0));
   }
   return 0;
+}
+
+}  // namespace
+}  // namespace next700
+
+int main(int argc, char** argv) {
+  using namespace next700;
+  Flags flags(argc, argv, Usage, /*allow_subcommand=*/true);
+  const std::string& sub = flags.subcommand();
+  if (sub == "serve") return RunServe(&flags);
+  if (sub.empty() || sub == "run") return RunBench(&flags);
+  flags.Die("unknown subcommand: " + sub);
 }
