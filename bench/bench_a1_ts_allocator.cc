@@ -9,7 +9,10 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("A1",
+                     "timestamp allocator ablation (short txns, T/O scheme)");
   PrintHeader("A1", "timestamp allocator ablation (short txns, T/O scheme)",
               "allocator,threads,ops_per_txn,throughput_txn_s");
   for (TimestampAllocatorKind kind :
@@ -34,11 +37,16 @@ int main() {
         driver.warmup_seconds = WarmupSeconds();
         driver.measure_seconds = MeasureSeconds();
         const RunStats stats = Driver::Run(&engine, &workload, driver);
-        std::printf("%s,%d,%d,%.0f\n",
-                    kind == TimestampAllocatorKind::kAtomic ? "atomic"
-                                                            : "batched",
-                    threads, ops, stats.Throughput());
+        const char* name =
+            kind == TimestampAllocatorKind::kAtomic ? "atomic" : "batched";
+        std::printf("%s,%d,%d,%.0f\n", name, threads, ops,
+                    stats.Throughput());
         std::fflush(stdout);
+        json.AddPoint(
+            {{"allocator", JsonOutput::Str(name)},
+             {"threads", JsonOutput::Num(threads)},
+             {"ops_per_txn", JsonOutput::Num(ops)},
+             {"throughput_txn_s", JsonOutput::Num(stats.Throughput())}});
       }
     }
   }

@@ -9,7 +9,10 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("A2",
+                     "index choice at transaction level (point-access YCSB)");
   PrintHeader("A2", "index choice at transaction level (point-access YCSB)",
               "scheme,index,throughput_txn_s");
   const int threads = QuickMode() ? 2 : 4;
@@ -26,6 +29,10 @@ int main() {
       std::printf("%s,%s,%.0f\n", CcSchemeName(scheme), IndexKindName(kind),
                   stats.Throughput());
       std::fflush(stdout);
+      json.AddPoint(
+          {{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+           {"index", JsonOutput::Str(IndexKindName(kind))},
+           {"throughput_txn_s", JsonOutput::Num(stats.Throughput())}});
     }
   }
   return 0;

@@ -12,7 +12,9 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F10", "MVTO version chains with and without GC");
   PrintHeader("F10", "MVTO version chains with and without GC",
               "gc,seconds_run,throughput_txn_s,max_chain,avg_hot_chain");
   for (const bool gc : {true, false}) {
@@ -53,6 +55,11 @@ int main() {
                 driver.measure_seconds, stats.Throughput(), max_chain,
                 avg_hot);
     std::fflush(stdout);
+    json.AddPoint({{"gc", JsonOutput::Str(gc ? "on" : "off")},
+                   {"seconds_run", JsonOutput::Num(driver.measure_seconds)},
+                   {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+                   {"max_chain", JsonOutput::Num(static_cast<double>(max_chain))},
+                   {"avg_hot_chain", JsonOutput::Num(avg_hot)}});
   }
   return 0;
 }

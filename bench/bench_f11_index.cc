@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "index/btree_index.h"
@@ -123,4 +125,33 @@ BENCHMARK(BM_RemoveInsertChurn)
 }  // namespace
 }  // namespace next700
 
-BENCHMARK_MAIN();
+// Custom main: maps the repo-wide `--json <path>` convention onto
+// google-benchmark's native JSON reporter, so every experiment binary is
+// driven the same way by run_experiments / the CI bench smoke step.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path;
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out_format=json");
+    args.push_back("--benchmark_out=" + json_path);
+  }
+  std::vector<char*> argv2;
+  for (std::string& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

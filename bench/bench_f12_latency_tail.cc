@@ -9,7 +9,10 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment(
+      "F12", "committed-txn latency percentiles (YCSB theta=0.8, 50r/50w)");
   PrintHeader("F12",
               "committed-txn latency percentiles (YCSB theta=0.8, 50r/50w)",
               "scheme,p50_us,p95_us,p99_us,p999_us,max_us,p99_over_p50");
@@ -33,6 +36,16 @@ int main() {
                 static_cast<double>(h.max()) / 1000.0,
                 p50 > 0 ? p99 / p50 : 0.0);
     std::fflush(stdout);
+    json.AddPoint(
+        {{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+         {"p50_us", JsonOutput::Num(p50)},
+         {"p95_us",
+          JsonOutput::Num(static_cast<double>(h.Percentile(0.95)) / 1000.0)},
+         {"p99_us", JsonOutput::Num(p99)},
+         {"p999_us",
+          JsonOutput::Num(static_cast<double>(h.Percentile(0.999)) / 1000.0)},
+         {"max_us", JsonOutput::Num(static_cast<double>(h.max()) / 1000.0)},
+         {"p99_over_p50", JsonOutput::Num(p50 > 0 ? p99 / p50 : 0.0)}});
   }
   return 0;
 }

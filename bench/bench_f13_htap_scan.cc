@@ -86,7 +86,11 @@ class HtapWorkload : public Workload {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F13",
+                     "OLTP updates vs concurrent full scans (1 scanner + N-1 "
+                     "updaters)");
   PrintHeader("F13",
               "OLTP updates vs concurrent full scans (1 scanner + N-1 "
               "updaters)",
@@ -120,6 +124,16 @@ int main() {
                     1e6,
                 oltp.Throughput(), oltp.AbortRatio());
     std::fflush(stdout);
+    json.AddPoint(
+        {{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+         {"scans_completed",
+          JsonOutput::Num(static_cast<double>(scanner->commits))},
+         {"scan_p50_ms",
+          JsonOutput::Num(
+              static_cast<double>(scanner->commit_latency_ns.Percentile(0.5)) /
+              1e6)},
+         {"oltp_txn_s", JsonOutput::Num(oltp.Throughput())},
+         {"oltp_abort_ratio", JsonOutput::Num(oltp.AbortRatio())}});
   }
   return 0;
 }

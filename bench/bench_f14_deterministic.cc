@@ -75,7 +75,11 @@ NonDetResult RunNonDeterministic(CcScheme scheme, uint64_t hot_rows,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F14",
+                     "deterministic (Calvin-style) vs SILO/NO_WAIT across "
+                     "contention (1-op RMW txns)");
   PrintHeader("F14",
               "deterministic (Calvin-style) vs SILO/NO_WAIT across "
               "contention (1-op RMW txns)",
@@ -86,12 +90,21 @@ int main() {
     std::printf("DETERMINISTIC,%llu,%.0f,0.0000\n",
                 static_cast<unsigned long long>(hot_rows), det);
     std::fflush(stdout);
+    json.AddPoint({{"engine", JsonOutput::Str("DETERMINISTIC")},
+                   {"hot_rows", JsonOutput::Num(static_cast<double>(hot_rows))},
+                   {"throughput_txn_s", JsonOutput::Num(det)},
+                   {"abort_ratio", JsonOutput::Num(0.0)}});
     for (CcScheme scheme : {CcScheme::kOcc, CcScheme::kNoWait}) {
       const NonDetResult r = RunNonDeterministic(scheme, hot_rows, txns);
       std::printf("%s,%llu,%.0f,%.4f\n", CcSchemeName(scheme),
                   static_cast<unsigned long long>(hot_rows), r.throughput,
                   r.abort_ratio);
       std::fflush(stdout);
+      json.AddPoint(
+          {{"engine", JsonOutput::Str(CcSchemeName(scheme))},
+           {"hot_rows", JsonOutput::Num(static_cast<double>(hot_rows))},
+           {"throughput_txn_s", JsonOutput::Num(r.throughput)},
+           {"abort_ratio", JsonOutput::Num(r.abort_ratio)}});
     }
   }
   return 0;

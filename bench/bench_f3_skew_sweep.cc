@@ -8,7 +8,9 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F3", "skew sweep (YCSB, 50r/50w rmw, fixed threads)");
   PrintHeader("F3", "skew sweep (YCSB, 50r/50w rmw, fixed threads)",
               "scheme,theta,throughput_txn_s,abort_ratio");
   const int threads = QuickMode() ? 2 : 4;
@@ -27,6 +29,10 @@ int main() {
       std::printf("%s,%.2f,%.0f,%.4f\n", CcSchemeName(scheme), theta,
                   stats.Throughput(), stats.AbortRatio());
       std::fflush(stdout);
+      json.AddPoint({{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+                     {"theta", JsonOutput::Num(theta)},
+                     {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+                     {"abort_ratio", JsonOutput::Num(stats.AbortRatio())}});
     }
   }
   return 0;

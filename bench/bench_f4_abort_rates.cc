@@ -9,7 +9,9 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F4", "abort breakdown vs skew (YCSB 50r/50w rmw)");
   PrintHeader("F4", "abort breakdown vs skew (YCSB 50r/50w rmw)",
               "scheme,theta,abort_ratio,validation_fails,lock_waits,"
               "aborts_per_commit");
@@ -35,6 +37,15 @@ int main() {
                   static_cast<unsigned long long>(stats.lock_waits),
                   aborts_per_commit);
       std::fflush(stdout);
+      json.AddPoint(
+          {{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+           {"theta", JsonOutput::Num(theta)},
+           {"abort_ratio", JsonOutput::Num(stats.AbortRatio())},
+           {"validation_fails",
+            JsonOutput::Num(static_cast<double>(stats.validation_fails))},
+           {"lock_waits",
+            JsonOutput::Num(static_cast<double>(stats.lock_waits))},
+           {"aborts_per_commit", JsonOutput::Num(aborts_per_commit)}});
     }
   }
   return 0;

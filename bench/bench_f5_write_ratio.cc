@@ -8,7 +8,9 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F5", "write-fraction sweep (YCSB theta=0.8)");
   PrintHeader("F5", "write-fraction sweep (YCSB theta=0.8)",
               "scheme,write_fraction,throughput_txn_s,abort_ratio");
   const int threads = QuickMode() ? 2 : 4;
@@ -26,6 +28,10 @@ int main() {
       std::printf("%s,%.2f,%.0f,%.4f\n", CcSchemeName(scheme), wf,
                   stats.Throughput(), stats.AbortRatio());
       std::fflush(stdout);
+      json.AddPoint({{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+                     {"write_fraction", JsonOutput::Num(wf)},
+                     {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+                     {"abort_ratio", JsonOutput::Num(stats.AbortRatio())}});
     }
   }
   return 0;

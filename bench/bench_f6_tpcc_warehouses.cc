@@ -8,7 +8,9 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F6", "TPC-C full mix vs warehouse count (threads = W)");
   PrintHeader("F6", "TPC-C full mix vs warehouse count (threads = W)",
               "scheme,warehouses,throughput_txn_s,abort_ratio,user_aborts");
   const std::vector<uint32_t> sweep =
@@ -31,6 +33,13 @@ int main() {
                   stats.Throughput(), stats.AbortRatio(),
                   static_cast<unsigned long long>(stats.user_aborts));
       std::fflush(stdout);
+      json.AddPoint(
+          {{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+           {"warehouses", JsonOutput::Num(w)},
+           {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+           {"abort_ratio", JsonOutput::Num(stats.AbortRatio())},
+           {"user_aborts",
+            JsonOutput::Num(static_cast<double>(stats.user_aborts))}});
       NEXT700_CHECK_MSG(workload.CheckConsistency(&engine).ok(),
                         "TPC-C consistency audit failed after run");
     }

@@ -10,7 +10,11 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F7",
+                     "H-Store crossover vs multi-partition txn fraction "
+                     "(partitioned YCSB)");
   PrintHeader("F7",
               "H-Store crossover vs multi-partition txn fraction "
               "(partitioned YCSB)",
@@ -36,6 +40,10 @@ int main() {
       std::printf("%s,%.0f,%.0f,%.4f\n", CcSchemeName(scheme),
                   fraction * 100, stats.Throughput(), stats.AbortRatio());
       std::fflush(stdout);
+      json.AddPoint({{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+                     {"mp_fraction_pct", JsonOutput::Num(fraction * 100)},
+                     {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+                     {"abort_ratio", JsonOutput::Num(stats.AbortRatio())}});
     }
   }
   return 0;

@@ -11,7 +11,10 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment(
+      "F8", "logging overhead: kind x device latency (TPC-C, sync commit)");
   PrintHeader("F8",
               "logging overhead: kind x device latency (TPC-C, sync commit)",
               "logging,device_latency_us,throughput_txn_s,log_mb,"
@@ -56,6 +59,14 @@ int main() {
                   stats.Throughput(), log_mb, mb_per_ktxn,
                   static_cast<unsigned long long>(flushes));
       std::fflush(stdout);
+      json.AddPoint(
+          {{"logging", JsonOutput::Str(LoggingKindName(kind))},
+           {"device_latency_us",
+            JsonOutput::Num(static_cast<double>(latency_us))},
+           {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+           {"log_mb", JsonOutput::Num(log_mb)},
+           {"mb_per_ktxn", JsonOutput::Num(mb_per_ktxn)},
+           {"flushes", JsonOutput::Num(static_cast<double>(flushes))}});
       std::remove(path);
     }
   }

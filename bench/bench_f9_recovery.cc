@@ -39,7 +39,9 @@ Produced ProduceLog(LoggingKind kind, const TpccOptions& tpcc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("F9", "recovery replay: value vs command logging (TPC-C)");
   PrintHeader("F9", "recovery replay: value vs command logging (TPC-C)",
               "logging,log_mb,txns_logged,txns_replayed,replay_seconds,"
               "ktxn_per_s_replay");
@@ -69,6 +71,16 @@ int main() {
                 static_cast<unsigned long long>(stats.txns_replayed),
                 stats.elapsed_seconds, ktxn_per_s);
     std::fflush(stdout);
+    json.AddPoint(
+        {{"logging", JsonOutput::Str(LoggingKindName(kind))},
+         {"log_mb", JsonOutput::Num(static_cast<double>(stats.bytes_read) /
+                                    (1024.0 * 1024.0))},
+         {"txns_logged",
+          JsonOutput::Num(static_cast<double>(produced.commits))},
+         {"txns_replayed",
+          JsonOutput::Num(static_cast<double>(stats.txns_replayed))},
+         {"replay_seconds", JsonOutput::Num(stats.elapsed_seconds)},
+         {"ktxn_per_s_replay", JsonOutput::Num(ktxn_per_s)}});
     std::remove(produced.path.c_str());
   }
   return 0;

@@ -10,7 +10,9 @@
 using namespace next700;
 using namespace next700::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment("W1", "TATP standard mix across CC schemes");
   PrintHeader("W1", "TATP standard mix across CC schemes",
               "scheme,threads,throughput_txn_s,abort_ratio,user_abort_pct");
   TatpOptions tatp;
@@ -38,6 +40,11 @@ int main() {
       std::printf("%s,%d,%.0f,%.4f,%.1f\n", CcSchemeName(scheme), t,
                   stats.Throughput(), stats.AbortRatio(), user_pct);
       std::fflush(stdout);
+      json.AddPoint({{"scheme", JsonOutput::Str(CcSchemeName(scheme))},
+                     {"threads", JsonOutput::Num(t)},
+                     {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+                     {"abort_ratio", JsonOutput::Num(stats.AbortRatio())},
+                     {"user_abort_pct", JsonOutput::Num(user_pct)}});
     }
   }
   return 0;

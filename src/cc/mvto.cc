@@ -3,8 +3,30 @@
 #include <cstring>
 
 #include "storage/table.h"
+#include "storage/version_pool.h"
 
 namespace next700 {
+
+namespace {
+
+// Engine-run transactions carry a per-worker recycling pool; standalone
+// contexts (unit tests, loaders) fall back to the heap.
+Version* NewVersion(TxnContext* txn, uint32_t payload_size) {
+  VersionPool* pool = txn->version_pool();
+  return pool != nullptr ? pool->Allocate(payload_size)
+                         : Version::Allocate(payload_size);
+}
+
+void RetireVersion(TxnContext* txn, Version* v) {
+  VersionPool* pool = txn->version_pool();
+  if (pool != nullptr) {
+    pool->Retire(v);
+  } else {
+    Version::Free(v);
+  }
+}
+
+}  // namespace
 
 Mvto::Mvto(TimestampAllocator* ts_allocator, ActiveTxnTracker* tracker,
            bool gc_enabled)
@@ -13,6 +35,11 @@ Mvto::Mvto(TimestampAllocator* ts_allocator, ActiveTxnTracker* tracker,
       gc_enabled_(gc_enabled) {}
 
 Status Mvto::Begin(TxnContext* txn) {
+  // Pre-register a lower bound before allocating: a concurrent GC pass can
+  // otherwise compute a watermark above the timestamp this transaction is
+  // about to receive and free versions it must still read.
+  tracker_->SetActive(txn->thread_id(),
+                      ts_allocator_->ActiveLowerBound(txn->thread_id()));
   txn->set_ts(ts_allocator_->Allocate(txn->thread_id()));
   tracker_->SetActive(txn->thread_id(), txn->ts());
   txn->set_state(TxnState::kActive);
@@ -68,7 +95,7 @@ Status Mvto::InstallVersion(TxnContext* txn, Row* row, uint8_t* data,
   if (txn->ts() < newest->wts) {
     return Status::Aborted("MVTO write-write conflict (newer version)");
   }
-  Version* v = Version::Allocate(size);
+  Version* v = NewVersion(txn, size);
   v->wts = txn->ts();
   v->rts.store(txn->ts(), std::memory_order_relaxed);
   v->writer_id = txn->txn_id();
@@ -80,7 +107,7 @@ Status Mvto::InstallVersion(TxnContext* txn, Row* row, uint8_t* data,
     std::memcpy(v->data(), newest->data(), size);  // Tombstone keeps image.
   }
   row->chain.store(v, std::memory_order_release);
-  if (gc_enabled_) CollectGarbage(row);
+  if (gc_enabled_) CollectGarbage(txn, row);
 
   WriteSetEntry entry;
   entry.row = row;
@@ -101,7 +128,7 @@ Status Mvto::Delete(TxnContext* txn, Row* row) {
 
 Status Mvto::Insert(TxnContext* txn, Row* row, uint8_t* data) {
   const uint32_t size = row->table->schema().row_size();
-  Version* v = Version::Allocate(size);
+  Version* v = NewVersion(txn, size);
   v->wts = txn->ts();
   v->rts.store(txn->ts(), std::memory_order_relaxed);
   v->writer_id = txn->txn_id();
@@ -117,8 +144,9 @@ Status Mvto::Insert(TxnContext* txn, Row* row, uint8_t* data) {
   return Status::OK();
 }
 
-void Mvto::CollectGarbage(Row* row) {
-  const Timestamp watermark = tracker_->Watermark(ts_allocator_->Horizon());
+void Mvto::CollectGarbage(TxnContext* txn, Row* row) {
+  // GcFloor is evaluated before the tracker scan (see Watermark's contract).
+  const Timestamp watermark = tracker_->Watermark(ts_allocator_->GcFloor());
   // Keep every version a transaction at or above the watermark could read:
   // everything newer than the first committed version with wts <= watermark.
   Version* keep = row->chain.load(std::memory_order_relaxed);
@@ -134,7 +162,7 @@ void Mvto::CollectGarbage(Row* row) {
   keep->next = nullptr;
   while (dead != nullptr) {
     Version* next = dead->next;
-    Version::Free(dead);
+    RetireVersion(txn, dead);
     dead = next;
   }
 }
@@ -161,7 +189,7 @@ void Mvto::Abort(TxnContext* txn) {
       Version* v = row->chain.exchange(nullptr, std::memory_order_relaxed);
       while (v != nullptr) {
         Version* next = v->next;
-        Version::Free(v);
+        RetireVersion(txn, v);
         v = next;
       }
       row->table->FreeRow(row);
@@ -174,7 +202,7 @@ void Mvto::Abort(TxnContext* txn) {
                    entry.version);
     row->chain.store(entry.version->next, std::memory_order_release);
     row->Unlatch();
-    Version::Free(entry.version);
+    RetireVersion(txn, entry.version);
   }
   tracker_->ClearActive(txn->thread_id());
   txn->set_state(TxnState::kAborted);

@@ -35,15 +35,23 @@ class ActiveTxnTracker {
     slots_[thread_id].ts.store(kIdle, std::memory_order_release);
   }
 
-  /// Smallest active begin timestamp, or `fallback` when idle. Versions
-  /// older than the newest version at-or-below the watermark are dead.
-  Timestamp Watermark(Timestamp fallback) const {
-    Timestamp min_ts = kIdle;
+  /// Smallest active begin timestamp, clamped to `floor` (the timestamp
+  /// allocator's GcFloor, which covers unregistered and future
+  /// transactions). Versions older than the newest version at-or-below the
+  /// watermark are dead. The caller must evaluate `floor` *before* this
+  /// call — that read order, together with the seq_cst stores in SetActive
+  /// and the allocator's floor protocol, guarantees every transaction is
+  /// covered by one side or the other at all times.
+  Timestamp Watermark(Timestamp floor) const {
+    Timestamp min_ts = floor;
     for (int i = 0; i < max_threads_; ++i) {
-      const Timestamp ts = slots_[i].ts.load(std::memory_order_acquire);
+      // seq_cst pairs with the allocator's floor-raise: if we see a slot
+      // floor already raised, this load is guaranteed to see the
+      // pre-registration that preceded the raise.
+      const Timestamp ts = slots_[i].ts.load(std::memory_order_seq_cst);
       if (ts < min_ts) min_ts = ts;
     }
-    return min_ts == kIdle ? fallback : min_ts;
+    return min_ts;
   }
 
  private:
@@ -78,9 +86,9 @@ class Mvto : public ConcurrencyControl {
   Status InstallVersion(TxnContext* txn, Row* row, uint8_t* data,
                         bool is_delete);
 
-  /// Frees versions unreachable below the watermark. Caller holds the row
+  /// Retires versions unreachable below the watermark. Caller holds the row
   /// mini-latch.
-  void CollectGarbage(Row* row);
+  void CollectGarbage(TxnContext* txn, Row* row);
 
   TimestampAllocator* ts_allocator_;
   ActiveTxnTracker* tracker_;

@@ -4,8 +4,28 @@
 #include <cstring>
 
 #include "storage/table.h"
+#include "storage/version_pool.h"
 
 namespace next700 {
+
+namespace {
+
+Version* NewVersion(TxnContext* txn, uint32_t payload_size) {
+  VersionPool* pool = txn->version_pool();
+  return pool != nullptr ? pool->Allocate(payload_size)
+                         : Version::Allocate(payload_size);
+}
+
+void RetireVersion(TxnContext* txn, Version* v) {
+  VersionPool* pool = txn->version_pool();
+  if (pool != nullptr) {
+    pool->Retire(v);
+  } else {
+    Version::Free(v);
+  }
+}
+
+}  // namespace
 
 SnapshotIsolation::SnapshotIsolation(TimestampAllocator* ts_allocator,
                                      ActiveTxnTracker* tracker,
@@ -15,6 +35,10 @@ SnapshotIsolation::SnapshotIsolation(TimestampAllocator* ts_allocator,
       gc_enabled_(gc_enabled) {}
 
 Status SnapshotIsolation::Begin(TxnContext* txn) {
+  // Same pre-registration as MVTO: never let the GC watermark pass a
+  // snapshot timestamp that is allocated but not yet tracked.
+  tracker_->SetActive(txn->thread_id(),
+                      ts_allocator_->ActiveLowerBound(txn->thread_id()));
   txn->set_ts(ts_allocator_->Allocate(txn->thread_id()));  // Snapshot ts.
   tracker_->SetActive(txn->thread_id(), txn->ts());
   txn->set_state(TxnState::kActive);
@@ -119,8 +143,8 @@ Status SnapshotIsolation::Validate(TxnContext* txn) {
   return Status::OK();
 }
 
-void SnapshotIsolation::CollectGarbage(Row* row) {
-  const Timestamp watermark = tracker_->Watermark(ts_allocator_->Horizon());
+void SnapshotIsolation::CollectGarbage(TxnContext* txn, Row* row) {
+  const Timestamp watermark = tracker_->Watermark(ts_allocator_->GcFloor());
   Version* keep = row->chain.load(std::memory_order_relaxed);
   while (keep != nullptr) {
     if (keep->wts <= watermark) break;  // SI versions are always committed.
@@ -131,7 +155,7 @@ void SnapshotIsolation::CollectGarbage(Row* row) {
   keep->next = nullptr;
   while (dead != nullptr) {
     Version* next = dead->next;
-    Version::Free(dead);
+    RetireVersion(txn, dead);
     dead = next;
   }
 }
@@ -141,7 +165,7 @@ void SnapshotIsolation::Finalize(TxnContext* txn) {
   for (auto& entry : txn->write_set()) {
     Row* row = entry.row;
     const uint32_t row_size = row->table->schema().row_size();
-    Version* v = Version::Allocate(row_size);
+    Version* v = NewVersion(txn, row_size);
     v->wts = commit_ts;
     v->rts.store(commit_ts, std::memory_order_relaxed);
     v->committed.store(true, std::memory_order_relaxed);
@@ -162,7 +186,7 @@ void SnapshotIsolation::Finalize(TxnContext* txn) {
     // entry.latched: installs happen under the latch taken in Validate.
     v->next = row->chain.load(std::memory_order_relaxed);
     row->chain.store(v, std::memory_order_release);
-    if (gc_enabled_) CollectGarbage(row);
+    if (gc_enabled_) CollectGarbage(txn, row);
     row->Unlatch();
     entry.latched = false;
   }

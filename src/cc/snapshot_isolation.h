@@ -39,7 +39,7 @@ class SnapshotIsolation : public ConcurrencyControl {
 
  private:
   void UnlatchWriteSet(TxnContext* txn);
-  void CollectGarbage(Row* row);
+  void CollectGarbage(TxnContext* txn, Row* row);
 
   TimestampAllocator* ts_allocator_;
   ActiveTxnTracker* tracker_;

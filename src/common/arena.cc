@@ -52,4 +52,14 @@ void Arena::Reset() {
   bytes_used_ = 0;
 }
 
+void Arena::ResetTo(const Mark& mark) {
+  NEXT700_DCHECK(mark.block < blocks_.size());
+  NEXT700_DCHECK(mark.block < current_block_ ||
+                 (mark.block == current_block_ && mark.offset <= offset_));
+  NEXT700_DCHECK(mark.used <= bytes_used_);
+  current_block_ = mark.block;
+  offset_ = mark.offset;
+  bytes_used_ = mark.used;
+}
+
 }  // namespace next700

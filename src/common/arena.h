@@ -33,6 +33,22 @@ class Arena {
   /// underlying blocks.
   void Reset();
 
+  /// A bump position. Everything allocated after Position() was taken can be
+  /// handed back with ResetTo(), recycling the tail of the arena while
+  /// allocations made before the mark stay live.
+  struct Mark {
+    size_t block;
+    size_t offset;
+    size_t used;
+  };
+
+  /// Captures the current bump position.
+  Mark Position() const { return Mark{current_block_, offset_, bytes_used_}; }
+
+  /// Rewinds to a previously captured Position(). The mark must not be ahead
+  /// of the current position, and marks must be released in LIFO order.
+  void ResetTo(const Mark& mark);
+
   /// Total bytes handed out since the last Reset().
   size_t bytes_used() const { return bytes_used_; }
 

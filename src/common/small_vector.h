@@ -1,0 +1,230 @@
+#ifndef NEXT700_COMMON_SMALL_VECTOR_H_
+#define NEXT700_COMMON_SMALL_VECTOR_H_
+
+/// \file
+/// Inline-capacity vector for the transaction hot path. The first N elements
+/// live inside the object (so a TxnContext's read/write/index-op sets touch
+/// no allocator at all for typical OLTP transactions); growth past N spills
+/// into the bound Arena when one is attached, and into the heap otherwise.
+/// Restricted to trivially copyable element types: growth is a memcpy and
+/// clear() never runs destructors, which keeps Reset() between transactions
+/// branch-light.
+///
+/// Arena-spill contract: a spilled buffer is bump-allocated and never freed
+/// individually; the owner must ResetToInline() every SmallVector bound to
+/// an arena *before* resetting that arena (TxnContext::Reset does exactly
+/// this). Heap-backed spill (arena == nullptr) is freed by the destructor as
+/// usual.
+
+#include <cstddef>
+#include <cstring>
+#include <iterator>
+#include <type_traits>
+
+#include "common/arena.h"
+#include "common/macros.h"
+
+namespace next700 {
+
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SmallVector never runs element destructors");
+  static_assert(alignof(T) <= 8, "Arena spill aligns to 8 bytes");
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  SmallVector() = default;
+  explicit SmallVector(Arena* arena) : arena_(arena) {}
+
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(&other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      FreeSpill();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { FreeSpill(); }
+
+  /// Binds (or unbinds) the spill arena. Only valid while inline — callers
+  /// set the arena once, right after construction.
+  void set_arena(Arena* arena) {
+    NEXT700_DCHECK(data_ == InlineData());
+    arena_ = arena;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool spilled() const { return data_ != InlineData(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  T& operator[](size_t i) {
+    NEXT700_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    NEXT700_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& value) {
+    if (NEXT700_UNLIKELY(size_ == capacity_)) Grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (NEXT700_UNLIKELY(size_ == capacity_)) Grow(capacity_ * 2);
+    data_[size_] = T{static_cast<Args&&>(args)...};
+    return data_[size_++];
+  }
+
+  void pop_back() {
+    NEXT700_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Forgets the elements; keeps the current buffer (inline or spilled) so a
+  /// refill reuses the capacity without touching any allocator.
+  void clear() { size_ = 0; }
+
+  /// clear() plus drop back to inline storage. Heap spill is freed; arena
+  /// spill is abandoned for the arena's owner to reclaim (call this before
+  /// Arena::Reset — the spilled buffer becomes dangling afterwards).
+  void ResetToInline() {
+    FreeSpill();
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void reserve(size_t wanted) {
+    if (wanted > capacity_) Grow(wanted);
+  }
+
+  /// Shrinks or grows to `count`; new elements are value-initialized.
+  void resize(size_t count) {
+    if (count > capacity_) Grow(count);
+    if (count > size_) std::memset(data_ + size_, 0, (count - size_) * sizeof(T));
+    size_ = count;
+  }
+
+  /// Erases [first, last); tail elements shift down.
+  iterator erase(iterator first, iterator last) {
+    NEXT700_DCHECK(begin() <= first && first <= last && last <= end());
+    if (first != last) {
+      std::memmove(first, last,
+                   static_cast<size_t>(end() - last) * sizeof(T));
+      size_ -= static_cast<size_t>(last - first);
+    }
+    return first;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void append(const T* src, size_t count) {
+    if (NEXT700_UNLIKELY(size_ + count > capacity_)) {
+      size_t wanted = capacity_ * 2;
+      while (wanted < size_ + count) wanted *= 2;
+      Grow(wanted);
+    }
+    std::memcpy(data_ + size_, src, count * sizeof(T));
+    size_ += count;
+  }
+
+  /// std::vector-compatible range insert, restricted to pos == end() (all
+  /// the serializers need).
+  template <typename It>
+  void insert(iterator pos, It first, It last) {
+    NEXT700_DCHECK(pos == end());
+    (void)pos;
+    for (; first != last; ++first) push_back(*first);
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_); }
+
+  void Grow(size_t wanted) {
+    size_t new_cap = capacity_;
+    while (new_cap < wanted) new_cap *= 2;
+    T* fresh;
+    if (arena_ != nullptr) {
+      fresh = static_cast<T*>(arena_->Allocate(new_cap * sizeof(T)));
+    } else {
+      fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    }
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    FreeSpill();
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void FreeSpill() {
+    if (spilled() && arena_ == nullptr) ::operator delete(data_);
+  }
+
+  void MoveFrom(SmallVector* other) {
+    arena_ = other->arena_;
+    size_ = other->size_;
+    capacity_ = other->capacity_;
+    if (other->spilled()) {
+      data_ = other->data_;  // Steal the buffer (heap or arena).
+    } else {
+      data_ = InlineData();
+      capacity_ = N;
+      std::memcpy(inline_, other->inline_, other->size_ * sizeof(T));
+    }
+    other->data_ = other->InlineData();
+    other->capacity_ = N;
+    other->size_ = 0;
+  }
+
+  alignas(alignof(T)) unsigned char inline_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_SMALL_VECTOR_H_

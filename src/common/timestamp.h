@@ -42,6 +42,20 @@ class TimestampAllocator {
   /// A timestamp strictly greater than every timestamp handed out so far.
   virtual Timestamp Horizon() const = 0;
 
+  /// Garbage-collection floor: a timestamp at or below everything a future
+  /// (or in-flight but not yet registered) transaction could begin with.
+  /// For the atomic allocator that is just the counter; for the batched
+  /// allocator it also covers every thread's unconsumed reservation, so
+  /// version GC stays safe even though handed-out batches run behind the
+  /// shared counter.
+  virtual Timestamp GcFloor() const = 0;
+
+  /// Conservative lower bound on the value the next Allocate(thread_id)
+  /// will return. Multi-version schemes publish this to the active-txn
+  /// tracker *before* allocating, closing the window where a freshly
+  /// allocated timestamp is not yet visible to the GC watermark.
+  virtual Timestamp ActiveLowerBound(int thread_id) const = 0;
+
   static std::unique_ptr<TimestampAllocator> Create(
       TimestampAllocatorKind kind, int max_threads);
 };
@@ -58,14 +72,35 @@ class AtomicTimestampAllocator : public TimestampAllocator {
     return counter_.load(std::memory_order_relaxed);
   }
 
+  Timestamp GcFloor() const override {
+    return counter_.load(std::memory_order_seq_cst);
+  }
+
+  Timestamp ActiveLowerBound(int thread_id) const override {
+    (void)thread_id;
+    return counter_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<Timestamp> counter_{1};
 };
 
 /// Per-thread blocks carved from a shared counter.
+///
+/// GC-safety protocol: a thread's unconsumed reservation [next, end) holds
+/// timestamps *below* the shared counter, so multi-version GC cannot use the
+/// counter alone as a watermark fallback. Each slot therefore publishes a
+/// `floor` — a seq_cst lower bound on every timestamp the slot may still
+/// hand out — which is (a) stored from the observed counter *before* the
+/// CAS that reserves a batch, so a GcFloor() that reads the counter first
+/// and the slot floors second can never overshoot a reservation in flight,
+/// and (b) raised back to "none" only after the batch's last timestamp has
+/// been consumed, at which point the consumer has already pre-registered
+/// that timestamp with the active-txn tracker (see ActiveLowerBound).
 class BatchedTimestampAllocator : public TimestampAllocator {
  public:
   static constexpr Timestamp kBatchSize = 64;
+  static constexpr Timestamp kNoFloor = ~Timestamp{0};
 
   explicit BatchedTimestampAllocator(int max_threads)
       : slots_(new Slot[max_threads]), max_threads_(max_threads) {}
@@ -73,21 +108,58 @@ class BatchedTimestampAllocator : public TimestampAllocator {
   Timestamp Allocate(int thread_id) override {
     NEXT700_DCHECK(thread_id >= 0 && thread_id < max_threads_);
     Slot& slot = slots_[thread_id];
-    if (slot.next == slot.end) {
-      slot.next = counter_.fetch_add(kBatchSize, std::memory_order_relaxed);
-      slot.end = slot.next + kBatchSize;
+    const Timestamp next = slot.next.load(std::memory_order_relaxed);
+    const Timestamp end = slot.end.load(std::memory_order_relaxed);
+    if (next == end) {
+      // Cover the upcoming reservation before taking it: GcFloor() readers
+      // that observe the counter after our CAS are guaranteed (by seq_cst
+      // ordering) to also observe this floor.
+      Timestamp start = counter_.load(std::memory_order_relaxed);
+      slot.floor.store(start, std::memory_order_seq_cst);
+      while (!counter_.compare_exchange_weak(start, start + kBatchSize,
+                                             std::memory_order_relaxed)) {
+        slot.floor.store(start, std::memory_order_seq_cst);
+      }
+      slot.next.store(start + 1, std::memory_order_relaxed);
+      slot.end.store(start + kBatchSize, std::memory_order_relaxed);
+      return start;
     }
-    return slot.next++;
+    slot.next.store(next + 1, std::memory_order_relaxed);
+    if (next + 1 == end) {
+      // Batch exhausted: stop pinning the watermark. The timestamp just
+      // returned is already covered by its transaction's pre-registration.
+      slot.floor.store(kNoFloor, std::memory_order_seq_cst);
+    }
+    return next;
   }
 
   Timestamp Horizon() const override {
     return counter_.load(std::memory_order_relaxed) + kBatchSize;
   }
 
+  Timestamp GcFloor() const override {
+    // Counter first, slot floors second — the reverse order could miss a
+    // reservation made between the two reads.
+    Timestamp floor = counter_.load(std::memory_order_seq_cst);
+    for (int i = 0; i < max_threads_; ++i) {
+      const Timestamp f = slots_[i].floor.load(std::memory_order_seq_cst);
+      if (f < floor) floor = f;
+    }
+    return floor;
+  }
+
+  Timestamp ActiveLowerBound(int thread_id) const override {
+    const Slot& slot = slots_[thread_id];
+    const Timestamp next = slot.next.load(std::memory_order_relaxed);
+    if (next != slot.end.load(std::memory_order_relaxed)) return next;
+    return counter_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct NEXT700_CACHE_ALIGNED Slot {
-    Timestamp next = 0;
-    Timestamp end = 0;
+    std::atomic<Timestamp> next{0};
+    std::atomic<Timestamp> end{0};
+    std::atomic<Timestamp> floor{kNoFloor};
   };
 
   std::atomic<Timestamp> counter_{1};

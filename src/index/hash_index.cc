@@ -15,35 +15,123 @@ const char* IndexKindName(IndexKind kind) {
 }
 
 HashIndex::HashIndex(Table* table, uint64_t capacity_hint) : Index(table) {
-  uint64_t buckets = std::bit_ceil(capacity_hint < 16 ? 16 : capacity_hint);
-  buckets_ = std::vector<Bucket>(buckets);
-  bucket_mask_ = buckets - 1;
+  const uint64_t n = std::bit_ceil(capacity_hint < 16 ? 16 : capacity_hint);
+  tables_.push_back(std::make_unique<BucketArray>(n));
+  current_.store(tables_.back().get(), std::memory_order_release);
 }
 
 HashIndex::~HashIndex() {
-  for (auto& bucket : buckets_) {
-    Entry* e = bucket.head;
-    while (e != nullptr) {
-      Entry* next = e->next;
-      delete e;
-      e = next;
+  // Migrated buckets have empty chains, so this frees each entry once.
+  for (auto& table : tables_) {
+    for (auto& bucket : table->buckets) {
+      Entry* e = bucket.head;
+      while (e != nullptr) {
+        Entry* next = e->next;
+        delete e;
+        e = next;
+      }
     }
+  }
+}
+
+HashIndex::Bucket* HashIndex::LockBucket(uint64_t key,
+                                         BucketArray** out) const {
+  const uint64_t h = FnvHash64(key);
+  BucketArray* t = current_.load(std::memory_order_acquire);
+  for (;;) {
+    Bucket* b = &t->buckets[h & t->mask];
+    b->Lock();
+    if (!b->migrated) {
+      *out = t;
+      return b;
+    }
+    // Chain moved to the successor. `successor` was written before this
+    // table was published as a resize source and the migrator's unlock
+    // (release) ordered it before our lock (acquire), so it is visible.
+    b->Unlock();
+    t = t->successor;
+  }
+}
+
+void HashIndex::MigrateOneBucket(BucketArray* src, uint64_t index) {
+  BucketArray* dst = src->successor;
+  Bucket& from = src->buckets[index];
+  from.Lock();
+  // Move each entry to its new home bucket. With a power-of-two doubling
+  // every key in src bucket i lands in dst bucket i or i + src_size, but
+  // rehashing through the mask keeps this independent of the growth factor.
+  Entry* e = from.head;
+  while (e != nullptr) {
+    Entry* next = e->next;
+    Bucket& to = dst->buckets[FnvHash64(e->key) & dst->mask];
+    to.Lock();
+    e->next = to.head;
+    to.head = e;
+    to.Unlock();
+    e = next;
+  }
+  from.head = nullptr;
+  from.migrated = true;
+  from.Unlock();
+
+  const uint64_t done =
+      src->migrated_count.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (done == src->buckets.size()) {
+    // Last bucket drained: install the new table. Order matters — a thread
+    // that loads the fresh current_ must never re-enter the drained source,
+    // and a thread that raced past the old resize_src_ just falls through
+    // the (now exhausted) work queue harmlessly.
+    current_.store(dst, std::memory_order_release);
+    resize_src_.store(nullptr, std::memory_order_release);
+    rehashes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HashIndex::MaybeGrowAndHelp() {
+  if (resize_src_.load(std::memory_order_acquire) == nullptr) {
+    BucketArray* cur = current_.load(std::memory_order_acquire);
+    if (entries_.load(std::memory_order_relaxed) >
+        cur->buckets.size() * kGrowLoadFactor) {
+      std::lock_guard<std::mutex> lock(resize_mu_);
+      // Re-check under the mutex: another thread may have started (or even
+      // finished) a resize since the racy test above.
+      cur = current_.load(std::memory_order_acquire);
+      if (resize_src_.load(std::memory_order_acquire) == nullptr &&
+          cur->successor == nullptr &&
+          entries_.load(std::memory_order_relaxed) >
+              cur->buckets.size() * kGrowLoadFactor) {
+        tables_.push_back(
+            std::make_unique<BucketArray>(cur->buckets.size() * 2));
+        cur->successor = tables_.back().get();
+        // Publish: from here on writers help drain `cur`.
+        resize_src_.store(cur, std::memory_order_release);
+      }
+    }
+  }
+  BucketArray* src = resize_src_.load(std::memory_order_acquire);
+  if (src == nullptr) return;
+  for (uint64_t i = 0; i < kMigrateStride; ++i) {
+    const uint64_t index =
+        src->next_to_migrate.fetch_add(1, std::memory_order_relaxed);
+    if (index >= src->buckets.size()) return;
+    MigrateOneBucket(src, index);
   }
 }
 
 Status HashIndex::InsertImpl(uint64_t key, Row* row, bool unique) {
-  Bucket& bucket = BucketFor(key);
-  bucket.Lock();
-  for (Entry* e = bucket.head; e != nullptr; e = e->next) {
+  MaybeGrowAndHelp();
+  BucketArray* table;
+  Bucket* bucket = LockBucket(key, &table);
+  for (Entry* e = bucket->head; e != nullptr; e = e->next) {
     if (e->key == key) {
       if (unique || e->row == row) {
-        bucket.Unlock();
+        bucket->Unlock();
         return Status::AlreadyExists("hash index key exists");
       }
     }
   }
-  bucket.head = new Entry{key, row, bucket.head};
-  bucket.Unlock();
+  bucket->head = new Entry{key, row, bucket->head};
+  bucket->Unlock();
   entries_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -57,44 +145,45 @@ Status HashIndex::InsertUnique(uint64_t key, Row* row) {
 }
 
 Row* HashIndex::Lookup(uint64_t key) const {
-  Bucket& bucket = BucketFor(key);
-  bucket.Lock();
-  for (Entry* e = bucket.head; e != nullptr; e = e->next) {
+  BucketArray* table;
+  Bucket* bucket = LockBucket(key, &table);
+  for (Entry* e = bucket->head; e != nullptr; e = e->next) {
     if (e->key == key) {
       Row* row = e->row;
-      bucket.Unlock();
+      bucket->Unlock();
       return row;
     }
   }
-  bucket.Unlock();
+  bucket->Unlock();
   return nullptr;
 }
 
 void HashIndex::LookupAll(uint64_t key, std::vector<Row*>* out) const {
-  Bucket& bucket = BucketFor(key);
-  bucket.Lock();
-  for (Entry* e = bucket.head; e != nullptr; e = e->next) {
+  BucketArray* table;
+  Bucket* bucket = LockBucket(key, &table);
+  for (Entry* e = bucket->head; e != nullptr; e = e->next) {
     if (e->key == key) out->push_back(e->row);
   }
-  bucket.Unlock();
+  bucket->Unlock();
 }
 
 bool HashIndex::Remove(uint64_t key, Row* row) {
-  Bucket& bucket = BucketFor(key);
-  bucket.Lock();
-  Entry** link = &bucket.head;
+  MaybeGrowAndHelp();
+  BucketArray* table;
+  Bucket* bucket = LockBucket(key, &table);
+  Entry** link = &bucket->head;
   while (*link != nullptr) {
     Entry* e = *link;
     if (e->key == key && e->row == row) {
       *link = e->next;
-      bucket.Unlock();
+      bucket->Unlock();
       delete e;
       entries_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
     link = &e->next;
   }
-  bucket.Unlock();
+  bucket->Unlock();
   return false;
 }
 

@@ -2,13 +2,27 @@
 #define NEXT700_INDEX_HASH_INDEX_H_
 
 /// \file
-/// Chained hash index with per-bucket byte latches. The bucket count is
-/// fixed at creation (sized from a capacity hint); chains absorb overflow,
-/// so the structure never rehashes and pointers handed out stay valid.
+/// Chained hash index with per-bucket byte latches and incremental doubling.
+///
+/// The bucket array starts at a size derived from the capacity hint. When
+/// the load factor (entries / buckets) exceeds kGrowLoadFactor, a table of
+/// twice as many buckets is published and writers migrate a few source
+/// buckets per operation (latched, one bucket at a time); the writer that
+/// migrates the last bucket swaps the new table in. Only Entry chain nodes
+/// move — Row* values handed out by Lookup stay valid forever, and readers
+/// are never blocked for more than one bucket's migration.
+///
+/// Concurrency protocol: an operation latches the bucket its key maps to in
+/// the current table; if that bucket has been migrated it follows the
+/// table's successor pointer and retries there (at most one hop per
+/// completed resize). Retired bucket arrays are kept allocated until the
+/// index is destroyed, so a reader holding a stale table pointer can always
+/// finish its chase safely.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,8 +32,16 @@ namespace next700 {
 
 class HashIndex : public Index {
  public:
-  /// `capacity_hint` is the expected number of entries; the bucket array is
-  /// sized to keep expected chain length around 1.
+  /// Grow when entries exceed buckets * kGrowLoadFactor.
+  static constexpr uint64_t kGrowLoadFactor = 2;
+  /// Source buckets each write operation migrates while a resize is active.
+  /// Doubling at load factor L leaves L*N inserts before the next trigger
+  /// and N buckets to move, so any stride >= 1 finishes in time; 4 keeps the
+  /// transition window (and the extra lookup hop) short.
+  static constexpr uint64_t kMigrateStride = 4;
+
+  /// `capacity_hint` is the expected number of entries; the initial bucket
+  /// array is sized to keep expected chain length around 1.
   HashIndex(Table* table, uint64_t capacity_hint);
   ~HashIndex() override;
 
@@ -38,7 +60,13 @@ class HashIndex : public Index {
     return entries_.load(std::memory_order_relaxed);
   }
 
-  uint64_t num_buckets() const { return buckets_.size(); }
+  uint64_t num_buckets() const {
+    return current_.load(std::memory_order_acquire)->buckets.size();
+  }
+  /// Completed doublings (observability for tests and F11 commentary).
+  uint64_t num_rehashes() const {
+    return rehashes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -50,6 +78,9 @@ class HashIndex : public Index {
   struct Bucket {
     std::atomic<uint8_t> latch{0};
     Entry* head = nullptr;
+    /// Set (under the latch) when this bucket's chain has been moved to the
+    /// owning table's successor; the bucket is dead from then on.
+    bool migrated = false;
 
     void Lock() {
       while (latch.exchange(1, std::memory_order_acquire) != 0) CpuRelax();
@@ -57,15 +88,46 @@ class HashIndex : public Index {
     void Unlock() { latch.store(0, std::memory_order_release); }
   };
 
-  Bucket& BucketFor(uint64_t key) const {
-    return buckets_[FnvHash64(key) & bucket_mask_];
-  }
+  struct BucketArray {
+    explicit BucketArray(uint64_t n) : buckets(n), mask(n - 1) {}
+    mutable std::vector<Bucket> buckets;
+    uint64_t mask;
+    /// Target of the resize draining this table. Written once, before the
+    /// table is published as a resize source; a thread that observes a
+    /// migrated bucket (under its latch) is guaranteed to see it.
+    BucketArray* successor = nullptr;
+    /// Next source bucket index to claim (resize work queue).
+    std::atomic<uint64_t> next_to_migrate{0};
+    /// Source buckets fully migrated; the thread that moves this to
+    /// buckets.size() performs the table swap.
+    std::atomic<uint64_t> migrated_count{0};
+  };
+
+  /// Latches and returns the bucket currently owning `key`, chasing
+  /// successor pointers past migrated buckets. On return the bucket latch
+  /// is held and `*out` is the table it belongs to.
+  Bucket* LockBucket(uint64_t key, BucketArray** out) const;
 
   Status InsertImpl(uint64_t key, Row* row, bool unique);
 
-  mutable std::vector<Bucket> buckets_;
-  uint64_t bucket_mask_;
+  /// Starts a resize if the load factor calls for one (no-op if one is
+  /// already running), then claims and migrates up to kMigrateStride source
+  /// buckets. Called from mutating operations only.
+  void MaybeGrowAndHelp();
+  void MigrateOneBucket(BucketArray* src, uint64_t index);
+
+  /// Table ops should use; swapped by the finishing migrator.
+  std::atomic<BucketArray*> current_;
+  /// Non-null while a resize is draining it. Cleared after the swap.
+  std::atomic<BucketArray*> resize_src_{nullptr};
+  /// Serializes resize initiation.
+  std::mutex resize_mu_;
+  /// Every table ever created, freed only at destruction so stale readers
+  /// can always complete their successor chase.
+  std::vector<std::unique_ptr<BucketArray>> tables_;
+
   std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> rehashes_{0};
 };
 
 }  // namespace next700

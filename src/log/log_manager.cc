@@ -51,18 +51,21 @@ void LogManager::Close() {
   fd_ = -1;
 }
 
-Lsn LogManager::Append(LogRecordType type, const std::vector<uint8_t>& body) {
-  const uint64_t checksum = FnvHashBytes(body.data(), body.size());
-  const uint32_t body_len = static_cast<uint32_t>(body.size());
+Lsn LogManager::Append(LogRecordType type, const uint8_t* body,
+                       size_t body_len) {
+  // Checksum outside the critical section: the serial buffer is a measured
+  // contention point (Aether), so only the memcpy happens under the mutex.
+  const uint64_t checksum = FnvHashBytes(body, body_len);
+  const uint32_t len_field = static_cast<uint32_t>(body_len);
   Lsn end;
   {
     std::lock_guard<std::mutex> lock(mu_);
     LogWriter writer(&buffer_);
-    writer.PutU32(body_len);
+    writer.PutU32(len_field);
     writer.PutU8(static_cast<uint8_t>(type));
-    writer.PutBytes(body.data(), body.size());
+    writer.PutBytes(body, body_len);
     writer.PutU64(checksum);
-    appended_lsn_ += sizeof(body_len) + 1 + body.size() + sizeof(checksum);
+    appended_lsn_ += sizeof(len_field) + 1 + body_len + sizeof(checksum);
     end = appended_lsn_;
   }
   return end;

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "log/log_record.h"
 
@@ -57,7 +58,10 @@ class LogManager {
 
   /// Appends one framed record; returns the LSN *after* the record (the
   /// point that must become durable for it to be stable).
-  Lsn Append(LogRecordType type, const std::vector<uint8_t>& body);
+  Lsn Append(LogRecordType type, const uint8_t* body, size_t body_len);
+  Lsn Append(LogRecordType type, const std::vector<uint8_t>& body) {
+    return Append(type, body.data(), body.size());
+  }
 
   /// Blocks until everything up to `lsn` reached the device.
   void WaitDurable(Lsn lsn);
@@ -91,7 +95,10 @@ class LogManager {
   std::mutex callback_mu_;
   std::function<void(Lsn)> durable_callback_;
 
-  mutable std::mutex mu_;
+  // Append cursor (workers, short critical sections) and flusher-side state
+  // live on separate cache lines: every committing worker bounces the
+  // cursor's line, and the flusher's bookkeeping must not ride along.
+  NEXT700_CACHE_ALIGNED mutable std::mutex mu_;
   std::condition_variable flushed_cv_;
   std::condition_variable flusher_cv_;
   std::vector<uint8_t> buffer_;  // Records appended but not yet written.
@@ -99,7 +106,8 @@ class LogManager {
   Lsn durable_lsn_ = 0;
   bool stop_ = false;
   bool running_ = false;
-  std::atomic<uint64_t> flush_count_{0};
+
+  NEXT700_CACHE_ALIGNED std::atomic<uint64_t> flush_count_{0};
 
   std::thread flusher_;
 };

@@ -42,10 +42,14 @@ inline uint64_t FnvHashBytes(const uint8_t* data, size_t len) {
   return hash;
 }
 
-/// Append-only little-endian serializer for log bodies.
-class LogWriter {
+/// Append-only little-endian serializer for log bodies. Buffer is any
+/// byte container with push_back and end-positioned range insert —
+/// std::vector for recovery/checkpoint paths, the TxnContext's arena-backed
+/// SmallVector on the commit hot path (zero heap traffic per record).
+template <typename Buffer>
+class BasicLogWriter {
  public:
-  explicit LogWriter(std::vector<uint8_t>* out) : out_(out) {}
+  explicit BasicLogWriter(Buffer* out) : out_(out) {}
 
   void PutU8(uint8_t v) { out_->push_back(v); }
   void PutU32(uint32_t v) { PutBytes(&v, sizeof(v)); }
@@ -56,8 +60,10 @@ class LogWriter {
   }
 
  private:
-  std::vector<uint8_t>* out_;
+  Buffer* out_;
 };
+
+using LogWriter = BasicLogWriter<std::vector<uint8_t>>;
 
 /// Bounds-checked little-endian reader for log bodies.
 class LogReader {

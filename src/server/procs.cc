@@ -37,7 +37,7 @@ uint64_t RegisterKvService(Engine* engine, const KvServiceOptions& options) {
             key >= num_records) {
           return Status::InvalidArgument("kv_get: bad arguments");
         }
-        std::vector<uint8_t>& reply = txn->reply_payload();
+        auto& reply = txn->reply_payload();
         reply.resize(row_size);
         return eng->Read(txn, index, key, reply.data());
       });

@@ -60,6 +60,9 @@ struct ServerOptions {
 };
 
 /// Monotonic counters, updated with relaxed atomics (read for reports).
+/// The first group is written only by the event-loop thread; the worker-
+/// written counter sits on its own cache line so workers never invalidate
+/// the loop's line.
 struct ServerStats {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> requests_dispatched{0};
@@ -67,6 +70,7 @@ struct ServerStats {
   std::atomic<uint64_t> protocol_errors{0};     // Malformed frames/bodies.
   std::atomic<uint64_t> connections_dropped{0};  // Unrecoverable streams.
   std::atomic<uint64_t> admission_rejects{0};   // kResourceExhausted sent.
+  NEXT700_CACHE_ALIGNED
   std::atomic<uint64_t> replies_held_durable{0};  // Waited on the flusher.
 };
 
@@ -99,7 +103,9 @@ class Server {
     Request request;
   };
 
-  struct WorkQueue {
+  // Cache-aligned so adjacent queues (each bounced between the event loop
+  // and one worker) never share a line through their heap blocks.
+  struct NEXT700_CACHE_ALIGNED WorkQueue {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<WorkItem> items;
@@ -170,9 +176,12 @@ class Server {
   uint64_t next_conn_id_ = 1;
   bool reads_paused_ = false;
 
-  std::atomic<uint32_t> inflight_{0};
+  // The admission counter is hit by the event loop (admit) and every worker
+  // (release); keep it off the lines holding loop-only state above and the
+  // completion queue below.
+  NEXT700_CACHE_ALIGNED std::atomic<uint32_t> inflight_{0};
 
-  std::mutex completions_mu_;
+  NEXT700_CACHE_ALIGNED std::mutex completions_mu_;
   std::deque<Completion> completions_;
 
   std::mutex held_mu_;

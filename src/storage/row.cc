@@ -1,19 +1,19 @@
 #include "storage/row.h"
 
-#include <cstdlib>
-#include <cstring>
-#include <new>
+#include "storage/version_pool.h"
 
 namespace next700 {
 
+// Every Version block — pooled or not — carries a VersionBlockHeader prefix,
+// so one release path serves loader-allocated versions, pool-recycled
+// versions, and pool blocks freed during teardown alike.
+
 Version* Version::Allocate(uint32_t payload_size) {
-  void* mem = ::operator new(sizeof(Version) + payload_size);
-  return new (mem) Version();
+  return VersionPool::AllocateUnpooled(payload_size);
 }
 
 void Version::Free(void* v) {
-  static_cast<Version*>(v)->~Version();
-  ::operator delete(v);
+  VersionPool::ReleaseBlock(v);
 }
 
 }  // namespace next700

@@ -1,0 +1,101 @@
+#include "storage/version_pool.h"
+
+#include <new>
+
+namespace next700 {
+
+namespace {
+
+constexpr size_t kMaxPooledBytes =
+    VersionPool::kGranule * VersionPool::kNumClasses;
+
+Version* PlaceVersion(void* mem, VersionPool* pool, uint32_t klass,
+                      uint32_t bytes) {
+  auto* header = static_cast<VersionBlockHeader*>(mem);
+  header->pool = pool;
+  header->klass = klass;
+  header->bytes = bytes;
+  return new (header + 1) Version();
+}
+
+}  // namespace
+
+VersionPool::VersionPool(EpochManager* epochs, int thread_id)
+    : epochs_(epochs), thread_id_(thread_id) {}
+
+VersionPool::~VersionPool() {
+  for (FreeNode*& head : free_) {
+    while (head != nullptr) {
+      FreeNode* next = head->next;
+      ::operator delete(head);
+      head = next;
+    }
+  }
+}
+
+Version* VersionPool::Allocate(uint32_t payload_size) {
+  const size_t want =
+      sizeof(VersionBlockHeader) + sizeof(Version) + payload_size;
+  if (NEXT700_UNLIKELY(want > kMaxPooledBytes)) {
+    heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+    return AllocateUnpooled(payload_size);
+  }
+  const size_t klass = (want + kGranule - 1) / kGranule - 1;
+  const size_t bytes = (klass + 1) * kGranule;
+  VersionBlockHeader* header = nullptr;
+  latch_.Lock();
+  if (free_[klass] != nullptr) {
+    FreeNode* node = free_[klass];
+    free_[klass] = node->next;
+    header = reinterpret_cast<VersionBlockHeader*>(node);
+  }
+  latch_.Unlock();
+  if (header != nullptr) {
+    recycled_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+    header = static_cast<VersionBlockHeader*>(::operator new(bytes));
+  }
+  return PlaceVersion(header, this, static_cast<uint32_t>(klass),
+                      static_cast<uint32_t>(bytes));
+}
+
+void VersionPool::Retire(Version* v) {
+  auto* header = reinterpret_cast<VersionBlockHeader*>(v) - 1;
+  epochs_->Retire(thread_id_, v, &VersionPool::ReleaseBlock,
+                  header->bytes - sizeof(VersionBlockHeader));
+}
+
+Version* VersionPool::AllocateUnpooled(uint32_t payload_size) {
+  const size_t bytes =
+      sizeof(VersionBlockHeader) + sizeof(Version) + payload_size;
+  void* mem = ::operator new(bytes);
+  return PlaceVersion(mem, /*pool=*/nullptr, /*klass=*/0,
+                      static_cast<uint32_t>(bytes));
+}
+
+void VersionPool::ReleaseBlock(void* version) {
+  auto* v = static_cast<Version*>(version);
+  auto* header = reinterpret_cast<VersionBlockHeader*>(v) - 1;
+  VersionPool* pool = header->pool;
+  if (pool == nullptr) {
+    v->~Version();
+    ::operator delete(header);
+    return;
+  }
+  pool->PushFree(header);
+}
+
+void VersionPool::PushFree(VersionBlockHeader* header) {
+  const uint32_t klass = header->klass;
+  NEXT700_DCHECK(klass < kNumClasses);
+  // The freelist link overlays the header's pool field; klass/bytes survive
+  // and are rewritten on reuse anyway.
+  auto* node = reinterpret_cast<FreeNode*>(header);
+  latch_.Lock();
+  node->next = free_[klass];
+  free_[klass] = node;
+  latch_.Unlock();
+}
+
+}  // namespace next700

@@ -1,0 +1,106 @@
+#ifndef NEXT700_STORAGE_VERSION_POOL_H_
+#define NEXT700_STORAGE_VERSION_POOL_H_
+
+/// \file
+/// Per-worker recycling allocator for multi-version chain nodes. MVTO and SI
+/// create one Version per write and retire one per garbage-collect; routing
+/// both through a size-class freelist makes the steady state allocation-free
+/// — the global allocator is touched only while the working set of versions
+/// is still growing.
+///
+/// Recycling is epoch-gated: Retire() hands the block to the EpochManager,
+/// and only when every pinned thread has moved past the retiring epoch does
+/// the block return to the freelist for reuse. A version is therefore never
+/// recycled while a reader that could still dereference it is pinned, which
+/// both keeps the kFull validation poison checks meaningful and leaves room
+/// to relax the row-latched chain walks later without changing reclamation.
+///
+/// Block layout: [VersionBlockHeader][Version][payload]. The header records
+/// the owning pool (nullptr for plain heap blocks, e.g. loader-allocated
+/// versions) and the block size; it sits *before* the Version so the epoch
+/// validator's poison fill — which covers exactly the retired
+/// [Version, end-of-payload) range — never clobbers routing state.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/epoch.h"
+#include "common/latch.h"
+#include "common/macros.h"
+#include "storage/row.h"
+
+namespace next700 {
+
+class VersionPool;
+
+/// Hidden prefix of every Version block (pooled or not).
+struct VersionBlockHeader {
+  VersionPool* pool;  // nullptr: free straight to the global allocator.
+  uint32_t klass;     // Size class within the owning pool.
+  uint32_t bytes;     // Total block size, header included.
+};
+
+class VersionPool {
+ public:
+  /// Size-class granularity; blocks round up to a multiple of this.
+  static constexpr size_t kGranule = 64;
+  /// Classes cover blocks up to kGranule * kNumClasses bytes (header +
+  /// Version + payload); larger rows fall back to the heap per allocation.
+  static constexpr size_t kNumClasses = 20;
+
+  VersionPool(EpochManager* epochs, int thread_id);
+  ~VersionPool();
+  VersionPool(const VersionPool&) = delete;
+  VersionPool& operator=(const VersionPool&) = delete;
+
+  /// Pops a recycled block of the right size class, falling back to the
+  /// heap while the pool is still warming up.
+  Version* Allocate(uint32_t payload_size);
+
+  /// Epoch-gated release: the block returns to the freelist once every
+  /// pinned thread has moved past the current epoch. Must be called by the
+  /// owning thread while pinned (enforced under epoch validation).
+  void Retire(Version* v);
+
+  /// Heap-allocates an unpooled block with the shared header layout
+  /// (Version::Allocate delegates here).
+  static Version* AllocateUnpooled(uint32_t payload_size);
+
+  /// Epoch deleter / direct release: routes a block back to its owning
+  /// pool's freelist, or to the global allocator for unpooled blocks.
+  static void ReleaseBlock(void* version);
+
+  /// Allocations served from the freelist since construction.
+  uint64_t recycled_hits() const {
+    return recycled_hits_.load(std::memory_order_relaxed);
+  }
+  /// Allocations that had to touch the global allocator.
+  uint64_t heap_allocs() const {
+    return heap_allocs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(sizeof(FreeNode) <= sizeof(VersionBlockHeader),
+                "freelist link must fit in the block header");
+
+  void PushFree(VersionBlockHeader* header);
+
+  EpochManager* epochs_;
+  int thread_id_;
+  // Pushes can arrive from other threads (kFull-validation quarantine
+  // drains run on whichever thread overflows it), so the freelists are
+  // latched; unranked like the epoch-internal latch since pushes can happen
+  // under a row mini-latch.
+  SpinLatch latch_;
+  FreeNode* free_[kNumClasses] = {};
+  std::atomic<uint64_t> recycled_hits_{0};
+  std::atomic<uint64_t> heap_allocs_{0};
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_STORAGE_VERSION_POOL_H_

@@ -14,13 +14,17 @@ namespace next700 {
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   NEXT700_CHECK(options_.max_threads > 0);
   NEXT700_CHECK(options_.num_partitions > 0);
-  if (options_.cc_scheme == CcScheme::kMvto ||
-      options_.cc_scheme == CcScheme::kSi) {
-    // The GC watermark argument relies on timestamps being monotone with
-    // allocation order, which batching breaks.
+  if (options_.cc_scheme == CcScheme::kSi) {
+    // SI correctness is tied to real time: a batched timestamp can lie in
+    // the past, which breaks both snapshot stability (a commit at a lower
+    // wts materializes inside an already-taken snapshot) and
+    // first-committer-wins (the conflicting version is not "newer than the
+    // snapshot"). MVTO has no such dependence — it serializes in timestamp
+    // order whatever the wall-clock order — so only SI keeps the
+    // restriction (see DESIGN.md, memory model).
     NEXT700_CHECK_MSG(
         options_.ts_allocator == TimestampAllocatorKind::kAtomic,
-        "MVTO requires the atomic timestamp allocator");
+        "SI requires the atomic timestamp allocator");
   }
   ts_allocator_ =
       TimestampAllocator::Create(options_.ts_allocator, options_.max_threads);
@@ -56,9 +60,19 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
       break;
   }
 
+  if (cc_->is_multiversion()) {
+    epochs_ = std::make_unique<EpochManager>(options_.max_threads);
+    pools_.reserve(options_.max_threads);
+    for (int i = 0; i < options_.max_threads; ++i) {
+      pools_.push_back(std::make_unique<VersionPool>(epochs_.get(), i));
+    }
+  }
+  workers_.reset(new WorkerState[options_.max_threads]);
+
   contexts_.reserve(options_.max_threads);
   for (int i = 0; i < options_.max_threads; ++i) {
     contexts_.push_back(std::make_unique<TxnContext>(i));
+    contexts_[i]->set_version_pool(version_pool(i));
   }
   stats_.reset(new ThreadStats[options_.max_threads]);
 
@@ -75,6 +89,10 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
 }
 
 Engine::~Engine() {
+  // Drain retired versions into the pools while both (and the tables whose
+  // chains still reference pooled blocks) are alive; afterwards the member
+  // destructor order no longer matters.
+  if (epochs_ != nullptr) epochs_->ReclaimAll();
   if (log_ != nullptr) log_->Close();
 }
 
@@ -108,9 +126,16 @@ TxnContext* Engine::Begin(int thread_id,
   NEXT700_DCHECK(txn->state() != TxnState::kActive &&
                  txn->state() != TxnState::kValidated);
   txn->Reset();
-  txn->set_txn_id(next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  WorkerState& worker = workers_[thread_id];
+  if (worker.next_txn_id == worker.txn_id_end) {
+    worker.next_txn_id =
+        next_txn_id_.fetch_add(kTxnIdBatch, std::memory_order_relaxed);
+    worker.txn_id_end = worker.next_txn_id + kTxnIdBatch;
+  }
+  txn->set_txn_id(worker.next_txn_id++);
   txn->set_stats(&stats_[thread_id]);
-  txn->partitions() = partitions;
+  txn->partitions().assign(partitions.begin(), partitions.end());
+  if (epochs_ != nullptr) epochs_->Enter(thread_id);
   const Status s = cc_->Begin(txn);
   NEXT700_CHECK_MSG(s.ok(), "Begin must not fail");
   return txn;
@@ -200,7 +225,10 @@ Status Engine::ScanReverse(TxnContext* txn, Index* index, uint64_t hi,
 Status Engine::AppendCommitRecord(TxnContext* txn) {
   if (txn->write_set().empty()) return Status::OK();  // Read-only.
 
-  std::vector<uint8_t> body;
+  // Stage the record body in the txn's arena-backed buffer: no per-commit
+  // heap allocation, and the bytes are reclaimed wholesale by Reset().
+  TxnContext::ByteBuffer& body = txn->log_staging();
+  body.clear();
   LogRecordType type;
   // Replay-ordering timestamp. Lock-based schemes serialize in commit
   // (= append) order, which a begin timestamp does not reflect; they log 0,
@@ -222,7 +250,7 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
   }
   if (options_.logging == LoggingKind::kCommand && txn->has_procedure()) {
     type = LogRecordType::kTxnCommand;
-    LogWriter writer(&body);
+    BasicLogWriter<TxnContext::ByteBuffer> writer(&body);
     writer.PutU64(commit_ts);
     writer.PutU32(txn->proc_id());
     writer.PutU32(static_cast<uint32_t>(txn->proc_args().size()));
@@ -230,7 +258,7 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
   } else {
     // Value logging (also the fallback for ad-hoc command-logged txns).
     type = LogRecordType::kTxnValue;
-    LogWriter writer(&body);
+    BasicLogWriter<TxnContext::ByteBuffer> writer(&body);
     writer.PutU64(commit_ts);
     writer.PutU32(static_cast<uint32_t>(txn->write_set().size()));
     for (const auto& entry : txn->write_set()) {
@@ -253,7 +281,7 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
       }
     }
   }
-  const Lsn lsn = log_->Append(type, body);
+  const Lsn lsn = log_->Append(type, body.data(), body.size());
   txn->set_commit_lsn(lsn);
   txn->stats()->log_bytes += body.size() + 13;  // Frame overhead.
   if (options_.sync_commit && !txn->defer_durable()) log_->WaitDurable(lsn);
@@ -280,17 +308,20 @@ Status Engine::Commit(TxnContext* txn) {
   }
   cc_->Finalize(txn);
   ApplyIndexOps(txn);
+  FinishEpoch(txn);
   ++txn->stats()->commits;
   return Status::OK();
 }
 
 void Engine::Abort(TxnContext* txn) {
   cc_->Abort(txn);
+  FinishEpoch(txn);
   ++txn->stats()->aborts;
 }
 
 void Engine::AbortUser(TxnContext* txn) {
   cc_->Abort(txn);
+  FinishEpoch(txn);
   ++txn->stats()->user_aborts;
 }
 
@@ -304,11 +335,10 @@ Status Engine::RunProcedure(uint32_t proc_id, int thread_id, const void* args,
   Status s = (*proc)(this, txn, static_cast<const uint8_t*>(args), arg_len);
   if (s.ok()) s = Commit(txn);
   if (!s.ok()) {
-    cc_->Abort(txn);
     if (s.IsAborted()) {
-      ++txn->stats()->aborts;
+      Abort(txn);
     } else {
-      ++txn->stats()->user_aborts;
+      AbortUser(txn);
     }
   }
   return s;
@@ -330,13 +360,13 @@ Engine::DeferredResult Engine::RunProcedureDeferred(
     // Durability matters only for sync-commit compositions; async commit
     // already promises nothing, so replies need not wait for the flusher.
     if (options_.sync_commit) result.commit_lsn = txn->commit_lsn();
-    result.reply = std::move(txn->reply_payload());
+    result.reply.assign(txn->reply_payload().begin(),
+                        txn->reply_payload().end());
   } else {
-    cc_->Abort(txn);
     if (s.IsAborted()) {
-      ++txn->stats()->aborts;
+      Abort(txn);
     } else {
-      ++txn->stats()->user_aborts;
+      AbortUser(txn);
     }
   }
   return result;

@@ -22,12 +22,14 @@
 
 #include "cc/cc.h"
 #include "cc/mvto.h"
+#include "common/epoch.h"
 #include "common/status.h"
 #include "common/stats.h"
 #include "common/timestamp.h"
 #include "index/index.h"
 #include "log/log_manager.h"
 #include "storage/catalog.h"
+#include "storage/version_pool.h"
 #include "txn/txn.h"
 
 namespace next700 {
@@ -177,13 +179,56 @@ class Engine {
   /// safe when no transactions are in flight (loaders, audits, recovery).
   const uint8_t* RawImage(const Row* row) const;
 
+  /// Per-worker version recycler (multiversion schemes; see VersionPool).
+  VersionPool* version_pool(int thread_id) {
+    return thread_id < static_cast<int>(pools_.size())
+               ? pools_[thread_id].get()
+               : nullptr;
+  }
+  EpochManager* epoch_manager() { return epochs_.get(); }
+
  private:
   friend class RecoveryManager;
+
+  /// Transaction ids are carved from the shared counter in blocks, like
+  /// batched timestamps: uniqueness is all the lock manager needs, and any
+  /// total order keeps wait-die / wound-wait deadlock-free.
+  static constexpr uint64_t kTxnIdBatch = 64;
+  /// Commits/aborts between epoch advances on each worker.
+  static constexpr uint32_t kEpochMaintainInterval = 64;
+
+  /// One line per worker: transaction-id reservation and epoch cadence.
+  /// Cache-aligned so Begin() on one worker never invalidates another's.
+  struct NEXT700_CACHE_ALIGNED WorkerState {
+    uint64_t next_txn_id = 0;
+    uint64_t txn_id_end = 0;
+    uint32_t txns_since_maintain = 0;
+  };
 
   Status AppendCommitRecord(TxnContext* txn);
   void ApplyIndexOps(TxnContext* txn);
 
+  /// Unpins the worker's epoch after commit/abort and periodically advances
+  /// the global epoch so retired versions recycle.
+  void FinishEpoch(TxnContext* txn) {
+    if (epochs_ == nullptr) return;
+    const int thread_id = txn->thread_id();
+    epochs_->Exit(thread_id);
+    WorkerState& worker = workers_[thread_id];
+    if (++worker.txns_since_maintain >= kEpochMaintainInterval) {
+      worker.txns_since_maintain = 0;
+      epochs_->Maintain(thread_id);
+    }
+  }
+
   EngineOptions options_;
+  // Declared before catalog_ and contexts_: table teardown releases version
+  // chains into the pools, so the pools (and the epoch manager they retire
+  // through) must be constructed first / destroyed last. ~Engine drains the
+  // epoch manager before any member goes away.
+  std::unique_ptr<EpochManager> epochs_;
+  std::vector<std::unique_ptr<VersionPool>> pools_;
+  std::unique_ptr<WorkerState[]> workers_;
   Catalog catalog_;
   std::unique_ptr<TimestampAllocator> ts_allocator_;
   std::unique_ptr<ActiveTxnTracker> tracker_;

@@ -9,9 +9,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
 #include "common/arena.h"
+#include "common/small_vector.h"
 #include "common/stats.h"
 #include "common/timestamp.h"
 #include "storage/row.h"
@@ -19,6 +19,7 @@
 namespace next700 {
 
 class Index;
+class VersionPool;
 
 enum class TxnState {
   kIdle,
@@ -61,7 +62,27 @@ struct IndexOp {
 
 class TxnContext {
  public:
-  explicit TxnContext(int thread_id) : thread_id_(thread_id) {}
+  /// Access sets sized for typical OLTP transactions (YCSB: 16 ops, TPC-C
+  /// NewOrder: ~15 writes): the inline capacity covers them with zero arena
+  /// traffic; larger transactions spill into the per-context arena, still
+  /// never reaching the global allocator.
+  using ReadSet = SmallVector<ReadSetEntry, 16>;
+  using WriteSet = SmallVector<WriteSetEntry, 16>;
+  using IndexOps = SmallVector<IndexOp, 8>;
+  using PartitionSet = SmallVector<uint32_t, 8>;
+  using LockSet = SmallVector<Row*, 16>;
+  using ByteBuffer = SmallVector<uint8_t, 64>;
+
+  explicit TxnContext(int thread_id) : thread_id_(thread_id) {
+    proc_args_.set_arena(&arena_);
+    reply_payload_.set_arena(&arena_);
+    log_staging_.set_arena(&arena_);
+    read_set_.set_arena(&arena_);
+    write_set_.set_arena(&arena_);
+    index_ops_.set_arena(&arena_);
+    partitions_.set_arena(&arena_);
+    held_locks_.set_arena(&arena_);
+  }
   TxnContext(const TxnContext&) = delete;
   TxnContext& operator=(const TxnContext&) = delete;
 
@@ -82,15 +103,21 @@ class TxnContext {
 
   Arena* arena() { return &arena_; }
 
-  std::vector<ReadSetEntry>& read_set() { return read_set_; }
-  std::vector<WriteSetEntry>& write_set() { return write_set_; }
-  std::vector<IndexOp>& index_ops() { return index_ops_; }
+  /// Per-worker version recycler (multiversion schemes only; nullptr for
+  /// single-version schemes and standalone contexts, which fall back to the
+  /// heap). Owned by the engine.
+  VersionPool* version_pool() const { return version_pool_; }
+  void set_version_pool(VersionPool* pool) { version_pool_ = pool; }
+
+  ReadSet& read_set() { return read_set_; }
+  WriteSet& write_set() { return write_set_; }
+  IndexOps& index_ops() { return index_ops_; }
 
   /// Home partitions declared at Begin (H-Store engine; sorted, unique).
-  std::vector<uint32_t>& partitions() { return partitions_; }
+  PartitionSet& partitions() { return partitions_; }
 
   /// Rows on which the lock manager holds locks for this transaction.
-  std::vector<Row*>& held_locks() { return held_locks_; }
+  LockSet& held_locks() { return held_locks_; }
 
   /// WOUND_WAIT: an older transaction marked this one for death. The victim
   /// notices at its next lock operation (or inside its wait loop) and
@@ -126,11 +153,16 @@ class TxnContext {
   /// Out-of-band result channel for stored procedures executed through the
   /// network server: whatever the procedure appends here is returned to the
   /// client in the response payload. Ignored by recovery replay.
-  std::vector<uint8_t>& reply_payload() { return reply_payload_; }
+  ByteBuffer& reply_payload() { return reply_payload_; }
+
+  /// Scratch buffer the engine serializes this transaction's commit record
+  /// into before handing it to the log manager (arena-backed, so logging
+  /// stages without touching the heap).
+  ByteBuffer& log_staging() { return log_staging_; }
 
   /// Registered stored-procedure invocation for command logging.
   uint32_t proc_id() const { return proc_id_; }
-  const std::vector<uint8_t>& proc_args() const { return proc_args_; }
+  const ByteBuffer& proc_args() const { return proc_args_; }
   void SetProcedure(uint32_t proc_id, const void* args, size_t len) {
     proc_id_ = proc_id;
     proc_args_.assign(static_cast<const uint8_t*>(args),
@@ -141,17 +173,20 @@ class TxnContext {
   static constexpr uint32_t kNoProcedure = ~0u;
 
   void Reset() {
-    read_set_.clear();
-    write_set_.clear();
-    index_ops_.clear();
-    partitions_.clear();
-    held_locks_.clear();
+    // Spilled access sets live in arena_: drop every vector back to its
+    // inline storage *before* rewinding the arena under them.
+    read_set_.ResetToInline();
+    write_set_.ResetToInline();
+    index_ops_.ResetToInline();
+    partitions_.ResetToInline();
+    held_locks_.ResetToInline();
+    proc_args_.ResetToInline();
+    reply_payload_.ResetToInline();
+    log_staging_.ResetToInline();
     arena_.Reset();
     ts_ = kInvalidTimestamp;
     commit_ts_ = kInvalidTimestamp;
     proc_id_ = kNoProcedure;
-    proc_args_.clear();
-    reply_payload_.clear();
     commit_lsn_ = 0;
     defer_durable_ = false;
     wounded_.store(false, std::memory_order_relaxed);
@@ -167,14 +202,16 @@ class TxnContext {
   uint32_t proc_id_ = kNoProcedure;
   uint64_t commit_lsn_ = 0;
   bool defer_durable_ = false;
-  std::vector<uint8_t> proc_args_;
-  std::vector<uint8_t> reply_payload_;
   Arena arena_;
-  std::vector<ReadSetEntry> read_set_;
-  std::vector<WriteSetEntry> write_set_;
-  std::vector<IndexOp> index_ops_;
-  std::vector<uint32_t> partitions_;
-  std::vector<Row*> held_locks_;
+  ByteBuffer proc_args_;
+  ByteBuffer reply_payload_;
+  ByteBuffer log_staging_;
+  ReadSet read_set_;
+  WriteSet write_set_;
+  IndexOps index_ops_;
+  PartitionSet partitions_;
+  LockSet held_locks_;
+  VersionPool* version_pool_ = nullptr;
   std::atomic<bool> wounded_{false};
   ThreadStats* stats_ = nullptr;
 };

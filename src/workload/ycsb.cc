@@ -118,8 +118,11 @@ Status YcsbWorkload::ExecuteOnce(Engine* engine, int thread_id,
 }
 
 Status YcsbWorkload::RunNextTxn(Engine* engine, int thread_id, Rng* rng) {
-  std::vector<Op> ops;
-  std::vector<uint32_t> partitions;
+  // Thread-local scratch reused across transactions: after warm-up the
+  // generation path performs no heap allocation (the vectors keep their
+  // capacity), which the A3 allocation-count bench and test depend on.
+  thread_local std::vector<Op> ops;
+  thread_local std::vector<uint32_t> partitions;
   GenerateTxn(rng, &ops, &partitions);
   uint8_t buf[kMaxRowSize];
   return RunWithRetry(rng, [&] {

@@ -1,0 +1,103 @@
+/// \file
+/// Allocation regression guard for the zero-allocation hot path (PR "per-
+/// worker arenas, inline access sets, batched timestamps"). Global operator
+/// new is replaced with a counting shim, transactions run inline on the
+/// test thread, and the steady-state YCSB read-only path must perform
+/// exactly zero heap allocations under SILO and MVTO.
+///
+/// This file is its own test binary (see tests/CMakeLists.txt): replacing
+/// operator new is binary-global, and the main suite should not run under
+/// the shim.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "workload/ycsb.h"
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) !=
+      0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace next700 {
+namespace {
+
+uint64_t SteadyStateAllocations(CcScheme scheme) {
+  EngineOptions options;
+  options.cc_scheme = scheme;
+  options.max_threads = 1;
+  Engine engine(options);
+  YcsbOptions ycsb;
+  ycsb.num_records = 1 << 12;
+  ycsb.ops_per_txn = 16;
+  ycsb.write_fraction = 0.0;  // Read-only: the acceptance path.
+  YcsbWorkload workload(ycsb);
+  workload.Load(&engine);
+
+  Rng rng(7);
+  // Warm-up grows the arena, the version pools, and the thread-local
+  // workload scratch to their steady-state footprint.
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(workload.RunNextTxn(&engine, 0, &rng).ok());
+  }
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(workload.RunNextTxn(&engine, 0, &rng).ok());
+  }
+  return g_allocs.load(std::memory_order_relaxed) - before;
+}
+
+TEST(AllocRegressionTest, SiloReadOnlyHotPathIsAllocationFree) {
+  EXPECT_EQ(SteadyStateAllocations(CcScheme::kOcc), 0u);
+}
+
+TEST(AllocRegressionTest, MvtoReadOnlyHotPathIsAllocationFree) {
+  EXPECT_EQ(SteadyStateAllocations(CcScheme::kMvto), 0u);
+}
+
+// Sanity-check the shim itself: a vector growth must be visible, otherwise
+// the two tests above would pass vacuously.
+TEST(AllocRegressionTest, ShimCountsAllocations) {
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::vector<uint64_t>* v = new std::vector<uint64_t>();
+  v->resize(1024);
+  delete v;
+  EXPECT_GE(g_allocs.load(std::memory_order_relaxed) - before, 2u);
+}
+
+}  // namespace
+}  // namespace next700

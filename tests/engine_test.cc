@@ -139,12 +139,32 @@ TEST(EngineTest, BatchedAllocatorComposition) {
   EXPECT_EQ(stats.commits, 200u);
 }
 
-TEST(EngineDeathTest, MvtoRejectsBatchedAllocator) {
+TEST(EngineDeathTest, SiRejectsBatchedAllocator) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EngineOptions options;
+  options.cc_scheme = CcScheme::kSi;
+  options.ts_allocator = TimestampAllocatorKind::kBatched;
+  EXPECT_DEATH({ Engine engine(options); }, "atomic timestamp allocator");
+}
+
+// MVTO serializes in timestamp order regardless of wall-clock interleaving,
+// so batched (non-monotone across threads) timestamps are fine — the GC
+// watermark is protected by the allocator's GcFloor protocol.
+TEST(EngineTest, MvtoRunsWithBatchedAllocator) {
   EngineOptions options;
   options.cc_scheme = CcScheme::kMvto;
   options.ts_allocator = TimestampAllocatorKind::kBatched;
-  EXPECT_DEATH({ Engine engine(options); }, "atomic timestamp allocator");
+  options.max_threads = 4;
+  Engine engine(options);
+  YcsbOptions ycsb;
+  ycsb.num_records = 256;
+  YcsbWorkload workload(ycsb);
+  workload.Load(&engine);
+  DriverOptions driver;
+  driver.num_threads = 4;
+  driver.txns_per_thread = 500;
+  const RunStats stats = Driver::Run(&engine, &workload, driver);
+  EXPECT_EQ(stats.commits, 2000u);
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+#include "common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace next700 {
+namespace {
+
+TEST(SmallVectorTest, StaysInlineUpToCapacity) {
+  SmallVector<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  // The inline buffer lives inside the object itself.
+  EXPECT_GE(reinterpret_cast<const char*>(v.data()),
+            reinterpret_cast<const char*>(&v));
+  EXPECT_LT(reinterpret_cast<const char*>(v.data()),
+            reinterpret_cast<const char*>(&v) + sizeof(v));
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, SpillsToHeapPastInlineCapacity) {
+  SmallVector<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, SpillsIntoArenaWhenBound) {
+  Arena arena;
+  SmallVector<uint64_t, 4> v(&arena);
+  const size_t used_before = arena.bytes_used();
+  for (uint64_t i = 0; i < 64; ++i) v.push_back(i);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_GT(arena.bytes_used(), used_before);  // Growths came from the arena.
+  for (uint64_t i = 0; i < 64; ++i) EXPECT_EQ(v[i], i);
+  // Contract: drop the spill reference before the arena is reset.
+  v.ResetToInline();
+  arena.Reset();
+}
+
+TEST(SmallVectorTest, ClearKeepsSpilledCapacityForReuse) {
+  SmallVector<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 32; ++i) v.push_back(i);
+  const size_t cap = v.capacity();
+  const uint64_t* buf = v.data();
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), cap);
+  for (uint64_t i = 0; i < 32; ++i) v.push_back(i * 2);
+  EXPECT_EQ(v.data(), buf);  // Refill reused the same buffer: no realloc.
+  EXPECT_EQ(v[31], 62u);
+}
+
+TEST(SmallVectorTest, ResetToInlineDropsSpill) {
+  SmallVector<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 32; ++i) v.push_back(i);
+  ASSERT_TRUE(v.spilled());
+  v.ResetToInline();
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9u);
+}
+
+TEST(SmallVectorTest, MoveStealsSpilledBuffer) {
+  SmallVector<uint64_t, 4> a;
+  for (uint64_t i = 0; i < 32; ++i) a.push_back(i);
+  const uint64_t* buf = a.data();
+  SmallVector<uint64_t, 4> b(std::move(a));
+  EXPECT_EQ(b.data(), buf);  // No copy: ownership moved.
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_FALSE(a.spilled());
+  for (uint64_t i = 0; i < 32; ++i) EXPECT_EQ(b[i], i);
+}
+
+TEST(SmallVectorTest, MoveCopiesInlineContents) {
+  SmallVector<uint64_t, 8> a;
+  a.push_back(1);
+  a.push_back(2);
+  SmallVector<uint64_t, 8> b(std::move(a));
+  EXPECT_FALSE(b.spilled());
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 2u);
+}
+
+TEST(SmallVectorTest, EraseShiftsTailDown) {
+  SmallVector<uint32_t, 8> v;
+  for (uint32_t i = 0; i < 8; ++i) v.push_back(i);
+  v.erase(v.begin() + 2, v.begin() + 5);
+  ASSERT_EQ(v.size(), 5u);
+  const uint32_t want[] = {0, 1, 5, 6, 7};
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], want[i]);
+}
+
+TEST(SmallVectorTest, AssignAppendAndEndInsert) {
+  SmallVector<uint8_t, 4> v;
+  const std::vector<uint8_t> src = {1, 2, 3, 4, 5, 6};
+  v.assign(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 6u);
+  const uint8_t more[] = {7, 8};
+  v.append(more, 2);
+  v.insert(v.end(), src.begin(), src.begin() + 1);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_EQ(v[5], 6u);
+  EXPECT_EQ(v[7], 8u);
+  EXPECT_EQ(v[8], 1u);
+}
+
+TEST(SmallVectorTest, ResizeValueInitializesNewElements) {
+  SmallVector<uint64_t, 2> v;
+  v.push_back(5);
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[0], 5u);
+  for (size_t i = 1; i < 10; ++i) EXPECT_EQ(v[i], 0u);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 5u);
+}
+
+TEST(ArenaMarkTest, ResetToRewindsBumpPointer) {
+  Arena arena(1024);
+  arena.Allocate(100);
+  const Arena::Mark mark = arena.Position();
+  const size_t used_at_mark = arena.bytes_used();
+  void* p1 = arena.Allocate(200);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_GT(arena.bytes_used(), used_at_mark);
+  arena.ResetTo(mark);
+  EXPECT_EQ(arena.bytes_used(), used_at_mark);
+  // The rewound region is handed out again.
+  void* p2 = arena.Allocate(200);
+  EXPECT_EQ(p2, p1);
+}
+
+TEST(ArenaMarkTest, ResetToAcrossBlockBoundary) {
+  Arena arena(256);  // Tiny blocks: force block transitions.
+  const Arena::Mark mark = arena.Position();
+  for (int i = 0; i < 16; ++i) arena.Allocate(100);  // Spans many blocks.
+  const size_t reserved = arena.bytes_reserved();
+  arena.ResetTo(mark);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // Blocks kept, not freed.
+  // Steady state: the same sequence reuses the same blocks.
+  for (int i = 0; i < 16; ++i) arena.Allocate(100);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaMarkTest, LifoMarksNest) {
+  Arena arena(512);
+  arena.Allocate(64);
+  const Arena::Mark outer = arena.Position();
+  arena.Allocate(64);
+  const Arena::Mark inner = arena.Position();
+  arena.Allocate(64);
+  arena.ResetTo(inner);
+  EXPECT_EQ(arena.bytes_used(), 128u);
+  arena.ResetTo(outer);
+  EXPECT_EQ(arena.bytes_used(), 64u);
+}
+
+}  // namespace
+}  // namespace next700
