@@ -19,14 +19,16 @@ struct Produced {
 
 Produced ProduceLog(LoggingKind kind, const TpccOptions& tpcc) {
   char path[128];
-  std::snprintf(path, sizeof(path), "/tmp/next700_f9_%s.log",
+  std::snprintf(path, sizeof(path), "/tmp/next700_f9_%s.logd",
                 LoggingKindName(kind));
+  RemoveLogDir(path);
   EngineOptions eng;
   eng.cc_scheme = CcScheme::kNoWait;
   eng.max_threads = 2;
   eng.logging = kind;
-  eng.log_path = path;
+  eng.log_dir = path;
   eng.sync_commit = true;
+  eng.log_sync = LogSyncPolicy::kFdatasync;  // Real barriers while logging.
   Engine engine(eng);
   TpccWorkload workload(tpcc);
   workload.Load(&engine);
@@ -81,7 +83,7 @@ int main(int argc, char** argv) {
           JsonOutput::Num(static_cast<double>(stats.txns_replayed))},
          {"replay_seconds", JsonOutput::Num(stats.elapsed_seconds)},
          {"ktxn_per_s_replay", JsonOutput::Num(ktxn_per_s)}});
-    std::remove(produced.path.c_str());
+    RemoveLogDir(produced.path);
   }
   return 0;
 }

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   const uint64_t records = QuickMode() ? 20000 : 100000;
   const double seconds = QuickMode() ? 0.3 : 2.0;
   const double warmup = QuickMode() ? 0.1 : 0.5;
-  const std::string log_path = "/tmp/next700_bench_n1.log";
+  const std::string log_dir = "/tmp/next700_bench_n1.logd";
 
   for (const Composition& comp :
        {Composition{CcScheme::kHstore, true},
@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
       eng.max_threads = workers;
       eng.num_partitions = static_cast<uint32_t>(workers);
       eng.logging = LoggingKind::kValue;
-      eng.log_path = log_path;
+      RemoveLogDir(log_dir);  // Reset between compositions.
+      eng.log_dir = log_dir;
       Engine engine(eng);
 
       server::KvServiceOptions kv;

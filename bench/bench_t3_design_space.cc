@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
           eng.logging = logging;
           eng.ts_allocator = ts_alloc;
           if (logging != LoggingKind::kNone) {
-            eng.log_path = "/tmp/next700_t3.log";
+            eng.log_dir = "/tmp/next700_t3.logd";
+            RemoveLogDir(eng.log_dir);  // Reset between compositions.
           }
           Engine engine(eng);
           YcsbOptions ycsb;

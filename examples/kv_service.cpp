@@ -19,12 +19,15 @@ using namespace next700;
 using namespace next700::server;
 
 int main() {
-  // 1. Compose an engine with value logging so commits are durable.
+  // 1. Compose an engine with value logging and a real fdatasync barrier
+  //    so commits are durable.
   EngineOptions options;
   options.cc_scheme = CcScheme::kOcc;
   options.max_threads = 2;
   options.logging = LoggingKind::kValue;
-  options.log_path = "/tmp/next700_kv_service.log";
+  options.log_dir = "/tmp/next700_kv_service.logd";
+  options.log_sync = LogSyncPolicy::kFdatasync;
+  RemoveLogDir(options.log_dir);  // Logs accumulate across runs.
   Engine engine(options);
 
   // 2. Load the KV stored-procedure suite and start the server.

@@ -27,7 +27,8 @@ TpccOptions Scale() {
 }  // namespace
 
 int main() {
-  const char* log_path = "/tmp/next700_order_entry.log";
+  const char* log_dir = "/tmp/next700_order_entry.logd";
+  RemoveLogDir(log_dir);  // Logs accumulate across runs; start clean.
 
   uint64_t committed = 0;
   {
@@ -36,7 +37,8 @@ int main() {
     eng.max_threads = 2;
     eng.num_partitions = 2;
     eng.logging = LoggingKind::kCommand;
-    eng.log_path = log_path;
+    eng.log_dir = log_dir;
+    eng.log_sync = LogSyncPolicy::kFdatasync;
     Engine engine(eng);
     TpccWorkload workload(Scale());
     workload.Load(&engine);
@@ -73,7 +75,7 @@ int main() {
     workload.Load(&engine);  // Deterministic initial state (the checkpoint).
     RecoveryManager recovery(&engine);
     RecoveryStats stats;
-    const Status replay = recovery.Replay(log_path, &stats);
+    const Status replay = recovery.Replay(log_dir, &stats);
     NEXT700_CHECK(replay.ok());
     std::printf(
         "recovered %llu of %llu committed txns in %.3fs from %0.2f MB "
@@ -86,6 +88,6 @@ int main() {
                 audit.ToString().c_str());
     NEXT700_CHECK(audit.ok());
   }
-  std::remove(log_path);
+  RemoveLogDir(log_dir);
   return 0;
 }

@@ -1,0 +1,74 @@
+#include "faultlog/fault_injection.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+namespace next700 {
+
+namespace {
+
+/// Best-effort raw write of exactly `len` bytes, used for the torn prefix.
+/// EINTR is retried; anything else just stops — we are about to _exit
+/// anyway, and a shorter-than-scheduled tear is still a valid tear.
+void RawWriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+LogFileFactory FaultInjector::factory() {
+  return [this] { return std::make_unique<FaultInjectingLogFile>(this); };
+}
+
+Status FaultInjectingLogFile::Append(const uint8_t* data, size_t len) {
+  const uint64_t index =
+      injector_->write_count_.load(std::memory_order_relaxed);
+  const uint8_t* payload = data;
+  std::vector<uint8_t> corrupted;
+  for (const FaultPoint& fault : injector_->faults_) {
+    if (fault.write_index != index) continue;
+    switch (fault.kind) {
+      case FaultPoint::Kind::kCrashBeforeWrite:
+        ::_exit(injector_->exit_code_);
+      case FaultPoint::Kind::kTornWrite:
+        if (len > 0) {
+          RawWriteAll(fd(), data, static_cast<size_t>(fault.tear_bytes % len));
+        }
+        ::_exit(injector_->exit_code_);
+      case FaultPoint::Kind::kBitFlip:
+        if (len > 0) {
+          corrupted.assign(data, data + len);
+          corrupted[static_cast<size_t>(fault.flip_offset % len)] ^=
+              fault.flip_mask;
+          payload = corrupted.data();
+        }
+        break;  // Corrupted bytes are written normally; execution goes on.
+    }
+  }
+  NEXT700_RETURN_IF_ERROR(PosixLogFile::Append(payload, len));
+  if (o_dsync()) {
+    injector_->sync_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  injector_->write_count_.fetch_add(1, std::memory_order_relaxed);
+  if (injector_->observer_) injector_->observer_(index);
+  return Status::OK();
+}
+
+Status FaultInjectingLogFile::Sync() {
+  NEXT700_RETURN_IF_ERROR(PosixLogFile::Sync());
+  injector_->sync_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace next700

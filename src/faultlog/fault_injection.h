@@ -1,0 +1,111 @@
+#ifndef NEXT700_FAULTLOG_FAULT_INJECTION_H_
+#define NEXT700_FAULTLOG_FAULT_INJECTION_H_
+
+/// \file
+/// Crash-fault injection for the log/recovery path. A FaultInjector holds
+/// a (typically seeded) schedule of faults keyed by the global physical
+/// write index — the count of LogFile::Append calls across every segment
+/// the log manager opens — and hands out FaultInjectingLogFile backends
+/// through LogManager's file factory. At the scheduled write it can:
+///
+///   * kCrashBeforeWrite — _exit the process before the write lands
+///     (models a crash between group commits: the whole batch is lost);
+///   * kTornWrite        — write only a prefix of the batch, then _exit
+///     (models power loss mid-sector-stream: a torn tail);
+///   * kBitFlip          — flip one bit inside the batch and keep running
+///     (models media corruption of an already-acknowledged frame; a later
+///     crash fault usually follows so the damage sits mid-log).
+///
+/// _exit(2) is deliberate: no destructors, no flushes — the surviving
+/// bytes are exactly what the kernel already had, like a real crash. (A
+/// process kill cannot un-write page-cache data, so what this harness
+/// proves is crash consistency of the *format and replay*, plus that the
+/// barriers are really issued — counted in syncs() — not device-level
+/// power-loss atomicity.)
+///
+/// The injector also counts writes and barriers and exposes an observer
+/// invoked after every completed write; tools/crashtest streams those
+/// events to the parent process so it knows, post-mortem, how far the
+/// child's log got.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "log/log_file.h"
+
+namespace next700 {
+
+struct FaultPoint {
+  enum class Kind {
+    kCrashBeforeWrite,
+    kTornWrite,
+    kBitFlip,
+  };
+  Kind kind = Kind::kCrashBeforeWrite;
+  /// Global physical-write index (0-based) this fault triggers at.
+  uint64_t write_index = 0;
+  /// kTornWrite: how many bytes of the batch land before the crash; taken
+  /// modulo the batch length, so any seed value is valid.
+  uint64_t tear_bytes = 0;
+  /// kBitFlip: byte offset inside the batch (modulo its length) and mask.
+  uint64_t flip_offset = 0;
+  uint8_t flip_mask = 0x01;
+};
+
+/// Shared state across segment files (the factory creates a new LogFile per
+/// segment, but write indices and the schedule are log-global). Thread-safe
+/// for the single-flusher use the LogManager makes of it; counters may be
+/// read from any thread.
+class FaultInjector {
+ public:
+  /// Observer invoked after each *completed* (non-faulted) write with its
+  /// index. Runs on the flusher thread; must be async-signal-ish cheap.
+  using WriteObserver = std::function<void(uint64_t write_index)>;
+
+  void AddFault(const FaultPoint& point) { faults_.push_back(point); }
+  void set_write_observer(WriteObserver observer) {
+    observer_ = std::move(observer);
+  }
+  void set_exit_code(int code) { exit_code_ = code; }
+
+  /// LogManagerOptions::file_factory adapter. The injector must outlive
+  /// every file the factory creates (and the LogManager using it).
+  LogFileFactory factory();
+
+  /// Completed physical writes across all segments.
+  uint64_t writes() const {
+    return write_count_.load(std::memory_order_relaxed);
+  }
+  /// Durability barriers issued (fdatasync calls / O_DSYNC writes).
+  uint64_t syncs() const { return sync_count_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FaultInjectingLogFile;
+
+  std::vector<FaultPoint> faults_;
+  WriteObserver observer_;
+  int exit_code_ = 42;
+  std::atomic<uint64_t> write_count_{0};
+  std::atomic<uint64_t> sync_count_{0};
+};
+
+/// PosixLogFile that consults a FaultInjector before every write. Real I/O
+/// goes through the base class (including its EINTR/short-write handling);
+/// faults bypass it on purpose, issuing raw partial writes + _exit.
+class FaultInjectingLogFile : public PosixLogFile {
+ public:
+  explicit FaultInjectingLogFile(FaultInjector* injector)
+      : injector_(injector) {}
+
+  Status Append(const uint8_t* data, size_t len) override;
+  Status Sync() override;
+
+ private:
+  FaultInjector* injector_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_FAULTLOG_FAULT_INJECTION_H_

@@ -1,0 +1,135 @@
+#include "log/log_file.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace next700 {
+
+namespace {
+
+/// EAGAIN on a blocking fd indicates a misconfigured device; retry a
+/// bounded number of times before declaring it broken instead of spinning.
+constexpr int kMaxEagainRetries = 1000;
+
+}  // namespace
+
+PosixLogFile::~PosixLogFile() { Close(); }
+
+Status PosixLogFile::Open(const std::string& path, bool o_dsync) {
+  int flags = O_CREAT | O_EXCL | O_WRONLY | O_APPEND;
+#ifdef O_DSYNC
+  if (o_dsync) flags |= O_DSYNC;
+#else
+  if (o_dsync) flags |= O_SYNC;
+#endif
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot create log segment " + path + ": " +
+                           std::strerror(errno));
+  }
+  o_dsync_ = o_dsync;
+  return Status::OK();
+}
+
+ssize_t PosixLogFile::RawWrite(const uint8_t* data, size_t len) {
+  return ::write(fd_, data, len);
+}
+
+Status PosixLogFile::Append(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  int eagain_retries = 0;
+  while (off < len) {
+    const ssize_t n = RawWrite(data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // Signal; the write wrote nothing.
+      if (errno == EAGAIN && ++eagain_retries < kMaxEagainRetries) continue;
+      return Status::IOError(std::string("log write failed: ") +
+                             std::strerror(errno));
+    }
+    eagain_retries = 0;
+    off += static_cast<size_t>(n);  // Short write: continue from here.
+  }
+  if (o_dsync_) ++sync_count_;  // The write itself was the barrier.
+  return Status::OK();
+}
+
+Status PosixLogFile::Sync() {
+  if (o_dsync_) return Status::OK();
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(std::string("fdatasync failed: ") +
+                           std::strerror(errno));
+  }
+  ++sync_count_;
+  return Status::OK();
+}
+
+void PosixLogFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string LogSegmentPath(const std::string& dir, uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "log.%06llu",
+                static_cast<unsigned long long>(index));
+  return dir + "/" + name;
+}
+
+Status ListLogSegments(const std::string& dir, std::vector<LogSegment>* out) {
+  out->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::OK();  // Fresh log: no history yet.
+    return Status::IOError("cannot open log dir " + dir + ": " +
+                           std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    const char* name = entry->d_name;
+    if (std::strncmp(name, "log.", 4) != 0) continue;
+    char* end = nullptr;
+    const unsigned long long index = std::strtoull(name + 4, &end, 10);
+    if (end == name + 4 || *end != '\0') continue;  // Not log.NNNNNN.
+    LogSegment segment;
+    segment.path = dir + "/" + name;
+    segment.index = index;
+    struct stat st;
+    if (::stat(segment.path.c_str(), &st) != 0) {
+      ::closedir(d);
+      return Status::IOError("cannot stat " + segment.path);
+    }
+    segment.bytes = static_cast<uint64_t>(st.st_size);
+    out->push_back(std::move(segment));
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end(),
+            [](const LogSegment& a, const LogSegment& b) {
+              return a.index < b.index;
+            });
+  return Status::OK();
+}
+
+Status EnsureLogDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::IOError("cannot create log dir " + dir + ": " +
+                         std::strerror(errno));
+}
+
+void RemoveLogDir(const std::string& dir) {
+  std::vector<LogSegment> segments;
+  if (!ListLogSegments(dir, &segments).ok()) return;
+  for (const LogSegment& segment : segments) {
+    ::unlink(segment.path.c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace next700

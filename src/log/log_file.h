@@ -1,0 +1,111 @@
+#ifndef NEXT700_LOG_LOG_FILE_H_
+#define NEXT700_LOG_LOG_FILE_H_
+
+/// \file
+/// The log device behind the LogManager: an append-only file with an
+/// explicit durability barrier. The manager talks to this interface only,
+/// which makes the physical backend injectable — PosixLogFile is the real
+/// thing (write + fdatasync / O_DSYNC), and src/faultlog/ provides a
+/// fault-injecting backend that can crash the process mid-write, tear a
+/// write at a byte offset, or flip bits in flushed data for the
+/// crash-consistency harness (tools/crashtest).
+///
+/// Also here: the on-disk segment naming shared by the manager (which
+/// appends to `<dir>/log.NNNNNN` and rotates on a size threshold) and the
+/// recovery path (which replays the segments of a directory in order).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace next700 {
+
+/// Append-only log device. Append() must either write every byte or return
+/// a non-OK status; Sync() is the durability barrier after which previously
+/// appended bytes must survive a crash.
+class LogFile {
+ public:
+  virtual ~LogFile() = default;
+
+  /// Creates `path` (which must not already exist — segments are never
+  /// reused) and opens it for appending. `o_dsync` requests synchronous
+  /// writes (every Append is its own barrier; Sync becomes a no-op).
+  virtual Status Open(const std::string& path, bool o_dsync) = 0;
+
+  /// Writes all `len` bytes, retrying transient failures (EINTR/EAGAIN)
+  /// and short writes. A non-OK return means the device is broken; the
+  /// caller must treat the tail of the log as unwritten.
+  virtual Status Append(const uint8_t* data, size_t len) = 0;
+
+  /// Durability barrier (fdatasync). No-op under O_DSYNC.
+  virtual Status Sync() = 0;
+
+  virtual void Close() = 0;
+
+  /// Barriers issued by this file: Sync() calls, or Append() calls when
+  /// opened with O_DSYNC. Lets tests verify durability is real, not a
+  /// sleep_for stand-in.
+  virtual uint64_t sync_count() const = 0;
+};
+
+/// Creates the backend for each newly opened segment. The default (an empty
+/// factory) builds PosixLogFile.
+using LogFileFactory = std::function<std::unique_ptr<LogFile>()>;
+
+/// The real device: O_APPEND + fdatasync with EINTR/EAGAIN retry and
+/// short-write continuation. RawWrite is virtual so tests can shim the
+/// write syscall (EINTR storms, short writes, persistent EIO) without
+/// touching the retry logic under test.
+class PosixLogFile : public LogFile {
+ public:
+  ~PosixLogFile() override;
+
+  Status Open(const std::string& path, bool o_dsync) override;
+  Status Append(const uint8_t* data, size_t len) override;
+  Status Sync() override;
+  void Close() override;
+  uint64_t sync_count() const override { return sync_count_; }
+
+ protected:
+  /// Single write(2) attempt; returns the syscall result with errno intact.
+  /// Overridden by fault/EINTR shims.
+  virtual ssize_t RawWrite(const uint8_t* data, size_t len);
+
+  int fd() const { return fd_; }
+  bool o_dsync() const { return o_dsync_; }
+
+ private:
+  int fd_ = -1;
+  bool o_dsync_ = false;
+  uint64_t sync_count_ = 0;
+};
+
+/// One on-disk segment of a log directory.
+struct LogSegment {
+  std::string path;
+  uint64_t index = 0;
+  uint64_t bytes = 0;
+};
+
+/// `<dir>/log.NNNNNN`.
+std::string LogSegmentPath(const std::string& dir, uint64_t index);
+
+/// Lists the `log.NNNNNN` segments of `dir`, sorted by index. A missing
+/// directory is not an error (empty result): a fresh log has no history.
+Status ListLogSegments(const std::string& dir, std::vector<LogSegment>* out);
+
+/// Creates `dir` if missing (parent must exist).
+Status EnsureLogDir(const std::string& dir);
+
+/// Deletes every `log.*` segment in `dir` and then the directory itself.
+/// Benches and examples use this to reset between runs now that opening a
+/// log no longer truncates history.
+void RemoveLogDir(const std::string& dir);
+
+}  // namespace next700
+
+#endif  // NEXT700_LOG_LOG_FILE_H_

@@ -1,8 +1,5 @@
 #include "log/log_manager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <chrono>
 
 #include "common/macros.h"
@@ -21,20 +18,57 @@ const char* LoggingKindName(LoggingKind kind) {
   return "unknown";
 }
 
+const char* LogSyncPolicyName(LogSyncPolicy policy) {
+  switch (policy) {
+    case LogSyncPolicy::kNone:
+      return "none";
+    case LogSyncPolicy::kFdatasync:
+      return "fdatasync";
+    case LogSyncPolicy::kODsync:
+      return "odsync";
+  }
+  return "unknown";
+}
+
 LogManager::LogManager(LogManagerOptions options)
     : options_(std::move(options)) {}
 
 LogManager::~LogManager() { Close(); }
 
+Status LogManager::OpenSegment(uint64_t index) {
+  file_ = options_.file_factory ? options_.file_factory()
+                                : std::make_unique<PosixLogFile>();
+  NEXT700_RETURN_IF_ERROR(
+      file_->Open(LogSegmentPath(options_.dir, index),
+                  options_.sync_policy == LogSyncPolicy::kODsync));
+  segment_index_ = index;
+  segment_written_ = 0;
+  segments_opened_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status LogManager::Open() {
   NEXT700_CHECK(!running_);
-  fd_ = ::open(options_.path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd_ < 0) {
-    return Status::IOError("cannot open log file: " + options_.path);
+  NEXT700_RETURN_IF_ERROR(EnsureLogDir(options_.dir));
+  // Resume the LSN space after the surviving history instead of truncating
+  // it: recovery replays those segments, and our frames land after them.
+  std::vector<LogSegment> history;
+  NEXT700_RETURN_IF_ERROR(ListLogSegments(options_.dir, &history));
+  uint64_t existing_bytes = 0;
+  uint64_t next_index = 0;
+  for (const LogSegment& segment : history) {
+    existing_bytes += segment.bytes;
+    next_index = segment.index + 1;
   }
+  appended_lsn_ = durable_lsn_ = existing_bytes;
+  NEXT700_RETURN_IF_ERROR(OpenSegment(next_index));
+
+  io_status_ = Status::OK();
+  flusher_exited_ = false;
   stop_ = false;
   running_ = true;
   flusher_ = std::thread([this] { FlusherLoop(); });
+  flusher_tid_ = flusher_.get_id();
   return Status::OK();
 }
 
@@ -47,8 +81,8 @@ void LogManager::Close() {
   flusher_cv_.notify_all();
   flusher_.join();
   running_ = false;
-  ::close(fd_);
-  fd_ = -1;
+  if (file_ != nullptr) file_->Close();
+  file_.reset();
 }
 
 Lsn LogManager::Append(LogRecordType type, const uint8_t* body,
@@ -57,29 +91,48 @@ Lsn LogManager::Append(LogRecordType type, const uint8_t* body,
   // contention point (Aether), so only the memcpy happens under the mutex.
   const uint64_t checksum = FnvHashBytes(body, body_len);
   const uint32_t len_field = static_cast<uint32_t>(body_len);
+  const uint32_t header_sum =
+      FrameHeaderSum(len_field, static_cast<uint8_t>(type));
   Lsn end;
   {
     std::lock_guard<std::mutex> lock(mu_);
     LogWriter writer(&buffer_);
     writer.PutU32(len_field);
     writer.PutU8(static_cast<uint8_t>(type));
+    writer.PutU32(header_sum);
     writer.PutBytes(body, body_len);
     writer.PutU64(checksum);
-    appended_lsn_ += sizeof(len_field) + 1 + body_len + sizeof(checksum);
+    appended_lsn_ += kFrameOverheadBytes + body_len;
     end = appended_lsn_;
   }
   return end;
 }
 
 void LogManager::SetDurableCallback(std::function<void(Lsn)> callback) {
-  std::lock_guard<std::mutex> lock(callback_mu_);
+  std::unique_lock<std::mutex> lock(callback_mu_);
+  // From the flusher's own callback, skip the drain (it would self-wait);
+  // from any other thread, wait out an in-flight invocation so the caller
+  // can free whatever the old callback captured.
+  if (std::this_thread::get_id() != flusher_tid_) {
+    callback_cv_.wait(lock, [&] { return !callback_running_; });
+  }
   durable_callback_ = std::move(callback);
 }
 
-void LogManager::WaitDurable(Lsn lsn) {
+Status LogManager::WaitDurable(Lsn lsn) {
   std::unique_lock<std::mutex> lock(mu_);
   flusher_cv_.notify_all();  // Give the flusher a nudge for low latency.
-  flushed_cv_.wait(lock, [&] { return durable_lsn_ >= lsn || stop_; });
+  flushed_cv_.wait(lock, [&] {
+    return durable_lsn_ >= lsn || !io_status_.ok() || flusher_exited_;
+  });
+  if (durable_lsn_ >= lsn) return Status::OK();
+  if (!io_status_.ok()) return io_status_;
+  return Status::Unavailable("log closed before lsn became durable");
+}
+
+Status LogManager::io_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_status_;
 }
 
 Lsn LogManager::durable_lsn() const {
@@ -92,6 +145,38 @@ Lsn LogManager::appended_lsn() const {
   return appended_lsn_;
 }
 
+Status LogManager::WriteAndSync(const std::vector<uint8_t>& batch) {
+  // Rotation happens only between flushes, so every segment but the live
+  // one ends on a frame boundary — recovery relies on this to treat a torn
+  // frame in a non-final segment as corruption, not a crash tail.
+  if (options_.segment_bytes > 0 && segment_written_ > 0 &&
+      segment_written_ + batch.size() > options_.segment_bytes) {
+    file_->Close();
+    NEXT700_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1));
+  }
+  NEXT700_RETURN_IF_ERROR(file_->Append(batch.data(), batch.size()));
+  segment_written_ += batch.size();
+  switch (options_.sync_policy) {
+    case LogSyncPolicy::kNone:
+      break;
+    case LogSyncPolicy::kFdatasync:
+      NEXT700_RETURN_IF_ERROR(file_->Sync());
+      sync_count_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case LogSyncPolicy::kODsync:
+      // The O_DSYNC write itself was the barrier.
+      sync_count_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (options_.device_latency_us > 0) {
+    // Model the commit latency of a slower log device (NVM/SSD study knob;
+    // EXPERIMENTS.md labels numbers produced this way as simulated).
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.device_latency_us));
+  }
+  return Status::OK();
+}
+
 void LogManager::FlusherLoop() {
   std::vector<uint8_t> local;
   for (;;) {
@@ -102,35 +187,50 @@ void LogManager::FlusherLoop() {
           lock, std::chrono::microseconds(options_.flush_interval_us),
           [&] { return stop_ || !buffer_.empty(); });
       if (buffer_.empty()) {
-        if (stop_) return;
+        if (stop_) break;  // Residual buffer already drained.
         continue;
       }
       local.swap(buffer_);
       target = appended_lsn_;
     }
-    size_t off = 0;
-    while (off < local.size()) {
-      const ssize_t n = ::write(fd_, local.data() + off, local.size() - off);
-      NEXT700_CHECK_MSG(n >= 0, "log write failed");
-      off += static_cast<size_t>(n);
-    }
-    if (options_.device_latency_us > 0) {
-      // Model the commit latency of the log device (fsync on NVM/SSD).
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.device_latency_us));
-    }
-    ++flush_count_;
+    const Status s = WriteAndSync(local);
     local.clear();
+    if (!s.ok()) {
+      // Sticky device failure: durable_lsn_ stops here; every waiter (and
+      // every future WaitDurable) gets the error instead of an abort.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        io_status_ = s;
+      }
+      break;
+    }
+    flush_count_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       durable_lsn_ = target;
     }
     flushed_cv_.notify_all();
+    // Invoke the durable callback outside callback_mu_ so a reentrant
+    // SetDurableCallback from inside the callback cannot deadlock;
+    // callback_running_ keeps external (re)registration teardown-safe.
+    std::function<void(Lsn)> callback;
     {
-      std::lock_guard<std::mutex> cb_lock(callback_mu_);
-      if (durable_callback_) durable_callback_(target);
+      std::lock_guard<std::mutex> lock(callback_mu_);
+      callback = durable_callback_;
+      callback_running_ = true;
     }
+    if (callback) callback(target);
+    {
+      std::lock_guard<std::mutex> lock(callback_mu_);
+      callback_running_ = false;
+    }
+    callback_cv_.notify_all();
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flusher_exited_ = true;
+  }
+  flushed_cv_.notify_all();
 }
 
 }  // namespace next700

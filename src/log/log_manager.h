@@ -2,15 +2,25 @@
 #define NEXT700_LOG_LOG_MANAGER_H_
 
 /// \file
-/// Write-ahead logging with group commit. Workers serialize their commit
-/// record into a shared buffer (one short critical section — the serial log
-/// is itself a measured contention point, cf. Aether); a dedicated flusher
-/// thread writes the buffer to the log device every `flush_interval_us` and
-/// advances the durable LSN, waking transactions blocked in WaitDurable().
+/// Write-ahead logging with group commit and real durability. Workers
+/// serialize their commit record into a shared buffer (one short critical
+/// section — the serial log is itself a measured contention point, cf.
+/// Aether); a dedicated flusher thread writes the buffer to the log device
+/// every `flush_interval_us`, issues the configured durability barrier
+/// (fdatasync / O_DSYNC), and only then advances the durable LSN, waking
+/// transactions blocked in WaitDurable().
 ///
-/// The "log device" is a file plus an injectable per-flush latency, which
-/// models DRAM-like NVM (0 µs), NVMe (~20 µs), or SATA-SSD-ish (~100 µs)
-/// commit hardware without needing the hardware.
+/// The log is a directory of append-only segments (`log.000000`,
+/// `log.000001`, ...). Open() never truncates history: it scans the
+/// existing segments, resumes the LSN space after them, and appends to a
+/// fresh segment. The flusher rotates to a new segment once the current one
+/// crosses `segment_bytes` (always on a frame boundary, so only the final
+/// segment of a crashed log can carry a torn frame).
+///
+/// I/O errors are sticky: the flusher parks, durable_lsn_ stops advancing,
+/// and every subsequent WaitDurable returns the error instead of the
+/// process aborting. The physical backend is injectable (LogFileFactory)
+/// so the crash-fault harness can tear writes and count barriers.
 
 #include <atomic>
 #include <condition_variable>
@@ -23,6 +33,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "log/log_file.h"
 #include "log/log_record.h"
 
 namespace next700 {
@@ -35,12 +46,32 @@ enum class LoggingKind {
 
 const char* LoggingKindName(LoggingKind kind);
 
+/// How the flusher makes a flush durable before advancing durable_lsn_.
+enum class LogSyncPolicy {
+  kNone,       // No barrier: durability is a promise about the page cache.
+  kFdatasync,  // fdatasync(2) after each physical flush.
+  kODsync,     // Segments opened O_DSYNC: every write is its own barrier.
+};
+
+const char* LogSyncPolicyName(LogSyncPolicy policy);
+
 using Lsn = uint64_t;
 
 struct LogManagerOptions {
-  std::string path;
+  /// Segment directory (created if missing). Replaces the old single-file
+  /// `path`: opening no longer truncates previous segments.
+  std::string dir;
   uint64_t flush_interval_us = 50;
-  uint64_t device_latency_us = 0;  // Injected on every physical flush.
+  /// Extra modelled latency injected on every physical flush (legacy NVM /
+  /// SSD model; composes with, but does not substitute for, sync_policy).
+  uint64_t device_latency_us = 0;
+  LogSyncPolicy sync_policy = LogSyncPolicy::kNone;
+  /// Rotate to a new segment once the current one reaches this size.
+  /// 0 = never rotate.
+  uint64_t segment_bytes = 64ull << 20;
+  /// Physical backend per segment; empty = PosixLogFile. The crashtest
+  /// harness injects its fault backend here.
+  LogFileFactory file_factory;
 };
 
 class LogManager {
@@ -50,10 +81,12 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Opens the log file (truncating) and starts the flusher.
+  /// Creates the segment directory if needed, resumes the LSN space after
+  /// any existing segments, opens a fresh segment, and starts the flusher.
   Status Open();
 
-  /// Flushes outstanding records and stops the flusher.
+  /// Flushes outstanding records and stops the flusher. After Close(),
+  /// io_status() reports whether the final flush reached the device.
   void Close();
 
   /// Appends one framed record; returns the LSN *after* the record (the
@@ -63,16 +96,23 @@ class LogManager {
     return Append(type, body.data(), body.size());
   }
 
-  /// Blocks until everything up to `lsn` reached the device.
-  void WaitDurable(Lsn lsn);
+  /// Blocks until everything up to `lsn` reached the device. Returns OK
+  /// only on real durability; kIOError (sticky) if the device failed, and
+  /// kUnavailable if the log was closed before `lsn` became durable —
+  /// Close() during an in-flight commit is not durability.
+  Status WaitDurable(Lsn lsn);
+
+  /// Sticky device status: the first flush error, or OK.
+  Status io_status() const;
 
   /// Registers a callback the flusher invokes (from its own thread, outside
-  /// the log mutex) after every physical flush, with the new durable LSN.
-  /// Used for group-commit-aware reply release: the network server defers
-  /// client responses until the commit LSN is durable instead of blocking a
-  /// worker in WaitDurable. May be called while the flusher is running;
-  /// SetDurableCallback(nullptr) returns only after any in-flight
-  /// invocation has finished, making teardown race-free.
+  /// every log mutex) after each successful flush, with the new durable
+  /// LSN. Used for group-commit-aware reply release: the network server
+  /// defers client responses until the commit LSN is durable instead of
+  /// blocking a worker in WaitDurable. The callback may itself call
+  /// SetDurableCallback (re-registration is reentrancy-safe); from any
+  /// other thread, SetDurableCallback returns only after an in-flight
+  /// invocation finishes, making teardown race-free.
   void SetDurableCallback(std::function<void(Lsn)> callback);
 
   Lsn durable_lsn() const;
@@ -83,17 +123,35 @@ class LogManager {
     return flush_count_.load(std::memory_order_relaxed);
   }
 
-  const std::string& path() const { return options_.path; }
+  /// Durability barriers issued (fdatasync calls, or O_DSYNC writes).
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Segments this manager has opened for appending (rotation metric).
+  uint64_t segments_opened() const {
+    return segments_opened_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& dir() const { return options_.dir; }
 
  private:
   void FlusherLoop();
+  /// Rotate-if-needed + append + barrier + modelled latency for one flush.
+  Status WriteAndSync(const std::vector<uint8_t>& batch);
+  Status OpenSegment(uint64_t index);
 
   LogManagerOptions options_;
-  int fd_ = -1;
+  std::unique_ptr<LogFile> file_;
+  uint64_t segment_index_ = 0;    // Flusher-owned after Open().
+  uint64_t segment_written_ = 0;  // Bytes in the current segment.
 
   // Serializes callback (re)registration against flusher invocation.
   std::mutex callback_mu_;
+  std::condition_variable callback_cv_;
   std::function<void(Lsn)> durable_callback_;
+  bool callback_running_ = false;
+  std::thread::id flusher_tid_;
 
   // Append cursor (workers, short critical sections) and flusher-side state
   // live on separate cache lines: every committing worker bounces the
@@ -104,10 +162,14 @@ class LogManager {
   std::vector<uint8_t> buffer_;  // Records appended but not yet written.
   Lsn appended_lsn_ = 0;
   Lsn durable_lsn_ = 0;
+  Status io_status_;       // Sticky first device error.
+  bool flusher_exited_ = false;
   bool stop_ = false;
   bool running_ = false;
 
   NEXT700_CACHE_ALIGNED std::atomic<uint64_t> flush_count_{0};
+  std::atomic<uint64_t> sync_count_{0};
+  std::atomic<uint64_t> segments_opened_{0};
 
   std::thread flusher_;
 };

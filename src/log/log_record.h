@@ -4,10 +4,17 @@
 /// \file
 /// On-disk log record framing. Every record is:
 ///
-///   [u32 body_len][u8 type][body ... body_len bytes][u64 checksum]
+///   [u32 body_len][u8 type][u32 header_sum][body ...][u64 body_sum]
 ///
-/// The checksum is FNV-1a over the body; recovery stops at the first frame
-/// that fails to parse or checksum (torn tail after a crash).
+/// `header_sum` is 32-bit FNV-1a over the first five bytes (length +
+/// type); `body_sum` is FNV-1a over the body. A crashed write can only
+/// leave a *prefix* of the frame behind, so recovery can tell a torn tail
+/// from corruption: a fully-present header with a bad header_sum, or a
+/// fully-present frame with a bad body_sum, was flushed that way and is
+/// corruption. Only a frame that runs past end-of-file under a *valid*
+/// header is a legal torn tail — and only in the final segment. Without
+/// header_sum, a bit flip in the length field would masquerade as a torn
+/// tail and silently swallow every acked transaction behind it.
 ///
 /// Body formats:
 ///   kTxnValue:   u64 commit_ts, u32 num_writes, then per write:
@@ -32,6 +39,10 @@ enum class LogWriteKind : uint8_t {
   kDelete = 2,
 };
 
+/// Frame layout byte counts.
+constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;  // body_len, type, header_sum
+constexpr size_t kFrameOverheadBytes = kFrameHeaderBytes + 8;  // + body_sum
+
 /// FNV-1a over an arbitrary buffer (log checksums).
 inline uint64_t FnvHashBytes(const uint8_t* data, size_t len) {
   uint64_t hash = 0xCBF29CE484222325ull;
@@ -40,6 +51,14 @@ inline uint64_t FnvHashBytes(const uint8_t* data, size_t len) {
     hash *= 0x100000001B3ull;
   }
   return hash;
+}
+
+/// The 32-bit header checksum for a frame with the given length and type.
+inline uint32_t FrameHeaderSum(uint32_t body_len, uint8_t type) {
+  uint8_t header[5];
+  std::memcpy(header, &body_len, sizeof(body_len));
+  header[4] = type;
+  return static_cast<uint32_t>(FnvHashBytes(header, sizeof(header)));
 }
 
 /// Append-only little-endian serializer for log bodies. Buffer is any

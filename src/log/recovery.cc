@@ -1,21 +1,35 @@
 #include "log/recovery.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstring>
 #include <vector>
+
+#include "log/log_file.h"
 
 namespace next700 {
 
 namespace {
 
-/// Reads a whole file into memory. Logs here are bounded by the benchmark
-/// runs that produced them.
+/// Reads a whole file into memory. Logs here are bounded by the runs that
+/// produced them.
 Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek " + path);
+  }
   const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot tell size of " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek " + path);
+  }
   out->resize(static_cast<size_t>(size));
   if (size > 0 && std::fread(out->data(), 1, out->size(), f) != out->size()) {
     std::fclose(f);
@@ -119,30 +133,50 @@ Status RecoveryManager::ApplyCommandRecord(LogReader* reader,
   return Status::OK();
 }
 
-Status RecoveryManager::Replay(const std::string& log_path,
-                               RecoveryStats* stats) {
-  const uint64_t start = NowNanos();
+Status RecoveryManager::ReplaySegment(const std::string& path, Lsn base_lsn,
+                                      bool is_final, Lsn start_lsn,
+                                      RecoveryStats* stats) {
   std::vector<uint8_t> file;
-  NEXT700_RETURN_IF_ERROR(ReadFile(log_path, &file));
-  stats->bytes_read = file.size();
+  NEXT700_RETURN_IF_ERROR(ReadFile(path, &file));
+  stats->bytes_read += file.size();
+  ++stats->segments_read;
 
   size_t pos = 0;
   while (pos < file.size()) {
-    // Frame: u32 len, u8 type, body, u64 checksum.
-    if (pos + 5 > file.size()) break;  // Torn tail.
+    // Frame: u32 len, u8 type, u32 header_sum, body, u64 body_sum.
+    if (pos + kFrameHeaderBytes > file.size()) {  // Torn tail.
+      if (is_final) break;
+      return Status::Corruption("torn frame in non-final segment " + path);
+    }
     uint32_t body_len;
     std::memcpy(&body_len, file.data() + pos, 4);
     const uint8_t type_raw = file[pos + 4];
-    const size_t frame_end = pos + 5 + body_len + 8;
-    if (frame_end > file.size()) break;  // Torn tail.
-    const uint8_t* body = file.data() + pos + 5;
+    uint32_t header_sum;
+    std::memcpy(&header_sum, file.data() + pos + 5, 4);
+    if (header_sum != FrameHeaderSum(body_len, type_raw)) {
+      // A torn write leaves a *prefix*; it cannot produce nine header
+      // bytes that disagree with their own checksum. This is corruption
+      // even at the tail — without it a flipped length byte would read as
+      // a torn tail and silently drop every acked txn behind it.
+      return Status::Corruption("log frame header corrupt in " + path);
+    }
+    const size_t frame_end = pos + kFrameOverheadBytes + body_len;
+    if (frame_end > file.size()) {  // Torn tail (header vouches for len).
+      if (is_final) break;
+      return Status::Corruption("torn frame in non-final segment " + path);
+    }
+    const uint8_t* body = file.data() + pos + kFrameHeaderBytes;
     uint64_t checksum;
-    std::memcpy(&checksum, file.data() + pos + 5 + body_len, 8);
+    std::memcpy(&checksum, file.data() + pos + kFrameHeaderBytes + body_len,
+                8);
     if (checksum != FnvHashBytes(body, body_len)) {
-      // A bad checksum at the end is a torn write; in the middle it is
-      // real corruption. Either way replay cannot continue.
-      if (frame_end == file.size()) break;
-      return Status::Corruption("log checksum mismatch mid-file");
+      // The whole frame is present, so the write that produced it
+      // completed — a bad body checksum is corruption, never a crash tail.
+      return Status::Corruption("log checksum mismatch in " + path);
+    }
+    if (base_lsn + frame_end <= start_lsn) {
+      pos = frame_end;  // Before the checkpoint: already materialized.
+      continue;
     }
     LogReader reader(body, body_len);
     Status s;
@@ -158,6 +192,31 @@ Status RecoveryManager::Replay(const std::string& log_path,
     }
     if (!s.ok()) return s;
     pos = frame_end;
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::Replay(const std::string& path, RecoveryStats* stats,
+                               Lsn start_lsn) {
+  const uint64_t start = NowNanos();
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("cannot stat " + path);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    std::vector<LogSegment> segments;
+    NEXT700_RETURN_IF_ERROR(ListLogSegments(path, &segments));
+    Lsn base_lsn = 0;
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const bool is_final = i + 1 == segments.size();
+      NEXT700_RETURN_IF_ERROR(ReplaySegment(segments[i].path, base_lsn,
+                                            is_final, start_lsn, stats));
+      base_lsn += segments[i].bytes;
+    }
+  } else {
+    NEXT700_RETURN_IF_ERROR(
+        ReplaySegment(path, /*base_lsn=*/0, /*is_final=*/true, start_lsn,
+                      stats));
   }
   stats->elapsed_seconds =
       static_cast<double>(NowNanos() - start) / 1e9;

@@ -4,7 +4,8 @@
 /// \file
 /// Crash recovery by log replay. The caller constructs a *fresh* engine
 /// with the same schema, indexes, and registered procedures (and logging
-/// disabled or pointed at a new file), then replays the old log into it:
+/// disabled or pointed at a new directory), then replays the old log into
+/// it:
 ///
 ///   * value records   — after-images are applied in timestamp order per
 ///     row (Thomas-rule replay: an image is skipped when a newer one was
@@ -15,7 +16,12 @@
 ///   * command records — registered procedures are re-executed serially in
 ///     log order.
 ///
-/// Replay stops cleanly at the first torn or corrupt frame (crash tail).
+/// Replay walks the `log.NNNNNN` segments of a log directory in index
+/// order (a single-file path is also accepted, for unit tests and log
+/// suffixes extracted by checkpointing). Segments rotate on frame
+/// boundaries, so only the *final* segment may end in a torn frame — a
+/// torn or checksum-failed frame anywhere else is real corruption and
+/// fails the replay instead of being silently skipped.
 
 #include <cstdint>
 #include <functional>
@@ -30,6 +36,7 @@ struct RecoveryStats {
   uint64_t txns_replayed = 0;
   uint64_t writes_applied = 0;
   uint64_t writes_skipped = 0;  // Thomas-rule skips.
+  uint64_t segments_read = 0;
   uint64_t bytes_read = 0;
   double elapsed_seconds = 0;
 };
@@ -46,13 +53,21 @@ class RecoveryManager {
     rebuilder_ = std::move(rebuilder);
   }
 
-  /// Replays `log_path` into the engine. Returns kCorruption only for
-  /// mid-log damage; a torn tail ends replay with OK.
-  Status Replay(const std::string& log_path, RecoveryStats* stats);
+  /// Replays the log at `path` (segment directory or single file) into the
+  /// engine. Frames that end at or below `start_lsn` are skipped — the
+  /// checkpoint + log-suffix path passes the checkpoint LSN here. Returns
+  /// kCorruption for mid-log damage; a torn tail on the final segment ends
+  /// replay with OK.
+  Status Replay(const std::string& path, RecoveryStats* stats,
+                Lsn start_lsn = 0);
 
  private:
   Status ApplyValueRecord(LogReader* reader, RecoveryStats* stats);
   Status ApplyCommandRecord(LogReader* reader, RecoveryStats* stats);
+  /// One segment. `base_lsn` is the LSN of its first byte; `is_final`
+  /// permits a torn tail.
+  Status ReplaySegment(const std::string& path, Lsn base_lsn, bool is_final,
+                       Lsn start_lsn, RecoveryStats* stats);
 
   /// Overwrites a row's visible image outside any transaction (replay is
   /// single-threaded).

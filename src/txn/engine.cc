@@ -77,12 +77,15 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   stats_.reset(new ThreadStats[options_.max_threads]);
 
   if (options_.logging != LoggingKind::kNone) {
-    NEXT700_CHECK_MSG(!options_.log_path.empty(),
-                      "logging enabled without log_path");
+    NEXT700_CHECK_MSG(!options_.log_dir.empty(),
+                      "logging enabled without log_dir");
     LogManagerOptions log_options;
-    log_options.path = options_.log_path;
+    log_options.dir = options_.log_dir;
     log_options.flush_interval_us = options_.log_flush_interval_us;
     log_options.device_latency_us = options_.log_device_latency_us;
+    log_options.sync_policy = options_.log_sync;
+    log_options.segment_bytes = options_.log_segment_bytes;
+    log_options.file_factory = options_.log_file_factory;
     log_ = std::make_unique<LogManager>(log_options);
     NEXT700_CHECK_MSG(log_->Open().ok(), "cannot open log");
   }
@@ -284,7 +287,6 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
   const Lsn lsn = log_->Append(type, body.data(), body.size());
   txn->set_commit_lsn(lsn);
   txn->stats()->log_bytes += body.size() + 13;  // Frame overhead.
-  if (options_.sync_commit && !txn->defer_durable()) log_->WaitDurable(lsn);
   return Status::OK();
 }
 
@@ -310,16 +312,29 @@ Status Engine::Commit(TxnContext* txn) {
   ApplyIndexOps(txn);
   FinishEpoch(txn);
   ++txn->stats()->commits;
+  // Durability wait comes after Finalize (early lock release, Aether-style):
+  // locks are not held across the flush, and any dependent transaction gets
+  // a higher LSN, so it cannot be acknowledged before this one. On a log
+  // device failure the commit stands in memory but the caller learns the
+  // acknowledgement must not be given.
+  if (log_ != nullptr && options_.sync_commit && !txn->defer_durable() &&
+      txn->commit_lsn() > 0) {
+    return log_->WaitDurable(txn->commit_lsn());
+  }
   return Status::OK();
 }
 
 void Engine::Abort(TxnContext* txn) {
+  // A transaction that finalized but failed its durability wait has nothing
+  // to roll back; retry loops that Abort on any !ok status land here.
+  if (txn->state() == TxnState::kCommitted) return;
   cc_->Abort(txn);
   FinishEpoch(txn);
   ++txn->stats()->aborts;
 }
 
 void Engine::AbortUser(TxnContext* txn) {
+  if (txn->state() == TxnState::kCommitted) return;
   cc_->Abort(txn);
   FinishEpoch(txn);
   ++txn->stats()->user_aborts;

@@ -44,11 +44,20 @@ struct EngineOptions {
   bool mvcc_gc = true;
 
   LoggingKind logging = LoggingKind::kNone;
-  std::string log_path;
+  /// Directory holding the log.NNNNNN segment files (created on demand;
+  /// surviving segments are kept and the LSN space resumes after them).
+  std::string log_dir;
   /// Wait for the commit record to reach the device before returning.
   bool sync_commit = true;
+  /// Durability barrier per group-commit flush. kNone makes sync_commit
+  /// wait only for the write() — fast, but a kernel crash can lose it.
+  LogSyncPolicy log_sync = LogSyncPolicy::kNone;
   uint64_t log_flush_interval_us = 50;
   uint64_t log_device_latency_us = 0;
+  /// Rotate to a new segment once the live one exceeds this (0 = never).
+  uint64_t log_segment_bytes = 64ull << 20;
+  /// Overrides the log's device backend (fault injection, EINTR shims).
+  LogFileFactory log_file_factory;
 };
 
 /// A stored procedure: re-executable transaction logic for command logging
@@ -127,7 +136,10 @@ class Engine {
                      size_t limit, std::vector<Row*>* out);
 
   /// Validates, hardens, and publishes the transaction. On kAborted the
-  /// caller must still call Abort().
+  /// caller must still call Abort(). Under sync_commit the commit record's
+  /// durability failure surfaces here as a non-Aborted error: the effects
+  /// are published in memory but must not be acknowledged; Abort() on such
+  /// a transaction is a safe no-op.
   Status Commit(TxnContext* txn);
 
   /// Rolls back a concurrency-control abort; always succeeds.

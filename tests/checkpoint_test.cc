@@ -14,6 +14,12 @@ std::string TempPath(const char* tag) {
   return std::string(::testing::TempDir()) + "/next700_ckpt_" + tag;
 }
 
+std::string TempLogDir(const char* tag) {
+  const std::string dir = TempPath(tag) + ".logd";
+  RemoveLogDir(dir);  // Logs accumulate across runs now; start clean.
+  return dir;
+}
+
 class CheckpointTest : public ::testing::Test {
  protected:
   struct Setup {
@@ -21,12 +27,12 @@ class CheckpointTest : public ::testing::Test {
     std::unique_ptr<SmallBankWorkload> workload;
   };
 
-  static Setup MakeLoaded(LoggingKind logging, const std::string& log_path) {
+  static Setup MakeLoaded(LoggingKind logging, const std::string& log_dir) {
     EngineOptions options;
     options.cc_scheme = CcScheme::kNoWait;
     options.max_threads = 2;
     options.logging = logging;
-    options.log_path = log_path;
+    options.log_dir = log_dir;
     Setup setup;
     setup.engine = std::make_unique<Engine>(options);
     SmallBankOptions bank;
@@ -92,11 +98,11 @@ TEST_F(CheckpointTest, RoundTripRestoresEveryRow) {
 }
 
 TEST_F(CheckpointTest, CheckpointPlusLogSuffixRecovers) {
-  const std::string log_path = TempPath("suffix.log");
+  const std::string log_dir = TempLogDir("suffix");
   const std::string ckpt_path = TempPath("suffix.ckpt");
   int64_t total_final = 0;
   {
-    Setup source = MakeLoaded(LoggingKind::kValue, log_path);
+    Setup source = MakeLoaded(LoggingKind::kValue, log_dir);
     DriverOptions driver;
     driver.num_threads = 2;
     driver.txns_per_thread = 200;
@@ -109,8 +115,9 @@ TEST_F(CheckpointTest, CheckpointPlusLogSuffixRecovers) {
     // ...then more transactions (the log suffix).
     (void)Driver::Run(source.engine.get(), source.workload.get(), driver);
     total_final = Total(source);
-    source.engine->log_manager()->WaitDurable(
-        source.engine->log_manager()->appended_lsn());
+    ASSERT_TRUE(source.engine->log_manager()
+                    ->WaitDurable(source.engine->log_manager()->appended_lsn())
+                    .ok());
 
     // Persist the suffix position the recovery path would read from the
     // checkpoint metadata in a full system.
@@ -118,19 +125,11 @@ TEST_F(CheckpointTest, CheckpointPlusLogSuffixRecovers) {
     meta << ckpt_lsn;
   }
 
-  // Crash. Recover: load checkpoint, replay only the log suffix.
+  // Crash. Recover: load checkpoint, then replay only the records past the
+  // checkpoint LSN — Replay skips everything at or below start_lsn.
   Lsn ckpt_lsn;
   std::ifstream meta(ckpt_path + ".lsn");
   meta >> ckpt_lsn;
-  // Trim the prefix off a copy of the log to simulate suffix replay.
-  std::ifstream log_in(log_path, std::ios::binary);
-  std::vector<char> log_bytes((std::istreambuf_iterator<char>(log_in)),
-                              std::istreambuf_iterator<char>());
-  const std::string suffix_path = TempPath("suffix_only.log");
-  std::ofstream suffix(suffix_path, std::ios::binary);
-  suffix.write(log_bytes.data() + ckpt_lsn,
-               static_cast<std::streamsize>(log_bytes.size() - ckpt_lsn));
-  suffix.close();
 
   Setup target = MakeEmpty();
   CheckpointManager loader(target.engine.get());
@@ -138,7 +137,7 @@ TEST_F(CheckpointTest, CheckpointPlusLogSuffixRecovers) {
   ASSERT_TRUE(loader.Load(ckpt_path, &lstats).ok());
   RecoveryManager recovery(target.engine.get());
   RecoveryStats rstats;
-  ASSERT_TRUE(recovery.Replay(suffix_path, &rstats).ok());
+  ASSERT_TRUE(recovery.Replay(log_dir, &rstats, ckpt_lsn).ok());
   EXPECT_GT(rstats.txns_replayed, 0u);
   EXPECT_EQ(Total(target), total_final);
 }

@@ -78,9 +78,10 @@ TEST_P(DesignSpaceTest, CompositionRunsCorrectly) {
   options.num_partitions = 2;
   options.logging = comp.logging;
   if (comp.logging != LoggingKind::kNone) {
-    options.log_path = std::string(::testing::TempDir()) + "/design_" +
-                       CcSchemeName(comp.cc) + IndexKindName(comp.index) +
-                       LoggingKindName(comp.logging) + ".log";
+    options.log_dir = std::string(::testing::TempDir()) + "/design_" +
+                      CcSchemeName(comp.cc) + IndexKindName(comp.index) +
+                      LoggingKindName(comp.logging) + ".logd";
+    RemoveLogDir(options.log_dir);  // Logs accumulate across runs.
   }
   Engine engine(options);
   YcsbOptions ycsb;

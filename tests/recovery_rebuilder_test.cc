@@ -17,12 +17,12 @@ class RebuilderTest : public ::testing::Test {
     Index* by_value;  // Secondary: value field -> row.
   };
 
-  static Db Make(LoggingKind logging, const std::string& path) {
+  static Db Make(LoggingKind logging, const std::string& dir) {
     EngineOptions options;
     options.cc_scheme = CcScheme::kOcc;
     options.max_threads = 1;
     options.logging = logging;
-    options.log_path = path;
+    options.log_dir = dir;
     Db db;
     db.engine = std::make_unique<Engine>(options);
     Schema schema;
@@ -48,10 +48,11 @@ class RebuilderTest : public ::testing::Test {
 };
 
 TEST_F(RebuilderTest, SecondaryIndexRebuiltDuringValueReplay) {
-  const std::string path =
-      std::string(::testing::TempDir()) + "/rebuilder.log";
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/rebuilder.logd";
+  RemoveLogDir(dir);  // Logs accumulate across runs; start clean.
   {
-    Db source = Make(LoggingKind::kValue, path);
+    Db source = Make(LoggingKind::kValue, dir);
     for (uint64_t key = 0; key < 50; ++key) {
       InsertRow(source, key, 1000 + key * 2);
     }
@@ -65,7 +66,7 @@ TEST_F(RebuilderTest, SecondaryIndexRebuiltDuringValueReplay) {
     NEXT700_CHECK(target.by_value->Insert(value, row).ok());
   });
   RecoveryStats stats;
-  ASSERT_TRUE(recovery.Replay(path, &stats).ok());
+  ASSERT_TRUE(recovery.Replay(dir, &stats).ok());
   EXPECT_EQ(stats.txns_replayed, 50u);
 
   // Both access paths resolve, including ordered scans on the secondary.

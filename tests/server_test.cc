@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "faultlog/fault_injection.h"
 #include "server/client.h"
 #include "server/loadgen.h"
 #include "server/procs.h"
@@ -28,14 +29,17 @@ struct Service {
 };
 
 Service StartService(CcScheme scheme, LoggingKind logging,
-                     ServerOptions srv = {}, int partitions = 2) {
+                     ServerOptions srv = {}, int partitions = 2,
+                     std::function<void(EngineOptions&)> tweak = {}) {
   EngineOptions eng;
   eng.cc_scheme = scheme;
   eng.max_threads = srv.num_workers;
   eng.num_partitions = static_cast<uint32_t>(partitions);
   eng.logging = logging;
-  eng.log_path = std::string(::testing::TempDir()) + "/next700_server_" +
-                 CcSchemeName(scheme) + ".log";
+  eng.log_dir = std::string(::testing::TempDir()) + "/next700_server_" +
+                CcSchemeName(scheme) + ".logd";
+  RemoveLogDir(eng.log_dir);  // Logs accumulate across runs; start clean.
+  if (tweak) tweak(eng);
   Service service;
   service.engine = std::make_unique<Engine>(eng);
   KvServiceOptions kv;
@@ -140,6 +144,34 @@ TEST(ServerTest, CommittedRepliesAreDurableWhenValueLogged) {
     EXPECT_LE(response.commit_lsn, log->durable_lsn());
   }
   EXPECT_GT(service.server->stats().replies_held_durable.load(), 0u);
+}
+
+TEST(ServerTest, GroupCommitDurabilityIsBackedByRealBarriers) {
+  // The counting backend proves durable_lsn is advanced by actual
+  // fdatasync barriers, not a sleep-based stand-in.
+  FaultInjector injector;  // No faults registered: pure observation.
+  Service service = StartService(
+      CcScheme::kOcc, LoggingKind::kValue, {}, 2, [&](EngineOptions& eng) {
+        eng.log_sync = LogSyncPolicy::kFdatasync;
+        eng.log_file_factory = injector.factory();
+      });
+  LogManager* log = service.engine->log_manager();
+  ASSERT_NE(log, nullptr);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
+  for (int i = 0; i < 50; ++i) {
+    Response response;
+    ASSERT_TRUE(
+        client.Call(RmwRequest(static_cast<uint64_t>(i), 9), &response)
+            .ok());
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    EXPECT_GT(response.commit_lsn, 0u);
+    EXPECT_LE(response.commit_lsn, log->durable_lsn());
+  }
+  EXPECT_GT(injector.syncs(), 0u);
+  EXPECT_GT(injector.writes(), 0u);
+  EXPECT_EQ(log->sync_count(), injector.syncs());
+  service.server->Stop();
 }
 
 TEST(ServerTest, HstoreCompositionUsesPartitionedDispatch) {

@@ -140,13 +140,14 @@ TEST(TpccTest, NewOrderAdvancesDistrictCounter) {
 }
 
 TEST(TpccTest, WithValueLoggingRunsClean) {
-  const std::string path =
-      std::string(::testing::TempDir()) + "/tpcc_value.log";
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/tpcc_value.logd";
+  RemoveLogDir(dir);  // Logs accumulate across runs; start clean.
   EngineOptions eng;
   eng.cc_scheme = CcScheme::kNoWait;
   eng.max_threads = 2;
   eng.logging = LoggingKind::kValue;
-  eng.log_path = path;
+  eng.log_dir = dir;
   Engine engine(eng);
   TpccWorkload workload(SmallTpcc(1));
   workload.Load(&engine);

@@ -1,0 +1,455 @@
+/// \file
+/// Crash-fault injection driver for the log/recovery path.
+///
+/// Each round forks a child that runs a two-worker update workload against
+/// an engine with sync_commit + fdatasync and a FaultInjectingLogFile
+/// backend. Driven by the round's seed, the backend kills the child at a
+/// chosen physical write, tears that write at a byte offset, or flips a bit
+/// in a flushed batch. The child reports two event streams over a pipe:
+/// 'A' records after each *acknowledged* transaction (RunProcedure returned
+/// OK, i.e. WaitDurable passed) and 'W' records for each completed physical
+/// write. The parent then recovers the log into a fresh engine and checks
+/// the durability contract:
+///
+///   * every acknowledged transaction survives replay;
+///   * recovered state is exactly the deterministic model prefix per
+///     worker — no unacknowledged transaction is half-applied;
+///   * a bit flip below the log tail is *detected* (kCorruption), never
+///     silently replayed past.
+///
+/// Workload: worker t repeatedly runs procedure 1 on disjoint keys — its
+/// cursor row (key = t) plus two data rows drawn from its private range.
+/// Every row carries (count, stamp); the cursor count after seq s is s+1,
+/// so replay reveals exactly how many of the worker's transactions
+/// survived, and full-state comparison against the recomputed model
+/// catches any partial application. Arguments are derived from the seed,
+/// so the parent can rebuild the schedule without trusting the child.
+///
+/// Usage: crashtest [rounds] [base_seed]
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "faultlog/fault_injection.h"
+#include "log/recovery.h"
+#include "txn/engine.h"
+
+namespace next700 {
+namespace {
+
+constexpr int kThreads = 2;
+constexpr uint64_t kTxnsPerThread = 200;
+constexpr uint64_t kKeysPerThread = 64;
+constexpr uint64_t kDataBase = 16;  // Data keys start here; cursors at 0..1.
+
+/// Fixed-size pipe record; well under PIPE_BUF, so concurrent writers
+/// (two workers acking, the flusher reporting writes) stay atomic.
+struct Event {
+  char tag;  // 'A' = acked txn {a=thread, b=seq}; 'W' = write {a=index}.
+  char pad[7];
+  uint64_t a;
+  uint64_t b;
+};
+
+void SendEvent(int fd, char tag, uint64_t a, uint64_t b) {
+  Event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.tag = tag;
+  ev.a = a;
+  ev.b = b;
+  for (;;) {
+    const ssize_t n = ::write(fd, &ev, sizeof(ev));
+    if (n == static_cast<ssize_t>(sizeof(ev))) return;
+    if (n < 0 && errno == EINTR) continue;
+    ::_exit(99);  // Pipe broken: the parent is gone, nothing to salvage.
+  }
+}
+
+/// One transaction's deterministic argument block.
+struct TxnArgs {
+  uint64_t thread;
+  uint64_t seq;
+  uint64_t key_a;
+  uint64_t key_b;
+};
+
+/// Rebuilds worker t's argument schedule from the round seed. Child and
+/// parent call this independently; the child never has to report what it
+/// intended to run.
+std::vector<TxnArgs> MakeSchedule(uint64_t seed, uint64_t thread) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + thread + 1);
+  const uint64_t base = kDataBase + thread * kKeysPerThread;
+  std::vector<TxnArgs> schedule;
+  schedule.reserve(kTxnsPerThread);
+  for (uint64_t seq = 0; seq < kTxnsPerThread; ++seq) {
+    const uint64_t a = rng.NextUint64(kKeysPerThread);
+    // Distinct second key so each transaction touches exactly three rows.
+    const uint64_t b = (a + 1 + rng.NextUint64(kKeysPerThread - 1)) %
+                       kKeysPerThread;
+    schedule.push_back({thread, seq, base + a, base + b});
+  }
+  return schedule;
+}
+
+/// Per-round fault plan, derived from the seed by parent and child alike.
+struct FaultPlan {
+  FaultPoint::Kind kind;
+  uint64_t write_index;
+  uint64_t tear_bytes;
+  uint64_t flip_offset;
+  LoggingKind logging;
+};
+
+FaultPlan MakePlan(uint64_t seed) {
+  Rng rng(seed ^ 0xA5A5A5A5DEADBEEFull);
+  FaultPlan plan;
+  switch (seed % 3) {
+    case 0:
+      plan.kind = FaultPoint::Kind::kCrashBeforeWrite;
+      break;
+    case 1:
+      plan.kind = FaultPoint::Kind::kTornWrite;
+      break;
+    default:
+      plan.kind = FaultPoint::Kind::kBitFlip;
+      break;
+  }
+  plan.write_index = 1 + rng.NextUint64(200);
+  plan.tear_bytes = rng.Next();
+  plan.flip_offset = rng.Next();
+  plan.logging = (seed / 3) % 2 == 0 ? LoggingKind::kValue
+                                     : LoggingKind::kCommand;
+  return plan;
+}
+
+/// Registers the crashtest schema + procedure on a fresh engine.
+/// Procedure 1 bumps count and stamps seq+1 on the worker's cursor row and
+/// both data rows, creating rows on first touch.
+struct Fixture {
+  Table* table = nullptr;
+  Index* index = nullptr;
+};
+
+std::unique_ptr<Engine> MakeEngine(EngineOptions options, Fixture* fx) {
+  auto engine = std::make_unique<Engine>(std::move(options));
+  Schema schema;
+  schema.AddUint64("count");
+  schema.AddUint64("stamp");
+  fx->table = engine->CreateTable("ct", std::move(schema));
+  fx->index = engine->CreateIndex("ct_pk", fx->table, IndexKind::kHash, 4096);
+  engine->RegisterProcedure(
+      1, [fx](Engine* e, TxnContext* txn, const uint8_t* args,
+              size_t len) -> Status {
+        NEXT700_CHECK(len == sizeof(TxnArgs));
+        TxnArgs in;
+        std::memcpy(&in, args, sizeof(in));
+        const uint64_t keys[3] = {in.thread, in.key_a, in.key_b};
+        for (uint64_t key : keys) {
+          uint8_t buf[16];
+          Status s = e->ReadForUpdate(txn, fx->index, key, buf);
+          if (s.IsNotFound()) {
+            fx->table->schema().SetUint64(buf, 0, 1);
+            fx->table->schema().SetUint64(buf, 1, in.seq + 1);
+            Result<Row*> row = e->Insert(txn, fx->table, 0, key, buf);
+            NEXT700_RETURN_IF_ERROR(row.status());
+            e->AddIndexInsert(txn, fx->index, key, row.value());
+            continue;
+          }
+          NEXT700_RETURN_IF_ERROR(s);
+          fx->table->schema().SetUint64(
+              buf, 0, fx->table->schema().GetUint64(buf, 0) + 1);
+          fx->table->schema().SetUint64(buf, 1, in.seq + 1);
+          NEXT700_RETURN_IF_ERROR(e->Update(txn, fx->index, key, buf));
+        }
+        return Status::OK();
+      });
+  return engine;
+}
+
+/// Child process body: run the workload under injection. Exits 42 when the
+/// scheduled fault fires, 0 when the run completes without reaching it.
+void RunChild(uint64_t seed, const std::string& log_dir, int event_fd) {
+  const FaultPlan plan = MakePlan(seed);
+  FaultInjector injector;
+  FaultPoint fault;
+  fault.kind = plan.kind;
+  fault.write_index = plan.write_index;
+  fault.tear_bytes = plan.tear_bytes;
+  fault.flip_offset = plan.flip_offset;
+  injector.AddFault(fault);
+  if (plan.kind == FaultPoint::Kind::kBitFlip) {
+    // Let a few more batches land after the flip so the damage sits below
+    // the log tail, then crash: recovery must *detect* it, not skip it.
+    FaultPoint crash;
+    crash.kind = FaultPoint::Kind::kCrashBeforeWrite;
+    crash.write_index = plan.write_index + 3;
+    injector.AddFault(crash);
+  }
+  injector.set_write_observer(
+      [event_fd](uint64_t index) { SendEvent(event_fd, 'W', index, 0); });
+
+  EngineOptions options;
+  options.cc_scheme = CcScheme::kNoWait;
+  options.max_threads = kThreads;
+  options.logging = plan.logging;
+  options.log_dir = log_dir;
+  options.sync_commit = true;
+  options.log_sync = LogSyncPolicy::kFdatasync;
+  options.log_flush_interval_us = 20;
+  options.log_segment_bytes = 4096;  // Small: force rotation mid-run.
+  options.log_file_factory = injector.factory();
+  Fixture fx;
+  {
+    auto engine = MakeEngine(options, &fx);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::vector<TxnArgs> schedule = MakeSchedule(seed, t);
+        for (const TxnArgs& args : schedule) {
+          // Disjoint key ranges: no conflicts, so only a durability failure
+          // can surface here — and under injection the process just dies.
+          const Status s =
+              engine->RunProcedure(1, t, &args, sizeof(args));
+          NEXT700_CHECK_MSG(s.ok(), "workload txn failed");
+          SendEvent(event_fd, 'A', args.thread, args.seq);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }  // Engine destruction closes the log.
+  // Clean finish: the fault never triggered. Durability must have been
+  // real — the injector saw the fdatasync barriers.
+  NEXT700_CHECK_MSG(injector.syncs() > 0, "no durability barriers issued");
+  ::_exit(0);
+}
+
+struct RoundResult {
+  bool ok = false;
+  std::string detail;
+};
+
+RoundResult Fail(std::string detail) { return {false, std::move(detail)}; }
+
+/// Parent-side verification after the child exited.
+RoundResult VerifyRound(uint64_t seed, const std::string& log_dir,
+                        const std::vector<uint64_t>& acked,
+                        uint64_t max_write_index, bool child_crashed) {
+  const FaultPlan plan = MakePlan(seed);
+
+  EngineOptions clean;
+  clean.cc_scheme = CcScheme::kNoWait;
+  clean.max_threads = kThreads;
+  clean.logging = LoggingKind::kNone;
+  Fixture fx;
+  auto engine = MakeEngine(clean, &fx);
+  RecoveryManager recovery(engine.get());
+  RecoveryStats stats;
+  const Status replay = recovery.Replay(log_dir, &stats);
+
+  const bool flip_round =
+      child_crashed && plan.kind == FaultPoint::Kind::kBitFlip;
+  if (flip_round && max_write_index > plan.write_index) {
+    // Writes landed after the flipped batch, so the damaged frame sits
+    // mid-log: replay must refuse it rather than lose acked transactions.
+    if (replay.code() != StatusCode::kCorruption) {
+      return Fail("bit flip below the tail not detected: " +
+                  replay.ToString());
+    }
+    return {true, "corruption detected"};
+  }
+  if (flip_round) {
+    // The flipped batch was the last one written; its frames are
+    // indistinguishable from a torn tail. Either outcome is legal, but
+    // acked-transaction accounting is off the table.
+    if (!replay.ok() && replay.code() != StatusCode::kCorruption) {
+      return Fail("unexpected replay status: " + replay.ToString());
+    }
+    return {true, "flip at tail (lenient)"};
+  }
+  if (!replay.ok()) {
+    return Fail("replay failed: " + replay.ToString());
+  }
+
+  // Reconstruct the surviving prefix length per worker from its cursor row,
+  // then compare the whole database against the recomputed model.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> model;  // key -> row.
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t applied = 0;
+    if (Row* cursor = fx.index->Lookup(t)) {
+      applied = fx.table->schema().GetUint64(engine->RawImage(cursor), 0);
+      const uint64_t stamp =
+          fx.table->schema().GetUint64(engine->RawImage(cursor), 1);
+      if (stamp != applied) {
+        return Fail("worker " + std::to_string(t) +
+                    " cursor stamp/count mismatch");
+      }
+    }
+    if (applied > kTxnsPerThread) {
+      return Fail("worker " + std::to_string(t) + " over-applied");
+    }
+    if (applied < acked[t]) {
+      return Fail("worker " + std::to_string(t) + " lost acked txns: " +
+                  std::to_string(applied) + " survived < " +
+                  std::to_string(acked[t]) + " acked");
+    }
+    if (!child_crashed && applied != kTxnsPerThread) {
+      return Fail("clean run lost transactions");
+    }
+    const std::vector<TxnArgs> schedule = MakeSchedule(seed, t);
+    for (uint64_t seq = 0; seq < applied; ++seq) {
+      const TxnArgs& args = schedule[seq];
+      for (uint64_t key : {args.thread, args.key_a, args.key_b}) {
+        auto& row = model[key];
+        row.first += 1;
+        row.second = seq + 1;
+      }
+    }
+  }
+  for (uint64_t key = 0; key < kDataBase + kThreads * kKeysPerThread; ++key) {
+    Row* row = fx.index->Lookup(key);
+    const auto it = model.find(key);
+    if (it == model.end()) {
+      if (row != nullptr) {
+        return Fail("key " + std::to_string(key) +
+                    " exists but no surviving txn wrote it");
+      }
+      continue;
+    }
+    if (row == nullptr) {
+      return Fail("key " + std::to_string(key) + " missing after replay");
+    }
+    const uint8_t* image = engine->RawImage(row);
+    const uint64_t count = fx.table->schema().GetUint64(image, 0);
+    const uint64_t stamp = fx.table->schema().GetUint64(image, 1);
+    if (count != it->second.first || stamp != it->second.second) {
+      return Fail("key " + std::to_string(key) + " diverges from model: (" +
+                  std::to_string(count) + "," + std::to_string(stamp) +
+                  ") != (" + std::to_string(it->second.first) + "," +
+                  std::to_string(it->second.second) + ")");
+    }
+  }
+  return {true, child_crashed ? "state matches model prefix"
+                              : "clean run complete"};
+}
+
+int RunRound(uint64_t seed, const std::string& log_dir) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    std::fprintf(stderr, "pipe failed\n");
+    return 1;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fork failed\n");
+    return 1;
+  }
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    RunChild(seed, log_dir, pipe_fds[1]);
+    ::_exit(0);  // Unreachable; RunChild always _exits.
+  }
+  ::close(pipe_fds[1]);
+
+  std::vector<uint64_t> acked(kThreads, 0);
+  uint64_t max_write_index = 0;
+  bool saw_write = false;
+  Event ev;
+  size_t have = 0;
+  auto* raw = reinterpret_cast<uint8_t*>(&ev);
+  for (;;) {
+    const ssize_t n =
+        ::read(pipe_fds[0], raw + have, sizeof(ev) - have);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF: child exited (possibly mid-record).
+    have += static_cast<size_t>(n);
+    if (have < sizeof(ev)) continue;
+    have = 0;
+    if (ev.tag == 'A') {
+      // Acks per worker arrive in seq order; count is enough.
+      if (ev.a < kThreads) acked[ev.a] = ev.b + 1;
+    } else if (ev.tag == 'W') {
+      max_write_index = std::max(max_write_index, ev.a);
+      saw_write = true;
+    }
+  }
+  ::close(pipe_fds[0]);
+
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    std::fprintf(stderr, "waitpid failed\n");
+    return 1;
+  }
+  if (!WIFEXITED(wstatus)) {
+    std::fprintf(stderr, "seed %llu: child did not exit normally\n",
+                 static_cast<unsigned long long>(seed));
+    return 1;
+  }
+  const int code = WEXITSTATUS(wstatus);
+  if (code != 0 && code != 42) {
+    std::fprintf(stderr, "seed %llu: child exited %d\n",
+                 static_cast<unsigned long long>(seed), code);
+    return 1;
+  }
+
+  const RoundResult result =
+      VerifyRound(seed, log_dir, acked, saw_write ? max_write_index : 0,
+                  /*child_crashed=*/code == 42);
+  if (!result.ok) {
+    std::fprintf(stderr, "seed %llu: FAIL: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.detail.c_str());
+    return 1;
+  }
+  std::printf("seed %llu: %s (%s, acked %llu+%llu)\n",
+              static_cast<unsigned long long>(seed),
+              code == 42 ? "crashed+recovered" : "completed",
+              result.detail.c_str(),
+              static_cast<unsigned long long>(acked[0]),
+              static_cast<unsigned long long>(acked[1]));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const uint64_t rounds = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
+  const uint64_t base_seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  char dir_template[] = "/tmp/next700_crashtest_XXXXXX";
+  const char* base_dir = ::mkdtemp(dir_template);
+  if (base_dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  int failures = 0;
+  for (uint64_t i = 0; i < rounds; ++i) {
+    const uint64_t seed = base_seed + i;
+    const std::string log_dir =
+        std::string(base_dir) + "/round_" + std::to_string(seed);
+    failures += RunRound(seed, log_dir);
+    RemoveLogDir(log_dir);
+  }
+  ::rmdir(base_dir);
+  std::printf("%llu rounds, %d failures\n",
+              static_cast<unsigned long long>(rounds), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace next700
+
+int main(int argc, char** argv) { return next700::Main(argc, argv); }

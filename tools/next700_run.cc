@@ -12,9 +12,10 @@
 /// Examples:
 ///   next700_run --workload=ycsb --cc=SILO --threads=4 --theta=0.9
 ///   next700_run run --workload=tpcc --cc=WAIT_DIE --warehouses=4
-///       --logging=command --log-path=/tmp/tpcc.log
+///       --logging=command --log-dir=/tmp/tpcc.logd
 ///   next700_run serve --cc=HSTORE --workers=4 --partitions=4 --port=7700
-///   next700_run serve --cc=SILO --logging=value --log-path=/tmp/kv.log
+///   next700_run serve --cc=SILO --logging=value --log-sync=fdatasync
+///       --log-dir=/tmp/kv.logd
 
 #include <algorithm>
 #include <cctype>
@@ -46,8 +47,9 @@ void Usage() {
       "usage: next700_run [run] --workload=ycsb|tpcc|tatp|smallbank "
       "[--cc=SCHEME] [--threads=N]\n"
       "  [--seconds=S] [--warmup=S] [--partitions=N] [--index=hash|btree]\n"
-      "  [--logging=none|value|command] [--log-path=PATH] "
-      "[--log-latency-us=N] [--async-commit]\n"
+      "  [--logging=none|value|command] [--log-dir=DIR] "
+      "[--log-sync=none|fdatasync|odsync]\n"
+      "  [--log-segment-mb=N] [--log-latency-us=N] [--async-commit]\n"
       "  YCSB: [--records=N] [--theta=T] [--writes=F] [--ops=N] [--rmw]\n"
       "  TPC-C: [--warehouses=N]   TATP/SmallBank: [--records=N]\n"
       "\n"
@@ -55,8 +57,9 @@ void Usage() {
       "[--partitions=N]\n"
       "  [--host=ADDR] [--port=P] [--records=N] [--value-size=B] "
       "[--index=hash|btree]\n"
-      "  [--logging=none|value|command] [--log-path=PATH] "
-      "[--log-latency-us=N] [--async-commit]\n"
+      "  [--logging=none|value|command] [--log-dir=DIR] "
+      "[--log-sync=none|fdatasync|odsync]\n"
+      "  [--log-segment-mb=N] [--log-latency-us=N] [--async-commit]\n"
       "  [--max-inflight=N] [--queue-capacity=N] [--seconds=S]  "
       "(seconds=0: serve until SIGINT)\n");
 }
@@ -95,7 +98,17 @@ EngineOptions ParseEngineOptions(Flags* flags, int threads,
   } else if (logging != "none") {
     flags->Die("bad --logging: " + logging);
   }
-  eng.log_path = flags->GetString("log-path", "/tmp/next700_run.log");
+  eng.log_dir = flags->GetString("log-dir", "/tmp/next700_run.logd");
+  const std::string sync = flags->GetString("log-sync", "none");
+  if (sync == "fdatasync") {
+    eng.log_sync = LogSyncPolicy::kFdatasync;
+  } else if (sync == "odsync") {
+    eng.log_sync = LogSyncPolicy::kODsync;
+  } else if (sync != "none") {
+    flags->Die("bad --log-sync: " + sync);
+  }
+  eng.log_segment_bytes =
+      static_cast<uint64_t>(flags->GetInt("log-segment-mb", 64)) << 20;
   eng.log_device_latency_us =
       static_cast<uint64_t>(flags->GetInt("log-latency-us", 0));
   eng.sync_commit = !flags->GetBool("async-commit", false);

@@ -11,18 +11,18 @@ shift || true
 
 RUN="$BUILD_DIR/tools/next700_run"
 LOADGEN="$BUILD_DIR/tools/next700_loadgen"
-LOG="$(mktemp /tmp/next700_smoke.XXXXXX.log)"
+LOG="$(mktemp -d /tmp/next700_smoke.XXXXXX.logd)"
 OUT="$(mktemp /tmp/next700_smoke.XXXXXX.out)"
 
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
   [[ -n "${SERVER_PID:-}" ]] && wait "$SERVER_PID" 2>/dev/null || true
-  rm -f "$LOG" "$OUT"
+  rm -rf "$LOG" "$OUT"
 }
 trap cleanup EXIT
 
 "$RUN" serve --port=0 --workers=2 --records=20000 \
-  --logging=value --log-path="$LOG" "$@" > "$OUT" &
+  --logging=value --log-sync=fdatasync --log-dir="$LOG" "$@" > "$OUT" &
 SERVER_PID=$!
 
 # Wait for the "listening on HOST:PORT" line (the port is ephemeral).
