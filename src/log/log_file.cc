@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "log/log_record.h"
+
 namespace next700 {
 
 namespace {
@@ -118,9 +120,103 @@ Status ListLogSegments(const std::string& dir, std::vector<LogSegment>* out) {
 }
 
 Status EnsureLogDir(const std::string& dir) {
-  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  if (::mkdir(dir.c_str(), 0755) == 0) {
+    // The new directory's entry lives in its *parent*: without this
+    // barrier a power loss can forget the whole log directory even though
+    // every segment inside it was fdatasync'd.
+    const std::string::size_type slash = dir.find_last_of('/');
+    const std::string parent = slash == std::string::npos
+                                   ? std::string(".")
+                                   : (slash == 0 ? std::string("/")
+                                                 : dir.substr(0, slash));
+    return SyncDir(parent);
+  }
+  if (errno == EEXIST) return Status::OK();
   return Status::IOError("cannot create log dir " + dir + ": " +
                          std::strerror(errno));
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open dir " + dir + " for fsync: " +
+                           std::strerror(errno));
+  }
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) {
+    s = Status::IOError("fsync of dir " + dir + " failed: " +
+                        std::strerror(errno));
+  }
+  ::close(fd);
+  return s;
+}
+
+Status ScanValidFramePrefix(const std::string& path, uint64_t* valid_bytes) {
+  *valid_bytes = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::vector<uint8_t> data;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek " + path);
+  }
+  const long size = std::ftell(f);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot tell size of " + path);
+  }
+  data.resize(static_cast<size_t>(size));
+  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    return Status::IOError("short read on " + path);
+  }
+  std::fclose(f);
+
+  // Same framing discipline as RecoveryManager::ReplaySegment: a torn
+  // write leaves a prefix, so only an *incomplete* header, or an
+  // incomplete body under a checksum-valid header, is a legal crash tail.
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (pos + kFrameHeaderBytes > data.size()) break;  // Torn header.
+    uint32_t body_len;
+    std::memcpy(&body_len, data.data() + pos, 4);
+    const uint8_t type_raw = data[pos + 4];
+    uint32_t header_sum;
+    std::memcpy(&header_sum, data.data() + pos + 5, 4);
+    if (header_sum != FrameHeaderSum(body_len, type_raw)) {
+      return Status::Corruption("log frame header corrupt in " + path);
+    }
+    const size_t frame_end = pos + kFrameOverheadBytes + body_len;
+    if (frame_end > data.size()) break;  // Torn body (header vouches len).
+    uint64_t checksum;
+    std::memcpy(&checksum, data.data() + pos + kFrameHeaderBytes + body_len,
+                8);
+    if (checksum !=
+        FnvHashBytes(data.data() + pos + kFrameHeaderBytes, body_len)) {
+      return Status::Corruption("log checksum mismatch in " + path);
+    }
+    pos = frame_end;
+  }
+  *valid_bytes = pos;
+  return Status::OK();
+}
+
+Status TruncateLogSegment(const std::string& path, uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + " for truncate: " +
+                           std::strerror(errno));
+  }
+  Status s = Status::OK();
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    s = Status::IOError("cannot truncate " + path + ": " +
+                        std::strerror(errno));
+  } else if (::fsync(fd) != 0) {
+    s = Status::IOError("fsync after truncate of " + path + " failed: " +
+                        std::strerror(errno));
+  }
+  ::close(fd);
+  return s;
 }
 
 void RemoveLogDir(const std::string& dir) {

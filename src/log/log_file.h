@@ -98,8 +98,29 @@ std::string LogSegmentPath(const std::string& dir, uint64_t index);
 /// directory is not an error (empty result): a fresh log has no history.
 Status ListLogSegments(const std::string& dir, std::vector<LogSegment>* out);
 
-/// Creates `dir` if missing (parent must exist).
+/// Creates `dir` if missing (parent must exist). A freshly created
+/// directory's entry is fsynced into its parent: fdatasync on a segment
+/// persists the segment's data, not the mkdir that made it reachable.
 Status EnsureLogDir(const std::string& dir);
+
+/// fsync(2) on the directory itself — the barrier that makes freshly
+/// created entries (new segments) survive power loss. fdatasync on the
+/// segment fd does not cover the directory entry that names it.
+Status SyncDir(const std::string& dir);
+
+/// Scans `path` for the longest prefix of fully valid frames and returns
+/// its length in `*valid_bytes`. An incomplete header, or an incomplete
+/// body under a checksum-valid header, ends the scan (a legal torn tail);
+/// a *complete* header or frame whose checksum disagrees is flushed-that-
+/// way damage and returns kCorruption — truncating it would silently drop
+/// acked transactions.
+Status ScanValidFramePrefix(const std::string& path, uint64_t* valid_bytes);
+
+/// ftruncate(2) `path` to `valid_bytes` and fsync the result. Used by
+/// LogManager::Open to cut a crash's torn tail off the final surviving
+/// segment before new segments make it non-final (recovery tolerates a
+/// torn tail only in the final segment).
+Status TruncateLogSegment(const std::string& path, uint64_t valid_bytes);
 
 /// Deletes every `log.*` segment in `dir` and then the directory itself.
 /// Benches and examples use this to reset between runs now that opening a

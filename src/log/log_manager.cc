@@ -41,6 +41,10 @@ Status LogManager::OpenSegment(uint64_t index) {
   NEXT700_RETURN_IF_ERROR(
       file_->Open(LogSegmentPath(options_.dir, index),
                   options_.sync_policy == LogSyncPolicy::kODsync));
+  // The segment's directory entry must be durable before any write to it
+  // is acked: fdatasync/O_DSYNC cover the file's data, not the entry that
+  // names it, and a vanished segment loses every txn acked against it.
+  NEXT700_RETURN_IF_ERROR(SyncDir(options_.dir));
   segment_index_ = index;
   segment_written_ = 0;
   segments_opened_.fetch_add(1, std::memory_order_relaxed);
@@ -54,6 +58,22 @@ Status LogManager::Open() {
   // it: recovery replays those segments, and our frames land after them.
   std::vector<LogSegment> history;
   NEXT700_RETURN_IF_ERROR(ListLogSegments(options_.dir, &history));
+  if (!history.empty()) {
+    // A crash can leave a torn frame only at the tail of the final
+    // segment. Cut it off *now*: once we append a new segment, that
+    // segment is no longer final, and recovery would report its crash
+    // tail as corruption — permanently, for every later replay. A
+    // complete frame with a bad checksum is real damage, never a torn
+    // write; refuse to resume over it rather than silently truncate
+    // acked transactions.
+    LogSegment& last = history.back();
+    uint64_t valid = 0;
+    NEXT700_RETURN_IF_ERROR(ScanValidFramePrefix(last.path, &valid));
+    if (valid < last.bytes) {
+      NEXT700_RETURN_IF_ERROR(TruncateLogSegment(last.path, valid));
+      last.bytes = valid;
+    }
+  }
   uint64_t existing_bytes = 0;
   uint64_t next_index = 0;
   for (const LogSegment& segment : history) {
@@ -68,7 +88,6 @@ Status LogManager::Open() {
   stop_ = false;
   running_ = true;
   flusher_ = std::thread([this] { FlusherLoop(); });
-  flusher_tid_ = flusher_.get_id();
   return Status::OK();
 }
 
@@ -178,6 +197,15 @@ Status LogManager::WriteAndSync(const std::vector<uint8_t>& batch) {
 }
 
 void LogManager::FlusherLoop() {
+  {
+    // Publish our id under callback_mu_ before the first callback can
+    // fire: SetDurableCallback reads it (under the same mutex) to detect
+    // reentrant registration, and an unsynchronized write from Open()
+    // would race with a callback that re-registers during the very first
+    // flush.
+    std::lock_guard<std::mutex> lock(callback_mu_);
+    flusher_tid_ = std::this_thread::get_id();
+  }
   std::vector<uint8_t> local;
   for (;;) {
     Lsn target;

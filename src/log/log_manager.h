@@ -11,11 +11,13 @@
 /// transactions blocked in WaitDurable().
 ///
 /// The log is a directory of append-only segments (`log.000000`,
-/// `log.000001`, ...). Open() never truncates history: it scans the
-/// existing segments, resumes the LSN space after them, and appends to a
-/// fresh segment. The flusher rotates to a new segment once the current one
-/// crosses `segment_bytes` (always on a frame boundary, so only the final
-/// segment of a crashed log can carry a torn frame).
+/// `log.000001`, ...). Open() never truncates *committed* history: it
+/// scans the existing segments, cuts a crash's torn frame off the tail of
+/// the final one (and only a torn frame — complete-but-corrupt frames fail
+/// Open), resumes the LSN space after the surviving bytes, and appends to
+/// a fresh segment. The flusher rotates to a new segment once the current
+/// one crosses `segment_bytes` (always on a frame boundary, so only the
+/// final segment of a crashed log can carry a torn frame).
 ///
 /// I/O errors are sticky: the flusher parks, durable_lsn_ stops advancing,
 /// and every subsequent WaitDurable returns the error instead of the
@@ -81,8 +83,13 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Creates the segment directory if needed, resumes the LSN space after
-  /// any existing segments, opens a fresh segment, and starts the flusher.
+  /// Creates the segment directory if needed, truncates a torn crash tail
+  /// off the final surviving segment (it is about to stop being final, and
+  /// recovery tolerates a torn frame only there), resumes the LSN space
+  /// after the surviving bytes, opens a fresh segment, and starts the
+  /// flusher. Returns kCorruption — without truncating — if the final
+  /// segment holds a complete frame with a bad checksum: that was flushed
+  /// that way and may cover acked transactions.
   Status Open();
 
   /// Flushes outstanding records and stops the flusher. After Close(),
@@ -151,6 +158,8 @@ class LogManager {
   std::condition_variable callback_cv_;
   std::function<void(Lsn)> durable_callback_;
   bool callback_running_ = false;
+  // Guarded by callback_mu_; the flusher publishes its own id at startup,
+  // before the first durable callback can run.
   std::thread::id flusher_tid_;
 
   // Append cursor (workers, short critical sections) and flusher-side state

@@ -286,7 +286,7 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
   }
   const Lsn lsn = log_->Append(type, body.data(), body.size());
   txn->set_commit_lsn(lsn);
-  txn->stats()->log_bytes += body.size() + 13;  // Frame overhead.
+  txn->stats()->log_bytes += body.size() + kFrameOverheadBytes;
   return Status::OK();
 }
 

@@ -150,6 +150,96 @@ TEST(LogManagerTest, ReopenResumesLsnSpaceAfterHistory) {
   EXPECT_EQ(TotalLogBytes(options.dir), second_end);
 }
 
+TEST(LogManagerTest, ReopenTruncatesTornTailAtEveryByteBoundary) {
+  LogManagerOptions options;
+  options.dir = TempLogDir("reopen_torn");
+  const std::vector<uint8_t> body(16, 4);
+  Lsn valid_prefix = 0;  // Everything but the final frame.
+  Lsn full_end = 0;
+  {
+    LogManager log(options);
+    ASSERT_TRUE(log.Open().ok());
+    for (int i = 0; i < 3; ++i) {
+      valid_prefix = full_end;
+      full_end = log.Append(LogRecordType::kTxnValue, body);
+    }
+    ASSERT_TRUE(log.WaitDurable(full_end).ok());
+    log.Close();
+  }
+  std::ifstream in(OnlySegmentPath(options.dir), std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_EQ(bytes.size(), full_end);
+  const size_t last_frame_len = full_end - valid_prefix;
+
+  // A crash can stop the final write after any byte. Reopening must cut
+  // the torn frame back to the last valid boundary — once the reopened
+  // manager appends a new segment, the torn one is no longer final and
+  // recovery would reject its tail as corruption forever.
+  for (size_t cut = 1; cut <= last_frame_len; ++cut) {
+    const std::string torn = TempLogDir("reopen_torn_case");
+    ASSERT_TRUE(EnsureLogDir(torn).ok());
+    std::ofstream out(LogSegmentPath(torn, 0), std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - cut));
+    out.close();
+
+    LogManagerOptions reopened = options;
+    reopened.dir = torn;
+    LogManager log(reopened);
+    ASSERT_TRUE(log.Open().ok()) << "cut=" << cut;
+    EXPECT_EQ(log.appended_lsn(), valid_prefix) << "cut=" << cut;
+    const Lsn lsn = log.Append(LogRecordType::kTxnValue, body);
+    ASSERT_TRUE(log.WaitDurable(lsn).ok());
+    log.Close();
+
+    std::vector<LogSegment> segments;
+    ASSERT_TRUE(ListLogSegments(torn, &segments).ok());
+    ASSERT_EQ(segments.size(), 2u) << "cut=" << cut;
+    // The torn frame is gone from disk, not just skipped in memory.
+    EXPECT_EQ(segments[0].bytes, valid_prefix) << "cut=" << cut;
+    EXPECT_EQ(TotalLogBytes(torn), lsn) << "cut=" << cut;
+    RemoveLogDir(torn);
+  }
+}
+
+TEST(LogManagerTest, ReopenRejectsCorruptFinalSegment) {
+  LogManagerOptions options;
+  options.dir = TempLogDir("reopen_corrupt");
+  const std::vector<uint8_t> body(16, 4);
+  Lsn end = 0;
+  {
+    LogManager log(options);
+    ASSERT_TRUE(log.Open().ok());
+    for (int i = 0; i < 3; ++i) {
+      end = log.Append(LogRecordType::kTxnValue, body);
+    }
+    ASSERT_TRUE(log.WaitDurable(end).ok());
+    log.Close();
+  }
+  // Flip a byte in the middle: a *complete* frame with a bad checksum was
+  // flushed that way — truncating it would silently drop acked txns, so
+  // Open must refuse instead.
+  const std::string segment = OnlySegmentPath(options.dir);
+  std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(40);
+  char byte;
+  f.read(&byte, 1);
+  f.seekp(40);
+  byte = static_cast<char>(byte ^ 0xFF);
+  f.write(&byte, 1);
+  f.close();
+
+  LogManager log(options);
+  EXPECT_EQ(log.Open().code(), StatusCode::kCorruption);
+  // And nothing was truncated.
+  std::vector<LogSegment> segments;
+  ASSERT_TRUE(ListLogSegments(options.dir, &segments).ok());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].bytes, end);
+}
+
 TEST(LogManagerTest, WaitDurableReportsUnavailableWhenClosedEarly) {
   LogManagerOptions options;
   options.dir = TempLogDir("closed_early");
@@ -462,6 +552,59 @@ TEST_F(RecoveryTest, ReopenedLogAccumulatesHistoryAcrossRuns) {
   // each logs a fresh insert image of 1; replay takes the latest image.
   EXPECT_EQ(stats.txns_replayed, 20u);
   EXPECT_GE(stats.segments_read, 2u);
+  for (uint64_t key = 0; key < 10; ++key) {
+    EXPECT_EQ(Value(recovered.get(), index, table, key), 1u) << key;
+  }
+}
+
+TEST_F(RecoveryTest, CrashTailSurvivesRestartRunRecoverCycle) {
+  // The full adversarial sequence: crash (torn tail) -> restart and run
+  // more transactions -> recover. The restart's Open() must truncate the
+  // torn frame while its segment is still final; otherwise every later
+  // replay reports "torn frame in non-final segment" and the acked
+  // history is permanently unrecoverable.
+  const std::string dir = TempLogDir("torn_restart");
+  {
+    Table* table;
+    Index* index;
+    auto engine =
+        MakeEngine(BaseOptions(LoggingKind::kValue, dir), &table, &index);
+    for (uint64_t key = 0; key < 10; ++key) {
+      uint64_t args[2] = {key, 7};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+  }
+  // Tear the final frame: key 9's txn loses its tail, as a crash would.
+  std::vector<LogSegment> segments;
+  ASSERT_TRUE(ListLogSegments(dir, &segments).ok());
+  ASSERT_EQ(segments.size(), 1u);
+  ASSERT_EQ(::truncate(segments[0].path.c_str(),
+                       static_cast<off_t>(segments[0].bytes - 3)),
+            0);
+
+  {  // Restart: appends a second segment after the (truncated) first.
+    Table* table;
+    Index* index;
+    auto engine =
+        MakeEngine(BaseOptions(LoggingKind::kValue, dir), &table, &index);
+    for (uint64_t key = 0; key < 10; ++key) {
+      uint64_t args[2] = {key, 1};
+      ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+    }
+  }
+  Table* table;
+  Index* index;
+  auto recovered =
+      MakeEngine(BaseOptions(LoggingKind::kNone, ""), &table, &index);
+  RecoveryManager recovery(recovered.get());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovery.Replay(dir, &stats).ok());
+  // 9 surviving txns from the first life + 10 from the second.
+  EXPECT_EQ(stats.txns_replayed, 19u);
+  EXPECT_GE(stats.segments_read, 2u);
+  // The second life started from an empty engine, so its fresh insert
+  // images (value 1) are the latest for every key — including key 9,
+  // whose first-life txn was legitimately lost in the torn tail.
   for (uint64_t key = 0; key < 10; ++key) {
     EXPECT_EQ(Value(recovered.get(), index, table, key), 1u) << key;
   }
