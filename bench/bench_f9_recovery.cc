@@ -3,8 +3,20 @@
 /// logging; each log is then replayed into a freshly loaded engine.
 /// Expected shape: command logs are smaller but replay slower per
 /// transaction (they re-execute logic); value logs replay faster per byte.
+///
+/// Second axis — checkpoint interval vs recovery time. A value-logged
+/// SmallBank run is repeated with 0..15 online checkpoints spread evenly
+/// through it; each checkpoint truncates the log prefix, so recovery becomes
+/// "load the newest checkpoint + replay the suffix". More frequent
+/// checkpoints shrink the replayed suffix (and recovery time) at the cost of
+/// checkpoint writes during the run. SmallBank (not TPC-C) because the
+/// checkpoint loader needs a schema-complete but row-empty target engine,
+/// which SmallBank's two-table schema can provide cheaply.
+
+#include <chrono>
 
 #include "bench_common.h"
+#include "log/checkpoint.h"
 #include "log/recovery.h"
 
 using namespace next700;
@@ -37,6 +49,101 @@ Produced ProduceLog(LoggingKind kind, const TpccOptions& tpcc) {
   driver.txns_per_thread = QuickMode() ? 200 : 2000;
   const RunStats stats = Driver::Run(&engine, &workload, driver);
   return Produced{path, stats.commits};
+}
+
+SmallBankOptions CkptBank() {
+  SmallBankOptions bank;
+  bank.num_accounts = QuickMode() ? 1000 : 10000;
+  return bank;
+}
+
+/// One checkpoint-interval point: the run is split into `checkpoints + 1`
+/// equal batches with a checkpoint after each batch except the last, so
+/// the log suffix left for recovery is 1/(checkpoints+1) of the run.
+void RunCheckpointPoint(int checkpoints, JsonOutput* json) {
+  const std::string log_dir = "/tmp/next700_f9_ckpt.logd";
+  const std::string ckpt_dir = "/tmp/next700_f9_ckpt.ckptd";
+  RemoveLogDir(log_dir);
+  RemoveLogDir(ckpt_dir);
+  const SmallBankOptions bank = CkptBank();
+  uint64_t commits = 0;
+  {
+    EngineOptions eng;
+    eng.cc_scheme = CcScheme::kNoWait;
+    eng.max_threads = 2;
+    eng.logging = LoggingKind::kValue;
+    eng.log_dir = log_dir;
+    eng.sync_commit = true;
+    eng.log_sync = LogSyncPolicy::kFdatasync;
+    eng.log_segment_bytes = 64 << 10;  // Rotate often so truncation can bite.
+    if (checkpoints > 0) eng.checkpoint_dir = ckpt_dir;
+    Engine engine(eng);
+    SmallBankWorkload workload(bank);
+    workload.Load(&engine);
+    const uint64_t total = QuickMode() ? 2000 : 20000;
+    const int batches = checkpoints + 1;
+    DriverOptions driver;
+    driver.num_threads = 2;
+    driver.txns_per_thread = total / static_cast<uint64_t>(batches);
+    for (int b = 0; b < batches; ++b) {
+      commits += Driver::Run(&engine, &workload, driver).commits;
+      if (b + 1 < batches) {
+        const Status s = engine.TriggerCheckpoint(nullptr);
+        NEXT700_CHECK_MSG(s.ok(), s.ToString().c_str());
+      }
+    }
+  }
+
+  // Recovery target. A checkpoint restores every row, so its target must be
+  // schema-complete but row-empty; plain full replay (checkpoints == 0)
+  // instead replays over the deterministically re-loaded initial state,
+  // because the bulk load itself is not logged.
+  EngineOptions clean;
+  clean.cc_scheme = CcScheme::kNoWait;
+  clean.max_threads = 2;
+  Engine engine(clean);
+  SmallBankWorkload workload(bank);
+  workload.Load(&engine);
+  if (checkpoints > 0) {
+    for (const char* index_name : {"SAVINGS_PK", "CHECKING_PK"}) {
+      Index* index = engine.catalog()->GetIndex(index_name);
+      for (uint64_t acct = 0; acct < bank.num_accounts; ++acct) {
+        Row* row = index->Lookup(acct);
+        NEXT700_CHECK(row != nullptr);
+        index->Remove(acct, row);
+        row->table->FreeRow(row);
+      }
+    }
+  }
+  RecoverOutcome outcome;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status s = RecoverEngine(&engine, checkpoints > 0 ? ckpt_dir : "",
+                                 log_dir, nullptr, &outcome);
+  NEXT700_CHECK_MSG(s.ok(), s.ToString().c_str());
+  const double recovery_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  NEXT700_CHECK(outcome.used_checkpoint == (checkpoints > 0));
+  const double ckpt_mb =
+      static_cast<double>(outcome.checkpoint.bytes) / (1024.0 * 1024.0);
+  const double suffix_mb =
+      static_cast<double>(outcome.log.bytes_read) / (1024.0 * 1024.0);
+  std::printf("%d,%llu,%.2f,%.2f,%llu,%.3f\n", checkpoints,
+              static_cast<unsigned long long>(commits), ckpt_mb, suffix_mb,
+              static_cast<unsigned long long>(outcome.log.txns_replayed),
+              recovery_seconds);
+  std::fflush(stdout);
+  json->AddPoint(
+      {{"series", JsonOutput::Str("checkpoint_interval")},
+       {"checkpoints", JsonOutput::Num(checkpoints)},
+       {"txns_logged", JsonOutput::Num(static_cast<double>(commits))},
+       {"checkpoint_mb", JsonOutput::Num(ckpt_mb)},
+       {"suffix_mb", JsonOutput::Num(suffix_mb)},
+       {"txns_replayed",
+        JsonOutput::Num(static_cast<double>(outcome.log.txns_replayed))},
+       {"recovery_seconds", JsonOutput::Num(recovery_seconds)}});
+  RemoveLogDir(log_dir);
+  RemoveLogDir(ckpt_dir);
 }
 
 }  // namespace
@@ -74,7 +181,8 @@ int main(int argc, char** argv) {
                 stats.elapsed_seconds, ktxn_per_s);
     std::fflush(stdout);
     json.AddPoint(
-        {{"logging", JsonOutput::Str(LoggingKindName(kind))},
+        {{"series", JsonOutput::Str("replay")},
+         {"logging", JsonOutput::Str(LoggingKindName(kind))},
          {"log_mb", JsonOutput::Num(static_cast<double>(stats.bytes_read) /
                                     (1024.0 * 1024.0))},
          {"txns_logged",
@@ -84,6 +192,14 @@ int main(int argc, char** argv) {
          {"replay_seconds", JsonOutput::Num(stats.elapsed_seconds)},
          {"ktxn_per_s_replay", JsonOutput::Num(ktxn_per_s)}});
     RemoveLogDir(produced.path);
+  }
+
+  PrintHeader("F9b",
+              "checkpoint interval vs recovery time (SmallBank, value log)",
+              "checkpoints,txns_logged,checkpoint_mb,suffix_mb,txns_replayed,"
+              "recovery_seconds");
+  for (int checkpoints : {0, 1, 3, 7, 15}) {
+    RunCheckpointPoint(checkpoints, &json);
   }
   return 0;
 }

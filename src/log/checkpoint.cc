@@ -1,22 +1,89 @@
 #include "log/checkpoint.h"
 
-#include <cstdio>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "log/log_file.h"
 #include "log/log_record.h"
 
 namespace next700 {
 
 namespace {
 
-constexpr uint64_t kCheckpointMagic = 0x4E37303043484B50ull;  // "N700CHKP".
+// "N700CHKQ": format v2, which records each row's write timestamp so a
+// fuzzy snapshot composes with Thomas-rule replay of the log suffix. Files
+// with the old magic fail the header check rather than misparse.
+constexpr uint64_t kCheckpointMagic = 0x4E37303043484B51ull;
 
-Status WriteAll(std::FILE* f, const void* data, size_t len) {
-  if (std::fwrite(data, 1, len, f) != len) {
-    return Status::IOError("checkpoint write failed");
+/// Newest committed version of a multiversion row, skipping an uncommitted
+/// chain head installed by an in-flight writer. Null for a row whose
+/// insert has not committed yet — such a row is not durable state.
+const Version* NewestCommitted(const Row* row) {
+  const Version* v = row->chain.load(std::memory_order_acquire);
+  while (v != nullptr && !v->committed.load(std::memory_order_acquire)) {
+    v = v->next;
   }
-  return Status::OK();
+  return v;
+}
+
+/// Appends `[u32 table_id][u64 row_count placeholder]` and returns the
+/// placeholder's offset: the count is patched after the partitions are
+/// dumped, since an online scan cannot pre-count a moving table.
+size_t BeginTableDump(Table* table, std::vector<uint8_t>* out) {
+  LogWriter writer(out);
+  writer.PutU32(table->id());
+  const size_t count_offset = out->size();
+  writer.PutU64(0);
+  return count_offset;
+}
+
+void PatchRowCount(std::vector<uint8_t>* out, size_t count_offset,
+                   uint64_t rows) {
+  std::memcpy(out->data() + count_offset, &rows, sizeof(rows));
+}
+
+/// Dumps one partition's rows. For multiversion schemes this is safe
+/// concurrently with execution (the caller holds an epoch pin; committed
+/// versions are immutable); for single-version schemes the caller must
+/// have drained transactions — 2PL and H-Store write row images in place.
+void DumpPartitionRows(Engine* engine, Table* table, uint32_t partition,
+                       std::vector<uint8_t>* out, uint64_t* rows) {
+  const bool mv = engine->cc()->is_multiversion();
+  const uint32_t row_size = table->schema().row_size();
+  LogWriter writer(out);
+  table->ForEachRowInPartition(partition, [&](Row* row) {
+    uint8_t deleted;
+    Timestamp wts;
+    const uint8_t* payload;
+    if (mv) {
+      const Version* v = NewestCommitted(row);
+      if (v == nullptr) return;  // Uncommitted insert: the log covers it.
+      deleted = v->is_delete ? 1 : 0;
+      wts = v->wts;
+      payload = v->data();
+    } else {
+      deleted = row->deleted() ? 1 : 0;
+      wts = row->wts.load(std::memory_order_relaxed);
+      payload = row->data();
+    }
+    writer.PutU32(row->partition);
+    writer.PutU64(row->primary_key);
+    writer.PutU8(deleted);
+    writer.PutU64(wts);
+    writer.PutBytes(payload, row_size);
+    ++*rows;
+  });
+}
+
+void FinishCheckpointImage(std::vector<uint8_t>* out) {
+  const uint64_t checksum = FnvHashBytes(out->data(), out->size());
+  LogWriter writer(out);
+  writer.PutU64(checksum);
 }
 
 }  // namespace
@@ -34,29 +101,18 @@ Status CheckpointManager::Write(const std::string& path,
   writer.PutU32(static_cast<uint32_t>(num_tables));
   for (int i = 0; i < num_tables; ++i) {
     Table* table = engine_->catalog()->table_at(i);
-    writer.PutU32(table->id());
-    // Count first (ForEachRow is stable while quiescent).
+    const size_t count_offset = BeginTableDump(table, &out);
     uint64_t rows = 0;
-    table->ForEachRow([&](Row*) { ++rows; });
-    writer.PutU64(rows);
-    const uint32_t row_size = table->schema().row_size();
-    table->ForEachRow([&](Row* row) {
-      writer.PutU32(row->partition);
-      writer.PutU64(row->primary_key);
-      writer.PutU8(row->deleted() ? 1 : 0);
-      writer.PutBytes(engine_->RawImage(row), row_size);
-      ++stats->rows;
-    });
+    for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+      DumpPartitionRows(engine_, table, p, &out, &rows);
+    }
+    PatchRowCount(&out, count_offset, rows);
+    stats->rows += rows;
     ++stats->tables;
   }
-  const uint64_t checksum = FnvHashBytes(out.data(), out.size());
-  writer.PutU64(checksum);
+  FinishCheckpointImage(&out);
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
-  const Status s = WriteAll(f, out.data(), out.size());
-  std::fclose(f);
-  NEXT700_RETURN_IF_ERROR(s);
+  NEXT700_RETURN_IF_ERROR(WriteFileAtomic(path, out.data(), out.size()));
   stats->bytes = out.size();
   stats->elapsed_seconds = static_cast<double>(NowNanos() - start) / 1e9;
   return Status::OK();
@@ -65,17 +121,8 @@ Status CheckpointManager::Write(const std::string& path,
 Status CheckpointManager::Load(const std::string& path,
                                CheckpointStats* stats) {
   const uint64_t start = NowNanos();
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> in(static_cast<size_t>(size));
-  if (!in.empty() && std::fread(in.data(), 1, in.size(), f) != in.size()) {
-    std::fclose(f);
-    return Status::IOError("short read on " + path);
-  }
-  std::fclose(f);
+  std::vector<uint8_t> in;
+  NEXT700_RETURN_IF_ERROR(ReadFileFully(path, &in));
   stats->bytes = in.size();
 
   if (in.size() < 20) return Status::Corruption("checkpoint too small");
@@ -106,15 +153,22 @@ Status CheckpointManager::Load(const std::string& path,
       uint32_t partition;
       uint64_t primary_key;
       uint8_t deleted;
+      uint64_t wts;
       if (!reader.GetU32(&partition) || !reader.GetU64(&primary_key) ||
-          !reader.GetU8(&deleted)) {
+          !reader.GetU8(&deleted) || !reader.GetU64(&wts)) {
         return Status::Corruption("truncated row header");
       }
       const uint8_t* payload = reader.Peek();
       if (!reader.Skip(row_size)) {
         return Status::Corruption("truncated row payload");
       }
+      if (partition >= table->num_partitions()) {
+        return Status::Corruption("row partition out of range");
+      }
       Row* row = engine_->LoadRow(table, partition, primary_key, payload);
+      // The snapshot's write timestamp drives the Thomas rule when the log
+      // suffix replays over this row.
+      row->wts.store(wts, std::memory_order_relaxed);
       if (deleted != 0) {
         row->set_deleted(true);
         continue;  // Tombstones are not indexed.
@@ -128,6 +182,292 @@ Status CheckpointManager::Load(const std::string& path,
     ++stats->tables;
   }
   stats->elapsed_seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  return Status::OK();
+}
+
+CheckpointCoordinator::CheckpointCoordinator(Engine* engine,
+                                             CheckpointerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  NEXT700_CHECK(!options_.dir.empty());
+}
+
+CheckpointCoordinator::~CheckpointCoordinator() { Stop(); }
+
+Status CheckpointCoordinator::Prepare() {
+  NEXT700_RETURN_IF_ERROR(EnsureLogDir(options_.dir));
+  CheckpointManifest manifest;
+  const Status ms = ReadManifest(options_.dir, &manifest);
+  if (ms.ok()) {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    next_seq_ = manifest.checkpoint_seq + 1;
+    prev_file_ = manifest.checkpoint_file;
+    prev_base_index_ = manifest.log_base_index;
+    prev_base_lsn_ = manifest.log_base_lsn;
+    last_start_lsn_.store(manifest.start_lsn, std::memory_order_relaxed);
+  } else if (!ms.IsNotFound()) {
+    return ms;  // A corrupt MANIFEST must fail loudly, never be replaced.
+  }
+  // Sweep what a crashed install left behind: tmp files, and checkpoint
+  // files the MANIFEST does not name (a rename that landed before the
+  // manifest update, or an old file whose cleanup was interrupted).
+  DIR* d = ::opendir(options_.dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      const bool is_tmp =
+          name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+      const bool is_stale_ckpt = name.compare(0, 5, "ckpt.") == 0 &&
+                                 !is_tmp && name != prev_file_;
+      if (is_tmp || is_stale_ckpt) {
+        ::unlink((options_.dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  return Status::OK();
+}
+
+void CheckpointCoordinator::Start() {
+  if (options_.interval_ms == 0 || started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { BackgroundLoop(); });
+}
+
+void CheckpointCoordinator::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  started_ = false;
+}
+
+Status CheckpointCoordinator::background_status() const {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  return background_status_;
+}
+
+void CheckpointCoordinator::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                      [&] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    CheckpointStats stats;
+    const Status s = CheckpointNow(&stats);
+    if (!s.ok()) {
+      // A failed background checkpoint only delays truncation — the log
+      // still covers everything — but it must not pass silently.
+      std::lock_guard<std::mutex> run_lock(run_mu_);
+      if (background_status_.ok()) background_status_ = s;
+    }
+    lock.lock();
+  }
+}
+
+CheckpointCoordinator::SnapshotPolicy CheckpointCoordinator::PolicyFor()
+    const {
+  // Command logging re-executes procedures on recovery, so the snapshot
+  // must be a consistent cut — only a full drain gives one. The same holds
+  // when there is no log at all (the checkpoint *is* the recovered state).
+  if (engine_->log_manager() == nullptr ||
+      engine_->options().logging == LoggingKind::kCommand) {
+    return SnapshotPolicy::kFullQuiesce;
+  }
+  return engine_->cc()->is_multiversion() ? SnapshotPolicy::kEpochFuzzy
+                                          : SnapshotPolicy::kPartitionWindows;
+}
+
+void CheckpointCoordinator::SerializeSnapshot(std::vector<uint8_t>* out,
+                                              Lsn* start_lsn,
+                                              CheckpointStats* stats) {
+  const SnapshotPolicy policy = PolicyFor();
+  LogManager* log = engine_->log_manager();
+  out->clear();
+  LogWriter writer(out);
+  writer.PutU64(kCheckpointMagic);
+  const int num_tables = engine_->catalog()->num_tables();
+  writer.PutU32(static_cast<uint32_t>(num_tables));
+
+  // The start LSN is always chosen under a full drain: with no transaction
+  // between log append and finalize, every commit at or below it is fully
+  // materialized, and every commit above it will be replayed — so a scan
+  // that later observes such a commit's writes is harmless (full-image
+  // replay with the recorded wts is idempotent).
+  const auto capture_start_lsn = [&] {
+    *start_lsn = log != nullptr ? log->appended_lsn() : 0;
+  };
+
+  if (policy == SnapshotPolicy::kFullQuiesce) {
+    engine_->PauseTransactions();
+    capture_start_lsn();
+    for (int i = 0; i < num_tables; ++i) {
+      Table* table = engine_->catalog()->table_at(i);
+      const size_t count_offset = BeginTableDump(table, out);
+      uint64_t rows = 0;
+      for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+        DumpPartitionRows(engine_, table, p, out, &rows);
+      }
+      PatchRowCount(out, count_offset, rows);
+      stats->rows += rows;
+      ++stats->tables;
+    }
+    engine_->ResumeTransactions();
+  } else if (policy == SnapshotPolicy::kEpochFuzzy) {
+    engine_->PauseTransactions();
+    capture_start_lsn();
+    engine_->ResumeTransactions();
+    // Fuzzy scan concurrent with execution: committed versions are
+    // immutable, and the checkpointer's own epoch slot keeps the chains it
+    // walks from being reclaimed under it.
+    EpochManager* epochs = engine_->epoch_manager();
+    const int ckpt_slot = engine_->options().max_threads;
+    for (int i = 0; i < num_tables; ++i) {
+      Table* table = engine_->catalog()->table_at(i);
+      const size_t count_offset = BeginTableDump(table, out);
+      uint64_t rows = 0;
+      for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+        EpochGuard guard(epochs, ckpt_slot);
+        DumpPartitionRows(engine_, table, p, out, &rows);
+      }
+      PatchRowCount(out, count_offset, rows);
+      stats->rows += rows;
+      ++stats->tables;
+    }
+  } else {  // kPartitionWindows
+    // Single-version schemes write row images in place mid-transaction, so
+    // each partition is dumped under a brief drain; execution resumes
+    // between partitions.
+    bool first_window = true;
+    for (int i = 0; i < num_tables; ++i) {
+      Table* table = engine_->catalog()->table_at(i);
+      const size_t count_offset = BeginTableDump(table, out);
+      uint64_t rows = 0;
+      for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+        engine_->PauseTransactions();
+        if (first_window) {
+          capture_start_lsn();
+          first_window = false;
+        }
+        DumpPartitionRows(engine_, table, p, out, &rows);
+        engine_->ResumeTransactions();
+      }
+      PatchRowCount(out, count_offset, rows);
+      stats->rows += rows;
+      ++stats->tables;
+    }
+    if (first_window) {  // No tables: still anchor the LSN consistently.
+      engine_->PauseTransactions();
+      capture_start_lsn();
+      engine_->ResumeTransactions();
+    }
+  }
+  FinishCheckpointImage(out);
+}
+
+Status CheckpointCoordinator::CheckpointNow(CheckpointStats* stats) {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  const uint64_t start_ns = NowNanos();
+  CheckpointStats local;
+  std::vector<uint8_t> body;
+  Lsn start_lsn = 0;
+  SerializeSnapshot(&body, &start_lsn, &local);
+
+  const uint64_t seq = next_seq_;
+  const std::string file = CheckpointFileName(seq);
+  NEXT700_RETURN_IF_ERROR(WriteFileAtomic(
+      options_.dir + "/" + file, body.data(), body.size(),
+      [this](const char* point) {
+        Hook((std::string("checkpoint:") + point).c_str());
+      }));
+
+  Hook("checkpoint:before-manifest");
+  CheckpointManifest manifest;
+  manifest.checkpoint_seq = seq;
+  manifest.checkpoint_file = file;
+  manifest.start_lsn = start_lsn;
+  LogManager* log = engine_->log_manager();
+  const bool truncate = log != nullptr && options_.truncate_log;
+  if (truncate) {
+    const SealedSegment base = log->BaseAfterRetire(start_lsn);
+    manifest.log_base_index = base.index;
+    manifest.log_base_lsn = base.start_lsn;
+  } else {
+    manifest.log_base_index = prev_base_index_;
+    manifest.log_base_lsn = prev_base_lsn_;
+  }
+  NEXT700_RETURN_IF_ERROR(WriteManifestAtomic(
+      options_.dir, manifest, [this](const char* point) {
+        Hook((std::string("manifest:") + point).c_str());
+      }));
+
+  Hook("checkpoint:before-retire");
+  if (truncate) {
+    // The MANIFEST recording the new base is durable, so segments below
+    // the checkpoint are unreachable by recovery whether or not these
+    // unlinks complete — a crash here leaves stale files the next Open()
+    // deletes.
+    NEXT700_RETURN_IF_ERROR(log->RetireSegmentsBelow(
+        start_lsn, [this] { Hook("checkpoint:mid-retire"); }));
+  }
+
+  Hook("checkpoint:before-cleanup");
+  if (!prev_file_.empty() && prev_file_ != file) {
+    // Best-effort: a stale checkpoint file is ignored by recovery and
+    // swept by the next Prepare().
+    ::unlink((options_.dir + "/" + prev_file_).c_str());
+  }
+
+  prev_file_ = file;
+  prev_base_index_ = manifest.log_base_index;
+  prev_base_lsn_ = manifest.log_base_lsn;
+  next_seq_ = seq + 1;
+  checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+  last_start_lsn_.store(start_lsn, std::memory_order_relaxed);
+
+  local.bytes = body.size();
+  local.elapsed_seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status RecoverEngine(Engine* engine, const std::string& checkpoint_dir,
+                     const std::string& log_dir,
+                     RecoveryManager::SecondaryIndexRebuilder rebuilder,
+                     RecoverOutcome* out) {
+  CheckpointManifest manifest;
+  Status ms = checkpoint_dir.empty()
+                  ? Status::NotFound("no checkpoint dir")
+                  : ReadManifest(checkpoint_dir, &manifest);
+  if (!ms.ok() && !ms.IsNotFound()) return ms;  // Corrupt MANIFEST: loud.
+
+  Lsn start_lsn = 0;
+  uint64_t log_base_index = 0;
+  Lsn log_base_lsn = 0;
+  if (ms.ok()) {
+    log_base_index = manifest.log_base_index;
+    log_base_lsn = manifest.log_base_lsn;
+    if (!manifest.checkpoint_file.empty()) {
+      CheckpointManager loader(engine);
+      loader.set_secondary_rebuilder(rebuilder);
+      NEXT700_RETURN_IF_ERROR(
+          loader.Load(checkpoint_dir + "/" + manifest.checkpoint_file,
+                      &out->checkpoint));
+      out->used_checkpoint = true;
+      start_lsn = manifest.start_lsn;
+    }
+  }
+  struct stat st;
+  if (!log_dir.empty() && ::stat(log_dir.c_str(), &st) == 0) {
+    RecoveryManager recovery(engine);
+    recovery.set_secondary_rebuilder(rebuilder);
+    NEXT700_RETURN_IF_ERROR(recovery.Replay(log_dir, &out->log, start_lsn,
+                                            log_base_index, log_base_lsn));
+  }
   return Status::OK();
 }
 

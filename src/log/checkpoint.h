@@ -2,24 +2,48 @@
 #define NEXT700_LOG_CHECKPOINT_H_
 
 /// \file
-/// Quiescent checkpoints: a full dump of every table's committed rows,
-/// written while no transactions are in flight. Together with the WAL this
-/// completes the durability story — recovery becomes "load the newest
-/// checkpoint, replay the log suffix", and the log can be truncated at
-/// every checkpoint instead of growing forever. (A fuzzy checkpointer that
-/// runs concurrently with transactions is listed as future work in
-/// DESIGN.md.)
+/// The checkpoint lifecycle: online snapshots, crash-atomic install, and
+/// log truncation. Together with the WAL this completes the durability
+/// story — recovery becomes "load the checkpoint named by the MANIFEST,
+/// replay the log suffix past its start LSN", and segments wholly below
+/// that LSN are retired so disk usage and recovery time are governed by
+/// the checkpoint interval, not total history.
 ///
-/// File format:
+/// Snapshot policy per composition (CheckpointCoordinator):
+///   * command logging (or no log) — the whole scan runs inside one
+///     transaction-drain window: replay re-executes procedures, so the
+///     snapshot must be a transactionally consistent cut.
+///   * value logging, multiversion CC — drain only long enough to read the
+///     start LSN, then an epoch-gated fuzzy scan captures each row's
+///     newest *committed* version concurrently with execution.
+///   * value logging, single-version CC — per-partition quiesce windows:
+///     2PL and H-Store write row images in place mid-transaction, so each
+///     partition is dumped under a brief drain, with execution resuming
+///     between partitions.
+/// Fuzzy/partition snapshots are correct because the start LSN is chosen
+/// under a full drain: any transaction not fully captured by the scan has
+/// a commit LSN above it and is replayed, and full-image replay with the
+/// recorded per-row write timestamp (Thomas rule) makes double-application
+/// idempotent.
+///
+/// Install order (crash-safe at every point, see tools/crashtest):
+///   1. checkpoint file: tmp + fsync + rename + dirsync
+///   2. MANIFEST: atomic replace naming {file, start_lsn, log base}
+///   3. retire log segments wholly below start_lsn + dirsync
+///   4. delete the previous checkpoint file (stale files are ignored)
+///
+/// Checkpoint file format (version tag in the magic):
 ///   [u64 magic][u32 num_tables]
 ///   per table: [u32 table_id][u64 row_count]
-///     per row: [u32 partition][u64 primary_key][u8 deleted]
+///     per row: [u32 partition][u64 primary_key][u8 deleted][u64 wts]
 ///              [payload row_size bytes]
 ///   [u64 checksum over everything before it]
 
 #include <string>
+#include <thread>
 
 #include "common/status.h"
+#include "log/manifest.h"
 #include "log/recovery.h"
 #include "txn/engine.h"
 
@@ -32,6 +56,9 @@ struct CheckpointStats {
   double elapsed_seconds = 0;
 };
 
+/// Writes and loads single checkpoint files. Write() is the quiescent
+/// building block (the caller guarantees no transactions are in flight);
+/// the online path lives in CheckpointCoordinator.
 class CheckpointManager {
  public:
   explicit CheckpointManager(Engine* engine) : engine_(engine) {}
@@ -42,17 +69,128 @@ class CheckpointManager {
     rebuilder_ = std::move(rebuilder);
   }
 
-  /// Dumps every table. The engine must be quiescent.
+  /// Dumps every table and installs the file crash-atomically
+  /// (tmp + fsync + rename + dirsync). The engine must be quiescent.
   Status Write(const std::string& path, CheckpointStats* stats);
 
   /// Populates a schema-complete but *empty* engine from a checkpoint,
-  /// re-inserting rows into each table's primary index.
+  /// re-inserting rows into each table's primary index and restoring each
+  /// row's write timestamp so Thomas-rule replay of the log suffix works.
   Status Load(const std::string& path, CheckpointStats* stats);
 
  private:
   Engine* engine_;
   RecoveryManager::SecondaryIndexRebuilder rebuilder_;
 };
+
+struct CheckpointerOptions {
+  /// Checkpoint directory: holds MANIFEST + ckpt.NNNNNN (created if
+  /// missing).
+  std::string dir;
+  /// Background checkpoint cadence; 0 = manual CheckpointNow() only.
+  uint64_t interval_ms = 0;
+  /// Retire log segments wholly below each checkpoint's start LSN.
+  bool truncate_log = true;
+  /// Crash-harness hook, invoked with named points inside the install
+  /// sequence ("checkpoint:mid-write", "checkpoint:before-rename",
+  /// "checkpoint:before-manifest", "manifest:mid-write",
+  /// "manifest:before-rename", "checkpoint:before-retire",
+  /// "checkpoint:mid-retire", "checkpoint:before-cleanup").
+  std::function<void(const char*)> crash_hook;
+};
+
+/// Owns the online checkpoint lifecycle for one Engine: snapshot capture
+/// under the per-scheme policy above, crash-atomic install, MANIFEST
+/// update, and log truncation. Constructed by the Engine when
+/// EngineOptions::checkpoint_dir is set; Start() spawns the background
+/// thread (call it only after DDL and loading — the scan must not race
+/// CreateTable or CC-free LoadRow writes).
+class CheckpointCoordinator {
+ public:
+  CheckpointCoordinator(Engine* engine, CheckpointerOptions options);
+  ~CheckpointCoordinator();
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  /// Reads the existing MANIFEST (resuming the checkpoint sequence) and
+  /// deletes stale files a crash left behind — tmp files and checkpoint
+  /// files the MANIFEST does not name. Called by the Engine before any
+  /// transaction runs.
+  Status Prepare();
+
+  /// Spawns the background thread when interval_ms > 0 (no-op otherwise).
+  void Start();
+
+  /// Stops and joins the background thread; CheckpointNow stays usable.
+  void Stop();
+
+  /// Takes one checkpoint: snapshot, install, MANIFEST, truncate.
+  /// Serialized — concurrent calls (manual + background) queue up.
+  Status CheckpointNow(CheckpointStats* stats);
+
+  uint64_t checkpoints_taken() const {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  }
+  Lsn last_start_lsn() const {
+    return last_start_lsn_.load(std::memory_order_relaxed);
+  }
+  /// Sticky first failure of a *background* checkpoint (manual calls
+  /// return their status directly). A failed checkpoint only delays
+  /// truncation — the log still covers everything.
+  Status background_status() const;
+
+ private:
+  enum class SnapshotPolicy { kFullQuiesce, kPartitionWindows, kEpochFuzzy };
+
+  SnapshotPolicy PolicyFor() const;
+  void Hook(const char* point) {
+    if (options_.crash_hook) options_.crash_hook(point);
+  }
+  /// Captures the snapshot into `out` (full file image, checksum included)
+  /// and the LSN the paired log suffix starts at.
+  void SerializeSnapshot(std::vector<uint8_t>* out, Lsn* start_lsn,
+                         CheckpointStats* stats);
+  void BackgroundLoop();
+
+  Engine* engine_;
+  CheckpointerOptions options_;
+
+  // Serializes CheckpointNow; guards install state.
+  mutable std::mutex run_mu_;
+  uint64_t next_seq_ = 1;
+  std::string prev_file_;
+  uint64_t prev_base_index_ = 0;
+  Lsn prev_base_lsn_ = 0;
+  Status background_status_;
+
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<Lsn> last_start_lsn_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// Everything recovery restored, for reporting.
+struct RecoverOutcome {
+  bool used_checkpoint = false;
+  CheckpointStats checkpoint;
+  RecoveryStats log;
+};
+
+/// Full recovery into a fresh, schema-complete engine: read the MANIFEST
+/// in `checkpoint_dir`, load the checkpoint it names, then replay the log
+/// suffix past its start LSN using its log-base bookkeeping. A missing
+/// MANIFEST (or empty `checkpoint_dir`) falls back to plain full replay; a
+/// corrupt MANIFEST or checkpoint is a loud error, never a silent partial
+/// load — the truncated log cannot cover what the checkpoint held. An
+/// empty or missing `log_dir` skips replay.
+Status RecoverEngine(Engine* engine, const std::string& checkpoint_dir,
+                     const std::string& log_dir,
+                     RecoveryManager::SecondaryIndexRebuilder rebuilder,
+                     RecoverOutcome* out);
 
 }  // namespace next700
 

@@ -228,4 +228,99 @@ void RemoveLogDir(const std::string& dir) {
   ::rmdir(dir.c_str());
 }
 
+void RemoveDirContents(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* entry = ::readdir(d)) {
+      const char* name = entry->d_name;
+      if (std::strcmp(name, ".") == 0 || std::strcmp(name, "..") == 0) {
+        continue;
+      }
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+Status ReadFileFully(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek " + path);
+  }
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot tell size of " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek " + path);
+  }
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 && std::fread(out->data(), 1, out->size(), f) != out->size()) {
+    std::fclose(f);
+    return Status::IOError("short read on " + path);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const uint8_t* data,
+                       size_t len,
+                       const std::function<void(const char*)>& crash_hook) {
+  const std::string tmp = path + ".tmp";
+  // O_TRUNC, not O_EXCL: a crash can leave a stale tmp file behind, and the
+  // next install must simply overwrite it.
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  auto write_all = [fd](const uint8_t* p, size_t n) -> Status {
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd, p + off, n - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("write failed: ") +
+                               std::strerror(errno));
+      }
+      off += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  };
+  const size_t half = len / 2;
+  Status s = write_all(data, half);
+  if (s.ok()) {
+    if (crash_hook) crash_hook("mid-write");
+    s = write_all(data + half, len - half);
+  }
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::IOError("fsync of " + tmp + " failed: " +
+                        std::strerror(errno));
+  }
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (crash_hook) crash_hook("before-rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rs = Status::IOError("cannot rename " + tmp + " to " + path +
+                                      ": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return rs;
+  }
+  // The rename's durability lives in the directory entry.
+  const std::string::size_type slash = path.find_last_of('/');
+  const std::string parent =
+      slash == std::string::npos
+          ? std::string(".")
+          : (slash == 0 ? std::string("/") : path.substr(0, slash));
+  return SyncDir(parent);
+}
+
 }  // namespace next700

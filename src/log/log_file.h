@@ -127,6 +127,28 @@ Status TruncateLogSegment(const std::string& path, uint64_t valid_bytes);
 /// log no longer truncates history.
 void RemoveLogDir(const std::string& dir);
 
+/// Deletes every regular file in `dir` (non-recursive) and then `dir`
+/// itself. Checkpoint directories hold MANIFEST + ckpt.NNNNNN files, so
+/// RemoveLogDir's `log.*` filter does not cover them.
+void RemoveDirContents(const std::string& dir);
+
+/// Reads all of `path` into `*out`, checking every seek/tell/read result:
+/// a failed ftell must surface as kIOError, not become a ~SIZE_MAX resize
+/// that kills the process with bad_alloc. Shared by recovery, checkpoint
+/// load, and the manifest reader.
+Status ReadFileFully(const std::string& path, std::vector<uint8_t>* out);
+
+/// Crash-atomic file install: writes `len` bytes to `path + ".tmp"`,
+/// fsyncs, renames over `path`, and fsyncs the parent directory. A crash
+/// at any point leaves either the old file (or nothing) or the complete
+/// new one — never a torn `path`. `crash_hook`, when set, is invoked with
+/// the named points "mid-write" (half the payload written to the tmp
+/// file) and "before-rename" (tmp complete and fsynced) so the crash
+/// harness can kill the process inside the install.
+Status WriteFileAtomic(
+    const std::string& path, const uint8_t* data, size_t len,
+    const std::function<void(const char*)>& crash_hook = nullptr);
+
 }  // namespace next700
 
 #endif  // NEXT700_LOG_LOG_FILE_H_

@@ -1,5 +1,7 @@
 #include "log/log_manager.h"
 
+#include <unistd.h>
+
 #include <chrono>
 
 #include "common/macros.h"
@@ -58,6 +60,25 @@ Status LogManager::Open() {
   // it: recovery replays those segments, and our frames land after them.
   std::vector<LogSegment> history;
   NEXT700_RETURN_IF_ERROR(ListLogSegments(options_.dir, &history));
+  if (options_.base_index > 0) {
+    // Segments below the manifest's base are a retired prefix; a crash
+    // between the manifest update and the unlinks leaves them behind.
+    // Finish the job here — their LSN range is fully covered by the
+    // checkpoint, so deleting them loses nothing.
+    bool removed_stale = false;
+    size_t keep = 0;
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (history[i].index < options_.base_index) {
+        ::unlink(history[i].path.c_str());
+        removed_stale = true;
+      } else {
+        if (keep != i) history[keep] = std::move(history[i]);
+        ++keep;
+      }
+    }
+    history.resize(keep);
+    if (removed_stale) NEXT700_RETURN_IF_ERROR(SyncDir(options_.dir));
+  }
   if (!history.empty()) {
     // A crash can leave a torn frame only at the tail of the final
     // segment. Cut it off *now*: once we append a new segment, that
@@ -74,13 +95,24 @@ Status LogManager::Open() {
       last.bytes = valid;
     }
   }
-  uint64_t existing_bytes = 0;
-  uint64_t next_index = 0;
-  for (const LogSegment& segment : history) {
-    existing_bytes += segment.bytes;
-    next_index = segment.index + 1;
+  // Cumulative LSNs start at the manifest's base, not 0: retirement may
+  // have deleted a prefix of the segment chain, but the LSN space (and the
+  // frames recovery skips below a checkpoint's start_lsn) must not shift.
+  Lsn cursor = options_.base_lsn;
+  uint64_t next_index = options_.base_index;
+  {
+    std::lock_guard<std::mutex> seg_lock(segments_mu_);
+    sealed_.clear();
+    for (const LogSegment& segment : history) {
+      sealed_.push_back(SealedSegment{segment.index, segment.path, cursor,
+                                      cursor + segment.bytes});
+      cursor += segment.bytes;
+      next_index = segment.index + 1;
+    }
+    live_index_ = next_index;
+    live_start_lsn_ = cursor;
   }
-  appended_lsn_ = durable_lsn_ = existing_bytes;
+  appended_lsn_ = durable_lsn_ = cursor;
   NEXT700_RETURN_IF_ERROR(OpenSegment(next_index));
 
   io_status_ = Status::OK();
@@ -164,6 +196,50 @@ Lsn LogManager::appended_lsn() const {
   return appended_lsn_;
 }
 
+SealedSegment LogManager::BaseAfterRetire(Lsn lsn) const {
+  std::lock_guard<std::mutex> lock(segments_mu_);
+  for (const SealedSegment& segment : sealed_) {
+    if (segment.end_lsn > lsn) return segment;
+  }
+  // Every sealed segment falls below the checkpoint: the live segment is
+  // the new base. Later rotations only grow the chain above it, so the
+  // returned (index, start_lsn) stays valid after this call returns.
+  SealedSegment live;
+  live.index = live_index_;
+  live.path = LogSegmentPath(options_.dir, live_index_);
+  live.start_lsn = live.end_lsn = live_start_lsn_;
+  return live;
+}
+
+Status LogManager::RetireSegmentsBelow(
+    Lsn lsn, const std::function<void()>& between_unlinks) {
+  std::vector<SealedSegment> victims;
+  {
+    std::lock_guard<std::mutex> lock(segments_mu_);
+    size_t keep = 0;
+    for (size_t i = 0; i < sealed_.size(); ++i) {
+      if (sealed_[i].end_lsn <= lsn) {
+        victims.push_back(std::move(sealed_[i]));
+      } else {
+        if (keep != i) sealed_[keep] = std::move(sealed_[i]);
+        ++keep;
+      }
+    }
+    sealed_.resize(keep);
+  }
+  if (victims.empty()) return Status::OK();
+  for (const SealedSegment& segment : victims) {
+    ::unlink(segment.path.c_str());
+    if (between_unlinks) between_unlinks();
+  }
+  return SyncDir(options_.dir);
+}
+
+std::vector<SealedSegment> LogManager::sealed_segments() const {
+  std::lock_guard<std::mutex> lock(segments_mu_);
+  return sealed_;
+}
+
 Status LogManager::WriteAndSync(const std::vector<uint8_t>& batch) {
   // Rotation happens only between flushes, so every segment but the live
   // one ends on a frame boundary — recovery relies on this to treat a torn
@@ -171,6 +247,15 @@ Status LogManager::WriteAndSync(const std::vector<uint8_t>& batch) {
   if (options_.segment_bytes > 0 && segment_written_ > 0 &&
       segment_written_ + batch.size() > options_.segment_bytes) {
     file_->Close();
+    {
+      // Seal the outgoing segment so the checkpointer can retire it.
+      std::lock_guard<std::mutex> seg_lock(segments_mu_);
+      sealed_.push_back(SealedSegment{
+          segment_index_, LogSegmentPath(options_.dir, segment_index_),
+          live_start_lsn_, live_start_lsn_ + segment_written_});
+      live_index_ = segment_index_ + 1;
+      live_start_lsn_ += segment_written_;
+    }
     NEXT700_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1));
   }
   NEXT700_RETURN_IF_ERROR(file_->Append(batch.data(), batch.size()));

@@ -74,6 +74,23 @@ struct LogManagerOptions {
   /// Physical backend per segment; empty = PosixLogFile. The crashtest
   /// harness injects its fault backend here.
   LogFileFactory file_factory;
+  /// Log-truncation bookkeeping, read from the checkpoint MANIFEST: the
+  /// first segment index that is still live and the LSN of its first byte.
+  /// Segments with a smaller index are a retired prefix — a crash between
+  /// the manifest update and the unlinks can leave them behind, and Open()
+  /// deletes them. Both default to 0: a never-truncated log.
+  uint64_t base_index = 0;
+  Lsn base_lsn = 0;
+};
+
+/// A fully written, frame-boundary-aligned segment that rotation has moved
+/// past. Retirement unlinks sealed segments whose LSN range falls entirely
+/// below a checkpoint's start LSN.
+struct SealedSegment {
+  uint64_t index = 0;
+  std::string path;
+  Lsn start_lsn = 0;
+  Lsn end_lsn = 0;
 };
 
 class LogManager {
@@ -142,6 +159,24 @@ class LogManager {
 
   const std::string& dir() const { return options_.dir; }
 
+  /// The (index, start LSN) of the segment that still holds bytes at or
+  /// above `lsn` — what a checkpoint at `lsn` records as the log base in
+  /// its MANIFEST before retiring the prefix. Falls back to the live
+  /// segment when every sealed one is below `lsn`. Thread-safe.
+  SealedSegment BaseAfterRetire(Lsn lsn) const;
+
+  /// Unlinks every sealed segment whose bytes all fall below `lsn`, then
+  /// fsyncs the log directory. Call only after the MANIFEST recording the
+  /// matching base is durable: a crash mid-retirement then leaves stale
+  /// below-base segments that the next Open() deletes. `between_unlinks`,
+  /// when set, runs after each unlink (crash-harness hook). Thread-safe
+  /// against the flusher's rotation.
+  Status RetireSegmentsBelow(Lsn lsn,
+                             const std::function<void()>& between_unlinks);
+
+  /// Sealed (rotated-past) segments currently on disk, oldest first.
+  std::vector<SealedSegment> sealed_segments() const;
+
  private:
   void FlusherLoop();
   /// Rotate-if-needed + append + barrier + modelled latency for one flush.
@@ -152,6 +187,13 @@ class LogManager {
   std::unique_ptr<LogFile> file_;
   uint64_t segment_index_ = 0;    // Flusher-owned after Open().
   uint64_t segment_written_ = 0;  // Bytes in the current segment.
+
+  // Segment-table state shared between the flusher (rotation seals the old
+  // live segment) and the checkpointer (retirement unlinks sealed ones).
+  mutable std::mutex segments_mu_;
+  std::vector<SealedSegment> sealed_;  // Oldest first.
+  uint64_t live_index_ = 0;            // Current live segment.
+  Lsn live_start_lsn_ = 0;             // LSN of its first byte.
 
   // Serializes callback (re)registration against flusher invocation.
   std::mutex callback_mu_;

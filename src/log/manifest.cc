@@ -1,0 +1,85 @@
+#include "log/manifest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "log/log_file.h"
+#include "log/log_record.h"
+
+namespace next700 {
+
+namespace {
+
+constexpr uint64_t kManifestMagic = 0x4E3730304D414E49ull;  // "N700MANI".
+constexpr uint32_t kManifestVersion = 1;
+
+}  // namespace
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+std::string CheckpointFileName(uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt.%06llu",
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+Status ReadManifest(const std::string& dir, CheckpointManifest* out) {
+  const std::string path = ManifestPath(dir);
+  std::vector<uint8_t> data;
+  {
+    // Distinguish "fresh system" from a real read failure before parsing.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("no manifest at " + path);
+    std::fclose(f);
+  }
+  NEXT700_RETURN_IF_ERROR(ReadFileFully(path, &data));
+  if (data.size() < 8 + 8) {
+    return Status::Corruption("manifest too small: " + path);
+  }
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, data.data() + data.size() - 8, 8);
+  if (stored_checksum != FnvHashBytes(data.data(), data.size() - 8)) {
+    return Status::Corruption("manifest checksum mismatch: " + path);
+  }
+  LogReader reader(data.data(), data.size() - 8);
+  uint64_t magic;
+  uint32_t version;
+  uint32_t name_len;
+  if (!reader.GetU64(&magic) || magic != kManifestMagic ||
+      !reader.GetU32(&version) || version != kManifestVersion ||
+      !reader.GetU64(&out->checkpoint_seq) || !reader.GetU32(&name_len)) {
+    return Status::Corruption("bad manifest header: " + path);
+  }
+  const uint8_t* name = reader.Peek();
+  if (!reader.Skip(name_len) || !reader.GetU64(&out->start_lsn) ||
+      !reader.GetU64(&out->log_base_index) ||
+      !reader.GetU64(&out->log_base_lsn)) {
+    return Status::Corruption("truncated manifest body: " + path);
+  }
+  out->checkpoint_file.assign(reinterpret_cast<const char*>(name), name_len);
+  return Status::OK();
+}
+
+Status WriteManifestAtomic(
+    const std::string& dir, const CheckpointManifest& manifest,
+    const std::function<void(const char*)>& crash_hook) {
+  std::vector<uint8_t> data;
+  LogWriter writer(&data);
+  writer.PutU64(kManifestMagic);
+  writer.PutU32(kManifestVersion);
+  writer.PutU64(manifest.checkpoint_seq);
+  writer.PutU32(static_cast<uint32_t>(manifest.checkpoint_file.size()));
+  writer.PutBytes(
+      reinterpret_cast<const uint8_t*>(manifest.checkpoint_file.data()),
+      manifest.checkpoint_file.size());
+  writer.PutU64(manifest.start_lsn);
+  writer.PutU64(manifest.log_base_index);
+  writer.PutU64(manifest.log_base_lsn);
+  writer.PutU64(FnvHashBytes(data.data(), data.size()));
+  return WriteFileAtomic(ManifestPath(dir), data.data(), data.size(),
+                         crash_hook);
+}
+
+}  // namespace next700

@@ -1,0 +1,67 @@
+#ifndef NEXT700_LOG_MANIFEST_H_
+#define NEXT700_LOG_MANIFEST_H_
+
+/// \file
+/// The checkpoint MANIFEST: one small file in the checkpoint directory that
+/// names the current durable (checkpoint, log-suffix) pair. Recovery reads
+/// it first; everything else on disk — stale checkpoint files, tmp files
+/// from a crashed install, log segments below the recorded base — is
+/// garbage to be ignored or deleted.
+///
+///   * `checkpoint_file` + `start_lsn`: load that checkpoint, then replay
+///     only log frames ending above start_lsn.
+///   * `log_base_index` + `log_base_lsn`: the first retained log segment
+///     and the LSN of its first byte. Segment retirement deletes whole
+///     prefixes of the log, so LSN bookkeeping can no longer assume
+///     segment 0 starts at LSN 0; the manifest carries the new origin.
+///
+/// The manifest is updated by complete replacement through
+/// WriteFileAtomic (tmp + fsync + rename + dirsync), so a crash during the
+/// update leaves the previous manifest intact and the previous pair
+/// recoverable. An empty `checkpoint_file` is legal: it records log-base
+/// bookkeeping before any checkpoint has completed (not used today, but
+/// the reader accepts it).
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "log/log_manager.h"
+
+namespace next700 {
+
+struct CheckpointManifest {
+  /// Monotonic checkpoint sequence number; names the checkpoint file.
+  uint64_t checkpoint_seq = 0;
+  /// Basename of the live checkpoint inside the checkpoint directory
+  /// (e.g. "ckpt.000003"); empty = no checkpoint yet.
+  std::string checkpoint_file;
+  /// Replay skips log frames ending at or below this LSN.
+  Lsn start_lsn = 0;
+  /// First retained log segment index and the LSN of its first byte.
+  uint64_t log_base_index = 0;
+  Lsn log_base_lsn = 0;
+};
+
+/// `<dir>/MANIFEST`.
+std::string ManifestPath(const std::string& dir);
+
+/// `ckpt.NNNNNN` for sequence number `seq` (basename only).
+std::string CheckpointFileName(uint64_t seq);
+
+/// Reads and validates `<dir>/MANIFEST`. kNotFound when the file (or the
+/// directory) does not exist — a fresh system; kCorruption when it exists
+/// but fails its checksum or framing — never silently ignored, since a
+/// wrong manifest silently loses acked transactions.
+Status ReadManifest(const std::string& dir, CheckpointManifest* out);
+
+/// Atomically replaces `<dir>/MANIFEST` (tmp + fsync + rename + dirsync).
+/// `crash_hook` receives the installer's "mid-write" / "before-rename"
+/// points (crash harness).
+Status WriteManifestAtomic(
+    const std::string& dir, const CheckpointManifest& manifest,
+    const std::function<void(const char*)>& crash_hook = nullptr);
+
+}  // namespace next700
+
+#endif  // NEXT700_LOG_MANIFEST_H_

@@ -10,37 +10,6 @@
 
 namespace next700 {
 
-namespace {
-
-/// Reads a whole file into memory. Logs here are bounded by the runs that
-/// produced them.
-Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return Status::IOError("cannot seek " + path);
-  }
-  const long size = std::ftell(f);
-  if (size < 0) {
-    std::fclose(f);
-    return Status::IOError("cannot tell size of " + path);
-  }
-  if (std::fseek(f, 0, SEEK_SET) != 0) {
-    std::fclose(f);
-    return Status::IOError("cannot seek " + path);
-  }
-  out->resize(static_cast<size_t>(size));
-  if (size > 0 && std::fread(out->data(), 1, out->size(), f) != out->size()) {
-    std::fclose(f);
-    return Status::IOError("short read on " + path);
-  }
-  std::fclose(f);
-  return Status::OK();
-}
-
-}  // namespace
-
 void RecoveryManager::ApplyImage(Engine* engine, Row* row,
                                  const uint8_t* image, uint32_t len) {
   if (engine->cc()->is_multiversion()) {
@@ -137,7 +106,7 @@ Status RecoveryManager::ReplaySegment(const std::string& path, Lsn base_lsn,
                                       bool is_final, Lsn start_lsn,
                                       RecoveryStats* stats) {
   std::vector<uint8_t> file;
-  NEXT700_RETURN_IF_ERROR(ReadFile(path, &file));
+  NEXT700_RETURN_IF_ERROR(ReadFileFully(path, &file));
   stats->bytes_read += file.size();
   ++stats->segments_read;
 
@@ -197,7 +166,8 @@ Status RecoveryManager::ReplaySegment(const std::string& path, Lsn base_lsn,
 }
 
 Status RecoveryManager::Replay(const std::string& path, RecoveryStats* stats,
-                               Lsn start_lsn) {
+                               Lsn start_lsn, uint64_t log_base_index,
+                               Lsn log_base_lsn) {
   const uint64_t start = NowNanos();
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
@@ -206,8 +176,16 @@ Status RecoveryManager::Replay(const std::string& path, RecoveryStats* stats,
   if (S_ISDIR(st.st_mode)) {
     std::vector<LogSegment> segments;
     NEXT700_RETURN_IF_ERROR(ListLogSegments(path, &segments));
-    Lsn base_lsn = 0;
-    for (size_t i = 0; i < segments.size(); ++i) {
+    // Segments below the manifest's base are a retired prefix that a crash
+    // left behind (their contents are covered by the checkpoint); the LSN
+    // space of the retained chain starts at the recorded base, not 0.
+    Lsn base_lsn = log_base_lsn;
+    size_t first = 0;
+    while (first < segments.size() &&
+           segments[first].index < log_base_index) {
+      ++first;
+    }
+    for (size_t i = first; i < segments.size(); ++i) {
       const bool is_final = i + 1 == segments.size();
       NEXT700_RETURN_IF_ERROR(ReplaySegment(segments[i].path, base_lsn,
                                             is_final, start_lsn, stats));
@@ -215,8 +193,8 @@ Status RecoveryManager::Replay(const std::string& path, RecoveryStats* stats,
     }
   } else {
     NEXT700_RETURN_IF_ERROR(
-        ReplaySegment(path, /*base_lsn=*/0, /*is_final=*/true, start_lsn,
-                      stats));
+        ReplaySegment(path, /*base_lsn=*/log_base_lsn, /*is_final=*/true,
+                      start_lsn, stats));
   }
   stats->elapsed_seconds =
       static_cast<double>(NowNanos() - start) / 1e9;

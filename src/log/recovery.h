@@ -55,11 +55,15 @@ class RecoveryManager {
 
   /// Replays the log at `path` (segment directory or single file) into the
   /// engine. Frames that end at or below `start_lsn` are skipped — the
-  /// checkpoint + log-suffix path passes the checkpoint LSN here. Returns
+  /// checkpoint + log-suffix path passes the checkpoint LSN here. A
+  /// truncated log passes the MANIFEST's `log_base_index`/`log_base_lsn`:
+  /// segments below the index are ignored (a retired prefix a crash left
+  /// behind) and cumulative LSNs start at the base instead of 0. Returns
   /// kCorruption for mid-log damage; a torn tail on the final segment ends
   /// replay with OK.
   Status Replay(const std::string& path, RecoveryStats* stats,
-                Lsn start_lsn = 0);
+                Lsn start_lsn = 0, uint64_t log_base_index = 0,
+                Lsn log_base_lsn = 0);
 
  private:
   Status ApplyValueRecord(LogReader* reader, RecoveryStats* stats);

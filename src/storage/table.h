@@ -56,25 +56,35 @@ class Table {
   /// Rows currently allocated (including deleted-but-not-reclaimed ones).
   uint64_t ApproxRowCount() const;
 
+  /// Iterates every allocated row of one partition (the checkpointer scans
+  /// partition by partition so single-version schemes only need brief
+  /// per-partition quiesce windows). Holds the partition's allocation latch
+  /// for the duration, so concurrent AllocateRow/FreeRow stay consistent.
+  template <typename Fn>
+  void ForEachRowInPartition(uint32_t partition, Fn&& fn) const {
+    const auto& part = partitions_[partition];
+    SpinLatchGuard guard(&part->latch);
+    for (const auto& slab : part->slabs) {
+      const size_t rows_here = (&slab == &part->slabs.back())
+                                   ? part->next_in_slab
+                                   : kRowsPerSlab;
+      for (size_t i = 0; i < rows_here; ++i) {
+        Row* row = RowAt(slab.get(), i);
+        // Skip rows returned to the free list (never published).
+        if ((row->flags.load(std::memory_order_acquire) & kRowFree) != 0) {
+          continue;
+        }
+        fn(row);
+      }
+    }
+  }
+
   /// Iterates every allocated row (sequential scan; used by audits and
   /// recovery, not by the transaction paths).
   template <typename Fn>
   void ForEachRow(Fn&& fn) const {
-    for (const auto& part : partitions_) {
-      SpinLatchGuard guard(&part->latch);
-      for (const auto& slab : part->slabs) {
-        const size_t rows_here = (&slab == &part->slabs.back())
-                                     ? part->next_in_slab
-                                     : kRowsPerSlab;
-        for (size_t i = 0; i < rows_here; ++i) {
-          Row* row = RowAt(slab.get(), i);
-          // Skip rows returned to the free list (never published).
-          if ((row->flags.load(std::memory_order_acquire) & kRowFree) != 0) {
-            continue;
-          }
-          fn(row);
-        }
-      }
+    for (uint32_t p = 0; p < num_partitions(); ++p) {
+      ForEachRowInPartition(p, fn);
     }
   }
 

@@ -8,6 +8,8 @@
 #include "cc/tictoc.h"
 #include "cc/timestamp_ordering.h"
 #include "cc/two_phase_locking.h"
+#include "log/checkpoint.h"
+#include "log/manifest.h"
 
 namespace next700 {
 
@@ -61,7 +63,9 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   }
 
   if (cc_->is_multiversion()) {
-    epochs_ = std::make_unique<EpochManager>(options_.max_threads);
+    // One extra epoch slot (index max_threads) pins the checkpointer's
+    // fuzzy scans; it sits idle when no checkpoint_dir is configured.
+    epochs_ = std::make_unique<EpochManager>(options_.max_threads + 1);
     pools_.reserve(options_.max_threads);
     for (int i = 0; i < options_.max_threads; ++i) {
       pools_.push_back(std::make_unique<VersionPool>(epochs_.get(), i));
@@ -76,6 +80,22 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   }
   stats_.reset(new ThreadStats[options_.max_threads]);
 
+  // The checkpoint MANIFEST carries the log's base bookkeeping: after
+  // truncation the earliest surviving segment no longer starts at LSN 0,
+  // and the log must resume the LSN space from the recorded base.
+  uint64_t log_base_index = 0;
+  Lsn log_base_lsn = 0;
+  if (!options_.checkpoint_dir.empty()) {
+    CheckpointManifest manifest;
+    const Status ms = ReadManifest(options_.checkpoint_dir, &manifest);
+    NEXT700_CHECK_MSG(ms.ok() || ms.IsNotFound(),
+                      "corrupt checkpoint MANIFEST");
+    if (ms.ok()) {
+      log_base_index = manifest.log_base_index;
+      log_base_lsn = manifest.log_base_lsn;
+    }
+  }
+
   if (options_.logging != LoggingKind::kNone) {
     NEXT700_CHECK_MSG(!options_.log_dir.empty(),
                       "logging enabled without log_dir");
@@ -86,17 +106,95 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
     log_options.sync_policy = options_.log_sync;
     log_options.segment_bytes = options_.log_segment_bytes;
     log_options.file_factory = options_.log_file_factory;
+    log_options.base_index = log_base_index;
+    log_options.base_lsn = log_base_lsn;
     log_ = std::make_unique<LogManager>(log_options);
     NEXT700_CHECK_MSG(log_->Open().ok(), "cannot open log");
+  }
+
+  if (!options_.checkpoint_dir.empty()) {
+    txn_gate_enabled_ = true;
+    CheckpointerOptions ckpt_options;
+    ckpt_options.dir = options_.checkpoint_dir;
+    ckpt_options.interval_ms = options_.checkpoint_interval_ms;
+    ckpt_options.truncate_log = options_.checkpoint_truncates_log;
+    ckpt_options.crash_hook = options_.checkpoint_crash_hook;
+    checkpointer_ =
+        std::make_unique<CheckpointCoordinator>(this, std::move(ckpt_options));
+    NEXT700_CHECK_MSG(checkpointer_->Prepare().ok(),
+                      "cannot prepare checkpoint dir");
   }
 }
 
 Engine::~Engine() {
+  // Stop the checkpointer before anything it scans (tables, epochs, log)
+  // goes away.
+  if (checkpointer_ != nullptr) checkpointer_->Stop();
   // Drain retired versions into the pools while both (and the tables whose
   // chains still reference pooled blocks) are alive; afterwards the member
   // destructor order no longer matters.
   if (epochs_ != nullptr) epochs_->ReclaimAll();
   if (log_ != nullptr) log_->Close();
+}
+
+void Engine::StartCheckpointer() {
+  NEXT700_CHECK_MSG(checkpointer_ != nullptr, "no checkpoint_dir configured");
+  checkpointer_->Start();
+}
+
+Status Engine::TriggerCheckpoint(CheckpointStats* stats) {
+  NEXT700_CHECK_MSG(checkpointer_ != nullptr, "no checkpoint_dir configured");
+  return checkpointer_->CheckpointNow(stats);
+}
+
+void Engine::EnterTxnGate(int thread_id) {
+  if (!txn_gate_enabled_) return;
+  WorkerState& worker = workers_[thread_id];
+  for (;;) {
+    // Dekker pairing with PauseTransactions: our in_txn store and its
+    // gate_closed_ store are both seq_cst, so either we see the gate
+    // closed (and back off) or the pauser sees our in_txn and waits.
+    worker.in_txn.store(1, std::memory_order_seq_cst);
+    if (!gate_closed_.load(std::memory_order_seq_cst)) return;
+    worker.in_txn.store(0, std::memory_order_seq_cst);
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.notify_all();  // The pauser may be waiting on our in_txn.
+    gate_cv_.wait(lock, [&] {
+      return !gate_closed_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void Engine::ExitTxnGate(int thread_id) {
+  if (!txn_gate_enabled_) return;
+  workers_[thread_id].in_txn.store(0, std::memory_order_seq_cst);
+  if (gate_closed_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    gate_cv_.notify_all();
+  }
+}
+
+void Engine::PauseTransactions() {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  NEXT700_CHECK_MSG(!gate_closed_.load(std::memory_order_relaxed),
+                    "nested transaction pause");
+  gate_closed_.store(true, std::memory_order_seq_cst);
+  gate_cv_.wait(lock, [&] {
+    for (int i = 0; i < options_.max_threads; ++i) {
+      if (workers_[i].in_txn.load(std::memory_order_seq_cst) != 0) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void Engine::ResumeTransactions() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    gate_closed_.store(false, std::memory_order_seq_cst);
+  }
+  gate_cv_.notify_all();
 }
 
 Table* Engine::CreateTable(std::string name, Schema schema) {
@@ -125,6 +223,7 @@ const Procedure* Engine::GetProcedure(uint32_t proc_id) const {
 TxnContext* Engine::Begin(int thread_id,
                           const std::vector<uint32_t>& partitions) {
   NEXT700_DCHECK(thread_id >= 0 && thread_id < options_.max_threads);
+  EnterTxnGate(thread_id);
   TxnContext* txn = contexts_[thread_id].get();
   NEXT700_DCHECK(txn->state() != TxnState::kActive &&
                  txn->state() != TxnState::kValidated);
@@ -312,6 +411,10 @@ Status Engine::Commit(TxnContext* txn) {
   ApplyIndexOps(txn);
   FinishEpoch(txn);
   ++txn->stats()->commits;
+  // The checkpoint gate opens before the durability wait: the txn's effects
+  // are finalized, so a snapshot taken from here on is consistent, and a
+  // paused checkpointer must not wait on a flush it may itself be behind.
+  ExitTxnGate(txn->thread_id());
   // Durability wait comes after Finalize (early lock release, Aether-style):
   // locks are not held across the flush, and any dependent transaction gets
   // a higher LSN, so it cannot be acknowledged before this one. On a log
@@ -331,6 +434,7 @@ void Engine::Abort(TxnContext* txn) {
   cc_->Abort(txn);
   FinishEpoch(txn);
   ++txn->stats()->aborts;
+  ExitTxnGate(txn->thread_id());
 }
 
 void Engine::AbortUser(TxnContext* txn) {
@@ -338,6 +442,7 @@ void Engine::AbortUser(TxnContext* txn) {
   cc_->Abort(txn);
   FinishEpoch(txn);
   ++txn->stats()->user_aborts;
+  ExitTxnGate(txn->thread_id());
 }
 
 Status Engine::RunProcedure(uint32_t proc_id, int thread_id, const void* args,

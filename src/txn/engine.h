@@ -34,6 +34,9 @@
 
 namespace next700 {
 
+class CheckpointCoordinator;
+struct CheckpointStats;
+
 struct EngineOptions {
   CcScheme cc_scheme = CcScheme::kOcc;
   int max_threads = 8;
@@ -58,6 +61,20 @@ struct EngineOptions {
   uint64_t log_segment_bytes = 64ull << 20;
   /// Overrides the log's device backend (fault injection, EINTR shims).
   LogFileFactory log_file_factory;
+
+  /// Online checkpointing: directory for MANIFEST + checkpoint files.
+  /// Non-empty constructs a CheckpointCoordinator — the engine reads the
+  /// MANIFEST's log base at startup so the LSN space resumes correctly
+  /// over a truncated log — and enables the transaction gate the snapshot
+  /// scans quiesce through. Start the background thread with
+  /// StartCheckpointer() *after* DDL and loading.
+  std::string checkpoint_dir;
+  /// Background checkpoint cadence; 0 = manual TriggerCheckpoint() only.
+  uint64_t checkpoint_interval_ms = 0;
+  /// Retire log segments wholly below each checkpoint's start LSN.
+  bool checkpoint_truncates_log = true;
+  /// Crash-harness hook for the install sequence (see CheckpointerOptions).
+  std::function<void(const char*)> checkpoint_crash_hook;
 };
 
 /// A stored procedure: re-executable transaction logic for command logging
@@ -199,8 +216,23 @@ class Engine {
   }
   EpochManager* epoch_manager() { return epochs_.get(); }
 
+  // --- Checkpointing ------------------------------------------------------
+
+  /// The coordinator built for checkpoint_dir, or null.
+  CheckpointCoordinator* checkpointer() { return checkpointer_.get(); }
+
+  /// Spawns the background checkpointer (checkpoint_interval_ms > 0). Call
+  /// after DDL and loading: the snapshot scan must not race CreateTable or
+  /// CC-free LoadRow writes.
+  void StartCheckpointer();
+
+  /// Takes one checkpoint now (snapshot, atomic install, MANIFEST update,
+  /// log truncation). Safe concurrently with transactions.
+  Status TriggerCheckpoint(CheckpointStats* stats);
+
  private:
   friend class RecoveryManager;
+  friend class CheckpointCoordinator;
 
   /// Transaction ids are carved from the shared counter in blocks, like
   /// batched timestamps: uniqueness is all the lock manager needs, and any
@@ -209,16 +241,34 @@ class Engine {
   /// Commits/aborts between epoch advances on each worker.
   static constexpr uint32_t kEpochMaintainInterval = 64;
 
-  /// One line per worker: transaction-id reservation and epoch cadence.
-  /// Cache-aligned so Begin() on one worker never invalidates another's.
+  /// One line per worker: transaction-id reservation, epoch cadence, and
+  /// the worker's side of the checkpoint transaction gate. Cache-aligned
+  /// so Begin() on one worker never invalidates another's.
   struct NEXT700_CACHE_ALIGNED WorkerState {
     uint64_t next_txn_id = 0;
     uint64_t txn_id_end = 0;
     uint32_t txns_since_maintain = 0;
+    /// Dekker-style flag: 1 while a transaction is between Begin() and its
+    /// Commit/Abort gate exit. Paired with gate_closed_ via seq_cst so the
+    /// checkpointer's drain and a worker's entry cannot both proceed.
+    std::atomic<uint8_t> in_txn{0};
   };
 
   Status AppendCommitRecord(TxnContext* txn);
   void ApplyIndexOps(TxnContext* txn);
+
+  // --- Checkpoint transaction gate ---------------------------------------
+  // Workers pass through the gate per transaction; the checkpointer closes
+  // it to drain every in-flight transaction (full quiesce or a brief
+  // start-LSN / per-partition window). Compiled to nothing unless a
+  // checkpoint_dir is configured. Invariant making the drain deadlock-free:
+  // a thread between EnterTxnGate and ExitTxnGate never waits on the gate,
+  // and the durability wait (which can outlast a flush) happens after the
+  // exit — it touches no row data.
+  void EnterTxnGate(int thread_id);
+  void ExitTxnGate(int thread_id);
+  void PauseTransactions();
+  void ResumeTransactions();
 
   /// Unpins the worker's epoch after commit/abort and periodically advances
   /// the global epoch so retired versions recycle.
@@ -250,6 +300,14 @@ class Engine {
   std::unique_ptr<ThreadStats[]> stats_;
   std::vector<std::pair<uint32_t, Procedure>> procedures_;
   std::atomic<uint64_t> next_txn_id_{1};
+
+  // Declared after log_: the coordinator's destructor (via ~Engine's
+  // explicit Stop) must run while the log is still open.
+  std::unique_ptr<CheckpointCoordinator> checkpointer_;
+  bool txn_gate_enabled_ = false;
+  std::atomic<bool> gate_closed_{false};
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
 };
 
 }  // namespace next700

@@ -126,6 +126,113 @@ TEST(LogManagerTest, RotatesSegmentsOnSizeThreshold) {
   EXPECT_EQ(TotalLogBytes(options.dir), last);
 }
 
+TEST(LogManagerTest, RetireSegmentsBelowDeletesWholePrefixOnly) {
+  LogManagerOptions options;
+  options.dir = TempLogDir("retire");
+  options.segment_bytes = 256;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  const std::vector<uint8_t> body(64, 9);
+  Lsn last = 0;
+  for (int i = 0; i < 20; ++i) {
+    last = log.Append(LogRecordType::kTxnValue, body);
+    ASSERT_TRUE(log.WaitDurable(last).ok());
+  }
+  const std::vector<SealedSegment> sealed = log.sealed_segments();
+  ASSERT_GE(sealed.size(), 2u);
+  // The sealed chain tiles the LSN space with no gaps.
+  EXPECT_EQ(sealed.front().start_lsn, 0u);
+  for (size_t i = 1; i < sealed.size(); ++i) {
+    EXPECT_EQ(sealed[i].start_lsn, sealed[i - 1].end_lsn) << i;
+  }
+  // An LSN *inside* the second segment retires only the first: a segment
+  // goes only when it sits wholly below the cut.
+  int unlink_gaps = 0;
+  ASSERT_TRUE(
+      log.RetireSegmentsBelow(sealed[1].end_lsn - 1, [&] { ++unlink_gaps; })
+          .ok());
+  EXPECT_EQ(unlink_gaps, 1);
+  std::vector<LogSegment> on_disk;
+  ASSERT_TRUE(ListLogSegments(options.dir, &on_disk).ok());
+  ASSERT_FALSE(on_disk.empty());
+  EXPECT_EQ(on_disk.front().index, sealed[1].index);
+  EXPECT_EQ(log.sealed_segments().front().index, sealed[1].index);
+  // The live log keeps appending, unbothered.
+  const Lsn more = log.Append(LogRecordType::kTxnValue, body);
+  EXPECT_TRUE(log.WaitDurable(more).ok());
+  log.Close();
+}
+
+TEST(LogManagerTest, ReopenWithBaseResumesLsnSpaceOverTruncatedPrefix) {
+  LogManagerOptions options;
+  options.dir = TempLogDir("base_reopen");
+  options.segment_bytes = 256;
+  const std::vector<uint8_t> body(64, 5);
+  Lsn end = 0;
+  SealedSegment base;
+  {
+    LogManager log(options);
+    ASSERT_TRUE(log.Open().ok());
+    for (int i = 0; i < 20; ++i) {
+      end = log.Append(LogRecordType::kTxnValue, body);
+      ASSERT_TRUE(log.WaitDurable(end).ok());
+    }
+    const std::vector<SealedSegment> sealed = log.sealed_segments();
+    ASSERT_GE(sealed.size(), 2u);
+    base = log.BaseAfterRetire(sealed[0].end_lsn);
+    EXPECT_EQ(base.index, sealed[1].index);
+    EXPECT_EQ(base.start_lsn, sealed[0].end_lsn);
+    ASSERT_TRUE(log.RetireSegmentsBelow(sealed[0].end_lsn, nullptr).ok());
+    log.Close();
+  }
+  LogManagerOptions reopened = options;
+  reopened.base_index = base.index;
+  reopened.base_lsn = base.start_lsn;
+  LogManager log(reopened);
+  ASSERT_TRUE(log.Open().ok());
+  // The LSN space continues where the *full* history ended — not at the
+  // byte count of what happens to survive on disk.
+  EXPECT_EQ(log.appended_lsn(), end);
+  const Lsn more = log.Append(LogRecordType::kTxnValue, body);
+  EXPECT_GT(more, end);
+  ASSERT_TRUE(log.WaitDurable(more).ok());
+  log.Close();
+}
+
+TEST(LogManagerTest, OpenDeletesStaleSegmentsBelowBase) {
+  // A crash between the MANIFEST update and the segment unlinks leaves
+  // retired segments on disk; the next Open must finish the job.
+  LogManagerOptions options;
+  options.dir = TempLogDir("stale_base");
+  options.segment_bytes = 256;
+  const std::vector<uint8_t> body(64, 5);
+  Lsn end = 0;
+  SealedSegment base;
+  {
+    LogManager log(options);
+    ASSERT_TRUE(log.Open().ok());
+    for (int i = 0; i < 20; ++i) {
+      end = log.Append(LogRecordType::kTxnValue, body);
+      ASSERT_TRUE(log.WaitDurable(end).ok());
+    }
+    base = log.BaseAfterRetire(log.sealed_segments()[0].end_lsn);
+    log.Close();  // "Crash" before the unlinks: everything still on disk.
+  }
+  LogManagerOptions reopened = options;
+  reopened.base_index = base.index;
+  reopened.base_lsn = base.start_lsn;
+  {
+    LogManager log(reopened);
+    ASSERT_TRUE(log.Open().ok());
+    EXPECT_EQ(log.appended_lsn(), end);
+    log.Close();
+  }
+  std::vector<LogSegment> on_disk;
+  ASSERT_TRUE(ListLogSegments(options.dir, &on_disk).ok());
+  ASSERT_FALSE(on_disk.empty());
+  EXPECT_EQ(on_disk.front().index, base.index);
+}
+
 TEST(LogManagerTest, ReopenResumesLsnSpaceAfterHistory) {
   LogManagerOptions options;
   options.dir = TempLogDir("reopen");

@@ -1,0 +1,124 @@
+#include "log/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "log/log_file.h"
+
+namespace next700 {
+namespace {
+
+std::string TempDirFor(const char* tag) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/next700_manifest_" + tag;
+  RemoveDirContents(dir);
+  NEXT700_CHECK(EnsureLogDir(dir).ok());
+  return dir;
+}
+
+CheckpointManifest Sample() {
+  CheckpointManifest m;
+  m.checkpoint_seq = 7;
+  m.checkpoint_file = CheckpointFileName(7);
+  m.start_lsn = 123456;
+  m.log_base_index = 3;
+  m.log_base_lsn = 98304;
+  return m;
+}
+
+TEST(ManifestTest, MissingIsNotFound) {
+  const std::string dir = TempDirFor("missing");
+  CheckpointManifest m;
+  EXPECT_TRUE(ReadManifest(dir, &m).IsNotFound());
+}
+
+TEST(ManifestTest, RoundTrip) {
+  const std::string dir = TempDirFor("roundtrip");
+  ASSERT_TRUE(WriteManifestAtomic(dir, Sample()).ok());
+  CheckpointManifest read;
+  ASSERT_TRUE(ReadManifest(dir, &read).ok());
+  EXPECT_EQ(read.checkpoint_seq, 7u);
+  EXPECT_EQ(read.checkpoint_file, CheckpointFileName(7));
+  EXPECT_EQ(read.start_lsn, 123456u);
+  EXPECT_EQ(read.log_base_index, 3u);
+  EXPECT_EQ(read.log_base_lsn, 98304u);
+}
+
+TEST(ManifestTest, AtomicReplaceKeepsOldUntilRename) {
+  const std::string dir = TempDirFor("replace");
+  ASSERT_TRUE(WriteManifestAtomic(dir, Sample()).ok());
+  CheckpointManifest next = Sample();
+  next.checkpoint_seq = 8;
+  next.checkpoint_file = CheckpointFileName(8);
+  next.start_lsn = 222222;
+  // At "before-rename" the new bytes sit in the tmp file only; a reader
+  // (i.e. a crashed-and-restarted process) must still see the old record.
+  bool checked = false;
+  const Status s = WriteManifestAtomic(
+      dir, next, [&](const char* point) {
+        if (std::string(point) != "before-rename") return;
+        CheckpointManifest mid;
+        ASSERT_TRUE(ReadManifest(dir, &mid).ok());
+        EXPECT_EQ(mid.checkpoint_seq, 7u);
+        checked = true;
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(checked);
+  CheckpointManifest after;
+  ASSERT_TRUE(ReadManifest(dir, &after).ok());
+  EXPECT_EQ(after.checkpoint_seq, 8u);
+  EXPECT_EQ(after.start_lsn, 222222u);
+}
+
+TEST(ManifestTest, BitFlipIsCorruption) {
+  const std::string dir = TempDirFor("flip");
+  ASSERT_TRUE(WriteManifestAtomic(dir, Sample()).ok());
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(ReadFileFully(ManifestPath(dir), &data).ok());
+  // Every byte matters — header, name, LSNs, checksum itself.
+  for (const size_t offset :
+       {size_t{0}, size_t{9}, data.size() / 2, data.size() - 1}) {
+    std::vector<uint8_t> damaged = data;
+    damaged[offset] ^= 0x40;
+    {
+      std::ofstream f(ManifestPath(dir), std::ios::binary | std::ios::trunc);
+      f.write(reinterpret_cast<const char*>(damaged.data()),
+              static_cast<std::streamsize>(damaged.size()));
+    }
+    CheckpointManifest m;
+    EXPECT_EQ(ReadManifest(dir, &m).code(), StatusCode::kCorruption)
+        << "flip at " << offset;
+  }
+}
+
+TEST(ManifestTest, TruncationIsCorruption) {
+  const std::string dir = TempDirFor("truncate");
+  ASSERT_TRUE(WriteManifestAtomic(dir, Sample()).ok());
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(ReadFileFully(ManifestPath(dir), &data).ok());
+  for (const size_t cut :
+       {size_t{0}, size_t{1}, size_t{15}, size_t{16}, data.size() / 2,
+        data.size() - 1}) {
+    {
+      std::ofstream f(ManifestPath(dir), std::ios::binary | std::ios::trunc);
+      f.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(cut));
+    }
+    CheckpointManifest m;
+    EXPECT_EQ(ReadManifest(dir, &m).code(), StatusCode::kCorruption)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ManifestTest, NoTmpFileLeftBehind) {
+  const std::string dir = TempDirFor("tmp");
+  ASSERT_TRUE(WriteManifestAtomic(dir, Sample()).ok());
+  EXPECT_EQ(std::fopen((ManifestPath(dir) + ".tmp").c_str(), "rb"), nullptr);
+}
+
+}  // namespace
+}  // namespace next700

@@ -15,7 +15,19 @@
 ///   * recovered state is exactly the deterministic model prefix per
 ///     worker — no unacknowledged transaction is half-applied;
 ///   * a bit flip below the log tail is *detected* (kCorruption), never
-///     silently replayed past.
+///     silently replayed past — unless checkpoint-driven truncation retired
+///     the damaged segment, in which case recovery must be clean and the
+///     full model check must still pass.
+///
+/// Checkpoint lifecycle faults: a quarter of the rounds run with online
+/// checkpointing (worker 0 triggers a checkpoint every few acked
+/// transactions, some rounds also run the background checkpointer) and
+/// crash at a named point inside the install sequence — mid checkpoint
+/// write, before its rename, mid MANIFEST write, before its rename, before
+/// or between segment unlinks, before old-file cleanup. Half of the
+/// log-fault rounds also checkpoint, so log crashes land on truncated
+/// logs. Recovery then goes through the MANIFEST (RecoverEngine) and the
+/// same acked-survival + model-prefix contract is asserted.
 ///
 /// Workload: worker t repeatedly runs procedure 1 on disjoint keys — its
 /// cursor row (key = t) plus two data rows drawn from its private range.
@@ -32,6 +44,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +58,8 @@
 
 #include "common/rng.h"
 #include "faultlog/fault_injection.h"
+#include "log/checkpoint.h"
+#include "log/log_file.h"
 #include "log/recovery.h"
 #include "txn/engine.h"
 
@@ -105,19 +120,38 @@ std::vector<TxnArgs> MakeSchedule(uint64_t seed, uint64_t thread) {
   return schedule;
 }
 
+/// Every named point the checkpoint install sequence passes through, in
+/// order. Checkpoint-crash rounds pick one and _exit there.
+constexpr const char* kCkptCrashPoints[] = {
+    "checkpoint:mid-write",       "checkpoint:before-rename",
+    "checkpoint:before-manifest", "manifest:mid-write",
+    "manifest:before-rename",     "checkpoint:before-retire",
+    "checkpoint:mid-retire",      "checkpoint:before-cleanup",
+};
+constexpr int kNumCkptCrashPoints =
+    static_cast<int>(sizeof(kCkptCrashPoints) / sizeof(kCkptCrashPoints[0]));
+
 /// Per-round fault plan, derived from the seed by parent and child alike.
 struct FaultPlan {
+  bool log_fault;       // False on checkpoint-crash rounds.
   FaultPoint::Kind kind;
   uint64_t write_index;
   uint64_t tear_bytes;
   uint64_t flip_offset;
   LoggingKind logging;
+  bool checkpointing;
+  bool ckpt_background;      // Also run the interval checkpointer thread.
+  int ckpt_crash_point;      // Index into kCkptCrashPoints, or -1.
+  uint64_t ckpt_crash_hits;  // Crash at the Nth occurrence of that point.
+  uint64_t ckpt_every;       // Worker 0 checkpoints every N acked txns.
 };
 
 FaultPlan MakePlan(uint64_t seed) {
   Rng rng(seed ^ 0xA5A5A5A5DEADBEEFull);
   FaultPlan plan;
-  switch (seed % 3) {
+  const uint64_t kind_sel = seed % 4;
+  plan.log_fault = kind_sel != 3;
+  switch (kind_sel) {
     case 0:
       plan.kind = FaultPoint::Kind::kCrashBeforeWrite;
       break;
@@ -131,8 +165,17 @@ FaultPlan MakePlan(uint64_t seed) {
   plan.write_index = 1 + rng.NextUint64(200);
   plan.tear_bytes = rng.Next();
   plan.flip_offset = rng.Next();
-  plan.logging = (seed / 3) % 2 == 0 ? LoggingKind::kValue
+  plan.logging = (seed / 4) % 2 == 0 ? LoggingKind::kValue
                                      : LoggingKind::kCommand;
+  // Checkpoint-crash rounds always checkpoint; so do half the log-fault
+  // rounds, putting log crashes on truncated logs.
+  plan.checkpointing = !plan.log_fault || (seed / 8) % 2 == 0;
+  plan.ckpt_background = plan.checkpointing && (seed / 16) % 2 == 0;
+  plan.ckpt_crash_point =
+      plan.log_fault ? -1
+                     : static_cast<int>(rng.NextUint64(kNumCkptCrashPoints));
+  plan.ckpt_crash_hits = 1 + rng.NextUint64(3);
+  plan.ckpt_every = 20 + rng.NextUint64(40);
   return plan;
 }
 
@@ -185,19 +228,21 @@ std::unique_ptr<Engine> MakeEngine(EngineOptions options, Fixture* fx) {
 void RunChild(uint64_t seed, const std::string& log_dir, int event_fd) {
   const FaultPlan plan = MakePlan(seed);
   FaultInjector injector;
-  FaultPoint fault;
-  fault.kind = plan.kind;
-  fault.write_index = plan.write_index;
-  fault.tear_bytes = plan.tear_bytes;
-  fault.flip_offset = plan.flip_offset;
-  injector.AddFault(fault);
-  if (plan.kind == FaultPoint::Kind::kBitFlip) {
-    // Let a few more batches land after the flip so the damage sits below
-    // the log tail, then crash: recovery must *detect* it, not skip it.
-    FaultPoint crash;
-    crash.kind = FaultPoint::Kind::kCrashBeforeWrite;
-    crash.write_index = plan.write_index + 3;
-    injector.AddFault(crash);
+  if (plan.log_fault) {
+    FaultPoint fault;
+    fault.kind = plan.kind;
+    fault.write_index = plan.write_index;
+    fault.tear_bytes = plan.tear_bytes;
+    fault.flip_offset = plan.flip_offset;
+    injector.AddFault(fault);
+    if (plan.kind == FaultPoint::Kind::kBitFlip) {
+      // Let a few more batches land after the flip so the damage sits below
+      // the log tail, then crash: recovery must *detect* it, not skip it.
+      FaultPoint crash;
+      crash.kind = FaultPoint::Kind::kCrashBeforeWrite;
+      crash.write_index = plan.write_index + 3;
+      injector.AddFault(crash);
+    }
   }
   injector.set_write_observer(
       [event_fd](uint64_t index) { SendEvent(event_fd, 'W', index, 0); });
@@ -212,9 +257,27 @@ void RunChild(uint64_t seed, const std::string& log_dir, int event_fd) {
   options.log_flush_interval_us = 20;
   options.log_segment_bytes = 4096;  // Small: force rotation mid-run.
   options.log_file_factory = injector.factory();
+  std::atomic<uint64_t> point_hits{0};
+  if (plan.checkpointing) {
+    options.checkpoint_dir = log_dir + ".ckpt";
+    if (plan.ckpt_background) options.checkpoint_interval_ms = 5;
+    const char* target = plan.ckpt_crash_point >= 0
+                             ? kCkptCrashPoints[plan.ckpt_crash_point]
+                             : nullptr;
+    options.checkpoint_crash_hook = [&point_hits, &plan,
+                                     target](const char* point) {
+      if (target != nullptr && std::strcmp(point, target) == 0 &&
+          point_hits.fetch_add(1) + 1 == plan.ckpt_crash_hits) {
+        ::_exit(42);
+      }
+    };
+  }
   Fixture fx;
   {
     auto engine = MakeEngine(options, &fx);
+    if (plan.checkpointing && plan.ckpt_background) {
+      engine->StartCheckpointer();
+    }
     std::vector<std::thread> workers;
     for (int t = 0; t < kThreads; ++t) {
       workers.emplace_back([&, t] {
@@ -226,6 +289,12 @@ void RunChild(uint64_t seed, const std::string& log_dir, int event_fd) {
               engine->RunProcedure(1, t, &args, sizeof(args));
           NEXT700_CHECK_MSG(s.ok(), "workload txn failed");
           SendEvent(event_fd, 'A', args.thread, args.seq);
+          if (plan.checkpointing && t == 0 &&
+              (args.seq + 1) % plan.ckpt_every == 0) {
+            // Online: worker 1 keeps committing while this runs.
+            NEXT700_CHECK_MSG(engine->TriggerCheckpoint(nullptr).ok(),
+                              "checkpoint failed");
+          }
         }
       });
     }
@@ -256,22 +325,37 @@ RoundResult VerifyRound(uint64_t seed, const std::string& log_dir,
   clean.logging = LoggingKind::kNone;
   Fixture fx;
   auto engine = MakeEngine(clean, &fx);
-  RecoveryManager recovery(engine.get());
-  RecoveryStats stats;
-  const Status replay = recovery.Replay(log_dir, &stats);
+  Status replay;
+  std::string how = "replayed";
+  if (plan.checkpointing) {
+    // Recover the way a real restart would: MANIFEST-named checkpoint
+    // (if one was installed before the crash) + log suffix.
+    RecoverOutcome outcome;
+    replay = RecoverEngine(engine.get(), log_dir + ".ckpt", log_dir,
+                           /*rebuilder=*/nullptr, &outcome);
+    how = outcome.used_checkpoint ? "checkpoint+suffix" : "full replay";
+  } else {
+    RecoveryManager recovery(engine.get());
+    RecoveryStats stats;
+    replay = recovery.Replay(log_dir, &stats);
+  }
 
-  const bool flip_round =
-      child_crashed && plan.kind == FaultPoint::Kind::kBitFlip;
+  const bool flip_round = child_crashed && plan.log_fault &&
+                          plan.kind == FaultPoint::Kind::kBitFlip;
   if (flip_round && max_write_index > plan.write_index) {
     // Writes landed after the flipped batch, so the damaged frame sits
     // mid-log: replay must refuse it rather than lose acked transactions.
-    if (replay.code() != StatusCode::kCorruption) {
+    // With checkpointing the damaged segment may instead have been retired
+    // below the checkpoint — then recovery is clean and the full model
+    // check below must pass.
+    if (replay.code() == StatusCode::kCorruption) {
+      return {true, "corruption detected"};
+    }
+    if (!plan.checkpointing || !replay.ok()) {
       return Fail("bit flip below the tail not detected: " +
                   replay.ToString());
     }
-    return {true, "corruption detected"};
-  }
-  if (flip_round) {
+  } else if (flip_round) {
     // The flipped batch was the last one written; its frames are
     // indistinguishable from a torn tail. Either outcome is legal, but
     // acked-transaction accounting is off the table.
@@ -281,7 +365,7 @@ RoundResult VerifyRound(uint64_t seed, const std::string& log_dir,
     return {true, "flip at tail (lenient)"};
   }
   if (!replay.ok()) {
-    return Fail("replay failed: " + replay.ToString());
+    return Fail("recovery failed: " + replay.ToString());
   }
 
   // Reconstruct the surviving prefix length per worker from its cursor row,
@@ -342,8 +426,9 @@ RoundResult VerifyRound(uint64_t seed, const std::string& log_dir,
                   std::to_string(it->second.second) + ")");
     }
   }
-  return {true, child_crashed ? "state matches model prefix"
-                              : "clean run complete"};
+  return {true, (child_crashed ? std::string("state matches model prefix")
+                               : std::string("clean run complete")) +
+                    ", " + how};
 }
 
 int RunRound(uint64_t seed, const std::string& log_dir) {
@@ -442,6 +527,7 @@ int Main(int argc, char** argv) {
         std::string(base_dir) + "/round_" + std::to_string(seed);
     failures += RunRound(seed, log_dir);
     RemoveLogDir(log_dir);
+    RemoveDirContents(log_dir + ".ckpt");
   }
   ::rmdir(base_dir);
   std::printf("%llu rounds, %d failures\n",

@@ -27,6 +27,7 @@
 #include <string>
 #include <thread>
 
+#include "log/checkpoint.h"
 #include "server/procs.h"
 #include "server/server.h"
 #include "flags.h"
@@ -50,6 +51,8 @@ void Usage() {
       "  [--logging=none|value|command] [--log-dir=DIR] "
       "[--log-sync=none|fdatasync|odsync]\n"
       "  [--log-segment-mb=N] [--log-latency-us=N] [--async-commit]\n"
+      "  [--checkpoint-dir=DIR] [--checkpoint-interval-ms=N] "
+      "[--checkpoint-no-truncate]\n"
       "  YCSB: [--records=N] [--theta=T] [--writes=F] [--ops=N] [--rmw]\n"
       "  TPC-C: [--warehouses=N]   TATP/SmallBank: [--records=N]\n"
       "\n"
@@ -60,6 +63,8 @@ void Usage() {
       "  [--logging=none|value|command] [--log-dir=DIR] "
       "[--log-sync=none|fdatasync|odsync]\n"
       "  [--log-segment-mb=N] [--log-latency-us=N] [--async-commit]\n"
+      "  [--checkpoint-dir=DIR] [--checkpoint-interval-ms=N] "
+      "[--checkpoint-no-truncate]\n"
       "  [--max-inflight=N] [--queue-capacity=N] [--seconds=S]  "
       "(seconds=0: serve until SIGINT)\n");
 }
@@ -112,7 +117,27 @@ EngineOptions ParseEngineOptions(Flags* flags, int threads,
   eng.log_device_latency_us =
       static_cast<uint64_t>(flags->GetInt("log-latency-us", 0));
   eng.sync_commit = !flags->GetBool("async-commit", false);
+  eng.checkpoint_dir = flags->GetString("checkpoint-dir", "");
+  eng.checkpoint_interval_ms =
+      static_cast<uint64_t>(flags->GetInt("checkpoint-interval-ms", 0));
+  eng.checkpoint_truncates_log =
+      !flags->GetBool("checkpoint-no-truncate", false);
+  if (!eng.checkpoint_dir.empty() && eng.logging == LoggingKind::kNone) {
+    flags->Die("--checkpoint-dir requires --logging=value|command");
+  }
   return eng;
+}
+
+/// Spawns the interval checkpointer once DDL + bulk load are done (the
+/// snapshot scan must not race table creation or CC-free load writes).
+void MaybeStartCheckpointer(Engine* engine) {
+  if (engine->options().checkpoint_dir.empty()) return;
+  engine->StartCheckpointer();
+  std::printf("checkpointer: dir=%s interval=%llums truncate=%s\n",
+              engine->options().checkpoint_dir.c_str(),
+              static_cast<unsigned long long>(
+                  engine->options().checkpoint_interval_ms),
+              engine->options().checkpoint_truncates_log ? "yes" : "no");
 }
 
 IndexKind ParseIndexKind(Flags* flags) {
@@ -156,6 +181,7 @@ int RunServe(Flags* flags) {
   std::printf("loaded %llu kv rows in %.2fs\n",
               static_cast<unsigned long long>(loaded),
               static_cast<double>(NowNanos() - load_start) / 1e9);
+  MaybeStartCheckpointer(&engine);
 
   server::Server srv_instance(&engine, srv);
   const Status started = srv_instance.Start();
@@ -193,6 +219,15 @@ int RunServe(Flags* flags) {
   std::printf("replies held durable: %llu\n",
               static_cast<unsigned long long>(
                   stats.replies_held_durable.load()));
+  if (engine.checkpointer() != nullptr) {
+    std::printf("checkpoints taken:    %llu\n",
+                static_cast<unsigned long long>(
+                    engine.checkpointer()->checkpoints_taken()));
+    const Status bg = engine.checkpointer()->background_status();
+    if (!bg.ok()) {
+      std::printf("checkpointer error:   %s\n", bg.ToString().c_str());
+    }
+  }
   return 0;
 }
 
@@ -254,6 +289,7 @@ int RunBench(Flags* flags) {
   std::printf("loaded in %.2fs; measuring %.1fs on %d workers ...\n",
               static_cast<double>(NowNanos() - load_start) / 1e9,
               driver.measure_seconds, threads);
+  MaybeStartCheckpointer(&engine);
 
   const RunStats stats = Driver::Run(&engine, workload.get(), driver);
   std::printf("\nthroughput: %.0f txn/s\n", stats.Throughput());
@@ -268,6 +304,11 @@ int RunBench(Flags* flags) {
   if (stats.log_bytes > 0) {
     std::printf("log bytes:  %.2f MB\n",
                 static_cast<double>(stats.log_bytes) / (1024.0 * 1024.0));
+  }
+  if (engine.checkpointer() != nullptr) {
+    std::printf("checkpoints:%llu\n",
+                static_cast<unsigned long long>(
+                    engine.checkpointer()->checkpoints_taken()));
   }
   return 0;
 }
