@@ -31,6 +31,7 @@ const char* CcSchemeName(CcScheme scheme) {
 }
 
 const std::vector<CcScheme>& AllCcSchemes() {
+  // lint: allow-naked-new — leaked once-only static registry.
   static const std::vector<CcScheme>* kAll = new std::vector<CcScheme>{
       CcScheme::kNoWait, CcScheme::kWaitDie, CcScheme::kWoundWait,
       CcScheme::kDlDetect, CcScheme::kTimestamp, CcScheme::kOcc,

@@ -9,6 +9,7 @@ namespace next700 {
 
 Hstore::Hstore(uint32_t num_partitions)
     : num_partitions_(num_partitions),
+      // lint: allow-naked-new — construction-time partition latch array.
       partition_locks_(new SpinLatch[num_partitions]) {
   NEXT700_CHECK(num_partitions > 0);
 }
@@ -25,9 +26,13 @@ Status Hstore::Begin(TxnContext* txn) {
     NEXT700_CHECK_MSG(parts.back() < num_partitions_,
                       "partition id out of range");
   }
-  for (uint32_t p : parts) partition_locks_[p].Lock();
+  LockPartitions(parts);
   txn->set_state(TxnState::kActive);
   return Status::OK();
+}
+
+void Hstore::LockPartitions(const TxnContext::PartitionSet& parts) {
+  for (uint32_t p : parts) partition_locks_[p].Lock();
 }
 
 void Hstore::CheckAccess(const TxnContext* txn, const Row* row) const {

@@ -18,6 +18,7 @@
 
 #include "cc/cc.h"
 #include "common/latch.h"
+#include "common/thread_safety.h"
 
 namespace next700 {
 
@@ -39,7 +40,13 @@ class Hstore : public ConcurrencyControl {
   uint32_t num_partitions() const { return num_partitions_; }
 
  private:
-  void ReleasePartitions(TxnContext* txn);
+  // Begin latches the transaction's whole (data-dependent, sorted)
+  // partition set and holds it across the transaction until Finalize/Abort
+  // releases it — a lock-set-spanning-function-calls pattern TSA cannot
+  // model, so analysis is disabled on the acquire/release pair.
+  void LockPartitions(const TxnContext::PartitionSet& parts)
+      NO_THREAD_SAFETY_ANALYSIS;
+  void ReleasePartitions(TxnContext* txn) NO_THREAD_SAFETY_ANALYSIS;
 
   /// DCHECK helper: the row must belong to a locked partition.
   void CheckAccess(const TxnContext* txn, const Row* row) const;

@@ -14,6 +14,7 @@ constexpr uint64_t kWaitTimeoutNs = 2'000'000'000ull;
 }  // namespace
 
 LockManager::LockManager(DeadlockPolicy policy)
+    // lint: allow-naked-new — construction-time shard array.
     : policy_(policy), shards_(new Shard[kNumShards]) {}
 
 LockManager::Owner* LockManager::LockState::FindOwner(uint64_t txn_id) {

@@ -31,6 +31,7 @@
 
 #include "common/latch.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "storage/row.h"
 #include "txn/txn.h"
 
@@ -80,35 +81,36 @@ class LockManager {
     Waiter* next = nullptr;
   };
 
-  struct LockState {
+  struct CAPABILITY("lockstate") LockState {
     std::atomic<uint8_t> latch{0};
-    std::vector<Owner> owners;
-    Waiter* wait_head = nullptr;
-    Waiter* wait_tail = nullptr;
+    std::vector<Owner> owners GUARDED_BY(this);
+    Waiter* wait_head GUARDED_BY(this) = nullptr;
+    Waiter* wait_tail GUARDED_BY(this) = nullptr;
 
-    void Lock() {
+    void Lock() ACQUIRE() {
       latch_rank::OnAcquire(this, LatchRank::kLockState);
       while (latch.exchange(1, std::memory_order_acquire) != 0) CpuRelax();
       NEXT700_TSAN_ACQUIRE(this);
     }
-    void Unlock() {
+    void Unlock() RELEASE() {
       latch_rank::OnRelease(this);
       NEXT700_TSAN_RELEASE(this);
       latch.store(0, std::memory_order_release);
     }
 
-    Owner* FindOwner(uint64_t txn_id);
-    bool HasConflict(uint64_t txn_id, LockMode mode) const;
-    void Enqueue(Waiter* waiter);
-    void Dequeue(Waiter* waiter);
+    Owner* FindOwner(uint64_t txn_id) REQUIRES(this);
+    bool HasConflict(uint64_t txn_id, LockMode mode) const REQUIRES(this);
+    void Enqueue(Waiter* waiter) REQUIRES(this);
+    void Dequeue(Waiter* waiter) REQUIRES(this);
     /// Grants queued waiters that have become compatible (FIFO, with
     /// upgrades at the head).
-    void GrantWaiters();
+    void GrantWaiters() REQUIRES(this);
   };
 
   struct Shard {
     SpinLatch latch{LatchRank::kLockShard};
-    std::unordered_map<Row*, std::unique_ptr<LockState>> states;
+    std::unordered_map<Row*, std::unique_ptr<LockState>> states
+        GUARDED_BY(latch);
   };
 
   /// Global waits-for graph for kDlDetect.
@@ -122,10 +124,12 @@ class LockManager {
 
    private:
     bool HasPathTo(uint64_t from, uint64_t target,
-                   std::unordered_set<uint64_t>* visited) const;
+                   std::unordered_set<uint64_t>* visited) const
+        REQUIRES(latch_);
 
     SpinLatch latch_{LatchRank::kWaitsForGraph};
-    std::unordered_map<uint64_t, std::vector<uint64_t>> edges_;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> edges_
+        GUARDED_BY(latch_);
   };
 
   LockState* GetState(Row* row);
@@ -133,17 +137,18 @@ class LockManager {
   /// Collects txn-ids this request would wait on (owners + queued waiters
   /// ahead). Caller holds the state latch.
   static void CollectBlockers(const LockState& state, const Waiter& self,
-                              uint64_t txn_id, std::vector<uint64_t>* out);
+                              uint64_t txn_id, std::vector<uint64_t>* out)
+      REQUIRES(state);
 
   Status Wait(TxnContext* txn, LockState* state, Waiter* waiter, Row* row);
 
   /// Re-runs waiter granting after a queue element was removed.
-  static void GrantAfterDequeue(LockState* state);
+  static void GrantAfterDequeue(LockState* state) REQUIRES(state);
 
   /// Wound-wait: marks younger conflicting holders/waiters for death.
   /// Caller holds the state latch.
   static void WoundYoungerConflicts(LockState* state, TxnContext* txn,
-                                    LockMode mode);
+                                    LockMode mode) REQUIRES(state);
 
   DeadlockPolicy policy_;
   std::unique_ptr<Shard[]> shards_;

@@ -26,6 +26,7 @@ class ActiveTxnTracker {
   static constexpr Timestamp kIdle = ~Timestamp{0};
 
   explicit ActiveTxnTracker(int max_threads)
+      // lint: allow-naked-new — construction-time per-thread slot array.
       : slots_(new Slot[max_threads]), max_threads_(max_threads) {}
 
   void SetActive(int thread_id, Timestamp ts) {

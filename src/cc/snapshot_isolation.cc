@@ -110,7 +110,15 @@ Status SnapshotIsolation::Delete(TxnContext* txn, Row* row) {
   return Status::OK();
 }
 
-void SnapshotIsolation::UnlatchWriteSet(TxnContext* txn) {
+// Thread safety analysis: Validate() latches the (sorted) write set row by
+// row and intentionally leaves those latches held until Finalize()/Abort()
+// — a transaction-scoped lock set tracked by WriteSetEntry::latched that
+// TSA's function-local analysis cannot express, so the three functions
+// carrying it opt out below. TSan and the latch-rank checker cover this
+// protocol dynamically.
+
+void SnapshotIsolation::UnlatchWriteSet(TxnContext* txn)
+    NO_THREAD_SAFETY_ANALYSIS {
   for (auto& entry : txn->write_set()) {
     if (entry.latched) {
       entry.row->Unlatch();
@@ -119,7 +127,8 @@ void SnapshotIsolation::UnlatchWriteSet(TxnContext* txn) {
   }
 }
 
-Status SnapshotIsolation::Validate(TxnContext* txn) {
+Status SnapshotIsolation::Validate(TxnContext* txn)
+    NO_THREAD_SAFETY_ANALYSIS {
   auto& writes = txn->write_set();
   std::sort(writes.begin(), writes.end(),
             [](const WriteSetEntry& a, const WriteSetEntry& b) {
@@ -160,7 +169,8 @@ void SnapshotIsolation::CollectGarbage(TxnContext* txn, Row* row) {
   }
 }
 
-void SnapshotIsolation::Finalize(TxnContext* txn) {
+void SnapshotIsolation::Finalize(TxnContext* txn)
+    NO_THREAD_SAFETY_ANALYSIS {
   const Timestamp commit_ts = txn->commit_ts();
   for (auto& entry : txn->write_set()) {
     Row* row = entry.row;

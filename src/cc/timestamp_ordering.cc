@@ -74,7 +74,15 @@ Status TimestampOrdering::Delete(TxnContext* txn, Row* row) {
   return Status::OK();
 }
 
-void TimestampOrdering::UnlatchWriteSet(TxnContext* txn) {
+// Thread safety analysis: Validate() latches the (sorted) write set row by
+// row and intentionally leaves those latches held until Finalize()/Abort()
+// — a transaction-scoped lock set tracked by WriteSetEntry::latched that
+// TSA's function-local analysis cannot express, so the three functions
+// carrying it opt out below. TSan and the latch-rank checker cover this
+// protocol dynamically.
+
+void TimestampOrdering::UnlatchWriteSet(TxnContext* txn)
+    NO_THREAD_SAFETY_ANALYSIS {
   for (auto& entry : txn->write_set()) {
     if (entry.latched) {
       entry.row->Unlatch();
@@ -83,7 +91,8 @@ void TimestampOrdering::UnlatchWriteSet(TxnContext* txn) {
   }
 }
 
-Status TimestampOrdering::Validate(TxnContext* txn) {
+Status TimestampOrdering::Validate(TxnContext* txn)
+    NO_THREAD_SAFETY_ANALYSIS {
   auto& writes = txn->write_set();
   std::sort(writes.begin(), writes.end(),
             [](const WriteSetEntry& a, const WriteSetEntry& b) {
@@ -113,7 +122,8 @@ Status TimestampOrdering::Validate(TxnContext* txn) {
   return Status::OK();
 }
 
-void TimestampOrdering::Finalize(TxnContext* txn) {
+void TimestampOrdering::Finalize(TxnContext* txn)
+    NO_THREAD_SAFETY_ANALYSIS {
   for (auto& entry : txn->write_set()) {
     Row* row = entry.row;
     if (entry.is_insert) {

@@ -159,8 +159,8 @@ class EpochManager {
   /// Guards live_retired_ and quarantine_ (validation modes only).
   mutable SpinLatch validate_latch_;
   /// Pointers retired but not yet freed, for double-retire detection.
-  std::unordered_set<void*> live_retired_;
-  std::deque<Quarantined> quarantine_;
+  std::unordered_set<void*> live_retired_ GUARDED_BY(validate_latch_);
+  std::deque<Quarantined> quarantine_ GUARDED_BY(validate_latch_);
 };
 
 /// RAII pin on the current epoch.

@@ -10,12 +10,16 @@
 /// constructed with — or assigned via set_rank() — a LatchRank level; ranked
 /// latches have their acquisition order validated per thread when
 /// NEXT700_DEBUG_LATCH_RANK is defined.
+///
+/// Both latches are Clang TSA capabilities (thread_safety.h): fields marked
+/// GUARDED_BY a latch are compile-time checked under -Wthread-safety.
 
 #include <atomic>
 #include <cstdint>
 
 #include "common/latch_rank.h"
 #include "common/macros.h"
+#include "common/thread_safety.h"
 
 namespace next700 {
 
@@ -34,7 +38,7 @@ inline void CpuRelax() {
 }
 
 /// Test-and-test-and-set spinlock with exponential backoff.
-class NEXT700_CACHE_ALIGNED SpinLatch {
+class CAPABILITY("latch") NEXT700_CACHE_ALIGNED SpinLatch {
  public:
   SpinLatch() = default;
   explicit SpinLatch(LatchRank rank) : rank_(rank) {}
@@ -44,7 +48,7 @@ class NEXT700_CACHE_ALIGNED SpinLatch {
   /// Assigns the hierarchy level post-construction (for array members).
   void set_rank(LatchRank rank) { rank_ = rank; }
 
-  void Lock() {
+  void Lock() ACQUIRE() {
     // Checking before the spin means an ordering violation aborts with a
     // clean report instead of deadlocking first.
     latch_rank::OnAcquire(this, rank_);
@@ -60,7 +64,7 @@ class NEXT700_CACHE_ALIGNED SpinLatch {
     }
   }
 
-  bool TryLock() {
+  bool TryLock() TRY_ACQUIRE(true) {
     if (!locked_.load(std::memory_order_relaxed) &&
         !locked_.exchange(true, std::memory_order_acquire)) {
       latch_rank::OnAcquire(this, rank_);
@@ -70,11 +74,15 @@ class NEXT700_CACHE_ALIGNED SpinLatch {
     return false;
   }
 
-  void Unlock() {
+  void Unlock() RELEASE() {
     latch_rank::OnRelease(this);
     NEXT700_TSAN_RELEASE(this);
     locked_.store(false, std::memory_order_release);
   }
+
+  /// Statically asserts the latch is held — used after a hand-off the
+  /// analysis cannot follow (a function that returns with the latch held).
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
 
  private:
   std::atomic<bool> locked_{false};
@@ -82,10 +90,12 @@ class NEXT700_CACHE_ALIGNED SpinLatch {
 };
 
 /// RAII guard for SpinLatch.
-class SpinLatchGuard {
+class SCOPED_CAPABILITY SpinLatchGuard {
  public:
-  explicit SpinLatchGuard(SpinLatch* latch) : latch_(latch) { latch_->Lock(); }
-  ~SpinLatchGuard() { latch_->Unlock(); }
+  explicit SpinLatchGuard(SpinLatch* latch) ACQUIRE(latch) : latch_(latch) {
+    latch_->Lock();
+  }
+  ~SpinLatchGuard() RELEASE() { latch_->Unlock(); }
   SpinLatchGuard(const SpinLatchGuard&) = delete;
   SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
 
@@ -95,7 +105,7 @@ class SpinLatchGuard {
 
 /// Reader-writer spin latch. Writers set the high bit; readers count in the
 /// low bits. Writer-preferring to keep B+-tree splits from starving.
-class RwSpinLatch {
+class CAPABILITY("rwlatch") RwSpinLatch {
  public:
   RwSpinLatch() = default;
   explicit RwSpinLatch(LatchRank rank) : rank_(rank) {}
@@ -104,7 +114,7 @@ class RwSpinLatch {
 
   void set_rank(LatchRank rank) { rank_ = rank; }
 
-  void LockShared() {
+  void LockShared() ACQUIRE_SHARED() {
     latch_rank::OnAcquire(this, rank_);
     for (;;) {
       uint32_t cur = word_.load(std::memory_order_relaxed);
@@ -118,13 +128,13 @@ class RwSpinLatch {
     }
   }
 
-  void UnlockShared() {
+  void UnlockShared() RELEASE_SHARED() {
     latch_rank::OnRelease(this);
     NEXT700_TSAN_RELEASE(this);
     word_.fetch_sub(1, std::memory_order_release);
   }
 
-  void LockExclusive() {
+  void LockExclusive() ACQUIRE() {
     latch_rank::OnAcquire(this, rank_);
     // Claim the writer bit, then drain readers.
     for (;;) {
@@ -142,7 +152,7 @@ class RwSpinLatch {
     NEXT700_TSAN_ACQUIRE(this);
   }
 
-  void UnlockExclusive() {
+  void UnlockExclusive() RELEASE() {
     latch_rank::OnRelease(this);
     NEXT700_TSAN_RELEASE(this);
     word_.fetch_and(~kWriterBit, std::memory_order_release);

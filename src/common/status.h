@@ -29,8 +29,11 @@ enum class StatusCode : int {
   kDeadlineExceeded = 10,  // Client-side RPC timeout.
 };
 
-/// Lightweight status object; cheap to copy in the OK case.
-class Status {
+/// Lightweight status object; cheap to copy in the OK case. Marked
+/// [[nodiscard]] so silently dropping an error is a compile error
+/// (-Wunused-result is an error under -Werror presets); discard
+/// deliberately with a `(void)` cast and a comment saying why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -94,9 +97,10 @@ class Status {
   std::string message_;
 };
 
-/// A value-or-Status union, in the spirit of absl::StatusOr.
+/// A value-or-Status union, in the spirit of absl::StatusOr. [[nodiscard]]
+/// for the same reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {

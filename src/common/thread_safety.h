@@ -1,0 +1,178 @@
+#ifndef NEXT700_COMMON_THREAD_SAFETY_H_
+#define NEXT700_COMMON_THREAD_SAFETY_H_
+
+/// \file
+/// Clang Thread Safety Analysis (TSA) capability annotations, plus annotated
+/// wrappers for the standard mutex/condvar primitives.
+///
+/// TSA ("C/C++ Thread Safety Analysis", the production checker behind
+/// -Wthread-safety) proves lock discipline at compile time: every field
+/// marked GUARDED_BY(mu) may only be touched while `mu` is held, every
+/// function marked REQUIRES(mu) may only be called with `mu` held, and the
+/// ACQUIRE/RELEASE attributes teach the analysis which functions change the
+/// set of held capabilities. Unlike TSan, the check covers every path on
+/// every build — including interleavings no test ever schedules — which is
+/// why the `thread-safety` preset compiles with -Wthread-safety -Werror.
+///
+/// The macros expand to nothing on compilers without the attributes (GCC),
+/// so annotated headers stay portable. Division of labor with the dynamic
+/// checkers is documented in DESIGN.md ("Static analysis").
+///
+/// Escape hatches, used sparingly and always with a justifying comment:
+///   * NO_THREAD_SAFETY_ANALYSIS — for protocols TSA cannot express
+///     (data-dependent lock sets, locks held across function boundaries).
+///   * AssertHeld()-style ASSERT_CAPABILITY members — for "this function
+///     returned with the latch held" hand-offs the attribute grammar cannot
+///     spell (e.g. HashIndex::LockBucket).
+
+#include <condition_variable>
+#include <mutex>
+
+// Rollup feature test: Clang has had these attributes since 3.5; the
+// spellings below are the modern capability-based names.
+#if defined(__clang__) && !defined(SWIG)
+#define NEXT700_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define NEXT700_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex", "latch", ...).
+#define CAPABILITY(x) NEXT700_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY NEXT700_THREAD_ANNOTATION__(scoped_lockable)
+
+/// The annotated field may only be accessed while holding `x`.
+#define GUARDED_BY(x) NEXT700_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The annotated pointer may only be *dereferenced* while holding `x`.
+#define PT_GUARDED_BY(x) NEXT700_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares latch-order edges for the analysis' deadlock checking.
+#define ACQUIRED_BEFORE(...) \
+  NEXT700_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  NEXT700_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the capabilities.
+#define REQUIRES(...) \
+  NEXT700_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NEXT700_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capabilities and does not release them.
+#define ACQUIRE(...) \
+  NEXT700_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NEXT700_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases capabilities the caller must hold on entry.
+#define RELEASE(...) \
+  NEXT700_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NEXT700_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  NEXT700_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  NEXT700_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(b, ...) \
+  NEXT700_THREAD_ANNOTATION__(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// The function must be called *without* the capabilities (non-reentrancy).
+#define EXCLUDES(...) NEXT700_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime-assertion functions: tells the analysis the capability is held
+/// from here on (the dynamic check is the caller's problem).
+#define ASSERT_CAPABILITY(x) NEXT700_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  NEXT700_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) NEXT700_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Every use carries a
+/// comment explaining why the protocol is beyond the attribute grammar.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NEXT700_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace next700 {
+
+/// std::mutex as an annotated capability. libstdc++ does not annotate
+/// std::mutex, so holding one is invisible to the analysis; every mutex in
+/// src/ goes through this wrapper (enforced by tools/lint rule
+/// `naked-std-mutex`).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Statically asserts the capability is held (e.g. after a hand-off the
+  /// analysis cannot follow). No runtime cost.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (std::lock_guard shape, analysis-visible).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable over Mutex. No predicate overloads on purpose: a
+/// predicate lambda is analyzed as a separate function that does not hold
+/// the mutex, so guarded reads inside it would (rightly) fail TSA. Call
+/// sites spell the standard `while (!cond) cv.Wait(&mu);` loop instead,
+/// keeping every guarded read inside the annotated critical section.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires before returning.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `rel_time` elapses
+  /// without a notification.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex* mu,
+                         const std::chrono::duration<Rep, Period>& rel_time)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lk, rel_time);
+    lk.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace next700
+
+#endif  // NEXT700_COMMON_THREAD_SAFETY_H_

@@ -26,10 +26,10 @@ DeterministicEngine::DeterministicEngine(Table* table, Index* index,
 DeterministicEngine::~DeterministicEngine() {
   WaitAll();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  ready_cv_.notify_all();
+  ready_cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -63,7 +63,7 @@ uint64_t DeterministicEngine::Submit(std::vector<uint64_t> read_keys,
   bool is_ready;
   uint64_t ticket;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ticket = txn->seq = next_seq_++;
     txn->pending_locks = static_cast<int>(txn->read_keys.size() +
                                           txn->write_keys.size());
@@ -75,19 +75,44 @@ uint64_t DeterministicEngine::Submit(std::vector<uint64_t> read_keys,
     // adds the txn to newly_ready when its last lock is granted, so only
     // txns with no locks at all need the explicit push.
     std::vector<DetTxn*> newly_ready;
-    const auto enqueue = [&](uint64_t key, bool is_write) {
-      RowQueue& queue = lock_table_[key];
-      queue.entries.push_back(QueueEntry{txn, is_write, false});
-      GrantFront(&queue, &newly_ready);
-    };
-    for (uint64_t key : txn->read_keys) enqueue(key, false);
-    for (uint64_t key : txn->write_keys) enqueue(key, true);
+    for (uint64_t key : txn->read_keys) {
+      EnqueueLockRequest(txn, key, /*is_write=*/false, &newly_ready);
+    }
+    for (uint64_t key : txn->write_keys) {
+      EnqueueLockRequest(txn, key, /*is_write=*/true, &newly_ready);
+    }
     if (lock_free) newly_ready.push_back(txn);
     for (DetTxn* ready : newly_ready) ready_.push_back(ready);
     is_ready = !ready_.empty();
   }
-  if (is_ready) ready_cv_.notify_all();
+  if (is_ready) ready_cv_.NotifyAll();
   return ticket;
+}
+
+void DeterministicEngine::EnqueueLockRequest(
+    DetTxn* txn, uint64_t key, bool is_write,
+    std::vector<DetTxn*>* newly_ready) {
+  RowQueue& queue = lock_table_[key];
+  queue.entries.push_back(QueueEntry{txn, is_write, false});
+  GrantFront(&queue, newly_ready);
+}
+
+void DeterministicEngine::ReleaseKey(DetTxn* txn, uint64_t key,
+                                     std::vector<DetTxn*>* newly_ready) {
+  auto it = lock_table_.find(key);
+  NEXT700_DCHECK(it != lock_table_.end());
+  auto& entries = it->second.entries;
+  for (auto entry = entries.begin(); entry != entries.end(); ++entry) {
+    if (entry->txn == txn) {
+      entries.erase(entry);
+      break;
+    }
+  }
+  if (entries.empty()) {
+    lock_table_.erase(it);
+  } else {
+    GrantFront(&it->second, newly_ready);
+  }
 }
 
 void DeterministicEngine::GrantFront(RowQueue* queue,
@@ -114,8 +139,8 @@ void DeterministicEngine::WorkerLoop() {
   for (;;) {
     DetTxn* txn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      ready_cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && ready_.empty()) ready_cv_.Wait(&mu_);
       if (ready_.empty()) return;  // stop_ and drained.
       txn = ready_.front();
       ready_.pop_front();
@@ -128,49 +153,31 @@ void DeterministicEngine::WorkerLoop() {
     // prefix) and advance the queues.
     std::vector<DetTxn*> newly_ready;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      const auto release = [&](uint64_t key) {
-        auto it = lock_table_.find(key);
-        NEXT700_DCHECK(it != lock_table_.end());
-        auto& entries = it->second.entries;
-        for (auto entry = entries.begin(); entry != entries.end(); ++entry) {
-          if (entry->txn == txn) {
-            entries.erase(entry);
-            break;
-          }
-        }
-        if (entries.empty()) {
-          lock_table_.erase(it);
-        } else {
-          GrantFront(&it->second, &newly_ready);
-        }
-      };
-      for (uint64_t key : txn->read_keys) release(key);
-      for (uint64_t key : txn->write_keys) release(key);
+      MutexLock lock(&mu_);
+      for (uint64_t key : txn->read_keys) ReleaseKey(txn, key, &newly_ready);
+      for (uint64_t key : txn->write_keys) ReleaseKey(txn, key, &newly_ready);
       txn->done = true;
       ++executed_;
       for (DetTxn* ready : newly_ready) ready_.push_back(ready);
     }
-    done_cv_.notify_all();
-    if (!newly_ready.empty()) ready_cv_.notify_all();
+    done_cv_.NotifyAll();
+    if (!newly_ready.empty()) ready_cv_.NotifyAll();
   }
 }
 
 void DeterministicEngine::Wait(uint64_t ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    NEXT700_DCHECK(ticket >= 1 && ticket <= txns_.size());
-    return txns_[ticket - 1]->done;
-  });
+  MutexLock lock(&mu_);
+  NEXT700_DCHECK(ticket >= 1 && ticket <= txns_.size());
+  while (!txns_[ticket - 1]->done) done_cv_.Wait(&mu_);
 }
 
 void DeterministicEngine::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return executed_ == txns_.size(); });
+  MutexLock lock(&mu_);
+  while (executed_ != txns_.size()) done_cv_.Wait(&mu_);
 }
 
 uint64_t DeterministicEngine::executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return executed_;
 }
 

@@ -22,17 +22,16 @@
 /// determinism *is* the concurrency control. It shares the storage and
 /// index substrates with everything else.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "index/index.h"
 #include "storage/table.h"
 
@@ -117,8 +116,16 @@ class DeterministicEngine {
 
   /// Recomputes the grant prefix of `queue` (head write alone, or every
   /// lead read), collecting transactions whose last lock just arrived.
-  /// Caller holds mu_.
-  void GrantFront(RowQueue* queue, std::vector<DetTxn*>* newly_ready);
+  void GrantFront(RowQueue* queue, std::vector<DetTxn*>* newly_ready)
+      REQUIRES(mu_);
+
+  /// Appends `txn`'s request for `key` to the row queue and re-grants.
+  void EnqueueLockRequest(DetTxn* txn, uint64_t key, bool is_write,
+                          std::vector<DetTxn*>* newly_ready) REQUIRES(mu_);
+
+  /// Removes `txn`'s (granted) entry for `key` and advances the queue.
+  void ReleaseKey(DetTxn* txn, uint64_t key,
+                  std::vector<DetTxn*>* newly_ready) REQUIRES(mu_);
 
   void WorkerLoop();
 
@@ -129,15 +136,16 @@ class DeterministicEngine {
   Index* index_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::condition_variable done_cv_;
-  std::unordered_map<uint64_t, RowQueue> lock_table_;
-  std::deque<DetTxn*> ready_;
-  std::vector<std::unique_ptr<DetTxn>> txns_;  // Ownership, append-only.
-  uint64_t next_seq_ = 1;
-  uint64_t executed_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar ready_cv_;
+  CondVar done_cv_;
+  std::unordered_map<uint64_t, RowQueue> lock_table_ GUARDED_BY(mu_);
+  std::deque<DetTxn*> ready_ GUARDED_BY(mu_);
+  /// Ownership, append-only.
+  std::vector<std::unique_ptr<DetTxn>> txns_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  uint64_t executed_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;
 };

@@ -92,7 +92,7 @@ void HashIndex::MaybeGrowAndHelp() {
     BucketArray* cur = current_.load(std::memory_order_acquire);
     if (entries_.load(std::memory_order_relaxed) >
         cur->buckets.size() * kGrowLoadFactor) {
-      std::lock_guard<std::mutex> lock(resize_mu_);
+      MutexLock lock(&resize_mu_);
       // Re-check under the mutex: another thread may have started (or even
       // finished) a resize since the racy test above.
       cur = current_.load(std::memory_order_acquire);
@@ -122,6 +122,7 @@ Status HashIndex::InsertImpl(uint64_t key, Row* row, bool unique) {
   MaybeGrowAndHelp();
   BucketArray* table;
   Bucket* bucket = LockBucket(key, &table);
+  bucket->AssertHeld();
   for (Entry* e = bucket->head; e != nullptr; e = e->next) {
     if (e->key == key) {
       if (unique || e->row == row) {
@@ -147,6 +148,7 @@ Status HashIndex::InsertUnique(uint64_t key, Row* row) {
 Row* HashIndex::Lookup(uint64_t key) const {
   BucketArray* table;
   Bucket* bucket = LockBucket(key, &table);
+  bucket->AssertHeld();
   for (Entry* e = bucket->head; e != nullptr; e = e->next) {
     if (e->key == key) {
       Row* row = e->row;
@@ -161,6 +163,7 @@ Row* HashIndex::Lookup(uint64_t key) const {
 void HashIndex::LookupAll(uint64_t key, std::vector<Row*>* out) const {
   BucketArray* table;
   Bucket* bucket = LockBucket(key, &table);
+  bucket->AssertHeld();
   for (Entry* e = bucket->head; e != nullptr; e = e->next) {
     if (e->key == key) out->push_back(e->row);
   }
@@ -171,6 +174,7 @@ bool HashIndex::Remove(uint64_t key, Row* row) {
   MaybeGrowAndHelp();
   BucketArray* table;
   Bucket* bucket = LockBucket(key, &table);
+  bucket->AssertHeld();
   Entry** link = &bucket->head;
   while (*link != nullptr) {
     Entry* e = *link;

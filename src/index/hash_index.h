@@ -22,10 +22,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_safety.h"
 #include "index/index.h"
 
 namespace next700 {
@@ -75,17 +75,20 @@ class HashIndex : public Index {
     Entry* next;
   };
 
-  struct Bucket {
+  struct CAPABILITY("bucket") Bucket {
     std::atomic<uint8_t> latch{0};
-    Entry* head = nullptr;
+    Entry* head GUARDED_BY(this) = nullptr;
     /// Set (under the latch) when this bucket's chain has been moved to the
     /// owning table's successor; the bucket is dead from then on.
-    bool migrated = false;
+    bool migrated GUARDED_BY(this) = false;
 
-    void Lock() {
+    void Lock() ACQUIRE() {
       while (latch.exchange(1, std::memory_order_acquire) != 0) CpuRelax();
     }
-    void Unlock() { latch.store(0, std::memory_order_release); }
+    void Unlock() RELEASE() { latch.store(0, std::memory_order_release); }
+    /// Re-establishes the capability after LockBucket() hands a latched
+    /// bucket across the call boundary (which TSA cannot track).
+    void AssertHeld() ASSERT_CAPABILITY(this) {}
   };
 
   struct BucketArray {
@@ -105,8 +108,11 @@ class HashIndex : public Index {
 
   /// Latches and returns the bucket currently owning `key`, chasing
   /// successor pointers past migrated buckets. On return the bucket latch
-  /// is held and `*out` is the table it belongs to.
-  Bucket* LockBucket(uint64_t key, BucketArray** out) const;
+  /// is held and `*out` is the table it belongs to. TSA cannot express a
+  /// capability handed off through a return value, so the analysis is
+  /// disabled here and callers re-establish it with AssertHeld().
+  Bucket* LockBucket(uint64_t key,
+                     BucketArray** out) const NO_THREAD_SAFETY_ANALYSIS;
 
   Status InsertImpl(uint64_t key, Row* row, bool unique);
 
@@ -121,10 +127,11 @@ class HashIndex : public Index {
   /// Non-null while a resize is draining it. Cleared after the swap.
   std::atomic<BucketArray*> resize_src_{nullptr};
   /// Serializes resize initiation.
-  std::mutex resize_mu_;
+  Mutex resize_mu_;
   /// Every table ever created, freed only at destruction so stale readers
-  /// can always complete their successor chase.
-  std::vector<std::unique_ptr<BucketArray>> tables_;
+  /// can always complete their successor chase. Mutated only while a resize
+  /// is being initiated (constructor/destructor accesses are unshared).
+  std::vector<std::unique_ptr<BucketArray>> tables_ GUARDED_BY(resize_mu_);
 
   std::atomic<uint64_t> entries_{0};
   std::atomic<uint64_t> rehashes_{0};

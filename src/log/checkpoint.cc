@@ -197,13 +197,15 @@ Status CheckpointCoordinator::Prepare() {
   NEXT700_RETURN_IF_ERROR(EnsureLogDir(options_.dir));
   CheckpointManifest manifest;
   const Status ms = ReadManifest(options_.dir, &manifest);
+  std::string live_file;
   if (ms.ok()) {
-    std::lock_guard<std::mutex> lock(run_mu_);
+    MutexLock lock(&run_mu_);
     next_seq_ = manifest.checkpoint_seq + 1;
     prev_file_ = manifest.checkpoint_file;
     prev_base_index_ = manifest.log_base_index;
     prev_base_lsn_ = manifest.log_base_lsn;
     last_start_lsn_.store(manifest.start_lsn, std::memory_order_relaxed);
+    live_file = prev_file_;
   } else if (!ms.IsNotFound()) {
     return ms;  // A corrupt MANIFEST must fail loudly, never be replaced.
   }
@@ -217,7 +219,7 @@ Status CheckpointCoordinator::Prepare() {
       const bool is_tmp =
           name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
       const bool is_stale_ckpt = name.compare(0, 5, "ckpt.") == 0 &&
-                                 !is_tmp && name != prev_file_;
+                                 !is_tmp && name != live_file;
       if (is_tmp || is_stale_ckpt) {
         ::unlink((options_.dir + "/" + name).c_str());
       }
@@ -230,43 +232,53 @@ Status CheckpointCoordinator::Prepare() {
 void CheckpointCoordinator::Start() {
   if (options_.interval_ms == 0 || started_) return;
   started_ = true;
-  stop_ = false;
+  {
+    MutexLock lock(&stop_mu_);
+    stop_ = false;
+  }
   thread_ = std::thread([this] { BackgroundLoop(); });
 }
 
 void CheckpointCoordinator::Stop() {
   if (!started_) return;
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(&stop_mu_);
     stop_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   thread_.join();
   started_ = false;
 }
 
 Status CheckpointCoordinator::background_status() const {
-  std::lock_guard<std::mutex> lock(run_mu_);
+  MutexLock lock(&run_mu_);
   return background_status_;
 }
 
 void CheckpointCoordinator::BackgroundLoop() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_mu_.Lock();
   while (!stop_) {
-    stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
-                      [&] { return stop_; });
+    // Sleep one interval, waking early only for stop.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.interval_ms);
+    while (!stop_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      (void)stop_cv_.WaitFor(&stop_mu_, deadline - now);
+    }
     if (stop_) break;
-    lock.unlock();
+    stop_mu_.Unlock();
     CheckpointStats stats;
     const Status s = CheckpointNow(&stats);
     if (!s.ok()) {
       // A failed background checkpoint only delays truncation — the log
       // still covers everything — but it must not pass silently.
-      std::lock_guard<std::mutex> run_lock(run_mu_);
+      MutexLock run_lock(&run_mu_);
       if (background_status_.ok()) background_status_ = s;
     }
-    lock.lock();
+    stop_mu_.Lock();
   }
+  stop_mu_.Unlock();
 }
 
 CheckpointCoordinator::SnapshotPolicy CheckpointCoordinator::PolicyFor()
@@ -370,7 +382,7 @@ void CheckpointCoordinator::SerializeSnapshot(std::vector<uint8_t>* out,
 }
 
 Status CheckpointCoordinator::CheckpointNow(CheckpointStats* stats) {
-  std::lock_guard<std::mutex> lock(run_mu_);
+  MutexLock lock(&run_mu_);
   const uint64_t start_ns = NowNanos();
   CheckpointStats local;
   std::vector<uint8_t> body;
@@ -418,7 +430,10 @@ Status CheckpointCoordinator::CheckpointNow(CheckpointStats* stats) {
   Hook("checkpoint:before-cleanup");
   if (!prev_file_.empty() && prev_file_ != file) {
     // Best-effort: a stale checkpoint file is ignored by recovery and
-    // swept by the next Prepare().
+    // swept by the next Prepare(). run_mu_ deliberately spans the whole
+    // checkpoint including its IO — it serializes checkpoint runs, it is
+    // not a transaction-path latch.
+    // lint: allow-blocking-under-latch
     ::unlink((options_.dir + "/" + prev_file_).c_str());
   }
 

@@ -43,6 +43,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "log/manifest.h"
 #include "log/recovery.h"
 #include "txn/engine.h"
@@ -156,19 +157,20 @@ class CheckpointCoordinator {
   CheckpointerOptions options_;
 
   // Serializes CheckpointNow; guards install state.
-  mutable std::mutex run_mu_;
-  uint64_t next_seq_ = 1;
-  std::string prev_file_;
-  uint64_t prev_base_index_ = 0;
-  Lsn prev_base_lsn_ = 0;
-  Status background_status_;
+  mutable Mutex run_mu_;
+  uint64_t next_seq_ GUARDED_BY(run_mu_) = 1;
+  std::string prev_file_ GUARDED_BY(run_mu_);
+  uint64_t prev_base_index_ GUARDED_BY(run_mu_) = 0;
+  Lsn prev_base_lsn_ GUARDED_BY(run_mu_) = 0;
+  Status background_status_ GUARDED_BY(run_mu_);
 
   std::atomic<uint64_t> checkpoints_taken_{0};
   std::atomic<Lsn> last_start_lsn_{0};
 
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_ = false;
+  Mutex stop_mu_;
+  CondVar stop_cv_;
+  bool stop_ GUARDED_BY(stop_mu_) = false;
+  // Start/Stop-caller-owned (that API is single-threaded); unshared.
   bool started_ = false;
   std::thread thread_;
 };

@@ -101,7 +101,7 @@ Status LogManager::Open() {
   Lsn cursor = options_.base_lsn;
   uint64_t next_index = options_.base_index;
   {
-    std::lock_guard<std::mutex> seg_lock(segments_mu_);
+    MutexLock seg_lock(&segments_mu_);
     sealed_.clear();
     for (const LogSegment& segment : history) {
       sealed_.push_back(SealedSegment{segment.index, segment.path, cursor,
@@ -112,12 +112,17 @@ Status LogManager::Open() {
     live_index_ = next_index;
     live_start_lsn_ = cursor;
   }
-  appended_lsn_ = durable_lsn_ = cursor;
+  {
+    // The flusher does not exist yet, but taking mu_ keeps the lock
+    // discipline uniform (and statically checkable) on the cold path.
+    MutexLock lock(&mu_);
+    appended_lsn_ = durable_lsn_ = cursor;
+    io_status_ = Status::OK();
+    flusher_exited_ = false;
+    stop_ = false;
+  }
   NEXT700_RETURN_IF_ERROR(OpenSegment(next_index));
 
-  io_status_ = Status::OK();
-  flusher_exited_ = false;
-  stop_ = false;
   running_ = true;
   flusher_ = std::thread([this] { FlusherLoop(); });
   return Status::OK();
@@ -126,10 +131,10 @@ Status LogManager::Open() {
 void LogManager::Close() {
   if (!running_) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  flusher_cv_.notify_all();
+  flusher_cv_.NotifyAll();
   flusher_.join();
   running_ = false;
   if (file_ != nullptr) file_->Close();
@@ -146,7 +151,7 @@ Lsn LogManager::Append(LogRecordType type, const uint8_t* body,
       FrameHeaderSum(len_field, static_cast<uint8_t>(type));
   Lsn end;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     LogWriter writer(&buffer_);
     writer.PutU32(len_field);
     writer.PutU8(static_cast<uint8_t>(type));
@@ -160,44 +165,44 @@ Lsn LogManager::Append(LogRecordType type, const uint8_t* body,
 }
 
 void LogManager::SetDurableCallback(std::function<void(Lsn)> callback) {
-  std::unique_lock<std::mutex> lock(callback_mu_);
+  MutexLock lock(&callback_mu_);
   // From the flusher's own callback, skip the drain (it would self-wait);
   // from any other thread, wait out an in-flight invocation so the caller
   // can free whatever the old callback captured.
   if (std::this_thread::get_id() != flusher_tid_) {
-    callback_cv_.wait(lock, [&] { return !callback_running_; });
+    while (callback_running_) callback_cv_.Wait(&callback_mu_);
   }
   durable_callback_ = std::move(callback);
 }
 
 Status LogManager::WaitDurable(Lsn lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  flusher_cv_.notify_all();  // Give the flusher a nudge for low latency.
-  flushed_cv_.wait(lock, [&] {
-    return durable_lsn_ >= lsn || !io_status_.ok() || flusher_exited_;
-  });
+  MutexLock lock(&mu_);
+  flusher_cv_.NotifyAll();  // Give the flusher a nudge for low latency.
+  while (durable_lsn_ < lsn && io_status_.ok() && !flusher_exited_) {
+    flushed_cv_.Wait(&mu_);
+  }
   if (durable_lsn_ >= lsn) return Status::OK();
   if (!io_status_.ok()) return io_status_;
   return Status::Unavailable("log closed before lsn became durable");
 }
 
 Status LogManager::io_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return io_status_;
 }
 
 Lsn LogManager::durable_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return durable_lsn_;
 }
 
 Lsn LogManager::appended_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return appended_lsn_;
 }
 
 SealedSegment LogManager::BaseAfterRetire(Lsn lsn) const {
-  std::lock_guard<std::mutex> lock(segments_mu_);
+  MutexLock lock(&segments_mu_);
   for (const SealedSegment& segment : sealed_) {
     if (segment.end_lsn > lsn) return segment;
   }
@@ -215,7 +220,7 @@ Status LogManager::RetireSegmentsBelow(
     Lsn lsn, const std::function<void()>& between_unlinks) {
   std::vector<SealedSegment> victims;
   {
-    std::lock_guard<std::mutex> lock(segments_mu_);
+    MutexLock lock(&segments_mu_);
     size_t keep = 0;
     for (size_t i = 0; i < sealed_.size(); ++i) {
       if (sealed_[i].end_lsn <= lsn) {
@@ -236,7 +241,7 @@ Status LogManager::RetireSegmentsBelow(
 }
 
 std::vector<SealedSegment> LogManager::sealed_segments() const {
-  std::lock_guard<std::mutex> lock(segments_mu_);
+  MutexLock lock(&segments_mu_);
   return sealed_;
 }
 
@@ -249,7 +254,7 @@ Status LogManager::WriteAndSync(const std::vector<uint8_t>& batch) {
     file_->Close();
     {
       // Seal the outgoing segment so the checkpointer can retire it.
-      std::lock_guard<std::mutex> seg_lock(segments_mu_);
+      MutexLock seg_lock(&segments_mu_);
       sealed_.push_back(SealedSegment{
           segment_index_, LogSegmentPath(options_.dir, segment_index_),
           live_start_lsn_, live_start_lsn_ + segment_written_});
@@ -288,17 +293,20 @@ void LogManager::FlusherLoop() {
     // reentrant registration, and an unsynchronized write from Open()
     // would race with a callback that re-registers during the very first
     // flush.
-    std::lock_guard<std::mutex> lock(callback_mu_);
+    MutexLock lock(&callback_mu_);
     flusher_tid_ = std::this_thread::get_id();
   }
   std::vector<uint8_t> local;
   for (;;) {
     Lsn target;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      flusher_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.flush_interval_us),
-          [&] { return stop_ || !buffer_.empty(); });
+      MutexLock lock(&mu_);
+      if (!stop_ && buffer_.empty()) {
+        // A spurious wake just polls one interval early — the flusher is a
+        // periodic cadence, so no condition re-check loop is needed here.
+        (void)flusher_cv_.WaitFor(
+            &mu_, std::chrono::microseconds(options_.flush_interval_us));
+      }
       if (buffer_.empty()) {
         if (stop_) break;  // Residual buffer already drained.
         continue;
@@ -312,38 +320,38 @@ void LogManager::FlusherLoop() {
       // Sticky device failure: durable_lsn_ stops here; every waiter (and
       // every future WaitDurable) gets the error instead of an abort.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         io_status_ = s;
       }
       break;
     }
     flush_count_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       durable_lsn_ = target;
     }
-    flushed_cv_.notify_all();
+    flushed_cv_.NotifyAll();
     // Invoke the durable callback outside callback_mu_ so a reentrant
     // SetDurableCallback from inside the callback cannot deadlock;
     // callback_running_ keeps external (re)registration teardown-safe.
     std::function<void(Lsn)> callback;
     {
-      std::lock_guard<std::mutex> lock(callback_mu_);
+      MutexLock lock(&callback_mu_);
       callback = durable_callback_;
       callback_running_ = true;
     }
     if (callback) callback(target);
     {
-      std::lock_guard<std::mutex> lock(callback_mu_);
+      MutexLock lock(&callback_mu_);
       callback_running_ = false;
     }
-    callback_cv_.notify_all();
+    callback_cv_.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     flusher_exited_ = true;
   }
-  flushed_cv_.notify_all();
+  flushed_cv_.NotifyAll();
 }
 
 }  // namespace next700

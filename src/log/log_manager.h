@@ -25,16 +25,15 @@
 /// so the crash-fault harness can tear writes and count barriers.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "log/log_file.h"
 #include "log/log_record.h"
 
@@ -184,38 +183,44 @@ class LogManager {
   Status OpenSegment(uint64_t index);
 
   LogManagerOptions options_;
+  // Flusher-owned after Open() returns (Open hands them off by starting the
+  // thread); no lock, and deliberately no TSA annotation — single-owner
+  // hand-off is a happens-before edge, not a lock discipline.
   std::unique_ptr<LogFile> file_;
   uint64_t segment_index_ = 0;    // Flusher-owned after Open().
   uint64_t segment_written_ = 0;  // Bytes in the current segment.
 
   // Segment-table state shared between the flusher (rotation seals the old
   // live segment) and the checkpointer (retirement unlinks sealed ones).
-  mutable std::mutex segments_mu_;
-  std::vector<SealedSegment> sealed_;  // Oldest first.
-  uint64_t live_index_ = 0;            // Current live segment.
-  Lsn live_start_lsn_ = 0;             // LSN of its first byte.
+  mutable Mutex segments_mu_;
+  std::vector<SealedSegment> sealed_ GUARDED_BY(segments_mu_);  // Oldest 1st.
+  uint64_t live_index_ GUARDED_BY(segments_mu_) = 0;  // Current live segment.
+  Lsn live_start_lsn_ GUARDED_BY(segments_mu_) = 0;   // LSN of its 1st byte.
 
   // Serializes callback (re)registration against flusher invocation.
-  std::mutex callback_mu_;
-  std::condition_variable callback_cv_;
-  std::function<void(Lsn)> durable_callback_;
-  bool callback_running_ = false;
-  // Guarded by callback_mu_; the flusher publishes its own id at startup,
-  // before the first durable callback can run.
-  std::thread::id flusher_tid_;
+  Mutex callback_mu_;
+  CondVar callback_cv_;
+  std::function<void(Lsn)> durable_callback_ GUARDED_BY(callback_mu_);
+  bool callback_running_ GUARDED_BY(callback_mu_) = false;
+  // The flusher publishes its own id at startup, before the first durable
+  // callback can run.
+  std::thread::id flusher_tid_ GUARDED_BY(callback_mu_);
 
   // Append cursor (workers, short critical sections) and flusher-side state
   // live on separate cache lines: every committing worker bounces the
   // cursor's line, and the flusher's bookkeeping must not ride along.
-  NEXT700_CACHE_ALIGNED mutable std::mutex mu_;
-  std::condition_variable flushed_cv_;
-  std::condition_variable flusher_cv_;
-  std::vector<uint8_t> buffer_;  // Records appended but not yet written.
-  Lsn appended_lsn_ = 0;
-  Lsn durable_lsn_ = 0;
-  Status io_status_;       // Sticky first device error.
-  bool flusher_exited_ = false;
-  bool stop_ = false;
+  NEXT700_CACHE_ALIGNED mutable Mutex mu_;
+  CondVar flushed_cv_;
+  CondVar flusher_cv_;
+  // Records appended but not yet written.
+  std::vector<uint8_t> buffer_ GUARDED_BY(mu_);
+  Lsn appended_lsn_ GUARDED_BY(mu_) = 0;
+  Lsn durable_lsn_ GUARDED_BY(mu_) = 0;
+  Status io_status_ GUARDED_BY(mu_);  // Sticky first device error.
+  bool flusher_exited_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  // Open/Close-caller-owned (the API is single-threaded there); unshared,
+  // so unannotated.
   bool running_ = false;
 
   NEXT700_CACHE_ALIGNED std::atomic<uint64_t> flush_count_{0};

@@ -112,10 +112,10 @@ void Server::Stop() {
 
   for (auto& queue : queues_) {
     {
-      std::lock_guard<std::mutex> lock(queue->mu);
+      MutexLock lock(&queue->mu);
       queue->stopped = true;
     }
-    queue->cv.notify_all();
+    queue->cv.NotifyAll();
   }
   for (auto& worker : workers_) worker.join();
   workers_.clear();
@@ -292,7 +292,7 @@ void Server::DispatchRequest(Connection* conn, Request request) {
   inflight_.fetch_add(1, std::memory_order_relaxed);
   bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(queue->mu);
+    MutexLock lock(&queue->mu);
     if (queue->stopped) {
       rejected = true;
       error.status = StatusCode::kUnavailable;
@@ -314,7 +314,7 @@ void Server::DispatchRequest(Connection* conn, Request request) {
     return;
   }
   stats_.requests_dispatched.fetch_add(1, std::memory_order_relaxed);
-  queue->cv.notify_one();
+  queue->cv.NotifyOne();
 }
 
 int Server::WorkerFor(const Request& request) {
@@ -381,7 +381,7 @@ void Server::CloseConnection(Connection* conn) {
 
 void Server::PushCompletion(Completion completion) {
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(&completions_mu_);
     completions_.push_back(std::move(completion));
   }
   const uint64_t one = 1;
@@ -391,8 +391,8 @@ void Server::PushCompletion(Completion completion) {
 void Server::ReleaseDurable(Lsn durable) {
   bool released = false;
   {
-    std::lock_guard<std::mutex> held_lock(held_mu_);
-    std::lock_guard<std::mutex> comp_lock(completions_mu_);
+    MutexLock held_lock(&held_mu_);
+    MutexLock comp_lock(&completions_mu_);
     while (!held_replies_.empty() && held_replies_.top().lsn <= durable) {
       completions_.push_back(
           std::move(const_cast<HeldReply&>(held_replies_.top()).completion));
@@ -410,7 +410,7 @@ void Server::DrainCompletions() {
   for (;;) {
     std::deque<Completion> local;
     {
-      std::lock_guard<std::mutex> lock(completions_mu_);
+      MutexLock lock(&completions_mu_);
       local.swap(completions_);
     }
     if (local.empty()) break;
@@ -479,9 +479,10 @@ void Server::WorkerLoop(int worker_id) {
   for (;;) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(queue->mu);
-      queue->cv.wait(lock,
-                     [&] { return queue->stopped || !queue->items.empty(); });
+      MutexLock lock(&queue->mu);
+      while (!queue->stopped && queue->items.empty()) {
+        queue->cv.Wait(&queue->mu);
+      }
       if (queue->stopped) return;  // Remaining replies are dropped at Stop.
       item = std::move(queue->items.front());
       queue->items.pop_front();
@@ -506,7 +507,7 @@ void Server::WorkerLoop(int worker_id) {
       // closes the race with a flush that completed in between.
       bool held = false;
       {
-        std::lock_guard<std::mutex> lock(held_mu_);
+        MutexLock lock(&held_mu_);
         if (log->durable_lsn() < result.commit_lsn) {
           held_replies_.push(HeldReply{result.commit_lsn,
                                        std::move(completion)});

@@ -25,11 +25,9 @@
 /// answered with kResourceExhausted instead of growing the queue.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -37,6 +35,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "server/connection.h"
 #include "server/protocol.h"
 #include "txn/engine.h"
@@ -106,10 +105,10 @@ class Server {
   // Cache-aligned so adjacent queues (each bounced between the event loop
   // and one worker) never share a line through their heap blocks.
   struct NEXT700_CACHE_ALIGNED WorkQueue {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<WorkItem> items;
-    bool stopped = false;
+    Mutex mu;
+    CondVar cv;
+    std::deque<WorkItem> items GUARDED_BY(mu);
+    bool stopped GUARDED_BY(mu) = false;
   };
 
   struct Completion {
@@ -181,13 +180,14 @@ class Server {
   // completion queue below.
   NEXT700_CACHE_ALIGNED std::atomic<uint32_t> inflight_{0};
 
-  NEXT700_CACHE_ALIGNED std::mutex completions_mu_;
-  std::deque<Completion> completions_;
+  NEXT700_CACHE_ALIGNED Mutex completions_mu_;
+  std::deque<Completion> completions_ GUARDED_BY(completions_mu_);
 
-  std::mutex held_mu_;
+  // Lock order: held_mu_ before completions_mu_ (ReleaseDurable nests them).
+  Mutex held_mu_ ACQUIRED_BEFORE(completions_mu_);
   std::priority_queue<HeldReply, std::vector<HeldReply>,
                       std::greater<HeldReply>>
-      held_replies_;
+      held_replies_ GUARDED_BY(held_mu_);
 };
 
 }  // namespace server

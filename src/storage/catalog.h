@@ -33,26 +33,39 @@ class Catalog {
   Index* CreateIndex(std::string name, Table* table, IndexKind kind,
                      uint64_t capacity_hint);
 
-  Table* GetTable(std::string_view name) const;
-  Table* GetTable(uint32_t id) const;
-  Index* GetIndex(std::string_view name) const;
+  // Lookups are deliberately latch-free: DDL is a setup phase that finishes
+  // before concurrent transactions start (the registries are append-only and
+  // never reloaded), a phase discipline TSA cannot express — hence the
+  // NO_THREAD_SAFETY_ANALYSIS on the readers while every *writer* remains
+  // statically checked against ddl_latch_.
+  Table* GetTable(std::string_view name) const NO_THREAD_SAFETY_ANALYSIS;
+  Table* GetTable(uint32_t id) const NO_THREAD_SAFETY_ANALYSIS;
+  Index* GetIndex(std::string_view name) const NO_THREAD_SAFETY_ANALYSIS;
 
   /// Primary index of `table` (nullptr if the table has none).
-  Index* PrimaryIndex(const Table* table) const;
+  Index* PrimaryIndex(const Table* table) const NO_THREAD_SAFETY_ANALYSIS;
 
-  int num_tables() const { return static_cast<int>(tables_.size()); }
-  int num_indexes() const { return static_cast<int>(indexes_.size()); }
-  Table* table_at(int i) const { return tables_[i].get(); }
-  Index* index_at(int i) const { return indexes_[i].get(); }
+  int num_tables() const NO_THREAD_SAFETY_ANALYSIS {
+    return static_cast<int>(tables_.size());
+  }
+  int num_indexes() const NO_THREAD_SAFETY_ANALYSIS {
+    return static_cast<int>(indexes_.size());
+  }
+  Table* table_at(int i) const NO_THREAD_SAFETY_ANALYSIS {
+    return tables_[i].get();
+  }
+  Index* index_at(int i) const NO_THREAD_SAFETY_ANALYSIS {
+    return indexes_[i].get();
+  }
 
  private:
   /// Serializes DDL. Top of the latch hierarchy: DDL may fan out into
   /// table-partition and index latches while building initial structures.
   SpinLatch ddl_latch_{LatchRank::kCatalog};
-  std::vector<std::unique_ptr<Table>> tables_;
-  std::vector<std::unique_ptr<Index>> indexes_;
-  std::vector<std::string> index_names_;
-  std::vector<Index*> primary_index_by_table_;
+  std::vector<std::unique_ptr<Table>> tables_ GUARDED_BY(ddl_latch_);
+  std::vector<std::unique_ptr<Index>> indexes_ GUARDED_BY(ddl_latch_);
+  std::vector<std::string> index_names_ GUARDED_BY(ddl_latch_);
+  std::vector<Index*> primary_index_by_table_ GUARDED_BY(ddl_latch_);
 };
 
 }  // namespace next700

@@ -17,6 +17,7 @@
 
 #include "common/latch.h"
 #include "common/macros.h"
+#include "common/thread_safety.h"
 #include "common/timestamp.h"
 
 namespace next700 {
@@ -47,7 +48,11 @@ inline constexpr uint32_t kRowDeleted = 1u << 0;
 /// Set while the slot sits on a table free list (aborted insert).
 inline constexpr uint32_t kRowFree = 1u << 1;
 
-struct Row {
+// The row is its own capability: the mini-latch guards T/O and MVTO
+// installs. The CC metadata fields stay unannotated because they are
+// atomics read lock-free by concurrent readers and written under the latch
+// — a mixed discipline GUARDED_BY cannot express.
+struct CAPABILITY("row") Row {
   // --- Concurrency-control metadata ------------------------------------
   std::atomic<uint64_t> tid_word{0};  // Silo/TicToc packed word.
   std::atomic<Timestamp> wts{0};      // T/O write timestamp.
@@ -68,14 +73,14 @@ struct Row {
     return reinterpret_cast<const uint8_t*>(this + 1);
   }
 
-  void Latch() {
+  void Latch() ACQUIRE() {
     latch_rank::OnAcquire(&mini_latch, LatchRank::kRow);
     while (mini_latch.exchange(1, std::memory_order_acquire) != 0) {
       CpuRelax();
     }
     NEXT700_TSAN_ACQUIRE(&mini_latch);
   }
-  bool TryLatch() {
+  bool TryLatch() TRY_ACQUIRE(true) {
     if (mini_latch.exchange(1, std::memory_order_acquire) == 0) {
       latch_rank::OnAcquire(&mini_latch, LatchRank::kRow);
       NEXT700_TSAN_ACQUIRE(&mini_latch);
@@ -83,7 +88,7 @@ struct Row {
     }
     return false;
   }
-  void Unlatch() {
+  void Unlatch() RELEASE() {
     latch_rank::OnRelease(&mini_latch);
     NEXT700_TSAN_RELEASE(&mini_latch);
     mini_latch.store(0, std::memory_order_release);
@@ -102,10 +107,10 @@ struct Row {
 };
 
 /// RAII row mini-latch guard.
-class RowLatchGuard {
+class SCOPED_CAPABILITY RowLatchGuard {
  public:
-  explicit RowLatchGuard(Row* row) : row_(row) { row_->Latch(); }
-  ~RowLatchGuard() { row_->Unlatch(); }
+  explicit RowLatchGuard(Row* row) ACQUIRE(row) : row_(row) { row_->Latch(); }
+  ~RowLatchGuard() RELEASE() { row_->Unlatch(); }
   RowLatchGuard(const RowLatchGuard&) = delete;
   RowLatchGuard& operator=(const RowLatchGuard&) = delete;
 

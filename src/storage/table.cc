@@ -39,6 +39,7 @@ Row* Table::AllocateRow(uint32_t partition) {
       part.free_rows.pop_back();
     } else {
       if (part.next_in_slab == kRowsPerSlab) {
+        // lint: allow-naked-new — this IS the slab arena rows live in.
         part.slabs.emplace_back(new uint8_t[slot_size() * kRowsPerSlab]);
         part.next_in_slab = 0;
       }

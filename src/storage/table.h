@@ -91,9 +91,10 @@ class Table {
  private:
   struct Partition {
     SpinLatch latch{LatchRank::kTablePartition};
-    std::vector<std::unique_ptr<uint8_t[]>> slabs;
-    size_t next_in_slab = kRowsPerSlab;  // Forces slab creation on first use.
-    std::vector<Row*> free_rows;
+    std::vector<std::unique_ptr<uint8_t[]>> slabs GUARDED_BY(latch);
+    // Forces slab creation on first use.
+    size_t next_in_slab GUARDED_BY(latch) = kRowsPerSlab;
+    std::vector<Row*> free_rows GUARDED_BY(latch);
     std::atomic<uint64_t> live_rows{0};
   };
 

@@ -54,6 +54,7 @@ Version* VersionPool::Allocate(uint32_t payload_size) {
     recycled_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
     heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+    // lint: allow-naked-new — pool warm-up; steady state recycles blocks.
     header = static_cast<VersionBlockHeader*>(::operator new(bytes));
   }
   return PlaceVersion(header, this, static_cast<uint32_t>(klass),
@@ -69,6 +70,7 @@ void VersionPool::Retire(Version* v) {
 Version* VersionPool::AllocateUnpooled(uint32_t payload_size) {
   const size_t bytes =
       sizeof(VersionBlockHeader) + sizeof(Version) + payload_size;
+  // lint: allow-naked-new — unpooled fallback for oversized payloads.
   void* mem = ::operator new(bytes);
   return PlaceVersion(mem, /*pool=*/nullptr, /*klass=*/0,
                       static_cast<uint32_t>(bytes));

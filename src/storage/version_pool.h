@@ -96,7 +96,7 @@ class VersionPool {
   // latched; unranked like the epoch-internal latch since pushes can happen
   // under a row mini-latch.
   SpinLatch latch_;
-  FreeNode* free_[kNumClasses] = {};
+  FreeNode* free_[kNumClasses] GUARDED_BY(latch_) = {};
   std::atomic<uint64_t> recycled_hits_{0};
   std::atomic<uint64_t> heap_allocs_{0};
 };

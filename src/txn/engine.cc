@@ -157,11 +157,11 @@ void Engine::EnterTxnGate(int thread_id) {
     worker.in_txn.store(1, std::memory_order_seq_cst);
     if (!gate_closed_.load(std::memory_order_seq_cst)) return;
     worker.in_txn.store(0, std::memory_order_seq_cst);
-    std::unique_lock<std::mutex> lock(gate_mu_);
-    gate_cv_.notify_all();  // The pauser may be waiting on our in_txn.
-    gate_cv_.wait(lock, [&] {
-      return !gate_closed_.load(std::memory_order_acquire);
-    });
+    MutexLock lock(&gate_mu_);
+    gate_cv_.NotifyAll();  // The pauser may be waiting on our in_txn.
+    while (gate_closed_.load(std::memory_order_acquire)) {
+      gate_cv_.Wait(&gate_mu_);
+    }
   }
 }
 
@@ -169,32 +169,35 @@ void Engine::ExitTxnGate(int thread_id) {
   if (!txn_gate_enabled_) return;
   workers_[thread_id].in_txn.store(0, std::memory_order_seq_cst);
   if (gate_closed_.load(std::memory_order_seq_cst)) {
-    std::lock_guard<std::mutex> lock(gate_mu_);
-    gate_cv_.notify_all();
+    MutexLock lock(&gate_mu_);
+    gate_cv_.NotifyAll();
   }
 }
 
 void Engine::PauseTransactions() {
-  std::unique_lock<std::mutex> lock(gate_mu_);
+  MutexLock lock(&gate_mu_);
   NEXT700_CHECK_MSG(!gate_closed_.load(std::memory_order_relaxed),
                     "nested transaction pause");
   gate_closed_.store(true, std::memory_order_seq_cst);
-  gate_cv_.wait(lock, [&] {
+  for (;;) {
+    bool any_in_txn = false;
     for (int i = 0; i < options_.max_threads; ++i) {
       if (workers_[i].in_txn.load(std::memory_order_seq_cst) != 0) {
-        return false;
+        any_in_txn = true;
+        break;
       }
     }
-    return true;
-  });
+    if (!any_in_txn) break;
+    gate_cv_.Wait(&gate_mu_);
+  }
 }
 
 void Engine::ResumeTransactions() {
   {
-    std::lock_guard<std::mutex> lock(gate_mu_);
+    MutexLock lock(&gate_mu_);
     gate_closed_.store(false, std::memory_order_seq_cst);
   }
-  gate_cv_.notify_all();
+  gate_cv_.NotifyAll();
 }
 
 Table* Engine::CreateTable(std::string name, Schema schema) {

@@ -25,6 +25,7 @@
 #include "common/epoch.h"
 #include "common/status.h"
 #include "common/stats.h"
+#include "common/thread_safety.h"
 #include "common/timestamp.h"
 #include "index/index.h"
 #include "log/log_manager.h"
@@ -304,10 +305,12 @@ class Engine {
   // Declared after log_: the coordinator's destructor (via ~Engine's
   // explicit Stop) must run while the log is still open.
   std::unique_ptr<CheckpointCoordinator> checkpointer_;
-  bool txn_gate_enabled_ = false;
+  bool txn_gate_enabled_ = false;  // Set once at construction; then read-only.
+  // seq_cst Dekker flag paired with WorkerState::in_txn; gate_mu_ only
+  // sequences the sleep/wake protocol around it (no guarded plain fields).
   std::atomic<bool> gate_closed_{false};
-  std::mutex gate_mu_;
-  std::condition_variable gate_cv_;
+  Mutex gate_mu_;
+  CondVar gate_cv_;
 };
 
 }  // namespace next700

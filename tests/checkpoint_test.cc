@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/latch_rank.h"
 #include "log/log_file.h"
 #include "workload/driver.h"
 #include "workload/smallbank.h"
@@ -525,6 +526,35 @@ TEST_F(CheckpointTest, MissingManifestFallsBackToFullReplay) {
   EXPECT_FALSE(outcome.used_checkpoint);
   EXPECT_GT(outcome.log.txns_replayed, 0u);
   EXPECT_EQ(Total(target), total_final);
+}
+
+// Regression for the checkpoint-coordinator lock discipline: the snapshot
+// scan latches every table partition (LatchRank::kTablePartition), so a
+// checkpoint must be initiated latch-free. Triggering one while the calling
+// thread still holds any lower-ranked latch (here a row mini-latch) is a
+// rank inversion — a would-be deadlock against writers that latch rows
+// under the partition latch — and the debug checker aborts the process.
+using CheckpointLatchRankDeathTest = CheckpointTest;
+
+TEST_F(CheckpointLatchRankDeathTest, TriggerWhileHoldingRowLatchAborts) {
+  if (!latch_rank::kEnabled) {
+    GTEST_SKIP() << "built without NEXT700_DEBUG_LATCH_RANK";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EngineOptions options;
+  options.cc_scheme = CcScheme::kNoWait;
+  options.max_threads = 2;
+  options.checkpoint_dir = TempCkptDir("rank_inversion");
+  Setup setup = MakeWith(std::move(options));
+  Index* index = setup.engine->catalog()->GetIndex("SAVINGS_PK");
+  Row* row = index->Lookup(0);
+  ASSERT_NE(row, nullptr);
+  EXPECT_DEATH(
+      {
+        row->Latch();  // LatchRank::kRow — below the partition latches.
+        (void)setup.engine->TriggerCheckpoint(nullptr);
+      },
+      "latch-rank violation");
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// Positive control for the compile-fail harness: handling (or explicitly
+// voiding) a Status compiles cleanly under -Werror=unused-result. If this
+// file fails to build, the harness flags are broken, not the cases.
+#include "common/status.h"
+
+namespace next700 {
+
+Status MightFail() { return Status::IOError("disk on fire"); }
+
+int HandlesTheError() {
+  Status s = MightFail();
+  if (!s.ok()) return 1;
+  (void)MightFail();  // Deliberate discard: this path only probes liveness.
+  return 0;
+}
+
+}  // namespace next700

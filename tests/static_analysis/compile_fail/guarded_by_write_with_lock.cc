@@ -1,0 +1,22 @@
+// Positive control for the TSA harness: the same guarded write under a
+// MutexLock compiles cleanly with -Wthread-safety -Werror. If this file
+// fails to build, the preset flags are broken, not the cases.
+#include "common/thread_safety.h"
+
+namespace next700 {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+void Touch(Counter* c) { c->Increment(); }
+
+}  // namespace next700

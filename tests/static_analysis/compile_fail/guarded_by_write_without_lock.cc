@@ -1,0 +1,20 @@
+// Compile-fail case (clang only): writing a GUARDED_BY field without
+// holding its mutex must not compile under -Wthread-safety -Werror.
+#include "common/thread_safety.h"
+
+namespace next700 {
+
+class Counter {
+ public:
+  void Increment() {
+    ++count_;  // ERROR: writing count_ requires holding mu_.
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+void Touch(Counter* c) { c->Increment(); }
+
+}  // namespace next700

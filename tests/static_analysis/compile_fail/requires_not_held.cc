@@ -1,0 +1,21 @@
+// Compile-fail case (clang only): calling a REQUIRES(mu) function without
+// holding mu must not compile under -Wthread-safety -Werror.
+#include "common/thread_safety.h"
+
+namespace next700 {
+
+class Queue {
+ public:
+  void PushLocked() REQUIRES(mu_) { ++size_; }
+  void Push() {
+    PushLocked();  // ERROR: caller does not hold mu_.
+  }
+
+ private:
+  Mutex mu_;
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+void Touch(Queue* q) { q->Push(); }
+
+}  // namespace next700

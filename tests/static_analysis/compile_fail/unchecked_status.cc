@@ -1,0 +1,14 @@
+// Compile-fail case: discarding a Status must not compile under
+// -Werror=unused-result (Status is [[nodiscard]]).
+#include "common/status.h"
+
+namespace next700 {
+
+Status MightFail() { return Status::IOError("disk on fire"); }
+
+int DropsTheError() {
+  MightFail();  // ERROR: ignoring [[nodiscard]] return value.
+  return 0;
+}
+
+}  // namespace next700

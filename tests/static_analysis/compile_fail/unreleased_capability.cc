@@ -1,0 +1,14 @@
+// Compile-fail case (clang only): acquiring a capability and returning
+// without releasing it must not compile under -Wthread-safety -Werror.
+#include "common/thread_safety.h"
+
+namespace next700 {
+
+Mutex g_mu;
+
+void LeaksTheLock() {
+  g_mu.Lock();
+  // ERROR: returns while still holding g_mu.
+}
+
+}  // namespace next700

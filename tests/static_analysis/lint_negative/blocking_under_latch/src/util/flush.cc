@@ -1,0 +1,15 @@
+// Lint negative fixture: fsync while a latch guard is in scope must trip
+// the blocking-under-latch rule.
+#include <unistd.h>
+
+struct SpinLatch {};
+struct SpinLatchGuard {
+  explicit SpinLatchGuard(SpinLatch*) {}
+};
+
+static SpinLatch g_latch;
+
+void FlushUnderLatch(int fd) {
+  SpinLatchGuard guard(&g_latch);
+  fsync(fd);
+}

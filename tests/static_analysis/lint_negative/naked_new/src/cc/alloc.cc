@@ -1,0 +1,7 @@
+// Lint negative fixture: a naked allocation in src/cc (a transaction
+// hot-path layer) must trip the naked-new rule.
+struct Entry {
+  int v;
+};
+
+Entry* MakeEntry() { return new Entry{42}; }

@@ -1,0 +1,17 @@
+// Lint negative fixture: Status/Result without [[nodiscard]] must trip the
+// nodiscard-status rule.
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const { return true; }
+};
+
+#endif  // FIXTURE_STATUS_H_

@@ -1,0 +1,10 @@
+// Lint negative fixture: raw std::mutex outside common/thread_safety.h
+// must trip the raw-mutex rule.
+#include <mutex>
+
+static std::mutex g_mu;
+
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return 1;
+}

@@ -1,0 +1,7 @@
+// Lint negative fixture: installing a file with rename(2) and no prior
+// fsync of the temporary must trip the rename-without-fsync rule.
+#include <cstdio>
+
+bool Install(const char* tmp, const char* path) {
+  return ::rename(tmp, path) == 0;
+}

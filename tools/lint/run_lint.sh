@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Repo-invariant lint — checks the concurrency/resource rules that Clang's
+# thread safety analysis cannot express. Pure shell + grep + awk; no
+# compiler needed, so it runs identically on every CI job and locally.
+#
+# Usage: run_lint.sh [ROOT]
+#   ROOT defaults to the repository root (two levels above this script).
+#   Scans $ROOT/src. Exit 0 = clean, 1 = violations (one line each, in
+#   "lint[rule]: file:line: message" form).
+#
+# Rules
+#   nodiscard-status        src/common/status.h must mark Status and
+#                           Result<T> [[nodiscard]].
+#   raw-mutex               no std::mutex / std::condition_variable /
+#                           lock_guard / unique_lock outside
+#                           common/thread_safety.h — use the annotated
+#                           Mutex / CondVar / MutexLock wrappers.
+#   naked-new               no naked new / operator new / malloc in the
+#                           transaction hot-path layers (src/storage,
+#                           src/cc). Placement new is the arena idiom and
+#                           is allowed; setup-time allocations carry an
+#                           explicit "lint: allow-naked-new" comment.
+#   blocking-under-latch    no blocking syscall (fsync/fdatasync/write/
+#                           pwrite/sleep) while a latch guard
+#                           (SpinLatchGuard / MutexLock / RowLatchGuard)
+#                           is in scope.
+#   rename-without-fsync    in src/log, rename(2) must be preceded by an
+#                           fsync of the file being installed (tmp+fsync+
+#                           rename+dirsync discipline).
+
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/../.." && pwd)}"
+SRC="$ROOT/src"
+
+if [ ! -d "$SRC" ]; then
+  echo "lint: no src/ under $ROOT" >&2
+  exit 2
+fi
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+# --- nodiscard-status ------------------------------------------------------
+STATUS_H="$SRC/common/status.h"
+if [ -f "$STATUS_H" ]; then
+  grep -q 'class \[\[nodiscard\]\] Status' "$STATUS_H" ||
+    echo "lint[nodiscard-status]: $STATUS_H:1: Status must be declared 'class [[nodiscard]] Status'" >>"$OUT"
+  grep -q 'class \[\[nodiscard\]\] Result' "$STATUS_H" ||
+    echo "lint[nodiscard-status]: $STATUS_H:1: Result<T> must be declared 'class [[nodiscard]] Result'" >>"$OUT"
+fi
+
+# --- raw-mutex -------------------------------------------------------------
+grep -rn \
+    -e 'std::mutex' -e 'std::condition_variable' -e 'std::lock_guard' \
+    -e 'std::unique_lock' -e 'std::scoped_lock' -e 'std::shared_mutex' \
+    --include='*.h' --include='*.cc' "$SRC" 2>/dev/null |
+  grep -v 'common/thread_safety\.h' |
+  grep -v ':[0-9]*:[[:space:]]*//' |
+  sed 's/^\([^:]*:[0-9]*\):.*/lint[raw-mutex]: \1: use the annotated Mutex\/CondVar\/MutexLock wrappers from common\/thread_safety.h/' \
+  >>"$OUT"
+
+# --- naked-new -------------------------------------------------------------
+for dir in "$SRC/storage" "$SRC/cc"; do
+  [ -d "$dir" ] || continue
+  find "$dir" \( -name '*.cc' -o -name '*.h' \) | sort | while IFS= read -r f; do
+    awk -v file="$f" '
+      {
+        prev_allow = allow
+        allow = (index($0, "lint: allow-naked-new") > 0)
+        line = $0
+        sub(/\/\/.*/, "", line)             # strip line comments
+        if (line ~ /^[[:space:]]*\*/) next  # block-comment body
+        bad = 0
+        if (line ~ /operator[[:space:]]+new/) bad = 1
+        else if (line ~ /[^_[:alnum:]](malloc|calloc|realloc)[[:space:]]*\(/) bad = 1
+        else if (line ~ /(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:<]/ &&
+                 line !~ /(^|[^_[:alnum:]])new[[:space:]]*\(/) bad = 1
+        if (bad && !allow && !prev_allow) {
+          printf "lint[naked-new]: %s:%d: naked allocation in a hot-path layer; use an arena/pool or annotate with a lint allowance\n", file, NR
+        }
+      }
+    ' "$f"
+  done
+done >>"$OUT"
+
+# --- blocking-under-latch --------------------------------------------------
+find "$SRC" \( -name '*.cc' -o -name '*.h' \) | sort | while IFS= read -r f; do
+  awk -v file="$f" '
+    BEGIN { depth = 0; nguards = 0 }
+    {
+      prev_allow = allow
+      allow = (index($0, "lint: allow-blocking-under-latch") > 0)
+      line = $0
+      sub(/\/\/.*/, "", line)
+      if (line ~ /^[[:space:]]*\*/) next
+      opens = gsub(/{/, "", line) + 0
+      closes = gsub(/}/, "", line) + 0
+      # A guard declared on this line is active until its scope closes.
+      if (line ~ /(SpinLatchGuard|MutexLock|RowLatchGuard)[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*\(/) {
+        nguards++
+        guard_depth[nguards] = depth + opens
+      }
+      if (nguards > 0 && !allow && !prev_allow &&
+          (line ~ /[^_[:alnum:]](fsync|fdatasync|usleep|nanosleep)[[:space:]]*\(/ ||
+           line ~ /::(write|pwrite|read|pread|open|rename|unlink)[[:space:]]*\(/ ||
+           line ~ /sleep_for[[:space:]]*\(/)) {
+        printf "lint[blocking-under-latch]: %s:%d: blocking syscall while a latch guard is in scope; move the IO outside the critical section\n", file, NR
+      }
+      depth += opens - closes
+      while (nguards > 0 && guard_depth[nguards] > depth) nguards--
+    }
+  ' "$f"
+done >>"$OUT"
+
+# --- rename-without-fsync --------------------------------------------------
+if [ -d "$SRC/log" ]; then
+  find "$SRC/log" -name '*.cc' | sort | while IFS= read -r f; do
+    awk -v file="$f" '
+      BEGIN { last_sync = 0 }
+      {
+        prev_allow = allow
+        allow = (index($0, "lint: allow-rename") > 0)
+        line = $0
+        sub(/\/\/.*/, "", line)
+        if (line ~ /[^_[:alnum:]](fsync|fdatasync)[[:space:]]*\(/ ||
+            line ~ /(->|\.)Sync[[:space:]]*\(/) last_sync = NR
+        if (line ~ /[^_[:alnum:]]rename[[:space:]]*\(/ && !allow && !prev_allow) {
+          if (last_sync == 0 || NR - last_sync > 30)
+            printf "lint[rename-without-fsync]: %s:%d: rename(2) without a preceding fsync of the installed file (tmp+fsync+rename+dirsync)\n", file, NR
+        }
+      }
+    ' "$f"
+  done >>"$OUT"
+fi
+
+if [ -s "$OUT" ]; then
+  cat "$OUT"
+  echo "lint: $(wc -l <"$OUT") violation(s)" >&2
+  exit 1
+fi
+exit 0
