@@ -243,6 +243,36 @@ void RemoveDirContents(const std::string& dir) {
   ::rmdir(dir.c_str());
 }
 
+Status ReadFileRange(const std::string& path, uint64_t offset, uint64_t len,
+                     std::vector<uint8_t>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + " is gone");
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  const size_t base = out->size();
+  out->resize(base + len);
+  size_t have = 0;
+  while (have < len) {
+    const ssize_t n = ::pread(fd, out->data() + base + have, len - have,
+                              static_cast<off_t>(offset + have));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      out->resize(base + have);
+      return Status::IOError("pread failed on " + path + ": " +
+                             std::strerror(err));
+    }
+    if (n == 0) break;  // EOF: the tail has not been written yet.
+    have += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out->resize(base + have);
+  return Status::OK();
+}
+
 Status ReadFileFully(const std::string& path, std::vector<uint8_t>* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);

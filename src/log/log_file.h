@@ -132,6 +132,14 @@ void RemoveLogDir(const std::string& dir);
 /// RemoveLogDir's `log.*` filter does not cover them.
 void RemoveDirContents(const std::string& dir);
 
+/// Appends `len` bytes of `path` starting at byte `offset` to `*out` via
+/// pread(2). Reading past EOF returns the bytes that exist (possibly none)
+/// rather than an error: the log tail legitimately grows behind the reader.
+/// ENOENT maps to kNotFound so callers racing segment retirement can tell
+/// "gone" from "broken".
+Status ReadFileRange(const std::string& path, uint64_t offset, uint64_t len,
+                     std::vector<uint8_t>* out);
+
 /// Reads all of `path` into `*out`, checking every seek/tell/read result:
 /// a failed ftell must surface as kIOError, not become a ~SIZE_MAX resize
 /// that kills the process with bad_alloc. Shared by recovery, checkpoint

@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "common/macros.h"
 
@@ -162,6 +164,80 @@ Lsn LogManager::Append(LogRecordType type, const uint8_t* body,
     end = appended_lsn_;
   }
   return end;
+}
+
+Lsn LogManager::AppendRaw(const uint8_t* data, size_t len) {
+  Lsn end;
+  {
+    MutexLock lock(&mu_);
+    buffer_.insert(buffer_.end(), data, data + len);
+    appended_lsn_ += len;
+    end = appended_lsn_;
+  }
+  return end;
+}
+
+Status LogManager::ReadFramesInRange(Lsn lsn_lo, Lsn lsn_hi,
+                                     std::vector<uint8_t>* out,
+                                     Lsn* end_lsn) const {
+  *end_lsn = lsn_lo;
+  // Clamp to the durable watermark *before* snapshotting the segment table:
+  // every byte below the clamp is already on disk, so a rotation between
+  // the two steps only adds segments above the range we read. The snapshot
+  // is safe to use after the lock drops because segment files never move
+  // or shrink once named — retirement unlinks them whole, which the
+  // per-file kNotFound below detects.
+  const Lsn hi = std::min(lsn_hi, durable_lsn());
+  if (hi <= lsn_lo) return Status::OK();
+  struct Piece {
+    std::string path;
+    Lsn start_lsn;
+    Lsn end_lsn;  // For the live segment: the durable clamp.
+  };
+  std::vector<Piece> pieces;
+  {
+    MutexLock lock(&segments_mu_);
+    if (lsn_lo < (sealed_.empty() ? live_start_lsn_
+                                  : sealed_.front().start_lsn)) {
+      return Status::NotFound("lsn below the retired log prefix");
+    }
+    for (const SealedSegment& segment : sealed_) {
+      if (segment.end_lsn <= lsn_lo || segment.start_lsn >= hi) continue;
+      pieces.push_back(Piece{segment.path, segment.start_lsn,
+                             segment.end_lsn});
+    }
+    if (live_start_lsn_ < hi) {
+      pieces.push_back(Piece{LogSegmentPath(options_.dir, live_index_),
+                             live_start_lsn_, hi});
+    }
+  }
+  const size_t base = out->size();
+  Lsn cursor = lsn_lo;
+  for (const Piece& piece : pieces) {
+    const Lsn from = std::max(cursor, piece.start_lsn);
+    const Lsn to = std::min(hi, piece.end_lsn);
+    if (from >= to) continue;
+    const size_t before = out->size();
+    NEXT700_RETURN_IF_ERROR(ReadFileRange(piece.path, from - piece.start_lsn,
+                                          to - from, out));
+    cursor = from + (out->size() - before);
+    // A short read can only happen on the live segment, where the write
+    // of a just-durable flush may still be landing; stop there.
+    if (out->size() - before < to - from) break;
+  }
+  // Trim back to the last complete frame so *end_lsn is a frame boundary:
+  // an arbitrary lsn_hi (batch cap) can cut mid-frame.
+  size_t whole = 0;
+  while (out->size() - base - whole >= kFrameHeaderBytes) {
+    uint32_t body_len;
+    std::memcpy(&body_len, out->data() + base + whole, sizeof(body_len));
+    const uint64_t frame = kFrameOverheadBytes + uint64_t{body_len};
+    if (out->size() - base - whole < frame) break;
+    whole += frame;
+  }
+  out->resize(base + whole);
+  *end_lsn = lsn_lo + whole;
+  return Status::OK();
 }
 
 void LogManager::SetDurableCallback(std::function<void(Lsn)> callback) {

@@ -119,6 +119,28 @@ class LogManager {
     return Append(type, body.data(), body.size());
   }
 
+  /// Appends pre-framed bytes verbatim — the replica-side mirror of
+  /// Append(): a replica writes the primary's frame stream into its own log
+  /// so both logs are byte-identical and share one LSN space. `data` must
+  /// hold whole frames exactly as Append() would have produced them; the
+  /// caller is responsible for having validated their checksums. Returns
+  /// the LSN after the appended bytes.
+  Lsn AppendRaw(const uint8_t* data, size_t len);
+
+  /// Reads the durable frame stream covering [lsn_lo, min(lsn_hi,
+  /// durable_lsn())) into `*out` and sets `*end_lsn` to the LSN after the
+  /// last byte returned. `lsn_lo` must be a frame boundary; only whole
+  /// frames are returned (the range is trimmed back to the last complete
+  /// frame), so `*end_lsn` is a frame boundary too. Safe against concurrent
+  /// appends, rotation, and retirement: the durable clamp is taken before
+  /// the segment-table snapshot, segment files never move once named, and
+  /// a segment retired mid-read surfaces as kNotFound — which also reports
+  /// an `lsn_lo` below the retired prefix (the caller must re-bootstrap
+  /// from a checkpoint instead of tailing the log). An empty result with
+  /// *end_lsn == lsn_lo means nothing new is durable yet.
+  Status ReadFramesInRange(Lsn lsn_lo, Lsn lsn_hi, std::vector<uint8_t>* out,
+                           Lsn* end_lsn) const;
+
   /// Blocks until everything up to `lsn` reached the device. Returns OK
   /// only on real durability; kIOError (sticky) if the device failed, and
   /// kUnavailable if the log was closed before `lsn` became durable —

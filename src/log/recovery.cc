@@ -10,6 +10,27 @@
 
 namespace next700 {
 
+namespace {
+
+/// Scoped engine replay mode: replayed command transactions re-execute
+/// through the normal commit pipeline, and on an engine whose own log is
+/// open (a replica, or checkpoint+suffix recovery into a serving engine)
+/// they must not be appended to that log a second time.
+class ReplayModeGuard {
+ public:
+  explicit ReplayModeGuard(Engine* engine) : engine_(engine) {
+    engine_->set_replay_mode(true);
+  }
+  ~ReplayModeGuard() { engine_->set_replay_mode(false); }
+  ReplayModeGuard(const ReplayModeGuard&) = delete;
+  ReplayModeGuard& operator=(const ReplayModeGuard&) = delete;
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace
+
 void RecoveryManager::ApplyImage(Engine* engine, Row* row,
                                  const uint8_t* image, uint32_t len) {
   if (engine->cc()->is_multiversion()) {
@@ -102,46 +123,41 @@ Status RecoveryManager::ApplyCommandRecord(LogReader* reader,
   return Status::OK();
 }
 
-Status RecoveryManager::ReplaySegment(const std::string& path, Lsn base_lsn,
-                                      bool is_final, Lsn start_lsn,
-                                      RecoveryStats* stats) {
-  std::vector<uint8_t> file;
-  NEXT700_RETURN_IF_ERROR(ReadFileFully(path, &file));
-  stats->bytes_read += file.size();
-  ++stats->segments_read;
-
+Status RecoveryManager::WalkFrames(const uint8_t* data, size_t len,
+                                   const std::string& origin,
+                                   bool allow_torn_tail, Lsn base_lsn,
+                                   Lsn start_lsn, RecoveryStats* stats) {
   size_t pos = 0;
-  while (pos < file.size()) {
+  while (pos < len) {
     // Frame: u32 len, u8 type, u32 header_sum, body, u64 body_sum.
-    if (pos + kFrameHeaderBytes > file.size()) {  // Torn tail.
-      if (is_final) break;
-      return Status::Corruption("torn frame in non-final segment " + path);
+    if (pos + kFrameHeaderBytes > len) {  // Torn tail.
+      if (allow_torn_tail) break;
+      return Status::Corruption("torn frame in " + origin);
     }
     uint32_t body_len;
-    std::memcpy(&body_len, file.data() + pos, 4);
-    const uint8_t type_raw = file[pos + 4];
+    std::memcpy(&body_len, data + pos, 4);
+    const uint8_t type_raw = data[pos + 4];
     uint32_t header_sum;
-    std::memcpy(&header_sum, file.data() + pos + 5, 4);
+    std::memcpy(&header_sum, data + pos + 5, 4);
     if (header_sum != FrameHeaderSum(body_len, type_raw)) {
       // A torn write leaves a *prefix*; it cannot produce nine header
       // bytes that disagree with their own checksum. This is corruption
       // even at the tail — without it a flipped length byte would read as
       // a torn tail and silently drop every acked txn behind it.
-      return Status::Corruption("log frame header corrupt in " + path);
+      return Status::Corruption("log frame header corrupt in " + origin);
     }
     const size_t frame_end = pos + kFrameOverheadBytes + body_len;
-    if (frame_end > file.size()) {  // Torn tail (header vouches for len).
-      if (is_final) break;
-      return Status::Corruption("torn frame in non-final segment " + path);
+    if (frame_end > len) {  // Torn tail (header vouches for len).
+      if (allow_torn_tail) break;
+      return Status::Corruption("torn frame in " + origin);
     }
-    const uint8_t* body = file.data() + pos + kFrameHeaderBytes;
+    const uint8_t* body = data + pos + kFrameHeaderBytes;
     uint64_t checksum;
-    std::memcpy(&checksum, file.data() + pos + kFrameHeaderBytes + body_len,
-                8);
+    std::memcpy(&checksum, data + pos + kFrameHeaderBytes + body_len, 8);
     if (checksum != FnvHashBytes(body, body_len)) {
       // The whole frame is present, so the write that produced it
       // completed — a bad body checksum is corruption, never a crash tail.
-      return Status::Corruption("log checksum mismatch in " + path);
+      return Status::Corruption("log checksum mismatch in " + origin);
     }
     if (base_lsn + frame_end <= start_lsn) {
       pos = frame_end;  // Before the checkpoint: already materialized.
@@ -165,9 +181,31 @@ Status RecoveryManager::ReplaySegment(const std::string& path, Lsn base_lsn,
   return Status::OK();
 }
 
+Status RecoveryManager::ApplyFrames(const uint8_t* data, size_t len,
+                                    RecoveryStats* stats) {
+  ReplayModeGuard guard(engine_);
+  stats->bytes_read += len;
+  return WalkFrames(data, len, "replication batch",
+                    /*allow_torn_tail=*/false, /*base_lsn=*/0,
+                    /*start_lsn=*/0, stats);
+}
+
+Status RecoveryManager::ReplaySegment(const std::string& path, Lsn base_lsn,
+                                      bool is_final, Lsn start_lsn,
+                                      RecoveryStats* stats) {
+  std::vector<uint8_t> file;
+  NEXT700_RETURN_IF_ERROR(ReadFileFully(path, &file));
+  stats->bytes_read += file.size();
+  ++stats->segments_read;
+  return WalkFrames(file.data(), file.size(), "non-final segment " + path,
+                    /*allow_torn_tail=*/is_final, base_lsn, start_lsn,
+                    stats);
+}
+
 Status RecoveryManager::Replay(const std::string& path, RecoveryStats* stats,
                                Lsn start_lsn, uint64_t log_base_index,
                                Lsn log_base_lsn) {
+  ReplayModeGuard guard(engine_);
   const uint64_t start = NowNanos();
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {

@@ -65,9 +65,26 @@ class RecoveryManager {
                 Lsn start_lsn = 0, uint64_t log_base_index = 0,
                 Lsn log_base_lsn = 0);
 
+  /// Applies a contiguous run of *complete* frames from memory — the
+  /// replication applier feeds received stream batches here, one batch at
+  /// a time, reusing the exact replay semantics (Thomas-rule value apply,
+  /// serial command re-execution). A torn or checksum-failed frame is
+  /// kCorruption: unlike a crashed log's final segment, a shipped batch
+  /// has no legal torn tail. The caller serializes invocations and
+  /// excludes concurrent readers (replay writes row images directly,
+  /// outside any CC).
+  Status ApplyFrames(const uint8_t* data, size_t len, RecoveryStats* stats);
+
  private:
   Status ApplyValueRecord(LogReader* reader, RecoveryStats* stats);
   Status ApplyCommandRecord(LogReader* reader, RecoveryStats* stats);
+  /// Shared frame walk over one contiguous byte run. `origin` labels error
+  /// messages; `allow_torn_tail` permits an incomplete final frame (only
+  /// the final segment of a crashed log); frames ending at or below
+  /// `start_lsn` (relative to `base_lsn`) are skipped.
+  Status WalkFrames(const uint8_t* data, size_t len,
+                    const std::string& origin, bool allow_torn_tail,
+                    Lsn base_lsn, Lsn start_lsn, RecoveryStats* stats);
   /// One segment. `base_lsn` is the LSN of its first byte; `is_final`
   /// permits a torn tail.
   Status ReplaySegment(const std::string& path, Lsn base_lsn, bool is_final,

@@ -1,0 +1,183 @@
+#include "repl/replica_applier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace next700 {
+namespace repl {
+
+ReplicaApplier::ReplicaApplier(Engine* engine, ReplicaApplierOptions options)
+    : engine_(engine), options_(std::move(options)), recovery_(engine) {
+  NEXT700_CHECK(engine_ != nullptr);
+  NEXT700_CHECK_MSG(engine_->log_manager() != nullptr,
+                    "replica applier requires a local log");
+}
+
+ReplicaApplier::~ReplicaApplier() { Stop(); }
+
+void ReplicaApplier::set_secondary_rebuilder(
+    RecoveryManager::SecondaryIndexRebuilder rebuilder) {
+  recovery_.set_secondary_rebuilder(std::move(rebuilder));
+}
+
+Status ReplicaApplier::Start() {
+  NEXT700_CHECK(!running_);
+  // Bootstrap already applied everything in the local log (see the file
+  // header), so the local durable end is both the applied watermark and
+  // the subscription position.
+  applied_lsn_.store(engine_->log_manager()->durable_lsn(),
+                     std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  thread_ = std::thread([this] { ApplyLoop(); });
+  return Status::OK();
+}
+
+void ReplicaApplier::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  running_ = false;
+}
+
+Status ReplicaApplier::stream_status() const {
+  MutexLock lock(&status_mu_);
+  return stream_status_;
+}
+
+void ReplicaApplier::ApplyLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    RunSession();
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (!stream_status().ok()) break;  // Fatal; reconnecting cannot help.
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.reconnect_backoff_ms));
+  }
+  connected_.store(false, std::memory_order_relaxed);
+}
+
+void ReplicaApplier::RunSession() {
+  LogManager* log = engine_->log_manager();
+  server::Client client;
+  if (!client
+           .Connect(options_.primary_host, options_.primary_port,
+                    server::PeerRole::kReplica)
+           .ok()) {
+    return;  // Primary down or not yet up; back off and retry.
+  }
+  connected_.store(true, std::memory_order_relaxed);
+
+  // Subscribe from the local durable end. Everything below it was applied
+  // (bootstrap contract + this loop's apply-before-ack ordering), so the
+  // stream resumes without gaps or re-application.
+  server::ReplAck subscribe;
+  subscribe.durable_lsn = log->durable_lsn();
+  subscribe.applied_lsn = applied_lsn();
+  std::vector<uint8_t> encoded;
+  EncodeReplAck(subscribe, &encoded);
+  if (!client.SendRaw(encoded.data(), encoded.size()).ok()) {
+    connected_.store(false, std::memory_order_relaxed);
+    return;
+  }
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    server::FrameType type;
+    std::vector<uint8_t> body;
+    const Status received =
+        client.RecvFrame(&type, &body, options_.recv_deadline_ms);
+    if (received.code() == StatusCode::kDeadlineExceeded) continue;
+    if (!received.ok()) break;  // Connection lost; reconnect.
+    if (type != server::FrameType::kReplBatch) break;
+
+    server::ReplBatch batch;
+    const Status decoded =
+        server::DecodeReplBatch(body.data(), body.size(), &batch);
+    if (!decoded.ok()) {
+      // A checksum mismatch poisons only the connection, not the replica:
+      // nothing of the bad batch was appended, so reconnecting re-ships it.
+      break;
+    }
+    const Lsn local_end = log->appended_lsn();
+    if (batch.start_lsn != local_end) {
+      // The stream must continue exactly at our log end — anything else
+      // means the subscription got out of sync; resubscribe from scratch.
+      break;
+    }
+
+    log->AppendRaw(batch.frames.data(), batch.frames.size());
+    const Lsn end = batch.end_lsn();
+    const Status durable = log->WaitDurable(end);
+    if (!durable.ok()) {
+      MutexLock lock(&status_mu_);
+      if (stream_status_.ok()) stream_status_ = durable;
+      break;
+    }
+
+    RecoveryStats stats;
+    WriteLock();
+    const Status applied =
+        recovery_.ApplyFrames(batch.frames.data(), batch.frames.size(),
+                              &stats);
+    if (applied.ok()) {
+      applied_lsn_.store(end, std::memory_order_release);
+    }
+    WriteUnlock();
+    if (!applied.ok()) {
+      MutexLock lock(&status_mu_);
+      if (stream_status_.ok()) stream_status_ = applied;
+      break;
+    }
+    batches_applied_.fetch_add(1, std::memory_order_relaxed);
+    txns_applied_.fetch_add(stats.txns_replayed, std::memory_order_relaxed);
+    primary_durable_lsn_.store(
+        std::max(primary_durable_lsn_.load(std::memory_order_relaxed),
+                 batch.primary_durable_lsn),
+        std::memory_order_relaxed);
+
+    server::ReplAck ack;
+    ack.durable_lsn = end;
+    ack.applied_lsn = end;
+    encoded.clear();
+    EncodeReplAck(ack, &encoded);
+    if (!client.SendRaw(encoded.data(), encoded.size()).ok()) break;
+  }
+  connected_.store(false, std::memory_order_relaxed);
+  client.Close();
+}
+
+void ReplicaApplier::ReadLock() {
+  MutexLock lock(&gate_mu_);
+  // Writer priority: a waiting applier blocks new readers, so a steady
+  // read load cannot stall the stream (and with it, failover freshness).
+  while (writer_ || writers_waiting_ > 0) gate_cv_.Wait(&gate_mu_);
+  ++readers_;
+}
+
+void ReplicaApplier::ReadUnlock() {
+  MutexLock lock(&gate_mu_);
+  if (--readers_ == 0) gate_cv_.NotifyAll();
+}
+
+void ReplicaApplier::WriteLock() {
+  MutexLock lock(&gate_mu_);
+  ++writers_waiting_;
+  while (writer_ || readers_ > 0) gate_cv_.Wait(&gate_mu_);
+  --writers_waiting_;
+  writer_ = true;
+}
+
+void ReplicaApplier::WriteUnlock() {
+  MutexLock lock(&gate_mu_);
+  writer_ = false;
+  gate_cv_.NotifyAll();
+}
+
+}  // namespace repl
+}  // namespace next700

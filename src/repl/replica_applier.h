@@ -1,0 +1,163 @@
+#ifndef NEXT700_REPL_REPLICA_APPLIER_H_
+#define NEXT700_REPL_REPLICA_APPLIER_H_
+
+/// \file
+/// Replica-side continuous apply of the primary's log stream.
+///
+/// Bootstrap contract: before Start(), the caller brings the replica
+/// engine to a state consistent with its local log directory — either a
+/// fresh engine with the same deterministically seeded data as the
+/// primary (both logs empty, LSN 0) or RecoverEngine() from the replica's
+/// own checkpoint + MANIFEST + log suffix (restart, or a copied primary
+/// backup). The engine must be opened with logging pointed at the
+/// replica's local log directory: the applier writes the primary's frame
+/// bytes verbatim into it (LogManager::AppendRaw), so the two logs are
+/// byte-identical and share one LSN space.
+///
+/// The applier thread connects to the primary with PeerRole::kReplica,
+/// subscribes from its local durable end, and for every received batch:
+/// append raw -> wait locally durable -> apply to the engine under the
+/// write side of the read gate (RecoveryManager::ApplyFrames: Thomas-rule
+/// value replay / serial command re-execution) -> advance applied LSN ->
+/// ack. Acking only after the local durability barrier means an acked
+/// byte survives a replica crash, which is what the primary's semisync
+/// mode promises clients. Applying only after the same barrier keeps
+/// applied_lsn <= local durable_lsn <= primary durable_lsn at all times.
+///
+/// Snapshot reads: the replica's server executes read-only procedures
+/// between batches, serialized against raw apply by the ReadLock/
+/// ReadUnlock gate (applier writes bypass CC, so reader/writer exclusion
+/// is the isolation mechanism; the snapshot is the applied prefix of the
+/// primary's commit order). Staleness is bounded by request.min_read_lsn.
+///
+/// Failover: promotion is a restart, not a code path — stop the replica
+/// and start a primary on its directories. Crash recovery truncates any
+/// torn tail the dying applier left, exactly as it would after a primary
+/// crash; every byte the replica ever acked is below that tail.
+///
+/// If the primary dies or the connection drops, the applier keeps serving
+/// reads and retries the connection with backoff until Stop().
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_safety.h"
+#include "log/recovery.h"
+#include "server/server.h"
+#include "txn/engine.h"
+
+namespace next700 {
+namespace repl {
+
+struct ReplicaApplierOptions {
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// Delay between reconnect attempts when the primary is unreachable.
+  uint64_t reconnect_backoff_ms = 100;
+  /// Poll interval while waiting for stream bytes (also the Stop latency
+  /// bound: the applier checks for shutdown at least this often).
+  int64_t recv_deadline_ms = 200;
+};
+
+class ReplicaApplier : public server::SnapshotSource {
+ public:
+  /// `engine` must outlive the applier, be bootstrapped as described
+  /// above, and have a LogManager (logging enabled on the replica's own
+  /// log directory).
+  ReplicaApplier(Engine* engine, ReplicaApplierOptions options);
+  ~ReplicaApplier() override;
+  ReplicaApplier(const ReplicaApplier&) = delete;
+  ReplicaApplier& operator=(const ReplicaApplier&) = delete;
+
+  /// Secondary-index rebuild hook for value replay (workload-specific),
+  /// forwarded to the RecoveryManager. Set before Start().
+  void set_secondary_rebuilder(
+      RecoveryManager::SecondaryIndexRebuilder rebuilder);
+
+  /// Captures the local durable end as the applied watermark and starts
+  /// the apply thread.
+  Status Start();
+
+  /// Stops the apply thread and disconnects. Idempotent.
+  void Stop();
+
+  // --- server::SnapshotSource (replica-role server integration) ---------
+
+  Lsn applied_lsn() const override {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+  /// Shared/exclusive gate between snapshot readers (server workers) and
+  /// raw apply. Hand-built over Mutex+CondVar with writer priority so a
+  /// continuous read load cannot starve the stream.
+  void ReadLock() override;
+  void ReadUnlock() override;
+
+  // --- Observability ------------------------------------------------------
+
+  /// Primary's durable LSN as of the last received batch (lag reference).
+  Lsn primary_durable_lsn() const {
+    return primary_durable_lsn_.load(std::memory_order_relaxed);
+  }
+  /// Replication lag in log bytes: primary durable minus locally applied.
+  uint64_t lag_bytes() const {
+    const Lsn primary = primary_durable_lsn();
+    const Lsn applied = applied_lsn();
+    return primary > applied ? primary - applied : 0;
+  }
+  uint64_t batches_applied() const {
+    return batches_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t txns_applied() const {
+    return txns_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  bool connected() const {
+    return connected_.load(std::memory_order_relaxed);
+  }
+  /// First fatal stream error (a corrupt batch, a broken local log), or
+  /// OK. Transient connection loss is not fatal — the applier retries.
+  Status stream_status() const;
+
+ private:
+  void ApplyLoop();
+  /// One connect + subscribe + drain session; returns when the connection
+  /// drops, a fatal error sticks, or Stop() is requested.
+  void RunSession();
+  void WriteLock();
+  void WriteUnlock();
+
+  Engine* engine_;
+  ReplicaApplierOptions options_;
+  RecoveryManager recovery_;
+
+  std::atomic<Lsn> applied_lsn_{0};
+  std::atomic<Lsn> primary_durable_lsn_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> txns_applied_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> stop_{false};
+
+  // Reader/writer gate: snapshot readers share; raw apply excludes.
+  Mutex gate_mu_;
+  CondVar gate_cv_;
+  int readers_ GUARDED_BY(gate_mu_) = 0;
+  int writers_waiting_ GUARDED_BY(gate_mu_) = 0;
+  bool writer_ GUARDED_BY(gate_mu_) = false;
+
+  mutable Mutex status_mu_;
+  Status stream_status_ GUARDED_BY(status_mu_);
+
+  bool running_ = false;  // Start/Stop-caller-owned.
+  std::thread thread_;
+};
+
+}  // namespace repl
+}  // namespace next700
+
+#endif  // NEXT700_REPL_REPLICA_APPLIER_H_

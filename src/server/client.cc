@@ -17,7 +17,8 @@ namespace server {
 
 Client::~Client() { Close(); }
 
-Status Client::Connect(const std::string& host, uint16_t port) {
+Status Client::Connect(const std::string& host, uint16_t port,
+                       PeerRole role) {
   NEXT700_CHECK(fd_ < 0);
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::IOError("socket() failed");
@@ -36,7 +37,25 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Status::OK();
+  // Handshake: declare who we are, verify the peer is a same-version
+  // next700 server before any request leaves this process.
+  Hello hello;
+  hello.role = role;
+  send_buf_.clear();
+  EncodeHello(hello, &send_buf_);
+  NEXT700_RETURN_IF_ERROR(SendRaw(send_buf_.data(), send_buf_.size()));
+  FrameType type;
+  std::vector<uint8_t> body;
+  Status s = RecvFrame(&type, &body, /*deadline_ms=*/5000);
+  if (s.ok() && type != FrameType::kHelloAck) {
+    s = Status::InvalidArgument("peer did not answer the handshake");
+  }
+  if (s.ok()) {
+    HelloAck ack;
+    s = DecodeHelloAck(body.data(), body.size(), &ack);
+  }
+  if (!s.ok()) Close();
+  return s;
 }
 
 void Client::Close() {
@@ -70,6 +89,18 @@ Status Client::Send(const Request& request) {
 }
 
 Status Client::Recv(Response* response, int64_t deadline_ms) {
+  FrameType type;
+  std::vector<uint8_t> body;
+  NEXT700_RETURN_IF_ERROR(RecvFrame(&type, &body, deadline_ms));
+  if (type != FrameType::kResponse) {
+    Close();
+    return Status::InvalidArgument("server sent a non-response frame");
+  }
+  return DecodeResponse(body.data(), body.size(), response);
+}
+
+Status Client::RecvFrame(FrameType* type, std::vector<uint8_t>* body,
+                         int64_t deadline_ms) {
   if (fd_ < 0) return Status::Unavailable("not connected");
   const uint64_t start_ns = NowNanos();
   for (;;) {
@@ -77,11 +108,9 @@ Status Client::Recv(Response* response, int64_t deadline_ms) {
     bool have = false;
     NEXT700_RETURN_IF_ERROR(decoder_.Next(&frame, &have));
     if (have) {
-      if (frame.type != FrameType::kResponse) {
-        Close();
-        return Status::InvalidArgument("server sent a non-response frame");
-      }
-      return DecodeResponse(frame.body, frame.body_len, response);
+      *type = frame.type;
+      body->assign(frame.body, frame.body + frame.body_len);
+      return Status::OK();
     }
     int timeout_ms = -1;
     if (deadline_ms >= 0) {

@@ -26,7 +26,11 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  Status Connect(const std::string& host, uint16_t port);
+  /// Connects and performs the protocol handshake: sends a Hello declaring
+  /// `role` and waits for the server's HelloAck (magic + version checked on
+  /// both sides). A replication subscriber connects with PeerRole::kReplica.
+  Status Connect(const std::string& host, uint16_t port,
+                 PeerRole role = PeerRole::kClient);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
@@ -41,6 +45,11 @@ class Client {
   /// Unary convenience: Send + Recv and verify the echoed request id.
   Status Call(const Request& request, Response* response,
               int64_t deadline_ms = 5000);
+
+  /// Receives the next frame of any type, copying its body into `*body`.
+  /// The replication applier drains ReplBatch frames this way.
+  Status RecvFrame(FrameType* type, std::vector<uint8_t>* body,
+                   int64_t deadline_ms = 5000);
 
   /// Sends raw bytes as-is — protocol tests use this to inject malformed
   /// frames; not for normal use.

@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "repl/log_shipper.h"
 #include "server/protocol.h"
 
 namespace next700 {
@@ -37,6 +39,23 @@ class Connection {
 
   FrameDecoder* decoder() { return &decoder_; }
 
+  // --- Handshake / peer identity ----------------------------------------
+
+  /// The peer's Hello has been accepted; any pre-handshake frame other
+  /// than Hello closes the connection.
+  bool handshaken() const { return handshaken_; }
+  void set_handshaken() { handshaken_ = true; }
+
+  PeerRole peer() const { return peer_; }
+  void set_peer(PeerRole role) { peer_ = role; }
+
+  /// Shipping cursor for a subscribed replica peer; null until its first
+  /// ReplAck names a start LSN.
+  repl::LogShipper* shipper() { return shipper_.get(); }
+  void set_shipper(std::unique_ptr<repl::LogShipper> shipper) {
+    shipper_ = std::move(shipper);
+  }
+
   /// Registers the next request in arrival order; returns its sequence
   /// number, which the eventual Complete() must echo.
   uint64_t AdmitRequest();
@@ -52,6 +71,13 @@ class Connection {
   size_t pending_responses() const { return order_.size(); }
 
   // --- Socket write buffer (event loop only) ----------------------------
+
+  /// Appends pre-encoded frames directly to the write buffer, bypassing
+  /// the ordered-reply machinery (handshake acks, replication batches —
+  /// frames that are not responses to admitted requests).
+  void EnqueueRaw(const uint8_t* data, size_t len) {
+    out_.insert(out_.end(), data, data + len);
+  }
 
   bool has_pending_writes() const { return write_off_ < out_.size(); }
   const uint8_t* write_data() const { return out_.data() + write_off_; }
@@ -75,6 +101,9 @@ class Connection {
   int fd_;
   uint64_t id_;
   FrameDecoder decoder_;
+  bool handshaken_ = false;
+  PeerRole peer_ = PeerRole::kClient;
+  std::unique_ptr<repl::LogShipper> shipper_;
   uint64_t next_seq_ = 1;
   std::deque<uint64_t> order_;
   std::unordered_map<uint64_t, std::vector<uint8_t>> completed_;

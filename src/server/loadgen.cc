@@ -1,6 +1,7 @@
 #include "server/loadgen.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -156,6 +157,56 @@ void ClientThread(const LoadGenOptions& options, int thread_index,
 }
 
 }  // namespace
+
+Status RunKvAudit(const LoadGenOptions& options, uint64_t min_read_lsn,
+                  KvAuditResult* out) {
+  *out = KvAuditResult{};
+  Client client;
+  NEXT700_RETURN_IF_ERROR(client.Connect(options.host, options.port));
+  const size_t depth = static_cast<size_t>(
+      options.pipeline_depth > 0 ? options.pipeline_depth : 1);
+  std::deque<uint64_t> outstanding;  // Keys, in request order.
+
+  auto receive_one = [&]() -> Status {
+    Response response;
+    NEXT700_RETURN_IF_ERROR(client.Recv(&response, options.deadline_ms));
+    const uint64_t key = outstanding.front();
+    outstanding.pop_front();
+    ++out->keys_checked;
+    out->snapshot_lsn = response.commit_lsn;
+    if (response.status == StatusCode::kOk) {
+      if (response.payload.size() < sizeof(uint64_t)) {
+        return Status::Corruption("audit: short kv_get payload");
+      }
+      uint64_t counter;
+      std::memcpy(&counter, response.payload.data(), sizeof(counter));
+      out->increment_sum += counter - key;  // Seed counter equals the key.
+    } else if (response.status == StatusCode::kNotFound) {
+      ++out->missing;
+    } else {
+      ++out->errors;
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t key = 0; key < options.num_records; ++key) {
+    Request request;
+    request.request_id = key + 1;
+    request.proc_id = kKvGet;
+    request.min_read_lsn = min_read_lsn;
+    WireWriter args(&request.args);
+    args.PutU64(key);
+    if (options.declare_partitions) {
+      request.partitions.push_back(
+          KvPartitionOf(key, options.num_partitions));
+    }
+    NEXT700_RETURN_IF_ERROR(client.Send(request));
+    outstanding.push_back(key);
+    if (outstanding.size() >= depth) NEXT700_RETURN_IF_ERROR(receive_one());
+  }
+  while (!outstanding.empty()) NEXT700_RETURN_IF_ERROR(receive_one());
+  return Status::OK();
+}
 
 LoadGenStats RunLoadGen(const LoadGenOptions& options) {
   const int n = options.connections > 0 ? options.connections : 1;

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "common/status.h"
 
 namespace next700 {
 namespace server {
@@ -61,6 +62,29 @@ struct LoadGenStats {
 /// Runs the load and blocks until the measurement window ends and every
 /// outstanding request is drained.
 LoadGenStats RunLoadGen(const LoadGenOptions& options);
+
+/// Full-keyspace consistency audit: reads every key with kKvGet on one
+/// pipelined connection and sums the counter deltas. Seed counters equal
+/// their key, and every successful rmw increments each touched counter by
+/// one, so `increment_sum` equals the number of increments the store
+/// retains — comparing it against the acked count proves (or disproves)
+/// that acked work survived a crash or failover. A missing key counts in
+/// `missing` and contributes zero.
+struct KvAuditResult {
+  uint64_t keys_checked = 0;
+  uint64_t missing = 0;      // kNotFound responses.
+  uint64_t errors = 0;       // Any other non-OK response.
+  uint64_t increment_sum = 0;
+  /// commit_lsn of the last response: on a replica, the applied snapshot
+  /// LSN the audit observed.
+  uint64_t snapshot_lsn = 0;
+};
+
+/// `min_read_lsn` is stamped on every audit request — against a replica it
+/// demands a snapshot at least that fresh (kUnavailable otherwise).
+/// Returns non-OK only on transport failure.
+Status RunKvAudit(const LoadGenOptions& options, uint64_t min_read_lsn,
+                  KvAuditResult* out);
 
 }  // namespace server
 }  // namespace next700

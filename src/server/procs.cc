@@ -17,12 +17,14 @@ uint64_t RegisterKvService(Engine* engine, const KvServiceOptions& options) {
                                      options.num_records * 2);
   const uint32_t num_partitions = engine->options().num_partitions;
   const uint32_t row_size = table->schema().row_size();
-  std::vector<uint8_t> value(row_size, 0);
-  for (uint64_t key = 0; key < options.num_records; ++key) {
-    std::memcpy(value.data(), &key, sizeof(key));  // RMW counter seed.
-    Row* row = engine->LoadRow(table, KvPartitionOf(key, num_partitions), key,
-                               value.data());
-    NEXT700_CHECK(index->Insert(key, row).ok());
+  if (options.load_rows) {
+    std::vector<uint8_t> value(row_size, 0);
+    for (uint64_t key = 0; key < options.num_records; ++key) {
+      std::memcpy(value.data(), &key, sizeof(key));  // RMW counter seed.
+      Row* row = engine->LoadRow(table, KvPartitionOf(key, num_partitions),
+                                 key, value.data());
+      NEXT700_CHECK(index->Insert(key, row).ok());
+    }
   }
 
   const uint64_t num_records = options.num_records;
@@ -40,7 +42,8 @@ uint64_t RegisterKvService(Engine* engine, const KvServiceOptions& options) {
         auto& reply = txn->reply_payload();
         reply.resize(row_size);
         return eng->Read(txn, index, key, reply.data());
-      });
+      },
+      /*read_only=*/true);
 
   engine->RegisterProcedure(
       kKvPut, [index, row_size, num_records](Engine* eng, TxnContext* txn,

@@ -34,6 +34,11 @@ struct KvServiceOptions {
   uint64_t num_records = 100000;
   uint32_t value_size = 64;  // Bytes per row; first 8 are the RMW counter.
   IndexKind index_kind = IndexKind::kHash;
+  /// Skip the initial row load: recovery paths (checkpoint + log replay,
+  /// replica bootstrap) need the schema and procedures on an *empty*
+  /// engine — checkpoint Load re-inserts every row and would collide with
+  /// pre-loaded data.
+  bool load_rows = true;
 };
 
 /// Keys are range-partitioned modulo the engine's partition count; clients

@@ -1,5 +1,7 @@
 #include "server/protocol.h"
 
+#include "log/log_record.h"
+
 namespace next700 {
 namespace server {
 
@@ -23,6 +25,7 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* out) {
   WireWriter writer(&body);
   writer.PutU64(request.request_id);
   writer.PutU32(request.proc_id);
+  writer.PutU64(request.min_read_lsn);
   writer.PutU16(static_cast<uint16_t>(request.partitions.size()));
   writer.PutU32(static_cast<uint32_t>(request.args.size()));
   for (uint32_t p : request.partitions) writer.PutU32(p);
@@ -49,6 +52,7 @@ Status DecodeRequest(const uint8_t* body, size_t len, Request* out) {
   uint16_t num_partitions;
   uint32_t arg_len;
   if (!reader.GetU64(&out->request_id) || !reader.GetU32(&out->proc_id) ||
+      !reader.GetU64(&out->min_read_lsn) ||
       !reader.GetU16(&num_partitions) || !reader.GetU32(&arg_len)) {
     return Status::InvalidArgument("truncated request header");
   }
@@ -93,6 +97,119 @@ Status DecodeResponse(const uint8_t* body, size_t len, Response* out) {
   return Status::OK();
 }
 
+void EncodeHello(const Hello& hello, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU32(hello.magic);
+  writer.PutU8(hello.version);
+  writer.PutU8(static_cast<uint8_t>(hello.role));
+  PutFrameHeader(FrameType::kHello, static_cast<uint32_t>(body.size()), out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+void EncodeHelloAck(const HelloAck& ack, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU32(ack.magic);
+  writer.PutU8(ack.version);
+  PutFrameHeader(FrameType::kHelloAck, static_cast<uint32_t>(body.size()),
+                 out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+void EncodeReplBatch(const ReplBatch& batch, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(batch.start_lsn);
+  writer.PutU64(batch.primary_durable_lsn);
+  writer.PutU32(static_cast<uint32_t>(batch.frames.size()));
+  writer.PutRaw(batch.frames.data(), batch.frames.size());
+  writer.PutU64(FnvHashBytes(batch.frames.data(), batch.frames.size()));
+  PutFrameHeader(FrameType::kReplBatch, static_cast<uint32_t>(body.size()),
+                 out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+void EncodeReplAck(const ReplAck& ack, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(ack.durable_lsn);
+  writer.PutU64(ack.applied_lsn);
+  PutFrameHeader(FrameType::kReplAck, static_cast<uint32_t>(body.size()),
+                 out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Status DecodeHello(const uint8_t* body, size_t len, Hello* out) {
+  WireReader reader(body, len);
+  uint8_t role;
+  if (!reader.GetU32(&out->magic) || !reader.GetU8(&out->version) ||
+      !reader.GetU8(&role) || reader.remaining() != 0) {
+    return Status::InvalidArgument("malformed hello");
+  }
+  if (out->magic != kWireMagic) {
+    return Status::InvalidArgument("bad protocol magic: not a next700 peer");
+  }
+  if (out->version != kWireVersion) {
+    return Status::InvalidArgument("protocol version mismatch: peer speaks " +
+                                   std::to_string(out->version) +
+                                   ", this node speaks " +
+                                   std::to_string(kWireVersion));
+  }
+  if (role > static_cast<uint8_t>(PeerRole::kReplica)) {
+    return Status::InvalidArgument("unknown peer role");
+  }
+  out->role = static_cast<PeerRole>(role);
+  return Status::OK();
+}
+
+Status DecodeHelloAck(const uint8_t* body, size_t len, HelloAck* out) {
+  WireReader reader(body, len);
+  if (!reader.GetU32(&out->magic) || !reader.GetU8(&out->version) ||
+      reader.remaining() != 0) {
+    return Status::InvalidArgument("malformed hello ack");
+  }
+  if (out->magic != kWireMagic) {
+    return Status::InvalidArgument("bad protocol magic: not a next700 peer");
+  }
+  if (out->version != kWireVersion) {
+    return Status::InvalidArgument("protocol version mismatch: peer speaks " +
+                                   std::to_string(out->version) +
+                                   ", this node speaks " +
+                                   std::to_string(kWireVersion));
+  }
+  return Status::OK();
+}
+
+Status DecodeReplBatch(const uint8_t* body, size_t len, ReplBatch* out) {
+  WireReader reader(body, len);
+  uint32_t frames_len;
+  if (!reader.GetU64(&out->start_lsn) ||
+      !reader.GetU64(&out->primary_durable_lsn) ||
+      !reader.GetU32(&frames_len) || frames_len > reader.remaining()) {
+    return Status::InvalidArgument("truncated repl batch header");
+  }
+  out->frames.resize(frames_len);
+  uint64_t batch_sum;
+  if ((frames_len > 0 && !reader.GetRaw(out->frames.data(), frames_len)) ||
+      !reader.GetU64(&batch_sum) || reader.remaining() != 0) {
+    return Status::InvalidArgument("truncated repl batch");
+  }
+  if (batch_sum != FnvHashBytes(out->frames.data(), out->frames.size())) {
+    return Status::Corruption("repl batch checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status DecodeReplAck(const uint8_t* body, size_t len, ReplAck* out) {
+  WireReader reader(body, len);
+  if (!reader.GetU64(&out->durable_lsn) ||
+      !reader.GetU64(&out->applied_lsn) || reader.remaining() != 0) {
+    return Status::InvalidArgument("malformed repl ack");
+  }
+  return Status::OK();
+}
+
 Status FrameDecoder::Next(Frame* frame, bool* have_frame) {
   *have_frame = false;
   // Compact once the consumed prefix dominates, so long-lived pipelined
@@ -111,8 +228,8 @@ Status FrameDecoder::Next(Frame* frame, bool* have_frame) {
   if (body_len > kMaxFrameBody) {
     return Status::InvalidArgument("oversized frame");
   }
-  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
-      type != static_cast<uint8_t>(FrameType::kResponse)) {
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kReplAck)) {
     return Status::InvalidArgument("unknown frame type");
   }
   if (available < kFrameHeaderBytes + body_len) return Status::OK();

@@ -7,9 +7,28 @@
 ///
 ///   [u32 body_len][u8 frame_type][body ... body_len bytes]
 ///
+/// Every connection opens with a handshake: the peer's first frame must be
+/// a Hello carrying the protocol magic, version, and role; the server
+/// answers with a HelloAck echoing its own magic + version. A mixed-version
+/// or non-next700 peer is rejected loudly (kInvalidArgument, connection
+/// closed) instead of being fed to the request decoder as garbage.
+///
+/// Hello body (peer -> server):
+///   u32 magic            kWireMagic ("N700")
+///   u8  version          kWireVersion
+///   u8  role             PeerRole: ordinary client or subscribing replica
+///
+/// HelloAck body (server -> peer):
+///   u32 magic
+///   u8  version
+///
 /// Request body (client -> server):
 ///   u64 request_id       echoed verbatim in the response
 ///   u32 proc_id          registered stored procedure to run
+///   u64 min_read_lsn     read-your-writes floor for replica snapshot reads:
+///                        a replica whose applied LSN is below this answers
+///                        kUnavailable instead of serving a staler snapshot
+///                        (0 = any snapshot is acceptable)
 ///   u16 num_partitions   declared partition set (H-Store compositions)
 ///   u32 arg_len
 ///   num_partitions x u32 partition ids
@@ -18,16 +37,36 @@
 /// Response body (server -> client):
 ///   u64 request_id
 ///   u8  status_code      StatusCode of the procedure execution
-///   u64 commit_lsn       log position the commit waited on (0 if none)
+///   u64 commit_lsn       log position the commit waited on; on a replica
+///                        read, the applied LSN the snapshot was served at
 ///   u32 payload_len
 ///   payload_len bytes    procedure reply payload (TxnContext::reply_payload)
+///
+/// Replication stream (primary -> replica, after a role=kReplica Hello):
+///
+/// ReplBatch body:
+///   u64 start_lsn        LSN of the first byte of `frames`
+///   u64 primary_durable_lsn   primary's durable watermark (lag metric)
+///   u32 frames_len
+///   frames_len bytes     verbatim log frames (the primary's on-disk bytes)
+///   u64 batch_sum        FNV-1a over `frames` — transport integrity on top
+///                        of the per-frame checksums
+///
+/// ReplAck body (replica -> primary):
+///   u64 durable_lsn      replica-durable prefix (semisync release gate)
+///   u64 applied_lsn      applied to the replica engine (staleness metric)
+///
+/// The replica's first ReplAck doubles as its subscription position: the
+/// primary starts shipping from that ack's durable_lsn.
 ///
 /// Robustness contract: decoders never trust the peer. Oversized or
 /// garbage headers are unrecoverable (the stream cannot be resynchronized)
 /// and yield kInvalidArgument — the connection must be closed. A well-framed
 /// body that fails to decode is recoverable: the server answers with an
 /// error response and keeps the connection. Truncated frames simply wait
-/// for more bytes; a peer that hangs up mid-frame just closes.
+/// for more bytes; a peer that hangs up mid-frame just closes. A ReplBatch
+/// whose batch_sum disagrees is kCorruption: the stream cannot be trusted
+/// and the replica must reconnect.
 
 #include <cstdint>
 #include <cstring>
@@ -42,7 +81,23 @@ namespace server {
 enum class FrameType : uint8_t {
   kRequest = 1,
   kResponse = 2,
+  kHello = 3,
+  kHelloAck = 4,
+  kReplBatch = 5,
+  kReplAck = 6,
 };
+
+/// What a connecting peer is, declared in its Hello.
+enum class PeerRole : uint8_t {
+  kClient = 0,
+  kReplica = 1,
+};
+
+/// "N700", little-endian. A peer that opens with anything else is not
+/// speaking this protocol at all.
+inline constexpr uint32_t kWireMagic = 0x3030374Eu;
+/// Bumped on any incompatible change to frame layouts.
+inline constexpr uint8_t kWireVersion = 1;
 
 /// Hard ceiling on frame bodies; anything larger is a protocol violation
 /// (or an attack) and closes the connection.
@@ -51,6 +106,9 @@ inline constexpr uint32_t kMaxFrameBody = 1u << 20;
 inline constexpr uint16_t kMaxPartitionsPerRequest = 4096;
 /// Bytes of frame header preceding every body.
 inline constexpr size_t kFrameHeaderBytes = 5;
+/// Ceiling on the frame payload of one ReplBatch; the shipper cuts batches
+/// here (on a log-frame boundary) so a batch always fits kMaxFrameBody.
+inline constexpr uint32_t kMaxReplBatchBytes = 256u << 10;
 
 /// Append-only little-endian serializer for frame bodies and procedure
 /// arguments (the "typed argument encoding" of the service).
@@ -122,6 +180,7 @@ class WireReader {
 struct Request {
   uint64_t request_id = 0;
   uint32_t proc_id = 0;
+  uint64_t min_read_lsn = 0;
   std::vector<uint32_t> partitions;
   std::vector<uint8_t> args;
 };
@@ -133,9 +192,37 @@ struct Response {
   std::vector<uint8_t> payload;
 };
 
+struct Hello {
+  uint32_t magic = kWireMagic;
+  uint8_t version = kWireVersion;
+  PeerRole role = PeerRole::kClient;
+};
+
+struct HelloAck {
+  uint32_t magic = kWireMagic;
+  uint8_t version = kWireVersion;
+};
+
+struct ReplBatch {
+  uint64_t start_lsn = 0;
+  uint64_t primary_durable_lsn = 0;
+  std::vector<uint8_t> frames;
+
+  uint64_t end_lsn() const { return start_lsn + frames.size(); }
+};
+
+struct ReplAck {
+  uint64_t durable_lsn = 0;
+  uint64_t applied_lsn = 0;
+};
+
 /// Appends a complete frame (header + body) to `out`.
 void EncodeRequest(const Request& request, std::vector<uint8_t>* out);
 void EncodeResponse(const Response& response, std::vector<uint8_t>* out);
+void EncodeHello(const Hello& hello, std::vector<uint8_t>* out);
+void EncodeHelloAck(const HelloAck& ack, std::vector<uint8_t>* out);
+void EncodeReplBatch(const ReplBatch& batch, std::vector<uint8_t>* out);
+void EncodeReplAck(const ReplAck& ack, std::vector<uint8_t>* out);
 
 /// Decodes a frame body. kInvalidArgument on any structural defect
 /// (truncated fields, inconsistent lengths, trailing garbage, out-of-range
@@ -143,6 +230,15 @@ void EncodeResponse(const Response& response, std::vector<uint8_t>* out);
 /// connection can survive.
 Status DecodeRequest(const uint8_t* body, size_t len, Request* out);
 Status DecodeResponse(const uint8_t* body, size_t len, Response* out);
+
+/// Handshake/replication decode errors always close the connection: a peer
+/// that cannot even say Hello correctly (wrong magic, wrong version) has
+/// nothing trustworthy to say next. DecodeReplBatch returns kCorruption
+/// when the batch checksum disagrees with the frame bytes.
+Status DecodeHello(const uint8_t* body, size_t len, Hello* out);
+Status DecodeHelloAck(const uint8_t* body, size_t len, HelloAck* out);
+Status DecodeReplBatch(const uint8_t* body, size_t len, ReplBatch* out);
+Status DecodeReplAck(const uint8_t* body, size_t len, ReplAck* out);
 
 /// One frame extracted from the byte stream; `body` points into the
 /// decoder's buffer and is valid until the next Next()/Feed() call.

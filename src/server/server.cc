@@ -22,6 +22,11 @@ namespace {
 /// budget (hysteresis so the loop does not flap at the boundary).
 uint32_t ResumeWatermark(uint32_t budget) { return budget - budget / 4; }
 
+/// Per-replica shipping window: stop enqueuing batches once this many
+/// bytes sit unsent in the connection's write buffer. A slow replica
+/// backpressures through TCP instead of ballooning primary memory.
+constexpr size_t kShipWindowBytes = 4 * kMaxReplBatchBytes;
+
 }  // namespace
 
 Server::Server(Engine* engine, ServerOptions options)
@@ -84,9 +89,22 @@ Status Server::Start() {
     queues_.push_back(std::make_unique<WorkQueue>());
   }
 
-  if (engine_->log_manager() != nullptr && engine_->options().sync_commit) {
+  if (engine_->log_manager() != nullptr) {
+    // One durable callback serves two consumers: releasing held replies
+    // (sync commit) and waking the loop to ship freshly durable bytes to
+    // replicas. The flusher thread must not touch loop-owned connection
+    // state, so shipping is signalled through a flag + eventfd.
+    const bool sync_commit = engine_->options().sync_commit;
     engine_->log_manager()->SetDurableCallback(
-        [this](Lsn durable) { ReleaseDurable(durable); });
+        [this, sync_commit](Lsn durable) {
+          if (sync_commit) ReleaseDurable(ReleaseWatermark(durable));
+          if (replica_count_.load(std::memory_order_acquire) > 0) {
+            ship_pending_.store(true, std::memory_order_release);
+            const uint64_t one = 1;
+            [[maybe_unused]] ssize_t n =
+                ::write(wake_fd_, &one, sizeof(one));
+          }
+        });
   }
 
   stop_requested_.store(false);
@@ -152,6 +170,9 @@ void Server::EventLoop() {
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
         }
         DrainCompletions();
+        if (ship_pending_.exchange(false, std::memory_order_acq_rel)) {
+          ShipAll();
+        }
       } else if (fd == listen_fd_) {
         // Defer accepts to the end of the batch so a connection closed in
         // this batch cannot have its fd reused and matched against a stale
@@ -208,7 +229,10 @@ void Server::HandleReadable(Connection* conn) {
       conn->decoder()->Feed(buf, static_cast<size_t>(n));
       // Backpressure: once the admission budget fills, stop pulling bytes
       // off the socket; the kernel buffer (and then the peer) absorbs it.
-      if (inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+      // Replica acks consume no budget and release held replies, so
+      // replica streams are never throttled.
+      if (conn->peer() != PeerRole::kReplica &&
+          inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
         break;
       }
       continue;
@@ -228,7 +252,10 @@ void Server::HandleReadable(Connection* conn) {
 void Server::DrainFrames(Connection* conn) {
   const uint64_t conn_id = conn->id();
   for (;;) {
-    if (inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+    // The admission budget throttles client requests only; handshakes and
+    // replica acks must keep flowing (acks release held replies).
+    if (conn->handshaken() && conn->peer() == PeerRole::kClient &&
+        inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
       PauseReads();
       break;
     }
@@ -243,7 +270,19 @@ void Server::DrainFrames(Connection* conn) {
       return;
     }
     if (!have) break;
-    if (frame.type != FrameType::kRequest) {
+    if (!conn->handshaken()) {
+      if (!HandleHello(conn, frame)) return;
+      if (connections_.find(conn_id) == connections_.end()) return;
+      continue;
+    }
+    if (frame.type == FrameType::kReplAck &&
+        conn->peer() == PeerRole::kReplica) {
+      if (!HandleReplAck(conn, frame)) return;
+      if (connections_.find(conn_id) == connections_.end()) return;
+      continue;
+    }
+    if (frame.type != FrameType::kRequest ||
+        conn->peer() != PeerRole::kClient) {
       stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
       CloseConnection(conn);
@@ -271,6 +310,126 @@ void Server::DrainFrames(Connection* conn) {
   }
 }
 
+bool Server::HandleHello(Connection* conn, const Frame& frame) {
+  Hello hello;
+  Status status = frame.type == FrameType::kHello
+                      ? DecodeHello(frame.body, frame.body_len, &hello)
+                      : Status::InvalidArgument(
+                            "first frame on a connection must be Hello");
+  if (status.ok() && hello.role == PeerRole::kReplica) {
+    if (engine_->log_manager() == nullptr) {
+      status = Status::InvalidArgument(
+          "replica subscription refused: primary runs without a log");
+    } else if (options_.snapshot_source != nullptr) {
+      status = Status::InvalidArgument(
+          "replica subscription refused: replicas do not chain");
+    }
+  }
+  if (!status.ok()) {
+    // Loud rejection of mixed-version or non-next700 peers: drop the
+    // connection before interpreting a single byte of their payloads.
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return false;
+  }
+  conn->set_handshaken();
+  conn->set_peer(hello.role);
+  std::vector<uint8_t> ack;
+  EncodeHelloAck(HelloAck{}, &ack);
+  conn->EnqueueRaw(ack.data(), ack.size());
+  FlushConnection(conn);  // May close `conn`; callers re-find by id.
+  return true;
+}
+
+bool Server::HandleReplAck(Connection* conn, const Frame& frame) {
+  ReplAck ack;
+  const Status decoded = DecodeReplAck(frame.body, frame.body_len, &ack);
+  if (!decoded.ok()) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return false;
+  }
+  stats_.repl_acks_received.fetch_add(1, std::memory_order_relaxed);
+  if (conn->shipper() == nullptr) {
+    // First ack = subscription: durable_lsn names the replica's local log
+    // end, which is where shipping resumes (frame boundary by contract).
+    conn->set_shipper(std::make_unique<repl::LogShipper>(
+        engine_->log_manager(), ack.durable_lsn));
+    replica_count_.fetch_add(1, std::memory_order_release);
+  } else {
+    conn->shipper()->RecordAck(ack.durable_lsn, ack.applied_lsn);
+  }
+  if (options_.repl_ack == ReplAckMode::kSemisync) {
+    RecomputeSemisyncWatermark();
+    ReleaseDurable(ReleaseWatermark(engine_->log_manager()->durable_lsn()));
+  }
+  ShipToReplica(conn);  // May close `conn`; callers re-find by id.
+  return true;
+}
+
+void Server::ShipToReplica(Connection* conn) {
+  repl::LogShipper* shipper = conn->shipper();
+  if (shipper == nullptr) return;
+  const uint64_t conn_id = conn->id();
+  bool enqueued = false;
+  while (conn->write_len() < kShipWindowBytes) {
+    std::vector<uint8_t> encoded;
+    bool have = false;
+    const Status status = shipper->NextBatch(&encoded, &have);
+    if (!status.ok()) {
+      // kNotFound: the cursor fell below the retired log prefix; the
+      // replica cannot catch up by tailing and must re-bootstrap from a
+      // checkpoint. Dropping the subscription makes that loud.
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      return;
+    }
+    if (!have) break;
+    conn->EnqueueRaw(encoded.data(), encoded.size());
+    stats_.repl_batches_shipped.fetch_add(1, std::memory_order_relaxed);
+    enqueued = true;
+  }
+  if (enqueued) {
+    FlushConnection(conn);
+    if (connections_.find(conn_id) == connections_.end()) return;
+  }
+}
+
+void Server::ShipAll() {
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (auto& [id, conn] : connections_) {
+    if (conn->shipper() != nullptr) ids.push_back(id);
+  }
+  for (uint64_t id : ids) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    ShipToReplica(it->second.get());
+  }
+}
+
+void Server::RecomputeSemisyncWatermark() {
+  Lsn max_acked = 0;
+  for (auto& [id, conn] : connections_) {
+    (void)id;
+    if (conn->shipper() != nullptr) {
+      max_acked = std::max(max_acked, conn->shipper()->acked_durable());
+    }
+  }
+  semisync_watermark_.store(max_acked, std::memory_order_release);
+}
+
+Lsn Server::ReleaseWatermark(Lsn durable) const {
+  if (options_.repl_ack != ReplAckMode::kSemisync) return durable;
+  if (replica_count_.load(std::memory_order_acquire) == 0) {
+    return durable;  // Degraded: no replica can ever ack.
+  }
+  return std::min(durable,
+                  semisync_watermark_.load(std::memory_order_acquire));
+}
+
 void Server::DispatchRequest(Connection* conn, Request request) {
   const uint64_t seq = conn->AdmitRequest();
   Response error;
@@ -279,6 +438,22 @@ void Server::DispatchRequest(Connection* conn, Request request) {
     error.status = StatusCode::kNotFound;
     CompleteInline(conn, seq, error);
     return;
+  }
+  if (options_.snapshot_source != nullptr) {
+    // Replica role: only read-only procedures, and only if the applied
+    // snapshot is at least as fresh as the client demands.
+    if (!engine_->IsProcedureReadOnly(request.proc_id)) {
+      stats_.snapshot_rejects.fetch_add(1, std::memory_order_relaxed);
+      error.status = StatusCode::kInvalidArgument;
+      CompleteInline(conn, seq, error);
+      return;
+    }
+    if (request.min_read_lsn > options_.snapshot_source->applied_lsn()) {
+      stats_.snapshot_rejects.fetch_add(1, std::memory_order_relaxed);
+      error.status = StatusCode::kUnavailable;
+      CompleteInline(conn, seq, error);
+      return;
+    }
   }
   const uint32_t num_partitions = engine_->options().num_partitions;
   for (uint32_t p : request.partitions) {
@@ -370,13 +545,38 @@ void Server::FlushConnection(Connection* conn) {
   }
 }
 
-void Server::HandleWritable(Connection* conn) { FlushConnection(conn); }
+void Server::HandleWritable(Connection* conn) {
+  const uint64_t conn_id = conn->id();
+  FlushConnection(conn);
+  // A drained replica socket reopens the shipping window.
+  auto it = connections_.find(conn_id);
+  if (it != connections_.end() && it->second->shipper() != nullptr) {
+    ShipToReplica(it->second.get());
+  }
+}
 
 void Server::CloseConnection(Connection* conn) {
+  const bool was_subscribed_replica = conn->shipper() != nullptr;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
   ::close(conn->fd());
   conn_id_by_fd_.erase(conn->fd());
   connections_.erase(conn->id());  // Frees `conn`.
+  if (was_subscribed_replica) {
+    const uint32_t remaining =
+        replica_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (options_.repl_ack == ReplAckMode::kSemisync) {
+      RecomputeSemisyncWatermark();
+      if (remaining == 0) {
+        // Losing the last replica degrades semisync to local durability;
+        // otherwise every held reply would wait forever.
+        stats_.semisync_degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (engine_->log_manager() != nullptr) {
+        ReleaseDurable(
+            ReleaseWatermark(engine_->log_manager()->durable_lsn()));
+      }
+    }
+  }
 }
 
 void Server::PushCompletion(Completion completion) {
@@ -434,7 +634,9 @@ void Server::PauseReads() {
   reads_paused_ = true;
   for (auto& [id, conn] : connections_) {
     (void)id;
-    if (!conn->read_paused()) {
+    // Replica connections stay readable: their acks release held semisync
+    // replies, which is exactly what drains the budget.
+    if (conn->peer() != PeerRole::kReplica && !conn->read_paused()) {
       conn->set_read_paused(true);
       UpdateEpoll(conn.get());
     }
@@ -476,6 +678,7 @@ void Server::WorkerLoop(int worker_id) {
       queues_[partitioned_dispatch_ ? static_cast<size_t>(worker_id) : 0]
           .get();
   LogManager* log = engine_->log_manager();
+  SnapshotSource* snapshot = options_.snapshot_source;
   for (;;) {
     WorkItem item;
     {
@@ -487,13 +690,28 @@ void Server::WorkerLoop(int worker_id) {
       item = std::move(queue->items.front());
       queue->items.pop_front();
     }
-    Engine::DeferredResult result = engine_->RunProcedureDeferred(
-        item.request.proc_id, worker_id, item.request.args.data(),
-        item.request.args.size(), item.request.partitions);
+    Engine::DeferredResult result;
+    Lsn snapshot_lsn = 0;
+    if (snapshot != nullptr) {
+      // Replica role: exclude the applier's raw writes for the duration of
+      // the (read-only) procedure; the snapshot LSN reported to the client
+      // is the applied prefix the read actually observed.
+      snapshot->ReadLock();
+      result = engine_->RunProcedureDeferred(
+          item.request.proc_id, worker_id, item.request.args.data(),
+          item.request.args.size(), item.request.partitions);
+      snapshot_lsn = snapshot->applied_lsn();
+      snapshot->ReadUnlock();
+    } else {
+      result = engine_->RunProcedureDeferred(
+          item.request.proc_id, worker_id, item.request.args.data(),
+          item.request.args.size(), item.request.partitions);
+    }
     Response response;
     response.request_id = item.request.request_id;
     response.status = result.status.code();
-    response.commit_lsn = result.commit_lsn;
+    response.commit_lsn = snapshot != nullptr ? snapshot_lsn
+                                              : result.commit_lsn;
     response.payload = std::move(result.reply);
     Completion completion;
     completion.conn_id = item.conn_id;
@@ -502,13 +720,14 @@ void Server::WorkerLoop(int worker_id) {
 
     if (result.commit_lsn > 0 && log != nullptr) {
       // Group-commit-aware reply release: hold the response until the
-      // flusher acknowledges the commit LSN, so the client never observes
-      // a commit the log could still lose. The re-check after insertion
-      // closes the race with a flush that completed in between.
+      // release watermark (local durability, plus a replica ack in
+      // semisync mode) reaches the commit LSN, so the client never
+      // observes a commit that could still be lost. The re-check after
+      // insertion closes the race with a flush/ack that landed in between.
       bool held = false;
       {
         MutexLock lock(&held_mu_);
-        if (log->durable_lsn() < result.commit_lsn) {
+        if (ReleaseWatermark(log->durable_lsn()) < result.commit_lsn) {
           held_replies_.push(HeldReply{result.commit_lsn,
                                        std::move(completion)});
           held = true;
@@ -516,7 +735,7 @@ void Server::WorkerLoop(int worker_id) {
       }
       if (held) {
         stats_.replies_held_durable.fetch_add(1, std::memory_order_relaxed);
-        ReleaseDurable(log->durable_lsn());
+        ReleaseDurable(ReleaseWatermark(log->durable_lsn()));
       } else {
         PushCompletion(std::move(completion));
       }

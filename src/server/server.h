@@ -23,6 +23,21 @@
 /// budget fills the event loop stops reading from sockets (backpressure
 /// through TCP); requests already decoded that overflow a worker queue are
 /// answered with kResourceExhausted instead of growing the queue.
+/// Replica connections are exempt from read pausing: their acks release
+/// held semisync replies, so throttling them could deadlock the budget.
+///
+/// Replication roles:
+///  - Primary: any server with logging enabled accepts PeerRole::kReplica
+///    handshakes. A subscribed replica gets durable log bytes streamed as
+///    ReplBatch frames from the event loop (shipping window bounded by the
+///    connection's write buffer); its ReplAcks feed lag bookkeeping and,
+///    in semisync mode, gate commit acknowledgement: a reply is released
+///    only once its LSN is durable locally AND on at least one replica
+///    (degrading to local-durable-only while zero replicas are subscribed).
+///  - Replica: a server constructed with options.snapshot_source serves
+///    read-only snapshot transactions at the source's applied LSN. Writes
+///    are rejected with kInvalidArgument; reads demanding a fresher
+///    snapshot than applied (request.min_read_lsn) get kUnavailable.
 
 #include <atomic>
 #include <cstdint>
@@ -43,6 +58,34 @@
 namespace next700 {
 namespace server {
 
+/// Commit-acknowledgement policy on a primary with subscribed replicas.
+enum class ReplAckMode : uint8_t {
+  /// Replies release on local durability; replicas tail asynchronously.
+  kAsync = 0,
+  /// Replies additionally wait until at least one subscribed replica has
+  /// the commit LSN durable on its own log. With zero replicas subscribed
+  /// the server degrades to async (counted in stats().semisync_degraded)
+  /// rather than stalling commits forever.
+  kSemisync = 1,
+};
+
+/// What a replica-role server reads from: the continuously-applied prefix
+/// of the primary's log. Implemented by repl::ReplicaApplier; the server
+/// depends only on this interface so src/server never links src/repl.
+///
+/// ReadLock/ReadUnlock bracket every procedure execution on a replica,
+/// sharing among readers but excluding the applier's raw row writes
+/// (which bypass concurrency control), so a reader always observes a
+/// transaction-consistent prefix of the primary's commit order.
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+  /// LSN through which the log stream has been applied (a frame boundary).
+  virtual Lsn applied_lsn() const = 0;
+  virtual void ReadLock() = 0;
+  virtual void ReadUnlock() = 0;
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; the bound port is available via port().
@@ -56,6 +99,13 @@ struct ServerOptions {
   /// Per-worker-queue bound; enqueue beyond it answers kResourceExhausted.
   size_t queue_capacity = 1024;
   int listen_backlog = 128;
+  /// Commit acknowledgement policy when replicas subscribe (primary only).
+  ReplAckMode repl_ack = ReplAckMode::kAsync;
+  /// Non-null makes this a replica-role server: read-only procedures run
+  /// against the source's applied snapshot; everything else is rejected.
+  /// Must outlive the server. A replica does not re-ship its stream
+  /// (no chaining), so kReplica handshakes are refused in this role.
+  SnapshotSource* snapshot_source = nullptr;
 };
 
 /// Monotonic counters, updated with relaxed atomics (read for reports).
@@ -69,6 +119,12 @@ struct ServerStats {
   std::atomic<uint64_t> protocol_errors{0};     // Malformed frames/bodies.
   std::atomic<uint64_t> connections_dropped{0};  // Unrecoverable streams.
   std::atomic<uint64_t> admission_rejects{0};   // kResourceExhausted sent.
+  std::atomic<uint64_t> repl_batches_shipped{0};  // ReplBatch frames sent.
+  std::atomic<uint64_t> repl_acks_received{0};
+  /// Times semisync fell back to async because the last replica left.
+  std::atomic<uint64_t> semisync_degraded{0};
+  /// Replica-role rejections: writes, or min_read_lsn ahead of applied.
+  std::atomic<uint64_t> snapshot_rejects{0};
   NEXT700_CACHE_ALIGNED
   std::atomic<uint64_t> replies_held_durable{0};  // Waited on the flusher.
 };
@@ -132,6 +188,13 @@ class Server {
   /// Decodes and dispatches buffered frames until the stream is drained,
   /// the budget fills, or the stream turns out to be corrupt.
   void DrainFrames(Connection* conn);
+  /// Pre-handshake frame handling: accepts exactly one valid Hello, sends
+  /// the HelloAck, and records the peer role. Returns false if the
+  /// connection was closed (mixed-version or non-next700 peer).
+  bool HandleHello(Connection* conn, const Frame& frame);
+  /// A subscribed replica's cumulative progress ack (or its initial
+  /// subscription naming the start LSN). Returns false if closed.
+  bool HandleReplAck(Connection* conn, const Frame& frame);
   void DispatchRequest(Connection* conn, Request request);
   /// Answers `seq` on `conn` directly from the event loop (protocol errors,
   /// admission rejects) without a round trip through the worker pool.
@@ -139,6 +202,22 @@ class Server {
                       const Response& response);
   void FlushConnection(Connection* conn);
   void CloseConnection(Connection* conn);
+
+  /// Ships durable log bytes to one subscribed replica until its write
+  /// buffer reaches the shipping window or the log is drained. May close
+  /// the connection (socket error, or the cursor fell behind the retired
+  /// log prefix and the replica must re-bootstrap).
+  void ShipToReplica(Connection* conn);
+  /// Ships to every subscribed replica (durable-callback wakeups).
+  void ShipAll();
+  /// Recomputes the semisync watermark (max acked-durable LSN over
+  /// subscribed replicas) after an ack or a replica departure.
+  void RecomputeSemisyncWatermark();
+  /// The LSN up to which replies may be released given local durability
+  /// `durable`: durable itself in async/replica roles, min(durable,
+  /// semisync watermark) in semisync mode with replicas subscribed.
+  /// Callable from any thread.
+  Lsn ReleaseWatermark(Lsn durable) const;
 
   /// Worker -> event loop handoff (thread-safe; wakes the loop via eventfd).
   void PushCompletion(Completion completion);
@@ -174,6 +253,14 @@ class Server {
   std::unordered_map<int, uint64_t> conn_id_by_fd_;
   uint64_t next_conn_id_ = 1;
   bool reads_paused_ = false;
+
+  /// Subscribed replicas (shipper attached). Written by the event loop;
+  /// read by the flusher callback and workers for semisync gating.
+  std::atomic<uint32_t> replica_count_{0};
+  /// Max acked-durable LSN across subscribed replicas (event-loop written).
+  std::atomic<Lsn> semisync_watermark_{0};
+  /// Flusher -> event loop: new durable bytes are ready to ship.
+  std::atomic<bool> ship_pending_{false};
 
   // The admission counter is hit by the event loop (admit) and every worker
   // (release); keep it off the lines holding loop-only state above and the

@@ -210,17 +210,26 @@ Index* Engine::CreateIndex(std::string name, Table* table, IndexKind kind,
   return catalog_.CreateIndex(std::move(name), table, kind, capacity_hint);
 }
 
-void Engine::RegisterProcedure(uint32_t proc_id, Procedure procedure) {
+void Engine::RegisterProcedure(uint32_t proc_id, Procedure procedure,
+                               bool read_only) {
   NEXT700_CHECK_MSG(GetProcedure(proc_id) == nullptr,
                     "duplicate procedure id");
-  procedures_.emplace_back(proc_id, std::move(procedure));
+  procedures_.push_back(
+      ProcedureEntry{proc_id, std::move(procedure), read_only});
 }
 
 const Procedure* Engine::GetProcedure(uint32_t proc_id) const {
-  for (const auto& [id, proc] : procedures_) {
-    if (id == proc_id) return &proc;
+  for (const auto& entry : procedures_) {
+    if (entry.proc_id == proc_id) return &entry.procedure;
   }
   return nullptr;
+}
+
+bool Engine::IsProcedureReadOnly(uint32_t proc_id) const {
+  for (const auto& entry : procedures_) {
+    if (entry.proc_id == proc_id) return entry.read_only;
+  }
+  return false;
 }
 
 TxnContext* Engine::Begin(int thread_id,
@@ -406,7 +415,11 @@ void Engine::ApplyIndexOps(TxnContext* txn) {
 Status Engine::Commit(TxnContext* txn) {
   Status s = cc_->Validate(txn);
   if (!s.ok()) return s;
-  if (log_ != nullptr) {
+  // Replay mode: the record being re-executed is already in the log (or is
+  // being mirrored verbatim by a replica's AppendRaw) — logging it again
+  // would duplicate history. commit_lsn stays 0, which also skips the
+  // durability wait below.
+  if (log_ != nullptr && !replay_mode_.load(std::memory_order_relaxed)) {
     s = AppendCommitRecord(txn);
     NEXT700_CHECK_MSG(s.ok(), "log append failed");
   }

@@ -105,9 +105,14 @@ class Engine {
                      uint64_t capacity_hint);
 
   /// Registers deterministic transaction logic under `proc_id` (command
-  /// logging + recovery).
-  void RegisterProcedure(uint32_t proc_id, Procedure procedure);
+  /// logging + recovery). `read_only` marks procedures that never write —
+  /// a read-only replica serves exactly those against its applied
+  /// snapshot and rejects everything else.
+  void RegisterProcedure(uint32_t proc_id, Procedure procedure,
+                         bool read_only = false);
   const Procedure* GetProcedure(uint32_t proc_id) const;
+  /// True iff `proc_id` is registered and was declared read-only.
+  bool IsProcedureReadOnly(uint32_t proc_id) const;
 
   // --- Transactions ------------------------------------------------------
 
@@ -209,6 +214,19 @@ class Engine {
   /// safe when no transactions are in flight (loaders, audits, recovery).
   const uint8_t* RawImage(const Row* row) const;
 
+  /// Replay mode: suppresses commit-record appends (and therefore the
+  /// durability wait) while RecoveryManager re-executes command-logged
+  /// procedures on an engine whose own log is open — a replica applying
+  /// the primary's stream, or checkpoint+suffix recovery into a serving
+  /// engine. Without this, every replayed command transaction would be
+  /// logged *again*, duplicating history and, on a replica, corrupting the
+  /// byte-identical copy of the primary's stream that AppendRaw maintains.
+  /// Toggled by RecoveryManager around replay; read-only transactions are
+  /// unaffected either way (empty write sets never log).
+  void set_replay_mode(bool on) {
+    replay_mode_.store(on, std::memory_order_relaxed);
+  }
+
   /// Per-worker version recycler (multiversion schemes; see VersionPool).
   VersionPool* version_pool(int thread_id) {
     return thread_id < static_cast<int>(pools_.size())
@@ -299,8 +317,14 @@ class Engine {
   std::unique_ptr<LogManager> log_;
   std::vector<std::unique_ptr<TxnContext>> contexts_;
   std::unique_ptr<ThreadStats[]> stats_;
-  std::vector<std::pair<uint32_t, Procedure>> procedures_;
+  struct ProcedureEntry {
+    uint32_t proc_id;
+    Procedure procedure;
+    bool read_only;
+  };
+  std::vector<ProcedureEntry> procedures_;
   std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<bool> replay_mode_{false};
 
   // Declared after log_: the coordinator's destructor (via ~Engine's
   // explicit Stop) must run while the log is still open.

@@ -471,6 +471,88 @@ TEST(LogManagerTest, PersistentIoErrorIsStickyNotFatal) {
   log.Close();
 }
 
+/// Tailing the durable frame stream while a writer keeps appending and
+/// rotating segments under the reader — the log shipper's access pattern.
+/// Every chunk must be whole frames, and the concatenation of all chunks
+/// must be byte-identical to a quiesced read of the full range.
+TEST(LogManagerTest, ReadFramesInRangeWhileAppendsContinue) {
+  LogManagerOptions options;
+  options.dir = TempLogDir("tail_read");
+  options.segment_bytes = 512;  // Rotate often, under the reader.
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  const std::vector<uint8_t> body(48, 7);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 400; ++i) {
+      const Lsn lsn = log.Append(LogRecordType::kTxnValue, body);
+      if (i % 32 == 0) ASSERT_TRUE(log.WaitDurable(lsn).ok());
+    }
+    ASSERT_TRUE(log.WaitDurable(log.appended_lsn()).ok());
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<uint8_t> tailed;
+  Lsn cursor = 0;
+  while (!done.load(std::memory_order_acquire) ||
+         cursor < log.durable_lsn()) {
+    std::vector<uint8_t> chunk;
+    Lsn end = cursor;
+    ASSERT_TRUE(
+        log.ReadFramesInRange(cursor, cursor + 4096, &chunk, &end).ok());
+    ASSERT_EQ(end - cursor, chunk.size());
+    if (chunk.empty()) {
+      std::this_thread::yield();
+      continue;
+    }
+    tailed.insert(tailed.end(), chunk.begin(), chunk.end());
+    cursor = end;
+  }
+  writer.join();
+  EXPECT_EQ(cursor, log.durable_lsn());
+
+  std::vector<uint8_t> reference;
+  Lsn ref_end = 0;
+  ASSERT_TRUE(
+      log.ReadFramesInRange(0, log.durable_lsn(), &reference, &ref_end)
+          .ok());
+  EXPECT_EQ(ref_end, log.durable_lsn());
+  EXPECT_EQ(tailed, reference);
+  log.Close();
+}
+
+/// A reader whose cursor fell below the retired prefix gets kNotFound (it
+/// must re-bootstrap from a checkpoint); a cursor at or above the surviving
+/// base keeps working.
+TEST(LogManagerTest, ReadFramesInRangeBelowRetiredPrefixIsNotFound) {
+  LogManagerOptions options;
+  options.dir = TempLogDir("tail_retired");
+  options.segment_bytes = 256;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  const std::vector<uint8_t> body(64, 9);
+  Lsn last = 0;
+  for (int i = 0; i < 20; ++i) {
+    last = log.Append(LogRecordType::kTxnValue, body);
+    ASSERT_TRUE(log.WaitDurable(last).ok());
+  }
+  const std::vector<SealedSegment> sealed = log.sealed_segments();
+  ASSERT_GE(sealed.size(), 2u);
+  const Lsn cut = sealed[0].end_lsn;
+  ASSERT_TRUE(log.RetireSegmentsBelow(cut, nullptr).ok());
+
+  std::vector<uint8_t> out;
+  Lsn end = 0;
+  EXPECT_TRUE(
+      log.ReadFramesInRange(0, log.durable_lsn(), &out, &end).IsNotFound());
+  ASSERT_TRUE(
+      log.ReadFramesInRange(cut, log.durable_lsn(), &out, &end).ok());
+  EXPECT_EQ(end, log.durable_lsn());
+  EXPECT_EQ(out.size(), log.durable_lsn() - cut);
+  log.Close();
+}
+
 // --- Recovery ---------------------------------------------------------------
 
 class RecoveryTest : public ::testing::Test {
@@ -848,6 +930,59 @@ TEST_F(RecoveryTest, AsyncCommitTradesDurabilityWindow) {
                   .ok());
   EXPECT_GE(engine->log_manager()->durable_lsn(),
             engine->log_manager()->appended_lsn());
+}
+
+/// Replay of a *live* log directory whose prefix was retired mid-run: the
+/// replay must resume at the post-retirement base (mapping file offsets
+/// back into the shared LSN space via base_index/base_lsn) and still
+/// reconstruct every row whose latest image lies at or above the cut —
+/// the path a checkpoint-bootstrapped recovery or promoted replica takes
+/// while the primary's directory is still open.
+TEST_F(RecoveryTest, ReplayResumesAcrossRetireBoundaryOnLiveDirectory) {
+  const std::string dir = TempLogDir("retire_replay");
+  Table* table;
+  Index* index;
+  EngineOptions options = BaseOptions(LoggingKind::kValue, dir);
+  options.log_segment_bytes = 512;
+  auto engine = MakeEngine(options, &table, &index);
+  LogManager* log = engine->log_manager();
+
+  // Phase 1: create keys 0..19 (value key*10), spilling over several
+  // segments.
+  for (uint64_t key = 0; key < 20; ++key) {
+    uint64_t args[2] = {key, key * 10};
+    ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+  }
+  const std::vector<SealedSegment> sealed = log->sealed_segments();
+  ASSERT_GE(sealed.size(), 2u);
+  const Lsn cut = sealed[0].end_lsn;
+  const SealedSegment base = log->BaseAfterRetire(cut);
+  ASSERT_TRUE(log->RetireSegmentsBelow(cut, nullptr).ok());
+
+  // Phase 2, after the retirement: touch *every* key so each row's latest
+  // image sits above the cut, then keep the directory live (no Close).
+  for (uint64_t key = 0; key < 20; ++key) {
+    uint64_t args[2] = {key, 3};
+    ASSERT_TRUE(engine->RunProcedure(1, 0, args, sizeof(args)).ok());
+  }
+  ASSERT_TRUE(log->WaitDurable(log->appended_lsn()).ok());
+
+  Table* rtable;
+  Index* rindex;
+  auto recovered =
+      MakeEngine(BaseOptions(LoggingKind::kNone, ""), &rtable, &rindex);
+  RecoveryManager recovery(recovered.get());
+  RecoveryStats stats;
+  ASSERT_TRUE(recovery
+                  .Replay(dir, &stats, /*start_lsn=*/base.start_lsn,
+                          /*log_base_index=*/base.index,
+                          /*log_base_lsn=*/base.start_lsn)
+                  .ok());
+  EXPECT_GT(stats.segments_read, 1u);
+  for (uint64_t key = 0; key < 20; ++key) {
+    EXPECT_EQ(Value(recovered.get(), rindex, rtable, key), key * 10 + 3)
+        << key;
+  }
 }
 
 }  // namespace

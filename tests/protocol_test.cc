@@ -15,6 +15,7 @@ Request SampleRequest() {
   Request request;
   request.request_id = 0x0123456789abcdefull;
   request.proc_id = 42;
+  request.min_read_lsn = 0xfeedfacecafeull;
   request.partitions = {0, 3, 7};
   WireWriter args(&request.args);
   args.PutU64(999);
@@ -47,6 +48,7 @@ TEST(ProtocolTest, RequestRoundTrip) {
   });
   EXPECT_EQ(decoded.request_id, request.request_id);
   EXPECT_EQ(decoded.proc_id, request.proc_id);
+  EXPECT_EQ(decoded.min_read_lsn, request.min_read_lsn);
   EXPECT_EQ(decoded.partitions, request.partitions);
   EXPECT_EQ(decoded.args, request.args);
 }
@@ -175,6 +177,7 @@ TEST(ProtocolTest, PartitionCountCeilingIsEnforced) {
   WireWriter writer(&body);
   writer.PutU64(1);                                  // request_id
   writer.PutU32(1);                                  // proc_id
+  writer.PutU64(0);                                  // min_read_lsn
   writer.PutU16(kMaxPartitionsPerRequest + 1);       // too many partitions
   writer.PutU32(0);                                  // arg_len
   Request decoded;
@@ -279,6 +282,117 @@ TEST(ProtocolTest, MutatedFrameFuzz) {
       }
     }
   }
+}
+
+TEST(ProtocolTest, HandshakeFramesRoundTrip) {
+  Hello hello;
+  hello.role = PeerRole::kReplica;
+  std::vector<uint8_t> wire;
+  EncodeHello(hello, &wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kHello);
+    Hello decoded;
+    ASSERT_TRUE(DecodeHello(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.magic, kWireMagic);
+    EXPECT_EQ(decoded.version, kWireVersion);
+    EXPECT_EQ(decoded.role, PeerRole::kReplica);
+  });
+
+  wire.clear();
+  EncodeHelloAck(HelloAck{}, &wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kHelloAck);
+    HelloAck decoded;
+    ASSERT_TRUE(DecodeHelloAck(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.magic, kWireMagic);
+    EXPECT_EQ(decoded.version, kWireVersion);
+  });
+}
+
+/// A peer that is not next700 at all, speaks a different protocol version,
+/// or claims an unknown role must be rejected loudly, not decoded as noise.
+TEST(ProtocolTest, HandshakeRejectsForeignAndMixedVersionPeers) {
+  Hello hello;
+  std::vector<uint8_t> wire;
+  EncodeHello(hello, &wire);
+  const size_t body_off = kFrameHeaderBytes;
+
+  Hello decoded;
+  {
+    std::vector<uint8_t> bad = wire;  // Wrong magic: not our protocol.
+    bad[body_off] ^= 0xFF;
+    EXPECT_TRUE(DecodeHello(bad.data() + body_off, bad.size() - body_off,
+                            &decoded)
+                    .IsInvalidArgument());
+  }
+  {
+    std::vector<uint8_t> bad = wire;  // Version skew.
+    bad[body_off + 4] = kWireVersion + 1;
+    EXPECT_TRUE(DecodeHello(bad.data() + body_off, bad.size() - body_off,
+                            &decoded)
+                    .IsInvalidArgument());
+  }
+  {
+    std::vector<uint8_t> bad = wire;  // Unknown role.
+    bad[body_off + 5] = 7;
+    EXPECT_TRUE(DecodeHello(bad.data() + body_off, bad.size() - body_off,
+                            &decoded)
+                    .IsInvalidArgument());
+  }
+  {
+    std::vector<uint8_t> bad = wire;  // Same checks on the ack side.
+    bad[body_off] ^= 0xFF;
+    HelloAck ack;
+    EXPECT_TRUE(DecodeHelloAck(bad.data() + body_off,
+                               bad.size() - body_off - 1, &ack)
+                    .IsInvalidArgument());
+  }
+}
+
+TEST(ProtocolTest, ReplBatchRoundTripAndChecksum) {
+  ReplBatch batch;
+  batch.start_lsn = 4096;
+  batch.primary_durable_lsn = 9999;
+  for (int i = 0; i < 100; ++i) {
+    batch.frames.push_back(static_cast<uint8_t>(i * 13));
+  }
+  std::vector<uint8_t> wire;
+  EncodeReplBatch(batch, &wire);
+
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kReplBatch);
+    ReplBatch decoded;
+    ASSERT_TRUE(DecodeReplBatch(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.start_lsn, batch.start_lsn);
+    EXPECT_EQ(decoded.primary_durable_lsn, batch.primary_durable_lsn);
+    EXPECT_EQ(decoded.frames, batch.frames);
+    EXPECT_EQ(decoded.end_lsn(), batch.start_lsn + batch.frames.size());
+  });
+
+  // A flipped byte anywhere in the shipped log bytes is kCorruption — the
+  // stream cannot be trusted and the replica must reconnect.
+  std::vector<uint8_t> bad = wire;
+  bad[kFrameHeaderBytes + 8 + 8 + 4 + 50] ^= 0x01;
+  ReplBatch decoded;
+  EXPECT_EQ(DecodeReplBatch(bad.data() + kFrameHeaderBytes,
+                            bad.size() - kFrameHeaderBytes, &decoded)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, ReplAckRoundTrip) {
+  ReplAck ack;
+  ack.durable_lsn = 123456;
+  ack.applied_lsn = 123000;
+  std::vector<uint8_t> wire;
+  EncodeReplAck(ack, &wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kReplAck);
+    ReplAck decoded;
+    ASSERT_TRUE(DecodeReplAck(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.durable_lsn, ack.durable_lsn);
+    EXPECT_EQ(decoded.applied_lsn, ack.applied_lsn);
+  });
 }
 
 TEST(ProtocolTest, WireReaderNeverReadsPastEnd) {

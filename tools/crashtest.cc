@@ -37,7 +37,22 @@
 /// catches any partial application. Arguments are derived from the seed,
 /// so the parent can rebuild the schedule without trusting the child.
 ///
-/// Usage: crashtest [rounds] [base_seed]
+/// Replication rounds (`crashtest repl [rounds] [base_seed]`): each round
+/// forks a real semisync primary server and a replica (engine + applier)
+/// as separate processes, drives pipelined increments over TCP from the
+/// parent, and kill -9s one side at a seed-chosen point:
+///
+///   * kill-primary: every semisync-acked transaction must survive
+///     promotion — replaying the replica's own log into a fresh engine
+///     must show at least the acked increments per key (and no more than
+///     acked + in-flight-at-kill);
+///   * kill-replica: the primary must keep acking commits (semisync
+///     degrades to local durability) and lose nothing; the dead replica's
+///     torn log must reopen cleanly (tail truncation only);
+///   * both: the replica's log must be a byte prefix of the primary's —
+///     the applied stream never runs ahead of what the primary wrote.
+///
+/// Usage: crashtest [repl] [rounds] [base_seed]
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -46,9 +61,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -60,7 +79,12 @@
 #include "faultlog/fault_injection.h"
 #include "log/checkpoint.h"
 #include "log/log_file.h"
+#include "log/log_manager.h"
 #include "log/recovery.h"
+#include "repl/replica_applier.h"
+#include "server/client.h"
+#include "server/procs.h"
+#include "server/server.h"
 #include "txn/engine.h"
 
 namespace next700 {
@@ -508,7 +532,439 @@ int RunRound(uint64_t seed, const std::string& log_dir) {
   return 0;
 }
 
+// --- Replication rounds -----------------------------------------------------
+
+constexpr uint64_t kReplRecords = 512;
+constexpr size_t kReplPipelineDepth = 4;
+
+struct ReplPlan {
+  bool kill_primary;        // Else kill the replica.
+  LoggingKind logging;
+  uint64_t kill_after;      // Acked txns before the kill.
+  uint64_t post_kill_txns;  // Kill-replica rounds: acks demanded after.
+};
+
+ReplPlan MakeReplPlan(uint64_t seed) {
+  Rng rng(seed ^ 0x5EED5EEDF00DBEEFull);
+  ReplPlan plan;
+  plan.kill_primary = seed % 2 == 0;
+  plan.logging =
+      (seed / 2) % 2 == 0 ? LoggingKind::kValue : LoggingKind::kCommand;
+  plan.kill_after = 20 + rng.NextUint64(120);
+  plan.post_kill_txns = 20 + rng.NextUint64(40);
+  return plan;
+}
+
+EngineOptions ReplEngineOptions(LoggingKind logging,
+                                const std::string& dir) {
+  EngineOptions options;
+  options.cc_scheme = CcScheme::kNoWait;
+  options.max_threads = 2;
+  options.logging = logging;
+  options.log_dir = dir;
+  options.sync_commit = true;
+  options.log_sync = LogSyncPolicy::kFdatasync;
+  options.log_flush_interval_us = 20;
+  options.log_segment_bytes = 16384;  // Rotate under the shipper.
+  return options;
+}
+
+volatile std::sig_atomic_t g_repl_child_stop = 0;
+void OnReplChildSignal(int) { g_repl_child_stop = 1; }
+
+void ReplChildWait() {
+  while (!g_repl_child_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+/// Primary child: a real semisync server; reports its ephemeral port over
+/// the pipe, then serves until SIGTERM (clean close) or SIGKILL (the
+/// crash under test).
+void RunReplPrimaryChild(const ReplPlan& plan, const std::string& dir,
+                         int port_fd) {
+  std::signal(SIGTERM, OnReplChildSignal);
+  {
+    Engine engine(ReplEngineOptions(plan.logging, dir));
+    server::KvServiceOptions kv;
+    kv.num_records = kReplRecords;
+    server::RegisterKvService(&engine, kv);
+    server::ServerOptions srv;
+    srv.num_workers = 2;
+    srv.repl_ack = server::ReplAckMode::kSemisync;
+    server::Server server(&engine, srv);
+    if (!server.Start().ok()) ::_exit(99);
+    const uint16_t port = server.port();
+    if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) ::_exit(99);
+    ::close(port_fd);
+    ReplChildWait();
+    server.Stop();
+  }  // Engine destruction closes (flushes) the log.
+  ::_exit(0);
+}
+
+/// Replica child: engine + applier tailing the primary. Reports readiness
+/// only once subscribed, so every round's kill lands on a live stream.
+void RunReplReplicaChild(const ReplPlan& plan, const std::string& dir,
+                         uint16_t primary_port, int ready_fd) {
+  std::signal(SIGTERM, OnReplChildSignal);
+  {
+    Engine engine(ReplEngineOptions(plan.logging, dir));
+    server::KvServiceOptions kv;
+    kv.num_records = kReplRecords;
+    server::RegisterKvService(&engine, kv);
+    repl::ReplicaApplierOptions opts;
+    opts.primary_port = primary_port;
+    opts.reconnect_backoff_ms = 20;
+    opts.recv_deadline_ms = 50;
+    repl::ReplicaApplier applier(&engine, opts);
+    if (!applier.Start().ok()) ::_exit(99);
+    while (!applier.connected() && !g_repl_child_stop) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const uint8_t ready = 1;
+    if (::write(ready_fd, &ready, sizeof(ready)) != sizeof(ready)) {
+      ::_exit(99);
+    }
+    ::close(ready_fd);
+    ReplChildWait();
+    applier.Stop();
+  }
+  ::_exit(0);
+}
+
+server::Request ReplRmwRequest(uint64_t request_id, uint64_t key) {
+  server::Request request;
+  request.request_id = request_id;
+  request.proc_id = server::kKvRmw;
+  server::WireWriter args(&request.args);
+  args.PutU16(1);
+  args.PutU64(key);
+  return request;
+}
+
+/// Concatenated bytes of every `log.*` segment in index order — segment
+/// boundaries may differ between primary and replica, the byte stream may
+/// not.
+bool ReadLogBytes(const std::string& dir, std::vector<uint8_t>* out) {
+  out->clear();
+  std::vector<LogSegment> segments;
+  if (!ListLogSegments(dir, &segments).ok()) return false;
+  for (const LogSegment& segment : segments) {
+    std::ifstream f(segment.path, std::ios::binary);
+    if (!f) return false;
+    out->insert(out->end(), std::istreambuf_iterator<char>(f),
+                std::istreambuf_iterator<char>());
+  }
+  return true;
+}
+
+struct AckedCounts {
+  std::map<uint64_t, uint64_t> acked;     // key -> committed increments.
+  std::map<uint64_t, uint64_t> inflight;  // Sent, unacked at the kill.
+};
+
+/// Verifies per-key counters of a recovered engine against the ack record:
+/// at least every acked increment, at most acked + in-flight.
+RoundResult CheckCounters(Engine* engine, const AckedCounts& counts,
+                          const char* which) {
+  Index* index = engine->catalog()->GetIndex("kv_pk");
+  if (index == nullptr) return Fail("kv_pk index missing after recovery");
+  for (uint64_t key = 0; key < kReplRecords; ++key) {
+    Row* row = index->Lookup(key);
+    if (row == nullptr) {
+      return Fail(std::string(which) + ": key " + std::to_string(key) +
+                  " missing after recovery");
+    }
+    uint64_t counter;
+    std::memcpy(&counter, engine->RawImage(row), sizeof(counter));
+    const uint64_t delta = counter - key;  // Seed counter equals the key.
+    const auto acked_it = counts.acked.find(key);
+    const uint64_t acked =
+        acked_it == counts.acked.end() ? 0 : acked_it->second;
+    const auto inflight_it = counts.inflight.find(key);
+    const uint64_t inflight =
+        inflight_it == counts.inflight.end() ? 0 : inflight_it->second;
+    if (delta < acked) {
+      return Fail(std::string(which) + ": key " + std::to_string(key) +
+                  " lost acked increments: " + std::to_string(delta) +
+                  " survived < " + std::to_string(acked) + " acked");
+    }
+    if (delta > acked + inflight) {
+      return Fail(std::string(which) + ": key " + std::to_string(key) +
+                  " over-applied: " + std::to_string(delta) + " > acked " +
+                  std::to_string(acked) + " + inflight " +
+                  std::to_string(inflight));
+    }
+  }
+  return {true, ""};
+}
+
+/// The replica's log must be a byte prefix of the primary's: it holds
+/// nothing the primary did not write first.
+RoundResult CheckLogPrefix(const std::string& primary_dir,
+                           const std::string& replica_dir) {
+  std::vector<uint8_t> primary_bytes, replica_bytes;
+  if (!ReadLogBytes(primary_dir, &primary_bytes)) {
+    return Fail("cannot read primary log");
+  }
+  if (!ReadLogBytes(replica_dir, &replica_bytes)) {
+    return Fail("cannot read replica log");
+  }
+  if (replica_bytes.size() > primary_bytes.size()) {
+    return Fail("replica log ran ahead of the primary: " +
+                std::to_string(replica_bytes.size()) + " > " +
+                std::to_string(primary_bytes.size()));
+  }
+  if (!std::equal(replica_bytes.begin(), replica_bytes.end(),
+                  primary_bytes.begin())) {
+    return Fail("replica log diverges from the primary's byte stream");
+  }
+  return {true, ""};
+}
+
+bool ReapChild(pid_t pid, bool killed, const char* who) {
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    std::fprintf(stderr, "waitpid(%s) failed\n", who);
+    return false;
+  }
+  if (killed) return true;  // SIGKILL: any termination is expected.
+  if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+    std::fprintf(stderr, "%s child did not exit cleanly (status %d)\n", who,
+                 wstatus);
+    return false;
+  }
+  return true;
+}
+
+int RunReplRound(uint64_t seed, const std::string& base_dir) {
+  const ReplPlan plan = MakeReplPlan(seed);
+  const std::string pdir = base_dir + "_p";
+  const std::string rdir = base_dir + "_r";
+
+  int port_pipe[2];
+  if (::pipe(port_pipe) != 0) return 1;
+  const pid_t primary_pid = ::fork();
+  if (primary_pid < 0) return 1;
+  if (primary_pid == 0) {
+    ::close(port_pipe[0]);
+    RunReplPrimaryChild(plan, pdir, port_pipe[1]);
+  }
+  ::close(port_pipe[1]);
+  uint16_t port = 0;
+  if (::read(port_pipe[0], &port, sizeof(port)) != sizeof(port)) {
+    std::fprintf(stderr, "seed %llu: primary never reported a port\n",
+                 static_cast<unsigned long long>(seed));
+    ::kill(primary_pid, SIGKILL);
+    ReapChild(primary_pid, true, "primary");
+    return 1;
+  }
+  ::close(port_pipe[0]);
+
+  int ready_pipe[2];
+  if (::pipe(ready_pipe) != 0) return 1;
+  const pid_t replica_pid = ::fork();
+  if (replica_pid < 0) return 1;
+  if (replica_pid == 0) {
+    ::close(ready_pipe[0]);
+    ::close(port_pipe[0]);
+    RunReplReplicaChild(plan, rdir, port, ready_pipe[1]);
+  }
+  ::close(ready_pipe[1]);
+  uint8_t ready = 0;
+  const bool subscribed =
+      ::read(ready_pipe[0], &ready, sizeof(ready)) == sizeof(ready);
+  ::close(ready_pipe[0]);
+
+  auto fail_round = [&](const std::string& detail) {
+    std::fprintf(stderr, "seed %llu: FAIL: %s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str());
+    ::kill(primary_pid, SIGKILL);
+    ::kill(replica_pid, SIGKILL);
+    ReapChild(primary_pid, true, "primary");
+    ReapChild(replica_pid, true, "replica");
+    return 1;
+  };
+  if (!subscribed) return fail_round("replica never subscribed");
+
+  // Pipelined increment load against the primary; the kill lands with
+  // requests in flight, so the crash hits mid-commit, not between them.
+  Rng rng(seed * 0xD1B54A32D192ED03ull + 7);
+  server::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    return fail_round("cannot connect to primary");
+  }
+  AckedCounts counts;
+  std::deque<std::pair<uint64_t, uint64_t>> outstanding;  // id, key.
+  uint64_t next_id = 1;
+  uint64_t acked_total = 0;
+  bool transport_down = false;
+  auto receive_one = [&]() -> bool {
+    server::Response response;
+    if (!client.Recv(&response, /*deadline_ms=*/10000).ok()) return false;
+    if (outstanding.empty() ||
+        response.request_id != outstanding.front().first) {
+      return false;
+    }
+    const uint64_t key = outstanding.front().second;
+    outstanding.pop_front();
+    if (response.status != StatusCode::kOk) return false;
+    ++counts.acked[key];
+    ++acked_total;
+    return true;
+  };
+  while (acked_total < plan.kill_after && !transport_down) {
+    while (outstanding.size() < kReplPipelineDepth) {
+      const uint64_t key = rng.NextUint64(kReplRecords);
+      if (!client.Send(ReplRmwRequest(next_id, key)).ok()) {
+        transport_down = true;
+        break;
+      }
+      outstanding.emplace_back(next_id, key);
+      ++next_id;
+    }
+    if (transport_down || !receive_one()) break;
+  }
+  if (acked_total < plan.kill_after) {
+    return fail_round("load stalled before the kill point: " +
+                      std::to_string(acked_total) + " acked");
+  }
+
+  RoundResult result{true, ""};
+  if (plan.kill_primary) {
+    // Crash the primary with requests in flight; anything unacked may or
+    // may not have reached the replica.
+    ::kill(primary_pid, SIGKILL);
+    for (const auto& [id, key] : outstanding) ++counts.inflight[key];
+    if (!ReapChild(primary_pid, true, "primary")) {
+      return fail_round("primary reap failed");
+    }
+    // The replica survives the failover; stop it cleanly and promote.
+    ::kill(replica_pid, SIGTERM);
+    if (!ReapChild(replica_pid, false, "replica")) {
+      return fail_round("replica did not survive the primary's crash");
+    }
+    // Promotion = ordinary recovery over the replica's own directories.
+    EngineOptions clean = ReplEngineOptions(plan.logging, "");
+    clean.logging = LoggingKind::kNone;
+    clean.log_dir.clear();
+    Engine promoted(clean);
+    server::KvServiceOptions kv;
+    kv.num_records = kReplRecords;
+    server::RegisterKvService(&promoted, kv);
+    RecoveryManager recovery(&promoted);
+    RecoveryStats stats;
+    const Status replay = recovery.Replay(rdir, &stats);
+    if (!replay.ok()) {
+      result = Fail("promotion replay failed: " + replay.ToString());
+    } else {
+      result = CheckCounters(&promoted, counts, "promotion");
+    }
+  } else {
+    // Crash the replica; the primary must keep acking (semisync degrades
+    // to local durability) and lose nothing.
+    ::kill(replica_pid, SIGKILL);
+    if (!ReapChild(replica_pid, true, "replica")) {
+      return fail_round("replica reap failed");
+    }
+    while (!outstanding.empty() && receive_one()) {
+    }
+    if (!outstanding.empty()) {
+      return fail_round("primary dropped in-flight requests at replica "
+                        "death");
+    }
+    for (uint64_t i = 0; i < plan.post_kill_txns; ++i) {
+      const uint64_t key = rng.NextUint64(kReplRecords);
+      server::Response response;
+      if (!client.Call(ReplRmwRequest(next_id++, key), &response).ok() ||
+          response.status != StatusCode::kOk) {
+        return fail_round("primary stopped acking after replica death "
+                          "(semisync failed to degrade)");
+      }
+      ++counts.acked[key];
+    }
+    ::kill(primary_pid, SIGTERM);
+    if (!ReapChild(primary_pid, false, "primary")) {
+      return fail_round("primary did not shut down cleanly");
+    }
+    EngineOptions clean = ReplEngineOptions(plan.logging, "");
+    clean.logging = LoggingKind::kNone;
+    clean.log_dir.clear();
+    Engine recovered(clean);
+    server::KvServiceOptions kv;
+    kv.num_records = kReplRecords;
+    server::RegisterKvService(&recovered, kv);
+    RecoveryManager recovery(&recovered);
+    RecoveryStats stats;
+    const Status replay = recovery.Replay(pdir, &stats);
+    if (!replay.ok()) {
+      result = Fail("primary replay failed: " + replay.ToString());
+    } else {
+      result = CheckCounters(&recovered, counts, "primary");
+    }
+    if (result.ok) {
+      // The dead replica's log must reopen cleanly: at worst a torn tail,
+      // never mid-log damage.
+      LogManagerOptions ropts;
+      ropts.dir = rdir;
+      ropts.segment_bytes = 16384;
+      LogManager rlog(ropts);
+      const Status reopened = rlog.Open();
+      if (!reopened.ok()) {
+        result =
+            Fail("dead replica log corrupt beyond its tail: " +
+                 reopened.ToString());
+      }
+      rlog.Close();
+    }
+  }
+  if (result.ok) result = CheckLogPrefix(pdir, rdir);
+
+  if (!result.ok) {
+    std::fprintf(stderr, "seed %llu: FAIL: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.detail.c_str());
+    return 1;
+  }
+  std::printf("seed %llu: %s survived (%llu acked, logging=%s)\n",
+              static_cast<unsigned long long>(seed),
+              plan.kill_primary ? "kill-primary" : "kill-replica",
+              static_cast<unsigned long long>(acked_total),
+              plan.logging == LoggingKind::kValue ? "value" : "command");
+  return 0;
+}
+
+int ReplMain(uint64_t rounds, uint64_t base_seed) {
+  char dir_template[] = "/tmp/next700_replcrash_XXXXXX";
+  const char* base_dir = ::mkdtemp(dir_template);
+  if (base_dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  int failures = 0;
+  for (uint64_t i = 0; i < rounds; ++i) {
+    const uint64_t seed = base_seed + i;
+    const std::string round_dir =
+        std::string(base_dir) + "/round_" + std::to_string(seed);
+    failures += RunReplRound(seed, round_dir);
+    RemoveLogDir(round_dir + "_p");
+    RemoveLogDir(round_dir + "_r");
+  }
+  ::rmdir(base_dir);
+  std::printf("%llu repl rounds, %d failures\n",
+              static_cast<unsigned long long>(rounds), failures);
+  return failures == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "repl") == 0) {
+    const uint64_t rounds =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20;
+    const uint64_t base_seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    return ReplMain(rounds, base_seed);
+  }
   const uint64_t rounds = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
   const uint64_t base_seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;

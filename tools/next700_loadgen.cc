@@ -32,10 +32,15 @@ void Usage() {
       "  [--value-size=B] [--declare-partitions] [--get=F] [--put=F]\n"
       "  [--rmw-keys=N] [--theta=T] [--seed=N] [--deadline-ms=N] "
       "[--check]\n"
+      "  [--audit] [--min-read-lsn=N]\n"
       "\n"
       "Op mix: get + put fractions; the remainder is read-modify-write.\n"
       "--check exits nonzero unless the run had OK commits and no "
-      "transport errors.\n");
+      "transport errors.\n"
+      "--audit scans every key instead of generating load and prints a\n"
+      "machine-readable 'AUDIT ...' line (counter deltas prove how many\n"
+      "acked increments the store retains); --min-read-lsn demands a\n"
+      "replica snapshot at least that fresh.\n");
 }
 
 }  // namespace
@@ -76,7 +81,29 @@ int main(int argc, char** argv) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.deadline_ms = flags.GetInt("deadline-ms", 10000);
   const bool check = flags.GetBool("check", false);
+  const bool audit = flags.GetBool("audit", false);
+  const uint64_t min_read_lsn =
+      static_cast<uint64_t>(flags.GetInt("min-read-lsn", 0));
   flags.RejectUnknown();
+
+  if (audit) {
+    server::KvAuditResult result;
+    const Status status =
+        server::RunKvAudit(options, min_read_lsn, &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "AUDIT FAIL transport: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+    std::printf("AUDIT keys=%llu missing=%llu errors=%llu "
+                "increments=%llu snapshot_lsn=%llu\n",
+                static_cast<unsigned long long>(result.keys_checked),
+                static_cast<unsigned long long>(result.missing),
+                static_cast<unsigned long long>(result.errors),
+                static_cast<unsigned long long>(result.increment_sum),
+                static_cast<unsigned long long>(result.snapshot_lsn));
+    return result.errors == 0 ? 0 : 1;
+  }
 
   std::printf("driving %s:%u: %d conns x depth %d, %.1fs "
               "(get=%.2f put=%.2f rmw=%.2f theta=%.2f)\n",

@@ -8,6 +8,11 @@
 ///   serve          Composes an engine, loads the KV stored-procedure
 ///                  service, and exposes it over TCP until SIGINT (or
 ///                  --seconds elapses). Drive it with next700_loadgen.
+///                  --role=replica tails a primary's log stream and serves
+///                  read-only snapshot transactions; --recover bootstraps
+///                  from checkpoint + log instead of a fresh load (also
+///                  how a replica is promoted: restart its directories
+///                  with --role=primary --recover).
 ///
 /// Examples:
 ///   next700_run --workload=ycsb --cc=SILO --threads=4 --theta=0.9
@@ -16,6 +21,12 @@
 ///   next700_run serve --cc=HSTORE --workers=4 --partitions=4 --port=7700
 ///   next700_run serve --cc=SILO --logging=value --log-sync=fdatasync
 ///       --log-dir=/tmp/kv.logd
+///   next700_run serve --logging=value --log-dir=/tmp/p.logd --port=7700
+///       --repl-ack=semisync
+///   next700_run serve --role=replica --primary-addr=127.0.0.1:7700
+///       --logging=value --log-dir=/tmp/r.logd --port=7701
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
@@ -28,6 +39,8 @@
 #include <thread>
 
 #include "log/checkpoint.h"
+#include "log/manifest.h"
+#include "repl/replica_applier.h"
 #include "server/procs.h"
 #include "server/server.h"
 #include "flags.h"
@@ -66,7 +79,11 @@ void Usage() {
       "  [--checkpoint-dir=DIR] [--checkpoint-interval-ms=N] "
       "[--checkpoint-no-truncate]\n"
       "  [--max-inflight=N] [--queue-capacity=N] [--seconds=S]  "
-      "(seconds=0: serve until SIGINT)\n");
+      "(seconds=0: serve until SIGINT)\n"
+      "  [--role=primary|replica] [--primary-addr=HOST:PORT] "
+      "[--repl-ack=async|semisync]\n"
+      "  [--recover]  (bootstrap from checkpoint + log; promotion = "
+      "--role=primary --recover)\n");
 }
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -168,20 +185,98 @@ int RunServe(Flags* flags) {
       static_cast<uint32_t>(flags->GetInt("max-inflight", 256));
   srv.queue_capacity =
       static_cast<size_t>(flags->GetInt("queue-capacity", 1024));
+
+  const std::string role = flags->GetString("role", "primary");
+  const bool is_replica = role == "replica";
+  if (!is_replica && role != "primary") flags->Die("bad --role: " + role);
+  const std::string repl_ack = flags->GetString("repl-ack", "async");
+  if (repl_ack == "semisync") {
+    srv.repl_ack = server::ReplAckMode::kSemisync;
+  } else if (repl_ack != "async") {
+    flags->Die("bad --repl-ack: " + repl_ack);
+  }
+  repl::ReplicaApplierOptions applier_opts;
+  if (is_replica) {
+    if (eng.logging == LoggingKind::kNone) {
+      flags->Die("--role=replica requires --logging=value|command "
+                 "(the replica keeps its own copy of the stream)");
+    }
+    if (!eng.checkpoint_dir.empty()) {
+      flags->Die("--role=replica does not support --checkpoint-dir "
+                 "(the snapshot gate cannot see the applier's raw writes)");
+    }
+    const std::string addr = flags->GetString("primary-addr", "");
+    const size_t colon = addr.rfind(':');
+    const long addr_port =
+        colon == std::string::npos
+            ? 0
+            : std::strtol(addr.c_str() + colon + 1, nullptr, 10);
+    if (colon == std::string::npos || colon == 0 || addr_port <= 0 ||
+        addr_port > 65535) {
+      flags->Die("--role=replica requires --primary-addr=HOST:PORT");
+    }
+    applier_opts.primary_host = addr.substr(0, colon);
+    applier_opts.primary_port = static_cast<uint16_t>(addr_port);
+  }
+  const bool recover = flags->GetBool("recover", false);
+  if (recover && eng.logging == LoggingKind::kNone) {
+    flags->Die("--recover requires --logging=value|command");
+  }
   const double seconds = flags->GetDouble("seconds", 0.0);
   flags->RejectUnknown();
 
-  std::printf("composition: cc=%s workers=%d partitions=%u logging=%s%s\n",
+  std::printf("composition: cc=%s workers=%d partitions=%u logging=%s%s "
+              "role=%s\n",
               CcSchemeName(eng.cc_scheme), workers, eng.num_partitions,
               flags->GetString("logging", "none").c_str(),
-              eng.sync_commit ? "" : " (async)");
+              eng.sync_commit ? "" : " (async)", role.c_str());
   Engine engine(eng);
   const uint64_t load_start = NowNanos();
+  // With --recover, rows come from the MANIFEST-named checkpoint (the
+  // loader must leave the engine empty) or, when no checkpoint was ever
+  // installed, from the deterministic seed load that full replay then
+  // overlays — the same seed a fresh primary/replica pair starts from.
+  const bool have_manifest =
+      !eng.checkpoint_dir.empty() &&
+      ::access(ManifestPath(eng.checkpoint_dir).c_str(), F_OK) == 0;
+  kv.load_rows = !(recover && have_manifest);
   const uint64_t loaded = server::RegisterKvService(&engine, kv);
   std::printf("loaded %llu kv rows in %.2fs\n",
               static_cast<unsigned long long>(loaded),
               static_cast<double>(NowNanos() - load_start) / 1e9);
+  if (recover) {
+    RecoverOutcome outcome;
+    const Status recovered = RecoverEngine(
+        &engine, eng.checkpoint_dir, eng.log_dir, /*rebuilder=*/nullptr,
+        &outcome);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered via %s: %llu txns replayed, durable_lsn=%llu\n",
+                outcome.used_checkpoint ? "checkpoint+suffix" : "full replay",
+                static_cast<unsigned long long>(outcome.log.txns_replayed),
+                static_cast<unsigned long long>(
+                    engine.log_manager()->durable_lsn()));
+  }
   MaybeStartCheckpointer(&engine);
+
+  std::unique_ptr<repl::ReplicaApplier> applier;
+  if (is_replica) {
+    applier = std::make_unique<repl::ReplicaApplier>(&engine, applier_opts);
+    const Status applier_started = applier->Start();
+    if (!applier_started.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   applier_started.ToString().c_str());
+      return 1;
+    }
+    srv.snapshot_source = applier.get();
+    std::printf("tailing primary at %s:%u from lsn %llu\n",
+                applier_opts.primary_host.c_str(),
+                applier_opts.primary_port,
+                static_cast<unsigned long long>(applier->applied_lsn()));
+  }
 
   server::Server srv_instance(&engine, srv);
   const Status started = srv_instance.Start();
@@ -201,6 +296,7 @@ int RunServe(Flags* flags) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   srv_instance.Stop();
+  if (applier != nullptr) applier->Stop();
 
   const server::ServerStats& stats = srv_instance.stats();
   std::printf("\nconnections accepted: %llu\n",
@@ -219,6 +315,30 @@ int RunServe(Flags* flags) {
   std::printf("replies held durable: %llu\n",
               static_cast<unsigned long long>(
                   stats.replies_held_durable.load()));
+  if (stats.repl_batches_shipped.load() > 0 ||
+      stats.repl_acks_received.load() > 0) {
+    std::printf("repl batches shipped: %llu (%llu acks, %llu semisync "
+                "degrades)\n",
+                static_cast<unsigned long long>(
+                    stats.repl_batches_shipped.load()),
+                static_cast<unsigned long long>(
+                    stats.repl_acks_received.load()),
+                static_cast<unsigned long long>(
+                    stats.semisync_degraded.load()));
+  }
+  if (applier != nullptr) {
+    std::printf("replica applied:      lsn=%llu (%llu batches, %llu txns, "
+                "%llu reconnects, lag=%llu bytes)\n",
+                static_cast<unsigned long long>(applier->applied_lsn()),
+                static_cast<unsigned long long>(applier->batches_applied()),
+                static_cast<unsigned long long>(applier->txns_applied()),
+                static_cast<unsigned long long>(applier->reconnects()),
+                static_cast<unsigned long long>(applier->lag_bytes()));
+    const Status stream = applier->stream_status();
+    if (!stream.ok()) {
+      std::printf("replica stream error: %s\n", stream.ToString().c_str());
+    }
+  }
   if (engine.checkpointer() != nullptr) {
     std::printf("checkpoints taken:    %llu\n",
                 static_cast<unsigned long long>(

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Loopback replication smoke test: start a semisync primary and a replica,
+# drive increments at the primary, kill -9 the primary, promote the replica
+# (restart its directories as a primary with --recover), and prove every
+# acked transaction is present after failover via the full-keyspace counter
+# audit (each acked rmw adds exactly --rmw-keys increments, so the audit's
+# increment sum must cover ok * rmw_keys). Used by CI.
+#
+# usage: repl_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: repl_smoke.sh <build-dir>}"
+
+RUN="$BUILD_DIR/tools/next700_run"
+LOADGEN="$BUILD_DIR/tools/next700_loadgen"
+PLOG="$(mktemp -d /tmp/next700_repl.XXXXXX.plogd)"
+RLOG="$(mktemp -d /tmp/next700_repl.XXXXXX.rlogd)"
+POUT="$(mktemp /tmp/next700_repl.XXXXXX.pout)"
+ROUT="$(mktemp /tmp/next700_repl.XXXXXX.rout)"
+MOUT="$(mktemp /tmp/next700_repl.XXXXXX.mout)"
+RECORDS=2000
+
+cleanup() {
+  for pid in "${PRIMARY_PID:-}" "${REPLICA_PID:-}" "${PROMOTED_PID:-}"; do
+    [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    [[ -n "$pid" ]] && wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$PLOG" "$RLOG" "$POUT" "$ROUT" "$MOUT"
+}
+trap cleanup EXIT
+
+# Waits for "listening on HOST:PORT" in $2 from pid $1; echoes the port.
+wait_port() {
+  local pid="$1" out="$2" port=""
+  for _ in $(seq 1 150); do
+    port="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$out" | head -n1)"
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2>/dev/null || { cat "$out" >&2; echo "server died" >&2; return 1; }
+    sleep 0.1
+  done
+  cat "$out" >&2; echo "server never started listening" >&2; return 1
+}
+
+"$RUN" serve --port=0 --workers=2 --records="$RECORDS" \
+  --logging=value --log-sync=fdatasync --log-dir="$PLOG" \
+  --repl-ack=semisync > "$POUT" &
+PRIMARY_PID=$!
+PPORT="$(wait_port "$PRIMARY_PID" "$POUT")"
+
+"$RUN" serve --port=0 --workers=2 --records="$RECORDS" \
+  --logging=value --log-sync=fdatasync --log-dir="$RLOG" \
+  --role=replica --primary-addr="127.0.0.1:$PPORT" > "$ROUT" &
+REPLICA_PID=$!
+RPORT="$(wait_port "$REPLICA_PID" "$ROUT")"
+
+# Pure rmw load: every acked txn adds exactly 2 counter increments.
+LOAD_OUT="$("$LOADGEN" --port="$PPORT" --connections=2 --pipeline=8 \
+  --seconds=2 --records="$RECORDS" --get=0.0 --put=0.0 --rmw-keys=2 --check)"
+echo "$LOAD_OUT"
+ACKED_OK="$(echo "$LOAD_OUT" | sed -n 's/^ok: *\([0-9]*\)$/\1/p')"
+[[ -n "$ACKED_OK" && "$ACKED_OK" -gt 0 ]] || { echo "no acked txns"; exit 1; }
+ACKED_INCREMENTS=$((ACKED_OK * 2))
+
+# Snapshot reads on the replica work while both sides are up.
+"$LOADGEN" --port="$RPORT" --records="$RECORDS" --audit
+
+# Fail the primary hard — no orderly shutdown, no final flush.
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=""
+
+# Stop the replica and promote its directories into a writable primary:
+# restarting with --role=primary --recover runs ordinary crash recovery
+# over the replica's own log copy.
+kill -INT "$REPLICA_PID"
+wait "$REPLICA_PID"
+REPLICA_PID=""
+cat "$ROUT"
+
+"$RUN" serve --port=0 --workers=2 --records="$RECORDS" \
+  --logging=value --log-sync=fdatasync --log-dir="$RLOG" \
+  --recover > "$MOUT" &
+PROMOTED_PID=$!
+MPORT="$(wait_port "$PROMOTED_PID" "$MOUT")"
+
+# Every semisync-acked increment must have survived the failover.
+AUDIT_OUT="$("$LOADGEN" --port="$MPORT" --records="$RECORDS" --audit)"
+echo "$AUDIT_OUT"
+SURVIVED="$(echo "$AUDIT_OUT" | sed -n 's/.*increments=\([0-9]*\).*/\1/p')"
+[[ -n "$SURVIVED" ]] || { echo "audit produced no increment count"; exit 1; }
+if [[ "$SURVIVED" -lt "$ACKED_INCREMENTS" ]]; then
+  echo "FAIL: acked work lost in failover:" \
+       "acked=$ACKED_INCREMENTS survived=$SURVIVED"
+  exit 1
+fi
+echo "failover audit OK: acked=$ACKED_INCREMENTS survived=$SURVIVED"
+
+# The promoted node is a real primary: it accepts new writes.
+"$LOADGEN" --port="$MPORT" --connections=1 --pipeline=4 --seconds=1 \
+  --records="$RECORDS" --get=0.0 --put=0.0 --rmw-keys=1 --check
+
+kill -INT "$PROMOTED_PID"
+wait "$PROMOTED_PID"
+PROMOTED_PID=""
+cat "$MOUT"
+echo "repl smoke OK"
