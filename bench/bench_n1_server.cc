@@ -1,14 +1,28 @@
 /// N1 — Networked service throughput and latency over loopback.
-/// Starts the transaction service in-process (epoll front-end, KV
-/// stored-procedure suite, value logging so group commit gates replies)
-/// and drives it with the pipelined load generator. Sweeps pipeline depth
-/// x worker count for two compositions: H-STORE (per-partition queue
-/// affinity in the dispatch layer) and SILO (shared run queue). Expected
-/// shape: depth 1 is dominated by round-trip latency; deeper pipelines
-/// amortize the wire and group-commit waits until workers saturate, at
-/// which point p99 grows with queueing delay.
+/// Starts the transaction service in-process (async submit/reap I/O spine,
+/// KV stored-procedure suite, value logging so group commit gates replies)
+/// and drives it with the pipelined load generator. Three sweeps:
+///
+///   1. pipeline depth x worker count for two compositions: H-STORE
+///      (per-partition queue affinity) and SILO (shared run queue). Depth 1
+///      is dominated by round-trip latency; deeper pipelines amortize the
+///      wire and group-commit waits until workers saturate.
+///   2. io backend (batched-epoll fallback vs io_uring, where the kernel
+///      allows it) at fixed shape — the syscalls-per-txn series that the
+///      async spine exists to improve: reply frames gathered into one
+///      writev per readiness event, log writes batched by group commit.
+///   3. connection count {64, 256, 1024} under the multiplexed load
+///      generator (RLIMIT_NOFILE raised first) — scaling the number of
+///      sockets must scale kernel entries sublinearly, not per-connection.
+///
+/// Every point carries syscalls_per_txn, log_writes_per_txn and
+/// frames_per_writev so regressions in batching are visible in the JSON,
+/// not just in throughput.
+
+#include <sys/resource.h>
 
 #include "bench_common.h"
+#include "io/io_backend.h"
 #include "server/loadgen.h"
 #include "server/procs.h"
 #include "server/server.h"
@@ -29,102 +43,234 @@ std::vector<int> WorkerSweep() {
 
 std::vector<int> PipelineSweep() { return {1, 8, 64}; }
 
+std::vector<int> ConnectionSweep() {
+  return QuickMode() ? std::vector<int>{64, 256}
+                     : std::vector<int>{64, 256, 1024};
+}
+
+/// 1024-connection cells need ~2x that many fds between server and
+/// in-process loadgen; lift the soft limit toward the hard one.
+void RaiseFdLimit(rlim_t want) {
+  struct rlimit lim;
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur >= want) return;
+  lim.rlim_cur = want < lim.rlim_max ? want : lim.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+/// Cumulative kernel-entry counters around one load run; per-server and
+/// per-log totals only grow, so deltas isolate a single sweep point.
+struct IoSnapshot {
+  uint64_t io_syscalls = 0;
+  uint64_t writev_batches = 0;
+  uint64_t frames_batched = 0;
+  uint64_t log_writes = 0;
+};
+
+IoSnapshot Snap(const server::Server& srv, Engine& engine) {
+  IoSnapshot s;
+  if (const io::IoCounters* c = srv.io_counters()) {
+    s.io_syscalls = c->syscalls.load(std::memory_order_relaxed);
+  }
+  s.writev_batches = srv.stats().writev_batches.load(std::memory_order_relaxed);
+  s.frames_batched = srv.stats().frames_batched.load(std::memory_order_relaxed);
+  if (engine.log_manager() != nullptr) {
+    s.log_writes = engine.log_manager()->write_syscalls();
+  }
+  return s;
+}
+
+/// Runs one load point against a running server and emits the CSV row and
+/// JSON point. Returns false on transport errors (which fail the bench).
+bool RunPoint(JsonOutput* json, const char* axis, server::Server* srv,
+              Engine* engine, const Composition& comp, int workers,
+              int connections, int pipeline,
+              const server::LoadGenOptions& base) {
+  server::LoadGenOptions load = base;
+  load.port = srv->port();
+  load.connections = connections;
+  load.pipeline_depth = pipeline;
+  load.declare_partitions = comp.declare_partitions;
+  // Beyond a handful of connections, multiplex them over a few poll()
+  // threads instead of one OS thread each.
+  load.threads = connections > 8 ? 8 : 0;
+
+  const IoSnapshot before = Snap(*srv, *engine);
+  const server::LoadGenStats stats = server::RunLoadGen(load);
+  const IoSnapshot after = Snap(*srv, *engine);
+
+  const double txns = stats.ok > 0 ? static_cast<double>(stats.ok) : 1.0;
+  const double syscalls_per_txn =
+      static_cast<double>(after.io_syscalls - before.io_syscalls) / txns;
+  const double log_writes_per_txn =
+      static_cast<double>(after.log_writes - before.log_writes) / txns;
+  const uint64_t writevs = after.writev_batches - before.writev_batches;
+  const double frames_per_writev =
+      writevs > 0 ? static_cast<double>(after.frames_batched -
+                                        before.frames_batched) /
+                        static_cast<double>(writevs)
+                  : 0.0;
+  const double p50_us =
+      static_cast<double>(stats.latency_ns.Percentile(0.50)) / 1e3;
+  const double p95_us =
+      static_cast<double>(stats.latency_ns.Percentile(0.95)) / 1e3;
+  const double p99_us =
+      static_cast<double>(stats.latency_ns.Percentile(0.99)) / 1e3;
+
+  std::printf(
+      "%s,%s,%d,%d,%d,%s,%.0f,%llu,%llu,%llu,%.0f,%.0f,%.0f,%.2f,%.3f,%.1f\n",
+      axis, CcSchemeName(comp.scheme), workers, connections, pipeline,
+      srv->io_backend_name(), stats.Throughput(),
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.aborted),
+      static_cast<unsigned long long>(stats.resource_exhausted), p50_us,
+      p95_us, p99_us, syscalls_per_txn, log_writes_per_txn,
+      frames_per_writev);
+  std::fflush(stdout);
+  json->AddPoint(
+      {{"axis", JsonOutput::Str(axis)},
+       {"scheme", JsonOutput::Str(CcSchemeName(comp.scheme))},
+       {"workers", JsonOutput::Num(workers)},
+       {"connections", JsonOutput::Num(connections)},
+       {"pipeline", JsonOutput::Num(pipeline)},
+       {"io_backend", JsonOutput::Str(srv->io_backend_name())},
+       {"log_device", JsonOutput::Str(
+                          engine->log_manager() != nullptr
+                              ? engine->log_manager()->io_backend_name()
+                              : "none")},
+       {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+       {"ok", JsonOutput::Num(static_cast<double>(stats.ok))},
+       {"aborted", JsonOutput::Num(static_cast<double>(stats.aborted))},
+       {"rejected",
+        JsonOutput::Num(static_cast<double>(stats.resource_exhausted))},
+       {"transport_errors",
+        JsonOutput::Num(static_cast<double>(stats.transport_errors))},
+       {"p50_us", JsonOutput::Num(p50_us)},
+       {"p95_us", JsonOutput::Num(p95_us)},
+       {"p99_us", JsonOutput::Num(p99_us)},
+       {"syscalls_per_txn", JsonOutput::Num(syscalls_per_txn)},
+       {"log_writes_per_txn", JsonOutput::Num(log_writes_per_txn)},
+       {"frames_per_writev", JsonOutput::Num(frames_per_writev)}});
+  if (stats.transport_errors != 0) {
+    std::fprintf(stderr, "transport errors: %llu\n",
+                 static_cast<unsigned long long>(stats.transport_errors));
+    return false;
+  }
+  return true;
+}
+
+struct Service {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<server::Server> server;
+};
+
+Service StartService(const Composition& comp, int workers, uint64_t records,
+                     const std::string& log_dir,
+                     io::IoBackendKind backend) {
+  EngineOptions eng;
+  eng.cc_scheme = comp.scheme;
+  eng.max_threads = workers;
+  eng.num_partitions = static_cast<uint32_t>(workers);
+  eng.logging = LoggingKind::kValue;
+  RemoveLogDir(log_dir);  // Reset between sweep cells.
+  eng.log_dir = log_dir;
+  eng.log_io_backend = backend;
+  Service service;
+  service.engine = std::make_unique<Engine>(eng);
+  server::KvServiceOptions kv;
+  kv.num_records = records;
+  server::RegisterKvService(service.engine.get(), kv);
+  server::ServerOptions srv;
+  srv.num_workers = workers;
+  srv.io_backend = backend;
+  service.server =
+      std::make_unique<server::Server>(service.engine.get(), srv);
+  const Status started = service.server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    service.server.reset();
+  }
+  return service;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   JsonOutput json(argc, argv);
   json.SetExperiment(
       "N1", "networked service: loopback throughput/latency vs pipeline "
-            "depth x workers x composition");
+            "depth x workers x composition x io backend x connections");
   PrintHeader("N1",
               "networked service: loopback throughput/latency vs pipeline "
-              "depth x workers x composition",
-              "scheme,workers,pipeline,throughput_txn_s,ok,aborted,rejected,"
-              "p50_us,p95_us,p99_us");
+              "depth x workers x composition x io backend x connections",
+              "axis,scheme,workers,connections,pipeline,io_backend,"
+              "throughput_txn_s,ok,aborted,rejected,p50_us,p95_us,p99_us,"
+              "syscalls_per_txn,log_writes_per_txn,frames_per_writev");
 
   const uint64_t records = QuickMode() ? 20000 : 100000;
   const double seconds = QuickMode() ? 0.3 : 2.0;
   const double warmup = QuickMode() ? 0.1 : 0.5;
   const std::string log_dir = "/tmp/next700_bench_n1.logd";
+  RaiseFdLimit(8192);
 
+  server::LoadGenOptions base;
+  base.warmup_seconds = warmup;
+  base.seconds = seconds;
+  base.num_records = records;
+  base.get_fraction = 0.5;
+  base.put_fraction = 0.25;
+  base.rmw_keys = 2;
+
+  // Sweep 1: composition x workers x pipeline (the original N1 axes).
   for (const Composition& comp :
        {Composition{CcScheme::kHstore, true},
         Composition{CcScheme::kOcc, false}}) {
     for (int workers : WorkerSweep()) {
-      EngineOptions eng;
-      eng.cc_scheme = comp.scheme;
-      eng.max_threads = workers;
-      eng.num_partitions = static_cast<uint32_t>(workers);
-      eng.logging = LoggingKind::kValue;
-      RemoveLogDir(log_dir);  // Reset between compositions.
-      eng.log_dir = log_dir;
-      Engine engine(eng);
-
-      server::KvServiceOptions kv;
-      kv.num_records = records;
-      server::RegisterKvService(&engine, kv);
-
-      server::ServerOptions srv;
-      srv.num_workers = workers;
-      server::Server server(&engine, srv);
-      const Status started = server.Start();
-      if (!started.ok()) {
-        std::fprintf(stderr, "server start failed: %s\n",
-                     started.ToString().c_str());
-        return 1;
-      }
-
+      Service service = StartService(comp, workers, records, log_dir,
+                                     io::IoBackendKind::kAuto);
+      if (service.server == nullptr) return 1;
       for (int pipeline : PipelineSweep()) {
-        server::LoadGenOptions load;
-        load.port = server.port();
-        load.connections = 4;
-        load.pipeline_depth = pipeline;
-        load.warmup_seconds = warmup;
-        load.seconds = seconds;
-        load.num_records = records;
-        load.num_partitions = eng.num_partitions;
-        load.declare_partitions = comp.declare_partitions;
-        load.get_fraction = 0.5;
-        load.put_fraction = 0.25;
-        load.rmw_keys = 2;
-        const server::LoadGenStats stats = server::RunLoadGen(load);
-        const double p50_us =
-            static_cast<double>(stats.latency_ns.Percentile(0.50)) / 1e3;
-        const double p95_us =
-            static_cast<double>(stats.latency_ns.Percentile(0.95)) / 1e3;
-        const double p99_us =
-            static_cast<double>(stats.latency_ns.Percentile(0.99)) / 1e3;
-        std::printf("%s,%d,%d,%.0f,%llu,%llu,%llu,%.0f,%.0f,%.0f\n",
-                    CcSchemeName(comp.scheme), workers, pipeline,
-                    stats.Throughput(),
-                    static_cast<unsigned long long>(stats.ok),
-                    static_cast<unsigned long long>(stats.aborted),
-                    static_cast<unsigned long long>(stats.resource_exhausted),
-                    p50_us, p95_us, p99_us);
-        std::fflush(stdout);
-        json.AddPoint(
-            {{"scheme", JsonOutput::Str(CcSchemeName(comp.scheme))},
-             {"workers", JsonOutput::Num(workers)},
-             {"pipeline", JsonOutput::Num(pipeline)},
-             {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
-             {"ok", JsonOutput::Num(static_cast<double>(stats.ok))},
-             {"aborted", JsonOutput::Num(static_cast<double>(stats.aborted))},
-             {"rejected", JsonOutput::Num(
-                              static_cast<double>(stats.resource_exhausted))},
-             {"transport_errors",
-              JsonOutput::Num(static_cast<double>(stats.transport_errors))},
-             {"p50_us", JsonOutput::Num(p50_us)},
-             {"p95_us", JsonOutput::Num(p95_us)},
-             {"p99_us", JsonOutput::Num(p99_us)}});
-        if (stats.transport_errors != 0) {
-          std::fprintf(stderr, "transport errors: %llu\n",
-                       static_cast<unsigned long long>(
-                           stats.transport_errors));
+        server::LoadGenOptions load = base;
+        load.num_partitions = static_cast<uint32_t>(workers);
+        if (!RunPoint(&json, "pipeline", service.server.get(),
+                      service.engine.get(), comp, workers,
+                      /*connections=*/4, pipeline, load)) {
           return 1;
         }
       }
-      server.Stop();
+      service.server->Stop();
     }
+  }
+
+  // Sweeps 2 + 3: io backend x connection count at a fixed composition.
+  // The backend axis is the headline of the async spine: same workload,
+  // fewer kernel entries. The connection axis shows batching holding up
+  // as sockets multiply.
+  const Composition occ{CcScheme::kOcc, false};
+  const int conn_workers = QuickMode() ? 2 : 4;
+  std::vector<io::IoBackendKind> backends = {io::IoBackendKind::kEpoll};
+  if (io::UringSupported()) {
+    backends.push_back(io::IoBackendKind::kUring);
+  } else {
+    std::fprintf(stderr,
+                 "# io_uring unavailable on this kernel/sandbox — "
+                 "connection sweep runs the epoll fallback only\n");
+  }
+  for (const io::IoBackendKind backend : backends) {
+    Service service = StartService(occ, conn_workers, records, log_dir,
+                                   backend);
+    if (service.server == nullptr) return 1;
+    for (int connections : ConnectionSweep()) {
+      server::LoadGenOptions load = base;
+      load.num_partitions = static_cast<uint32_t>(conn_workers);
+      if (!RunPoint(&json, "connections", service.server.get(),
+                    service.engine.get(), occ, conn_workers, connections,
+                    /*pipeline=*/8, load)) {
+        return 1;
+      }
+    }
+    service.server->Stop();
   }
   return 0;
 }

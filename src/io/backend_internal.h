@@ -1,0 +1,25 @@
+#ifndef NEXT700_IO_BACKEND_INTERNAL_H_
+#define NEXT700_IO_BACKEND_INTERNAL_H_
+
+/// \file
+/// Internal factory seams between io_backend.cc and the two backend
+/// translation units. Not part of the public surface — callers go through
+/// CreateIoBackend.
+
+#include <memory>
+
+#include "common/status.h"
+#include "io/io_backend.h"
+
+namespace next700 {
+namespace io {
+
+Status CreateEpollBackend(std::unique_ptr<IoBackend>* out,
+                          unsigned queue_depth);
+Status CreateUringBackend(std::unique_ptr<IoBackend>* out,
+                          unsigned queue_depth);
+
+}  // namespace io
+}  // namespace next700
+
+#endif  // NEXT700_IO_BACKEND_INTERNAL_H_

@@ -1,0 +1,50 @@
+#include "io/io_backend.h"
+
+#include "io/backend_internal.h"
+
+namespace next700 {
+namespace io {
+
+const char* IoBackendKindName(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kAuto:
+      return "auto";
+    case IoBackendKind::kUring:
+      return "uring";
+    case IoBackendKind::kEpoll:
+      return "epoll";
+  }
+  return "unknown";
+}
+
+bool ParseIoBackendKind(const std::string& name, IoBackendKind* out) {
+  if (name == "auto") {
+    *out = IoBackendKind::kAuto;
+  } else if (name == "uring") {
+    *out = IoBackendKind::kUring;
+  } else if (name == "epoll") {
+    *out = IoBackendKind::kEpoll;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status CreateIoBackend(IoBackendKind kind, std::unique_ptr<IoBackend>* out,
+                       unsigned queue_depth) {
+  switch (kind) {
+    case IoBackendKind::kEpoll:
+      return CreateEpollBackend(out, queue_depth);
+    case IoBackendKind::kUring:
+      return CreateUringBackend(out, queue_depth);
+    case IoBackendKind::kAuto: {
+      const Status uring = CreateUringBackend(out, queue_depth);
+      if (uring.ok()) return uring;
+      return CreateEpollBackend(out, queue_depth);
+    }
+  }
+  return Status::InvalidArgument("unknown io backend kind");
+}
+
+}  // namespace io
+}  // namespace next700

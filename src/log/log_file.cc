@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "io/io_backend.h"
 #include "log/log_record.h"
 
 namespace next700 {
@@ -48,6 +49,7 @@ Status PosixLogFile::Append(const uint8_t* data, size_t len) {
   size_t off = 0;
   int eagain_retries = 0;
   while (off < len) {
+    CountWrite();
     const ssize_t n = RawWrite(data + off, len - off);
     if (n < 0) {
       if (errno == EINTR) continue;  // Signal; the write wrote nothing.
@@ -77,6 +79,72 @@ void PosixLogFile::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+Status UringLogFile::SubmitAppend(io::IoBackend* io, const uint8_t* data,
+                                  size_t len, bool barrier) {
+  if (io == nullptr || io->kind() != io::IoBackendKind::kUring) {
+    return LogFile::SubmitAppend(io, data, len, barrier);
+  }
+  // Unique cookies per call: an errored pair may leave its partner CQE in
+  // flight, and a reused cookie would misroute it next time around.
+  const uint64_t write_ud = next_cookie_++;
+  const uint64_t fsync_ud = next_cookie_++;
+  NEXT700_RETURN_IF_ERROR(
+      io->SubmitWrite(fd(), data, len, write_ud, /*link=*/barrier));
+  CountWrite();
+  if (barrier) {
+    NEXT700_RETURN_IF_ERROR(io->SubmitFsync(fd(), /*datasync=*/true,
+                                            fsync_ud));
+  }
+  ++linked_submits_;
+  ssize_t written = -1;
+  bool fsync_done = !barrier;
+  bool fsync_ok = false;
+  while (written < 0 || !fsync_done) {
+    io::IoEvent events[4];
+    const int n = io->Reap(events, 4, -1);
+    if (n < 0) {
+      return Status::IOError("log io backend reap failed: " +
+                             std::string(std::strerror(-n)));
+    }
+    for (int i = 0; i < n; ++i) {
+      const io::IoEvent& ev = events[i];
+      if (ev.user_data == write_ud) {
+        if (ev.result == -EINTR || ev.result == -EAGAIN) {
+          written = 0;  // Nothing landed; the posix loop below retries.
+        } else if (ev.result < 0) {
+          return Status::IOError(std::string("log ring write failed: ") +
+                                 std::strerror(-ev.result));
+        } else {
+          written = ev.result;
+        }
+      } else if (ev.user_data == fsync_ud) {
+        // -ECANCELED: the linked write was short or failed, severing the
+        // chain; the completion fallback below re-issues the barrier.
+        fsync_done = true;
+        fsync_ok = ev.result == 0;
+        if (ev.result < 0 && ev.result != -ECANCELED) {
+          return Status::IOError(std::string("log ring fsync failed: ") +
+                                 std::strerror(-ev.result));
+        }
+      }
+      // Foreign events cannot appear: this backend is flusher-private.
+    }
+  }
+  if (static_cast<size_t>(written) < len) {
+    // Short write severed the linked barrier; finish through the posix
+    // retry loop, which preserves the all-or-error Append contract.
+    NEXT700_RETURN_IF_ERROR(Append(data + written, len - written));
+    return barrier ? Sync() : Status::OK();
+  }
+  if (o_dsync()) {
+    CountSync();  // The O_DSYNC write itself was the barrier.
+  } else if (barrier) {
+    if (!fsync_ok) return Sync();  // Linked barrier cancelled; re-issue.
+    CountSync();
+  }
+  return Status::OK();
 }
 
 std::string LogSegmentPath(const std::string& dir, uint64_t index) {

@@ -24,6 +24,10 @@
 
 namespace next700 {
 
+namespace io {
+class IoBackend;
+}  // namespace io
+
 /// Append-only log device. Append() must either write every byte or return
 /// a non-OK status; Sync() is the durability barrier after which previously
 /// appended bytes must survive a crash.
@@ -50,6 +54,26 @@ class LogFile {
   /// opened with O_DSYNC. Lets tests verify durability is real, not a
   /// sleep_for stand-in.
   virtual uint64_t sync_count() const = 0;
+
+  /// write(2)-equivalent operations issued (syscall attempts in the posix
+  /// path, write submissions in the uring path). 0 for synthetic devices
+  /// that do not override it; the flusher turns this into the
+  /// write-syscalls-per-txn series.
+  virtual uint64_t write_count() const { return 0; }
+
+  /// Submits the staged flush (`len` bytes) plus, when `barrier`, the
+  /// durability barrier — batched into one kernel entry where the device
+  /// and `io` support it (linked WRITE+FSYNC on a uring backend). The
+  /// default routes through Append() + Sync(), so every existing subclass
+  /// seam (fault injection, RawWrite shims) interposes unchanged; this is
+  /// deliberate — crashtest's faults must keep firing no matter which
+  /// backend the server runs.
+  virtual Status SubmitAppend(io::IoBackend* io, const uint8_t* data,
+                              size_t len, bool barrier) {
+    (void)io;
+    NEXT700_RETURN_IF_ERROR(Append(data, len));
+    return barrier ? Sync() : Status::OK();
+  }
 };
 
 /// Creates the backend for each newly opened segment. The default (an empty
@@ -69,6 +93,7 @@ class PosixLogFile : public LogFile {
   Status Sync() override;
   void Close() override;
   uint64_t sync_count() const override { return sync_count_; }
+  uint64_t write_count() const override { return write_count_; }
 
  protected:
   /// Single write(2) attempt; returns the syscall result with errno intact.
@@ -77,11 +102,36 @@ class PosixLogFile : public LogFile {
 
   int fd() const { return fd_; }
   bool o_dsync() const { return o_dsync_; }
+  /// Counter hooks for subclasses whose writes/barriers bypass
+  /// Append()/Sync() (the uring submission path).
+  void CountWrite() { ++write_count_; }
+  void CountSync() { ++sync_count_; }
 
  private:
   int fd_ = -1;
   bool o_dsync_ = false;
   uint64_t sync_count_ = 0;
+  uint64_t write_count_ = 0;
+};
+
+/// Log device for the async spine: given a uring backend, the staged flush
+/// and its barrier go down as a linked WRITE + FSYNC pair in one ring
+/// submission (one kernel entry for write-and-barrier instead of two
+/// syscalls). A short write severs the kernel-side link, so the remainder
+/// (and the barrier) fall back to the posix retry loop — durability
+/// semantics are identical to PosixLogFile's. Without a backend it *is*
+/// a PosixLogFile.
+class UringLogFile final : public PosixLogFile {
+ public:
+  Status SubmitAppend(io::IoBackend* io, const uint8_t* data, size_t len,
+                      bool barrier) override;
+
+  /// WRITE+FSYNC pairs that went down as one linked submission.
+  uint64_t linked_submits() const { return linked_submits_; }
+
+ private:
+  uint64_t linked_submits_ = 0;
+  uint64_t next_cookie_ = 1;  // Unique per-call cookies for the ring.
 };
 
 /// One on-disk segment of a log directory.

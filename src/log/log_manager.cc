@@ -39,9 +39,23 @@ LogManager::LogManager(LogManagerOptions options)
 
 LogManager::~LogManager() { Close(); }
 
+void LogManager::AccumulateDeviceWrites() {
+  if (file_ == nullptr) return;
+  const uint64_t now = file_->write_count();
+  write_syscalls_.fetch_add(now - file_writes_seen_,
+                            std::memory_order_relaxed);
+  file_writes_seen_ = now;
+}
+
 Status LogManager::OpenSegment(uint64_t index) {
+  // A custom factory (fault injection, RawWrite shims) always wins: its
+  // Append/Sync overrides are the crashtest seam and must interpose no
+  // matter which submission backend is configured. Otherwise, a resolved
+  // ring gets the linked-submission device.
   file_ = options_.file_factory ? options_.file_factory()
-                                : std::make_unique<PosixLogFile>();
+          : io_ != nullptr     ? std::make_unique<UringLogFile>()
+                               : std::make_unique<PosixLogFile>();
+  file_writes_seen_ = 0;
   NEXT700_RETURN_IF_ERROR(
       file_->Open(LogSegmentPath(options_.dir, index),
                   options_.sync_policy == LogSyncPolicy::kODsync));
@@ -57,6 +71,23 @@ Status LogManager::OpenSegment(uint64_t index) {
 
 Status LogManager::Open() {
   NEXT700_CHECK(!running_);
+  // Resolve the device submission path before the first segment opens.
+  // kAuto degrades to the synchronous path quietly; explicit kUring does
+  // not — a CI job asking for the ring must not silently test without it.
+  // A custom file_factory (the crash-fault seam) always supplies the
+  // device, so no ring is built for it to ignore.
+  io_.reset();
+  if (options_.file_factory == nullptr &&
+      options_.io_backend != io::IoBackendKind::kEpoll) {
+    std::unique_ptr<io::IoBackend> ring;
+    const Status ring_status =
+        io::CreateIoBackend(io::IoBackendKind::kUring, &ring);
+    if (ring_status.ok()) {
+      io_ = std::move(ring);
+    } else if (options_.io_backend == io::IoBackendKind::kUring) {
+      return ring_status;
+    }
+  }
   NEXT700_RETURN_IF_ERROR(EnsureLogDir(options_.dir));
   // Resume the LSN space after the surviving history instead of truncating
   // it: recovery replays those segments, and our frames land after them.
@@ -139,6 +170,7 @@ void LogManager::Close() {
   flusher_cv_.NotifyAll();
   flusher_.join();
   running_ = false;
+  AccumulateDeviceWrites();
   if (file_ != nullptr) file_->Close();
   file_.reset();
 }
@@ -327,6 +359,7 @@ Status LogManager::WriteAndSync(const std::vector<uint8_t>& batch) {
   // frame in a non-final segment as corruption, not a crash tail.
   if (options_.segment_bytes > 0 && segment_written_ > 0 &&
       segment_written_ + batch.size() > options_.segment_bytes) {
+    AccumulateDeviceWrites();
     file_->Close();
     {
       // Seal the outgoing segment so the checkpointer can retire it.
@@ -339,13 +372,18 @@ Status LogManager::WriteAndSync(const std::vector<uint8_t>& batch) {
     }
     NEXT700_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1));
   }
-  NEXT700_RETURN_IF_ERROR(file_->Append(batch.data(), batch.size()));
+  // One submission carries the staged bytes and (under kFdatasync) the
+  // barrier: a linked WRITE+FSYNC pair on the ring path, Append+Sync on
+  // the synchronous path — the device decides, the flusher does not care.
+  const bool barrier = options_.sync_policy == LogSyncPolicy::kFdatasync;
+  NEXT700_RETURN_IF_ERROR(
+      file_->SubmitAppend(io_.get(), batch.data(), batch.size(), barrier));
   segment_written_ += batch.size();
+  AccumulateDeviceWrites();
   switch (options_.sync_policy) {
     case LogSyncPolicy::kNone:
       break;
     case LogSyncPolicy::kFdatasync:
-      NEXT700_RETURN_IF_ERROR(file_->Sync());
       sync_count_.fetch_add(1, std::memory_order_relaxed);
       break;
     case LogSyncPolicy::kODsync:

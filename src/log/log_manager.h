@@ -34,6 +34,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/thread_safety.h"
+#include "io/io_backend.h"
 #include "log/log_file.h"
 #include "log/log_record.h"
 
@@ -80,6 +81,14 @@ struct LogManagerOptions {
   /// deletes them. Both default to 0: a never-truncated log.
   uint64_t base_index = 0;
   Lsn base_lsn = 0;
+  /// Device submission path for the flusher. kAuto/kUring build a private
+  /// uring (the staged flush and its barrier go down as one linked
+  /// submission); kEpoll — and any kernel that refuses a ring under kAuto —
+  /// keeps the synchronous write+fdatasync path, which is already batched
+  /// by group commit. A custom file_factory always wins over the ring
+  /// (fault injection interposes at the Append/Sync seam regardless of
+  /// backend). kUring fails Open() loudly where unsupported.
+  io::IoBackendKind io_backend = io::IoBackendKind::kAuto;
 };
 
 /// A fully written, frame-boundary-aligned segment that rotation has moved
@@ -178,6 +187,24 @@ class LogManager {
     return segments_opened_.load(std::memory_order_relaxed);
   }
 
+  /// write(2)-equivalent device operations issued across all segments —
+  /// with flush_count(), the submissions-batched series (writes per
+  /// physical flush should be ~1).
+  uint64_t write_syscalls() const {
+    return write_syscalls_.load(std::memory_order_relaxed);
+  }
+
+  /// The flusher's ring counters, or null when the log runs the
+  /// synchronous (epoll-fallback) device path.
+  const io::IoCounters* io_counters() const {
+    return io_ == nullptr ? nullptr : &io_->counters();
+  }
+
+  /// "uring" when the flusher submits through a ring, else "sync".
+  const char* io_backend_name() const {
+    return io_ == nullptr ? "sync" : io_->name();
+  }
+
   const std::string& dir() const { return options_.dir; }
 
   /// The (index, start LSN) of the segment that still holds bytes at or
@@ -204,13 +231,19 @@ class LogManager {
   Status WriteAndSync(const std::vector<uint8_t>& batch);
   Status OpenSegment(uint64_t index);
 
+  /// Folds the live file's write_count() delta into write_syscalls_;
+  /// flusher-owned (also called on the cold Open/Close paths).
+  void AccumulateDeviceWrites();
+
   LogManagerOptions options_;
   // Flusher-owned after Open() returns (Open hands them off by starting the
   // thread); no lock, and deliberately no TSA annotation — single-owner
   // hand-off is a happens-before edge, not a lock discipline.
   std::unique_ptr<LogFile> file_;
+  std::unique_ptr<io::IoBackend> io_;  // Null = synchronous device path.
   uint64_t segment_index_ = 0;    // Flusher-owned after Open().
   uint64_t segment_written_ = 0;  // Bytes in the current segment.
+  uint64_t file_writes_seen_ = 0;  // write_count() already accumulated.
 
   // Segment-table state shared between the flusher (rotation seals the old
   // live segment) and the checkpointer (retirement unlinks sealed ones).
@@ -248,6 +281,7 @@ class LogManager {
   NEXT700_CACHE_ALIGNED std::atomic<uint64_t> flush_count_{0};
   std::atomic<uint64_t> sync_count_{0};
   std::atomic<uint64_t> segments_opened_{0};
+  std::atomic<uint64_t> write_syscalls_{0};
 
   std::thread flusher_;
 };

@@ -55,6 +55,16 @@ class Client {
   /// frames; not for normal use.
   Status SendRaw(const void* data, size_t len);
 
+  /// Relinquishes the connected socket (post-handshake) to the caller;
+  /// the Client reverts to disconnected and will not close it. The
+  /// multiplexed load generator handshakes through a Client, then drives
+  /// the raw fd nonblocking.
+  int ReleaseFd() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
  private:
   int fd_ = -1;
   FrameDecoder decoder_;

@@ -1,9 +1,14 @@
 #include "server/loadgen.h"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -156,6 +161,196 @@ void ClientThread(const LoadGenOptions& options, int thread_index,
   local->elapsed_seconds = options.seconds;
 }
 
+/// One nonblocking connection of the multiplexed generator: its own
+/// request-id space, pipeline, decoder, and unsent-bytes buffer.
+struct MuxConn {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::deque<PendingRequest> outstanding;
+  std::vector<uint8_t> out;  // Encoded requests not yet accepted by send().
+  size_t out_off = 0;
+  uint64_t next_request_id = 1;
+  bool broken = false;
+};
+
+/// Drives `conn_count` nonblocking connections from one thread. The
+/// blocking path above measures latency from Send() to the response; here
+/// it runs from encode time, which additionally includes any time a
+/// request waits in the local send buffer — the honest number when the
+/// server applies backpressure by not reading.
+void MuxClientThread(const LoadGenOptions& options, int thread_index,
+                     int conn_count, LoadGenStats* local) {
+  Rng rng(options.seed + static_cast<uint64_t>(thread_index) * 7919);
+  ZipfGenerator zipf(options.num_records, options.theta);
+  const size_t depth = static_cast<size_t>(
+      options.pipeline_depth > 0 ? options.pipeline_depth : 1);
+
+  std::vector<MuxConn> conns(static_cast<size_t>(conn_count));
+  for (MuxConn& mc : conns) {
+    Client client;
+    if (!client.Connect(options.host, options.port).ok()) {
+      ++local->transport_errors;
+      mc.broken = true;
+      continue;
+    }
+    mc.fd = client.ReleaseFd();
+    const int fl = ::fcntl(mc.fd, F_GETFL, 0);
+    ::fcntl(mc.fd, F_SETFL, fl | O_NONBLOCK);
+  }
+
+  auto fail = [&](MuxConn* mc) {
+    ++local->transport_errors;
+    mc->broken = true;
+    ::close(mc->fd);
+    mc->fd = -1;
+    mc->outstanding.clear();
+  };
+
+  auto try_send = [&](MuxConn* mc) {
+    while (mc->out_off < mc->out.size()) {
+      const ssize_t n =
+          ::send(mc->fd, mc->out.data() + mc->out_off,
+                 mc->out.size() - mc->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        mc->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      fail(mc);
+      return;
+    }
+    mc->out.clear();
+    mc->out_off = 0;
+  };
+
+  bool measuring = options.warmup_seconds <= 0;
+
+  auto top_up = [&](MuxConn* mc) {
+    while (mc->outstanding.size() < depth) {
+      const Request request =
+          MakeRequest(options, mc->next_request_id++, &rng, &zipf);
+      EncodeRequest(request, &mc->out);
+      if (measuring) ++local->requests_sent;
+      mc->outstanding.push_back(
+          PendingRequest{request.request_id, NowNanos()});
+    }
+    try_send(mc);
+  };
+
+  /// Reads and decodes everything available; false only on a broken
+  /// stream (protocol violation or connection loss).
+  auto drain_responses = [&](MuxConn* mc) -> bool {
+    for (;;) {
+      Frame frame;
+      bool have = false;
+      if (!mc->decoder.Next(&frame, &have).ok()) return false;
+      if (!have) return true;
+      if (frame.type != FrameType::kResponse) return false;
+      Response response;
+      if (!DecodeResponse(frame.body, frame.body_len, &response).ok()) {
+        return false;
+      }
+      // Per-connection responses arrive in request order; a mismatch is a
+      // protocol violation, not a latency artifact.
+      if (mc->outstanding.empty() ||
+          response.request_id != mc->outstanding.front().request_id) {
+        return false;
+      }
+      if (measuring) {
+        local->latency_ns.Record(NowNanos() -
+                                 mc->outstanding.front().sent_ns);
+        CountResponse(response, local);
+      }
+      mc->outstanding.pop_front();
+    }
+  };
+
+  auto on_readable = [&](MuxConn* mc) {
+    uint8_t buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(mc->fd, buf, sizeof(buf));
+      if (n > 0) {
+        mc->decoder.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      fail(mc);  // EOF or hard error mid-run.
+      return;
+    }
+    if (!drain_responses(mc)) fail(mc);
+  };
+
+  const uint64_t start_ns = NowNanos();
+  const uint64_t measure_start_ns =
+      start_ns + static_cast<uint64_t>(options.warmup_seconds * 1e9);
+  const uint64_t end_ns =
+      measure_start_ns + static_cast<uint64_t>(options.seconds * 1e9);
+  std::vector<pollfd> pfds;
+  std::vector<size_t> pfd_conn;
+
+  auto poll_once = [&](bool topping_up, int timeout_ms) {
+    pfds.clear();
+    pfd_conn.clear();
+    for (size_t i = 0; i < conns.size(); ++i) {
+      MuxConn& mc = conns[i];
+      if (mc.broken) continue;
+      short events = POLLIN;
+      if (mc.out_off < mc.out.size()) events |= POLLOUT;
+      pfds.push_back(pollfd{mc.fd, events, 0});
+      pfd_conn.push_back(i);
+    }
+    if (pfds.empty()) return false;
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready <= 0) return true;  // Timeout/EINTR: caller re-checks time.
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      if (pfds[p].revents == 0) continue;
+      MuxConn& mc = conns[pfd_conn[p]];
+      if (mc.broken) continue;
+      if (pfds[p].revents & (POLLIN | POLLERR | POLLHUP)) on_readable(&mc);
+      if (mc.broken) continue;
+      if (pfds[p].revents & POLLOUT) try_send(&mc);
+      if (mc.broken) continue;
+      if (topping_up) top_up(&mc);
+    }
+    return true;
+  };
+
+  for (MuxConn& mc : conns) {
+    if (!mc.broken) top_up(&mc);
+  }
+  while (NowNanos() < end_ns) {
+    if (!measuring && NowNanos() >= measure_start_ns) {
+      // Warmup boundary: drop everything counted so far.
+      *local = LoadGenStats{};
+      measuring = true;
+    }
+    if (!poll_once(/*topping_up=*/true, /*timeout_ms=*/50)) break;
+  }
+
+  // Drain: stop generating, collect in-flight responses until done or the
+  // per-request deadline budget runs out.
+  const uint64_t drain_deadline_ns =
+      NowNanos() + (options.deadline_ms > 0
+                        ? static_cast<uint64_t>(options.deadline_ms) * 1000000
+                        : 0);
+  for (;;) {
+    size_t inflight = 0;
+    for (const MuxConn& mc : conns) inflight += mc.outstanding.size();
+    if (inflight == 0) break;
+    if (options.deadline_ms > 0 && NowNanos() >= drain_deadline_ns) {
+      ++local->transport_errors;  // Responses never came.
+      break;
+    }
+    if (!poll_once(/*topping_up=*/false, /*timeout_ms=*/50)) break;
+  }
+  for (MuxConn& mc : conns) {
+    if (mc.fd >= 0) ::close(mc.fd);
+  }
+  local->elapsed_seconds = options.seconds;
+}
+
 }  // namespace
 
 Status RunKvAudit(const LoadGenOptions& options, uint64_t min_read_lsn,
@@ -210,11 +405,21 @@ Status RunKvAudit(const LoadGenOptions& options, uint64_t min_read_lsn,
 
 LoadGenStats RunLoadGen(const LoadGenOptions& options) {
   const int n = options.connections > 0 ? options.connections : 1;
-  std::vector<LoadGenStats> locals(static_cast<size_t>(n));
+  const bool mux = options.threads > 0 && options.threads < n;
+  const int thread_count = mux ? options.threads : n;
+  std::vector<LoadGenStats> locals(static_cast<size_t>(thread_count));
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    threads.emplace_back(ClientThread, std::cref(options), i, &locals[i]);
+  threads.reserve(static_cast<size_t>(thread_count));
+  for (int i = 0; i < thread_count; ++i) {
+    if (mux) {
+      // Spread the connections as evenly as the remainder allows.
+      const int share = n / thread_count + (i < n % thread_count ? 1 : 0);
+      threads.emplace_back(MuxClientThread, std::cref(options), i, share,
+                           &locals[static_cast<size_t>(i)]);
+    } else {
+      threads.emplace_back(ClientThread, std::cref(options), i,
+                           &locals[static_cast<size_t>(i)]);
+    }
   }
   for (auto& t : threads) t.join();
   LoadGenStats total;

@@ -21,8 +21,14 @@ namespace server {
 struct LoadGenOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
-  int connections = 4;     // One thread per connection.
+  int connections = 4;     // One thread per connection (but see threads).
   int pipeline_depth = 8;  // Requests kept in flight per connection.
+  /// 0 = the classic blocking mode, one thread per connection. > 0 caps
+  /// the generator at this many threads, each multiplexing its share of
+  /// the connections over poll() with nonblocking sockets — the only way
+  /// to drive connection counts in the hundreds or thousands without one
+  /// OS thread each.
+  int threads = 0;
   double warmup_seconds = 0.0;
   double seconds = 5.0;
   /// Key space / partition map; must match the server's KvServiceOptions

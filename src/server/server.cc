@@ -1,11 +1,8 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -27,6 +24,15 @@ uint32_t ResumeWatermark(uint32_t budget) { return budget - budget / 4; }
 /// backpressures through TCP instead of ballooning primary memory.
 constexpr size_t kShipWindowBytes = 4 * kMaxReplBatchBytes;
 
+/// Socket read buffer per connection (one outstanding read each).
+constexpr size_t kReadBufBytes = 64 * 1024;
+
+/// Completion routing: conn ids start at 1, so (id << 1 | tag) is always
+/// >= 2 and the accept cookie below can never collide with it.
+constexpr uint64_t kAcceptUd = 1;
+uint64_t ReadUd(uint64_t conn_id) { return conn_id << 1; }
+uint64_t WriteUd(uint64_t conn_id) { return (conn_id << 1) | 1; }
+
 }  // namespace
 
 Server::Server(Engine* engine, ServerOptions options)
@@ -42,6 +48,10 @@ Server::~Server() { Stop(); }
 
 Status Server::Start() {
   NEXT700_CHECK(!running_.load());
+  // kUring fails loudly here on kernels without a usable ring; kAuto
+  // quietly resolves to the batched-epoll fallback.
+  NEXT700_RETURN_IF_ERROR(io::CreateIoBackend(options_.io_backend, &io_));
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
   if (listen_fd_ < 0) return Status::IOError("socket() failed");
@@ -66,19 +76,6 @@ Status Server::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   bound_port_ = ntohs(addr.sin_port);
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    return Status::IOError("epoll/eventfd setup failed");
-  }
-  epoll_event ev;
-  std::memset(&ev, 0, sizeof(ev));
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-
   // Queue-oriented dispatch for the partitioned composition: partition p is
   // served by worker (p mod workers), so single-partition transactions on
   // distinct partitions never contend on a queue or a partition lock. Other
@@ -93,16 +90,15 @@ Status Server::Start() {
     // One durable callback serves two consumers: releasing held replies
     // (sync commit) and waking the loop to ship freshly durable bytes to
     // replicas. The flusher thread must not touch loop-owned connection
-    // state, so shipping is signalled through a flag + eventfd.
+    // state, so shipping is signalled through a flag + the backend's
+    // thread-safe Wakeup.
     const bool sync_commit = engine_->options().sync_commit;
     engine_->log_manager()->SetDurableCallback(
         [this, sync_commit](Lsn durable) {
           if (sync_commit) ReleaseDurable(ReleaseWatermark(durable));
           if (replica_count_.load(std::memory_order_acquire) > 0) {
             ship_pending_.store(true, std::memory_order_release);
-            const uint64_t one = 1;
-            [[maybe_unused]] ssize_t n =
-                ::write(wake_fd_, &one, sizeof(one));
+            io_->Wakeup();
           }
         });
   }
@@ -124,8 +120,7 @@ void Server::Stop() {
     engine_->log_manager()->SetDurableCallback(nullptr);
   }
   stop_requested_.store(true);
-  const uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  io_->Wakeup();
   loop_thread_.join();
 
   for (auto& queue : queues_) {
@@ -144,109 +139,106 @@ void Server::Stop() {
     ::close(conn->fd());
   }
   connections_.clear();
-  conn_id_by_fd_.clear();
+  dirty_.clear();
   ::close(listen_fd_);
-  ::close(epoll_fd_);
-  ::close(wake_fd_);
-  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  listen_fd_ = -1;
+  // Last: workers called io_->Wakeup() through PushCompletion until the
+  // join above, so the backend must outlive them.
+  io_.reset();
   running_.store(false);
 }
 
 void Server::EventLoop() {
+  // The loop thread owns the backend from here on (Submit*/Reap/CancelFd
+  // are single-owner calls), which is why the accept is armed here and
+  // not in Start().
+  (void)io_->SubmitAccept(listen_fd_, kAcceptUd);
   constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
+  io::IoEvent events[kMaxEvents];
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    bool accept_pending = false;
+    const int n = io_->Reap(events, kMaxEvents, /*timeout_ms=*/-1);
+    if (n < 0) break;
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      const uint32_t mask = events[i].events;
-      if (fd == wake_fd_) {
-        uint64_t drained;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
-        }
-        DrainCompletions();
-        if (ship_pending_.exchange(false, std::memory_order_acq_rel)) {
-          ShipAll();
-        }
-      } else if (fd == listen_fd_) {
-        // Defer accepts to the end of the batch so a connection closed in
-        // this batch cannot have its fd reused and matched against a stale
-        // event entry.
-        accept_pending = true;
-      } else {
-        auto fd_it = conn_id_by_fd_.find(fd);
-        if (fd_it == conn_id_by_fd_.end()) continue;
-        const uint64_t conn_id = fd_it->second;
-        if (mask & (EPOLLERR | EPOLLHUP)) {
-          CloseConnection(connections_.at(conn_id).get());
-          continue;
-        }
-        if (mask & EPOLLIN) {
-          HandleReadable(connections_.at(conn_id).get());
-        }
-        // The read handler may have closed the connection; re-check.
-        auto it = connections_.find(conn_id);
-        if (it != connections_.end() && (mask & EPOLLOUT)) {
-          HandleWritable(it->second.get());
-        }
+      const io::IoEvent& event = events[i];
+      switch (event.op) {
+        case io::IoEvent::Op::kWakeup:
+          DrainCompletions();
+          if (ship_pending_.exchange(false, std::memory_order_acq_rel)) {
+            ShipAll();
+          }
+          break;
+        case io::IoEvent::Op::kAccept:
+          // Transient accept errors surface as negative results; the
+          // backend has already re-armed the accept either way.
+          if (event.result >= 0) HandleAccept(event.result);
+          break;
+        case io::IoEvent::Op::kRead:
+          HandleReadComplete(event.user_data >> 1, event.result);
+          break;
+        case io::IoEvent::Op::kWrite:
+          HandleWriteComplete(event.user_data >> 1, event.result);
+          break;
+        case io::IoEvent::Op::kFsync:
+          break;  // The network path never submits fsyncs.
       }
     }
-    if (accept_pending) HandleAccept();
+    // Batch end: everything that became writable above goes out as one
+    // writev per connection.
+    FlushDirty();
   }
 }
 
-void Server::HandleAccept() {
-  for (;;) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm.
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const uint64_t id = next_conn_id_++;
-    auto conn = std::make_unique<Connection>(fd, id);
-    conn->set_read_paused(reads_paused_);
-    epoll_event ev;
-    std::memset(&ev, 0, sizeof(ev));
-    ev.events = reads_paused_ ? 0u : static_cast<uint32_t>(EPOLLIN);
-    ev.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-    conn_id_by_fd_[fd] = id;
-    connections_[id] = std::move(conn);
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-  }
+void Server::HandleAccept(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const uint64_t id = next_conn_id_++;
+  auto conn = std::make_unique<Connection>(fd, id);
+  conn->set_read_paused(reads_paused_);
+  Connection* raw = conn.get();
+  connections_[id] = std::move(conn);
+  stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  StartRead(raw);
 }
 
-void Server::HandleReadable(Connection* conn) {
-  uint8_t buf[64 * 1024];
-  for (;;) {
-    const ssize_t n = ::read(conn->fd(), buf, sizeof(buf));
-    if (n > 0) {
-      conn->decoder()->Feed(buf, static_cast<size_t>(n));
-      // Backpressure: once the admission budget fills, stop pulling bytes
-      // off the socket; the kernel buffer (and then the peer) absorbs it.
-      // Replica acks consume no budget and release held replies, so
-      // replica streams are never throttled.
-      if (conn->peer() != PeerRole::kReplica &&
-          inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
-        break;
-      }
-      continue;
-    }
-    if (n == 0) {
-      // Peer half-closed: finish buffered work, flush replies, then close.
-      conn->set_draining();
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+void Server::StartRead(Connection* conn) {
+  if (conn->read_inflight() || conn->read_paused() || conn->draining()) {
+    return;
+  }
+  uint8_t* buf = conn->EnsureReadBuffer(kReadBufBytes);
+  const Status submitted =
+      io_->SubmitRead(conn->fd(), buf, conn->read_buf_len(),
+                      ReadUd(conn->id()));
+  if (!submitted.ok()) {
     CloseConnection(conn);
     return;
   }
-  DrainFrames(conn);
+  conn->set_read_inflight(true);
+}
+
+void Server::HandleReadComplete(uint64_t conn_id, int32_t result) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;  // Closed with the read in flight.
+  Connection* conn = it->second.get();
+  conn->set_read_inflight(false);
+  if (result == 0) {
+    // Peer half-closed: finish buffered work, flush replies, then close.
+    conn->set_draining();
+    DrainFrames(conn);
+    return;
+  }
+  if (result < 0) {
+    if (result == -EAGAIN || result == -EINTR) {
+      StartRead(conn);  // Spurious readiness or signal: re-arm.
+      return;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  conn->decoder()->Feed(conn->read_buf(), static_cast<size_t>(result));
+  DrainFrames(conn);  // May pause reads or close `conn`.
+  auto again = connections_.find(conn_id);
+  if (again == connections_.end()) return;
+  StartRead(again->second.get());
 }
 
 void Server::DrainFrames(Connection* conn) {
@@ -304,10 +296,7 @@ void Server::DrainFrames(Connection* conn) {
     DispatchRequest(conn, std::move(request));
     if (connections_.find(conn_id) == connections_.end()) return;
   }
-  if (conn->draining() && conn->pending_responses() == 0 &&
-      !conn->has_pending_writes()) {
-    CloseConnection(conn);
-  }
+  MaybeCloseDrained(conn);
 }
 
 bool Server::HandleHello(Connection* conn, const Frame& frame) {
@@ -372,7 +361,6 @@ bool Server::HandleReplAck(Connection* conn, const Frame& frame) {
 void Server::ShipToReplica(Connection* conn) {
   repl::LogShipper* shipper = conn->shipper();
   if (shipper == nullptr) return;
-  const uint64_t conn_id = conn->id();
   bool enqueued = false;
   while (conn->write_len() < kShipWindowBytes) {
     std::vector<uint8_t> encoded;
@@ -391,10 +379,7 @@ void Server::ShipToReplica(Connection* conn) {
     stats_.repl_batches_shipped.fetch_add(1, std::memory_order_relaxed);
     enqueued = true;
   }
-  if (enqueued) {
-    FlushConnection(conn);
-    if (connections_.find(conn_id) == connections_.end()) return;
-  }
+  if (enqueued) FlushConnection(conn);
 }
 
 void Server::ShipAll() {
@@ -514,52 +499,96 @@ void Server::CompleteInline(Connection* conn, uint64_t seq,
 }
 
 void Server::FlushConnection(Connection* conn) {
-  const size_t before = conn->pending_responses();
-  conn->FlushOrdered();
-  stats_.responses_sent.fetch_add(before - conn->pending_responses(),
-                                  std::memory_order_relaxed);
-  while (conn->has_pending_writes()) {
-    const ssize_t n = ::send(conn->fd(), conn->write_data(),
-                             conn->write_len(), MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->ConsumeWritten(static_cast<size_t>(n));
-      continue;
+  const size_t released = conn->FlushOrdered();
+  stats_.responses_sent.fetch_add(released, std::memory_order_relaxed);
+  if (conn->has_pending_writes() && !conn->write_inflight()) {
+    MarkDirty(conn);
+  }
+  MaybeCloseDrained(conn);
+}
+
+void Server::MarkDirty(Connection* conn) {
+  if (conn->flush_pending()) return;
+  conn->set_flush_pending(true);
+  dirty_.push_back(conn->id());
+}
+
+void Server::FlushDirty() {
+  // Swap first: StartWrite may close connections while iterating.
+  std::vector<uint64_t> dirty;
+  dirty.swap(dirty_);
+  for (uint64_t id : dirty) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;  // Closed earlier this batch.
+    Connection* conn = it->second.get();
+    conn->set_flush_pending(false);
+    if (!conn->write_inflight() && conn->has_pending_writes()) {
+      StartWrite(conn);
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!conn->want_write()) {
-        conn->set_want_write(true);
-        UpdateEpoll(conn);
-      }
+  }
+}
+
+void Server::StartWrite(Connection* conn) {
+  const int iovcnt = conn->BuildIovec(conn->iov());
+  if (iovcnt == 0) return;
+  const Status submitted =
+      io_->SubmitWritev(conn->fd(), conn->iov(), iovcnt,
+                        WriteUd(conn->id()));
+  if (!submitted.ok()) {
+    CloseConnection(conn);
+    return;
+  }
+  conn->set_write_inflight(true);
+  stats_.writev_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.frames_batched.fetch_add(static_cast<uint64_t>(iovcnt),
+                                  std::memory_order_relaxed);
+}
+
+void Server::HandleWriteComplete(uint64_t conn_id, int32_t result) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;  // Closed with the write in flight.
+  Connection* conn = it->second.get();
+  conn->set_write_inflight(false);
+  if (result < 0) {
+    if (result == -EAGAIN || result == -EINTR) {
+      StartWrite(conn);  // Spurious readiness or signal: resubmit as-is.
       return;
     }
     CloseConnection(conn);
     return;
   }
-  if (conn->want_write()) {
-    conn->set_want_write(false);
-    UpdateEpoll(conn);
+  conn->ConsumeWritten(static_cast<size_t>(result));
+  if (conn->has_pending_writes()) {
+    // Partial writev (socket buffer filled mid-gather, or more frames than
+    // kMaxIov): resume from the first unsent byte.
+    StartWrite(conn);
+    return;
   }
-  if (conn->draining() && conn->pending_responses() == 0 &&
-      conn->decoder()->buffered_bytes() == 0) {
-    CloseConnection(conn);
+  if (conn->shipper() != nullptr) {
+    // A drained replica socket reopens the shipping window.
+    ShipToReplica(conn);
+    if (connections_.find(conn_id) == connections_.end()) return;
   }
+  MaybeCloseDrained(conn);
 }
 
-void Server::HandleWritable(Connection* conn) {
-  const uint64_t conn_id = conn->id();
-  FlushConnection(conn);
-  // A drained replica socket reopens the shipping window.
-  auto it = connections_.find(conn_id);
-  if (it != connections_.end() && it->second->shipper() != nullptr) {
-    ShipToReplica(it->second.get());
+bool Server::MaybeCloseDrained(Connection* conn) {
+  if (conn->draining() && conn->pending_responses() == 0 &&
+      !conn->has_pending_writes() && !conn->write_inflight() &&
+      conn->decoder()->buffered_bytes() == 0) {
+    CloseConnection(conn);
+    return true;
   }
+  return false;
 }
 
 void Server::CloseConnection(Connection* conn) {
   const bool was_subscribed_replica = conn->shipper() != nullptr;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+  // Drop the connection's pending ops from the backend before close: the
+  // fd number may be reused by the very next accept, and the read buffer
+  // dies with the connection below.
+  io_->CancelFd(conn->fd());
   ::close(conn->fd());
-  conn_id_by_fd_.erase(conn->fd());
   connections_.erase(conn->id());  // Frees `conn`.
   if (was_subscribed_replica) {
     const uint32_t remaining =
@@ -584,8 +613,7 @@ void Server::PushCompletion(Completion completion) {
     MutexLock lock(&completions_mu_);
     completions_.push_back(std::move(completion));
   }
-  const uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  io_->Wakeup();
 }
 
 void Server::ReleaseDurable(Lsn durable) {
@@ -600,10 +628,7 @@ void Server::ReleaseDurable(Lsn durable) {
       released = true;
     }
   }
-  if (released) {
-    const uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-  }
+  if (released) io_->Wakeup();
 }
 
 void Server::DrainCompletions() {
@@ -632,14 +657,13 @@ void Server::DrainCompletions() {
 void Server::PauseReads() {
   if (reads_paused_) return;
   reads_paused_ = true;
+  // No read is cancelled: outstanding ones complete and simply do not
+  // resubmit while paused. Replica connections stay readable: their acks
+  // release held semisync replies, which is exactly what drains the
+  // budget.
   for (auto& [id, conn] : connections_) {
     (void)id;
-    // Replica connections stay readable: their acks release held semisync
-    // replies, which is exactly what drains the budget.
-    if (conn->peer() != PeerRole::kReplica && !conn->read_paused()) {
-      conn->set_read_paused(true);
-      UpdateEpoll(conn.get());
-    }
+    if (conn->peer() != PeerRole::kReplica) conn->set_read_paused(true);
   }
 }
 
@@ -656,21 +680,13 @@ void Server::ResumeReads() {
     if (it == connections_.end()) continue;
     Connection* conn = it->second.get();
     conn->set_read_paused(false);
-    UpdateEpoll(conn);
     // Frames decoded before the pause may still be buffered; re-admit them
     // now (this may re-pause, in which case stop).
     DrainFrames(conn);
+    auto again = connections_.find(id);
+    if (again != connections_.end()) StartRead(again->second.get());
     if (reads_paused_) break;
   }
-}
-
-void Server::UpdateEpoll(Connection* conn) {
-  epoll_event ev;
-  std::memset(&ev, 0, sizeof(ev));
-  ev.events = (conn->read_paused() ? 0u : static_cast<uint32_t>(EPOLLIN)) |
-              (conn->want_write() ? static_cast<uint32_t>(EPOLLOUT) : 0u);
-  ev.data.fd = conn->fd();
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
 }
 
 void Server::WorkerLoop(int worker_id) {

@@ -2,13 +2,15 @@
 #define NEXT700_SERVER_SERVER_H_
 
 /// \file
-/// The networked transaction service: an epoll-based TCP front-end that
-/// exposes a composed Engine as a stored-procedure server.
+/// The networked transaction service: a submission/completion-queue TCP
+/// front-end that exposes a composed Engine as a stored-procedure server.
 ///
 /// Architecture (one process):
 ///
-///   event-loop thread    accept / nonblocking read / frame decode /
-///                        dispatch / ordered response write
+///   event-loop thread    owns an io::IoBackend (io_uring or batched
+///                        epoll); submits accepts/reads/writev batches,
+///                        reaps completions, decodes frames, dispatches,
+///                        releases ordered responses
 ///   worker pool          executes stored procedures via
 ///                        Engine::RunProcedureDeferred; per-partition
 ///                        queue affinity for H-Store compositions
@@ -19,12 +21,20 @@
 ///                        durable — a client never observes a commit the
 ///                        log could still lose
 ///
+/// I/O batching: responses completed during one reap batch accumulate in
+/// per-connection frame queues; at batch end each dirty connection gets a
+/// single writev submission gathering up to Connection::kMaxIov frames.
+/// A pipelined client at depth d therefore costs ~1 write syscall per
+/// batch instead of d. The same spine carries replication batches and
+/// (via the LogManager's private ring) the group-commit flush.
+///
 /// Admission control: a bounded server-wide in-flight budget. When the
-/// budget fills the event loop stops reading from sockets (backpressure
-/// through TCP); requests already decoded that overflow a worker queue are
-/// answered with kResourceExhausted instead of growing the queue.
-/// Replica connections are exempt from read pausing: their acks release
-/// held semisync replies, so throttling them could deadlock the budget.
+/// budget fills the event loop stops resubmitting socket reads
+/// (backpressure through TCP); requests already decoded that overflow a
+/// worker queue are answered with kResourceExhausted instead of growing
+/// the queue. Replica connections are exempt from read pausing: their
+/// acks release held semisync replies, so throttling them could deadlock
+/// the budget.
 ///
 /// Replication roles:
 ///  - Primary: any server with logging enabled accepts PeerRole::kReplica
@@ -51,6 +61,7 @@
 
 #include "common/status.h"
 #include "common/thread_safety.h"
+#include "io/io_backend.h"
 #include "server/connection.h"
 #include "server/protocol.h"
 #include "txn/engine.h"
@@ -99,6 +110,10 @@ struct ServerOptions {
   /// Per-worker-queue bound; enqueue beyond it answers kResourceExhausted.
   size_t queue_capacity = 1024;
   int listen_backlog = 128;
+  /// Network submission backend: kUring demands a raw io_uring (Start()
+  /// fails where the kernel lacks one), kEpoll forces the portable
+  /// batched-epoll path, kAuto probes uring and falls back.
+  io::IoBackendKind io_backend = io::IoBackendKind::kAuto;
   /// Commit acknowledgement policy when replicas subscribe (primary only).
   ReplAckMode repl_ack = ReplAckMode::kAsync;
   /// Non-null makes this a replica-role server: read-only procedures run
@@ -125,6 +140,10 @@ struct ServerStats {
   std::atomic<uint64_t> semisync_degraded{0};
   /// Replica-role rejections: writes, or min_read_lsn ahead of applied.
   std::atomic<uint64_t> snapshot_rejects{0};
+  /// writev submissions issued, and the frames they gathered: the ratio
+  /// is the reply-batching factor (frames/writev >> 1 under pipelining).
+  std::atomic<uint64_t> writev_batches{0};
+  std::atomic<uint64_t> frames_batched{0};
   NEXT700_CACHE_ALIGNED
   std::atomic<uint64_t> replies_held_durable{0};  // Waited on the flusher.
 };
@@ -138,7 +157,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the event loop + workers.
+  /// Binds, listens, builds the io backend, and starts the event loop +
+  /// workers. Fails if options.io_backend = kUring on a kernel without a
+  /// usable io_uring.
   Status Start();
 
   /// Stops accepting, tears down connections and threads. Idempotent.
@@ -149,6 +170,14 @@ class Server {
   uint16_t port() const { return bound_port_; }
 
   const ServerStats& stats() const { return stats_; }
+  /// Network-path io counters (null before Start / after Stop).
+  const io::IoCounters* io_counters() const {
+    return io_ == nullptr ? nullptr : &io_->counters();
+  }
+  /// Resolved backend: "uring" or "epoll" ("none" before Start).
+  const char* io_backend_name() const {
+    return io_ == nullptr ? "none" : io_->name();
+  }
   Engine* engine() { return engine_; }
 
  private:
@@ -182,9 +211,21 @@ class Server {
   void EventLoop();
   void WorkerLoop(int worker_id);
 
-  void HandleAccept();
-  void HandleReadable(Connection* conn);
-  void HandleWritable(Connection* conn);
+  /// A completed accept: set up the connection and submit its first read.
+  void HandleAccept(int fd);
+  /// Read/write completions, routed by the conn id packed in user_data.
+  void HandleReadComplete(uint64_t conn_id, int32_t result);
+  void HandleWriteComplete(uint64_t conn_id, int32_t result);
+  /// Submits the (single outstanding) socket read unless paused/draining.
+  void StartRead(Connection* conn);
+  /// Submits one writev gathering the connection's queued frames. May
+  /// close `conn` on submission failure.
+  void StartWrite(Connection* conn);
+  /// Queues `conn` for a writev submission at the end of the reap batch.
+  void MarkDirty(Connection* conn);
+  /// Batch end: one writev per dirty connection with queued frames.
+  void FlushDirty();
+
   /// Decodes and dispatches buffered frames until the stream is drained,
   /// the budget fills, or the stream turns out to be corrupt.
   void DrainFrames(Connection* conn);
@@ -200,7 +241,12 @@ class Server {
   /// admission rejects) without a round trip through the worker pool.
   void CompleteInline(Connection* conn, uint64_t seq,
                       const Response& response);
+  /// Releases ordered responses into the outbound queue and marks the
+  /// connection dirty (actual writev happens at batch end / FlushDirty).
   void FlushConnection(Connection* conn);
+  /// Closes a draining connection whose work has fully drained. Returns
+  /// true if it closed `conn`.
+  bool MaybeCloseDrained(Connection* conn);
   void CloseConnection(Connection* conn);
 
   /// Ships durable log bytes to one subscribed replica until its write
@@ -219,7 +265,8 @@ class Server {
   /// Callable from any thread.
   Lsn ReleaseWatermark(Lsn durable) const;
 
-  /// Worker -> event loop handoff (thread-safe; wakes the loop via eventfd).
+  /// Worker -> event loop handoff (thread-safe; wakes the loop through
+  /// the backend's Wakeup, the only cross-thread entry point).
   void PushCompletion(Completion completion);
   /// Moves every held reply with lsn <= durable into the completion queue.
   void ReleaseDurable(Lsn durable);
@@ -227,7 +274,6 @@ class Server {
 
   void PauseReads();
   void ResumeReads();
-  void UpdateEpoll(Connection* conn);
 
   int WorkerFor(const Request& request);
 
@@ -236,11 +282,14 @@ class Server {
   ServerStats stats_;
 
   int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: completions pending or stop requested.
   uint16_t bound_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+
+  /// Submission/completion backend for every socket in this server.
+  /// Submit/Reap/CancelFd are event-loop-thread-only; Wakeup() is the
+  /// one thread-safe entry (workers, log flusher, Stop()).
+  std::unique_ptr<io::IoBackend> io_;
 
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
@@ -250,9 +299,11 @@ class Server {
 
   // Event-loop-owned connection table.
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
-  std::unordered_map<int, uint64_t> conn_id_by_fd_;
   uint64_t next_conn_id_ = 1;
   bool reads_paused_ = false;
+  /// Connections owed a writev submission at batch end (by id: an entry
+  /// may refer to a connection closed earlier in the same batch).
+  std::vector<uint64_t> dirty_;
 
   /// Subscribed replicas (shipper attached). Written by the event loop;
   /// read by the flusher callback and workers for semisync gating.

@@ -106,6 +106,7 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
     log_options.sync_policy = options_.log_sync;
     log_options.segment_bytes = options_.log_segment_bytes;
     log_options.file_factory = options_.log_file_factory;
+    log_options.io_backend = options_.log_io_backend;
     log_options.base_index = log_base_index;
     log_options.base_lsn = log_base_lsn;
     log_ = std::make_unique<LogManager>(log_options);

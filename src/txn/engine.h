@@ -62,6 +62,11 @@ struct EngineOptions {
   uint64_t log_segment_bytes = 64ull << 20;
   /// Overrides the log's device backend (fault injection, EINTR shims).
   LogFileFactory log_file_factory;
+  /// Submission backend for the log device (see LogManagerOptions): kAuto
+  /// and kUring use a private ring for linked write+barrier submission,
+  /// kEpoll keeps the synchronous write+fdatasync path. A custom
+  /// log_file_factory always wins over the ring.
+  io::IoBackendKind log_io_backend = io::IoBackendKind::kAuto;
 
   /// Online checkpointing: directory for MANIFEST + checkpoint files.
   /// Non-empty constructs a CheckpointCoordinator — the engine reads the

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "index/index.h"
+#include "io/io_backend.h"
 #include "log/log_file.h"
 #include "log/recovery.h"
 #include "repl/log_shipper.h"
@@ -39,6 +40,22 @@ using server::ServerOptions;
 
 constexpr uint64_t kRecords = 1024;
 constexpr uint32_t kValueSize = 64;
+
+/// Every case runs against both async-I/O backends (network event loop and
+/// log flusher alike): replication catch-up, semisync gating, and failover
+/// must not depend on which spine carried the bytes. Set by the fixture,
+/// read by the node factories (gtest runs cases serially).
+io::IoBackendKind g_io_backend = io::IoBackendKind::kAuto;
+
+class ReplTest : public ::testing::TestWithParam<io::IoBackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == io::IoBackendKind::kUring && !io::UringSupported()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel/sandbox";
+    }
+    g_io_backend = GetParam();
+  }
+};
 
 std::string TempLogDir(const std::string& tag) {
   const std::string dir =
@@ -65,6 +82,7 @@ EngineOptions NodeEngineOptions(const std::string& log_dir) {
   eng.logging = LoggingKind::kValue;
   eng.log_dir = log_dir;
   eng.log_flush_interval_us = 20;
+  eng.log_io_backend = g_io_backend;
   return eng;
 }
 
@@ -83,6 +101,7 @@ PrimaryNode StartPrimary(const std::string& tag,
   RegisterKvService(node.engine.get(), kv);
   ServerOptions srv;
   srv.num_workers = 2;
+  srv.io_backend = g_io_backend;
   srv.repl_ack = ack_mode;
   node.server = std::make_unique<Server>(node.engine.get(), srv);
   EXPECT_TRUE(node.server->Start().ok());
@@ -119,6 +138,7 @@ ReplicaNode StartReplica(const std::string& tag, uint16_t primary_port) {
   EXPECT_TRUE(node.applier->Start().ok());
   ServerOptions srv;
   srv.num_workers = 2;
+  srv.io_backend = g_io_backend;
   srv.snapshot_source = node.applier.get();
   node.server = std::make_unique<Server>(node.engine.get(), srv);
   EXPECT_TRUE(node.server->Start().ok());
@@ -153,7 +173,7 @@ uint64_t CounterOf(const Response& response) {
   return counter;
 }
 
-TEST(ReplTest, ReplicaCatchesUpAndServesSnapshotReads) {
+TEST_P(ReplTest, ReplicaCatchesUpAndServesSnapshotReads) {
   PrimaryNode primary = StartPrimary("catchup_p",
                                      server::ReplAckMode::kAsync);
   Client client;
@@ -207,7 +227,7 @@ TEST(ReplTest, ReplicaCatchesUpAndServesSnapshotReads) {
   primary.server->Stop();
 }
 
-TEST(ReplTest, ReplicaRejectsWritesAndStaleReads) {
+TEST_P(ReplTest, ReplicaRejectsWritesAndStaleReads) {
   PrimaryNode primary = StartPrimary("reject_p", server::ReplAckMode::kAsync);
   ReplicaNode replica = StartReplica("reject_r", primary.server->port());
   ASSERT_TRUE(WaitUntil([&] { return replica.applier->connected(); }));
@@ -236,7 +256,7 @@ TEST(ReplTest, ReplicaRejectsWritesAndStaleReads) {
   primary.server->Stop();
 }
 
-TEST(ReplTest, AppliedLsnNeverExceedsPrimaryDurable) {
+TEST_P(ReplTest, AppliedLsnNeverExceedsPrimaryDurable) {
   PrimaryNode primary = StartPrimary("invariant_p",
                                      server::ReplAckMode::kAsync);
   ReplicaNode replica = StartReplica("invariant_r", primary.server->port());
@@ -264,7 +284,7 @@ TEST(ReplTest, AppliedLsnNeverExceedsPrimaryDurable) {
   primary.server->Stop();
 }
 
-TEST(ReplTest, SemisyncAckedWorkSurvivesPromotion) {
+TEST_P(ReplTest, SemisyncAckedWorkSurvivesPromotion) {
   PrimaryNode primary = StartPrimary("promote_p",
                                      server::ReplAckMode::kSemisync);
   ReplicaNode replica = StartReplica("promote_r", primary.server->port());
@@ -339,7 +359,7 @@ TEST(ReplTest, SemisyncAckedWorkSurvivesPromotion) {
   EXPECT_GT(promoted.log_manager()->appended_lsn(), before);
 }
 
-TEST(ReplTest, SemisyncDegradesWhenLastReplicaLeaves) {
+TEST_P(ReplTest, SemisyncDegradesWhenLastReplicaLeaves) {
   PrimaryNode primary = StartPrimary("degrade_p",
                                      server::ReplAckMode::kSemisync);
   Client client;
@@ -371,6 +391,13 @@ TEST(ReplTest, SemisyncDegradesWhenLastReplicaLeaves) {
 
   primary.server->Stop();
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    IoBackends, ReplTest,
+    ::testing::Values(io::IoBackendKind::kEpoll, io::IoBackendKind::kUring),
+    [](const ::testing::TestParamInfo<io::IoBackendKind>& info) {
+      return std::string(io::IoBackendKindName(info.param));
+    });
 
 }  // namespace
 }  // namespace repl

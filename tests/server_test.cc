@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "faultlog/fault_injection.h"
+#include "io/io_backend.h"
 #include "server/client.h"
 #include "server/loadgen.h"
 #include "server/procs.h"
@@ -22,6 +23,22 @@ namespace server {
 namespace {
 
 constexpr uint64_t kRecords = 4096;
+
+/// Every case runs against both async-I/O backends: the io_uring ring and
+/// the batched-epoll fallback must be behaviorally identical at the
+/// protocol level. Set by the fixture, read by StartService (gtest runs
+/// cases serially, so a file-scope knob is race-free).
+io::IoBackendKind g_io_backend = io::IoBackendKind::kAuto;
+
+class ServerTest : public ::testing::TestWithParam<io::IoBackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == io::IoBackendKind::kUring && !io::UringSupported()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel/sandbox";
+    }
+    g_io_backend = GetParam();
+  }
+};
 
 struct Service {
   std::unique_ptr<Engine> engine;
@@ -39,6 +56,8 @@ Service StartService(CcScheme scheme, LoggingKind logging,
   eng.log_dir = std::string(::testing::TempDir()) + "/next700_server_" +
                 CcSchemeName(scheme) + ".logd";
   RemoveLogDir(eng.log_dir);  // Logs accumulate across runs; start clean.
+  eng.log_io_backend = g_io_backend;
+  srv.io_backend = g_io_backend;
   if (tweak) tweak(eng);
   Service service;
   service.engine = std::make_unique<Engine>(eng);
@@ -74,7 +93,7 @@ Request RmwRequest(uint64_t request_id, uint64_t key) {
   return request;
 }
 
-TEST(ServerTest, GetReturnsRowPayload) {
+TEST_P(ServerTest, GetReturnsRowPayload) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kNone);
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
@@ -84,7 +103,7 @@ TEST(ServerTest, GetReturnsRowPayload) {
   EXPECT_EQ(response.payload.size(), 64u);  // KvServiceOptions value_size.
 }
 
-TEST(ServerTest, PipelinedRepliesArriveInRequestOrder) {
+TEST_P(ServerTest, PipelinedRepliesArriveInRequestOrder) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kNone);
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
@@ -107,7 +126,7 @@ TEST(ServerTest, PipelinedRepliesArriveInRequestOrder) {
   }
 }
 
-TEST(ServerTest, RepliesAreOrderedEvenWhenRequestIdsRepeat) {
+TEST_P(ServerTest, RepliesAreOrderedEvenWhenRequestIdsRepeat) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kNone);
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
@@ -124,7 +143,7 @@ TEST(ServerTest, RepliesAreOrderedEvenWhenRequestIdsRepeat) {
   }
 }
 
-TEST(ServerTest, CommittedRepliesAreDurableWhenValueLogged) {
+TEST_P(ServerTest, CommittedRepliesAreDurableWhenValueLogged) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kValue);
   LogManager* log = service.engine->log_manager();
   ASSERT_NE(log, nullptr);
@@ -146,7 +165,7 @@ TEST(ServerTest, CommittedRepliesAreDurableWhenValueLogged) {
   EXPECT_GT(service.server->stats().replies_held_durable.load(), 0u);
 }
 
-TEST(ServerTest, GroupCommitDurabilityIsBackedByRealBarriers) {
+TEST_P(ServerTest, GroupCommitDurabilityIsBackedByRealBarriers) {
   // The counting backend proves durable_lsn is advanced by actual
   // fdatasync barriers, not a sleep-based stand-in.
   FaultInjector injector;  // No faults registered: pure observation.
@@ -174,7 +193,7 @@ TEST(ServerTest, GroupCommitDurabilityIsBackedByRealBarriers) {
   service.server->Stop();
 }
 
-TEST(ServerTest, HstoreCompositionUsesPartitionedDispatch) {
+TEST_P(ServerTest, HstoreCompositionUsesPartitionedDispatch) {
   ServerOptions srv;
   srv.num_workers = 2;
   Service service =
@@ -190,7 +209,7 @@ TEST(ServerTest, HstoreCompositionUsesPartitionedDispatch) {
   }
 }
 
-TEST(ServerTest, UnknownProcedureAnswersNotFound) {
+TEST_P(ServerTest, UnknownProcedureAnswersNotFound) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kNone);
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
@@ -202,7 +221,7 @@ TEST(ServerTest, UnknownProcedureAnswersNotFound) {
   EXPECT_EQ(response.status, StatusCode::kNotFound);
 }
 
-TEST(ServerTest, OutOfRangePartitionAnswersInvalidArgument) {
+TEST_P(ServerTest, OutOfRangePartitionAnswersInvalidArgument) {
   Service service = StartService(CcScheme::kHstore, LoggingKind::kNone);
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
@@ -213,7 +232,7 @@ TEST(ServerTest, OutOfRangePartitionAnswersInvalidArgument) {
   EXPECT_EQ(response.status, StatusCode::kInvalidArgument);
 }
 
-TEST(ServerTest, MalformedArgsAnswerInvalidArgumentAndConnectionSurvives) {
+TEST_P(ServerTest, MalformedArgsAnswerInvalidArgumentAndConnectionSurvives) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kNone);
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
@@ -229,7 +248,7 @@ TEST(ServerTest, MalformedArgsAnswerInvalidArgumentAndConnectionSurvives) {
   EXPECT_EQ(response.status, StatusCode::kOk);
 }
 
-TEST(ServerTest, CorruptFramingClosesConnectionWithoutCrashing) {
+TEST_P(ServerTest, CorruptFramingClosesConnectionWithoutCrashing) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kNone);
   {
     Client client;
@@ -253,7 +272,7 @@ TEST(ServerTest, CorruptFramingClosesConnectionWithoutCrashing) {
   EXPECT_GE(service.server->stats().connections_dropped.load(), 1u);
 }
 
-TEST(ServerTest, GarbageBytesNeverCrashTheServer) {
+TEST_P(ServerTest, GarbageBytesNeverCrashTheServer) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kNone);
   Rng rng(20260806);
   for (int round = 0; round < 20; ++round) {
@@ -271,7 +290,7 @@ TEST(ServerTest, GarbageBytesNeverCrashTheServer) {
   EXPECT_EQ(response.status, StatusCode::kOk);
 }
 
-TEST(ServerTest, OverloadAnswersResourceExhaustedWithoutCrashing) {
+TEST_P(ServerTest, OverloadAnswersResourceExhaustedWithoutCrashing) {
   ServerOptions srv;
   srv.num_workers = 1;
   srv.max_inflight = 4;
@@ -304,7 +323,7 @@ TEST(ServerTest, OverloadAnswersResourceExhaustedWithoutCrashing) {
   EXPECT_EQ(response.status, StatusCode::kOk);
 }
 
-TEST(ServerTest, LoadGenAgainstBothCompositions) {
+TEST_P(ServerTest, LoadGenAgainstBothCompositions) {
   for (const CcScheme scheme : {CcScheme::kHstore, CcScheme::kOcc}) {
     ServerOptions srv;
     srv.num_workers = 2;
@@ -327,7 +346,7 @@ TEST(ServerTest, LoadGenAgainstBothCompositions) {
   }
 }
 
-TEST(ServerTest, StopWithConnectedClientsIsClean) {
+TEST_P(ServerTest, StopWithConnectedClientsIsClean) {
   Service service = StartService(CcScheme::kOcc, LoggingKind::kValue);
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", service.server->port()).ok());
@@ -336,6 +355,13 @@ TEST(ServerTest, StopWithConnectedClientsIsClean) {
   service.server->Stop();
   service.server->Stop();  // Idempotent.
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    IoBackends, ServerTest,
+    ::testing::Values(io::IoBackendKind::kEpoll, io::IoBackendKind::kUring),
+    [](const ::testing::TestParamInfo<io::IoBackendKind>& info) {
+      return std::string(io::IoBackendKindName(info.param));
+    });
 
 }  // namespace
 }  // namespace server

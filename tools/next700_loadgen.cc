@@ -27,14 +27,18 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: next700_loadgen --port=P [--host=ADDR] [--connections=N]\n"
-      "  [--pipeline=N] [--seconds=S] [--warmup=S] [--records=N] "
-      "[--partitions=N]\n"
-      "  [--value-size=B] [--declare-partitions] [--get=F] [--put=F]\n"
-      "  [--rmw-keys=N] [--theta=T] [--seed=N] [--deadline-ms=N] "
-      "[--check]\n"
-      "  [--audit] [--min-read-lsn=N]\n"
+      "  [--pipeline=N] [--threads=N] [--seconds=S] [--warmup=S] "
+      "[--records=N]\n"
+      "  [--partitions=N] [--value-size=B] [--declare-partitions] "
+      "[--get=F]\n"
+      "  [--put=F] [--rmw-keys=N] [--theta=T] [--seed=N] "
+      "[--deadline-ms=N]\n"
+      "  [--check] [--audit] [--min-read-lsn=N]\n"
       "\n"
       "Op mix: get + put fractions; the remainder is read-modify-write.\n"
+      "--threads=0 (default) runs one blocking thread per connection;\n"
+      "--threads=N multiplexes the connections over N poll() threads —\n"
+      "required to drive hundreds or thousands of connections.\n"
       "--check exits nonzero unless the run had OK commits and no "
       "transport errors.\n"
       "--audit scans every key instead of generating load and prints a\n"
@@ -59,6 +63,8 @@ int main(int argc, char** argv) {
   if (options.connections < 1) flags.Die("--connections must be >= 1");
   options.pipeline_depth = static_cast<int>(flags.GetInt("pipeline", 8));
   if (options.pipeline_depth < 1) flags.Die("--pipeline must be >= 1");
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (options.threads < 0) flags.Die("--threads must be >= 0");
   options.warmup_seconds = flags.GetDouble("warmup", 0.0);
   options.seconds = flags.GetDouble("seconds", 5.0);
   if (options.seconds <= 0) flags.Die("--seconds must be > 0");

@@ -13,6 +13,9 @@
 ///                  from checkpoint + log instead of a fresh load (also
 ///                  how a replica is promoted: restart its directories
 ///                  with --role=primary --recover).
+///   io-probe       Reports whether the kernel offers a usable io_uring
+///                  (exit 0) or only the epoll fallback (exit 1) — CI
+///                  matrix jobs use this to skip uring legs gracefully.
 ///
 /// Examples:
 ///   next700_run --workload=ycsb --cc=SILO --threads=4 --theta=0.9
@@ -38,6 +41,7 @@
 #include <string>
 #include <thread>
 
+#include "io/io_backend.h"
 #include "log/checkpoint.h"
 #include "log/manifest.h"
 #include "repl/replica_applier.h"
@@ -80,6 +84,8 @@ void Usage() {
       "[--checkpoint-no-truncate]\n"
       "  [--max-inflight=N] [--queue-capacity=N] [--seconds=S]  "
       "(seconds=0: serve until SIGINT)\n"
+      "  [--io-backend=auto|uring|epoll]  (network + log submission "
+      "backend; uring fails loudly if unsupported)\n"
       "  [--role=primary|replica] [--primary-addr=HOST:PORT] "
       "[--repl-ack=async|semisync]\n"
       "  [--recover]  (bootstrap from checkpoint + log; promotion = "
@@ -157,6 +163,15 @@ void MaybeStartCheckpointer(Engine* engine) {
               engine->options().checkpoint_truncates_log ? "yes" : "no");
 }
 
+io::IoBackendKind ParseIoBackend(Flags* flags) {
+  const std::string name = flags->GetString("io-backend", "auto");
+  io::IoBackendKind kind;
+  if (!io::ParseIoBackendKind(name, &kind)) {
+    flags->Die("bad --io-backend: " + name);
+  }
+  return kind;
+}
+
 IndexKind ParseIndexKind(Flags* flags) {
   const std::string index = flags->GetString("index", "hash");
   if (index == "hash") return IndexKind::kHash;
@@ -185,6 +200,8 @@ int RunServe(Flags* flags) {
       static_cast<uint32_t>(flags->GetInt("max-inflight", 256));
   srv.queue_capacity =
       static_cast<size_t>(flags->GetInt("queue-capacity", 1024));
+  srv.io_backend = ParseIoBackend(flags);
+  eng.log_io_backend = srv.io_backend;
 
   const std::string role = flags->GetString("role", "primary");
   const bool is_replica = role == "replica";
@@ -284,8 +301,12 @@ int RunServe(Flags* flags) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("listening on %s:%u\n", srv.host.c_str(),
-              srv_instance.port());
+  std::printf("listening on %s:%u (io backend: %s, log device: %s)\n",
+              srv.host.c_str(), srv_instance.port(),
+              srv_instance.io_backend_name(),
+              engine.log_manager() != nullptr
+                  ? engine.log_manager()->io_backend_name()
+                  : "none");
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
@@ -294,6 +315,19 @@ int RunServe(Flags* flags) {
       seconds > 0 ? NowNanos() + static_cast<uint64_t>(seconds * 1e9) : 0;
   while (!g_stop && (deadline_ns == 0 || NowNanos() < deadline_ns)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Snapshot the network-path io counters before Stop() tears the backend
+  // down.
+  const char* io_name = srv_instance.io_backend_name();
+  uint64_t io_reads = 0, io_writes = 0, io_accepts = 0, io_submissions = 0,
+           io_syscalls = 0, io_waits = 0;
+  if (const io::IoCounters* io = srv_instance.io_counters()) {
+    io_reads = io->read_ops.load();
+    io_writes = io->write_ops.load();
+    io_accepts = io->accept_ops.load();
+    io_submissions = io->submissions.load();
+    io_syscalls = io->syscalls.load();
+    io_waits = io->waits.load();
   }
   srv_instance.Stop();
   if (applier != nullptr) applier->Stop();
@@ -315,6 +349,28 @@ int RunServe(Flags* flags) {
   std::printf("replies held durable: %llu\n",
               static_cast<unsigned long long>(
                   stats.replies_held_durable.load()));
+  std::printf("io (%s): %llu reads, %llu writes, %llu accepts, "
+              "%llu submissions over %llu syscalls (%llu waits)\n",
+              io_name, static_cast<unsigned long long>(io_reads),
+              static_cast<unsigned long long>(io_writes),
+              static_cast<unsigned long long>(io_accepts),
+              static_cast<unsigned long long>(io_submissions),
+              static_cast<unsigned long long>(io_syscalls),
+              static_cast<unsigned long long>(io_waits));
+  std::printf("reply batching:       %llu frames over %llu writev "
+              "(%.1f frames/writev)\n",
+              static_cast<unsigned long long>(stats.frames_batched.load()),
+              static_cast<unsigned long long>(stats.writev_batches.load()),
+              stats.writev_batches.load() > 0
+                  ? static_cast<double>(stats.frames_batched.load()) /
+                        static_cast<double>(stats.writev_batches.load())
+                  : 0.0);
+  if (engine.log_manager() != nullptr) {
+    std::printf("log device writes:    %llu (%s)\n",
+                static_cast<unsigned long long>(
+                    engine.log_manager()->write_syscalls()),
+                engine.log_manager()->io_backend_name());
+  }
   if (stats.repl_batches_shipped.load() > 0 ||
       stats.repl_acks_received.load() > 0) {
     std::printf("repl batches shipped: %llu (%llu acks, %llu semisync "
@@ -433,6 +489,19 @@ int RunBench(Flags* flags) {
   return 0;
 }
 
+/// Exit 0 when the kernel offers a ring the backends can actually use
+/// (setup + the features the implementation requires), 1 otherwise. The
+/// CI io-backend matrix keys its uring leg off this.
+int RunIoProbe(Flags* flags) {
+  flags->RejectUnknown();
+  if (io::UringSupported()) {
+    std::printf("io_uring: supported\n");
+    return 0;
+  }
+  std::printf("io_uring: unsupported (epoll fallback only)\n");
+  return 1;
+}
+
 }  // namespace
 }  // namespace next700
 
@@ -441,6 +510,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, Usage, /*allow_subcommand=*/true);
   const std::string& sub = flags.subcommand();
   if (sub == "serve") return RunServe(&flags);
+  if (sub == "io-probe") return RunIoProbe(&flags);
   if (sub.empty() || sub == "run") return RunBench(&flags);
   flags.Die("unknown subcommand: " + sub);
 }

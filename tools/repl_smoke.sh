@@ -6,10 +6,13 @@
 # audit (each acked rmw adds exactly --rmw-keys increments, so the audit's
 # increment sum must cover ok * rmw_keys). Used by CI.
 #
-# usage: repl_smoke.sh <build-dir>
+# usage: repl_smoke.sh <build-dir> [io-backend]
+#   io-backend: auto (default) | uring | epoll — passed to every serve
+#   invocation so the CI io-backend matrix covers replication end to end.
 set -euo pipefail
 
-BUILD_DIR="${1:?usage: repl_smoke.sh <build-dir>}"
+BUILD_DIR="${1:?usage: repl_smoke.sh <build-dir> [io-backend]}"
+IO_BACKEND="${2:-auto}"
 
 RUN="$BUILD_DIR/tools/next700_run"
 LOADGEN="$BUILD_DIR/tools/next700_loadgen"
@@ -33,7 +36,7 @@ trap cleanup EXIT
 wait_port() {
   local pid="$1" out="$2" port=""
   for _ in $(seq 1 150); do
-    port="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$out" | head -n1)"
+    port="$(sed -n 's/^listening on [^:]*:\([0-9]*\).*$/\1/p' "$out" | head -n1)"
     [[ -n "$port" ]] && { echo "$port"; return 0; }
     kill -0 "$pid" 2>/dev/null || { cat "$out" >&2; echo "server died" >&2; return 1; }
     sleep 0.1
@@ -43,13 +46,14 @@ wait_port() {
 
 "$RUN" serve --port=0 --workers=2 --records="$RECORDS" \
   --logging=value --log-sync=fdatasync --log-dir="$PLOG" \
-  --repl-ack=semisync > "$POUT" &
+  --repl-ack=semisync --io-backend="$IO_BACKEND" > "$POUT" &
 PRIMARY_PID=$!
 PPORT="$(wait_port "$PRIMARY_PID" "$POUT")"
 
 "$RUN" serve --port=0 --workers=2 --records="$RECORDS" \
   --logging=value --log-sync=fdatasync --log-dir="$RLOG" \
-  --role=replica --primary-addr="127.0.0.1:$PPORT" > "$ROUT" &
+  --role=replica --primary-addr="127.0.0.1:$PPORT" \
+  --io-backend="$IO_BACKEND" > "$ROUT" &
 REPLICA_PID=$!
 RPORT="$(wait_port "$REPLICA_PID" "$ROUT")"
 
@@ -79,7 +83,7 @@ cat "$ROUT"
 
 "$RUN" serve --port=0 --workers=2 --records="$RECORDS" \
   --logging=value --log-sync=fdatasync --log-dir="$RLOG" \
-  --recover > "$MOUT" &
+  --recover --io-backend="$IO_BACKEND" > "$MOUT" &
 PROMOTED_PID=$!
 MPORT="$(wait_port "$PROMOTED_PID" "$MOUT")"
 

@@ -28,7 +28,7 @@ SERVER_PID=$!
 # Wait for the "listening on HOST:PORT" line (the port is ephemeral).
 PORT=""
 for _ in $(seq 1 100); do
-  PORT="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$OUT" | head -n1)"
+  PORT="$(sed -n 's/^listening on [^:]*:\([0-9]*\).*$/\1/p' "$OUT" | head -n1)"
   [[ -n "$PORT" ]] && break
   kill -0 "$SERVER_PID" 2>/dev/null || { cat "$OUT"; echo "server died"; exit 1; }
   sleep 0.1
