@@ -1,0 +1,248 @@
+/// N3 — Sharded service: cross-shard 2PC cost vs multi-partition fraction.
+/// Starts two in-process shard servers (each owning the keys where
+/// key % 2 == shard_id, value logging so commit acks are durable) behind
+/// an in-process shard router, and drives pure-rmw load through the router
+/// while sweeping the fraction of transactions that deliberately span both
+/// shards: {0, 1, 5, 20, 50, 100}%. Two-phase commit pays two sequential
+/// shard round trips plus a durable coordinator decision per cross-shard
+/// transaction, so throughput degrades smoothly with the fraction — the
+/// sharded-OLTP cliff every partitioned design in the paper's design space
+/// has to price in (H-Store's "multi-partition transactions are the
+/// enemy" axis, measured on this codebase's wire).
+///
+/// A second axis pins the router's overhead: the same single-shard-only
+/// load against a direct (unsharded) server vs through the router at 0%
+/// cross-shard. The router's fast path forwards request frames verbatim
+/// and relays replies in order; with the router tier on its own cores it
+/// should sit within ~10% of direct — the `fastpath_ratio` point in the
+/// JSON tracks that. On a single-core host the router's forwarding CPU
+/// (~2.5us/txn) is subtracted from the shards' own budget, which caps the
+/// ratio near 0.5 at saturation regardless of router efficiency; see
+/// EXPERIMENTS.md N3 for the CPU accounting behind that number.
+///
+/// Every router point carries the router's own counters (forwarded,
+/// cross-shard commits/aborts, vote timeouts) so 2PC health is visible in
+/// the JSON, not just throughput.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "server/loadgen.h"
+#include "server/procs.h"
+#include "server/server.h"
+#include "shard/shard_router.h"
+
+using namespace next700;
+using namespace next700::bench;
+
+namespace {
+
+constexpr uint32_t kNumShards = 2;
+constexpr uint32_t kPartitions = 4;  // Global partition map, every shard.
+
+std::vector<double> FractionSweep() {
+  return QuickMode() ? std::vector<double>{0.0, 0.05, 0.5}
+                     : std::vector<double>{0.0, 0.01, 0.05, 0.2, 0.5, 1.0};
+}
+
+struct Service {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<server::Server> server;
+};
+
+/// One shard server (or, with num_shards=1, the direct unsharded
+/// baseline): OCC engine, value logging, group commit gating replies.
+Service StartShard(uint32_t shard_id, uint32_t num_shards, int workers,
+                   uint64_t records, const std::string& log_dir) {
+  EngineOptions eng;
+  eng.cc_scheme = CcScheme::kOcc;
+  eng.max_threads = workers;
+  eng.num_partitions = kPartitions;
+  eng.logging = LoggingKind::kValue;
+  RemoveLogDir(log_dir);
+  eng.log_dir = log_dir;
+  Service service;
+  service.engine = std::make_unique<Engine>(eng);
+  server::KvServiceOptions kv;
+  kv.num_records = records;
+  kv.num_shards = num_shards;
+  kv.shard_id = shard_id;
+  server::RegisterKvService(service.engine.get(), kv);
+  server::ServerOptions srv;
+  srv.num_workers = workers;
+  service.server =
+      std::make_unique<server::Server>(service.engine.get(), srv);
+  const Status started = service.server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "shard server start failed: %s\n",
+                 started.ToString().c_str());
+    service.server.reset();
+  }
+  return service;
+}
+
+struct RouterCounters {
+  uint64_t forwarded = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t vote_timeouts = 0;
+};
+
+RouterCounters Snap(const shard::ShardRouter& router) {
+  const shard::ShardRouterStats& s = router.stats();
+  RouterCounters c;
+  c.forwarded = s.forwarded.load(std::memory_order_relaxed);
+  c.commits = s.cross_shard_commits.load(std::memory_order_relaxed);
+  c.aborts = s.cross_shard_aborts.load(std::memory_order_relaxed);
+  c.vote_timeouts = s.vote_timeouts.load(std::memory_order_relaxed);
+  return c;
+}
+
+/// Runs one load point and emits the CSV row + JSON point. `router` is
+/// null for the direct-baseline axis. Returns the throughput (0 on
+/// transport errors, which fail the bench via the caller).
+double RunPoint(JsonOutput* json, const char* axis, uint16_t port,
+                double multi_shard_fraction, uint32_t num_shards,
+                const shard::ShardRouter* router,
+                const server::LoadGenOptions& base, bool* ok) {
+  server::LoadGenOptions load = base;
+  load.port = port;
+  load.num_shards = num_shards;
+  load.multi_shard_fraction = multi_shard_fraction;
+
+  const RouterCounters before =
+      router != nullptr ? Snap(*router) : RouterCounters{};
+  const server::LoadGenStats stats = server::RunLoadGen(load);
+  const RouterCounters after =
+      router != nullptr ? Snap(*router) : RouterCounters{};
+
+  const double p50_us =
+      static_cast<double>(stats.latency_ns.Percentile(0.50)) / 1e3;
+  const double p95_us =
+      static_cast<double>(stats.latency_ns.Percentile(0.95)) / 1e3;
+  const double p99_us =
+      static_cast<double>(stats.latency_ns.Percentile(0.99)) / 1e3;
+  const uint64_t commits = after.commits - before.commits;
+  const uint64_t aborts = after.aborts - before.aborts;
+
+  std::printf("%s,%.2f,%.0f,%llu,%llu,%.0f,%.0f,%.0f,%llu,%llu,%llu\n",
+              axis, multi_shard_fraction, stats.Throughput(),
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.aborted), p50_us, p95_us,
+              p99_us, static_cast<unsigned long long>(
+                          after.forwarded - before.forwarded),
+              static_cast<unsigned long long>(commits),
+              static_cast<unsigned long long>(aborts));
+  std::fflush(stdout);
+  json->AddPoint(
+      {{"axis", JsonOutput::Str(axis)},
+       {"multi_shard_fraction", JsonOutput::Num(multi_shard_fraction)},
+       {"throughput_txn_s", JsonOutput::Num(stats.Throughput())},
+       {"ok", JsonOutput::Num(static_cast<double>(stats.ok))},
+       {"aborted", JsonOutput::Num(static_cast<double>(stats.aborted))},
+       {"transport_errors",
+        JsonOutput::Num(static_cast<double>(stats.transport_errors))},
+       {"p50_us", JsonOutput::Num(p50_us)},
+       {"p95_us", JsonOutput::Num(p95_us)},
+       {"p99_us", JsonOutput::Num(p99_us)},
+       {"forwarded", JsonOutput::Num(static_cast<double>(
+                         after.forwarded - before.forwarded))},
+       {"cross_shard_commits",
+        JsonOutput::Num(static_cast<double>(commits))},
+       {"cross_shard_aborts", JsonOutput::Num(static_cast<double>(aborts))},
+       {"vote_timeouts", JsonOutput::Num(static_cast<double>(
+                             after.vote_timeouts - before.vote_timeouts))}});
+  if (stats.transport_errors != 0) {
+    std::fprintf(stderr, "transport errors: %llu\n",
+                 static_cast<unsigned long long>(stats.transport_errors));
+    *ok = false;
+  }
+  return stats.Throughput();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonOutput json(argc, argv);
+  json.SetExperiment(
+      "N3", "sharded service: cross-shard 2PC cost vs multi-partition "
+            "fraction, and router fast-path overhead vs direct");
+  PrintHeader("N3",
+              "sharded service: cross-shard 2PC cost vs multi-partition "
+              "fraction, and router fast-path overhead vs direct",
+              "axis,multi_shard_fraction,throughput_txn_s,ok,aborted,"
+              "p50_us,p95_us,p99_us,forwarded,cross_shard_commits,"
+              "cross_shard_aborts");
+
+  const uint64_t records = QuickMode() ? 20000 : 100000;
+  const int workers = 2;
+
+  server::LoadGenOptions base;
+  base.warmup_seconds = QuickMode() ? 0.1 : 0.5;
+  base.seconds = QuickMode() ? 0.3 : 2.0;
+  base.num_records = records;
+  base.num_partitions = kPartitions;
+  base.connections = 4;
+  base.pipeline_depth = 8;
+  base.get_fraction = 0.0;  // Pure rmw: every txn exercises commit.
+  base.put_fraction = 0.0;
+  base.rmw_keys = 2;
+
+  bool ok = true;
+
+  // Direct baseline: one unsharded server, same composition and load
+  // shape, no router in the path.
+  double direct_tput = 0;
+  {
+    Service direct = StartShard(/*shard_id=*/0, /*num_shards=*/1, workers,
+                                records, "/tmp/next700_bench_n3.directd");
+    if (direct.server == nullptr) return 1;
+    direct_tput = RunPoint(&json, "direct", direct.server->port(),
+                           /*multi_shard_fraction=*/0.0, /*num_shards=*/1,
+                           /*router=*/nullptr, base, &ok);
+    direct.server->Stop();
+  }
+  if (!ok) return 1;
+
+  // Sharded topology: two shard servers behind the router.
+  Service shards[kNumShards];
+  shard::ShardRouterOptions ropts;
+  for (uint32_t i = 0; i < kNumShards; ++i) {
+    shards[i] = StartShard(i, kNumShards, workers, records,
+                           "/tmp/next700_bench_n3.s" + std::to_string(i) +
+                               "logd");
+    if (shards[i].server == nullptr) return 1;
+    ropts.shards.push_back("127.0.0.1:" +
+                           std::to_string(shards[i].server->port()));
+  }
+  ropts.num_partitions = kPartitions;
+  ropts.log_dir = "/tmp/next700_bench_n3.rtlogd";
+  RemoveLogDir(ropts.log_dir);
+  shard::ShardRouter router(ropts);
+  if (!router.Start().ok() || !router.WaitShardsConnected(15000)) {
+    std::fprintf(stderr, "shard router failed to start\n");
+    return 1;
+  }
+
+  double fastpath_tput = 0;
+  for (const double fraction : FractionSweep()) {
+    const double tput =
+        RunPoint(&json, "router", router.port(), fraction, kNumShards,
+                 &router, base, &ok);
+    if (fraction == 0.0) fastpath_tput = tput;
+    if (!ok) break;
+  }
+
+  if (ok && direct_tput > 0) {
+    const double ratio = fastpath_tput / direct_tput;
+    std::printf("# fastpath_ratio (router@0%% / direct): %.3f\n", ratio);
+    json.AddPoint({{"axis", JsonOutput::Str("fastpath_ratio")},
+                   {"multi_shard_fraction", JsonOutput::Num(0.0)},
+                   {"throughput_txn_s", JsonOutput::Num(fastpath_tput)},
+                   {"ratio_vs_direct", JsonOutput::Num(ratio)}});
+  }
+
+  router.Stop();
+  for (uint32_t i = 0; i < kNumShards; ++i) shards[i].server->Stop();
+  return ok ? 0 : 1;
+}

@@ -203,11 +203,23 @@ class EpollBackend final : public IoBackend {
     return true;
   }
 
-  /// One writev attempt; mirrors io_uring short-write semantics (a partial
-  /// transfer completes with its byte count; the caller resubmits).
+  /// One gather-write attempt; mirrors io_uring short-write semantics (a
+  /// partial transfer completes with its byte count; the caller
+  /// resubmits). sendmsg instead of writev for MSG_NOSIGNAL: a peer that
+  /// closed mid-reply must surface as -EPIPE on the completion, not kill
+  /// the process with SIGPIPE. Non-socket fds (the backend's unit tests
+  /// drive it against regular files) answer sendmsg with ENOTSOCK and
+  /// fall back to plain writev, which cannot raise SIGPIPE on a file.
   bool AttemptWrite(int fd, FdState* st) {
     counters_.syscalls.fetch_add(1, std::memory_order_relaxed);
-    const ssize_t n = ::writev(fd, st->write_iov, st->write_iovcnt);
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = const_cast<struct iovec*>(st->write_iov);
+    msg.msg_iovlen = static_cast<size_t>(st->write_iovcnt);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::writev(fd, st->write_iov, st->write_iovcnt);
+    }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
     if (n < 0 && errno == EINTR) return false;
     counters_.write_ops.fetch_add(1, std::memory_order_relaxed);

@@ -482,6 +482,12 @@ Status RecoverEngine(Engine* engine, const std::string& checkpoint_dir,
     recovery.set_secondary_rebuilder(rebuilder);
     NEXT700_RETURN_IF_ERROR(recovery.Replay(log_dir, &out->log, start_lsn,
                                             log_base_index, log_base_lsn));
+    // Prepared-but-undecided 2PC branches found in the log are parked on
+    // the engine; the server refuses normal traffic until the coordinator
+    // resolves them (Engine::ResolveInDoubt).
+    if (!recovery.in_doubt().empty()) {
+      engine->SetInDoubt(recovery.TakeInDoubt(), rebuilder);
+    }
   }
   return Status::OK();
 }

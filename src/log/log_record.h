@@ -21,6 +21,16 @@
 ///                u32 table_id, u32 partition, u64 primary_key, u8 kind
 ///                (0=update, 1=insert, 2=delete), u32 payload_len, payload.
 ///   kTxnCommand: u64 commit_ts, u32 proc_id, u32 arg_len, args.
+///   kTxnPrepare: u64 gtid, then a full kTxnValue body (the redo image of
+///                the prepared-but-undecided branch). Always value format —
+///                even under command logging — so in-doubt resolution after
+///                a crash never needs to re-execute the procedure.
+///   kTxnOutcome: u64 gtid, u8 committed (0=abort, 1=commit). Pairs with a
+///                preceding kTxnPrepare; on commit, recovery applies the
+///                stashed redo at the outcome's log position.
+///   kCoordDecision: u64 gtid. Written only by a shard-router coordinator
+///                (its log holds nothing else); only commit decisions are
+///                logged — absence means abort (presumed abort).
 
 #include <cstdint>
 #include <cstring>
@@ -31,6 +41,9 @@ namespace next700 {
 enum class LogRecordType : uint8_t {
   kTxnValue = 1,
   kTxnCommand = 2,
+  kTxnPrepare = 3,
+  kTxnOutcome = 4,
+  kCoordDecision = 5,
 };
 
 enum class LogWriteKind : uint8_t {

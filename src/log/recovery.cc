@@ -123,6 +123,50 @@ Status RecoveryManager::ApplyCommandRecord(LogReader* reader,
   return Status::OK();
 }
 
+Status RecoveryManager::ApplyPrepareRecord(LogReader* reader,
+                                           RecoveryStats* stats) {
+  (void)stats;
+  uint64_t gtid;
+  if (!reader->GetU64(&gtid)) {
+    return Status::Corruption("truncated prepare record");
+  }
+  // Stash the redo body without touching rows: until the outcome record (or
+  // the coordinator's post-recovery decision) arrives, this branch is
+  // neither committed nor aborted. Overwrite is harmless — a participant
+  // writes at most one prepare per gtid, and replaying the same frames
+  // twice (replication catch-up) must be idempotent.
+  const uint8_t* body = reader->Peek();
+  const size_t body_len = reader->remaining();
+  in_doubt_[gtid].assign(body, body + body_len);
+  NEXT700_CHECK(reader->Skip(body_len));
+  return Status::OK();
+}
+
+Status RecoveryManager::ApplyOutcomeRecord(LogReader* reader,
+                                           RecoveryStats* stats) {
+  uint64_t gtid;
+  uint8_t committed;
+  if (!reader->GetU64(&gtid) || !reader->GetU8(&committed) ||
+      committed > 1) {
+    return Status::Corruption("malformed outcome record");
+  }
+  auto it = in_doubt_.find(gtid);
+  if (committed) {
+    // A commit outcome is only ever logged after the prepare is durable, so
+    // a missing stash means the log lost the prepare: real corruption.
+    if (it == in_doubt_.end()) {
+      return Status::Corruption("commit outcome without prepare record");
+    }
+    LogReader redo(it->second.data(), it->second.size());
+    const Status s = ApplyValueRecord(&redo, stats);
+    if (!s.ok()) return s;
+  }
+  // Abort with no stash is legal: the in-memory abort path logs an outcome
+  // even when the prepare predates this replay window.
+  if (it != in_doubt_.end()) in_doubt_.erase(it);
+  return Status::OK();
+}
+
 Status RecoveryManager::WalkFrames(const uint8_t* data, size_t len,
                                    const std::string& origin,
                                    bool allow_torn_tail, Lsn base_lsn,
@@ -172,7 +216,15 @@ Status RecoveryManager::WalkFrames(const uint8_t* data, size_t len,
       case LogRecordType::kTxnCommand:
         s = ApplyCommandRecord(&reader, stats);
         break;
+      case LogRecordType::kTxnPrepare:
+        s = ApplyPrepareRecord(&reader, stats);
+        break;
+      case LogRecordType::kTxnOutcome:
+        s = ApplyOutcomeRecord(&reader, stats);
+        break;
       default:
+        // kCoordDecision never appears in an engine log — a coordinator's
+        // decision log holds nothing else and is scanned separately.
         s = Status::Corruption("unknown record type");
     }
     if (!s.ok()) return s;
@@ -188,6 +240,13 @@ Status RecoveryManager::ApplyFrames(const uint8_t* data, size_t len,
   return WalkFrames(data, len, "replication batch",
                     /*allow_torn_tail=*/false, /*base_lsn=*/0,
                     /*start_lsn=*/0, stats);
+}
+
+Status RecoveryManager::ApplyRedoBody(const uint8_t* data, size_t len,
+                                      RecoveryStats* stats) {
+  ReplayModeGuard guard(engine_);
+  LogReader reader(data, len);
+  return ApplyValueRecord(&reader, stats);
 }
 
 Status RecoveryManager::ReplaySegment(const std::string& path, Lsn base_lsn,
@@ -236,6 +295,80 @@ Status RecoveryManager::Replay(const std::string& path, RecoveryStats* stats,
   }
   stats->elapsed_seconds =
       static_cast<double>(NowNanos() - start) / 1e9;
+  return Status::OK();
+}
+
+namespace {
+
+/// One segment (or single file) of a coordinator decision log.
+Status ScanDecisionBytes(const uint8_t* data, size_t len,
+                         const std::string& origin, bool allow_torn_tail,
+                         std::vector<uint64_t>* committed) {
+  size_t pos = 0;
+  while (pos < len) {
+    if (pos + kFrameHeaderBytes > len) {
+      if (allow_torn_tail) break;
+      return Status::Corruption("torn frame in " + origin);
+    }
+    uint32_t body_len;
+    std::memcpy(&body_len, data + pos, 4);
+    const uint8_t type_raw = data[pos + 4];
+    uint32_t header_sum;
+    std::memcpy(&header_sum, data + pos + 5, 4);
+    if (header_sum != FrameHeaderSum(body_len, type_raw)) {
+      return Status::Corruption("decision frame header corrupt in " +
+                                origin);
+    }
+    const size_t frame_end = pos + kFrameOverheadBytes + body_len;
+    if (frame_end > len) {
+      if (allow_torn_tail) break;
+      return Status::Corruption("torn frame in " + origin);
+    }
+    const uint8_t* body = data + pos + kFrameHeaderBytes;
+    uint64_t checksum;
+    std::memcpy(&checksum, data + pos + kFrameHeaderBytes + body_len, 8);
+    if (checksum != FnvHashBytes(body, body_len)) {
+      return Status::Corruption("decision checksum mismatch in " + origin);
+    }
+    if (static_cast<LogRecordType>(type_raw) !=
+            LogRecordType::kCoordDecision ||
+        body_len != sizeof(uint64_t)) {
+      return Status::Corruption("non-decision record in coordinator log " +
+                                origin);
+    }
+    LogReader reader(body, body_len);
+    uint64_t gtid;
+    NEXT700_CHECK(reader.GetU64(&gtid));
+    committed->push_back(gtid);
+    pos = frame_end;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ScanCoordinatorDecisions(const std::string& path,
+                                std::vector<uint64_t>* committed) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("cannot stat " + path);
+  }
+  std::vector<std::string> files;
+  if (S_ISDIR(st.st_mode)) {
+    std::vector<LogSegment> segments;
+    NEXT700_RETURN_IF_ERROR(ListLogSegments(path, &segments));
+    for (const LogSegment& seg : segments) files.push_back(seg.path);
+  } else {
+    files.push_back(path);
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::vector<uint8_t> file;
+    NEXT700_RETURN_IF_ERROR(ReadFileFully(files[i], &file));
+    NEXT700_RETURN_IF_ERROR(
+        ScanDecisionBytes(file.data(), file.size(), files[i],
+                          /*allow_torn_tail=*/i + 1 == files.size(),
+                          committed));
+  }
   return Status::OK();
 }
 

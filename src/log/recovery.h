@@ -15,6 +15,13 @@
 ///     key derivation.
 ///   * command records — registered procedures are re-executed serially in
 ///     log order.
+///   * prepare/outcome records (2PC participants) — a kTxnPrepare stashes
+///     its redo body by gtid without touching rows; the matching
+///     kTxnOutcome applies the stash (commit) or drops it (abort) at the
+///     outcome's log position. Prepares with no outcome by end of replay
+///     are the *in-doubt set*: their rows stay untouched and the stashed
+///     redo is surfaced via in_doubt()/TakeInDoubt() so the serving layer
+///     can resolve them once the coordinator reports its decision.
 ///
 /// Replay walks the `log.NNNNNN` segments of a log directory in index
 /// order (a single-file path is also accepted, for unit tests and log
@@ -25,7 +32,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "txn/engine.h"
@@ -75,9 +84,27 @@ class RecoveryManager {
   /// outside any CC).
   Status ApplyFrames(const uint8_t* data, size_t len, RecoveryStats* stats);
 
+  /// Applies one kTxnValue-format body directly (the stashed redo of an
+  /// in-doubt transaction the coordinator has since decided to commit).
+  /// Same single-writer requirements as ApplyFrames.
+  Status ApplyRedoBody(const uint8_t* data, size_t len, RecoveryStats* stats);
+
+  /// Prepared-but-undecided transactions left over after replay:
+  /// gtid -> stashed kTxnValue redo body. The map persists across
+  /// ApplyFrames calls (a prepare and its outcome may arrive in different
+  /// replication batches).
+  const std::map<uint64_t, std::vector<uint8_t>>& in_doubt() const {
+    return in_doubt_;
+  }
+  std::map<uint64_t, std::vector<uint8_t>> TakeInDoubt() {
+    return std::move(in_doubt_);
+  }
+
  private:
   Status ApplyValueRecord(LogReader* reader, RecoveryStats* stats);
   Status ApplyCommandRecord(LogReader* reader, RecoveryStats* stats);
+  Status ApplyPrepareRecord(LogReader* reader, RecoveryStats* stats);
+  Status ApplyOutcomeRecord(LogReader* reader, RecoveryStats* stats);
   /// Shared frame walk over one contiguous byte run. `origin` labels error
   /// messages; `allow_torn_tail` permits an incomplete final frame (only
   /// the final segment of a crashed log); frames ending at or below
@@ -97,7 +124,16 @@ class RecoveryManager {
 
   Engine* engine_;
   SecondaryIndexRebuilder rebuilder_;
+  std::map<uint64_t, std::vector<uint8_t>> in_doubt_;
 };
+
+/// Scans a shard-router coordinator log (kCoordDecision frames only) and
+/// returns every committed gtid. Under presumed abort a gtid absent from
+/// the log was aborted, so this set is the whole recovery state. Accepts a
+/// segment directory or single file; a torn tail on the final segment ends
+/// the scan cleanly (that decision was never acked, so abort is correct).
+Status ScanCoordinatorDecisions(const std::string& path,
+                                std::vector<uint64_t>* committed);
 
 }  // namespace next700
 

@@ -12,6 +12,12 @@
 namespace next700 {
 namespace repl {
 
+namespace {
+// Consecutive recv deadlines with an unchanged partial frame in the decoder
+// before the session is declared stalled and torn down for a reconnect.
+constexpr int kMaxStalledDeadlines = 25;
+}  // namespace
+
 ReplicaApplier::ReplicaApplier(Engine* engine, ReplicaApplierOptions options)
     : engine_(engine), options_(std::move(options)), recovery_(engine) {
   NEXT700_CHECK(engine_ != nullptr);
@@ -87,12 +93,30 @@ void ReplicaApplier::RunSession() {
     return;
   }
 
+  // An idle primary (no new batches) and a primary stalled mid-frame both
+  // surface as kDeadlineExceeded. They differ in the decoder: idle leaves
+  // zero buffered bytes, a stall leaves a partial frame that never grows.
+  // Tolerate a bounded number of consecutive stalled deadlines, then drop
+  // the session and reconnect rather than waiting forever on a sick peer.
+  int stalled_deadlines = 0;
+  size_t last_buffered = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     server::FrameType type;
     std::vector<uint8_t> body;
     const Status received =
         client.RecvFrame(&type, &body, options_.recv_deadline_ms);
-    if (received.code() == StatusCode::kDeadlineExceeded) continue;
+    if (received.code() == StatusCode::kDeadlineExceeded) {
+      const size_t buffered = client.buffered_bytes();
+      if (buffered > 0 && buffered == last_buffered) {
+        if (++stalled_deadlines >= kMaxStalledDeadlines) break;
+      } else {
+        stalled_deadlines = 0;
+      }
+      last_buffered = buffered;
+      continue;
+    }
+    stalled_deadlines = 0;
+    last_buffered = 0;
     if (!received.ok()) break;  // Connection lost; reconnect.
     if (type != server::FrameType::kReplBatch) break;
 

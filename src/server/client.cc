@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <climits>
 #include <cstring>
 
 #include "common/stats.h"
@@ -119,7 +120,13 @@ Status Client::RecvFrame(FrameType* type, std::vector<uint8_t>* body,
       if (elapsed_ms >= deadline_ms) {
         return Status::DeadlineExceeded("no response within deadline");
       }
-      timeout_ms = static_cast<int>(deadline_ms - elapsed_ms);
+      // Clamp before narrowing: a caller passing a huge deadline (e.g.
+      // INT64_MAX "wait practically forever") must not wrap into a negative
+      // poll timeout, which poll() treats as infinite even after the
+      // deadline math says we should keep accounting.
+      const int64_t remaining_ms = deadline_ms - elapsed_ms;
+      timeout_ms = remaining_ms > INT_MAX ? INT_MAX
+                                          : static_cast<int>(remaining_ms);
     }
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, timeout_ms);

@@ -55,6 +55,11 @@ class Client {
   /// frames; not for normal use.
   Status SendRaw(const void* data, size_t len);
 
+  /// Bytes received but not yet assembled into a complete frame. A receive
+  /// loop that keeps hitting kDeadlineExceeded can distinguish an idle peer
+  /// (0) from one stalled mid-frame (nonzero, unchanged across deadlines).
+  size_t buffered_bytes() const { return decoder_.buffered_bytes(); }
+
   /// Relinquishes the connected socket (post-handshake) to the caller;
   /// the Client reverts to disconnected and will not close it. The
   /// multiplexed load generator handshakes through a Client, then drives

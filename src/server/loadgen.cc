@@ -54,9 +54,37 @@ Request MakeRequest(const LoadGenOptions& options, uint64_t request_id,
     }
   } else {
     request.proc_id = kKvRmw;
-    args.PutU16(options.rmw_keys);
-    for (uint16_t i = 0; i < options.rmw_keys; ++i) {
-      const uint64_t key = zipf->Next(rng);
+    std::vector<uint64_t> keys;
+    if (options.num_shards > 1 &&
+        rng->NextDouble() < options.multi_shard_fraction) {
+      // Deliberate cross-shard transaction: adjacent keys always map to
+      // different shards under key % num_shards.
+      uint64_t k = zipf->Next(rng);
+      if (k + 1 >= options.num_records) k = 0;
+      keys = {k, k + 1};
+    } else {
+      keys.reserve(options.rmw_keys);
+      uint64_t home_shard = 0;
+      for (uint16_t i = 0; i < options.rmw_keys; ++i) {
+        uint64_t key = zipf->Next(rng);
+        if (options.num_shards > 1) {
+          // Coerce every key onto the first key's shard so the request
+          // stays single-shard (the router fast path).
+          if (i == 0) {
+            home_shard = key % options.num_shards;
+          } else {
+            key = key - (key % options.num_shards) + home_shard;
+            if (key >= options.num_records) {
+              key = key < options.num_shards ? home_shard
+                                             : key - options.num_shards;
+            }
+          }
+        }
+        keys.push_back(key);
+      }
+    }
+    args.PutU16(static_cast<uint16_t>(keys.size()));
+    for (const uint64_t key : keys) {
       args.PutU64(key);
       if (options.declare_partitions) {
         request.partitions.push_back(
@@ -127,7 +155,12 @@ void ClientThread(const LoadGenOptions& options, int thread_index,
       return false;
     }
     if (measuring) {
-      local->latency_ns.Record(NowNanos() - outstanding.front().sent_ns);
+      // Requests sent before the warmup boundary carry warmup queueing in
+      // their latency; count their outcome but keep them out of the
+      // percentiles.
+      if (outstanding.front().sent_ns >= measure_start_ns) {
+        local->latency_ns.Record(NowNanos() - outstanding.front().sent_ns);
+      }
       CountResponse(response, local);
     }
     outstanding.pop_front();
@@ -153,12 +186,26 @@ void ClientThread(const LoadGenOptions& options, int thread_index,
       outstanding.push_back(PendingRequest{request.request_id, sent_ns});
     }
     if (broken) break;
-    if (!receive_one()) break;
+    if (!receive_one()) broken = true;
   }
-  while (!outstanding.empty()) {
-    if (!receive_one()) break;
+  while (!broken && !outstanding.empty()) {
+    if (!receive_one()) broken = true;
   }
-  local->elapsed_seconds = options.seconds;
+  if (broken && !outstanding.empty()) {
+    // The connection died with requests in flight: those responses are
+    // lost, not pending — without this the sent/answered books never
+    // balance after a mid-run failure.
+    local->transport_errors += outstanding.size();
+    outstanding.clear();
+  }
+  // A thread that broke early measured less than the configured window;
+  // claiming the full window would understate its throughput share.
+  const uint64_t now_ns = NowNanos();
+  const uint64_t measured_end = std::min(now_ns, end_ns);
+  local->elapsed_seconds =
+      measured_end > measure_start_ns
+          ? static_cast<double>(measured_end - measure_start_ns) / 1e9
+          : 0.0;
 }
 
 /// One nonblocking connection of the multiplexed generator: its own
@@ -189,17 +236,33 @@ void MuxClientThread(const LoadGenOptions& options, int thread_index,
   for (MuxConn& mc : conns) {
     Client client;
     if (!client.Connect(options.host, options.port).ok()) {
+      // A connection that never came up contributes one error and zero
+      // samples — it must not leak an fd or distort anything the healthy
+      // connections measure.
       ++local->transport_errors;
       mc.broken = true;
       continue;
     }
     mc.fd = client.ReleaseFd();
     const int fl = ::fcntl(mc.fd, F_GETFL, 0);
-    ::fcntl(mc.fd, F_SETFL, fl | O_NONBLOCK);
+    if (fl < 0 || ::fcntl(mc.fd, F_SETFL, fl | O_NONBLOCK) < 0) {
+      ++local->transport_errors;
+      ::close(mc.fd);
+      mc.fd = -1;
+      mc.broken = true;
+    }
   }
 
+  const uint64_t start_ns = NowNanos();
+  const uint64_t measure_start_ns =
+      start_ns + static_cast<uint64_t>(options.warmup_seconds * 1e9);
+  const uint64_t end_ns =
+      measure_start_ns + static_cast<uint64_t>(options.seconds * 1e9);
+
   auto fail = [&](MuxConn* mc) {
-    ++local->transport_errors;
+    // One event for the failure itself, plus every response still in
+    // flight on this connection — they are lost, not pending.
+    local->transport_errors += 1 + mc->outstanding.size();
     mc->broken = true;
     ::close(mc->fd);
     mc->fd = -1;
@@ -258,8 +321,12 @@ void MuxClientThread(const LoadGenOptions& options, int thread_index,
         return false;
       }
       if (measuring) {
-        local->latency_ns.Record(NowNanos() -
-                                 mc->outstanding.front().sent_ns);
+        // Requests encoded before the warmup boundary carry warmup
+        // queueing; count their outcome, skip their latency sample.
+        if (mc->outstanding.front().sent_ns >= measure_start_ns) {
+          local->latency_ns.Record(NowNanos() -
+                                   mc->outstanding.front().sent_ns);
+        }
         CountResponse(response, local);
       }
       mc->outstanding.pop_front();
@@ -282,11 +349,6 @@ void MuxClientThread(const LoadGenOptions& options, int thread_index,
     if (!drain_responses(mc)) fail(mc);
   };
 
-  const uint64_t start_ns = NowNanos();
-  const uint64_t measure_start_ns =
-      start_ns + static_cast<uint64_t>(options.warmup_seconds * 1e9);
-  const uint64_t end_ns =
-      measure_start_ns + static_cast<uint64_t>(options.seconds * 1e9);
   std::vector<pollfd> pfds;
   std::vector<size_t> pfd_conn;
 
@@ -340,7 +402,8 @@ void MuxClientThread(const LoadGenOptions& options, int thread_index,
     for (const MuxConn& mc : conns) inflight += mc.outstanding.size();
     if (inflight == 0) break;
     if (options.deadline_ms > 0 && NowNanos() >= drain_deadline_ns) {
-      ++local->transport_errors;  // Responses never came.
+      // Every remaining in-flight response never came, not just one.
+      local->transport_errors += inflight;
       break;
     }
     if (!poll_once(/*topping_up=*/false, /*timeout_ms=*/50)) break;
@@ -348,7 +411,14 @@ void MuxClientThread(const LoadGenOptions& options, int thread_index,
   for (MuxConn& mc : conns) {
     if (mc.fd >= 0) ::close(mc.fd);
   }
-  local->elapsed_seconds = options.seconds;
+  // Report the window actually measured, not the configured one — a run
+  // whose connections all died early must not inflate its throughput
+  // denominator (or deflate it, if the drain ran long).
+  const uint64_t measured_end = std::min(NowNanos(), end_ns);
+  local->elapsed_seconds =
+      measured_end > measure_start_ns
+          ? static_cast<double>(measured_end - measure_start_ns) / 1e9
+          : 0.0;
 }
 
 }  // namespace
@@ -431,8 +501,11 @@ LoadGenStats RunLoadGen(const LoadGenOptions& options) {
     total.other_errors += local.other_errors;
     total.transport_errors += local.transport_errors;
     total.latency_ns.Merge(local.latency_ns);
+    // Threads run concurrently: the aggregate window is the longest any
+    // thread actually measured (a thread that died early measured less).
+    total.elapsed_seconds =
+        std::max(total.elapsed_seconds, local.elapsed_seconds);
   }
-  total.elapsed_seconds = options.seconds;
   return total;
 }
 

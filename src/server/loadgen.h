@@ -46,6 +46,15 @@ struct LoadGenOptions {
   double theta = 0.0;  // Zipf skew over the key space.
   uint64_t seed = 42;
   int64_t deadline_ms = 10000;
+  /// Sharded deployments (driving a shard router): with num_shards > 1,
+  /// rmw key sets are shard-aware — a `multi_shard_fraction` slice becomes
+  /// deliberate cross-shard transactions ({k, k+1}: adjacent keys always
+  /// land on different shards under the modulo map), the rest have every
+  /// key coerced onto one shard so they take the router's fast path. The
+  /// N3 experiment sweeps this fraction. num_shards = 1 leaves the
+  /// classic key generation untouched.
+  uint32_t num_shards = 1;
+  double multi_shard_fraction = 0.0;
 };
 
 struct LoadGenStats {
@@ -54,7 +63,9 @@ struct LoadGenStats {
   uint64_t aborted = 0;            // kAborted responses (CC conflicts).
   uint64_t resource_exhausted = 0;  // Admission-control rejections.
   uint64_t other_errors = 0;       // Any other non-OK response status.
-  uint64_t transport_errors = 0;   // Timeouts, decode failures, conn drops.
+  uint64_t transport_errors = 0;   // Timeouts, decode failures, conn drops;
+                                   // includes in-flight requests whose
+                                   // responses a broken connection dropped.
   double elapsed_seconds = 0;
   Histogram latency_ns;
 

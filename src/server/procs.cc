@@ -17,13 +17,18 @@ uint64_t RegisterKvService(Engine* engine, const KvServiceOptions& options) {
                                      options.num_records * 2);
   const uint32_t num_partitions = engine->options().num_partitions;
   const uint32_t row_size = table->schema().row_size();
+  NEXT700_CHECK(options.num_shards >= 1);
+  NEXT700_CHECK(options.shard_id < options.num_shards);
+  uint64_t loaded = 0;
   if (options.load_rows) {
     std::vector<uint8_t> value(row_size, 0);
     for (uint64_t key = 0; key < options.num_records; ++key) {
+      if (KvShardOf(key, options.num_shards) != options.shard_id) continue;
       std::memcpy(value.data(), &key, sizeof(key));  // RMW counter seed.
       Row* row = engine->LoadRow(table, KvPartitionOf(key, num_partitions),
                                  key, value.data());
       NEXT700_CHECK(index->Insert(key, row).ok());
+      ++loaded;
     }
   }
 
@@ -88,7 +93,7 @@ uint64_t RegisterKvService(Engine* engine, const KvServiceOptions& options) {
         return Status::OK();
       });
 
-  return options.num_records;
+  return options.load_rows ? loaded : options.num_records;
 }
 
 }  // namespace server

@@ -39,7 +39,20 @@ struct KvServiceOptions {
   /// engine — checkpoint Load re-inserts every row and would collide with
   /// pre-loaded data.
   bool load_rows = true;
+  /// Horizontal sharding: with num_shards > 1, the load loop keeps only
+  /// keys where key % num_shards == shard_id (the shard router's mapping;
+  /// see src/shard/). Procedures and key validation are unchanged — a
+  /// misrouted key simply misses the index. The engine's num_partitions is
+  /// the *global* partition count, so partition ids in forwarded requests
+  /// stay valid verbatim on every shard.
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
 };
+
+/// The shard that owns `key` under the modulo mapping.
+inline uint32_t KvShardOf(uint64_t key, uint32_t num_shards) {
+  return static_cast<uint32_t>(key % num_shards);
+}
 
 /// Keys are range-partitioned modulo the engine's partition count; clients
 /// must declare the same mapping in their request partition sets.

@@ -75,6 +75,34 @@ Status DecodeRequest(const uint8_t* body, size_t len, Request* out) {
   return Status::OK();
 }
 
+Status DecodeRequestView(const uint8_t* body, size_t len, RequestView* out) {
+  WireReader reader(body, len);
+  uint16_t num_partitions;
+  uint32_t arg_len;
+  if (!reader.GetU64(&out->request_id) || !reader.GetU32(&out->proc_id) ||
+      !reader.GetU64(&out->min_read_lsn) ||
+      !reader.GetU16(&num_partitions) || !reader.GetU32(&arg_len)) {
+    return Status::InvalidArgument("truncated request header");
+  }
+  if (num_partitions > kMaxPartitionsPerRequest) {
+    return Status::InvalidArgument("partition set too large");
+  }
+  if (reader.remaining() <
+      static_cast<size_t>(num_partitions) * sizeof(uint32_t)) {
+    return Status::InvalidArgument("truncated partition list");
+  }
+  for (uint16_t i = 0; i < num_partitions; ++i) {
+    uint32_t ignored;
+    reader.GetU32(&ignored);
+  }
+  if (arg_len != reader.remaining()) {
+    return Status::InvalidArgument("argument length mismatch");
+  }
+  out->args = body + (len - arg_len);
+  out->args_len = arg_len;
+  return Status::OK();
+}
+
 Status DecodeResponse(const uint8_t* body, size_t len, Response* out) {
   WireReader reader(body, len);
   uint8_t status_code;
@@ -156,7 +184,7 @@ Status DecodeHello(const uint8_t* body, size_t len, Hello* out) {
                                    ", this node speaks " +
                                    std::to_string(kWireVersion));
   }
-  if (role > static_cast<uint8_t>(PeerRole::kReplica)) {
+  if (role > static_cast<uint8_t>(PeerRole::kCoordinator)) {
     return Status::InvalidArgument("unknown peer role");
   }
   out->role = static_cast<PeerRole>(role);
@@ -210,6 +238,144 @@ Status DecodeReplAck(const uint8_t* body, size_t len, ReplAck* out) {
   return Status::OK();
 }
 
+void EncodePrepare(const Prepare& prepare, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(prepare.gtid);
+  writer.PutU32(prepare.proc_id);
+  writer.PutU16(static_cast<uint16_t>(prepare.partitions.size()));
+  writer.PutU32(static_cast<uint32_t>(prepare.args.size()));
+  for (uint32_t p : prepare.partitions) writer.PutU32(p);
+  writer.PutRaw(prepare.args.data(), prepare.args.size());
+  PutFrameHeader(FrameType::kPrepare, static_cast<uint32_t>(body.size()),
+                 out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Status DecodePrepare(const uint8_t* body, size_t len, Prepare* out) {
+  WireReader reader(body, len);
+  uint16_t num_partitions;
+  uint32_t arg_len;
+  if (!reader.GetU64(&out->gtid) || !reader.GetU32(&out->proc_id) ||
+      !reader.GetU16(&num_partitions) || !reader.GetU32(&arg_len)) {
+    return Status::InvalidArgument("truncated prepare header");
+  }
+  if (num_partitions > kMaxPartitionsPerRequest) {
+    return Status::InvalidArgument("partition set too large");
+  }
+  out->partitions.resize(num_partitions);
+  for (uint16_t i = 0; i < num_partitions; ++i) {
+    if (!reader.GetU32(&out->partitions[i])) {
+      return Status::InvalidArgument("truncated partition list");
+    }
+  }
+  if (arg_len != reader.remaining()) {
+    return Status::InvalidArgument("argument length mismatch");
+  }
+  out->args.resize(arg_len);
+  if (arg_len > 0 && !reader.GetRaw(out->args.data(), arg_len)) {
+    return Status::InvalidArgument("truncated arguments");
+  }
+  return Status::OK();
+}
+
+void EncodeVote(const Vote& vote, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(vote.gtid);
+  writer.PutU8(static_cast<uint8_t>(vote.status));
+  writer.PutU64(vote.prepare_lsn);
+  PutFrameHeader(FrameType::kVote, static_cast<uint32_t>(body.size()), out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Status DecodeVote(const uint8_t* body, size_t len, Vote* out) {
+  WireReader reader(body, len);
+  uint8_t status_code;
+  if (!reader.GetU64(&out->gtid) || !reader.GetU8(&status_code) ||
+      !reader.GetU64(&out->prepare_lsn) || reader.remaining() != 0) {
+    return Status::InvalidArgument("malformed vote");
+  }
+  if (!IsValidWireStatus(status_code)) {
+    return Status::InvalidArgument("unknown status code");
+  }
+  out->status = static_cast<StatusCode>(status_code);
+  return Status::OK();
+}
+
+void EncodeDecision(FrameType type, const Decision& decision,
+                    std::vector<uint8_t>* out) {
+  NEXT700_CHECK(type == FrameType::kCommitDecision ||
+                type == FrameType::kAbortDecision);
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(decision.gtid);
+  PutFrameHeader(type, static_cast<uint32_t>(body.size()), out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Status DecodeDecision(const uint8_t* body, size_t len, Decision* out) {
+  WireReader reader(body, len);
+  if (!reader.GetU64(&out->gtid) || reader.remaining() != 0) {
+    return Status::InvalidArgument("malformed decision");
+  }
+  return Status::OK();
+}
+
+void EncodeDecisionAck(const DecisionAck& ack, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU64(ack.gtid);
+  writer.PutU8(static_cast<uint8_t>(ack.status));
+  PutFrameHeader(FrameType::kDecisionAck, static_cast<uint32_t>(body.size()),
+                 out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Status DecodeDecisionAck(const uint8_t* body, size_t len, DecisionAck* out) {
+  WireReader reader(body, len);
+  uint8_t status_code;
+  if (!reader.GetU64(&out->gtid) || !reader.GetU8(&status_code) ||
+      reader.remaining() != 0) {
+    return Status::InvalidArgument("malformed decision ack");
+  }
+  if (!IsValidWireStatus(status_code)) {
+    return Status::InvalidArgument("unknown status code");
+  }
+  out->status = static_cast<StatusCode>(status_code);
+  return Status::OK();
+}
+
+void EncodeInDoubtQuery(std::vector<uint8_t>* out) {
+  PutFrameHeader(FrameType::kInDoubtQuery, 0, out);
+}
+
+void EncodeInDoubtList(const InDoubtList& list, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  WireWriter writer(&body);
+  writer.PutU32(static_cast<uint32_t>(list.gtids.size()));
+  for (uint64_t gtid : list.gtids) writer.PutU64(gtid);
+  PutFrameHeader(FrameType::kInDoubtList, static_cast<uint32_t>(body.size()),
+                 out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Status DecodeInDoubtList(const uint8_t* body, size_t len, InDoubtList* out) {
+  WireReader reader(body, len);
+  uint32_t count;
+  if (!reader.GetU32(&count) ||
+      reader.remaining() != count * sizeof(uint64_t)) {
+    return Status::InvalidArgument("malformed in-doubt list");
+  }
+  out->gtids.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.GetU64(&out->gtids[i])) {
+      return Status::InvalidArgument("truncated in-doubt list");
+    }
+  }
+  return Status::OK();
+}
+
 Status FrameDecoder::Next(Frame* frame, bool* have_frame) {
   *have_frame = false;
   // Compact once the consumed prefix dominates, so long-lived pipelined
@@ -222,14 +388,15 @@ Status FrameDecoder::Next(Frame* frame, bool* have_frame) {
   const size_t available = buffer_.size() - consumed_;
   if (available < kFrameHeaderBytes) return Status::OK();
   const uint8_t* base = buffer_.data() + consumed_;
-  uint32_t body_len;
-  std::memcpy(&body_len, base, sizeof(body_len));
+  // Explicit little-endian load: a memcpy here would read the length in
+  // host byte order and misparse every frame from a cross-endian peer.
+  const uint32_t body_len = LoadLE32(base);
   const uint8_t type = base[4];
   if (body_len > kMaxFrameBody) {
     return Status::InvalidArgument("oversized frame");
   }
   if (type < static_cast<uint8_t>(FrameType::kRequest) ||
-      type > static_cast<uint8_t>(FrameType::kReplAck)) {
+      type > static_cast<uint8_t>(FrameType::kInDoubtList)) {
     return Status::InvalidArgument("unknown frame type");
   }
   if (available < kFrameHeaderBytes + body_len) return Status::OK();

@@ -16,7 +16,8 @@
 /// Hello body (peer -> server):
 ///   u32 magic            kWireMagic ("N700")
 ///   u8  version          kWireVersion
-///   u8  role             PeerRole: ordinary client or subscribing replica
+///   u8  role             PeerRole: ordinary client, subscribing replica,
+///                        or shard-router / 2PC coordinator
 ///
 /// HelloAck body (server -> peer):
 ///   u32 magic
@@ -59,6 +60,21 @@
 /// The replica's first ReplAck doubles as its subscription position: the
 /// primary starts shipping from that ack's durable_lsn.
 ///
+/// Two-phase commit (coordinator <-> participant, after a role=kCoordinator
+/// Hello): the coordinator may forward ordinary Request frames verbatim
+/// (single-shard fast path — the participant answers with ordinary
+/// Response frames) and may drive Prepare / CommitDecision / AbortDecision
+/// / InDoubtQuery frames for cross-shard transactions. Every coordinator
+/// frame gets exactly one reply frame, in arrival order, over the same
+/// per-connection FIFO machinery as responses: Request -> Response,
+/// Prepare -> Vote, *Decision -> DecisionAck, InDoubtQuery -> InDoubtList.
+/// Frame bodies are documented on their structs below.
+///
+/// Byte order: every multi-byte integer on the wire is little-endian,
+/// serialized through the StoreLE/LoadLE helpers — never raw host-memory
+/// copies — so mixed-endian peers interoperate. The golden-frame tests in
+/// protocol_test.cc pin the exact octets.
+///
 /// Robustness contract: decoders never trust the peer. Oversized or
 /// garbage headers are unrecoverable (the stream cannot be resynchronized)
 /// and yield kInvalidArgument — the connection must be closed. A well-framed
@@ -85,12 +101,27 @@ enum class FrameType : uint8_t {
   kHelloAck = 4,
   kReplBatch = 5,
   kReplAck = 6,
+  // Two-phase commit (coordinator <-> participant, after a role=kCoordinator
+  // Hello). See the "Sharding & 2PC" section of DESIGN.md.
+  kPrepare = 7,       // coordinator -> participant: execute + harden, vote
+  kVote = 8,          // participant -> coordinator: yes (kOk) or no + reason
+  kCommitDecision = 9,   // coordinator -> participant: commit `gtid`
+  kAbortDecision = 10,   // coordinator -> participant: abort `gtid`
+  kDecisionAck = 11,  // participant -> coordinator: decision applied
+  kInDoubtQuery = 12,  // coordinator -> participant: list your in-doubt gtids
+  kInDoubtList = 13,   // participant -> coordinator: the in-doubt gtid set
 };
 
 /// What a connecting peer is, declared in its Hello.
 enum class PeerRole : uint8_t {
   kClient = 0,
   kReplica = 1,
+  /// A shard router / 2PC coordinator: may forward verbatim client
+  /// requests (single-shard fast path) and drive the prepare/decision
+  /// frames above. Exempt from client read-pausing like replicas: its
+  /// decision frames release prepared transactions, so throttling it
+  /// could wedge the participant.
+  kCoordinator = 2,
 };
 
 /// "N700", little-endian. A peer that opens with anything else is not
@@ -110,6 +141,39 @@ inline constexpr size_t kFrameHeaderBytes = 5;
 /// here (on a log-frame boundary) so a batch always fits kMaxFrameBody.
 inline constexpr uint32_t kMaxReplBatchBytes = 256u << 10;
 
+// --- Wire byte order ---------------------------------------------------
+// The wire is explicitly little-endian. Multi-byte integers are composed
+// byte-by-byte from shifts, never memcpy'd from host memory, so a
+// big-endian peer produces and parses the same octets as a little-endian
+// one. (Compilers collapse these to single moves on LE hardware.)
+
+inline void StoreLE16(uint16_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline void StoreLE32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+inline void StoreLE64(uint64_t v, uint8_t* p) {
+  StoreLE32(static_cast<uint32_t>(v), p);
+  StoreLE32(static_cast<uint32_t>(v >> 32), p + 4);
+}
+inline uint16_t LoadLE16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+inline uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+inline uint64_t LoadLE64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLE32(p)) |
+         (static_cast<uint64_t>(LoadLE32(p + 4)) << 32);
+}
+
 /// Append-only little-endian serializer for frame bodies and procedure
 /// arguments (the "typed argument encoding" of the service).
 class WireWriter {
@@ -117,10 +181,27 @@ class WireWriter {
   explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
 
   void PutU8(uint8_t v) { out_->push_back(v); }
-  void PutU16(uint16_t v) { PutRaw(&v, sizeof(v)); }
-  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
-  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
-  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutU16(uint16_t v) {
+    uint8_t b[2];
+    StoreLE16(v, b);
+    PutRaw(b, sizeof(b));
+  }
+  void PutU32(uint32_t v) {
+    uint8_t b[4];
+    StoreLE32(v, b);
+    PutRaw(b, sizeof(b));
+  }
+  void PutU64(uint64_t v) {
+    uint8_t b[8];
+    StoreLE64(v, b);
+    PutRaw(b, sizeof(b));
+  }
+  /// IEEE-754 bits, little-endian like every other integer.
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
   /// Length-prefixed byte string.
   void PutBytes(const void* data, size_t len) {
     PutU32(static_cast<uint32_t>(len));
@@ -144,10 +225,30 @@ class WireReader {
   WireReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
 
   bool GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
-  bool GetU16(uint16_t* v) { return GetRaw(v, sizeof(*v)); }
-  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
-  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
-  bool GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU16(uint16_t* v) {
+    uint8_t b[2];
+    if (!GetRaw(b, sizeof(b))) return false;
+    *v = LoadLE16(b);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    uint8_t b[4];
+    if (!GetRaw(b, sizeof(b))) return false;
+    *v = LoadLE32(b);
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    uint8_t b[8];
+    if (!GetRaw(b, sizeof(b))) return false;
+    *v = LoadLE64(b);
+    return true;
+  }
+  bool GetDouble(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
   /// Reads a length-prefixed byte string appended by PutBytes/PutString.
   bool GetBytes(std::vector<uint8_t>* out) {
     uint32_t n;
@@ -216,6 +317,59 @@ struct ReplAck {
   uint64_t applied_lsn = 0;
 };
 
+/// Phase one of 2PC (coordinator -> participant): execute the embedded
+/// stored-procedure invocation as one transaction, harden a prepare record
+/// (redo + gtid) to the participant's log, and answer with a Vote — but do
+/// not commit or release locks until the coordinator's decision arrives.
+///
+/// Prepare body:
+///   u64 gtid             globally unique transaction id (coordinator-chosen)
+///   u32 proc_id
+///   u16 num_partitions
+///   u32 arg_len
+///   num_partitions x u32 partition ids
+///   arg_len bytes of procedure arguments
+struct Prepare {
+  uint64_t gtid = 0;
+  uint32_t proc_id = 0;
+  std::vector<uint32_t> partitions;
+  std::vector<uint8_t> args;
+};
+
+/// Participant's vote. kOk means "yes — the prepare record is durable and
+/// the transaction will commit iff told to"; any other status is a no vote
+/// (the participant has already rolled back).
+///
+/// Vote body: u64 gtid, u8 status_code, u64 prepare_lsn (0 on a no vote).
+struct Vote {
+  uint64_t gtid = 0;
+  StatusCode status = StatusCode::kOk;
+  uint64_t prepare_lsn = 0;
+};
+
+/// Coordinator's decision for one gtid; the frame type (kCommitDecision /
+/// kAbortDecision) carries the verdict. Body: u64 gtid.
+struct Decision {
+  uint64_t gtid = 0;
+};
+
+/// Participant's acknowledgement that a decision was applied (and, for a
+/// commit, made durable). kOk also answers a redelivered decision for a
+/// gtid the participant no longer knows — decisions are idempotent.
+///
+/// DecisionAck body: u64 gtid, u8 status_code.
+struct DecisionAck {
+  uint64_t gtid = 0;
+  StatusCode status = StatusCode::kOk;
+};
+
+/// kInDoubtQuery has an empty body; the reply lists every transaction the
+/// participant has prepared but not yet seen a decision for (recovered
+/// from its log or still live). InDoubtList body: u32 count, count x u64.
+struct InDoubtList {
+  std::vector<uint64_t> gtids;
+};
+
 /// Appends a complete frame (header + body) to `out`.
 void EncodeRequest(const Request& request, std::vector<uint8_t>* out);
 void EncodeResponse(const Response& response, std::vector<uint8_t>* out);
@@ -223,6 +377,14 @@ void EncodeHello(const Hello& hello, std::vector<uint8_t>* out);
 void EncodeHelloAck(const HelloAck& ack, std::vector<uint8_t>* out);
 void EncodeReplBatch(const ReplBatch& batch, std::vector<uint8_t>* out);
 void EncodeReplAck(const ReplAck& ack, std::vector<uint8_t>* out);
+void EncodePrepare(const Prepare& prepare, std::vector<uint8_t>* out);
+void EncodeVote(const Vote& vote, std::vector<uint8_t>* out);
+/// `type` must be kCommitDecision or kAbortDecision.
+void EncodeDecision(FrameType type, const Decision& decision,
+                    std::vector<uint8_t>* out);
+void EncodeDecisionAck(const DecisionAck& ack, std::vector<uint8_t>* out);
+void EncodeInDoubtQuery(std::vector<uint8_t>* out);
+void EncodeInDoubtList(const InDoubtList& list, std::vector<uint8_t>* out);
 
 /// Decodes a frame body. kInvalidArgument on any structural defect
 /// (truncated fields, inconsistent lengths, trailing garbage, out-of-range
@@ -230,6 +392,21 @@ void EncodeReplAck(const ReplAck& ack, std::vector<uint8_t>* out);
 /// connection can survive.
 Status DecodeRequest(const uint8_t* body, size_t len, Request* out);
 Status DecodeResponse(const uint8_t* body, size_t len, Response* out);
+
+/// Zero-copy view of a request frame body: the header fields plus a
+/// pointer into the caller's buffer for the argument bytes (valid only
+/// while that buffer is). The shard router's fast path peeks at routing
+/// fields on every forwarded frame; the owned vectors DecodeRequest
+/// fills would cost two allocations per frame for data the router never
+/// keeps. Validates the same framing invariants as DecodeRequest.
+struct RequestView {
+  uint64_t request_id = 0;
+  uint32_t proc_id = 0;
+  uint64_t min_read_lsn = 0;
+  const uint8_t* args = nullptr;
+  size_t args_len = 0;
+};
+Status DecodeRequestView(const uint8_t* body, size_t len, RequestView* out);
 
 /// Handshake/replication decode errors always close the connection: a peer
 /// that cannot even say Hello correctly (wrong magic, wrong version) has
@@ -239,6 +416,11 @@ Status DecodeHello(const uint8_t* body, size_t len, Hello* out);
 Status DecodeHelloAck(const uint8_t* body, size_t len, HelloAck* out);
 Status DecodeReplBatch(const uint8_t* body, size_t len, ReplBatch* out);
 Status DecodeReplAck(const uint8_t* body, size_t len, ReplAck* out);
+Status DecodePrepare(const uint8_t* body, size_t len, Prepare* out);
+Status DecodeVote(const uint8_t* body, size_t len, Vote* out);
+Status DecodeDecision(const uint8_t* body, size_t len, Decision* out);
+Status DecodeDecisionAck(const uint8_t* body, size_t len, DecisionAck* out);
+Status DecodeInDoubtList(const uint8_t* body, size_t len, InDoubtList* out);
 
 /// One frame extracted from the byte stream; `body` points into the
 /// decoder's buffer and is valid until the next Next()/Feed() call.

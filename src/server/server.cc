@@ -103,6 +103,10 @@ Status Server::Start() {
         });
   }
 
+  // Requests and Prepares stay fenced out until every in-doubt transaction
+  // recovery surfaced is resolved by its coordinator.
+  in_doubt_gate_ = engine_->has_in_doubt();
+
   stop_requested_.store(false);
   running_.store(true);
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -122,6 +126,15 @@ void Server::Stop() {
   stop_requested_.store(true);
   io_->Wakeup();
   loop_thread_.join();
+
+  // Release workers parked on undecided prepared branches: they abort in
+  // memory without logging an outcome, so the gtid stays in doubt on disk
+  // and presumed abort resolves it on the next recovery.
+  {
+    MutexLock lock(&prepared_mu_);
+    prepared_stop_ = true;
+  }
+  prepared_cv_.NotifyAll();
 
   for (auto& queue : queues_) {
     {
@@ -273,8 +286,15 @@ void Server::DrainFrames(Connection* conn) {
       if (connections_.find(conn_id) == connections_.end()) return;
       continue;
     }
+    if (conn->peer() == PeerRole::kCoordinator &&
+        frame.type != FrameType::kRequest) {
+      if (!HandleCoordinatorFrame(conn, frame)) return;
+      if (connections_.find(conn_id) == connections_.end()) return;
+      continue;
+    }
     if (frame.type != FrameType::kRequest ||
-        conn->peer() != PeerRole::kClient) {
+        (conn->peer() != PeerRole::kClient &&
+         conn->peer() != PeerRole::kCoordinator)) {
       stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
       CloseConnection(conn);
@@ -415,10 +435,191 @@ Lsn Server::ReleaseWatermark(Lsn durable) const {
                   semisync_watermark_.load(std::memory_order_acquire));
 }
 
+bool Server::HandleCoordinatorFrame(Connection* conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kPrepare:
+      return HandlePrepare(conn, frame);
+    case FrameType::kCommitDecision:
+    case FrameType::kAbortDecision:
+      return HandleDecision(conn, frame);
+    case FrameType::kInDoubtQuery:
+      return HandleInDoubtQuery(conn, frame);
+    default:
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      return false;
+  }
+}
+
+bool Server::HandlePrepare(Connection* conn, const Frame& frame) {
+  Prepare prepare;
+  const Status decoded = DecodePrepare(frame.body, frame.body_len, &prepare);
+  if (!decoded.ok()) {
+    // The coordinator is trusted infrastructure; a malformed Prepare means
+    // a version skew or corruption, not a user error worth a polite reply.
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return false;
+  }
+  const uint64_t seq = conn->AdmitRequest();
+  const auto vote_inline = [&](StatusCode code) {
+    Vote vote;
+    vote.gtid = prepare.gtid;
+    vote.status = code;
+    std::vector<uint8_t> encoded;
+    EncodeVote(vote, &encoded);
+    conn->Complete(seq, std::move(encoded));
+    FlushConnection(conn);  // May close `conn`; callers re-find by id.
+  };
+  if (in_doubt_gate_) {
+    if (engine_->has_in_doubt()) {
+      vote_inline(StatusCode::kUnavailable);
+      return true;
+    }
+    in_doubt_gate_ = false;
+  }
+  if (engine_->GetProcedure(prepare.proc_id) == nullptr) {
+    vote_inline(StatusCode::kNotFound);
+    return true;
+  }
+  if (options_.snapshot_source != nullptr) {
+    vote_inline(StatusCode::kInvalidArgument);  // Replicas never prepare.
+    return true;
+  }
+  const uint32_t num_partitions = engine_->options().num_partitions;
+  for (uint32_t p : prepare.partitions) {
+    if (p >= num_partitions) {
+      vote_inline(StatusCode::kInvalidArgument);
+      return true;
+    }
+  }
+  WorkQueue* queue =
+      queues_[static_cast<size_t>(WorkerForPartitions(prepare.partitions))]
+          .get();
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  bool rejected = false;
+  StatusCode reject_code = StatusCode::kOk;
+  {
+    MutexLock lock(&queue->mu);
+    if (queue->stopped) {
+      rejected = true;
+      reject_code = StatusCode::kUnavailable;
+    } else if (queue->items.size() >= options_.queue_capacity) {
+      rejected = true;
+      reject_code = StatusCode::kResourceExhausted;
+    } else {
+      WorkItem item;
+      item.conn_id = conn->id();
+      item.seq = seq;
+      item.is_prepare = true;
+      item.prepare = std::move(prepare);
+      queue->items.push_back(std::move(item));
+    }
+  }
+  if (rejected) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    if (reject_code == StatusCode::kResourceExhausted) {
+      stats_.admission_rejects.fetch_add(1, std::memory_order_relaxed);
+    }
+    vote_inline(reject_code);
+    return true;
+  }
+  stats_.prepares_dispatched.fetch_add(1, std::memory_order_relaxed);
+  queue->cv.NotifyOne();
+  return true;
+}
+
+bool Server::HandleDecision(Connection* conn, const Frame& frame) {
+  Decision decision;
+  const Status decoded =
+      DecodeDecision(frame.body, frame.body_len, &decision);
+  if (!decoded.ok()) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return false;
+  }
+  stats_.decisions_received.fetch_add(1, std::memory_order_relaxed);
+  const bool commit = frame.type == FrameType::kCommitDecision;
+  const uint64_t seq = conn->AdmitRequest();
+  // A live prepared branch: hand the decision to its parked worker, which
+  // applies it and pushes the DecisionAck for this (conn, seq).
+  bool delivered = false;
+  {
+    MutexLock lock(&prepared_mu_);
+    auto it = prepared_.find(decision.gtid);
+    if (it != prepared_.end() && !it->second.decided) {
+      it->second.decided = true;
+      it->second.commit = commit;
+      it->second.decision_conn_id = conn->id();
+      it->second.decision_seq = seq;
+      delivered = true;
+    }
+  }
+  if (delivered) {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    prepared_cv_.NotifyAll();
+    return true;
+  }
+  // A branch recovery left in doubt resolves here; an unknown gtid is an
+  // idempotent redelivery (the previous ack was lost) and acks OK.
+  DecisionAck ack;
+  ack.gtid = decision.gtid;
+  ack.status = StatusCode::kOk;
+  const Status resolved = engine_->ResolveInDoubt(decision.gtid, commit);
+  if (!resolved.ok() && !resolved.IsNotFound()) {
+    ack.status = resolved.code();
+  }
+  std::vector<uint8_t> encoded;
+  EncodeDecisionAck(ack, &encoded);
+  conn->Complete(seq, std::move(encoded));
+  FlushConnection(conn);
+  return true;
+}
+
+bool Server::HandleInDoubtQuery(Connection* conn, const Frame& frame) {
+  if (frame.body_len != 0) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return false;
+  }
+  const uint64_t seq = conn->AdmitRequest();
+  InDoubtList list;
+  // Both branches recovery left in doubt and live prepared branches whose
+  // decision never arrived (their coordinator crashed before deciding):
+  // the reconnecting coordinator answers every one of these with a
+  // decision frame.
+  list.gtids = engine_->InDoubtGtids();
+  {
+    MutexLock lock(&prepared_mu_);
+    for (const auto& entry : prepared_) {
+      if (!entry.second.decided) list.gtids.push_back(entry.first);
+    }
+  }
+  std::vector<uint8_t> encoded;
+  EncodeInDoubtList(list, &encoded);
+  conn->Complete(seq, std::move(encoded));
+  FlushConnection(conn);
+  return true;
+}
+
 void Server::DispatchRequest(Connection* conn, Request request) {
   const uint64_t seq = conn->AdmitRequest();
   Response error;
   error.request_id = request.request_id;
+  if (in_doubt_gate_) {
+    if (engine_->has_in_doubt()) {
+      // Recovered in-doubt redo applies outside concurrency control, so no
+      // transaction may run until the coordinator has resolved every gtid.
+      error.status = StatusCode::kUnavailable;
+      CompleteInline(conn, seq, error);
+      return;
+    }
+    in_doubt_gate_ = false;  // Resolved; stop checking per request.
+  }
   if (engine_->GetProcedure(request.proc_id) == nullptr) {
     error.status = StatusCode::kNotFound;
     CompleteInline(conn, seq, error);
@@ -462,7 +663,11 @@ void Server::DispatchRequest(Connection* conn, Request request) {
       rejected = true;
       error.status = StatusCode::kResourceExhausted;
     } else {
-      queue->items.push_back(WorkItem{conn->id(), seq, std::move(request)});
+      WorkItem item;
+      item.conn_id = conn->id();
+      item.seq = seq;
+      item.request = std::move(request);
+      queue->items.push_back(std::move(item));
     }
   }
   if (rejected) {
@@ -478,14 +683,18 @@ void Server::DispatchRequest(Connection* conn, Request request) {
 }
 
 int Server::WorkerFor(const Request& request) {
+  return WorkerForPartitions(request.partitions);
+}
+
+int Server::WorkerForPartitions(const std::vector<uint32_t>& partitions) {
   if (!partitioned_dispatch_) return 0;  // Single shared run queue.
-  if (request.partitions.empty()) {
+  if (partitions.empty()) {
     // Undeclared access locks every partition; spread those across workers.
     return static_cast<int>(round_robin_++ %
                             static_cast<uint64_t>(options_.num_workers));
   }
   const uint32_t min_partition =
-      *std::min_element(request.partitions.begin(), request.partitions.end());
+      *std::min_element(partitions.begin(), partitions.end());
   return static_cast<int>(min_partition %
                           static_cast<uint32_t>(options_.num_workers));
 }
@@ -660,10 +869,14 @@ void Server::PauseReads() {
   // No read is cancelled: outstanding ones complete and simply do not
   // resubmit while paused. Replica connections stay readable: their acks
   // release held semisync replies, which is exactly what drains the
-  // budget.
+  // budget. Coordinator connections likewise: their decision frames are
+  // what un-parks prepared workers.
   for (auto& [id, conn] : connections_) {
     (void)id;
-    if (conn->peer() != PeerRole::kReplica) conn->set_read_paused(true);
+    if (conn->peer() != PeerRole::kReplica &&
+        conn->peer() != PeerRole::kCoordinator) {
+      conn->set_read_paused(true);
+    }
   }
 }
 
@@ -705,6 +918,10 @@ void Server::WorkerLoop(int worker_id) {
       if (queue->stopped) return;  // Remaining replies are dropped at Stop.
       item = std::move(queue->items.front());
       queue->items.pop_front();
+    }
+    if (item.is_prepare) {
+      RunPrepare(worker_id, &item);
+      continue;
     }
     Engine::DeferredResult result;
     Lsn snapshot_lsn = 0;
@@ -758,6 +975,125 @@ void Server::WorkerLoop(int worker_id) {
     } else {
       PushCompletion(std::move(completion));
     }
+  }
+}
+
+void Server::RunPrepare(int worker_id, WorkItem* item) {
+  LogManager* log = engine_->log_manager();
+  const Prepare& prepare = item->prepare;
+  const Procedure* proc = engine_->GetProcedure(prepare.proc_id);
+  NEXT700_CHECK(proc != nullptr);  // Checked at dispatch.
+  const std::vector<uint32_t> partitions(prepare.partitions.begin(),
+                                         prepare.partitions.end());
+  TxnContext* txn = engine_->Begin(worker_id, partitions);
+  // The outcome record's durability gates the DecisionAck through the
+  // held-replies path, not a blocking wait on this worker.
+  txn->set_defer_durable(true);
+  txn->SetProcedure(prepare.proc_id, prepare.args.data(),
+                    prepare.args.size());
+  Status s =
+      (*proc)(engine_, txn, prepare.args.data(), prepare.args.size());
+  if (s.ok()) s = engine_->Prepare(txn, prepare.gtid);
+  Vote vote;
+  vote.gtid = prepare.gtid;
+  vote.status = s.code();
+  vote.prepare_lsn = txn->prepare_lsn();
+  if (!s.ok()) {
+    if (s.IsAborted()) {
+      engine_->Abort(txn);
+    } else {
+      engine_->AbortUser(txn);
+    }
+    Completion no;
+    no.conn_id = item->conn_id;
+    no.seq = item->seq;
+    EncodeVote(vote, &no.encoded);
+    PushCompletion(std::move(no));
+    return;
+  }
+  // Register before the vote leaves: the decision can arrive the moment
+  // the coordinator counts the last yes.
+  {
+    MutexLock lock(&prepared_mu_);
+    prepared_.emplace(prepare.gtid, PreparedTxn{});
+  }
+  if (options_.crash_after_prepares > 0 &&
+      prepares_done_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+          options_.crash_after_prepares) {
+    // Crash-harness hook: die exactly in doubt — the prepare record is
+    // durable but the vote never leaves this process.
+    _exit(42);
+  }
+  Completion yes;
+  yes.conn_id = item->conn_id;
+  yes.seq = item->seq;
+  EncodeVote(vote, &yes.encoded);
+  // Engine::Prepare already waited for durability ("prepare durable before
+  // vote"), so the vote bypasses the held-replies machinery.
+  PushCompletion(std::move(yes));
+
+  // Park holding the branch's locks until the coordinator decides (or
+  // Stop): a participant never unilaterally aborts after voting yes.
+  bool do_commit = false;
+  bool stopped = false;
+  uint64_t ack_conn_id = 0;
+  uint64_t ack_seq = 0;
+  {
+    MutexLock lock(&prepared_mu_);
+    auto it = prepared_.find(prepare.gtid);
+    NEXT700_CHECK(it != prepared_.end());
+    while (!it->second.decided && !prepared_stop_) {
+      prepared_cv_.Wait(&prepared_mu_);
+    }
+    if (it->second.decided) {
+      do_commit = it->second.commit;
+      ack_conn_id = it->second.decision_conn_id;
+      ack_seq = it->second.decision_seq;
+    } else {
+      stopped = true;
+    }
+    prepared_.erase(it);
+  }
+  if (stopped) {
+    // In-memory rollback only — no outcome record — so the branch stays in
+    // doubt on disk and presumed abort resolves it at the next recovery.
+    engine_->Abort(txn);
+    return;
+  }
+  DecisionAck ack;
+  ack.gtid = prepare.gtid;
+  ack.status = StatusCode::kOk;
+  if (do_commit) {
+    const Status cs = engine_->CommitPrepared(txn);
+    if (!cs.ok()) ack.status = cs.code();
+  } else {
+    engine_->AbortPrepared(txn);
+  }
+  Completion completion;
+  completion.conn_id = ack_conn_id;
+  completion.seq = ack_seq;
+  EncodeDecisionAck(ack, &completion.encoded);
+  const Lsn outcome_lsn =
+      do_commit && ack.status == StatusCode::kOk ? txn->commit_lsn() : 0;
+  if (outcome_lsn > 0 && log != nullptr && engine_->options().sync_commit) {
+    // Decision durable before ack: the commit outcome record must be on
+    // disk before the coordinator may forget the transaction.
+    bool held = false;
+    {
+      MutexLock lock(&held_mu_);
+      if (ReleaseWatermark(log->durable_lsn()) < outcome_lsn) {
+        held_replies_.push(HeldReply{outcome_lsn, std::move(completion)});
+        held = true;
+      }
+    }
+    if (held) {
+      stats_.replies_held_durable.fetch_add(1, std::memory_order_relaxed);
+      ReleaseDurable(ReleaseWatermark(log->durable_lsn()));
+    } else {
+      PushCompletion(std::move(completion));
+    }
+  } else {
+    PushCompletion(std::move(completion));
   }
 }
 

@@ -48,6 +48,25 @@
 ///    read-only snapshot transactions at the source's applied LSN. Writes
 ///    are rejected with kInvalidArgument; reads demanding a fresher
 ///    snapshot than applied (request.min_read_lsn) get kUnavailable.
+///
+/// 2PC participant role: a connection that handshakes as
+/// PeerRole::kCoordinator may, besides plain Requests (the shard router's
+/// single-shard fast path), send Prepare / CommitDecision / AbortDecision /
+/// InDoubtQuery frames. A Prepare executes the named procedure on a worker
+/// and splits commit at Engine::Prepare: the redo record is durable before
+/// the Vote leaves ("prepare durable before vote"), then the worker parks —
+/// holding the branch's locks — until the decision frame arrives on the
+/// event loop and wakes it (a participant never unilaterally aborts after
+/// voting yes; Stop() releases parked workers by aborting in memory only,
+/// leaving the gtid in doubt on disk, which presumed abort resolves).
+/// Decisions for unknown gtids are acked OK (idempotent redelivery);
+/// decisions for gtids recovery left in doubt resolve via
+/// Engine::ResolveInDoubt. While recovered in-doubt transactions remain
+/// unresolved the server answers Requests and Prepares with kUnavailable —
+/// their redo is applied outside concurrency control, so no transaction
+/// may run beside it. Coordinator connections are exempt from read pausing
+/// like replicas: their decision frames are what un-parks workers, so
+/// throttling them could deadlock the budget.
 
 #include <atomic>
 #include <cstdint>
@@ -121,6 +140,10 @@ struct ServerOptions {
   /// Must outlive the server. A replica does not re-ship its stream
   /// (no chaining), so kReplica handshakes are refused in this role.
   SnapshotSource* snapshot_source = nullptr;
+  /// Crash-harness hook: _exit(42) the process when the Nth successful
+  /// Engine::Prepare is durable but its Vote has not been sent — the
+  /// window where the participant is in doubt. 0 disables.
+  uint64_t crash_after_prepares = 0;
 };
 
 /// Monotonic counters, updated with relaxed atomics (read for reports).
@@ -140,6 +163,10 @@ struct ServerStats {
   std::atomic<uint64_t> semisync_degraded{0};
   /// Replica-role rejections: writes, or min_read_lsn ahead of applied.
   std::atomic<uint64_t> snapshot_rejects{0};
+  /// 2PC participant traffic (event-loop written): Prepare frames handed
+  /// to workers, and decision frames received from coordinators.
+  std::atomic<uint64_t> prepares_dispatched{0};
+  std::atomic<uint64_t> decisions_received{0};
   /// writev submissions issued, and the frames they gathered: the ratio
   /// is the reply-batching factor (frames/writev >> 1 under pipelining).
   std::atomic<uint64_t> writev_batches{0};
@@ -185,6 +212,22 @@ class Server {
     uint64_t conn_id;
     uint64_t seq;
     Request request;
+    /// 2PC: when set, `prepare` (not `request`) names the work and the
+    /// worker answers with a Vote instead of a Response.
+    bool is_prepare = false;
+    Prepare prepare;
+  };
+
+  /// One prepared-but-undecided branch, keyed by gtid in prepared_. The
+  /// owning worker parks on prepared_cv_ after registering its entry and
+  /// pushing the Vote; the event loop fills in the decision and wakes it.
+  struct PreparedTxn {
+    bool decided = false;
+    bool commit = false;
+    /// Where the DecisionAck goes (the admitting connection + sequence of
+    /// the decision frame).
+    uint64_t decision_conn_id = 0;
+    uint64_t decision_seq = 0;
   };
 
   // Cache-aligned so adjacent queues (each bounced between the event loop
@@ -236,6 +279,15 @@ class Server {
   /// A subscribed replica's cumulative progress ack (or its initial
   /// subscription naming the start LSN). Returns false if closed.
   bool HandleReplAck(Connection* conn, const Frame& frame);
+  /// 2PC frames from a coordinator peer (Prepare, decisions, InDoubtQuery).
+  /// Each returns false if the connection was closed.
+  bool HandleCoordinatorFrame(Connection* conn, const Frame& frame);
+  bool HandlePrepare(Connection* conn, const Frame& frame);
+  bool HandleDecision(Connection* conn, const Frame& frame);
+  bool HandleInDoubtQuery(Connection* conn, const Frame& frame);
+  /// Worker-side execution of one Prepare item: run the procedure,
+  /// Engine::Prepare, vote, park for the decision, apply it, ack.
+  void RunPrepare(int worker_id, WorkItem* item);
   void DispatchRequest(Connection* conn, Request request);
   /// Answers `seq` on `conn` directly from the event loop (protocol errors,
   /// admission rejects) without a round trip through the worker pool.
@@ -276,6 +328,7 @@ class Server {
   void ResumeReads();
 
   int WorkerFor(const Request& request);
+  int WorkerForPartitions(const std::vector<uint32_t>& partitions);
 
   Engine* engine_;
   ServerOptions options_;
@@ -301,6 +354,11 @@ class Server {
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
   uint64_t next_conn_id_ = 1;
   bool reads_paused_ = false;
+  /// Event-loop-owned latch over the recovered in-doubt gate: true while
+  /// Engine::has_in_doubt() might still hold, so the steady state never
+  /// takes the engine's in-doubt mutex per request. Transitions only
+  /// true -> false.
+  bool in_doubt_gate_ = false;
   /// Connections owed a writev submission at batch end (by id: an entry
   /// may refer to a connection closed earlier in the same batch).
   std::vector<uint64_t> dirty_;
@@ -326,6 +384,18 @@ class Server {
   std::priority_queue<HeldReply, std::vector<HeldReply>,
                       std::greater<HeldReply>>
       held_replies_ GUARDED_BY(held_mu_);
+
+  // Live prepared branches (workers register + park; event loop decides).
+  // Never nested with the other server mutexes.
+  Mutex prepared_mu_;
+  CondVar prepared_cv_;
+  std::unordered_map<uint64_t, PreparedTxn> prepared_
+      GUARDED_BY(prepared_mu_);
+  /// Stop() in progress: parked workers abort in memory (no outcome
+  /// record) and exit instead of waiting for decisions that cannot come.
+  bool prepared_stop_ GUARDED_BY(prepared_mu_) = false;
+  /// Successful prepares so far (the crash_after_prepares trigger).
+  std::atomic<uint64_t> prepares_done_{0};
 };
 
 }  // namespace server

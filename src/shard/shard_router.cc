@@ -1,0 +1,933 @@
+#include "shard/shard_router.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/macros.h"
+#include "log/recovery.h"
+#include "server/procs.h"
+
+namespace next700 {
+namespace shard {
+
+using server::FrameType;
+using server::PeerRole;
+
+namespace {
+
+/// Wall-clock nanoseconds — deliberately not the monotonic clock: gtids
+/// must stay unique across router restarts, and the monotonic epoch resets
+/// at boot.
+uint64_t WallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t MonotonicMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Re-frames a (type, body) pair exactly as the sender framed it — header
+/// plus body is byte-identical to the original frame, which is what lets
+/// the router relay shard responses without re-encoding.
+void AppendFrame(FrameType type, const uint8_t* body, size_t body_len,
+                 std::vector<uint8_t>* out) {
+  uint8_t header[server::kFrameHeaderBytes];
+  server::StoreLE32(static_cast<uint32_t>(body_len), header);
+  header[4] = static_cast<uint8_t>(type);
+  out->insert(out->end(), header, header + sizeof(header));
+  out->insert(out->end(), body, body + body_len);
+}
+
+bool ParseHostPort(const std::string& addr, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= addr.size()) return false;
+  *host = addr.substr(0, colon);
+  const long p = std::strtol(addr.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+}  // namespace
+
+/// One accepted client connection. Shard reader threads complete tickets
+/// out of order; the reorder buffer releases frames to the socket strictly
+/// in ticket order, preserving the wire protocol's per-connection FIFO.
+struct ShardRouter::ClientSession {
+  int fd = -1;
+  std::atomic<bool> closed{false};
+
+  Mutex mu;
+  uint64_t next_to_send GUARDED_BY(mu) = 0;
+  std::map<uint64_t, std::vector<uint8_t>> ready GUARDED_BY(mu);
+
+  ~ClientSession() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Delivers one response frame for `ticket`; writes every newly
+  /// contiguous frame to the client, coalesced into a single send so a
+  /// burst of shard replies costs one syscall instead of one per ticket.
+  /// Blocking send under the session mutex is fine here: the only other
+  /// contenders are reader threads completing other tickets of the same
+  /// client.
+  void CompleteTicket(uint64_t ticket, std::vector<uint8_t> frame) {
+    MutexLock lock(&mu);
+    ready.emplace(ticket, std::move(frame));
+    FlushReady();
+  }
+
+  /// Batch variant: a shard reader delivering a whole reply burst for this
+  /// session pays one lock and (at most) one send for all of it.
+  void CompleteTickets(
+      std::vector<std::pair<uint64_t, std::vector<uint8_t>>>* batch) {
+    MutexLock lock(&mu);
+    for (auto& [ticket, frame] : *batch) {
+      ready.emplace(ticket, std::move(frame));
+    }
+    FlushReady();
+  }
+
+  void FlushReady() REQUIRES(mu) {
+    auto it = ready.find(next_to_send);
+    if (it == ready.end()) return;
+    std::vector<uint8_t> burst = std::move(it->second);
+    ready.erase(it);
+    ++next_to_send;
+    while ((it = ready.find(next_to_send)) != ready.end()) {
+      burst.insert(burst.end(), it->second.begin(), it->second.end());
+      ready.erase(it);
+      ++next_to_send;
+    }
+    if (!WriteAll(burst)) closed.store(true, std::memory_order_release);
+  }
+
+  bool WriteAll(const std::vector<uint8_t>& bytes) REQUIRES(mu) {
+    if (closed.load(std::memory_order_acquire)) return false;
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+};
+
+/// One upstream shard: a coordinator-role connection plus the FIFO of
+/// expectations its reply stream must answer. `mu` serializes sends with
+/// expectation pushes so the deque order always matches the wire order;
+/// the reader thread is the only receiver and manages connect/teardown.
+struct ShardRouter::ShardConn {
+  uint32_t shard_id = 0;
+  std::string host;
+  uint16_t port = 0;
+
+  Mutex mu;
+  server::Client client;  // Sends under mu; reader thread receives.
+  bool up GUARDED_BY(mu) = false;
+  std::deque<Expectation> expect GUARDED_BY(mu);
+  std::thread reader;
+};
+
+/// Per-read-burst staging area for single-shard forwards. The session
+/// thread decodes a whole socket read's worth of requests, appends each
+/// forward's frame bytes to its target shard's buffer, and then flushes
+/// every shard with one gather send — the syscall-per-frame cost this
+/// replaces was the router fast path's dominant overhead. Owned by one
+/// session thread; never shared.
+struct ShardRouter::ForwardBatch {
+  struct PerShard {
+    std::vector<uint8_t> bytes;
+    std::vector<Expectation> expectations;
+    /// (ticket, request_id) per staged frame, for kUnavailable replies
+    /// when the whole batch fails to send.
+    std::vector<std::pair<uint64_t, uint64_t>> ids;
+  };
+  explicit ForwardBatch(uint32_t num_shards) : shards(num_shards) {}
+  std::vector<PerShard> shards;
+};
+
+/// Per-reply-burst staging area on a shard reader thread: forwarded
+/// responses grouped by client session so each session pays one lock and
+/// one coalesced send per burst instead of one per reply. Linear scan —
+/// a burst rarely spans more than a handful of sessions.
+struct ShardRouter::ReplyBatch {
+  std::vector<std::pair<std::shared_ptr<ClientSession>,
+                        std::vector<std::pair<uint64_t, std::vector<uint8_t>>>>>
+      sessions;
+
+  void Stage(const std::shared_ptr<ClientSession>& session, uint64_t ticket,
+             std::vector<uint8_t> frame) {
+    for (auto& entry : sessions) {
+      if (entry.first == session) {
+        entry.second.emplace_back(ticket, std::move(frame));
+        return;
+      }
+    }
+    sessions.emplace_back(
+        session, std::vector<std::pair<uint64_t, std::vector<uint8_t>>>{});
+    sessions.back().second.emplace_back(ticket, std::move(frame));
+  }
+
+  void Flush() {
+    for (auto& [session, completions] : sessions) {
+      session->CompleteTickets(&completions);
+    }
+    sessions.clear();
+  }
+};
+
+/// Coordinator-side state of one cross-shard transaction. The session
+/// thread owns the decision; shard reader threads deliver votes and acks.
+struct ShardRouter::GlobalTxn {
+  uint64_t gtid = 0;
+
+  Mutex mu;
+  CondVar cv;
+  int votes_outstanding GUARDED_BY(mu) = 0;
+  bool any_no GUARDED_BY(mu) = false;
+  StatusCode no_status GUARDED_BY(mu) = StatusCode::kOk;
+  bool decided GUARDED_BY(mu) = false;
+  bool commit GUARDED_BY(mu) = false;
+  std::vector<uint32_t> yes_shards GUARDED_BY(mu);
+  int acks_outstanding GUARDED_BY(mu) = 0;
+};
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)) {
+  NEXT700_CHECK_MSG(!options_.shards.empty(), "router needs >= 1 shard");
+  NEXT700_CHECK_MSG(!options_.log_dir.empty(),
+                    "router needs a decision log dir");
+}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+Status ShardRouter::Start() {
+  NEXT700_CHECK(listen_fd_ < 0);
+  gtid_base_ = WallNanos();
+
+  // Prior commit decisions first (the scan reads the existing segments),
+  // then open the log for appending (which starts a fresh segment).
+  struct stat st;
+  if (::stat(options_.log_dir.c_str(), &st) == 0) {
+    std::vector<uint64_t> committed;
+    NEXT700_RETURN_IF_ERROR(
+        ScanCoordinatorDecisions(options_.log_dir, &committed));
+    MutexLock lock(&committed_mu_);
+    committed_.insert(committed.begin(), committed.end());
+  }
+  LogManagerOptions log_options;
+  log_options.dir = options_.log_dir;
+  log_options.sync_policy = LogSyncPolicy::kFdatasync;
+  decision_log_ = std::make_unique<LogManager>(log_options);
+  NEXT700_RETURN_IF_ERROR(decision_log_->Open());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.listen_port);
+  if (::inet_pton(AF_INET, options_.listen_host.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad listen host: " + options_.listen_host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    return Status::IOError("bind/listen failed: " +
+                           std::string(strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    auto sc = std::make_unique<ShardConn>();
+    sc->shard_id = static_cast<uint32_t>(i);
+    if (!ParseHostPort(options_.shards[i], &sc->host, &sc->port)) {
+      return Status::InvalidArgument("bad shard address: " +
+                                     options_.shards[i]);
+    }
+    shard_conns_.push_back(std::move(sc));
+  }
+
+  stop_.store(false, std::memory_order_release);
+  for (auto& sc : shard_conns_) {
+    ShardConn* raw = sc.get();
+    raw->reader = std::thread([this, raw] { ShardLoop(raw); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ShardRouter::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    MutexLock lock(&sessions_mu_);
+    for (auto& session : sessions_) {
+      session->closed.store(true, std::memory_order_release);
+      ::shutdown(session->fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> session_threads;
+  {
+    MutexLock lock(&sessions_mu_);
+    session_threads.swap(session_threads_);
+  }
+  for (auto& t : session_threads) t.join();
+  for (auto& sc : shard_conns_) {
+    if (sc->reader.joinable()) sc->reader.join();
+  }
+  shard_conns_.clear();
+  if (decision_log_ != nullptr) decision_log_->Close();
+}
+
+bool ShardRouter::WaitShardsConnected(int64_t timeout_ms) {
+  const uint64_t deadline = MonotonicMs() + static_cast<uint64_t>(timeout_ms);
+  for (;;) {
+    bool all_up = true;
+    for (auto& sc : shard_conns_) {
+      MutexLock lock(&sc->mu);
+      if (!sc->up) all_up = false;
+    }
+    if (all_up) return true;
+    if (MonotonicMs() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// --- Accept + client sessions ------------------------------------------
+
+void ShardRouter::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<ClientSession>();
+    session->fd = fd;
+    MutexLock lock(&sessions_mu_);
+    sessions_.push_back(session);
+    session_threads_.emplace_back(
+        [this, session] { SessionLoop(session); });
+  }
+}
+
+void ShardRouter::SessionLoop(std::shared_ptr<ClientSession> session) {
+  server::FrameDecoder decoder;
+  bool handshaken = false;
+  uint64_t next_ticket = 0;
+  uint8_t buf[64 * 1024];
+  ForwardBatch batch(num_shards());
+  while (!stop_.load(std::memory_order_acquire) &&
+         !session->closed.load(std::memory_order_acquire)) {
+    pollfd pfd{session->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::read(session->fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    decoder.Feed(buf, static_cast<size_t>(n));
+    for (;;) {
+      server::Frame frame;
+      bool have = false;
+      if (!decoder.Next(&frame, &have).ok()) {
+        session->closed.store(true, std::memory_order_release);
+        break;
+      }
+      if (!have) break;
+      if (!handshaken) {
+        server::Hello hello;
+        if (frame.type != FrameType::kHello ||
+            !server::DecodeHello(frame.body, frame.body_len, &hello).ok() ||
+            hello.role != PeerRole::kClient) {
+          session->closed.store(true, std::memory_order_release);
+          break;
+        }
+        std::vector<uint8_t> ack;
+        server::EncodeHelloAck(server::HelloAck{}, &ack);
+        {
+          MutexLock lock(&session->mu);
+          if (!session->WriteAll(ack)) {
+            session->closed.store(true, std::memory_order_release);
+          }
+        }
+        handshaken = true;
+        continue;
+      }
+      if (frame.type != FrameType::kRequest) {
+        session->closed.store(true, std::memory_order_release);
+        break;
+      }
+      if (!RouteRequest(session, next_ticket++, frame, &batch)) {
+        session->closed.store(true, std::memory_order_release);
+        break;
+      }
+    }
+    // End of the read burst: everything staged goes out, one send per
+    // shard. (A cross-shard transaction inside the burst already flushed
+    // ahead of itself to preserve per-connection order.)
+    FlushForwards(session, &batch);
+  }
+  session->closed.store(true, std::memory_order_release);
+}
+
+// --- Routing ------------------------------------------------------------
+
+bool ShardRouter::RouteRequest(const std::shared_ptr<ClientSession>& session,
+                               uint64_t ticket, const server::Frame& frame,
+                               ForwardBatch* batch) {
+  server::RequestView request;
+  if (!server::DecodeRequestView(frame.body, frame.body_len, &request).ok()) {
+    // Let a real engine produce the error response so clients see exactly
+    // what a direct connection would have said.
+    StageForward(session, ticket, 0, frame, 0, batch);
+    return true;
+  }
+  const uint32_t num_shards = this->num_shards();
+  server::WireReader args(request.args, request.args_len);
+  if (request.proc_id == server::kKvGet || request.proc_id == server::kKvPut) {
+    uint64_t key;
+    const uint32_t target =
+        args.GetU64(&key) ? server::KvShardOf(key, num_shards) : 0;
+    StageForward(session, ticket, target, frame, request.request_id, batch);
+    return true;
+  }
+  if (request.proc_id != server::kKvRmw) {
+    StageForward(session, ticket, 0, frame, request.request_id, batch);
+    return true;
+  }
+  uint16_t nkeys = 0;
+  if (!args.GetU16(&nkeys) || nkeys == 0 ||
+      args.remaining() != nkeys * sizeof(uint64_t)) {
+    StageForward(session, ticket, 0, frame, request.request_id, batch);
+    return true;
+  }
+  std::vector<std::vector<uint64_t>> shard_keys(num_shards);
+  uint32_t shards_touched = 0;
+  uint32_t single = 0;
+  for (uint16_t i = 0; i < nkeys; ++i) {
+    uint64_t key;
+    NEXT700_CHECK(args.GetU64(&key));
+    const uint32_t shard = server::KvShardOf(key, num_shards);
+    if (shard_keys[shard].empty()) {
+      ++shards_touched;
+      single = shard;
+    }
+    shard_keys[shard].push_back(key);
+  }
+  if (shards_touched == 1) {
+    StageForward(session, ticket, single, frame, request.request_id, batch);
+    return true;
+  }
+  // The 2PC run blocks this thread on votes; staged forwards must not sit
+  // behind that wait, and prepares must not overtake earlier forwards on
+  // the same shard connection.
+  FlushForwards(session, batch);
+  RunCrossShard(session, ticket, request.request_id, shard_keys);
+  return true;
+}
+
+void ShardRouter::StageForward(const std::shared_ptr<ClientSession>& session,
+                               uint64_t ticket, uint32_t shard_id,
+                               const server::Frame& frame, uint64_t request_id,
+                               ForwardBatch* batch) {
+  ForwardBatch::PerShard& per = batch->shards[shard_id];
+  AppendFrame(frame.type, frame.body, frame.body_len, &per.bytes);
+  Expectation expectation;
+  expectation.kind = Expectation::kForward;
+  expectation.session = session;
+  expectation.ticket = ticket;
+  expectation.request_id = request_id;
+  per.expectations.push_back(std::move(expectation));
+  per.ids.emplace_back(ticket, request_id);
+}
+
+void ShardRouter::FlushForwards(const std::shared_ptr<ClientSession>& session,
+                                ForwardBatch* batch) {
+  for (uint32_t shard = 0; shard < batch->shards.size(); ++shard) {
+    ForwardBatch::PerShard& per = batch->shards[shard];
+    if (per.bytes.empty()) continue;
+    const uint64_t count = per.expectations.size();
+    if (SendBatchToShard(shard_conns_[shard].get(), per.bytes,
+                         &per.expectations)) {
+      stats_.forwarded.fetch_add(count, std::memory_order_relaxed);
+    } else {
+      // The clients survive; only these requests failed.
+      for (const auto& [ticket, request_id] : per.ids) {
+        ReplyError(session, ticket, request_id, StatusCode::kUnavailable);
+      }
+    }
+    per.bytes.clear();
+    per.expectations.clear();
+    per.ids.clear();
+  }
+}
+
+void ShardRouter::RunCrossShard(
+    const std::shared_ptr<ClientSession>& session, uint64_t ticket,
+    uint64_t request_id,
+    const std::vector<std::vector<uint64_t>>& shard_keys) {
+  auto txn = std::make_shared<GlobalTxn>();
+  txn->gtid = NextGtid();
+
+  // Phase one: one Prepare per participating shard, carrying that shard's
+  // slice of the key set (kKvRmw argument encoding) and the global
+  // partition ids those keys map to.
+  std::vector<uint32_t> participants;
+  for (uint32_t shard = 0; shard < shard_keys.size(); ++shard) {
+    if (!shard_keys[shard].empty()) participants.push_back(shard);
+  }
+  {
+    MutexLock lock(&txn->mu);
+    txn->votes_outstanding = static_cast<int>(participants.size());
+  }
+  int sent = 0;
+  for (const uint32_t shard : participants) {
+    const std::vector<uint64_t>& keys = shard_keys[shard];
+    server::Prepare prepare;
+    prepare.gtid = txn->gtid;
+    prepare.proc_id = server::kKvRmw;
+    for (const uint64_t key : keys) {
+      prepare.partitions.push_back(
+          server::KvPartitionOf(key, options_.num_partitions));
+    }
+    std::sort(prepare.partitions.begin(), prepare.partitions.end());
+    prepare.partitions.erase(
+        std::unique(prepare.partitions.begin(), prepare.partitions.end()),
+        prepare.partitions.end());
+    server::WireWriter args(&prepare.args);
+    args.PutU16(static_cast<uint16_t>(keys.size()));
+    for (const uint64_t key : keys) args.PutU64(key);
+    std::vector<uint8_t> bytes;
+    server::EncodePrepare(prepare, &bytes);
+    Expectation expectation;
+    expectation.kind = Expectation::kVote;
+    expectation.txn = txn;
+    if (SendToShard(shard_conns_[shard].get(), bytes,
+                    std::move(expectation))) {
+      ++sent;
+    } else {
+      MutexLock lock(&txn->mu);
+      txn->any_no = true;
+      txn->no_status = StatusCode::kUnavailable;
+      --txn->votes_outstanding;
+    }
+  }
+
+  if (options_.crash_after_prepares_sent > 0 && sent > 0 &&
+      cross_shard_started_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+          options_.crash_after_prepares_sent) {
+    // Coordinator crash window: prepares are out, the decision is not
+    // logged. Participants are left in doubt; recovery must abort this
+    // gtid (presumed abort) without losing anything acked.
+    std::fflush(nullptr);
+    ::_exit(42);
+  }
+
+  // Collect votes (session thread blocks; shard readers deliver).
+  bool commit;
+  StatusCode fail_code;
+  std::vector<uint32_t> yes_shards;
+  {
+    MutexLock lock(&txn->mu);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.vote_timeout_ms);
+    while (txn->votes_outstanding > 0 && !txn->any_no) {
+      if (txn->cv.WaitFor(&txn->mu, deadline -
+                                        std::chrono::steady_clock::now()) ==
+              std::cv_status::timeout &&
+          txn->votes_outstanding > 0) {
+        txn->any_no = true;
+        txn->no_status = StatusCode::kDeadlineExceeded;
+        stats_.vote_timeouts.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    commit = !txn->any_no;
+    fail_code = txn->no_status;
+    txn->decided = true;
+    txn->commit = commit;
+    yes_shards = txn->yes_shards;
+  }
+
+  uint64_t decision_lsn = 0;
+  if (commit) {
+    // The commit point: the decision is durable in the coordinator log
+    // before any reply or decision frame leaves this process. Aborts are
+    // never logged (presumed abort).
+    uint8_t body[8];
+    server::StoreLE64(txn->gtid, body);
+    decision_lsn =
+        decision_log_->Append(LogRecordType::kCoordDecision, body,
+                              sizeof(body));
+    const Status durable = decision_log_->WaitDurable(decision_lsn);
+    if (!durable.ok()) {
+      // Decision log device failure: we cannot claim the commit point, and
+      // we must not commit without it. Abort instead.
+      commit = false;
+      fail_code = durable.code();
+      MutexLock lock(&txn->mu);
+      txn->commit = false;
+    } else {
+      MutexLock lock(&committed_mu_);
+      committed_.insert(txn->gtid);
+    }
+  }
+
+  // Phase two: decisions to every shard that voted yes (the others already
+  // rolled back when they voted no — presumed abort needs no message, but
+  // a yes-voter is parked until told).
+  server::Decision decision;
+  decision.gtid = txn->gtid;
+  std::vector<uint8_t> bytes;
+  server::EncodeDecision(
+      commit ? FrameType::kCommitDecision : FrameType::kAbortDecision,
+      decision, &bytes);
+  {
+    MutexLock lock(&txn->mu);
+    txn->acks_outstanding = 0;
+  }
+  for (const uint32_t shard : yes_shards) {
+    Expectation expectation;
+    expectation.kind = Expectation::kDecisionAck;
+    expectation.txn = txn;
+    {
+      MutexLock lock(&txn->mu);
+      ++txn->acks_outstanding;
+    }
+    if (!SendToShard(shard_conns_[shard].get(), bytes,
+                     std::move(expectation))) {
+      // Shard down: its in-doubt recovery replays the decision later.
+      MutexLock lock(&txn->mu);
+      --txn->acks_outstanding;
+    }
+  }
+  {
+    // Wait (bounded) for acks so a committed transaction is visible on
+    // every participant before the client hears about it. The decision is
+    // already durable; a straggler resolves through in-doubt recovery.
+    MutexLock lock(&txn->mu);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.ack_timeout_ms);
+    while (txn->acks_outstanding > 0) {
+      if (txn->cv.WaitFor(&txn->mu, deadline -
+                                        std::chrono::steady_clock::now()) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+
+  if (commit) {
+    stats_.cross_shard_commits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.cross_shard_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  server::Response response;
+  response.request_id = request_id;
+  response.status = commit ? StatusCode::kOk
+                           : (fail_code == StatusCode::kOk
+                                  ? StatusCode::kAborted
+                                  : fail_code);
+  response.commit_lsn = decision_lsn;
+  std::vector<uint8_t> encoded;
+  server::EncodeResponse(response, &encoded);
+  session->CompleteTicket(ticket, std::move(encoded));
+}
+
+void ShardRouter::ReplyError(const std::shared_ptr<ClientSession>& session,
+                             uint64_t ticket, uint64_t request_id,
+                             StatusCode code) {
+  server::Response response;
+  response.request_id = request_id;
+  response.status = code;
+  std::vector<uint8_t> encoded;
+  server::EncodeResponse(response, &encoded);
+  session->CompleteTicket(ticket, std::move(encoded));
+}
+
+// --- Shard connections --------------------------------------------------
+
+bool ShardRouter::SendToShard(ShardConn* sc,
+                              const std::vector<uint8_t>& bytes,
+                              Expectation expectation) {
+  MutexLock lock(&sc->mu);
+  if (!sc->up) return false;
+  if (!sc->client.SendRaw(bytes.data(), bytes.size()).ok()) {
+    // The reader thread notices the dead socket and runs ShardDown; the
+    // expectation was never queued, so nothing dangles.
+    return false;
+  }
+  sc->expect.push_back(std::move(expectation));
+  return true;
+}
+
+bool ShardRouter::SendBatchToShard(ShardConn* sc,
+                                   const std::vector<uint8_t>& bytes,
+                                   std::vector<Expectation>* expectations) {
+  MutexLock lock(&sc->mu);
+  if (!sc->up) return false;
+  if (!sc->client.SendRaw(bytes.data(), bytes.size()).ok()) {
+    // As in SendToShard: the reader thread tears the connection down; no
+    // expectation was queued, so nothing dangles.
+    return false;
+  }
+  for (Expectation& e : *expectations) sc->expect.push_back(std::move(e));
+  return true;
+}
+
+void ShardRouter::ShardLoop(ShardConn* sc) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool up;
+    {
+      MutexLock lock(&sc->mu);
+      up = sc->up;
+    }
+    if (!up) {
+      if (!ConnectShard(sc)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        continue;
+      }
+    }
+    FrameType type;
+    std::vector<uint8_t> body;
+    Status s = sc->client.RecvFrame(&type, &body, 100);
+    if (s.IsDeadlineExceeded()) continue;
+    if (!s.ok()) {
+      ShardDown(sc);
+      continue;
+    }
+    // Drain every frame the read burst decoded (RecvFrame with a zero
+    // deadline never touches the socket), staging forwarded responses so
+    // each client session gets one coalesced send per burst.
+    ReplyBatch replies;
+    bool down = false;
+    for (;;) {
+      if (!DispatchShardFrame(sc, type, body, &replies)) break;
+      s = sc->client.RecvFrame(&type, &body, 0);
+      if (s.IsDeadlineExceeded()) break;
+      if (!s.ok()) {
+        down = true;
+        break;
+      }
+    }
+    replies.Flush();
+    if (down) ShardDown(sc);
+  }
+  ShardDown(sc);
+  MutexLock lock(&sc->mu);
+  sc->client.Close();
+}
+
+bool ShardRouter::ConnectShard(ShardConn* sc) {
+  sc->mu.Lock();
+  sc->client.Close();
+  Status s = sc->client.Connect(sc->host, sc->port, PeerRole::kCoordinator);
+  sc->mu.Unlock();
+  if (!s.ok()) return false;
+  // Resolve the shard's in-doubt backlog before opening it to traffic;
+  // the connection carries nothing else yet, so the replies here are
+  // unambiguous.
+  if (!ResolveInDoubt(sc).ok()) {
+    MutexLock lock(&sc->mu);
+    sc->client.Close();
+    return false;
+  }
+  MutexLock lock(&sc->mu);
+  sc->up = true;
+  return true;
+}
+
+Status ShardRouter::ResolveInDoubt(ShardConn* sc) {
+  std::vector<uint8_t> enc;
+  server::EncodeInDoubtQuery(&enc);
+  NEXT700_RETURN_IF_ERROR(sc->client.SendRaw(enc.data(), enc.size()));
+  FrameType type;
+  std::vector<uint8_t> body;
+  NEXT700_RETURN_IF_ERROR(sc->client.RecvFrame(&type, &body, 5000));
+  if (type != FrameType::kInDoubtList) {
+    return Status::InvalidArgument("shard answered in-doubt query with frame " +
+                                   std::to_string(static_cast<int>(type)));
+  }
+  server::InDoubtList list;
+  NEXT700_RETURN_IF_ERROR(
+      server::DecodeInDoubtList(body.data(), body.size(), &list));
+  for (const uint64_t gtid : list.gtids) {
+    bool commit;
+    {
+      MutexLock lock(&committed_mu_);
+      commit = committed_.count(gtid) != 0;
+    }
+    server::Decision decision;
+    decision.gtid = gtid;
+    enc.clear();
+    server::EncodeDecision(
+        commit ? FrameType::kCommitDecision : FrameType::kAbortDecision,
+        decision, &enc);
+    NEXT700_RETURN_IF_ERROR(sc->client.SendRaw(enc.data(), enc.size()));
+    NEXT700_RETURN_IF_ERROR(sc->client.RecvFrame(&type, &body, 5000));
+    server::DecisionAck ack;
+    if (type != FrameType::kDecisionAck ||
+        !server::DecodeDecisionAck(body.data(), body.size(), &ack).ok()) {
+      return Status::InvalidArgument("bad decision ack during resolution");
+    }
+    stats_.resolved_in_doubt.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void ShardRouter::ShardDown(ShardConn* sc) {
+  std::deque<Expectation> orphans;
+  {
+    MutexLock lock(&sc->mu);
+    if (!sc->up && sc->expect.empty()) return;
+    sc->up = false;
+    orphans.swap(sc->expect);
+    sc->client.Close();
+  }
+  for (Expectation& e : orphans) {
+    switch (e.kind) {
+      case Expectation::kForward:
+        ReplyError(e.session, e.ticket, e.request_id,
+                   StatusCode::kUnavailable);
+        break;
+      case Expectation::kVote: {
+        MutexLock lock(&e.txn->mu);
+        if (!e.txn->decided) {
+          e.txn->any_no = true;
+          e.txn->no_status = StatusCode::kUnavailable;
+          --e.txn->votes_outstanding;
+          e.txn->cv.NotifyAll();
+        }
+        break;
+      }
+      case Expectation::kDecisionAck: {
+        // The decision is durable; the shard resolves via in-doubt
+        // recovery on reconnect. Just unblock the waiter.
+        MutexLock lock(&e.txn->mu);
+        --e.txn->acks_outstanding;
+        e.txn->cv.NotifyAll();
+        break;
+      }
+      case Expectation::kStrayAck:
+        break;
+    }
+  }
+}
+
+bool ShardRouter::DispatchShardFrame(ShardConn* sc, FrameType type,
+                                     const std::vector<uint8_t>& body,
+                                     ReplyBatch* replies) {
+  Expectation e;
+  bool have = false;
+  {
+    MutexLock lock(&sc->mu);
+    if (!sc->expect.empty()) {
+      e = std::move(sc->expect.front());
+      sc->expect.pop_front();
+      have = true;
+    }
+  }
+  if (!have) {
+    // A reply nothing asked for: the FIFO contract is broken and the
+    // stream can no longer be paired up. Drop the connection.
+    ShardDown(sc);
+    return false;
+  }
+  switch (e.kind) {
+    case Expectation::kForward: {
+      if (type != FrameType::kResponse) break;
+      std::vector<uint8_t> frame;
+      AppendFrame(type, body.data(), body.size(), &frame);
+      replies->Stage(e.session, e.ticket, std::move(frame));
+      return true;
+    }
+    case Expectation::kVote: {
+      server::Vote vote;
+      if (type != FrameType::kVote ||
+          !server::DecodeVote(body.data(), body.size(), &vote).ok()) {
+        break;
+      }
+      bool late_yes_needs_abort = false;
+      {
+        MutexLock lock(&e.txn->mu);
+        if (!e.txn->decided) {
+          if (vote.status == StatusCode::kOk) {
+            e.txn->yes_shards.push_back(sc->shard_id);
+          } else {
+            e.txn->any_no = true;
+            e.txn->no_status = vote.status;
+          }
+          --e.txn->votes_outstanding;
+          e.txn->cv.NotifyAll();
+        } else if (!e.txn->commit && vote.status == StatusCode::kOk) {
+          // The coordinator timed this gtid out and presumed abort, but
+          // the participant said yes and is now parked. Unwind it.
+          late_yes_needs_abort = true;
+        }
+      }
+      if (late_yes_needs_abort) {
+        server::Decision decision;
+        decision.gtid = e.txn->gtid;
+        std::vector<uint8_t> bytes;
+        server::EncodeDecision(FrameType::kAbortDecision, decision, &bytes);
+        Expectation stray;
+        stray.kind = Expectation::kStrayAck;
+        SendToShard(sc, bytes, std::move(stray));
+      }
+      return true;
+    }
+    case Expectation::kDecisionAck: {
+      MutexLock lock(&e.txn->mu);
+      --e.txn->acks_outstanding;
+      e.txn->cv.NotifyAll();
+      return true;
+    }
+    case Expectation::kStrayAck:
+      return true;
+  }
+  // Frame/expectation mismatch: unrecoverable pairing error.
+  ShardDown(sc);
+  return false;
+}
+
+}  // namespace shard
+}  // namespace next700

@@ -1,0 +1,231 @@
+#ifndef NEXT700_SHARD_SHARD_ROUTER_H_
+#define NEXT700_SHARD_SHARD_ROUTER_H_
+
+/// \file
+/// Shard router / two-phase-commit coordinator: presents the ordinary
+/// next700 wire protocol to clients and spreads the "kv" stored-procedure
+/// suite across N independent engine processes (shards), each owning the
+/// keys where key % N == shard_id.
+///
+/// Single-shard requests take the fast path: the router parses just enough
+/// of the argument encoding to pick the owning shard, then forwards the
+/// client's frame bytes verbatim — no coordinator state, no extra round
+/// trip — and relays the shard's response back in per-connection request
+/// order. Requests it cannot route (unknown proc id, malformed arguments)
+/// go to shard 0 verbatim so error behavior matches a direct connection.
+///
+/// A kKvRmw whose keys span shards becomes a distributed transaction: the
+/// router splits the key set per shard, drives Prepare against every
+/// participant, and on unanimous yes votes hardens a kCoordDecision record
+/// in its own durable log *before* releasing the client reply or any
+/// commit decision (the decision is the commit point). Aborts are not
+/// logged — the protocol is presumed-abort: a gtid absent from the
+/// decision log did not commit. On (re)connecting to a shard the router
+/// asks for the shard's in-doubt gtids and replays decisions from the log
+/// scan, which is how participants that crashed after preparing get
+/// resolved. A participant that misses its vote deadline is aborted
+/// (breaking the cross-shard deadlock of parked prepared transactions); a
+/// late yes vote for an aborted gtid is answered with an immediate
+/// kAbortDecision so the parked worker unwinds.
+///
+/// Threading: one accept thread, one blocking session thread per client
+/// connection, one connection + reader thread per shard. Cross-shard
+/// transactions run synchronously on the session thread (votes are
+/// delivered by shard reader threads); a reorder buffer keyed by
+/// per-session ticket keeps client responses in request order even when
+/// consecutive requests complete on different shards. This is a routing
+/// tier, not the measured engine — clarity beats micro-optimization here.
+/// The fast path's syscall budget is still engineered: forwards are
+/// staged per shard across one client read burst and sent with one
+/// gather write, and shard replies are drained from the decoder and
+/// released as one coalesced write per session per burst. The N3
+/// benchmark tracks the router-vs-direct throughput ratio (~10% tax with
+/// the router on its own cores; capped near 0.5 when it shares one core
+/// with the shards — EXPERIMENTS.md N3 has the accounting).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_safety.h"
+#include "log/log_manager.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace next700 {
+namespace shard {
+
+struct ShardRouterOptions {
+  std::string listen_host = "127.0.0.1";
+  /// 0 = kernel-assigned; read the bound port back with port().
+  uint16_t listen_port = 0;
+  /// One "host:port" per shard; position in the vector is the shard id.
+  std::vector<std::string> shards;
+  /// The *global* partition count every shard's engine was configured
+  /// with. Forwarded frames carry global partition ids verbatim; prepare
+  /// frames derive their per-shard partition sets from this.
+  uint32_t num_partitions = 8;
+  /// Directory of the coordinator decision log. Commit decisions are
+  /// durable here before any reply or decision leaves the router.
+  std::string log_dir;
+  /// How long the coordinator waits for votes before presuming abort.
+  int64_t vote_timeout_ms = 5000;
+  /// How long the coordinator waits for decision acks before replying
+  /// anyway (the decision is already durable; a slow participant resolves
+  /// through in-doubt recovery).
+  int64_t ack_timeout_ms = 5000;
+  /// Crash hook: _exit(42) right after the prepares of the Nth cross-shard
+  /// transaction hit the wire — before the decision is logged. The
+  /// crashtest harness uses this to create coordinator in-doubt windows.
+  uint64_t crash_after_prepares_sent = 0;
+};
+
+struct ShardRouterStats {
+  std::atomic<uint64_t> forwarded{0};
+  std::atomic<uint64_t> cross_shard_commits{0};
+  std::atomic<uint64_t> cross_shard_aborts{0};
+  std::atomic<uint64_t> vote_timeouts{0};
+  std::atomic<uint64_t> resolved_in_doubt{0};
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterOptions options);
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Scans the decision log for prior commits, opens it for appending,
+  /// binds the listen socket, and starts the accept + shard threads.
+  /// Shard connections are established asynchronously; use
+  /// WaitShardsConnected() for a deterministic ready point.
+  Status Start();
+  void Stop();
+
+  /// Bound listen port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until every shard connection is up (its in-doubt backlog
+  /// resolved) or `timeout_ms` elapses. Returns true when all shards are
+  /// reachable.
+  bool WaitShardsConnected(int64_t timeout_ms);
+
+  const ShardRouterStats& stats() const { return stats_; }
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(options_.shards.size());
+  }
+
+ private:
+  struct GlobalTxn;
+  struct ClientSession;
+  struct ShardConn;
+  struct ForwardBatch;
+  struct ReplyBatch;
+
+  /// What the next reply frame on a shard connection answers. The shard
+  /// server guarantees per-connection FIFO replies, so a deque of these,
+  /// pushed under the same mutex that serializes sends, always matches.
+  struct Expectation {
+    enum Kind : uint8_t { kForward, kVote, kDecisionAck, kStrayAck };
+    Kind kind = kForward;
+    std::shared_ptr<ClientSession> session;  // kForward
+    uint64_t ticket = 0;                     // kForward
+    /// kForward: echoed in the kUnavailable reply when the shard dies
+    /// with the forward in flight — a reply with a made-up request id
+    /// would desynchronize clients that match responses by id.
+    uint64_t request_id = 0;
+    std::shared_ptr<GlobalTxn> txn;          // kVote / kDecisionAck
+  };
+
+  void AcceptLoop();
+  void SessionLoop(std::shared_ptr<ClientSession> session);
+  void ShardLoop(ShardConn* sc);
+
+  /// Connect + handshake + in-doubt resolution; marks the shard up.
+  bool ConnectShard(ShardConn* sc);
+  Status ResolveInDoubt(ShardConn* sc);
+  /// Fails every outstanding expectation and marks the shard down.
+  void ShardDown(ShardConn* sc);
+
+  /// Pairs one shard reply frame with the head expectation. Forwarded
+  /// responses are staged into `replies` (flushed per burst, one send per
+  /// client session); votes and decision acks are delivered immediately.
+  /// Returns false when the pairing broke and the connection was torn
+  /// down.
+  bool DispatchShardFrame(ShardConn* sc, server::FrameType type,
+                          const std::vector<uint8_t>& body,
+                          ReplyBatch* replies);
+
+  /// Routes one decoded client request; returns false when the client
+  /// connection is beyond saving and the session must close. Single-shard
+  /// forwards are staged into `batch` (one gather send per shard per read
+  /// burst — the fast path's syscall budget); cross-shard transactions
+  /// flush the batch and run inline.
+  bool RouteRequest(const std::shared_ptr<ClientSession>& session,
+                    uint64_t ticket, const server::Frame& frame,
+                    ForwardBatch* batch);
+  void StageForward(const std::shared_ptr<ClientSession>& session,
+                    uint64_t ticket, uint32_t shard_id,
+                    const server::Frame& frame, uint64_t request_id,
+                    ForwardBatch* batch);
+  /// Sends every staged forward, one syscall per shard, expectations
+  /// queued in wire order. Failed shards get per-request kUnavailable
+  /// replies.
+  void FlushForwards(const std::shared_ptr<ClientSession>& session,
+                     ForwardBatch* batch);
+  void RunCrossShard(const std::shared_ptr<ClientSession>& session,
+                     uint64_t ticket, uint64_t request_id,
+                     const std::vector<std::vector<uint64_t>>& shard_keys);
+
+  /// Sends a frame on a shard connection and queues its expectation as one
+  /// atomic step. False if the shard is down or the send failed.
+  bool SendToShard(ShardConn* sc, const std::vector<uint8_t>& bytes,
+                   Expectation expectation);
+  /// Batch variant: one gather send for `bytes`, all expectations queued
+  /// under the same lock so the deque order matches the wire order.
+  bool SendBatchToShard(ShardConn* sc, const std::vector<uint8_t>& bytes,
+                        std::vector<Expectation>* expectations);
+
+  void ReplyError(const std::shared_ptr<ClientSession>& session,
+                  uint64_t ticket, uint64_t request_id, StatusCode code);
+
+  uint64_t NextGtid() {
+    return gtid_base_ + gtid_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ShardRouterOptions options_;
+  ShardRouterStats stats_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::unique_ptr<LogManager> decision_log_;
+  uint64_t gtid_base_ = 0;
+  std::atomic<uint64_t> gtid_seq_{0};
+  std::atomic<uint64_t> cross_shard_started_{0};
+
+  mutable Mutex committed_mu_;
+  /// Every gtid with a durable commit decision (log scan + runtime).
+  std::unordered_set<uint64_t> committed_ GUARDED_BY(committed_mu_);
+
+  std::vector<std::unique_ptr<ShardConn>> shard_conns_;
+
+  mutable Mutex sessions_mu_;
+  std::vector<std::thread> session_threads_ GUARDED_BY(sessions_mu_);
+  std::vector<std::shared_ptr<ClientSession>> sessions_
+      GUARDED_BY(sessions_mu_);
+};
+
+}  // namespace shard
+}  // namespace next700
+
+#endif  // NEXT700_SHARD_SHARD_ROUTER_H_

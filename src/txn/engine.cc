@@ -10,6 +10,7 @@
 #include "cc/two_phase_locking.h"
 #include "log/checkpoint.h"
 #include "log/manifest.h"
+#include "log/recovery.h"
 
 namespace next700 {
 
@@ -337,6 +338,49 @@ Status Engine::ScanReverse(TxnContext* txn, Index* index, uint64_t hi,
   return index->ScanReverse(hi, lo, limit, out);
 }
 
+Timestamp Engine::ReplayCommitTimestamp(const TxnContext* txn) const {
+  // Replay-ordering timestamp. Lock-based schemes serialize in commit
+  // (= append) order, which a begin timestamp does not reflect; they log 0,
+  // telling replay "apply in log order". Timestamp-based schemes log their
+  // serialization timestamp so replay can apply the Thomas write rule.
+  switch (options_.cc_scheme) {
+    case CcScheme::kNoWait:
+    case CcScheme::kWaitDie:
+    case CcScheme::kWoundWait:
+    case CcScheme::kDlDetect:
+    case CcScheme::kHstore:
+      return 0;
+    default:
+      return txn->commit_ts() != kInvalidTimestamp ? txn->commit_ts()
+                                                   : txn->ts();
+  }
+}
+
+void Engine::StageValueBody(TxnContext* txn, Timestamp commit_ts,
+                            TxnContext::ByteBuffer* body) {
+  BasicLogWriter<TxnContext::ByteBuffer> writer(body);
+  writer.PutU64(commit_ts);
+  writer.PutU32(static_cast<uint32_t>(txn->write_set().size()));
+  for (const auto& entry : txn->write_set()) {
+    const Table* table = entry.row->table;
+    writer.PutU32(table->id());
+    writer.PutU32(entry.row->partition);
+    writer.PutU64(entry.row->primary_key);
+    LogWriteKind kind = LogWriteKind::kUpdate;
+    if (entry.is_insert) kind = LogWriteKind::kInsert;
+    if (entry.is_delete) kind = LogWriteKind::kDelete;
+    writer.PutU8(static_cast<uint8_t>(kind));
+    if (entry.is_delete) {
+      writer.PutU32(0);
+    } else {
+      const uint8_t* image = entry.version != nullptr ? entry.version->data()
+                                                      : entry.new_data;
+      writer.PutU32(table->schema().row_size());
+      writer.PutBytes(image, table->schema().row_size());
+    }
+  }
+}
+
 Status Engine::AppendCommitRecord(TxnContext* txn) {
   if (txn->write_set().empty()) return Status::OK();  // Read-only.
 
@@ -345,24 +389,7 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
   TxnContext::ByteBuffer& body = txn->log_staging();
   body.clear();
   LogRecordType type;
-  // Replay-ordering timestamp. Lock-based schemes serialize in commit
-  // (= append) order, which a begin timestamp does not reflect; they log 0,
-  // telling replay "apply in log order". Timestamp-based schemes log their
-  // serialization timestamp so replay can apply the Thomas write rule.
-  Timestamp commit_ts = 0;
-  switch (options_.cc_scheme) {
-    case CcScheme::kNoWait:
-    case CcScheme::kWaitDie:
-    case CcScheme::kWoundWait:
-    case CcScheme::kDlDetect:
-    case CcScheme::kHstore:
-      commit_ts = 0;
-      break;
-    default:
-      commit_ts = txn->commit_ts() != kInvalidTimestamp ? txn->commit_ts()
-                                                        : txn->ts();
-      break;
-  }
+  const Timestamp commit_ts = ReplayCommitTimestamp(txn);
   if (options_.logging == LoggingKind::kCommand && txn->has_procedure()) {
     type = LogRecordType::kTxnCommand;
     BasicLogWriter<TxnContext::ByteBuffer> writer(&body);
@@ -373,28 +400,7 @@ Status Engine::AppendCommitRecord(TxnContext* txn) {
   } else {
     // Value logging (also the fallback for ad-hoc command-logged txns).
     type = LogRecordType::kTxnValue;
-    BasicLogWriter<TxnContext::ByteBuffer> writer(&body);
-    writer.PutU64(commit_ts);
-    writer.PutU32(static_cast<uint32_t>(txn->write_set().size()));
-    for (const auto& entry : txn->write_set()) {
-      const Table* table = entry.row->table;
-      writer.PutU32(table->id());
-      writer.PutU32(entry.row->partition);
-      writer.PutU64(entry.row->primary_key);
-      LogWriteKind kind = LogWriteKind::kUpdate;
-      if (entry.is_insert) kind = LogWriteKind::kInsert;
-      if (entry.is_delete) kind = LogWriteKind::kDelete;
-      writer.PutU8(static_cast<uint8_t>(kind));
-      if (entry.is_delete) {
-        writer.PutU32(0);
-      } else {
-        const uint8_t* image = entry.version != nullptr
-                                   ? entry.version->data()
-                                   : entry.new_data;
-        writer.PutU32(table->schema().row_size());
-        writer.PutBytes(image, table->schema().row_size());
-      }
-    }
+    StageValueBody(txn, commit_ts, &body);
   }
   const Lsn lsn = log_->Append(type, body.data(), body.size());
   txn->set_commit_lsn(lsn);
@@ -460,6 +466,129 @@ void Engine::AbortUser(TxnContext* txn) {
   FinishEpoch(txn);
   ++txn->stats()->user_aborts;
   ExitTxnGate(txn->thread_id());
+}
+
+Status Engine::Prepare(TxnContext* txn, uint64_t gtid) {
+  NEXT700_CHECK_MSG(log_ != nullptr, "2PC requires logging");
+  Status s = cc_->Validate(txn);
+  if (!s.ok()) return s;
+  txn->set_gtid(gtid);
+  // A read-only branch has nothing to redo — commit and abort are
+  // indistinguishable — so it logs nothing and its outcome is never logged
+  // either (recovery would reject a commit outcome without a prepare).
+  if (!txn->write_set().empty() &&
+      !replay_mode_.load(std::memory_order_relaxed)) {
+    TxnContext::ByteBuffer& body = txn->log_staging();
+    body.clear();
+    BasicLogWriter<TxnContext::ByteBuffer> writer(&body);
+    writer.PutU64(gtid);
+    StageValueBody(txn, ReplayCommitTimestamp(txn), &body);
+    const Lsn lsn =
+        log_->Append(LogRecordType::kTxnPrepare, body.data(), body.size());
+    txn->set_prepare_lsn(lsn);
+    txn->stats()->log_bytes += body.size() + kFrameOverheadBytes;
+    // Prepare durable before vote: once the yes vote leaves this shard the
+    // coordinator may decide commit, and only the durable redo lets
+    // recovery honor that decision after kill -9. On a device failure the
+    // caller votes no and Aborts; the orphaned prepare (if any of it
+    // reached disk) resolves to abort under presumed abort.
+    s = log_->WaitDurable(lsn);
+    if (!s.ok()) return s;
+  }
+  txn->set_prepared(true);
+  return Status::OK();
+}
+
+Status Engine::CommitPrepared(TxnContext* txn) {
+  NEXT700_CHECK_MSG(txn->prepared(), "CommitPrepared on unprepared txn");
+  if (txn->prepare_lsn() > 0 &&
+      !replay_mode_.load(std::memory_order_relaxed)) {
+    TxnContext::ByteBuffer& body = txn->log_staging();
+    body.clear();
+    BasicLogWriter<TxnContext::ByteBuffer> writer(&body);
+    writer.PutU64(txn->gtid());
+    writer.PutU8(1);
+    // Appended before Finalize releases the locks, so a conflicting later
+    // transaction's commit record always lands behind this outcome.
+    const Lsn lsn =
+        log_->Append(LogRecordType::kTxnOutcome, body.data(), body.size());
+    txn->set_commit_lsn(lsn);
+    txn->stats()->log_bytes += body.size() + kFrameOverheadBytes;
+  }
+  cc_->Finalize(txn);
+  ApplyIndexOps(txn);
+  FinishEpoch(txn);
+  ++txn->stats()->commits;
+  ExitTxnGate(txn->thread_id());
+  if (log_ != nullptr && options_.sync_commit && !txn->defer_durable() &&
+      txn->commit_lsn() > 0) {
+    return log_->WaitDurable(txn->commit_lsn());
+  }
+  return Status::OK();
+}
+
+void Engine::AbortPrepared(TxnContext* txn) {
+  if (txn->prepare_lsn() > 0 &&
+      !replay_mode_.load(std::memory_order_relaxed)) {
+    TxnContext::ByteBuffer& body = txn->log_staging();
+    body.clear();
+    BasicLogWriter<TxnContext::ByteBuffer> writer(&body);
+    writer.PutU64(txn->gtid());
+    writer.PutU8(0);
+    // No durability wait: under presumed abort a lost abort outcome only
+    // leaves the gtid in doubt, and the coordinator re-answers abort.
+    log_->Append(LogRecordType::kTxnOutcome, body.data(), body.size());
+    txn->stats()->log_bytes += body.size() + kFrameOverheadBytes;
+  }
+  cc_->Abort(txn);
+  FinishEpoch(txn);
+  ++txn->stats()->aborts;
+  ExitTxnGate(txn->thread_id());
+}
+
+void Engine::SetInDoubt(std::map<uint64_t, std::vector<uint8_t>> in_doubt,
+                        std::function<void(Engine*, Row*)> rebuilder) {
+  MutexLock lock(&in_doubt_mu_);
+  in_doubt_ = std::move(in_doubt);
+  in_doubt_rebuilder_ = std::move(rebuilder);
+}
+
+bool Engine::has_in_doubt() const {
+  MutexLock lock(&in_doubt_mu_);
+  return !in_doubt_.empty();
+}
+
+std::vector<uint64_t> Engine::InDoubtGtids() const {
+  MutexLock lock(&in_doubt_mu_);
+  std::vector<uint64_t> gtids;
+  gtids.reserve(in_doubt_.size());
+  for (const auto& entry : in_doubt_) gtids.push_back(entry.first);
+  return gtids;
+}
+
+Status Engine::ResolveInDoubt(uint64_t gtid, bool commit) {
+  NEXT700_CHECK_MSG(log_ != nullptr, "2PC requires logging");
+  MutexLock lock(&in_doubt_mu_);
+  auto it = in_doubt_.find(gtid);
+  if (it == in_doubt_.end()) return Status::NotFound("gtid not in doubt");
+  std::vector<uint8_t> body;
+  LogWriter writer(&body);
+  writer.PutU64(gtid);
+  writer.PutU8(commit ? 1 : 0);
+  const Lsn lsn =
+      log_->Append(LogRecordType::kTxnOutcome, body.data(), body.size());
+  if (commit) {
+    // The outcome must be durable before the redo becomes visible: a crash
+    // right after the apply must replay to the same committed state.
+    NEXT700_RETURN_IF_ERROR(log_->WaitDurable(lsn));
+    RecoveryManager recovery(this);
+    recovery.set_secondary_rebuilder(in_doubt_rebuilder_);
+    RecoveryStats stats;
+    NEXT700_RETURN_IF_ERROR(recovery.ApplyRedoBody(
+        it->second.data(), it->second.size(), &stats));
+  }
+  in_doubt_.erase(it);
+  return Status::OK();
 }
 
 Status Engine::RunProcedure(uint32_t proc_id, int thread_id, const void* args,

@@ -16,6 +16,7 @@
 /// (typically) retry.
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -204,6 +205,56 @@ class Engine {
       uint32_t proc_id, int thread_id, const void* args, size_t arg_len,
       const std::vector<uint32_t>& partitions = {});
 
+  // --- Two-phase commit (participant side) -------------------------------
+  //
+  // A shard executes its branch of a distributed transaction through the
+  // normal procedure path, then splits Commit() at the validation/publish
+  // seam: Prepare() validates and hardens a redo record, the branch parks
+  // holding its locks, and the coordinator's decision drives
+  // CommitPrepared()/AbortPrepared(). Invariant: the kTxnPrepare record is
+  // durable before Prepare() returns ("prepare durable before vote") — the
+  // durability wait therefore happens *inside* the transaction gate, so
+  // 2PC and online checkpointing are mutually exclusive (see DESIGN.md).
+
+  /// Phase one on this shard's branch of distributed transaction `gtid`:
+  /// validates, appends a kTxnPrepare record carrying a value-format redo
+  /// image (always value format, even under command logging, so in-doubt
+  /// resolution never re-executes), and waits for it to be durable. On OK
+  /// the transaction stays validated with locks held until the decision
+  /// arrives; kAborted means validation lost and the caller must Abort()
+  /// and vote no. A read-only branch logs nothing (prepare_lsn stays 0).
+  Status Prepare(TxnContext* txn, uint64_t gtid);
+
+  /// Phase two, commit: appends kTxnOutcome(commit), publishes the writes,
+  /// and releases locks. The outcome LSN lands in txn->commit_lsn(); under
+  /// defer_durable the caller must hold its ack until that LSN is durable,
+  /// otherwise this waits like Commit().
+  Status CommitPrepared(TxnContext* txn);
+
+  /// Phase two, abort: appends kTxnOutcome(abort) and rolls the branch
+  /// back. No durability wait — presumed abort makes a lost abort record
+  /// harmless (recovery leaves the gtid in doubt and the coordinator
+  /// re-answers abort).
+  void AbortPrepared(TxnContext* txn);
+
+  // --- In-doubt transactions recovered from the log ----------------------
+
+  /// Hands the engine the in-doubt set recovery surfaced (gtid -> stashed
+  /// kTxnValue redo body) plus the secondary-index rebuilder resolution
+  /// uses when applying a redo re-creates rows.
+  void SetInDoubt(std::map<uint64_t, std::vector<uint8_t>> in_doubt,
+                  std::function<void(Engine*, Row*)> rebuilder);
+  bool has_in_doubt() const;
+  std::vector<uint64_t> InDoubtGtids() const;
+
+  /// Resolves one recovered in-doubt transaction with the coordinator's
+  /// decision: appends kTxnOutcome and, on commit, waits for durability and
+  /// applies the stashed redo. kNotFound for a gtid not in doubt (callers
+  /// treat that as an idempotent redelivery). The serving layer must fence
+  /// out normal transactions until the in-doubt set is empty — redo bodies
+  /// are applied outside any concurrency control.
+  Status ResolveInDoubt(uint64_t gtid, bool commit);
+
   // --- Introspection -----------------------------------------------------
 
   ThreadStats* stats(int thread_id) { return &stats_[thread_id]; }
@@ -280,6 +331,13 @@ class Engine {
 
   Status AppendCommitRecord(TxnContext* txn);
   void ApplyIndexOps(TxnContext* txn);
+  /// The replay-ordering timestamp AppendCommitRecord / Prepare stamp on
+  /// redo records (0 for lock-based schemes: log order is commit order).
+  Timestamp ReplayCommitTimestamp(const TxnContext* txn) const;
+  /// Serializes the transaction's after-images in kTxnValue body format
+  /// into `body` (appended; caller clears).
+  void StageValueBody(TxnContext* txn, Timestamp commit_ts,
+                      TxnContext::ByteBuffer* body);
 
   // --- Checkpoint transaction gate ---------------------------------------
   // Workers pass through the gate per transaction; the checkpointer closes
@@ -330,6 +388,16 @@ class Engine {
   std::vector<ProcedureEntry> procedures_;
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<bool> replay_mode_{false};
+
+  // Prepared-but-undecided transactions surfaced by recovery. Resolution is
+  // serialized under the mutex (redo bodies apply outside any CC; prepared
+  // write sets are disjoint because every branch held its locks, but index
+  // maintenance and the empty() fast path still need ordering).
+  mutable Mutex in_doubt_mu_;
+  std::map<uint64_t, std::vector<uint8_t>> in_doubt_
+      GUARDED_BY(in_doubt_mu_);
+  std::function<void(Engine*, Row*)> in_doubt_rebuilder_
+      GUARDED_BY(in_doubt_mu_);
 
   // Declared after log_: the coordinator's destructor (via ~Engine's
   // explicit Stop) must run while the log is still open.

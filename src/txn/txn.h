@@ -172,6 +172,18 @@ class TxnContext {
 
   static constexpr uint32_t kNoProcedure = ~0u;
 
+  /// 2PC participant branch state. A nonzero gtid marks this transaction as
+  /// one branch of a distributed transaction; `prepared` is set once
+  /// Engine::Prepare() has made the kTxnPrepare record durable (the
+  /// transaction then holds its locks/validated state until
+  /// CommitPrepared/AbortPrepared delivers the coordinator's decision).
+  uint64_t gtid() const { return gtid_; }
+  void set_gtid(uint64_t gtid) { gtid_ = gtid; }
+  bool prepared() const { return prepared_; }
+  void set_prepared(bool prepared) { prepared_ = prepared; }
+  uint64_t prepare_lsn() const { return prepare_lsn_; }
+  void set_prepare_lsn(uint64_t lsn) { prepare_lsn_ = lsn; }
+
   void Reset() {
     // Spilled access sets live in arena_: drop every vector back to its
     // inline storage *before* rewinding the arena under them.
@@ -189,6 +201,9 @@ class TxnContext {
     proc_id_ = kNoProcedure;
     commit_lsn_ = 0;
     defer_durable_ = false;
+    gtid_ = 0;
+    prepared_ = false;
+    prepare_lsn_ = 0;
     wounded_.store(false, std::memory_order_relaxed);
     state_ = TxnState::kIdle;
   }
@@ -202,6 +217,9 @@ class TxnContext {
   uint32_t proc_id_ = kNoProcedure;
   uint64_t commit_lsn_ = 0;
   bool defer_durable_ = false;
+  uint64_t gtid_ = 0;
+  bool prepared_ = false;
+  uint64_t prepare_lsn_ = 0;
   Arena arena_;
   ByteBuffer proc_args_;
   ByteBuffer reply_payload_;

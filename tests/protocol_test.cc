@@ -395,6 +395,201 @@ TEST(ProtocolTest, ReplAckRoundTrip) {
   });
 }
 
+// Pins the exact wire bytes of a request frame: a frame another
+// implementation (or this one on a big-endian host) must produce
+// byte-for-byte. Every multi-byte field is little-endian regardless of
+// host order; a lane-order regression in Store/LoadLE shows up here as a
+// literal byte diff, not just a round-trip that happens to cancel out.
+TEST(ProtocolTest, GoldenRequestFrameBytes) {
+  Request request;
+  request.request_id = 0x1122334455667788ull;
+  request.proc_id = 0xAABBCCDDu;
+  request.min_read_lsn = 0x0102030405060708ull;
+  request.partitions = {0x11223344u};
+  request.args = {0xDE, 0xAD};
+  std::vector<uint8_t> wire;
+  EncodeRequest(request, &wire);
+
+  const uint8_t golden[] = {
+      // Frame header: u32 body_len = 32, u8 type = kRequest(1).
+      0x20, 0x00, 0x00, 0x00, 0x01,
+      // request_id, LE.
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
+      // proc_id, LE.
+      0xDD, 0xCC, 0xBB, 0xAA,
+      // min_read_lsn, LE.
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      // u16 partition count = 1, u32 arg_len = 2.
+      0x01, 0x00, 0x02, 0x00, 0x00, 0x00,
+      // partition id, LE.
+      0x44, 0x33, 0x22, 0x11,
+      // args verbatim.
+      0xDE, 0xAD};
+  ASSERT_EQ(wire.size(), sizeof(golden));
+  EXPECT_EQ(0, std::memcmp(wire.data(), golden, sizeof(golden)));
+}
+
+// Same golden-byte pinning for the 2PC frames the shard router speaks:
+// the coordinator and participants may be different builds, so their wire
+// layout is contract, not implementation detail.
+TEST(ProtocolTest, GoldenPrepareAndDecisionFrameBytes) {
+  Prepare prepare;
+  prepare.gtid = 0x0A0B0C0D0E0F1011ull;
+  prepare.proc_id = 3;
+  prepare.partitions = {7};
+  prepare.args = {0x5A};
+  std::vector<uint8_t> wire;
+  EncodePrepare(prepare, &wire);
+  const uint8_t golden_prepare[] = {
+      // Frame header: u32 body_len = 23, u8 type = kPrepare(7).
+      0x17, 0x00, 0x00, 0x00, 0x07,
+      // gtid, LE.
+      0x11, 0x10, 0x0F, 0x0E, 0x0D, 0x0C, 0x0B, 0x0A,
+      // proc_id, LE.
+      0x03, 0x00, 0x00, 0x00,
+      // u16 partition count = 1, u32 arg_len = 1.
+      0x01, 0x00, 0x01, 0x00, 0x00, 0x00,
+      // partition id, LE.
+      0x07, 0x00, 0x00, 0x00,
+      // args verbatim.
+      0x5A};
+  ASSERT_EQ(wire.size(), sizeof(golden_prepare));
+  EXPECT_EQ(0, std::memcmp(wire.data(), golden_prepare,
+                           sizeof(golden_prepare)));
+
+  Decision decision;
+  decision.gtid = 0x0102030405060708ull;
+  wire.clear();
+  EncodeDecision(FrameType::kCommitDecision, decision, &wire);
+  const uint8_t golden_commit[] = {
+      // Frame header: u32 body_len = 8, u8 type = kCommitDecision(9).
+      0x08, 0x00, 0x00, 0x00, 0x09,
+      // gtid, LE.
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01};
+  ASSERT_EQ(wire.size(), sizeof(golden_commit));
+  EXPECT_EQ(0, std::memcmp(wire.data(), golden_commit,
+                           sizeof(golden_commit)));
+}
+
+TEST(ProtocolTest, TwoPhaseCommitFramesRoundTrip) {
+  Prepare prepare;
+  prepare.gtid = 0xD15EA5EDC0FFEEull;
+  prepare.proc_id = 2;
+  prepare.partitions = {1, 3, 5};
+  WireWriter args(&prepare.args);
+  args.PutU16(2);
+  args.PutU64(10);
+  args.PutU64(11);
+  std::vector<uint8_t> wire;
+  EncodePrepare(prepare, &wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kPrepare);
+    Prepare decoded;
+    ASSERT_TRUE(DecodePrepare(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.gtid, prepare.gtid);
+    EXPECT_EQ(decoded.proc_id, prepare.proc_id);
+    EXPECT_EQ(decoded.partitions, prepare.partitions);
+    EXPECT_EQ(decoded.args, prepare.args);
+  });
+
+  Vote vote;
+  vote.gtid = prepare.gtid;
+  vote.status = StatusCode::kAborted;
+  vote.prepare_lsn = 424242;
+  wire.clear();
+  EncodeVote(vote, &wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kVote);
+    Vote decoded;
+    ASSERT_TRUE(DecodeVote(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.gtid, vote.gtid);
+    EXPECT_EQ(decoded.status, vote.status);
+    EXPECT_EQ(decoded.prepare_lsn, vote.prepare_lsn);
+  });
+
+  for (const FrameType type :
+       {FrameType::kCommitDecision, FrameType::kAbortDecision}) {
+    Decision decision;
+    decision.gtid = prepare.gtid;
+    wire.clear();
+    EncodeDecision(type, decision, &wire);
+    WithDecodedFrame(wire, [&](const Frame& frame) {
+      EXPECT_EQ(frame.type, type);
+      Decision decoded;
+      ASSERT_TRUE(
+          DecodeDecision(frame.body, frame.body_len, &decoded).ok());
+      EXPECT_EQ(decoded.gtid, decision.gtid);
+    });
+  }
+
+  DecisionAck ack;
+  ack.gtid = prepare.gtid;
+  ack.status = StatusCode::kOk;
+  wire.clear();
+  EncodeDecisionAck(ack, &wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kDecisionAck);
+    DecisionAck decoded;
+    ASSERT_TRUE(
+        DecodeDecisionAck(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.gtid, ack.gtid);
+    EXPECT_EQ(decoded.status, ack.status);
+  });
+
+  wire.clear();
+  EncodeInDoubtQuery(&wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kInDoubtQuery);
+    EXPECT_EQ(frame.body_len, 0u);
+  });
+
+  InDoubtList list;
+  list.gtids = {1, 0xFFFFFFFFFFFFFFFFull, 7};
+  wire.clear();
+  EncodeInDoubtList(list, &wire);
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kInDoubtList);
+    InDoubtList decoded;
+    ASSERT_TRUE(
+        DecodeInDoubtList(frame.body, frame.body_len, &decoded).ok());
+    EXPECT_EQ(decoded.gtids, list.gtids);
+  });
+}
+
+// The router's zero-copy peek must agree field-for-field with the owning
+// decoder, point into the caller's buffer (no copy), and reject the same
+// malformed bodies.
+TEST(ProtocolTest, RequestViewMatchesDecodeRequest) {
+  const Request request = SampleRequest();
+  std::vector<uint8_t> wire;
+  EncodeRequest(request, &wire);
+
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    RequestView view;
+    ASSERT_TRUE(
+        DecodeRequestView(frame.body, frame.body_len, &view).ok());
+    EXPECT_EQ(view.request_id, request.request_id);
+    EXPECT_EQ(view.proc_id, request.proc_id);
+    EXPECT_EQ(view.min_read_lsn, request.min_read_lsn);
+    ASSERT_EQ(view.args_len, request.args.size());
+    EXPECT_EQ(0, std::memcmp(view.args, request.args.data(), view.args_len));
+    // Zero-copy: the view aliases the frame body, no owned storage.
+    EXPECT_GE(view.args, frame.body);
+    EXPECT_LE(view.args + view.args_len, frame.body + frame.body_len);
+  });
+
+  // Defect parity with DecodeRequest on truncated bodies.
+  WithDecodedFrame(wire, [&](const Frame& frame) {
+    for (const size_t len :
+         {size_t{0}, size_t{5}, static_cast<size_t>(frame.body_len - 1)}) {
+      Request owned;
+      RequestView view;
+      EXPECT_FALSE(DecodeRequest(frame.body, len, &owned).ok());
+      EXPECT_FALSE(DecodeRequestView(frame.body, len, &view).ok());
+    }
+  });
+}
+
 TEST(ProtocolTest, WireReaderNeverReadsPastEnd) {
   const uint8_t bytes[] = {1, 2, 3};
   WireReader reader(bytes, sizeof(bytes));

@@ -57,9 +57,23 @@ class ReplTest : public ::testing::TestWithParam<io::IoBackendKind> {
   }
 };
 
+/// Log directories must be unique per test *instance*, not just per tag:
+/// `ctest -j` runs the epoll and uring instantiations of the same case as
+/// concurrent processes, and a shared directory means one process's
+/// RemoveLogDir races the other's open log ("cannot open log" aborts).
+std::string CurrentTestSlug() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string slug = std::string(info->name());
+  for (char& c : slug) {
+    if (c == '/') c = '_';
+  }
+  return slug;
+}
+
 std::string TempLogDir(const std::string& tag) {
-  const std::string dir =
-      std::string(::testing::TempDir()) + "/next700_repl_" + tag + ".logd";
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "/next700_repl_" + CurrentTestSlug() + "_" + tag +
+                          ".logd";
   RemoveLogDir(dir);
   return dir;
 }

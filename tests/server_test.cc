@@ -5,7 +5,12 @@
 #include "server/server.h"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -45,6 +50,20 @@ struct Service {
   std::unique_ptr<Server> server;
 };
 
+/// Log directories must be unique per test *instance*, not just per CC
+/// scheme: `ctest -j` runs the epoll and uring instantiations of the same
+/// case as concurrent processes, and a shared directory means one
+/// process's RemoveLogDir races the other's open log ("cannot open log"
+/// aborts).
+std::string CurrentTestSlug() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string slug = std::string(info->name());
+  for (char& c : slug) {
+    if (c == '/') c = '_';
+  }
+  return slug;
+}
+
 Service StartService(CcScheme scheme, LoggingKind logging,
                      ServerOptions srv = {}, int partitions = 2,
                      std::function<void(EngineOptions&)> tweak = {}) {
@@ -54,7 +73,7 @@ Service StartService(CcScheme scheme, LoggingKind logging,
   eng.num_partitions = static_cast<uint32_t>(partitions);
   eng.logging = logging;
   eng.log_dir = std::string(::testing::TempDir()) + "/next700_server_" +
-                CcSchemeName(scheme) + ".logd";
+                CurrentTestSlug() + "_" + CcSchemeName(scheme) + ".logd";
   RemoveLogDir(eng.log_dir);  // Logs accumulate across runs; start clean.
   eng.log_io_backend = g_io_backend;
   srv.io_backend = g_io_backend;
@@ -362,6 +381,71 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<io::IoBackendKind>& info) {
       return std::string(io::IoBackendKindName(info.param));
     });
+
+// Regression for the blocking-read deadline audit: a peer that sends part
+// of a frame and then stalls must NOT park RecvFrame forever — the
+// deadline applies to frame completion, not just to the first byte. (The
+// original implementation armed poll() only while the decoder was empty,
+// so a half-delivered header waited indefinitely.)
+TEST(ClientDeadlineTest, HalfFrameThenStallHonorsRecvDeadline) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::thread peer([listen_fd] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    uint8_t scratch[256];
+    ASSERT_GT(::read(fd, scratch, sizeof(scratch)), 0);  // Client's Hello.
+    std::vector<uint8_t> ack;
+    EncodeHelloAck(HelloAck{}, &ack);
+    ASSERT_EQ(::send(fd, ack.data(), ack.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(ack.size()));
+    // Half a response frame, then silence: the header promises more bytes
+    // than will ever arrive.
+    Response response;
+    response.request_id = 1;
+    std::vector<uint8_t> frame;
+    EncodeResponse(response, &frame);
+    const size_t half = frame.size() / 2;
+    ASSERT_EQ(::send(fd, frame.data(), half, MSG_NOSIGNAL),
+              static_cast<ssize_t>(half));
+    // Hold the socket open (stalled, not closed) until the client gives
+    // up; its Close() surfaces here as EOF.
+    ::read(fd, scratch, 1);
+    ::close(fd);
+  });
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  FrameType type;
+  std::vector<uint8_t> body;
+  const auto start = std::chrono::steady_clock::now();
+  const Status stalled = client.RecvFrame(&type, &body, 200);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(stalled.IsDeadlineExceeded()) << stalled.ToString();
+  EXPECT_GE(elapsed_ms, 150);   // Deadline honored, not an instant error...
+  EXPECT_LT(elapsed_ms, 5000);  // ...and not an unbounded stall.
+  // The decoder distinguishes "peer idle" from "peer stalled mid-frame".
+  EXPECT_GT(client.buffered_bytes(), 0u);
+  client.Close();
+  peer.join();
+  ::close(listen_fd);
+}
 
 }  // namespace
 }  // namespace server

@@ -52,7 +52,38 @@
 ///   * both: the replica's log must be a byte prefix of the primary's —
 ///     the applied stream never runs ahead of what the primary wrote.
 ///
-/// Usage: crashtest [repl] [rounds] [base_seed]
+/// Sharded 2PC rounds (`crashtest shard [rounds] [base_seed]`): each round
+/// forks two shard servers and a shard router (coordinator) as separate
+/// processes and drives a pipelined mix of single-shard and deliberately
+/// cross-shard kv_rmw transactions through the router. The seed picks one
+/// of three crash points:
+///
+///   * coordinator crash: the router _exit(42)s right after the Nth
+///     cross-shard transaction's prepares hit the wire, before its commit
+///     decision is logged — both participants are left with parked
+///     prepared branches (in doubt);
+///   * participant crash: one shard _exit(42)s after its Nth prepare is
+///     durable but before the vote leaves, so the coordinator aborts the
+///     transaction while the dead shard holds an in-doubt prepare record;
+///   * router SIGKILL: the parent kill -9s the router mid-pipeline at an
+///     arbitrary point (decisions may be durable with replies unsent).
+///
+/// Every process is then restarted over the same directories (shards with
+/// full-replay recovery, the router over the same decision log); the
+/// reconnecting router replays commit decisions from its log scan and
+/// presumes abort for the rest, which must clear every in-doubt branch.
+/// The parent audits per-key counters through the router and asserts:
+///
+///   * every acked increment survived, and no key gained more than
+///     acked + in-flight-at-kill increments;
+///   * atomicity: cross-shard transactions touch a dedicated pair region
+///     (keys {2j, 2j+1}, always on different shards), so the two counters
+///     of a pair must always be equal — a prepared branch that committed
+///     on one shard and aborted on the other would split them;
+///   * liveness: after recovery one single-shard and one cross-shard
+///     transaction must commit (the in-doubt gate cleared).
+///
+/// Usage: crashtest [repl|shard] [rounds] [base_seed]
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -68,6 +99,7 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -85,6 +117,7 @@
 #include "server/client.h"
 #include "server/procs.h"
 #include "server/server.h"
+#include "shard/shard_router.h"
 #include "txn/engine.h"
 
 namespace next700 {
@@ -957,7 +990,557 @@ int ReplMain(uint64_t rounds, uint64_t base_seed) {
   return failures == 0 ? 0 : 1;
 }
 
+// --- Sharded 2PC rounds -----------------------------------------------------
+
+constexpr int kNumShards = 2;
+constexpr uint64_t kShardRecords = 256;
+/// Cross-shard rmws touch exactly the pair {2j, 2j+1} — adjacent keys are
+/// always on different shards under key % 2 — and single-shard rmws draw
+/// one key from [kShardSingleBase, kShardRecords). Disjoint ranges turn
+/// the audit into an atomicity proof: both counters of a pair move
+/// together or not at all, no matter where the crash landed.
+constexpr uint64_t kShardPairKeys = 128;  // Keys 0..127: 64 pairs.
+constexpr uint64_t kShardSingleBase = 128;
+constexpr uint32_t kShardPartitions = 8;
+constexpr size_t kShardPipelineDepth = 4;
+
+struct ShardPlan {
+  enum class Kill {
+    kCoordinator,  // Router _exit(42)s after the Nth cross-shard txn's
+                   // prepares hit the wire, before its decision is logged.
+    kParticipant,  // One shard _exit(42)s after its Nth durable prepare,
+                   // vote unsent.
+    kRouterKill,   // Parent SIGKILLs the router mid-pipeline.
+  };
+  Kill kill;
+  int victim_shard;     // kParticipant only.
+  uint64_t kill_after;  // Cross-shard txns (crash hooks) or acks (SIGKILL).
+};
+
+ShardPlan MakeShardPlan(uint64_t seed) {
+  Rng rng(seed ^ 0xA5A5D00DCAFEF00Dull);
+  ShardPlan plan;
+  switch (seed % 3) {
+    case 0: plan.kill = ShardPlan::Kill::kCoordinator; break;
+    case 1: plan.kill = ShardPlan::Kill::kParticipant; break;
+    default: plan.kill = ShardPlan::Kill::kRouterKill; break;
+  }
+  plan.victim_shard = static_cast<int>((seed / 3) % kNumShards);
+  plan.kill_after = 8 + rng.NextUint64(32);
+  return plan;
+}
+
+/// Shard server child: a real 2PC-capable server over a value-logged
+/// engine holding the keys where key % kNumShards == shard_id. Reports its
+/// ephemeral port over the pipe, then serves until SIGTERM (clean close,
+/// in-doubt branches released to the log) or _exit(42) from the
+/// crash_after_prepares hook.
+void RunShardServerChild(int shard_id, const std::string& dir,
+                         uint64_t crash_after_prepares, bool recover,
+                         int port_fd) {
+  std::signal(SIGTERM, OnReplChildSignal);
+  {
+    EngineOptions eng = ReplEngineOptions(LoggingKind::kValue, dir);
+    eng.num_partitions = kShardPartitions;
+    Engine engine(eng);
+    server::KvServiceOptions kv;
+    kv.num_records = kShardRecords;
+    kv.num_shards = kNumShards;
+    kv.shard_id = static_cast<uint32_t>(shard_id);
+    server::RegisterKvService(&engine, kv);
+    if (recover) {
+      RecoverOutcome outcome;
+      if (!RecoverEngine(&engine, /*checkpoint_dir=*/"", dir,
+                         /*rebuilder=*/nullptr, &outcome)
+               .ok()) {
+        ::_exit(98);
+      }
+    }
+    server::ServerOptions srv;
+    srv.num_workers = 2;
+    srv.crash_after_prepares = crash_after_prepares;
+    server::Server server(&engine, srv);
+    if (!server.Start().ok()) ::_exit(99);
+    const uint16_t port = server.port();
+    if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) ::_exit(99);
+    ::close(port_fd);
+    ReplChildWait();
+    server.Stop();
+  }
+  ::_exit(0);
+}
+
+/// Router child: the 2PC coordinator. Reports its port only after every
+/// shard connection is up (in-doubt backlogs resolved), so the parent's
+/// first request always lands on a ready topology.
+void RunShardRouterChild(const std::vector<uint16_t>& shard_ports,
+                         const std::string& dir,
+                         uint64_t crash_after_prepares_sent, int port_fd) {
+  std::signal(SIGTERM, OnReplChildSignal);
+  {
+    shard::ShardRouterOptions opts;
+    for (const uint16_t shard_port : shard_ports) {
+      opts.shards.push_back("127.0.0.1:" + std::to_string(shard_port));
+    }
+    opts.num_partitions = kShardPartitions;
+    opts.log_dir = dir;
+    opts.vote_timeout_ms = 2000;
+    opts.crash_after_prepares_sent = crash_after_prepares_sent;
+    shard::ShardRouter router(opts);
+    if (!router.Start().ok()) ::_exit(99);
+    if (!router.WaitShardsConnected(15000)) ::_exit(97);
+    const uint16_t port = router.port();
+    if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) ::_exit(99);
+    ::close(port_fd);
+    ReplChildWait();
+    router.Stop();
+  }
+  ::_exit(0);
+}
+
+/// Forks `child` with the write end of a fresh pipe and reads the port it
+/// reports back. Returns -1 (no child) or the pid; *port stays 0 when the
+/// child died before reporting.
+pid_t ForkWithPort(const std::function<void(int)>& child, uint16_t* port) {
+  *port = 0;
+  int fds[2];
+  if (::pipe(fds) != 0) return -1;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    child(fds[1]);
+    ::_exit(99);  // The child entry point never returns.
+  }
+  ::close(fds[1]);
+  if (::read(fds[0], port, sizeof(*port)) != sizeof(*port)) *port = 0;
+  ::close(fds[0]);
+  return pid;
+}
+
+struct ShardTopology {
+  pid_t shard_pids[kNumShards] = {-1, -1};
+  uint16_t shard_ports[kNumShards] = {0, 0};
+  pid_t router_pid = -1;
+  uint16_t router_port = 0;
+};
+
+/// Starts both shards and the router. Crash hooks arm only on the first
+/// (pre-crash) incarnation; the recovery incarnation replays the same
+/// directories with no hooks.
+bool StartShardTopology(const ShardPlan& plan, const std::string& base_dir,
+                        bool recover, ShardTopology* topo) {
+  for (int i = 0; i < kNumShards; ++i) {
+    const uint64_t crash_after =
+        !recover && plan.kill == ShardPlan::Kill::kParticipant &&
+                plan.victim_shard == i
+            ? plan.kill_after
+            : 0;
+    const std::string dir = base_dir + "_s" + std::to_string(i);
+    topo->shard_pids[i] = ForkWithPort(
+        [&](int fd) {
+          RunShardServerChild(i, dir, crash_after, recover, fd);
+        },
+        &topo->shard_ports[i]);
+    if (topo->shard_pids[i] < 0 || topo->shard_ports[i] == 0) return false;
+  }
+  const uint64_t router_crash =
+      !recover && plan.kill == ShardPlan::Kill::kCoordinator
+          ? plan.kill_after
+          : 0;
+  const std::vector<uint16_t> ports(topo->shard_ports,
+                                    topo->shard_ports + kNumShards);
+  topo->router_pid = ForkWithPort(
+      [&](int fd) {
+        RunShardRouterChild(ports, base_dir + "_rt", router_crash, fd);
+      },
+      &topo->router_port);
+  return topo->router_pid > 0 && topo->router_port != 0;
+}
+
+/// Reaps *pid (which must have terminated or been signalled) and marks it
+/// reaped so the fail path does not double-wait.
+bool ReapShardMember(pid_t* pid, bool killed, const char* who) {
+  if (*pid <= 0) return true;
+  const bool ok = ReapChild(*pid, killed, who);
+  *pid = -1;
+  return ok;
+}
+
+/// Reaps a member that must have died through its _exit(42) crash hook.
+bool ReapCrashedMember(pid_t* pid, const char* who) {
+  if (*pid <= 0) return true;
+  int wstatus = 0;
+  const pid_t reaped = ::waitpid(*pid, &wstatus, 0);
+  const pid_t pid_was = *pid;
+  *pid = -1;
+  if (reaped != pid_was) {
+    std::fprintf(stderr, "waitpid(%s) failed\n", who);
+    return false;
+  }
+  if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 42) {
+    std::fprintf(stderr, "%s died outside its crash hook (status %d)\n",
+                 who, wstatus);
+    return false;
+  }
+  return true;
+}
+
+/// SIGTERMs a live member and demands a clean exit.
+bool StopShardMember(pid_t* pid, const char* who) {
+  if (*pid <= 0) return true;
+  ::kill(*pid, SIGTERM);
+  return ReapShardMember(pid, /*killed=*/false, who);
+}
+
+void KillShardTopology(ShardTopology* topo) {
+  pid_t* pids[] = {&topo->shard_pids[0], &topo->shard_pids[1],
+                   &topo->router_pid};
+  for (pid_t* pid : pids) {
+    if (*pid > 0) ::kill(*pid, SIGKILL);
+  }
+  for (pid_t* pid : pids) ReapShardMember(pid, /*killed=*/true, "topology");
+}
+
+server::Request ShardRmwRequest(uint64_t request_id,
+                                const std::vector<uint64_t>& keys) {
+  server::Request request;
+  request.request_id = request_id;
+  request.proc_id = server::kKvRmw;
+  server::WireWriter args(&request.args);
+  args.PutU16(static_cast<uint16_t>(keys.size()));
+  for (const uint64_t key : keys) args.PutU64(key);
+  return request;
+}
+
+/// Reads every key through the (recovered) router, retrying kUnavailable
+/// while in-doubt gates clear, and checks the durability + atomicity
+/// contract against the parent's ack record. Finishes with a liveness
+/// probe: one single-shard and one cross-shard rmw must commit.
+RoundResult AuditShardRound(uint16_t router_port, const AckedCounts& counts) {
+  server::Client client;
+  if (!client.Connect("127.0.0.1", router_port).ok()) {
+    return Fail("audit: cannot connect to recovered router");
+  }
+  uint64_t next_id = 1;
+  std::vector<uint64_t> deltas(kShardRecords, 0);
+  for (uint64_t key = 0; key < kShardRecords; ++key) {
+    server::Response response;
+    for (int attempt = 0;; ++attempt) {
+      server::Request request;
+      request.request_id = next_id++;
+      request.proc_id = server::kKvGet;
+      server::WireWriter args(&request.args);
+      args.PutU64(key);
+      if (!client.Call(request, &response).ok()) {
+        return Fail("audit transport failure at key " + std::to_string(key));
+      }
+      if (response.status != StatusCode::kUnavailable) break;
+      if (attempt >= 200) {
+        return Fail("in-doubt gate never cleared (key " +
+                    std::to_string(key) + ")");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (response.status != StatusCode::kOk) {
+      return Fail("audit read of key " + std::to_string(key) +
+                  " failed with status " +
+                  std::to_string(static_cast<int>(response.status)));
+    }
+    if (response.payload.size() < sizeof(uint64_t)) {
+      return Fail("audit read of key " + std::to_string(key) +
+                  " returned a short payload");
+    }
+    uint64_t counter;
+    std::memcpy(&counter, response.payload.data(), sizeof(counter));
+    deltas[key] = counter - key;  // Seed counter equals the key.
+  }
+  for (uint64_t key = 0; key < kShardRecords; ++key) {
+    const auto acked_it = counts.acked.find(key);
+    const uint64_t acked =
+        acked_it == counts.acked.end() ? 0 : acked_it->second;
+    const auto inflight_it = counts.inflight.find(key);
+    const uint64_t inflight =
+        inflight_it == counts.inflight.end() ? 0 : inflight_it->second;
+    if (deltas[key] < acked) {
+      return Fail("key " + std::to_string(key) + " lost acked increments: " +
+                  std::to_string(deltas[key]) + " survived < " +
+                  std::to_string(acked) + " acked");
+    }
+    if (deltas[key] > acked + inflight) {
+      return Fail("key " + std::to_string(key) + " over-applied: " +
+                  std::to_string(deltas[key]) + " > acked " +
+                  std::to_string(acked) + " + inflight " +
+                  std::to_string(inflight));
+    }
+  }
+  for (uint64_t key = 0; key < kShardPairKeys; key += 2) {
+    if (deltas[key] != deltas[key + 1]) {
+      return Fail("atomicity violation: pair {" + std::to_string(key) + "," +
+                  std::to_string(key + 1) + "} diverged: " +
+                  std::to_string(deltas[key]) + " vs " +
+                  std::to_string(deltas[key + 1]));
+    }
+  }
+  const std::vector<std::vector<uint64_t>> probes = {
+      {kShardSingleBase}, {0, 1}};
+  for (const auto& keys : probes) {
+    bool committed = false;
+    for (int attempt = 0; attempt < 100 && !committed; ++attempt) {
+      server::Response response;
+      if (!client.Call(ShardRmwRequest(next_id++, keys), &response).ok()) {
+        return Fail("liveness probe transport failure");
+      }
+      if (response.status == StatusCode::kOk) {
+        committed = true;
+      } else if (response.status == StatusCode::kUnavailable ||
+                 response.status == StatusCode::kAborted) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      } else {
+        return Fail("liveness probe failed with status " +
+                    std::to_string(static_cast<int>(response.status)));
+      }
+    }
+    if (!committed) {
+      return Fail(keys.size() > 1
+                      ? "cross-shard transactions never recovered"
+                      : "single-shard transactions never recovered");
+    }
+  }
+  return {true, ""};
+}
+
+int RunShardRound(uint64_t seed, const std::string& base_dir) {
+  const ShardPlan plan = MakeShardPlan(seed);
+  ShardTopology topo;
+  auto fail_round = [&](const std::string& detail) {
+    std::fprintf(stderr, "seed %llu: FAIL: %s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str());
+    KillShardTopology(&topo);
+    return 1;
+  };
+  if (!StartShardTopology(plan, base_dir, /*recover=*/false, &topo)) {
+    return fail_round("shard topology failed to start");
+  }
+
+  server::Client client;
+  if (!client.Connect("127.0.0.1", topo.router_port).ok()) {
+    return fail_round("cannot connect to router");
+  }
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 13);
+  AckedCounts counts;
+  struct Pending {
+    uint64_t id;
+    std::vector<uint64_t> keys;
+  };
+  std::deque<Pending> outstanding;
+  uint64_t next_id = 1;
+  uint64_t acked_txns = 0;
+  uint64_t sent_txns = 0;
+  bool transport_down = false;
+  bool shard_unavailable = false;
+  constexpr uint64_t kMaxTxns = 4000;
+
+  // Half the mix is a deliberate cross-shard pair; the rest is one
+  // single-shard key from the disjoint upper range.
+  auto make_keys = [&]() -> std::vector<uint64_t> {
+    if (rng.NextUint64(100) < 50) {
+      const uint64_t pair = rng.NextUint64(kShardPairKeys / 2) * 2;
+      return {pair, pair + 1};
+    }
+    return {kShardSingleBase +
+            rng.NextUint64(kShardRecords - kShardSingleBase)};
+  };
+  auto receive_one = [&]() -> bool {
+    server::Response response;
+    if (!client.Recv(&response, /*deadline_ms=*/10000).ok()) return false;
+    if (outstanding.empty() ||
+        response.request_id != outstanding.front().id) {
+      return false;
+    }
+    const std::vector<uint64_t> keys = std::move(outstanding.front().keys);
+    outstanding.pop_front();
+    switch (response.status) {
+      case StatusCode::kOk:
+        for (const uint64_t key : keys) ++counts.acked[key];
+        ++acked_txns;
+        break;
+      case StatusCode::kAborted:
+        // Definitive: presumed abort — no commit decision exists, nothing
+        // was (or ever will be) applied.
+        break;
+      default:
+        // kUnavailable and friends: outcome unknown — the work may be
+        // durable on a shard with the reply lost. Widen the upper bound.
+        for (const uint64_t key : keys) ++counts.inflight[key];
+        if (response.status == StatusCode::kUnavailable) {
+          shard_unavailable = true;
+        }
+        break;
+    }
+    return true;
+  };
+
+  const bool sigkill_mode = plan.kill == ShardPlan::Kill::kRouterKill;
+  while (!transport_down && !shard_unavailable && sent_txns < kMaxTxns) {
+    if (sigkill_mode && acked_txns >= plan.kill_after) break;
+    while (outstanding.size() < kShardPipelineDepth) {
+      std::vector<uint64_t> keys = make_keys();
+      if (!client.Send(ShardRmwRequest(next_id, keys)).ok()) {
+        transport_down = true;
+        break;
+      }
+      outstanding.push_back({next_id, std::move(keys)});
+      ++next_id;
+      ++sent_txns;
+    }
+    if (transport_down) break;
+    if (!receive_one()) {
+      transport_down = true;
+      break;
+    }
+  }
+  auto spill_outstanding = [&]() {
+    for (const Pending& pending : outstanding) {
+      for (const uint64_t key : pending.keys) ++counts.inflight[key];
+    }
+    outstanding.clear();
+  };
+
+  const char* mode = "?";
+  switch (plan.kill) {
+    case ShardPlan::Kill::kCoordinator: {
+      mode = "coordinator-crash";
+      if (!transport_down) {
+        return fail_round("coordinator crash hook never fired");
+      }
+      spill_outstanding();
+      if (!ReapCrashedMember(&topo.router_pid, "router")) {
+        return fail_round("router reap failed");
+      }
+      for (int i = 0; i < kNumShards; ++i) {
+        if (!StopShardMember(&topo.shard_pids[i], "shard")) {
+          return fail_round("shard did not survive the coordinator crash");
+        }
+      }
+      break;
+    }
+    case ShardPlan::Kill::kParticipant: {
+      mode = "participant-crash";
+      if (transport_down) {
+        return fail_round("router connection broke before the participant "
+                          "crash");
+      }
+      if (!shard_unavailable) {
+        return fail_round("participant crash hook never fired");
+      }
+      // The router is alive: every outstanding request gets some reply.
+      while (!outstanding.empty() && receive_one()) {
+      }
+      spill_outstanding();
+      if (!ReapCrashedMember(&topo.shard_pids[plan.victim_shard],
+                             "victim shard")) {
+        return fail_round("victim shard reap failed");
+      }
+      if (!StopShardMember(&topo.router_pid, "router")) {
+        return fail_round("router did not survive the participant crash");
+      }
+      const int survivor = 1 - plan.victim_shard;
+      if (!StopShardMember(&topo.shard_pids[survivor], "surviving shard")) {
+        return fail_round("surviving shard did not stop cleanly");
+      }
+      break;
+    }
+    case ShardPlan::Kill::kRouterKill: {
+      mode = "router-sigkill";
+      if (transport_down || shard_unavailable) {
+        return fail_round("topology degraded before the kill point");
+      }
+      ::kill(topo.router_pid, SIGKILL);
+      spill_outstanding();
+      if (!ReapShardMember(&topo.router_pid, /*killed=*/true, "router")) {
+        return fail_round("router reap failed");
+      }
+      for (int i = 0; i < kNumShards; ++i) {
+        if (!StopShardMember(&topo.shard_pids[i], "shard")) {
+          return fail_round("shard did not survive the router kill");
+        }
+      }
+      break;
+    }
+  }
+
+  // Recovery incarnation: same directories, no crash hooks. The router's
+  // decision-log scan + in-doubt resolution must clear every branch.
+  topo = ShardTopology();
+  if (!StartShardTopology(plan, base_dir, /*recover=*/true, &topo)) {
+    return fail_round("recovered topology failed to start");
+  }
+  RoundResult result = AuditShardRound(topo.router_port, counts);
+  if (!StopShardMember(&topo.router_pid, "recovered router") && result.ok) {
+    result = Fail("recovered router did not stop cleanly");
+  }
+  for (int i = 0; i < kNumShards; ++i) {
+    if (!StopShardMember(&topo.shard_pids[i], "recovered shard") &&
+        result.ok) {
+      result = Fail("recovered shard did not stop cleanly");
+    }
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "seed %llu: FAIL: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.detail.c_str());
+    return 1;
+  }
+  std::printf("seed %llu: %s survived (%llu acked of %llu sent)\n",
+              static_cast<unsigned long long>(seed), mode,
+              static_cast<unsigned long long>(acked_txns),
+              static_cast<unsigned long long>(sent_txns));
+  return 0;
+}
+
+int ShardMain(uint64_t rounds, uint64_t base_seed) {
+  char dir_template[] = "/tmp/next700_shardcrash_XXXXXX";
+  const char* base_dir = ::mkdtemp(dir_template);
+  if (base_dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  int failures = 0;
+  for (uint64_t i = 0; i < rounds; ++i) {
+    const uint64_t seed = base_seed + i;
+    const std::string round_dir =
+        std::string(base_dir) + "/round_" + std::to_string(seed);
+    failures += RunShardRound(seed, round_dir);
+    RemoveLogDir(round_dir + "_s0");
+    RemoveLogDir(round_dir + "_s1");
+    RemoveLogDir(round_dir + "_rt");
+  }
+  ::rmdir(base_dir);
+  std::printf("%llu shard rounds, %d failures\n",
+              static_cast<unsigned long long>(rounds), failures);
+  return failures == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
+  // Children embed real servers; a peer killed mid-write must surface as
+  // EPIPE, not SIGPIPE-terminate the surviving processes. Inherited
+  // across fork.
+  std::signal(SIGPIPE, SIG_IGN);
+  // Children flush inherited stdio on their crash hooks; keep the parent's
+  // buffer empty so round banners are not replayed by forked children.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  if (argc > 1 && std::strcmp(argv[1], "shard") == 0) {
+    const uint64_t rounds =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20;
+    const uint64_t base_seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    return ShardMain(rounds, base_seed);
+  }
   if (argc > 1 && std::strcmp(argv[1], "repl") == 0) {
     const uint64_t rounds =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20;

@@ -33,9 +33,13 @@ void Usage() {
       "[--get=F]\n"
       "  [--put=F] [--rmw-keys=N] [--theta=T] [--seed=N] "
       "[--deadline-ms=N]\n"
-      "  [--check] [--audit] [--min-read-lsn=N]\n"
+      "  [--check] [--audit] [--min-read-lsn=N] [--num-shards=N]\n"
+      "  [--multi-shard=F]\n"
       "\n"
       "Op mix: get + put fractions; the remainder is read-modify-write.\n"
+      "--num-shards > 1 (driving a shard router) makes rmw key sets\n"
+      "shard-aware; --multi-shard is the fraction of rmws that span two\n"
+      "shards (cross-shard 2PC transactions).\n"
       "--threads=0 (default) runs one blocking thread per connection;\n"
       "--threads=N multiplexes the connections over N poll() threads —\n"
       "required to drive hundreds or thousands of connections.\n"
@@ -86,6 +90,12 @@ int main(int argc, char** argv) {
   options.theta = flags.GetDouble("theta", 0.0);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.deadline_ms = flags.GetInt("deadline-ms", 10000);
+  options.num_shards = static_cast<uint32_t>(flags.GetInt("num-shards", 1));
+  if (options.num_shards == 0) flags.Die("--num-shards must be >= 1");
+  options.multi_shard_fraction = flags.GetDouble("multi-shard", 0.0);
+  if (options.multi_shard_fraction < 0 || options.multi_shard_fraction > 1) {
+    flags.Die("--multi-shard must be in [0, 1]");
+  }
   const bool check = flags.GetBool("check", false);
   const bool audit = flags.GetBool("audit", false);
   const uint64_t min_read_lsn =

@@ -47,6 +47,7 @@
 #include "repl/replica_applier.h"
 #include "server/procs.h"
 #include "server/server.h"
+#include "shard/shard_router.h"
 #include "flags.h"
 #include "workload/driver.h"
 #include "workload/smallbank.h"
@@ -86,10 +87,19 @@ void Usage() {
       "(seconds=0: serve until SIGINT)\n"
       "  [--io-backend=auto|uring|epoll]  (network + log submission "
       "backend; uring fails loudly if unsupported)\n"
-      "  [--role=primary|replica] [--primary-addr=HOST:PORT] "
+      "  [--role=primary|replica|shard-router] [--primary-addr=HOST:PORT] "
       "[--repl-ack=async|semisync]\n"
       "  [--recover]  (bootstrap from checkpoint + log; promotion = "
-      "--role=primary --recover)\n");
+      "--role=primary --recover)\n"
+      "  [--shard-id=N --num-shards=N]  (this server owns keys where "
+      "key %% num-shards == shard-id)\n"
+      "\n"
+      "usage: next700_run serve --role=shard-router "
+      "--shards=HOST:PORT,HOST:PORT,...\n"
+      "  --log-dir=DIR  (coordinator decision log)  [--host=ADDR] "
+      "[--port=P]\n"
+      "  [--partitions=N]  (the shards' *global* partition count)\n"
+      "  [--vote-timeout-ms=N] [--seconds=S]\n");
 }
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -179,7 +189,80 @@ IndexKind ParseIndexKind(Flags* flags) {
   flags->Die("bad --index: " + index);
 }
 
+/// `serve --role=shard-router`: no engine of its own — a routing tier in
+/// front of N `serve --shard-id=I --num-shards=N` processes.
+int RunShardRouter(Flags* flags) {
+  shard::ShardRouterOptions opt;
+  opt.listen_host = flags->GetString("host", "127.0.0.1");
+  opt.listen_port = static_cast<uint16_t>(flags->GetInt("port", 0));
+  const std::string shards = flags->GetString("shards", "");
+  if (shards.empty()) {
+    flags->Die("--role=shard-router requires --shards=HOST:PORT,...");
+  }
+  size_t pos = 0;
+  while (pos <= shards.size()) {
+    const size_t comma = shards.find(',', pos);
+    const size_t end = comma == std::string::npos ? shards.size() : comma;
+    if (end > pos) opt.shards.push_back(shards.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  opt.num_partitions =
+      static_cast<uint32_t>(flags->GetInt("partitions", 8));
+  opt.log_dir = flags->GetString("log-dir", "");
+  if (opt.log_dir.empty()) {
+    flags->Die("--role=shard-router requires --log-dir (decision log)");
+  }
+  opt.vote_timeout_ms = flags->GetInt("vote-timeout-ms", 5000);
+  opt.crash_after_prepares_sent = static_cast<uint64_t>(
+      flags->GetInt("crash-after-prepares-sent", 0));
+  const double seconds = flags->GetDouble("seconds", 0.0);
+  flags->RejectUnknown();
+
+  shard::ShardRouter router(opt);
+  const Status started = router.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (shard-router, %u shards)\n",
+              opt.listen_host.c_str(), router.port(), router.num_shards());
+  std::fflush(stdout);
+  if (router.WaitShardsConnected(15000)) {
+    std::printf("all %u shards connected\n", router.num_shards());
+  } else {
+    std::printf("warning: not all shards reachable yet (still retrying)\n");
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const uint64_t deadline_ns =
+      seconds > 0 ? NowNanos() + static_cast<uint64_t>(seconds * 1e9) : 0;
+  while (!g_stop && (deadline_ns == 0 || NowNanos() < deadline_ns)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  router.Stop();
+  const shard::ShardRouterStats& stats = router.stats();
+  std::printf("\nforwarded:            %llu\n",
+              static_cast<unsigned long long>(stats.forwarded.load()));
+  std::printf("cross-shard commits:  %llu\n",
+              static_cast<unsigned long long>(
+                  stats.cross_shard_commits.load()));
+  std::printf("cross-shard aborts:   %llu (%llu vote timeouts)\n",
+              static_cast<unsigned long long>(
+                  stats.cross_shard_aborts.load()),
+              static_cast<unsigned long long>(stats.vote_timeouts.load()));
+  std::printf("in-doubt resolved:    %llu\n",
+              static_cast<unsigned long long>(
+                  stats.resolved_in_doubt.load()));
+  return 0;
+}
+
 int RunServe(Flags* flags) {
+  if (flags->GetString("role", "primary") == "shard-router") {
+    return RunShardRouter(flags);
+  }
   const int workers = static_cast<int>(flags->GetInt("workers", 4));
   if (workers < 1) flags->Die("--workers must be >= 1");
   EngineOptions eng = ParseEngineOptions(
@@ -191,6 +274,12 @@ int RunServe(Flags* flags) {
   kv.value_size = static_cast<uint32_t>(flags->GetInt("value-size", 64));
   if (kv.value_size < 8) flags->Die("--value-size must be >= 8");
   kv.index_kind = ParseIndexKind(flags);
+  kv.num_shards = static_cast<uint32_t>(flags->GetInt("num-shards", 1));
+  if (kv.num_shards == 0) flags->Die("--num-shards must be >= 1");
+  kv.shard_id = static_cast<uint32_t>(flags->GetInt("shard-id", 0));
+  if (kv.shard_id >= kv.num_shards) {
+    flags->Die("--shard-id must be < --num-shards");
+  }
 
   server::ServerOptions srv;
   srv.host = flags->GetString("host", "127.0.0.1");
@@ -200,6 +289,9 @@ int RunServe(Flags* flags) {
       static_cast<uint32_t>(flags->GetInt("max-inflight", 256));
   srv.queue_capacity =
       static_cast<size_t>(flags->GetInt("queue-capacity", 1024));
+  // Crash-fault test hook (see ServerOptions::crash_after_prepares).
+  srv.crash_after_prepares = static_cast<uint64_t>(
+      flags->GetInt("crash-after-prepares", 0));
   srv.io_backend = ParseIoBackend(flags);
   eng.log_io_backend = srv.io_backend;
 
@@ -276,6 +368,11 @@ int RunServe(Flags* flags) {
                 static_cast<unsigned long long>(outcome.log.txns_replayed),
                 static_cast<unsigned long long>(
                     engine.log_manager()->durable_lsn()));
+    if (engine.has_in_doubt()) {
+      std::printf("in-doubt 2PC branches: %zu (refusing requests until the "
+                  "coordinator resolves them)\n",
+                  engine.InDoubtGtids().size());
+    }
   }
   MaybeStartCheckpointer(&engine);
 
@@ -507,6 +604,9 @@ int RunIoProbe(Flags* flags) {
 
 int main(int argc, char** argv) {
   using namespace next700;
+  // A peer that disconnects mid-write must surface as EPIPE on that
+  // connection, never kill the whole server.
+  std::signal(SIGPIPE, SIG_IGN);
   Flags flags(argc, argv, Usage, /*allow_subcommand=*/true);
   const std::string& sub = flags.subcommand();
   if (sub == "serve") return RunServe(&flags);

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Sharded 2PC smoke test: start two shard servers and a shard router, drive
+# a mixed single-shard / cross-shard rmw load through the router, kill -9
+# one participant mid-load, restart it with --recover (same directories),
+# and prove every router-acked transaction survived via the full-keyspace
+# counter audit (each acked rmw adds exactly --rmw-keys increments, so the
+# audit's increment sum must cover ok * rmw_keys). The reconnecting router
+# resolves the dead shard's in-doubt prepares from its durable decision
+# log. Used by CI.
+#
+# usage: shard_smoke.sh <build-dir> [io-backend]
+#   io-backend: auto (default) | uring | epoll — passed to the shard
+#   servers (the router's connections are plain blocking sockets).
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: shard_smoke.sh <build-dir> [io-backend]}"
+IO_BACKEND="${2:-auto}"
+
+RUN="$BUILD_DIR/tools/next700_run"
+LOADGEN="$BUILD_DIR/tools/next700_loadgen"
+S0LOG="$(mktemp -d /tmp/next700_shard.XXXXXX.s0logd)"
+S1LOG="$(mktemp -d /tmp/next700_shard.XXXXXX.s1logd)"
+RTLOG="$(mktemp -d /tmp/next700_shard.XXXXXX.rtlogd)"
+S0OUT="$(mktemp /tmp/next700_shard.XXXXXX.s0out)"
+S1OUT="$(mktemp /tmp/next700_shard.XXXXXX.s1out)"
+RTOUT="$(mktemp /tmp/next700_shard.XXXXXX.rtout)"
+LOUT="$(mktemp /tmp/next700_shard.XXXXXX.lout)"
+RECORDS=2000
+PARTITIONS=8
+
+cleanup() {
+  for pid in "${S0_PID:-}" "${S1_PID:-}" "${RT_PID:-}"; do
+    [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    [[ -n "$pid" ]] && wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$S0LOG" "$S1LOG" "$RTLOG" "$S0OUT" "$S1OUT" "$RTOUT" "$LOUT"
+}
+trap cleanup EXIT
+
+# Waits for "listening on HOST:PORT" in $2 from pid $1; echoes the port.
+wait_port() {
+  local pid="$1" out="$2" port=""
+  for _ in $(seq 1 150); do
+    port="$(sed -n 's/^listening on [^:]*:\([0-9]*\).*$/\1/p' "$out" | head -n1)"
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2>/dev/null || { cat "$out" >&2; echo "server died" >&2; return 1; }
+    sleep 0.1
+  done
+  cat "$out" >&2; echo "server never started listening" >&2; return 1
+}
+
+start_shard() {  # id log_dir stdout_file port [--recover]
+  "$RUN" serve --port="$4" --workers=2 --records="$RECORDS" \
+    --partitions="$PARTITIONS" --num-shards=2 --shard-id="$1" \
+    --logging=value --log-sync=fdatasync --log-dir="$2" \
+    --io-backend="$IO_BACKEND" ${5:-} > "$3" &
+}
+
+start_shard 0 "$S0LOG" "$S0OUT" 0
+S0_PID=$!
+S0PORT="$(wait_port "$S0_PID" "$S0OUT")"
+
+start_shard 1 "$S1LOG" "$S1OUT" 0
+S1_PID=$!
+S1PORT="$(wait_port "$S1_PID" "$S1OUT")"
+
+"$RUN" serve --role=shard-router --port=0 \
+  --shards="127.0.0.1:$S0PORT,127.0.0.1:$S1PORT" \
+  --partitions="$PARTITIONS" --log-dir="$RTLOG" > "$RTOUT" &
+RT_PID=$!
+RTPORT="$(wait_port "$RT_PID" "$RTOUT")"
+for _ in $(seq 1 150); do
+  grep -q "all 2 shards connected" "$RTOUT" && break
+  sleep 0.1
+done
+grep -q "all 2 shards connected" "$RTOUT" || {
+  cat "$RTOUT" >&2; echo "router never connected its shards" >&2; exit 1
+}
+
+# Mixed pure-rmw load (20% deliberately cross-shard): every acked txn adds
+# exactly 2 counter increments. The participant kill lands mid-load, so
+# in-flight prepares are left in doubt on the dead shard; requests routed
+# to it fail over to error replies, which must not break the transport
+# (--check tolerates non-OK statuses, not dropped connections).
+"$LOADGEN" --port="$RTPORT" --connections=2 --pipeline=8 --seconds=4 \
+  --records="$RECORDS" --get=0.0 --put=0.0 --rmw-keys=2 \
+  --num-shards=2 --multi-shard=0.2 --check > "$LOUT" &
+LOAD_PID=$!
+sleep 1.5
+kill -9 "$S1_PID"
+wait "$S1_PID" 2>/dev/null || true
+S1_PID=""
+wait "$LOAD_PID" || { cat "$LOUT"; echo "load through router failed"; exit 1; }
+cat "$LOUT"
+ACKED_OK="$(sed -n 's/^ok: *\([0-9]*\)$/\1/p' "$LOUT")"
+[[ -n "$ACKED_OK" && "$ACKED_OK" -gt 0 ]] || { echo "no acked txns"; exit 1; }
+ACKED_INCREMENTS=$((ACKED_OK * 2))
+
+# Restart the dead participant over its own directories on its old port
+# (the router keeps dialing the configured address). The router reconnects
+# on its own, replays commit decisions from its durable log for the
+# shard's in-doubt prepares, and presumes abort for the rest.
+start_shard 1 "$S1LOG" "$S1OUT" "$S1PORT" --recover
+S1_PID=$!
+wait_port "$S1_PID" "$S1OUT" > /dev/null
+
+# Every router-acked increment must have survived the participant crash.
+# Retry while the topology reconnects / the in-doubt gate clears.
+AUDIT_OUT=""
+for _ in $(seq 1 100); do
+  if AUDIT_OUT="$("$LOADGEN" --port="$RTPORT" --records="$RECORDS" --audit)"
+  then break; fi
+  AUDIT_OUT=""
+  sleep 0.2
+done
+[[ -n "$AUDIT_OUT" ]] || { echo "audit never succeeded"; exit 1; }
+echo "$AUDIT_OUT"
+SURVIVED="$(echo "$AUDIT_OUT" | sed -n 's/.*increments=\([0-9]*\).*/\1/p')"
+[[ -n "$SURVIVED" ]] || { echo "audit produced no increment count"; exit 1; }
+if [[ "$SURVIVED" -lt "$ACKED_INCREMENTS" ]]; then
+  echo "FAIL: acked work lost in participant crash:" \
+       "acked=$ACKED_INCREMENTS survived=$SURVIVED"
+  exit 1
+fi
+echo "crash audit OK: acked=$ACKED_INCREMENTS survived=$SURVIVED"
+
+# The recovered topology is live: cross-shard 2PC commits again.
+"$LOADGEN" --port="$RTPORT" --connections=1 --pipeline=4 --seconds=1 \
+  --records="$RECORDS" --get=0.0 --put=0.0 --rmw-keys=2 \
+  --num-shards=2 --multi-shard=0.5 --check
+
+kill -INT "$RT_PID"
+wait "$RT_PID" 2>/dev/null || true
+RT_PID=""
+cat "$RTOUT"
+for pid_var in S0_PID S1_PID; do
+  pid="${!pid_var}"
+  kill -INT "$pid"
+  wait "$pid" 2>/dev/null || true
+done
+S0_PID=""; S1_PID=""
+echo "shard smoke OK"
