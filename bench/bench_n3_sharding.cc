@@ -86,6 +86,9 @@ struct RouterCounters {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t vote_timeouts = 0;
+  uint64_t io_syscalls = 0;
+  uint64_t writev_batches = 0;
+  uint64_t frames_batched = 0;
 };
 
 RouterCounters Snap(const shard::ShardRouter& router) {
@@ -95,12 +98,19 @@ RouterCounters Snap(const shard::ShardRouter& router) {
   c.commits = s.cross_shard_commits.load(std::memory_order_relaxed);
   c.aborts = s.cross_shard_aborts.load(std::memory_order_relaxed);
   c.vote_timeouts = s.vote_timeouts.load(std::memory_order_relaxed);
+  c.io_syscalls = router.io_syscalls();
+  c.writev_batches = s.writev_batches.load(std::memory_order_relaxed);
+  c.frames_batched = s.frames_batched.load(std::memory_order_relaxed);
   return c;
 }
 
 /// Runs one load point and emits the CSV row + JSON point. `router` is
-/// null for the direct-baseline axis. Returns the throughput (0 on
-/// transport errors, which fail the bench via the caller).
+/// null for the direct-baseline axis. Router points carry the event-loop
+/// tier's syscall accounting: syscalls_per_txn is the router's kernel
+/// entries per completed txn and frames_per_writev the outbound gather
+/// ratio — the two numbers the event-loop rewrite exists to improve.
+/// Returns the throughput (0 on transport errors, which fail the bench
+/// via the caller).
 double RunPoint(JsonOutput* json, const char* axis, uint16_t port,
                 double multi_shard_fraction, uint32_t num_shards,
                 const shard::ShardRouter* router,
@@ -124,15 +134,29 @@ double RunPoint(JsonOutput* json, const char* axis, uint16_t port,
       static_cast<double>(stats.latency_ns.Percentile(0.99)) / 1e3;
   const uint64_t commits = after.commits - before.commits;
   const uint64_t aborts = after.aborts - before.aborts;
+  const uint64_t io_syscalls = after.io_syscalls - before.io_syscalls;
+  const uint64_t writev_batches =
+      after.writev_batches - before.writev_batches;
+  const uint64_t frames_batched = after.frames_batched - before.frames_batched;
+  const double syscalls_per_txn =
+      stats.ok > 0 ? static_cast<double>(io_syscalls) /
+                         static_cast<double>(stats.ok)
+                   : 0.0;
+  const double frames_per_writev =
+      writev_batches > 0 ? static_cast<double>(frames_batched) /
+                               static_cast<double>(writev_batches)
+                         : 0.0;
 
-  std::printf("%s,%.2f,%.0f,%llu,%llu,%.0f,%.0f,%.0f,%llu,%llu,%llu\n",
-              axis, multi_shard_fraction, stats.Throughput(),
-              static_cast<unsigned long long>(stats.ok),
-              static_cast<unsigned long long>(stats.aborted), p50_us, p95_us,
-              p99_us, static_cast<unsigned long long>(
-                          after.forwarded - before.forwarded),
-              static_cast<unsigned long long>(commits),
-              static_cast<unsigned long long>(aborts));
+  std::printf(
+      "%s,%.2f,%.0f,%llu,%llu,%.0f,%.0f,%.0f,%llu,%llu,%llu,%.2f,%.2f\n",
+      axis, multi_shard_fraction, stats.Throughput(),
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.aborted), p50_us, p95_us,
+      p99_us, static_cast<unsigned long long>(
+                  after.forwarded - before.forwarded),
+      static_cast<unsigned long long>(commits),
+      static_cast<unsigned long long>(aborts), syscalls_per_txn,
+      frames_per_writev);
   std::fflush(stdout);
   json->AddPoint(
       {{"axis", JsonOutput::Str(axis)},
@@ -151,7 +175,14 @@ double RunPoint(JsonOutput* json, const char* axis, uint16_t port,
         JsonOutput::Num(static_cast<double>(commits))},
        {"cross_shard_aborts", JsonOutput::Num(static_cast<double>(aborts))},
        {"vote_timeouts", JsonOutput::Num(static_cast<double>(
-                             after.vote_timeouts - before.vote_timeouts))}});
+                             after.vote_timeouts - before.vote_timeouts))},
+       {"router_loops",
+        JsonOutput::Num(router != nullptr
+                            ? static_cast<double>(router->num_loops())
+                            : 0.0)},
+       {"io_syscalls", JsonOutput::Num(static_cast<double>(io_syscalls))},
+       {"syscalls_per_txn", JsonOutput::Num(syscalls_per_txn)},
+       {"frames_per_writev", JsonOutput::Num(frames_per_writev)}});
   if (stats.transport_errors != 0) {
     std::fprintf(stderr, "transport errors: %llu\n",
                  static_cast<unsigned long long>(stats.transport_errors));
@@ -172,7 +203,7 @@ int main(int argc, char** argv) {
               "fraction, and router fast-path overhead vs direct",
               "axis,multi_shard_fraction,throughput_txn_s,ok,aborted,"
               "p50_us,p95_us,p99_us,forwarded,cross_shard_commits,"
-              "cross_shard_aborts");
+              "cross_shard_aborts,syscalls_per_txn,frames_per_writev");
 
   const uint64_t records = QuickMode() ? 20000 : 100000;
   const int workers = 2;
@@ -243,6 +274,36 @@ int main(int argc, char** argv) {
   }
 
   router.Stop();
+
+  // Third axis: event-loop count at the all-single-shard point. A fresh
+  // router (fresh decision log) per loop count; the shards stay up. Shows
+  // whether the fast path scales past one loop or the shards saturate
+  // first on this host.
+  if (ok) {
+    const std::vector<int> loop_counts =
+        QuickMode() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    for (const int loops : loop_counts) {
+      shard::ShardRouterOptions lopts = ropts;
+      lopts.num_loops = loops;
+      lopts.log_dir =
+          "/tmp/next700_bench_n3.rtlogd_l" + std::to_string(loops);
+      RemoveLogDir(lopts.log_dir);
+      shard::ShardRouter loop_router(lopts);
+      if (!loop_router.Start().ok() ||
+          !loop_router.WaitShardsConnected(15000)) {
+        std::fprintf(stderr, "shard router (loops=%d) failed to start\n",
+                     loops);
+        ok = false;
+        break;
+      }
+      RunPoint(&json, "router_loops", loop_router.port(),
+               /*multi_shard_fraction=*/0.0, kNumShards, &loop_router, base,
+               &ok);
+      loop_router.Stop();
+      if (!ok) break;
+    }
+  }
+
   for (uint32_t i = 0; i < kNumShards; ++i) shards[i].server->Stop();
   return ok ? 0 : 1;
 }

@@ -24,7 +24,11 @@
 /// Threading contract: Submit*/Reap/CancelFd belong to one owner thread
 /// (the event loop, or the log flusher — each owner builds its own
 /// backend). Wakeup() is the only thread-safe entry point; it surfaces as
-/// an Op::kWakeup completion in the owner's Reap.
+/// an Op::kWakeup completion in the owner's Reap. Multi-loop owners (the
+/// server's worker loops, the shard router's session loops) fan work
+/// across backends by handing descriptors or results to the target loop
+/// through their own mailbox and calling that loop's Wakeup() — fds and
+/// submissions never migrate between live backends.
 ///
 /// Buffer lifetime: buffers and iovec arrays handed to Submit* must stay
 /// valid (and un-moved) until the matching completion is reaped or the fd

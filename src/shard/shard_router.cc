@@ -3,7 +3,6 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -25,6 +24,24 @@ using server::FrameType;
 using server::PeerRole;
 
 namespace {
+
+/// user_data cookies: the accept uses a fixed cookie; reads and writes pack
+/// the connection id (sessions and shard links share one id space per
+/// loop, ids start at 1) with the low bit as the read/write discriminator.
+constexpr uint64_t kAcceptUd = 1;
+uint64_t ReadUd(uint64_t id) { return id << 1; }
+uint64_t WriteUd(uint64_t id) { return (id << 1) | 1; }
+
+constexpr size_t kReadBufBytes = 64 * 1024;
+constexpr int kMaxEvents = 256;
+
+/// Shard-link reconnect backoff (jittered doubling).
+constexpr uint64_t kLinkBackoffMinMs = 20;
+constexpr uint64_t kLinkBackoffMaxMs = 1000;
+/// Accept-error backoff (EMFILE and friends; satellite of the old
+/// busy-spin bug — the listener is disarmed while backing off).
+constexpr uint64_t kAcceptBackoffMinMs = 10;
+constexpr uint64_t kAcceptBackoffMaxMs = 200;
 
 /// Wall-clock nanoseconds — deliberately not the monotonic clock: gtids
 /// must stay unique across router restarts, and the monotonic epoch resets
@@ -66,154 +83,85 @@ bool ParseHostPort(const std::string& addr, std::string* host,
   return true;
 }
 
+uint64_t XorShift64(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+uint32_t ResolveNumLoops(int requested) {
+  if (requested > 0) return static_cast<uint32_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, std::min(4u, hw / 2));
+}
+
 }  // namespace
 
-/// One accepted client connection. Shard reader threads complete tickets
-/// out of order; the reorder buffer releases frames to the socket strictly
-/// in ticket order, preserving the wire protocol's per-connection FIFO.
-struct ShardRouter::ClientSession {
-  int fd = -1;
-  std::atomic<bool> closed{false};
-
-  Mutex mu;
-  uint64_t next_to_send GUARDED_BY(mu) = 0;
-  std::map<uint64_t, std::vector<uint8_t>> ready GUARDED_BY(mu);
-
-  ~ClientSession() {
-    if (fd >= 0) ::close(fd);
-  }
-
-  /// Delivers one response frame for `ticket`; writes every newly
-  /// contiguous frame to the client, coalesced into a single send so a
-  /// burst of shard replies costs one syscall instead of one per ticket.
-  /// Blocking send under the session mutex is fine here: the only other
-  /// contenders are reader threads completing other tickets of the same
-  /// client.
-  void CompleteTicket(uint64_t ticket, std::vector<uint8_t> frame) {
-    MutexLock lock(&mu);
-    ready.emplace(ticket, std::move(frame));
-    FlushReady();
-  }
-
-  /// Batch variant: a shard reader delivering a whole reply burst for this
-  /// session pays one lock and (at most) one send for all of it.
-  void CompleteTickets(
-      std::vector<std::pair<uint64_t, std::vector<uint8_t>>>* batch) {
-    MutexLock lock(&mu);
-    for (auto& [ticket, frame] : *batch) {
-      ready.emplace(ticket, std::move(frame));
-    }
-    FlushReady();
-  }
-
-  void FlushReady() REQUIRES(mu) {
-    auto it = ready.find(next_to_send);
-    if (it == ready.end()) return;
-    std::vector<uint8_t> burst = std::move(it->second);
-    ready.erase(it);
-    ++next_to_send;
-    while ((it = ready.find(next_to_send)) != ready.end()) {
-      burst.insert(burst.end(), it->second.begin(), it->second.end());
-      ready.erase(it);
-      ++next_to_send;
-    }
-    if (!WriteAll(burst)) closed.store(true, std::memory_order_release);
-  }
-
-  bool WriteAll(const std::vector<uint8_t>& bytes) REQUIRES(mu) {
-    if (closed.load(std::memory_order_acquire)) return false;
-    size_t off = 0;
-    while (off < bytes.size()) {
-      const ssize_t n =
-          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      off += static_cast<size_t>(n);
-    }
-    return true;
-  }
-};
-
-/// One upstream shard: a coordinator-role connection plus the FIFO of
-/// expectations its reply stream must answer. `mu` serializes sends with
-/// expectation pushes so the deque order always matches the wire order;
-/// the reader thread is the only receiver and manages connect/teardown.
-struct ShardRouter::ShardConn {
-  uint32_t shard_id = 0;
-  std::string host;
-  uint16_t port = 0;
-
-  Mutex mu;
-  server::Client client;  // Sends under mu; reader thread receives.
-  bool up GUARDED_BY(mu) = false;
-  std::deque<Expectation> expect GUARDED_BY(mu);
-  std::thread reader;
-};
-
-/// Per-read-burst staging area for single-shard forwards. The session
-/// thread decodes a whole socket read's worth of requests, appends each
-/// forward's frame bytes to its target shard's buffer, and then flushes
-/// every shard with one gather send — the syscall-per-frame cost this
-/// replaces was the router fast path's dominant overhead. Owned by one
-/// session thread; never shared.
-struct ShardRouter::ForwardBatch {
-  struct PerShard {
-    std::vector<uint8_t> bytes;
-    std::vector<Expectation> expectations;
-    /// (ticket, request_id) per staged frame, for kUnavailable replies
-    /// when the whole batch fails to send.
-    std::vector<std::pair<uint64_t, uint64_t>> ids;
+/// One forwarding connection from an event loop to a shard server. The
+/// owning loop is the only thread that touches it; the state machine runs
+/// off read/write completions. A link accepts forwards only in kUp (after
+/// handshake + in-doubt resolution); anything staged while down answers
+/// kUnavailable immediately, which keeps the reply stream strictly
+/// pairable against the expectation deque.
+struct ShardRouter::ShardLink {
+  enum class State : uint8_t {
+    kDown,     // No connection; retry at retry_deadline_ms.
+    kHello,    // Connect + Hello + InDoubtQuery sent; awaiting HelloAck.
+    kResolve,  // Awaiting the in-doubt list, then its decision acks.
+    kUp,       // Forwarding.
   };
-  explicit ForwardBatch(uint32_t num_shards) : shards(num_shards) {}
-  std::vector<PerShard> shards;
+
+  uint32_t shard_id = 0;
+  State state = State::kDown;
+  /// The framed transport (outbound queue, decoder, inflight flags);
+  /// null while kDown. A fresh Connection (and a fresh id) per connect
+  /// attempt keeps stale completions from a dead socket unroutable.
+  std::unique_ptr<server::Connection> conn;
+  /// FIFO of what each kUp reply frame answers (shard servers reply in
+  /// per-connection request order).
+  std::deque<Expectation> expect;
+  /// Decision acks still owed from in-doubt resolution; -1 until the list
+  /// arrives.
+  int resolve_pending = -1;
+  uint64_t retry_deadline_ms = 0;
+  uint64_t backoff_ms = 0;
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
 };
 
-/// Per-reply-burst staging area on a shard reader thread: forwarded
-/// responses grouped by client session so each session pays one lock and
-/// one coalesced send per burst instead of one per reply. Linear scan —
-/// a burst rarely spans more than a handful of sessions.
-struct ShardRouter::ReplyBatch {
-  std::vector<std::pair<std::shared_ptr<ClientSession>,
-                        std::vector<std::pair<uint64_t, std::vector<uint8_t>>>>>
-      sessions;
+/// One event-loop thread: an IoBackend instance plus every session and
+/// shard link it owns. Only the owning thread touches anything outside
+/// `mu`; other threads reach in through the inbox + Wakeup.
+struct ShardRouter::RouterLoop {
+  uint32_t index = 0;
+  std::unique_ptr<io::IoBackend> io;
+  std::thread thread;
 
-  void Stage(const std::shared_ptr<ClientSession>& session, uint64_t ticket,
-             std::vector<uint8_t> frame) {
-    for (auto& entry : sessions) {
-      if (entry.first == session) {
-        entry.second.emplace_back(ticket, std::move(frame));
-        return;
-      }
-    }
-    sessions.emplace_back(
-        session, std::vector<std::pair<uint64_t, std::vector<uint8_t>>>{});
-    sessions.back().second.emplace_back(ticket, std::move(frame));
-  }
+  uint64_t next_id = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<server::Connection>> sessions;
+  std::vector<std::unique_ptr<ShardLink>> links;  // index == shard id
+  std::unordered_map<uint64_t, ShardLink*> links_by_id;
+  /// Connections owed a writev at batch end (ids; flush_pending dedupes).
+  std::vector<uint64_t> dirty;
 
-  void Flush() {
-    for (auto& [session, completions] : sessions) {
-      session->CompleteTickets(&completions);
-    }
-    sessions.clear();
-  }
-};
+  // Accept state (loop 0 only).
+  bool accept_armed = false;
+  uint64_t accept_rearm_deadline_ms = 0;
+  uint64_t accept_backoff_ms = 0;
 
-/// Coordinator-side state of one cross-shard transaction. The session
-/// thread owns the decision; shard reader threads deliver votes and acks.
-struct ShardRouter::GlobalTxn {
-  uint64_t gtid = 0;
-
+  // Cross-thread inbox, drained on Op::kWakeup.
   Mutex mu;
-  CondVar cv;
-  int votes_outstanding GUARDED_BY(mu) = 0;
-  bool any_no GUARDED_BY(mu) = false;
-  StatusCode no_status GUARDED_BY(mu) = StatusCode::kOk;
-  bool decided GUARDED_BY(mu) = false;
-  bool commit GUARDED_BY(mu) = false;
-  std::vector<uint32_t> yes_shards GUARDED_BY(mu);
-  int acks_outstanding GUARDED_BY(mu) = 0;
+  std::vector<int> pending_fds GUARDED_BY(mu);
+  std::vector<CoordinatorResult> pending_results GUARDED_BY(mu);
+};
+
+/// One blocking 2PC coordinator thread with its own shard connections
+/// (lazily connected; each connect runs the in-doubt sweep first).
+struct ShardRouter::Coordinator {
+  std::thread thread;
+  std::vector<std::unique_ptr<server::Client>> clients;  // index == shard id
 };
 
 ShardRouter::ShardRouter(ShardRouterOptions options)
@@ -226,7 +174,7 @@ ShardRouter::ShardRouter(ShardRouterOptions options)
 ShardRouter::~ShardRouter() { Stop(); }
 
 Status ShardRouter::Start() {
-  NEXT700_CHECK(listen_fd_ < 0);
+  NEXT700_CHECK(!running_);
   gtid_base_ = WallNanos();
 
   // Prior commit decisions first (the scan reads the existing segments),
@@ -245,7 +193,35 @@ Status ShardRouter::Start() {
   decision_log_ = std::make_unique<LogManager>(log_options);
   NEXT700_RETURN_IF_ERROR(decision_log_->Open());
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    std::string host;
+    uint16_t shard_port = 0;
+    if (!ParseHostPort(options_.shards[i], &host, &shard_port)) {
+      return Status::InvalidArgument("bad shard address: " +
+                                     options_.shards[i]);
+    }
+    shard_addrs_.emplace_back(std::move(host), shard_port);
+  }
+
+  // Event loops (and their backends) before the listen socket so a
+  // backend-creation failure (kUring on an old kernel) leaks nothing.
+  const uint32_t nloops = ResolveNumLoops(options_.num_loops);
+  for (uint32_t i = 0; i < nloops; ++i) {
+    auto loop = std::make_unique<RouterLoop>();
+    loop->index = i;
+    NEXT700_RETURN_IF_ERROR(
+        io::CreateIoBackend(options_.io_backend, &loop->io));
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      auto link = std::make_unique<ShardLink>();
+      link->shard_id = s;
+      link->rng ^= i * 2654435761ull + s + 1;
+      loop->links.push_back(std::move(link));
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return Status::IOError("socket() failed");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -267,159 +243,476 @@ Status ShardRouter::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
 
-  for (size_t i = 0; i < options_.shards.size(); ++i) {
-    auto sc = std::make_unique<ShardConn>();
-    sc->shard_id = static_cast<uint32_t>(i);
-    if (!ParseHostPort(options_.shards[i], &sc->host, &sc->port)) {
-      return Status::InvalidArgument("bad shard address: " +
-                                     options_.shards[i]);
-    }
-    shard_conns_.push_back(std::move(sc));
-  }
+  // Arm loop 0's persistent accept before its thread starts (no
+  // concurrency yet, so the single-owner contract holds).
+  NEXT700_RETURN_IF_ERROR(loops_[0]->io->SubmitAccept(listen_fd_, kAcceptUd));
+  loops_[0]->accept_armed = true;
 
   stop_.store(false, std::memory_order_release);
-  for (auto& sc : shard_conns_) {
-    ShardConn* raw = sc.get();
-    raw->reader = std::thread([this, raw] { ShardLoop(raw); });
+  {
+    MutexLock lock(&shards_mu_);
+    links_up_ = 0;
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  {
+    MutexLock lock(&jobs_mu_);
+    jobs_stopped_ = false;
+  }
+  const int ncoord = std::max(1, options_.coordinator_threads);
+  for (int i = 0; i < ncoord; ++i) {
+    auto coord = std::make_unique<Coordinator>();
+    Coordinator* raw = coord.get();
+    raw->thread = std::thread([this, raw] { CoordinatorRun(raw); });
+    coordinators_.push_back(std::move(coord));
+  }
+  for (auto& loop : loops_) {
+    RouterLoop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { LoopRun(raw); });
+  }
+  running_ = true;
   return Status::OK();
 }
 
 void ShardRouter::Stop() {
-  if (listen_fd_ < 0) return;
+  if (loops_.empty() && coordinators_.empty() && listen_fd_ < 0) {
+    if (decision_log_ != nullptr) decision_log_->Close();
+    return;
+  }
   stop_.store(true, std::memory_order_release);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+
+  // Coordinators first: they post into loop inboxes and Wakeup loop
+  // backends, so the loops (and their backends) must outlive them.
   {
-    MutexLock lock(&sessions_mu_);
-    for (auto& session : sessions_) {
-      session->closed.store(true, std::memory_order_release);
-      ::shutdown(session->fd, SHUT_RDWR);
+    MutexLock lock(&jobs_mu_);
+    jobs_stopped_ = true;
+  }
+  jobs_cv_.NotifyAll();
+  for (auto& coord : coordinators_) {
+    if (coord->thread.joinable()) coord->thread.join();
+  }
+
+  for (auto& loop : loops_) {
+    if (loop->io != nullptr) loop->io->Wakeup();
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  {
+    MutexLock lock(&shards_mu_);
+  }
+  shards_cv_.NotifyAll();  // Unpark WaitShardsConnected; it observes stop_.
+
+  // Loop threads are joined: this thread owns their state now.
+  for (auto& loop : loops_) {
+    for (auto& [id, conn] : loop->sessions) {
+      ::close(conn->fd());
+      stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+    }
+    loop->sessions.clear();
+    for (auto& link : loop->links) {
+      if (link->conn != nullptr) {
+        ::close(link->conn->fd());
+        link->conn.reset();
+      }
+    }
+    loop->links_by_id.clear();
+    {
+      MutexLock lock(&loop->mu);
+      for (const int fd : loop->pending_fds) ::close(fd);
+      loop->pending_fds.clear();
+      loop->pending_results.clear();
+    }
+    if (loop->io != nullptr) {
+      io_syscalls_retired_.fetch_add(
+          loop->io->counters().syscalls.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      loop->io.reset();
     }
   }
-  std::vector<std::thread> session_threads;
-  {
-    MutexLock lock(&sessions_mu_);
-    session_threads.swap(session_threads_);
+  loops_.clear();
+  coordinators_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  for (auto& t : session_threads) t.join();
-  for (auto& sc : shard_conns_) {
-    if (sc->reader.joinable()) sc->reader.join();
-  }
-  shard_conns_.clear();
   if (decision_log_ != nullptr) decision_log_->Close();
+  running_ = false;
 }
 
 bool ShardRouter::WaitShardsConnected(int64_t timeout_ms) {
-  const uint64_t deadline = MonotonicMs() + static_cast<uint64_t>(timeout_ms);
-  for (;;) {
-    bool all_up = true;
-    for (auto& sc : shard_conns_) {
-      MutexLock lock(&sc->mu);
-      if (!sc->up) all_up = false;
-    }
-    if (all_up) return true;
-    if (MonotonicMs() >= deadline) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const uint32_t target =
+      static_cast<uint32_t>(loops_.size()) * num_shards();
+  MutexLock lock(&shards_mu_);
+  while (links_up_ < target && !stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    shards_cv_.WaitFor(&shards_mu_, deadline - now);
   }
+  return links_up_ >= target;
 }
 
-// --- Accept + client sessions ------------------------------------------
+uint64_t ShardRouter::io_syscalls() const {
+  uint64_t total = io_syscalls_retired_.load(std::memory_order_relaxed);
+  for (const auto& loop : loops_) {
+    if (loop->io != nullptr) {
+      total += loop->io->counters().syscalls.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
 
-void ShardRouter::AcceptLoop() {
+// --- Event loop ----------------------------------------------------------
+
+void ShardRouter::LoopRun(RouterLoop* loop) {
+  std::vector<io::IoEvent> events(kMaxEvents);
   while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0) continue;
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) continue;
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto session = std::make_shared<ClientSession>();
-    session->fd = fd;
-    MutexLock lock(&sessions_mu_);
-    sessions_.push_back(session);
-    session_threads_.emplace_back(
-        [this, session] { SessionLoop(session); });
-  }
-}
-
-void ShardRouter::SessionLoop(std::shared_ptr<ClientSession> session) {
-  server::FrameDecoder decoder;
-  bool handshaken = false;
-  uint64_t next_ticket = 0;
-  uint8_t buf[64 * 1024];
-  ForwardBatch batch(num_shards());
-  while (!stop_.load(std::memory_order_acquire) &&
-         !session->closed.load(std::memory_order_acquire)) {
-    pollfd pfd{session->fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const ssize_t n = ::read(session->fd, buf, sizeof(buf));
-    if (n == 0) break;
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      break;
-    }
-    decoder.Feed(buf, static_cast<size_t>(n));
-    for (;;) {
-      server::Frame frame;
-      bool have = false;
-      if (!decoder.Next(&frame, &have).ok()) {
-        session->closed.store(true, std::memory_order_release);
-        break;
-      }
-      if (!have) break;
-      if (!handshaken) {
-        server::Hello hello;
-        if (frame.type != FrameType::kHello ||
-            !server::DecodeHello(frame.body, frame.body_len, &hello).ok() ||
-            hello.role != PeerRole::kClient) {
-          session->closed.store(true, std::memory_order_release);
+    ProcessTimers(loop);
+    FlushDirty(loop);
+    const int n =
+        loop->io->Reap(events.data(), kMaxEvents, ComputeReapTimeout(loop));
+    if (n < 0) break;  // Broken backend; Stop() cleans up.
+    for (int i = 0; i < n; ++i) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      const io::IoEvent& ev = events[i];
+      switch (ev.op) {
+        case io::IoEvent::Op::kWakeup:
+          DrainInbox(loop);
+          break;
+        case io::IoEvent::Op::kAccept:
+          HandleAccept(loop, ev.result);
+          break;
+        case io::IoEvent::Op::kRead:
+        case io::IoEvent::Op::kWrite: {
+          const uint64_t id = ev.user_data >> 1;
+          const bool is_write = (ev.user_data & 1) != 0;
+          auto sit = loop->sessions.find(id);
+          if (sit != loop->sessions.end()) {
+            server::Connection* conn = sit->second.get();
+            if (is_write) {
+              HandleSessionWrite(loop, conn, ev.result);
+            } else {
+              HandleSessionRead(loop, conn, ev.result);
+            }
+            break;
+          }
+          auto lit = loop->links_by_id.find(id);
+          if (lit != loop->links_by_id.end()) {
+            if (is_write) {
+              HandleLinkWrite(loop, lit->second, ev.result);
+            } else {
+              HandleLinkRead(loop, lit->second, ev.result);
+            }
+          }
+          // Neither: a stale completion for a connection already torn
+          // down. Drop it.
           break;
         }
-        std::vector<uint8_t> ack;
-        server::EncodeHelloAck(server::HelloAck{}, &ack);
-        {
-          MutexLock lock(&session->mu);
-          if (!session->WriteAll(ack)) {
-            session->closed.store(true, std::memory_order_release);
-          }
-        }
-        handshaken = true;
-        continue;
-      }
-      if (frame.type != FrameType::kRequest) {
-        session->closed.store(true, std::memory_order_release);
-        break;
-      }
-      if (!RouteRequest(session, next_ticket++, frame, &batch)) {
-        session->closed.store(true, std::memory_order_release);
-        break;
+        case io::IoEvent::Op::kFsync:
+          break;  // The router submits no fsyncs on the loop backends.
       }
     }
-    // End of the read burst: everything staged goes out, one send per
-    // shard. (A cross-shard transaction inside the burst already flushed
-    // ahead of itself to preserve per-connection order.)
-    FlushForwards(session, &batch);
   }
-  session->closed.store(true, std::memory_order_release);
 }
 
-// --- Routing ------------------------------------------------------------
+int ShardRouter::ComputeReapTimeout(RouterLoop* loop) const {
+  uint64_t next = UINT64_MAX;
+  for (const auto& link : loop->links) {
+    if (link->state == ShardLink::State::kDown) {
+      next = std::min(next, link->retry_deadline_ms);
+    }
+  }
+  if (loop->index == 0 && !loop->accept_armed) {
+    next = std::min(next, loop->accept_rearm_deadline_ms);
+  }
+  if (next == UINT64_MAX) return -1;  // Nothing timed; block until an event.
+  const uint64_t now = MonotonicMs();
+  if (next <= now) return 0;
+  return static_cast<int>(std::min<uint64_t>(next - now, 60 * 1000));
+}
 
-bool ShardRouter::RouteRequest(const std::shared_ptr<ClientSession>& session,
-                               uint64_t ticket, const server::Frame& frame,
-                               ForwardBatch* batch) {
+void ShardRouter::ProcessTimers(RouterLoop* loop) {
+  const uint64_t now = MonotonicMs();
+  for (auto& link : loop->links) {
+    if (link->state == ShardLink::State::kDown &&
+        link->retry_deadline_ms <= now) {
+      StartConnectLink(loop, link.get());
+    }
+  }
+  if (loop->index == 0 && !loop->accept_armed &&
+      loop->accept_rearm_deadline_ms <= now) {
+    if (loop->io->SubmitAccept(listen_fd_, kAcceptUd).ok()) {
+      loop->accept_armed = true;
+    } else {
+      loop->accept_rearm_deadline_ms = now + kAcceptBackoffMaxMs;
+    }
+  }
+}
+
+void ShardRouter::DrainInbox(RouterLoop* loop) {
+  std::vector<int> fds;
+  std::vector<CoordinatorResult> results;
+  {
+    MutexLock lock(&loop->mu);
+    fds.swap(loop->pending_fds);
+    results.swap(loop->pending_results);
+  }
+  for (const int fd : fds) AdoptSession(loop, fd);
+  for (CoordinatorResult& result : results) {
+    auto it = loop->sessions.find(result.session_id);
+    if (it == loop->sessions.end()) continue;  // Session died mid-2PC.
+    it->second->Complete(result.ticket, std::move(result.encoded));
+    ReleaseSessionReplies(loop, it->second.get());
+  }
+}
+
+void ShardRouter::MarkDirty(RouterLoop* loop, uint64_t conn_id) {
+  loop->dirty.push_back(conn_id);
+}
+
+void ShardRouter::FlushDirty(RouterLoop* loop) {
+  if (loop->dirty.empty()) return;
+  // Swap first: teardown/error paths may re-dirty connections.
+  std::vector<uint64_t> ids;
+  ids.swap(loop->dirty);
+  for (const uint64_t id : ids) {
+    auto sit = loop->sessions.find(id);
+    if (sit != loop->sessions.end()) {
+      server::Connection* conn = sit->second.get();
+      conn->set_flush_pending(false);
+      if (!conn->write_inflight() && conn->has_pending_writes()) {
+        StartConnWrite(loop, conn);
+      }
+      continue;
+    }
+    auto lit = loop->links_by_id.find(id);
+    if (lit != loop->links_by_id.end()) {
+      ShardLink* link = lit->second;
+      link->conn->set_flush_pending(false);
+      if (!link->conn->write_inflight() && link->conn->has_pending_writes()) {
+        StartConnWrite(loop, link->conn.get());
+      }
+    }
+  }
+}
+
+void ShardRouter::StartConnWrite(RouterLoop* loop, server::Connection* conn) {
+  const int iovcnt = conn->BuildIovec(conn->iov());
+  if (iovcnt == 0) return;
+  const Status submitted = loop->io->SubmitWritev(conn->fd(), conn->iov(),
+                                                  iovcnt, WriteUd(conn->id()));
+  if (!submitted.ok()) {
+    // Surface the failure through the completion path so session close and
+    // link teardown stay in one place.
+    auto lit = loop->links_by_id.find(conn->id());
+    if (lit != loop->links_by_id.end()) {
+      TeardownLink(loop, lit->second);
+    } else {
+      CloseSession(loop, conn->id());
+    }
+    return;
+  }
+  conn->set_write_inflight(true);
+  stats_.writev_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.frames_batched.fetch_add(static_cast<uint64_t>(iovcnt),
+                                  std::memory_order_relaxed);
+}
+
+// --- Accept path ---------------------------------------------------------
+
+void ShardRouter::HandleAccept(RouterLoop* loop, int32_t result) {
+  if (result < 0) {
+    if (result == -ECONNABORTED || result == -EAGAIN || result == -EINTR) {
+      return;  // The peer gave up or a spurious wake; the accept stays armed.
+    }
+    // EMFILE/ENFILE/ENOMEM...: a level-triggered listener would report
+    // readiness forever, so disarm and re-arm after a growing backoff
+    // instead of spinning a core until an fd frees.
+    stats_.accept_errors.fetch_add(1, std::memory_order_relaxed);
+    loop->io->CancelFd(listen_fd_);
+    loop->accept_armed = false;
+    loop->accept_backoff_ms =
+        loop->accept_backoff_ms == 0
+            ? kAcceptBackoffMinMs
+            : std::min(loop->accept_backoff_ms * 2, kAcceptBackoffMaxMs);
+    loop->accept_rearm_deadline_ms = MonotonicMs() + loop->accept_backoff_ms;
+    return;
+  }
+  loop->accept_backoff_ms = 0;
+  const uint32_t target_index =
+      accept_rr_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(loops_.size());
+  RouterLoop* target = loops_[target_index].get();
+  if (target == loop) {
+    AdoptSession(loop, result);
+    return;
+  }
+  {
+    MutexLock lock(&target->mu);
+    target->pending_fds.push_back(result);
+  }
+  target->io->Wakeup();
+}
+
+void ShardRouter::AdoptSession(RouterLoop* loop, int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const uint64_t id = loop->next_id++;
+  auto conn = std::make_unique<server::Connection>(fd, id);
+  server::Connection* raw = conn.get();
+  loop->sessions.emplace(id, std::move(conn));
+  stats_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+  StartSessionRead(loop, raw);
+}
+
+// --- Client sessions -----------------------------------------------------
+
+void ShardRouter::StartSessionRead(RouterLoop* loop,
+                                   server::Connection* conn) {
+  uint8_t* buf = conn->EnsureReadBuffer(kReadBufBytes);
+  const Status submitted =
+      loop->io->SubmitRead(conn->fd(), buf, kReadBufBytes, ReadUd(conn->id()));
+  if (!submitted.ok()) {
+    CloseSession(loop, conn->id());
+    return;
+  }
+  conn->set_read_inflight(true);
+}
+
+void ShardRouter::HandleSessionRead(RouterLoop* loop,
+                                    server::Connection* conn,
+                                    int32_t result) {
+  conn->set_read_inflight(false);
+  if (result == 0) {
+    // Peer EOF: drain what is buffered, then close once every admitted
+    // request has been answered and written.
+    conn->set_draining();
+    if (DrainSessionFrames(loop, conn)) MaybeCloseDrained(loop, conn);
+    return;
+  }
+  if (result < 0) {
+    if (result == -EAGAIN || result == -EINTR) {
+      StartSessionRead(loop, conn);
+      return;
+    }
+    CloseSession(loop, conn->id());
+    return;
+  }
+  conn->decoder()->Feed(conn->read_buf(), static_cast<size_t>(result));
+  if (!DrainSessionFrames(loop, conn)) return;
+  StartSessionRead(loop, conn);
+}
+
+void ShardRouter::HandleSessionWrite(RouterLoop* loop,
+                                     server::Connection* conn,
+                                     int32_t result) {
+  conn->set_write_inflight(false);
+  if (result < 0) {
+    if (result == -EAGAIN || result == -EINTR) {
+      if (conn->has_pending_writes()) StartConnWrite(loop, conn);
+      return;
+    }
+    CloseSession(loop, conn->id());
+    return;
+  }
+  conn->ConsumeWritten(static_cast<size_t>(result));
+  if (conn->has_pending_writes()) {
+    StartConnWrite(loop, conn);  // Short write: resume the remainder.
+    return;
+  }
+  MaybeCloseDrained(loop, conn);
+}
+
+bool ShardRouter::DrainSessionFrames(RouterLoop* loop,
+                                     server::Connection* conn) {
+  for (;;) {
+    server::Frame frame;
+    bool have = false;
+    if (!conn->decoder()->Next(&frame, &have).ok()) {
+      CloseSession(loop, conn->id());
+      return false;
+    }
+    if (!have) return true;
+    if (!conn->handshaken()) {
+      server::Hello hello;
+      if (frame.type != FrameType::kHello ||
+          !server::DecodeHello(frame.body, frame.body_len, &hello).ok() ||
+          hello.role != PeerRole::kClient) {
+        CloseSession(loop, conn->id());
+        return false;
+      }
+      conn->set_handshaken();
+      conn->set_peer(PeerRole::kClient);
+      std::vector<uint8_t> ack;
+      server::EncodeHelloAck(server::HelloAck{}, &ack);
+      conn->EnqueueRaw(ack.data(), ack.size());
+      if (!conn->flush_pending()) {
+        conn->set_flush_pending(true);
+        MarkDirty(loop, conn->id());
+      }
+      continue;
+    }
+    if (frame.type != FrameType::kRequest) {
+      CloseSession(loop, conn->id());
+      return false;
+    }
+    RouteRequest(loop, conn, conn->AdmitRequest(), frame);
+  }
+}
+
+bool ShardRouter::MaybeCloseDrained(RouterLoop* loop,
+                                    server::Connection* conn) {
+  if (!conn->draining()) return false;
+  if (conn->pending_responses() != 0) return false;
+  if (conn->has_pending_writes() || conn->write_inflight()) return false;
+  if (conn->decoder()->buffered_bytes() != 0) return false;
+  CloseSession(loop, conn->id());
+  return true;
+}
+
+void ShardRouter::CloseSession(RouterLoop* loop, uint64_t session_id) {
+  auto it = loop->sessions.find(session_id);
+  if (it == loop->sessions.end()) return;
+  server::Connection* conn = it->second.get();
+  loop->io->CancelFd(conn->fd());
+  ::close(conn->fd());
+  loop->sessions.erase(it);
+  stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  // Link expectations and in-flight coordinator jobs that still name this
+  // session id resolve to nothing at lookup time — no dangling state.
+}
+
+void ShardRouter::ReleaseSessionReplies(RouterLoop* loop,
+                                        server::Connection* conn) {
+  if (conn->FlushOrdered() > 0 && !conn->flush_pending()) {
+    conn->set_flush_pending(true);
+    MarkDirty(loop, conn->id());
+  }
+  MaybeCloseDrained(loop, conn);
+}
+
+void ShardRouter::ReplyError(RouterLoop* loop, server::Connection* conn,
+                             uint64_t ticket, uint64_t request_id,
+                             StatusCode code) {
+  server::Response response;
+  response.request_id = request_id;
+  response.status = code;
+  std::vector<uint8_t> encoded;
+  server::EncodeResponse(response, &encoded);
+  conn->Complete(ticket, std::move(encoded));
+  ReleaseSessionReplies(loop, conn);
+}
+
+// --- Routing -------------------------------------------------------------
+
+void ShardRouter::RouteRequest(RouterLoop* loop, server::Connection* conn,
+                               uint64_t ticket, const server::Frame& frame) {
   server::RequestView request;
   if (!server::DecodeRequestView(frame.body, frame.body_len, &request).ok()) {
     // Let a real engine produce the error response so clients see exactly
     // what a direct connection would have said.
-    StageForward(session, ticket, 0, frame, 0, batch);
-    return true;
+    StageForward(loop, conn, ticket, 0, frame, 0);
+    return;
   }
   const uint32_t num_shards = this->num_shards();
   server::WireReader args(request.args, request.args_len);
@@ -427,18 +720,18 @@ bool ShardRouter::RouteRequest(const std::shared_ptr<ClientSession>& session,
     uint64_t key;
     const uint32_t target =
         args.GetU64(&key) ? server::KvShardOf(key, num_shards) : 0;
-    StageForward(session, ticket, target, frame, request.request_id, batch);
-    return true;
+    StageForward(loop, conn, ticket, target, frame, request.request_id);
+    return;
   }
   if (request.proc_id != server::kKvRmw) {
-    StageForward(session, ticket, 0, frame, request.request_id, batch);
-    return true;
+    StageForward(loop, conn, ticket, 0, frame, request.request_id);
+    return;
   }
   uint16_t nkeys = 0;
   if (!args.GetU16(&nkeys) || nkeys == 0 ||
       args.remaining() != nkeys * sizeof(uint64_t)) {
-    StageForward(session, ticket, 0, frame, request.request_id, batch);
-    return true;
+    StageForward(loop, conn, ticket, 0, frame, request.request_id);
+    return;
   }
   std::vector<std::vector<uint64_t>> shard_keys(num_shards);
   uint32_t shards_touched = 0;
@@ -454,76 +747,439 @@ bool ShardRouter::RouteRequest(const std::shared_ptr<ClientSession>& session,
     shard_keys[shard].push_back(key);
   }
   if (shards_touched == 1) {
-    StageForward(session, ticket, single, frame, request.request_id, batch);
+    StageForward(loop, conn, ticket, single, frame, request.request_id);
+    return;
+  }
+  // Cross-shard: hand the 2PC run to the coordinator pool — the event loop
+  // never blocks on votes. The reply comes back through this loop's inbox
+  // and the session's reorder buffer slots it into request order.
+  CrossShardJob job;
+  job.loop_index = loop->index;
+  job.session_id = conn->id();
+  job.ticket = ticket;
+  job.request_id = request.request_id;
+  job.shard_keys = std::move(shard_keys);
+  bool queued = false;
+  {
+    MutexLock lock(&jobs_mu_);
+    if (!jobs_stopped_) {
+      jobs_.push_back(std::move(job));
+      queued = true;
+    }
+  }
+  if (queued) {
+    jobs_cv_.NotifyOne();
+  } else {
+    ReplyError(loop, conn, ticket, request.request_id,
+               StatusCode::kUnavailable);
+  }
+}
+
+void ShardRouter::StageForward(RouterLoop* loop, server::Connection* conn,
+                               uint64_t ticket, uint32_t shard_id,
+                               const server::Frame& frame,
+                               uint64_t request_id) {
+  ShardLink* link = loop->links[shard_id].get();
+  if (link->state != ShardLink::State::kUp) {
+    // The client survives; only this request fails. Accepting forwards on
+    // a link mid-handshake would interleave them ahead of the in-doubt
+    // decisions and break reply pairing.
+    ReplyError(loop, conn, ticket, request_id, StatusCode::kUnavailable);
+    return;
+  }
+  std::vector<uint8_t> bytes;
+  AppendFrame(frame.type, frame.body, frame.body_len, &bytes);
+  link->conn->EnqueueRaw(bytes.data(), bytes.size());
+  Expectation expectation;
+  expectation.session_id = conn->id();
+  expectation.ticket = ticket;
+  expectation.request_id = request_id;
+  link->expect.push_back(expectation);
+  if (!link->conn->flush_pending()) {
+    // Every forward staged on this link within one reap batch rides the
+    // same gather write — the fast path's syscall budget.
+    link->conn->set_flush_pending(true);
+    MarkDirty(loop, link->conn->id());
+  }
+  stats_.forwarded.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- Shard links ---------------------------------------------------------
+
+void ShardRouter::StartConnectLink(RouterLoop* loop, ShardLink* link) {
+  const auto& [host, shard_port] = shard_addrs_[link->shard_id];
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    TeardownLink(loop, link);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(shard_port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    TeardownLink(loop, link);
+    return;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    TeardownLink(loop, link);
+    return;
+  }
+  const uint64_t id = loop->next_id++;
+  link->conn = std::make_unique<server::Connection>(fd, id);
+  loop->links_by_id.emplace(id, link);
+  link->state = ShardLink::State::kHello;
+  link->resolve_pending = -1;
+  // Queue the handshake + in-doubt query now; the backend parks the writev
+  // until the (possibly still in-progress) connect makes the socket
+  // writable, and a failed connect surfaces as the write error. The read
+  // is armed off the first write completion.
+  std::vector<uint8_t> bytes;
+  server::Hello hello;
+  hello.role = PeerRole::kCoordinator;
+  server::EncodeHello(hello, &bytes);
+  server::EncodeInDoubtQuery(&bytes);
+  link->conn->EnqueueRaw(bytes.data(), bytes.size());
+  link->conn->set_flush_pending(true);
+  MarkDirty(loop, id);
+}
+
+void ShardRouter::StartLinkRead(RouterLoop* loop, ShardLink* link) {
+  server::Connection* conn = link->conn.get();
+  uint8_t* buf = conn->EnsureReadBuffer(kReadBufBytes);
+  const Status submitted =
+      loop->io->SubmitRead(conn->fd(), buf, kReadBufBytes, ReadUd(conn->id()));
+  if (!submitted.ok()) {
+    TeardownLink(loop, link);
+    return;
+  }
+  conn->set_read_inflight(true);
+}
+
+void ShardRouter::HandleLinkWrite(RouterLoop* loop, ShardLink* link,
+                                  int32_t result) {
+  server::Connection* conn = link->conn.get();
+  conn->set_write_inflight(false);
+  if (result < 0) {
+    if (result == -EAGAIN || result == -EINTR) {
+      if (conn->has_pending_writes()) StartConnWrite(loop, conn);
+      return;
+    }
+    TeardownLink(loop, link);
+    return;
+  }
+  conn->ConsumeWritten(static_cast<size_t>(result));
+  if (conn->has_pending_writes()) {
+    StartConnWrite(loop, conn);
+    if (link->conn == nullptr) return;  // Submit failure tore the link down.
+  }
+  if (!conn->read_inflight()) StartLinkRead(loop, link);
+}
+
+void ShardRouter::HandleLinkRead(RouterLoop* loop, ShardLink* link,
+                                 int32_t result) {
+  server::Connection* conn = link->conn.get();
+  conn->set_read_inflight(false);
+  if (result == 0) {
+    TeardownLink(loop, link);
+    return;
+  }
+  if (result < 0) {
+    if (result == -EAGAIN || result == -EINTR) {
+      StartLinkRead(loop, link);
+      return;
+    }
+    TeardownLink(loop, link);
+    return;
+  }
+  conn->decoder()->Feed(conn->read_buf(), static_cast<size_t>(result));
+  if (!DrainLinkFrames(loop, link)) return;  // Torn down mid-drain.
+  StartLinkRead(loop, link);
+}
+
+bool ShardRouter::DrainLinkFrames(RouterLoop* loop, ShardLink* link) {
+  for (;;) {
+    server::Frame frame;
+    bool have = false;
+    if (!link->conn->decoder()->Next(&frame, &have).ok()) {
+      TeardownLink(loop, link);
+      return false;
+    }
+    if (!have) return true;
+    const std::vector<uint8_t> body(frame.body, frame.body + frame.body_len);
+    bool alive;
+    if (link->state == ShardLink::State::kUp) {
+      alive = HandleLinkForwardReply(loop, link, frame.type, body);
+    } else {
+      alive = HandleLinkHandshakeFrame(loop, link, frame.type, body);
+    }
+    if (!alive) return false;
+  }
+}
+
+bool ShardRouter::HandleLinkHandshakeFrame(RouterLoop* loop, ShardLink* link,
+                                           FrameType type,
+                                           const std::vector<uint8_t>& body) {
+  if (link->state == ShardLink::State::kHello) {
+    server::HelloAck ack;
+    if (type != FrameType::kHelloAck ||
+        !server::DecodeHelloAck(body.data(), body.size(), &ack).ok()) {
+      TeardownLink(loop, link);
+      return false;
+    }
+    link->state = ShardLink::State::kResolve;
     return true;
   }
-  // The 2PC run blocks this thread on votes; staged forwards must not sit
-  // behind that wait, and prepares must not overtake earlier forwards on
-  // the same shard connection.
-  FlushForwards(session, batch);
-  RunCrossShard(session, ticket, request.request_id, shard_keys);
+  NEXT700_CHECK(link->state == ShardLink::State::kResolve);
+  if (link->resolve_pending < 0) {
+    // First frame after the HelloAck answers the in-doubt query.
+    server::InDoubtList list;
+    if (type != FrameType::kInDoubtList ||
+        !server::DecodeInDoubtList(body.data(), body.size(), &list).ok()) {
+      TeardownLink(loop, link);
+      return false;
+    }
+    int sent = 0;
+    std::vector<uint8_t> enc;
+    for (const uint64_t gtid : list.gtids) {
+      bool commit = false;
+      bool skip = false;
+      ClassifyInDoubt(gtid, &commit, &skip);
+      if (skip) continue;  // A live coordinator thread owns this outcome.
+      server::Decision decision;
+      decision.gtid = gtid;
+      enc.clear();
+      server::EncodeDecision(commit ? FrameType::kCommitDecision
+                                    : FrameType::kAbortDecision,
+                             decision, &enc);
+      link->conn->EnqueueRaw(enc.data(), enc.size());
+      ++sent;
+    }
+    link->resolve_pending = sent;
+    if (sent == 0) {
+      LinkUp(loop, link);
+      return true;
+    }
+    if (!link->conn->flush_pending()) {
+      link->conn->set_flush_pending(true);
+      MarkDirty(loop, link->conn->id());
+    }
+    return true;
+  }
+  server::DecisionAck ack;
+  if (type != FrameType::kDecisionAck ||
+      !server::DecodeDecisionAck(body.data(), body.size(), &ack).ok()) {
+    TeardownLink(loop, link);
+    return false;
+  }
+  stats_.resolved_in_doubt.fetch_add(1, std::memory_order_relaxed);
+  if (--link->resolve_pending == 0) LinkUp(loop, link);
   return true;
 }
 
-void ShardRouter::StageForward(const std::shared_ptr<ClientSession>& session,
-                               uint64_t ticket, uint32_t shard_id,
-                               const server::Frame& frame, uint64_t request_id,
-                               ForwardBatch* batch) {
-  ForwardBatch::PerShard& per = batch->shards[shard_id];
-  AppendFrame(frame.type, frame.body, frame.body_len, &per.bytes);
-  Expectation expectation;
-  expectation.kind = Expectation::kForward;
-  expectation.session = session;
-  expectation.ticket = ticket;
-  expectation.request_id = request_id;
-  per.expectations.push_back(std::move(expectation));
-  per.ids.emplace_back(ticket, request_id);
+bool ShardRouter::HandleLinkForwardReply(RouterLoop* loop, ShardLink* link,
+                                         FrameType type,
+                                         const std::vector<uint8_t>& body) {
+  if (link->expect.empty() || type != FrameType::kResponse) {
+    // A reply nothing asked for (or the wrong kind): the FIFO contract is
+    // broken and the stream can no longer be paired up.
+    TeardownLink(loop, link);
+    return false;
+  }
+  const Expectation e = link->expect.front();
+  link->expect.pop_front();
+  auto it = loop->sessions.find(e.session_id);
+  if (it == loop->sessions.end()) return true;  // Session already closed.
+  std::vector<uint8_t> out;
+  AppendFrame(type, body.data(), body.size(), &out);
+  it->second->Complete(e.ticket, std::move(out));
+  ReleaseSessionReplies(loop, it->second.get());
+  return true;
 }
 
-void ShardRouter::FlushForwards(const std::shared_ptr<ClientSession>& session,
-                                ForwardBatch* batch) {
-  for (uint32_t shard = 0; shard < batch->shards.size(); ++shard) {
-    ForwardBatch::PerShard& per = batch->shards[shard];
-    if (per.bytes.empty()) continue;
-    const uint64_t count = per.expectations.size();
-    if (SendBatchToShard(shard_conns_[shard].get(), per.bytes,
-                         &per.expectations)) {
-      stats_.forwarded.fetch_add(count, std::memory_order_relaxed);
-    } else {
-      // The clients survive; only these requests failed.
-      for (const auto& [ticket, request_id] : per.ids) {
-        ReplyError(session, ticket, request_id, StatusCode::kUnavailable);
-      }
-    }
-    per.bytes.clear();
-    per.expectations.clear();
-    per.ids.clear();
+void ShardRouter::LinkUp(RouterLoop* loop, ShardLink* link) {
+  (void)loop;
+  link->state = ShardLink::State::kUp;
+  link->backoff_ms = 0;
+  {
+    MutexLock lock(&shards_mu_);
+    ++links_up_;
+  }
+  shards_cv_.NotifyAll();
+}
+
+void ShardRouter::TeardownLink(RouterLoop* loop, ShardLink* link) {
+  if (link->state == ShardLink::State::kUp) {
+    MutexLock lock(&shards_mu_);
+    --links_up_;
+  }
+  if (link->conn != nullptr) {
+    loop->io->CancelFd(link->conn->fd());
+    ::close(link->conn->fd());
+    loop->links_by_id.erase(link->conn->id());
+    link->conn.reset();
+  }
+  std::deque<Expectation> orphans;
+  orphans.swap(link->expect);
+  link->resolve_pending = -1;
+  link->state = ShardLink::State::kDown;
+  link->backoff_ms = link->backoff_ms == 0
+                         ? kLinkBackoffMinMs
+                         : std::min(link->backoff_ms * 2, kLinkBackoffMaxMs);
+  const uint64_t half = link->backoff_ms / 2;
+  link->retry_deadline_ms =
+      MonotonicMs() + half + XorShift64(&link->rng) % (half + 1);
+  for (const Expectation& e : orphans) {
+    auto it = loop->sessions.find(e.session_id);
+    if (it == loop->sessions.end()) continue;
+    ReplyError(loop, it->second.get(), e.ticket, e.request_id,
+               StatusCode::kUnavailable);
   }
 }
 
-void ShardRouter::RunCrossShard(
-    const std::shared_ptr<ClientSession>& session, uint64_t ticket,
-    uint64_t request_id,
-    const std::vector<std::vector<uint64_t>>& shard_keys) {
-  auto txn = std::make_shared<GlobalTxn>();
-  txn->gtid = NextGtid();
+// --- Coordinator pool ----------------------------------------------------
+
+void ShardRouter::CoordinatorRun(Coordinator* coord) {
+  coord->clients.resize(num_shards());
+  for (;;) {
+    CrossShardJob job;
+    {
+      MutexLock lock(&jobs_mu_);
+      while (jobs_.empty() && !jobs_stopped_) jobs_cv_.Wait(&jobs_mu_);
+      if (jobs_stopped_) break;  // Queued jobs die with the sessions.
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    RunCrossShard(coord, job);
+  }
+  for (auto& client : coord->clients) {
+    if (client != nullptr) client->Close();
+  }
+}
+
+Status ShardRouter::RecvFrameSliced(server::Client* client, FrameType* type,
+                                    std::vector<uint8_t>* body,
+                                    int64_t deadline_ms) {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("router stopping");
+    }
+    const uint64_t now = MonotonicMs();
+    if (static_cast<int64_t>(now) >= deadline_ms) {
+      return Status::DeadlineExceeded("frame wait timed out");
+    }
+    // Short slices keep Stop() prompt even mid-vote-wait.
+    const int64_t slice =
+        std::min<int64_t>(100, deadline_ms - static_cast<int64_t>(now));
+    const Status s = client->RecvFrame(type, body, slice);
+    if (!s.IsDeadlineExceeded()) return s;
+  }
+}
+
+void ShardRouter::ClassifyInDoubt(uint64_t gtid, bool* commit, bool* skip) {
+  MutexLock lock(&committed_mu_);
+  *commit = committed_.count(gtid) != 0;
+  // One critical section for both looks: a gtid that is neither committed
+  // nor active is decidedly dead (presumed abort). Checking the two sets
+  // under separate lock acquisitions would let a live transaction commit
+  // between them and be wrongly aborted.
+  *skip = !*commit && active_gtids_.count(gtid) != 0;
+}
+
+bool ShardRouter::EnsureShardClient(Coordinator* coord, uint32_t shard_id) {
+  auto& client = coord->clients[shard_id];
+  if (client == nullptr) client = std::make_unique<server::Client>();
+  if (client->connected()) return true;
+  if (stop_.load(std::memory_order_acquire)) return false;
+  const auto& [host, shard_port] = shard_addrs_[shard_id];
+  if (!client->Connect(host, shard_port, PeerRole::kCoordinator).ok()) {
+    client->Close();
+    return false;
+  }
+  // Resolve the shard's in-doubt backlog before using the connection; the
+  // stream carries nothing else yet, so the replies are unambiguous. This
+  // is also what un-parks a prepared branch orphaned by a vote timeout.
+  if (!ResolveInDoubtOn(client.get()).ok()) {
+    client->Close();
+    return false;
+  }
+  return true;
+}
+
+Status ShardRouter::ResolveInDoubtOn(server::Client* client) {
+  std::vector<uint8_t> enc;
+  server::EncodeInDoubtQuery(&enc);
+  NEXT700_RETURN_IF_ERROR(client->SendRaw(enc.data(), enc.size()));
+  FrameType type;
+  std::vector<uint8_t> body;
+  NEXT700_RETURN_IF_ERROR(RecvFrameSliced(
+      client, &type, &body, static_cast<int64_t>(MonotonicMs()) + 5000));
+  if (type != FrameType::kInDoubtList) {
+    return Status::InvalidArgument("shard answered in-doubt query with frame " +
+                                   std::to_string(static_cast<int>(type)));
+  }
+  server::InDoubtList list;
+  NEXT700_RETURN_IF_ERROR(
+      server::DecodeInDoubtList(body.data(), body.size(), &list));
+  for (const uint64_t gtid : list.gtids) {
+    bool commit = false;
+    bool skip = false;
+    ClassifyInDoubt(gtid, &commit, &skip);
+    if (skip) continue;  // A live coordinator thread owns this outcome.
+    server::Decision decision;
+    decision.gtid = gtid;
+    enc.clear();
+    server::EncodeDecision(
+        commit ? FrameType::kCommitDecision : FrameType::kAbortDecision,
+        decision, &enc);
+    NEXT700_RETURN_IF_ERROR(client->SendRaw(enc.data(), enc.size()));
+    NEXT700_RETURN_IF_ERROR(RecvFrameSliced(
+        client, &type, &body, static_cast<int64_t>(MonotonicMs()) + 5000));
+    server::DecisionAck ack;
+    if (type != FrameType::kDecisionAck ||
+        !server::DecodeDecisionAck(body.data(), body.size(), &ack).ok()) {
+      return Status::InvalidArgument("bad decision ack during resolution");
+    }
+    stats_.resolved_in_doubt.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void ShardRouter::RunCrossShard(Coordinator* coord, const CrossShardJob& job) {
+  const uint64_t gtid = NextGtid();
+  {
+    // Claim the gtid before any prepare leaves: a link's concurrent
+    // in-doubt sweep must skip it, not presume abort.
+    MutexLock lock(&committed_mu_);
+    active_gtids_.insert(gtid);
+  }
+
+  std::vector<uint32_t> participants;
+  for (uint32_t shard = 0; shard < job.shard_keys.size(); ++shard) {
+    if (!job.shard_keys[shard].empty()) participants.push_back(shard);
+  }
 
   // Phase one: one Prepare per participating shard, carrying that shard's
   // slice of the key set (kKvRmw argument encoding) and the global
   // partition ids those keys map to.
-  std::vector<uint32_t> participants;
-  for (uint32_t shard = 0; shard < shard_keys.size(); ++shard) {
-    if (!shard_keys[shard].empty()) participants.push_back(shard);
-  }
-  {
-    MutexLock lock(&txn->mu);
-    txn->votes_outstanding = static_cast<int>(participants.size());
-  }
-  int sent = 0;
+  bool any_no = false;
+  StatusCode fail_code = StatusCode::kOk;
+  std::vector<uint32_t> prepared;
   for (const uint32_t shard : participants) {
-    const std::vector<uint64_t>& keys = shard_keys[shard];
+    if (!EnsureShardClient(coord, shard)) {
+      any_no = true;
+      if (fail_code == StatusCode::kOk) fail_code = StatusCode::kUnavailable;
+      continue;
+    }
+    const std::vector<uint64_t>& keys = job.shard_keys[shard];
     server::Prepare prepare;
-    prepare.gtid = txn->gtid;
+    prepare.gtid = gtid;
     prepare.proc_id = server::kKvRmw;
     for (const uint64_t key : keys) {
       prepare.partitions.push_back(
@@ -538,21 +1194,16 @@ void ShardRouter::RunCrossShard(
     for (const uint64_t key : keys) args.PutU64(key);
     std::vector<uint8_t> bytes;
     server::EncodePrepare(prepare, &bytes);
-    Expectation expectation;
-    expectation.kind = Expectation::kVote;
-    expectation.txn = txn;
-    if (SendToShard(shard_conns_[shard].get(), bytes,
-                    std::move(expectation))) {
-      ++sent;
+    if (coord->clients[shard]->SendRaw(bytes.data(), bytes.size()).ok()) {
+      prepared.push_back(shard);
     } else {
-      MutexLock lock(&txn->mu);
-      txn->any_no = true;
-      txn->no_status = StatusCode::kUnavailable;
-      --txn->votes_outstanding;
+      coord->clients[shard]->Close();
+      any_no = true;
+      if (fail_code == StatusCode::kOk) fail_code = StatusCode::kUnavailable;
     }
   }
 
-  if (options_.crash_after_prepares_sent > 0 && sent > 0 &&
+  if (options_.crash_after_prepares_sent > 0 && !prepared.empty() &&
       cross_shard_started_.fetch_add(1, std::memory_order_relaxed) + 1 ==
           options_.crash_after_prepares_sent) {
     // Coordinator crash window: prepares are out, the decision is not
@@ -562,97 +1213,116 @@ void ShardRouter::RunCrossShard(
     ::_exit(42);
   }
 
-  // Collect votes (session thread blocks; shard readers deliver).
-  bool commit;
-  StatusCode fail_code;
+  // Collect votes in send order under one absolute deadline (each client
+  // is exclusively this thread's, so the per-connection FIFO pairs votes
+  // with prepares). A client whose vote never arrived is closed — its
+  // stream still owes a frame and could not be paired afterwards.
+  const int64_t vote_deadline =
+      static_cast<int64_t>(MonotonicMs()) + options_.vote_timeout_ms;
   std::vector<uint32_t> yes_shards;
-  {
-    MutexLock lock(&txn->mu);
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(options_.vote_timeout_ms);
-    while (txn->votes_outstanding > 0 && !txn->any_no) {
-      if (txn->cv.WaitFor(&txn->mu, deadline -
-                                        std::chrono::steady_clock::now()) ==
-              std::cv_status::timeout &&
-          txn->votes_outstanding > 0) {
-        txn->any_no = true;
-        txn->no_status = StatusCode::kDeadlineExceeded;
-        stats_.vote_timeouts.fetch_add(1, std::memory_order_relaxed);
-        break;
+  bool timed_out = false;
+  for (const uint32_t shard : prepared) {
+    FrameType type;
+    std::vector<uint8_t> body;
+    const Status s =
+        RecvFrameSliced(coord->clients[shard].get(), &type, &body,
+                        vote_deadline);
+    if (!s.ok()) {
+      coord->clients[shard]->Close();
+      any_no = true;
+      if (s.IsDeadlineExceeded()) timed_out = true;
+      if (fail_code == StatusCode::kOk) {
+        fail_code = s.IsDeadlineExceeded() ? StatusCode::kDeadlineExceeded
+                                           : StatusCode::kUnavailable;
       }
+      continue;
     }
-    commit = !txn->any_no;
-    fail_code = txn->no_status;
-    txn->decided = true;
-    txn->commit = commit;
-    yes_shards = txn->yes_shards;
+    server::Vote vote;
+    if (type != FrameType::kVote ||
+        !server::DecodeVote(body.data(), body.size(), &vote).ok() ||
+        vote.gtid != gtid) {
+      coord->clients[shard]->Close();
+      any_no = true;
+      if (fail_code == StatusCode::kOk) fail_code = StatusCode::kUnavailable;
+      continue;
+    }
+    if (vote.status == StatusCode::kOk) {
+      yes_shards.push_back(shard);
+    } else {
+      any_no = true;
+      if (fail_code == StatusCode::kOk) fail_code = vote.status;
+    }
+  }
+  if (timed_out) {
+    stats_.vote_timeouts.fetch_add(1, std::memory_order_relaxed);
   }
 
+  bool commit = !any_no;
   uint64_t decision_lsn = 0;
   if (commit) {
     // The commit point: the decision is durable in the coordinator log
     // before any reply or decision frame leaves this process. Aborts are
     // never logged (presumed abort).
-    uint8_t body[8];
-    server::StoreLE64(txn->gtid, body);
-    decision_lsn =
-        decision_log_->Append(LogRecordType::kCoordDecision, body,
-                              sizeof(body));
+    uint8_t decision_body[8];
+    server::StoreLE64(gtid, decision_body);
+    decision_lsn = decision_log_->Append(LogRecordType::kCoordDecision,
+                                         decision_body, sizeof(decision_body));
     const Status durable = decision_log_->WaitDurable(decision_lsn);
     if (!durable.ok()) {
       // Decision log device failure: we cannot claim the commit point, and
       // we must not commit without it. Abort instead.
       commit = false;
       fail_code = durable.code();
-      MutexLock lock(&txn->mu);
-      txn->commit = false;
     } else {
       MutexLock lock(&committed_mu_);
-      committed_.insert(txn->gtid);
+      committed_.insert(gtid);
     }
   }
 
   // Phase two: decisions to every shard that voted yes (the others already
   // rolled back when they voted no — presumed abort needs no message, but
-  // a yes-voter is parked until told).
+  // a yes-voter is parked until told). Acks are awaited (bounded) so a
+  // committed transaction is visible on every participant before the
+  // client hears about it; a straggler resolves through in-doubt recovery.
   server::Decision decision;
-  decision.gtid = txn->gtid;
-  std::vector<uint8_t> bytes;
+  decision.gtid = gtid;
+  std::vector<uint8_t> decision_bytes;
   server::EncodeDecision(
       commit ? FrameType::kCommitDecision : FrameType::kAbortDecision,
-      decision, &bytes);
-  {
-    MutexLock lock(&txn->mu);
-    txn->acks_outstanding = 0;
-  }
+      decision, &decision_bytes);
+  const int64_t ack_deadline =
+      static_cast<int64_t>(MonotonicMs()) + options_.ack_timeout_ms;
   for (const uint32_t shard : yes_shards) {
-    Expectation expectation;
-    expectation.kind = Expectation::kDecisionAck;
-    expectation.txn = txn;
-    {
-      MutexLock lock(&txn->mu);
-      ++txn->acks_outstanding;
+    server::Client* client = coord->clients[shard].get();
+    if (!client->SendRaw(decision_bytes.data(), decision_bytes.size()).ok()) {
+      client->Close();  // In-doubt recovery replays the decision later.
+      continue;
     }
-    if (!SendToShard(shard_conns_[shard].get(), bytes,
-                     std::move(expectation))) {
-      // Shard down: its in-doubt recovery replays the decision later.
-      MutexLock lock(&txn->mu);
-      --txn->acks_outstanding;
+    FrameType type;
+    std::vector<uint8_t> body;
+    const Status s = RecvFrameSliced(client, &type, &body, ack_deadline);
+    server::DecisionAck ack;
+    if (!s.ok() || type != FrameType::kDecisionAck ||
+        !server::DecodeDecisionAck(body.data(), body.size(), &ack).ok()) {
+      client->Close();
+      continue;
     }
   }
+
   {
-    // Wait (bounded) for acks so a committed transaction is visible on
-    // every participant before the client hears about it. The decision is
-    // already durable; a straggler resolves through in-doubt recovery.
-    MutexLock lock(&txn->mu);
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(options_.ack_timeout_ms);
-    while (txn->acks_outstanding > 0) {
-      if (txn->cv.WaitFor(&txn->mu, deadline -
-                                        std::chrono::steady_clock::now()) ==
-          std::cv_status::timeout) {
-        break;
-      }
+    MutexLock lock(&committed_mu_);
+    active_gtids_.erase(gtid);
+  }
+
+  // Reconnect (with in-doubt sweep) any participant we closed above: a
+  // branch that voted yes after the deadline is parked prepared, and the
+  // sweep's presumed abort is what unwinds it now rather than at the next
+  // cross-shard transaction.
+  if (!stop_.load(std::memory_order_acquire)) {
+    for (const uint32_t shard : participants) {
+      auto& client = coord->clients[shard];
+      if (client != nullptr && client->connected()) continue;
+      EnsureShardClient(coord, shard);  // Best effort.
     }
   }
 
@@ -662,271 +1332,28 @@ void ShardRouter::RunCrossShard(
     stats_.cross_shard_aborts.fetch_add(1, std::memory_order_relaxed);
   }
   server::Response response;
-  response.request_id = request_id;
+  response.request_id = job.request_id;
   response.status = commit ? StatusCode::kOk
                            : (fail_code == StatusCode::kOk
                                   ? StatusCode::kAborted
                                   : fail_code);
   response.commit_lsn = decision_lsn;
-  std::vector<uint8_t> encoded;
-  server::EncodeResponse(response, &encoded);
-  session->CompleteTicket(ticket, std::move(encoded));
+  CoordinatorResult result;
+  result.session_id = job.session_id;
+  result.ticket = job.ticket;
+  server::EncodeResponse(response, &result.encoded);
+  PostResult(job.loop_index, std::move(result));
 }
 
-void ShardRouter::ReplyError(const std::shared_ptr<ClientSession>& session,
-                             uint64_t ticket, uint64_t request_id,
-                             StatusCode code) {
-  server::Response response;
-  response.request_id = request_id;
-  response.status = code;
-  std::vector<uint8_t> encoded;
-  server::EncodeResponse(response, &encoded);
-  session->CompleteTicket(ticket, std::move(encoded));
-}
-
-// --- Shard connections --------------------------------------------------
-
-bool ShardRouter::SendToShard(ShardConn* sc,
-                              const std::vector<uint8_t>& bytes,
-                              Expectation expectation) {
-  MutexLock lock(&sc->mu);
-  if (!sc->up) return false;
-  if (!sc->client.SendRaw(bytes.data(), bytes.size()).ok()) {
-    // The reader thread notices the dead socket and runs ShardDown; the
-    // expectation was never queued, so nothing dangles.
-    return false;
-  }
-  sc->expect.push_back(std::move(expectation));
-  return true;
-}
-
-bool ShardRouter::SendBatchToShard(ShardConn* sc,
-                                   const std::vector<uint8_t>& bytes,
-                                   std::vector<Expectation>* expectations) {
-  MutexLock lock(&sc->mu);
-  if (!sc->up) return false;
-  if (!sc->client.SendRaw(bytes.data(), bytes.size()).ok()) {
-    // As in SendToShard: the reader thread tears the connection down; no
-    // expectation was queued, so nothing dangles.
-    return false;
-  }
-  for (Expectation& e : *expectations) sc->expect.push_back(std::move(e));
-  return true;
-}
-
-void ShardRouter::ShardLoop(ShardConn* sc) {
-  while (!stop_.load(std::memory_order_acquire)) {
-    bool up;
-    {
-      MutexLock lock(&sc->mu);
-      up = sc->up;
-    }
-    if (!up) {
-      if (!ConnectShard(sc)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(200));
-        continue;
-      }
-    }
-    FrameType type;
-    std::vector<uint8_t> body;
-    Status s = sc->client.RecvFrame(&type, &body, 100);
-    if (s.IsDeadlineExceeded()) continue;
-    if (!s.ok()) {
-      ShardDown(sc);
-      continue;
-    }
-    // Drain every frame the read burst decoded (RecvFrame with a zero
-    // deadline never touches the socket), staging forwarded responses so
-    // each client session gets one coalesced send per burst.
-    ReplyBatch replies;
-    bool down = false;
-    for (;;) {
-      if (!DispatchShardFrame(sc, type, body, &replies)) break;
-      s = sc->client.RecvFrame(&type, &body, 0);
-      if (s.IsDeadlineExceeded()) break;
-      if (!s.ok()) {
-        down = true;
-        break;
-      }
-    }
-    replies.Flush();
-    if (down) ShardDown(sc);
-  }
-  ShardDown(sc);
-  MutexLock lock(&sc->mu);
-  sc->client.Close();
-}
-
-bool ShardRouter::ConnectShard(ShardConn* sc) {
-  sc->mu.Lock();
-  sc->client.Close();
-  Status s = sc->client.Connect(sc->host, sc->port, PeerRole::kCoordinator);
-  sc->mu.Unlock();
-  if (!s.ok()) return false;
-  // Resolve the shard's in-doubt backlog before opening it to traffic;
-  // the connection carries nothing else yet, so the replies here are
-  // unambiguous.
-  if (!ResolveInDoubt(sc).ok()) {
-    MutexLock lock(&sc->mu);
-    sc->client.Close();
-    return false;
-  }
-  MutexLock lock(&sc->mu);
-  sc->up = true;
-  return true;
-}
-
-Status ShardRouter::ResolveInDoubt(ShardConn* sc) {
-  std::vector<uint8_t> enc;
-  server::EncodeInDoubtQuery(&enc);
-  NEXT700_RETURN_IF_ERROR(sc->client.SendRaw(enc.data(), enc.size()));
-  FrameType type;
-  std::vector<uint8_t> body;
-  NEXT700_RETURN_IF_ERROR(sc->client.RecvFrame(&type, &body, 5000));
-  if (type != FrameType::kInDoubtList) {
-    return Status::InvalidArgument("shard answered in-doubt query with frame " +
-                                   std::to_string(static_cast<int>(type)));
-  }
-  server::InDoubtList list;
-  NEXT700_RETURN_IF_ERROR(
-      server::DecodeInDoubtList(body.data(), body.size(), &list));
-  for (const uint64_t gtid : list.gtids) {
-    bool commit;
-    {
-      MutexLock lock(&committed_mu_);
-      commit = committed_.count(gtid) != 0;
-    }
-    server::Decision decision;
-    decision.gtid = gtid;
-    enc.clear();
-    server::EncodeDecision(
-        commit ? FrameType::kCommitDecision : FrameType::kAbortDecision,
-        decision, &enc);
-    NEXT700_RETURN_IF_ERROR(sc->client.SendRaw(enc.data(), enc.size()));
-    NEXT700_RETURN_IF_ERROR(sc->client.RecvFrame(&type, &body, 5000));
-    server::DecisionAck ack;
-    if (type != FrameType::kDecisionAck ||
-        !server::DecodeDecisionAck(body.data(), body.size(), &ack).ok()) {
-      return Status::InvalidArgument("bad decision ack during resolution");
-    }
-    stats_.resolved_in_doubt.fetch_add(1, std::memory_order_relaxed);
-  }
-  return Status::OK();
-}
-
-void ShardRouter::ShardDown(ShardConn* sc) {
-  std::deque<Expectation> orphans;
+void ShardRouter::PostResult(uint32_t loop_index, CoordinatorResult result) {
+  // Stop() joins the coordinator pool before the loops, so the target loop
+  // and its backend are alive for the Wakeup even mid-shutdown.
+  RouterLoop* loop = loops_[loop_index].get();
   {
-    MutexLock lock(&sc->mu);
-    if (!sc->up && sc->expect.empty()) return;
-    sc->up = false;
-    orphans.swap(sc->expect);
-    sc->client.Close();
+    MutexLock lock(&loop->mu);
+    loop->pending_results.push_back(std::move(result));
   }
-  for (Expectation& e : orphans) {
-    switch (e.kind) {
-      case Expectation::kForward:
-        ReplyError(e.session, e.ticket, e.request_id,
-                   StatusCode::kUnavailable);
-        break;
-      case Expectation::kVote: {
-        MutexLock lock(&e.txn->mu);
-        if (!e.txn->decided) {
-          e.txn->any_no = true;
-          e.txn->no_status = StatusCode::kUnavailable;
-          --e.txn->votes_outstanding;
-          e.txn->cv.NotifyAll();
-        }
-        break;
-      }
-      case Expectation::kDecisionAck: {
-        // The decision is durable; the shard resolves via in-doubt
-        // recovery on reconnect. Just unblock the waiter.
-        MutexLock lock(&e.txn->mu);
-        --e.txn->acks_outstanding;
-        e.txn->cv.NotifyAll();
-        break;
-      }
-      case Expectation::kStrayAck:
-        break;
-    }
-  }
-}
-
-bool ShardRouter::DispatchShardFrame(ShardConn* sc, FrameType type,
-                                     const std::vector<uint8_t>& body,
-                                     ReplyBatch* replies) {
-  Expectation e;
-  bool have = false;
-  {
-    MutexLock lock(&sc->mu);
-    if (!sc->expect.empty()) {
-      e = std::move(sc->expect.front());
-      sc->expect.pop_front();
-      have = true;
-    }
-  }
-  if (!have) {
-    // A reply nothing asked for: the FIFO contract is broken and the
-    // stream can no longer be paired up. Drop the connection.
-    ShardDown(sc);
-    return false;
-  }
-  switch (e.kind) {
-    case Expectation::kForward: {
-      if (type != FrameType::kResponse) break;
-      std::vector<uint8_t> frame;
-      AppendFrame(type, body.data(), body.size(), &frame);
-      replies->Stage(e.session, e.ticket, std::move(frame));
-      return true;
-    }
-    case Expectation::kVote: {
-      server::Vote vote;
-      if (type != FrameType::kVote ||
-          !server::DecodeVote(body.data(), body.size(), &vote).ok()) {
-        break;
-      }
-      bool late_yes_needs_abort = false;
-      {
-        MutexLock lock(&e.txn->mu);
-        if (!e.txn->decided) {
-          if (vote.status == StatusCode::kOk) {
-            e.txn->yes_shards.push_back(sc->shard_id);
-          } else {
-            e.txn->any_no = true;
-            e.txn->no_status = vote.status;
-          }
-          --e.txn->votes_outstanding;
-          e.txn->cv.NotifyAll();
-        } else if (!e.txn->commit && vote.status == StatusCode::kOk) {
-          // The coordinator timed this gtid out and presumed abort, but
-          // the participant said yes and is now parked. Unwind it.
-          late_yes_needs_abort = true;
-        }
-      }
-      if (late_yes_needs_abort) {
-        server::Decision decision;
-        decision.gtid = e.txn->gtid;
-        std::vector<uint8_t> bytes;
-        server::EncodeDecision(FrameType::kAbortDecision, decision, &bytes);
-        Expectation stray;
-        stray.kind = Expectation::kStrayAck;
-        SendToShard(sc, bytes, std::move(stray));
-      }
-      return true;
-    }
-    case Expectation::kDecisionAck: {
-      MutexLock lock(&e.txn->mu);
-      --e.txn->acks_outstanding;
-      e.txn->cv.NotifyAll();
-      return true;
-    }
-    case Expectation::kStrayAck:
-      return true;
-  }
-  // Frame/expectation mismatch: unrecoverable pairing error.
-  ShardDown(sc);
-  return false;
+  loop->io->Wakeup();
 }
 
 }  // namespace shard

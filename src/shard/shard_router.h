@@ -24,24 +24,31 @@
 /// asks for the shard's in-doubt gtids and replays decisions from the log
 /// scan, which is how participants that crashed after preparing get
 /// resolved. A participant that misses its vote deadline is aborted
-/// (breaking the cross-shard deadlock of parked prepared transactions); a
-/// late yes vote for an aborted gtid is answered with an immediate
-/// kAbortDecision so the parked worker unwinds.
+/// (breaking the cross-shard deadlock of parked prepared transactions).
 ///
-/// Threading: one accept thread, one blocking session thread per client
-/// connection, one connection + reader thread per shard. Cross-shard
-/// transactions run synchronously on the session thread (votes are
-/// delivered by shard reader threads); a reorder buffer keyed by
-/// per-session ticket keeps client responses in request order even when
-/// consecutive requests complete on different shards. This is a routing
-/// tier, not the measured engine — clarity beats micro-optimization here.
-/// The fast path's syscall budget is still engineered: forwards are
-/// staged per shard across one client read burst and sent with one
-/// gather write, and shard replies are drained from the decoder and
-/// released as one coalesced write per session per burst. The N3
-/// benchmark tracks the router-vs-direct throughput ratio (~10% tax with
-/// the router on its own cores; capped near 0.5 when it shares one core
-/// with the shards — EXPERIMENTS.md N3 has the accounting).
+/// Threading: the session tier is N event-loop threads on the src/io/
+/// IoBackend spine (uring or batched epoll — the same contract the server
+/// uses). Loop 0 owns the persistent accept and round-robins accepted
+/// sockets across loops; each loop owns its share of client sessions plus
+/// one *forwarding connection per shard*, multiplexed through one backend
+/// instance via submitted reads and gathered writev completions. The fast
+/// path never leaves its loop: forwards staged across one read burst go
+/// out with one gather write per shard link, forward replies pair with a
+/// per-link FIFO expectation deque, and the per-session ticket reorder
+/// buffer releases client responses in request order with one coalesced
+/// writev per session per reap batch. Shard links reconnect with jittered
+/// backoff driven by reap timeouts (never a blind sleep), and a link
+/// resolves the shard's in-doubt backlog before accepting forwards.
+///
+/// Cross-shard 2PC runs on a small dedicated coordinator pool — blocking
+/// threads with their own shard connections — so event loops never block
+/// on votes; the finished reply is posted back to the owning loop through
+/// its inbox + Wakeup, and the session's reorder buffer slots it into
+/// order. A shared (committed, active) gtid map keeps a reconnecting
+/// link's in-doubt sweep from aborting a transaction a coordinator thread
+/// is still driving. Stop() is prompt: every blocking wait is sliced
+/// against stop_, and WaitShardsConnected parks on a condvar with a
+/// deadline rather than a poll loop.
 
 #include <atomic>
 #include <cstdint>
@@ -50,13 +57,16 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_safety.h"
+#include "io/io_backend.h"
 #include "log/log_manager.h"
 #include "server/client.h"
+#include "server/connection.h"
 #include "server/protocol.h"
 
 namespace next700 {
@@ -85,6 +95,13 @@ struct ShardRouterOptions {
   /// transaction hit the wire — before the decision is logged. The
   /// crashtest harness uses this to create coordinator in-doubt windows.
   uint64_t crash_after_prepares_sent = 0;
+  /// Async backend for the event-loop session tier (kAuto probes uring,
+  /// falls back to epoll).
+  io::IoBackendKind io_backend = io::IoBackendKind::kAuto;
+  /// Event-loop thread count; 0 = auto (min(4, cores/2), at least 1).
+  int num_loops = 0;
+  /// Blocking 2PC coordinator threads (cross-shard transactions only).
+  int coordinator_threads = 2;
 };
 
 struct ShardRouterStats {
@@ -93,6 +110,18 @@ struct ShardRouterStats {
   std::atomic<uint64_t> cross_shard_aborts{0};
   std::atomic<uint64_t> vote_timeouts{0};
   std::atomic<uint64_t> resolved_in_doubt{0};
+  /// Session lifecycle: live sessions == accepted - closed. The churn test
+  /// pins this to zero after disconnect storms (the old thread-per-session
+  /// tier leaked a session object + thread handle per dead client).
+  std::atomic<uint64_t> sessions_accepted{0};
+  std::atomic<uint64_t> sessions_closed{0};
+  /// Transient accept4 failures (EMFILE/ENFILE/...) that disarmed the
+  /// accept and backed off instead of busy-spinning on readiness.
+  std::atomic<uint64_t> accept_errors{0};
+  /// Outbound batching on the event loops: frames_batched / writev_batches
+  /// is the gather ratio of the fast path.
+  std::atomic<uint64_t> writev_batches{0};
+  std::atomic<uint64_t> frames_batched{0};
 };
 
 class ShardRouter {
@@ -103,8 +132,8 @@ class ShardRouter {
   ShardRouter& operator=(const ShardRouter&) = delete;
 
   /// Scans the decision log for prior commits, opens it for appending,
-  /// binds the listen socket, and starts the accept + shard threads.
-  /// Shard connections are established asynchronously; use
+  /// binds the listen socket, and starts the event loops + coordinator
+  /// pool. Shard links are established asynchronously; use
   /// WaitShardsConnected() for a deterministic ready point.
   Status Start();
   void Stop();
@@ -112,9 +141,9 @@ class ShardRouter {
   /// Bound listen port (after Start()).
   uint16_t port() const { return port_; }
 
-  /// Blocks until every shard connection is up (its in-doubt backlog
-  /// resolved) or `timeout_ms` elapses. Returns true when all shards are
-  /// reachable.
+  /// Blocks until every loop's link to every shard is up (its in-doubt
+  /// backlog resolved) or `timeout_ms` elapses. Returns true when all
+  /// links are up.
   bool WaitShardsConnected(int64_t timeout_ms);
 
   const ShardRouterStats& stats() const { return stats_; }
@@ -123,79 +152,123 @@ class ShardRouter {
     return static_cast<uint32_t>(options_.shards.size());
   }
 
- private:
-  struct GlobalTxn;
-  struct ClientSession;
-  struct ShardConn;
-  struct ForwardBatch;
-  struct ReplyBatch;
+  /// Resolved event-loop count (after Start()).
+  uint32_t num_loops() const { return static_cast<uint32_t>(loops_.size()); }
 
-  /// What the next reply frame on a shard connection answers. The shard
-  /// server guarantees per-connection FIFO replies, so a deque of these,
-  /// pushed under the same mutex that serializes sends, always matches.
-  struct Expectation {
-    enum Kind : uint8_t { kForward, kVote, kDecisionAck, kStrayAck };
-    Kind kind = kForward;
-    std::shared_ptr<ClientSession> session;  // kForward
-    uint64_t ticket = 0;                     // kForward
-    /// kForward: echoed in the kUnavailable reply when the shard dies
-    /// with the forward in flight — a reply with a made-up request id
-    /// would desynchronize clients that match responses by id.
+  /// Kernel entries issued by the event-loop backends (live counters plus
+  /// those of loops already stopped). Excludes the blocking coordinator
+  /// pool — this measures the fast path's syscall budget. Safe to call
+  /// while running or after Stop(); not concurrently *with* Stop().
+  uint64_t io_syscalls() const;
+
+ private:
+  struct RouterLoop;
+  struct ShardLink;
+  struct Coordinator;
+
+  /// A cross-shard kKvRmw handed from an event loop to the coordinator
+  /// pool. Identifies the reply slot by (loop, session id, ticket) — never
+  /// by pointer, so a session that dies mid-2PC just drops the result.
+  struct CrossShardJob {
+    uint32_t loop_index = 0;
+    uint64_t session_id = 0;
+    uint64_t ticket = 0;
     uint64_t request_id = 0;
-    std::shared_ptr<GlobalTxn> txn;          // kVote / kDecisionAck
+    /// Per-shard key slices (index == shard id; empty == not a participant).
+    std::vector<std::vector<uint64_t>> shard_keys;
   };
 
-  void AcceptLoop();
-  void SessionLoop(std::shared_ptr<ClientSession> session);
-  void ShardLoop(ShardConn* sc);
+  /// Finished 2PC reply, posted back to the owning loop's inbox.
+  struct CoordinatorResult {
+    uint64_t session_id = 0;
+    uint64_t ticket = 0;
+    std::vector<uint8_t> encoded;
+  };
 
-  /// Connect + handshake + in-doubt resolution; marks the shard up.
-  bool ConnectShard(ShardConn* sc);
-  Status ResolveInDoubt(ShardConn* sc);
-  /// Fails every outstanding expectation and marks the shard down.
-  void ShardDown(ShardConn* sc);
+  /// What the next reply frame on a shard link answers. The shard server
+  /// guarantees per-connection FIFO replies, so a deque of these, pushed
+  /// in send order by the owning loop, always matches.
+  struct Expectation {
+    uint64_t session_id = 0;
+    uint64_t ticket = 0;
+    /// Echoed in the kUnavailable reply when the link dies with the
+    /// forward in flight — a reply with a made-up request id would
+    /// desynchronize clients that match responses by id.
+    uint64_t request_id = 0;
+  };
 
-  /// Pairs one shard reply frame with the head expectation. Forwarded
-  /// responses are staged into `replies` (flushed per burst, one send per
-  /// client session); votes and decision acks are delivered immediately.
-  /// Returns false when the pairing broke and the connection was torn
-  /// down.
-  bool DispatchShardFrame(ShardConn* sc, server::FrameType type,
-                          const std::vector<uint8_t>& body,
-                          ReplyBatch* replies);
+  // --- Event loop ---------------------------------------------------------
+  void LoopRun(RouterLoop* loop);
+  int ComputeReapTimeout(RouterLoop* loop) const;
+  void ProcessTimers(RouterLoop* loop);
+  void DrainInbox(RouterLoop* loop);
+  void FlushDirty(RouterLoop* loop);
+  void MarkDirty(RouterLoop* loop, uint64_t conn_id);
+  void StartConnWrite(RouterLoop* loop, server::Connection* conn);
 
-  /// Routes one decoded client request; returns false when the client
-  /// connection is beyond saving and the session must close. Single-shard
-  /// forwards are staged into `batch` (one gather send per shard per read
-  /// burst — the fast path's syscall budget); cross-shard transactions
-  /// flush the batch and run inline.
-  bool RouteRequest(const std::shared_ptr<ClientSession>& session,
-                    uint64_t ticket, const server::Frame& frame,
-                    ForwardBatch* batch);
-  void StageForward(const std::shared_ptr<ClientSession>& session,
+  // --- Accept path (loop 0) ----------------------------------------------
+  void HandleAccept(RouterLoop* loop, int32_t result);
+  void AdoptSession(RouterLoop* loop, int fd);
+
+  // --- Client sessions ----------------------------------------------------
+  void StartSessionRead(RouterLoop* loop, server::Connection* conn);
+  void HandleSessionRead(RouterLoop* loop, server::Connection* conn,
+                         int32_t result);
+  void HandleSessionWrite(RouterLoop* loop, server::Connection* conn,
+                          int32_t result);
+  /// Decodes and routes buffered frames; returns false when the session
+  /// was closed.
+  bool DrainSessionFrames(RouterLoop* loop, server::Connection* conn);
+  bool MaybeCloseDrained(RouterLoop* loop, server::Connection* conn);
+  void CloseSession(RouterLoop* loop, uint64_t session_id);
+  /// FlushOrdered + dirty-mark + drained-close check after a Complete().
+  void ReleaseSessionReplies(RouterLoop* loop, server::Connection* conn);
+  void ReplyError(RouterLoop* loop, server::Connection* conn, uint64_t ticket,
+                  uint64_t request_id, StatusCode code);
+
+  /// Routes one decoded client request. Single-shard forwards are staged
+  /// on the owning loop's shard link (one gather write per link per reap
+  /// batch); cross-shard kKvRmw is handed to the coordinator pool.
+  void RouteRequest(RouterLoop* loop, server::Connection* conn,
+                    uint64_t ticket, const server::Frame& frame);
+  void StageForward(RouterLoop* loop, server::Connection* conn,
                     uint64_t ticket, uint32_t shard_id,
-                    const server::Frame& frame, uint64_t request_id,
-                    ForwardBatch* batch);
-  /// Sends every staged forward, one syscall per shard, expectations
-  /// queued in wire order. Failed shards get per-request kUnavailable
-  /// replies.
-  void FlushForwards(const std::shared_ptr<ClientSession>& session,
-                     ForwardBatch* batch);
-  void RunCrossShard(const std::shared_ptr<ClientSession>& session,
-                     uint64_t ticket, uint64_t request_id,
-                     const std::vector<std::vector<uint64_t>>& shard_keys);
+                    const server::Frame& frame, uint64_t request_id);
 
-  /// Sends a frame on a shard connection and queues its expectation as one
-  /// atomic step. False if the shard is down or the send failed.
-  bool SendToShard(ShardConn* sc, const std::vector<uint8_t>& bytes,
-                   Expectation expectation);
-  /// Batch variant: one gather send for `bytes`, all expectations queued
-  /// under the same lock so the deque order matches the wire order.
-  bool SendBatchToShard(ShardConn* sc, const std::vector<uint8_t>& bytes,
-                        std::vector<Expectation>* expectations);
+  // --- Shard links (per loop, event-driven) -------------------------------
+  void StartConnectLink(RouterLoop* loop, ShardLink* link);
+  void HandleLinkRead(RouterLoop* loop, ShardLink* link, int32_t result);
+  void HandleLinkWrite(RouterLoop* loop, ShardLink* link, int32_t result);
+  void StartLinkRead(RouterLoop* loop, ShardLink* link);
+  /// Returns false when the link was torn down mid-drain.
+  bool DrainLinkFrames(RouterLoop* loop, ShardLink* link);
+  bool HandleLinkHandshakeFrame(RouterLoop* loop, ShardLink* link,
+                                server::FrameType type,
+                                const std::vector<uint8_t>& body);
+  bool HandleLinkForwardReply(RouterLoop* loop, ShardLink* link,
+                              server::FrameType type,
+                              const std::vector<uint8_t>& body);
+  void LinkUp(RouterLoop* loop, ShardLink* link);
+  /// Fails outstanding expectations with kUnavailable and schedules a
+  /// jittered reconnect.
+  void TeardownLink(RouterLoop* loop, ShardLink* link);
 
-  void ReplyError(const std::shared_ptr<ClientSession>& session,
-                  uint64_t ticket, uint64_t request_id, StatusCode code);
+  // --- Coordinator pool (blocking 2PC) ------------------------------------
+  void CoordinatorRun(Coordinator* coord);
+  void RunCrossShard(Coordinator* coord, const CrossShardJob& job);
+  bool EnsureShardClient(Coordinator* coord, uint32_t shard_id);
+  /// In-doubt sweep over a fresh blocking connection; skips gtids a live
+  /// coordinator still owns (the active set).
+  Status ResolveInDoubtOn(server::Client* client);
+  void PostResult(uint32_t loop_index, CoordinatorResult result);
+  /// Bounded RecvFrame that slices the wait against stop_.
+  Status RecvFrameSliced(server::Client* client, server::FrameType* type,
+                         std::vector<uint8_t>* body, int64_t deadline_ms);
+
+  /// committed/active check for one in-doubt gtid, one critical section:
+  /// *commit set => replay commit; active set => skip (a live coordinator
+  /// owns the outcome); neither => presumed abort.
+  void ClassifyInDoubt(uint64_t gtid, bool* commit, bool* skip);
 
   uint64_t NextGtid() {
     return gtid_base_ + gtid_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -204,9 +277,12 @@ class ShardRouter {
   ShardRouterOptions options_;
   ShardRouterStats stats_;
   std::atomic<bool> stop_{false};
+  bool running_ = false;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
+
+  /// Parsed options_.shards.
+  std::vector<std::pair<std::string, uint16_t>> shard_addrs_;
 
   std::unique_ptr<LogManager> decision_log_;
   uint64_t gtid_base_ = 0;
@@ -216,13 +292,29 @@ class ShardRouter {
   mutable Mutex committed_mu_;
   /// Every gtid with a durable commit decision (log scan + runtime).
   std::unordered_set<uint64_t> committed_ GUARDED_BY(committed_mu_);
+  /// Gtids whose 2PC a coordinator thread is currently driving. Guarded by
+  /// the same mutex as committed_ so an in-doubt sweep classifies a gtid
+  /// (committed / active / presumed-abort) in one atomic look — without
+  /// this a link reconnect could presume-abort a healthy transaction whose
+  /// commit decision is still being logged.
+  std::unordered_set<uint64_t> active_gtids_ GUARDED_BY(committed_mu_);
 
-  std::vector<std::unique_ptr<ShardConn>> shard_conns_;
+  /// Link-up accounting for WaitShardsConnected.
+  mutable Mutex shards_mu_;
+  CondVar shards_cv_;
+  uint32_t links_up_ GUARDED_BY(shards_mu_) = 0;
 
-  mutable Mutex sessions_mu_;
-  std::vector<std::thread> session_threads_ GUARDED_BY(sessions_mu_);
-  std::vector<std::shared_ptr<ClientSession>> sessions_
-      GUARDED_BY(sessions_mu_);
+  std::vector<std::unique_ptr<RouterLoop>> loops_;
+  std::atomic<uint32_t> accept_rr_{0};
+  /// Syscalls of backends already destroyed (accumulated in Stop()).
+  std::atomic<uint64_t> io_syscalls_retired_{0};
+
+  // Cross-shard job queue feeding the coordinator pool.
+  mutable Mutex jobs_mu_;
+  CondVar jobs_cv_;
+  std::deque<CrossShardJob> jobs_ GUARDED_BY(jobs_mu_);
+  bool jobs_stopped_ GUARDED_BY(jobs_mu_) = false;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
 };
 
 }  // namespace shard

@@ -1,19 +1,27 @@
 /// In-process shard-topology integration tests: two real shard servers
 /// (each owning keys where key % 2 == shard_id) behind a real ShardRouter
-/// over loopback sockets. Covers the single-shard fast path (verbatim
-/// forwarding, counters), cross-shard 2PC atomicity, the kUnavailable
-/// error path when a shard is down mid-batch, and router restart replaying
-/// its durable decision log.
+/// over loopback sockets, parameterized over both io backends (uring
+/// skipped where the kernel/sandbox denies rings). Covers the single-shard
+/// fast path (verbatim forwarding, counters), cross-shard 2PC atomicity,
+/// the kUnavailable error path when a shard is down mid-batch, router
+/// restart replaying its durable decision log, and the event-loop
+/// lifecycle: session churn must not grow live-session state (the old
+/// thread-per-session tier leaked a session + thread handle per dead
+/// client) and Stop() must return promptly even with a down shard (the old
+/// reconnect path slept a blind 200 ms ignoring stop_).
 
 #include "shard/shard_router.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "io/io_backend.h"
 #include "server/client.h"
 #include "server/procs.h"
 #include "server/protocol.h"
@@ -40,6 +48,29 @@ struct Topology {
   }
 };
 
+class ShardRouterTest : public ::testing::TestWithParam<io::IoBackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == io::IoBackendKind::kUring && !io::UringSupported()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel/sandbox";
+    }
+  }
+};
+
+/// Log directories must be unique per test *instance*, not just per case:
+/// `ctest -j` runs the epoll and uring instantiations of the same case as
+/// concurrent processes, and a shared directory means one process's
+/// RemoveLogDir races the other's open log. The test-info name carries the
+/// param suffix ("Case/epoll").
+std::string TempBase() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string slug = std::string(info->name());
+  for (char& c : slug) {
+    if (c == '/') c = '_';
+  }
+  return std::string(::testing::TempDir()) + "/next700_shardtest_" + slug;
+}
+
 void StartShard(Topology* topo, uint32_t shard_id, const std::string& dir) {
   EngineOptions eng;
   eng.cc_scheme = CcScheme::kOcc;
@@ -61,7 +92,8 @@ void StartShard(Topology* topo, uint32_t shard_id, const std::string& dir) {
   ASSERT_TRUE(topo->servers[shard_id]->Start().ok());
 }
 
-void StartTopology(Topology* topo, const std::string& base_dir) {
+void StartTopology(Topology* topo, const std::string& base_dir,
+                   io::IoBackendKind io_backend) {
   ShardRouterOptions ropts;
   for (uint32_t i = 0; i < kNumShards; ++i) {
     StartShard(topo, i, base_dir + "_s" + std::to_string(i));
@@ -72,13 +104,10 @@ void StartTopology(Topology* topo, const std::string& base_dir) {
   ropts.num_partitions = kPartitions;
   ropts.log_dir = base_dir + "_rt";
   ropts.vote_timeout_ms = 2000;
+  ropts.io_backend = io_backend;
   topo->router = std::make_unique<ShardRouter>(ropts);
   ASSERT_TRUE(topo->router->Start().ok());
   ASSERT_TRUE(topo->router->WaitShardsConnected(15000));
-}
-
-std::string TempBase(const char* name) {
-  return std::string(::testing::TempDir()) + "/next700_shardtest_" + name;
 }
 
 server::Request GetRequest(uint64_t request_id, uint64_t key) {
@@ -109,9 +138,9 @@ uint64_t CounterOf(const server::Response& response) {
   return counter;
 }
 
-TEST(ShardRouterTest, SingleShardFastPathForwardsBothShards) {
+TEST_P(ShardRouterTest, SingleShardFastPathForwardsBothShards) {
   Topology topo;
-  StartTopology(&topo, TempBase("fastpath"));
+  StartTopology(&topo, TempBase(), GetParam());
   ASSERT_FALSE(::testing::Test::HasFatalFailure());
 
   server::Client client;
@@ -132,9 +161,9 @@ TEST(ShardRouterTest, SingleShardFastPathForwardsBothShards) {
   EXPECT_GE(topo.router->stats().forwarded.load(), 5u);
 }
 
-TEST(ShardRouterTest, CrossShardRmwCommitsAtomically) {
+TEST_P(ShardRouterTest, CrossShardRmwCommitsAtomically) {
   Topology topo;
-  StartTopology(&topo, TempBase("cross"));
+  StartTopology(&topo, TempBase(), GetParam());
   ASSERT_FALSE(::testing::Test::HasFatalFailure());
 
   server::Client client;
@@ -156,9 +185,9 @@ TEST(ShardRouterTest, CrossShardRmwCommitsAtomically) {
   EXPECT_EQ(CounterOf(response), 7u + 1);
 }
 
-TEST(ShardRouterTest, PipelinedMixedTrafficKeepsRequestOrder) {
+TEST_P(ShardRouterTest, PipelinedMixedTrafficKeepsRequestOrder) {
   Topology topo;
-  StartTopology(&topo, TempBase("pipeline"));
+  StartTopology(&topo, TempBase(), GetParam());
   ASSERT_FALSE(::testing::Test::HasFatalFailure());
 
   server::Client client;
@@ -166,7 +195,8 @@ TEST(ShardRouterTest, PipelinedMixedTrafficKeepsRequestOrder) {
       client.Connect("127.0.0.1", topo.router->port()).ok());
   // Pipeline a burst that alternates shards and includes a cross-shard
   // txn in the middle; the reorder buffer must deliver replies in
-  // request order even though they complete on different shards.
+  // request order even though they complete on different shards (and the
+  // cross-shard one on the coordinator pool).
   constexpr uint64_t kBurst = 20;
   for (uint64_t i = 0; i < kBurst; ++i) {
     if (i == 10) {
@@ -184,9 +214,9 @@ TEST(ShardRouterTest, PipelinedMixedTrafficKeepsRequestOrder) {
   EXPECT_EQ(topo.router->stats().cross_shard_commits.load(), 1u);
 }
 
-TEST(ShardRouterTest, DownShardAnswersUnavailableAndRecovers) {
+TEST_P(ShardRouterTest, DownShardAnswersUnavailableAndRecovers) {
   Topology topo;
-  StartTopology(&topo, TempBase("down"));
+  StartTopology(&topo, TempBase(), GetParam());
   ASSERT_FALSE(::testing::Test::HasFatalFailure());
 
   server::Client client;
@@ -216,10 +246,10 @@ TEST(ShardRouterTest, DownShardAnswersUnavailableAndRecovers) {
   EXPECT_EQ(topo.router->stats().cross_shard_commits.load(), 0u);
 }
 
-TEST(ShardRouterTest, RouterRestartReplaysDecisionLog) {
-  const std::string base = TempBase("restart");
+TEST_P(ShardRouterTest, RouterRestartReplaysDecisionLog) {
+  const std::string base = TempBase();
   Topology topo;
-  StartTopology(&topo, base);
+  StartTopology(&topo, base, GetParam());
   ASSERT_FALSE(::testing::Test::HasFatalFailure());
 
   {
@@ -242,6 +272,7 @@ TEST(ShardRouterTest, RouterRestartReplaysDecisionLog) {
   }
   ropts.num_partitions = kPartitions;
   ropts.log_dir = base + "_rt";
+  ropts.io_backend = GetParam();
   topo.router = std::make_unique<ShardRouter>(ropts);
   ASSERT_TRUE(topo.router->Start().ok());
   ASSERT_TRUE(topo.router->WaitShardsConnected(15000));
@@ -257,6 +288,74 @@ TEST(ShardRouterTest, RouterRestartReplaysDecisionLog) {
   ASSERT_TRUE(client.Call(RmwRequest(3, {10, 11}), &response).ok());
   EXPECT_EQ(response.status, StatusCode::kOk);
 }
+
+// Lifecycle regression: the old AcceptLoop pushed a ClientSession and a
+// thread handle per connection and never reaped either, so a
+// connect/disconnect storm grew both without bound. The event-loop tier
+// must free every closed session: after the churn, closed catches up with
+// accepted (disconnect handling is asynchronous, so poll briefly).
+TEST_P(ShardRouterTest, SessionChurnReapsClosedSessions) {
+  Topology topo;
+  StartTopology(&topo, TempBase(), GetParam());
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+  constexpr int kCycles = 40;
+  for (int i = 0; i < kCycles; ++i) {
+    server::Client client;
+    ASSERT_TRUE(
+        client.Connect("127.0.0.1", topo.router->port()).ok());
+    server::Response response;
+    ASSERT_TRUE(client.Call(GetRequest(i, i % 8), &response).ok());
+    EXPECT_EQ(response.status, StatusCode::kOk);
+    client.Close();
+  }
+
+  const ShardRouterStats& stats = topo.router->stats();
+  EXPECT_GE(stats.sessions_accepted.load(), static_cast<uint64_t>(kCycles));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (stats.sessions_closed.load() < stats.sessions_accepted.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(stats.sessions_closed.load(), stats.sessions_accepted.load())
+      << "live sessions leaked after disconnects";
+}
+
+// Lifecycle regression: the old ShardLoop slept a blind 200 ms between
+// reconnect attempts ignoring stop_, and WaitShardsConnected poll-slept.
+// With every shard down (nothing listening on the target ports) Stop()
+// must still return promptly — the loops park in Reap with a backoff
+// deadline and a Wakeup unparks them.
+TEST_P(ShardRouterTest, StopIsPromptWithDownShards) {
+  ShardRouterOptions ropts;
+  // Port 1 is privileged and never has a listener in these sandboxes:
+  // connects fail fast with ECONNREFUSED and the links sit in backoff.
+  ropts.shards = {"127.0.0.1:1", "127.0.0.1:1"};
+  ropts.num_partitions = kPartitions;
+  ropts.log_dir = TempBase() + "_rt";
+  RemoveLogDir(ropts.log_dir);
+  ropts.io_backend = GetParam();
+  ShardRouter router(ropts);
+  ASSERT_TRUE(router.Start().ok());
+  EXPECT_FALSE(router.WaitShardsConnected(150));
+
+  // Let a few reconnect cycles run so Stop lands mid-backoff.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto t0 = std::chrono::steady_clock::now();
+  router.Stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 100) << "Stop() took " << elapsed.count()
+                                  << " ms with down shards";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IoBackends, ShardRouterTest,
+    ::testing::Values(io::IoBackendKind::kEpoll, io::IoBackendKind::kUring),
+    [](const ::testing::TestParamInfo<io::IoBackendKind>& info) {
+      return std::string(io::IoBackendKindName(info.param));
+    });
 
 }  // namespace
 }  // namespace shard

@@ -83,7 +83,11 @@
 ///   * liveness: after recovery one single-shard and one cross-shard
 ///     transaction must commit (the in-doubt gate cleared).
 ///
-/// Usage: crashtest [repl|shard] [rounds] [base_seed]
+/// Usage: crashtest [repl] [rounds] [base_seed]
+///        crashtest shard [rounds] [base_seed] [io-backend]
+///
+/// `io-backend` (auto|uring|epoll, default auto) selects the router's
+/// event-loop backend; shard servers keep their own default.
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -112,6 +116,7 @@
 #include "log/checkpoint.h"
 #include "log/log_file.h"
 #include "log/log_manager.h"
+#include "io/io_backend.h"
 #include "log/recovery.h"
 #include "repl/replica_applier.h"
 #include "server/client.h"
@@ -1070,6 +1075,10 @@ void RunShardServerChild(int shard_id, const std::string& dir,
   ::_exit(0);
 }
 
+/// Router event-loop backend for shard rounds, from the optional
+/// `crashtest shard ... [io-backend]` argument. Inherited across fork.
+io::IoBackendKind g_shard_io_backend = io::IoBackendKind::kAuto;
+
 /// Router child: the 2PC coordinator. Reports its port only after every
 /// shard connection is up (in-doubt backlogs resolved), so the parent's
 /// first request always lands on a ready topology.
@@ -1085,6 +1094,7 @@ void RunShardRouterChild(const std::vector<uint16_t>& shard_ports,
     opts.num_partitions = kShardPartitions;
     opts.log_dir = dir;
     opts.vote_timeout_ms = 2000;
+    opts.io_backend = g_shard_io_backend;
     opts.crash_after_prepares_sent = crash_after_prepares_sent;
     shard::ShardRouter router(opts);
     if (!router.Start().ok()) ::_exit(99);
@@ -1539,6 +1549,12 @@ int Main(int argc, char** argv) {
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20;
     const uint64_t base_seed =
         argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    if (argc > 4 &&
+        !io::ParseIoBackendKind(argv[4], &g_shard_io_backend)) {
+      std::fprintf(stderr, "bad io-backend: %s (auto|uring|epoll)\n",
+                   argv[4]);
+      return 2;
+    }
     return ShardMain(rounds, base_seed);
   }
   if (argc > 1 && std::strcmp(argv[1], "repl") == 0) {

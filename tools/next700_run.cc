@@ -99,6 +99,8 @@ void Usage() {
       "  --log-dir=DIR  (coordinator decision log)  [--host=ADDR] "
       "[--port=P]\n"
       "  [--partitions=N]  (the shards' *global* partition count)\n"
+      "  [--io-backend=auto|uring|epoll] [--router-loops=N]  (0 = auto: "
+      "one event loop per ~2 cores, max 4)\n"
       "  [--vote-timeout-ms=N] [--seconds=S]\n");
 }
 
@@ -214,6 +216,9 @@ int RunShardRouter(Flags* flags) {
     flags->Die("--role=shard-router requires --log-dir (decision log)");
   }
   opt.vote_timeout_ms = flags->GetInt("vote-timeout-ms", 5000);
+  opt.io_backend = ParseIoBackend(flags);
+  opt.num_loops = flags->GetInt("router-loops", 0);
+  if (opt.num_loops < 0) flags->Die("--router-loops must be >= 0");
   opt.crash_after_prepares_sent = static_cast<uint64_t>(
       flags->GetInt("crash-after-prepares-sent", 0));
   const double seconds = flags->GetDouble("seconds", 0.0);
@@ -225,8 +230,9 @@ int RunShardRouter(Flags* flags) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("listening on %s:%u (shard-router, %u shards)\n",
-              opt.listen_host.c_str(), router.port(), router.num_shards());
+  std::printf("listening on %s:%u (shard-router, %u shards, %u loops)\n",
+              opt.listen_host.c_str(), router.port(), router.num_shards(),
+              router.num_loops());
   std::fflush(stdout);
   if (router.WaitShardsConnected(15000)) {
     std::printf("all %u shards connected\n", router.num_shards());
@@ -256,6 +262,16 @@ int RunShardRouter(Flags* flags) {
   std::printf("in-doubt resolved:    %llu\n",
               static_cast<unsigned long long>(
                   stats.resolved_in_doubt.load()));
+  const uint64_t batches = stats.writev_batches.load();
+  const uint64_t frames = stats.frames_batched.load();
+  std::printf("io syscalls:          %llu\n",
+              static_cast<unsigned long long>(router.io_syscalls()));
+  std::printf("frames per writev:    %.2f (%llu frames / %llu batches)\n",
+              batches > 0 ? static_cast<double>(frames) /
+                                static_cast<double>(batches)
+                          : 0.0,
+              static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(batches));
   return 0;
 }
 

@@ -10,7 +10,7 @@
 #
 # usage: shard_smoke.sh <build-dir> [io-backend]
 #   io-backend: auto (default) | uring | epoll — passed to the shard
-#   servers (the router's connections are plain blocking sockets).
+#   servers and to the router's event loops.
 set -euo pipefail
 
 BUILD_DIR="${1:?usage: shard_smoke.sh <build-dir> [io-backend]}"
@@ -66,7 +66,8 @@ S1PORT="$(wait_port "$S1_PID" "$S1OUT")"
 
 "$RUN" serve --role=shard-router --port=0 \
   --shards="127.0.0.1:$S0PORT,127.0.0.1:$S1PORT" \
-  --partitions="$PARTITIONS" --log-dir="$RTLOG" > "$RTOUT" &
+  --partitions="$PARTITIONS" --log-dir="$RTLOG" \
+  --io-backend="$IO_BACKEND" > "$RTOUT" &
 RT_PID=$!
 RTPORT="$(wait_port "$RT_PID" "$RTOUT")"
 for _ in $(seq 1 150); do
